@@ -1,0 +1,159 @@
+//! Abstract syntax of BeliefSQL (Fig. 1).
+
+use beliefdb_storage::{CmpOp, Value};
+use std::fmt;
+
+/// A possibly-qualified column reference `alias.column` or `column`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    pub qualifier: Option<String>,
+    pub column: String,
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A literal value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Literal {
+    Str(String),
+    Int(i64),
+}
+
+impl Literal {
+    pub fn to_value(&self) -> Value {
+        match self {
+            Literal::Str(s) => Value::str(s),
+            Literal::Int(i) => Value::Int(*i),
+        }
+    }
+}
+
+/// One user in a `BELIEF` prefix: a literal user name or a column reference
+/// (`BELIEF U.uid ...`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UserRef {
+    Name(String),
+    Column(ColumnRef),
+}
+
+/// A `(BELIEF user)+ not?` prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BeliefPrefix {
+    pub users: Vec<UserRef>,
+    pub negated: bool,
+}
+
+/// A from-item: optional belief prefix, table, optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FromItem {
+    pub prefix: Option<BeliefPrefix>,
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl FromItem {
+    /// The name this item binds in the rest of the query.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// A select-list entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    Wildcard,
+    Column(ColumnRef),
+}
+
+/// One side of a condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    Column(ColumnRef),
+    Literal(Literal),
+}
+
+/// A conjunctive condition `a op b`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Condition {
+    pub left: Operand,
+    pub op: CmpOp,
+    pub right: Operand,
+}
+
+/// `SELECT ... FROM ... [WHERE ...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub items: Vec<SelectItem>,
+    pub from: Vec<FromItem>,
+    pub conditions: Vec<Condition>,
+}
+
+/// `INSERT INTO [prefix] table VALUES (...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    pub prefix: Option<BeliefPrefix>,
+    pub table: String,
+    pub values: Vec<Literal>,
+}
+
+/// `DELETE FROM [prefix] table [WHERE ...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStmt {
+    pub prefix: Option<BeliefPrefix>,
+    pub table: String,
+    pub alias: Option<String>,
+    pub conditions: Vec<Condition>,
+}
+
+/// `UPDATE [prefix] table SET col = lit, ... [WHERE ...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStmt {
+    pub prefix: Option<BeliefPrefix>,
+    pub table: String,
+    pub alias: Option<String>,
+    pub assignments: Vec<(String, Literal)>,
+    pub conditions: Vec<Condition>,
+}
+
+/// Any BeliefSQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    Insert(InsertStmt),
+    Delete(DeleteStmt),
+    Update(UpdateStmt),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_ref_display() {
+        let c = ColumnRef { qualifier: Some("S".into()), column: "sid".into() };
+        assert_eq!(c.to_string(), "S.sid");
+        let c = ColumnRef { qualifier: None, column: "sid".into() };
+        assert_eq!(c.to_string(), "sid");
+    }
+
+    #[test]
+    fn literal_to_value() {
+        assert_eq!(Literal::Str("crow".into()).to_value(), Value::str("crow"));
+        assert_eq!(Literal::Int(7).to_value(), Value::Int(7));
+    }
+
+    #[test]
+    fn from_item_binding() {
+        let f = FromItem { prefix: None, table: "Sightings".into(), alias: Some("S".into()) };
+        assert_eq!(f.binding(), "S");
+        let f = FromItem { prefix: None, table: "Sightings".into(), alias: None };
+        assert_eq!(f.binding(), "Sightings");
+    }
+}

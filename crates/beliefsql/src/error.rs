@@ -1,0 +1,66 @@
+//! Errors of the BeliefSQL front-end.
+
+use beliefdb_core::BeliefError;
+use std::fmt;
+
+/// Errors raised while lexing, parsing, or lowering BeliefSQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lexical error with byte offset.
+    Lex { message: String, offset: usize },
+    /// Parse error with the offending token description.
+    Parse { message: String, near: String },
+    /// The statement parsed but cannot be mapped onto the belief model.
+    Lower(String),
+    /// Error surfaced from the core engine.
+    Core(BeliefError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { message, offset } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            SqlError::Parse { message, near } => write!(f, "parse error near `{near}`: {message}"),
+            SqlError::Lower(msg) => write!(f, "cannot execute statement: {msg}"),
+            SqlError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BeliefError> for SqlError {
+    fn from(e: BeliefError) -> Self {
+        SqlError::Core(e)
+    }
+}
+
+pub type Result<T, E = SqlError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SqlError::Lex { message: "unterminated string".into(), offset: 12 };
+        assert!(e.to_string().contains("byte 12"));
+        let e = SqlError::Parse { message: "expected FROM".into(), near: "WHERE".into() };
+        assert!(e.to_string().contains("`WHERE`"));
+        let e = SqlError::Lower("no such alias".into());
+        assert!(e.to_string().contains("no such alias"));
+        let e = SqlError::from(BeliefError::NoSuchUser("Zoe".into()));
+        assert!(e.to_string().contains("Zoe"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,389 @@
+//! Lowering BeliefSQL statements onto the belief-database model.
+//!
+//! `SELECT` becomes a [`Bcq`]: every from-item contributes a modal subgoal
+//! (or a user-catalog atom for `Users`); equality conditions unify columns
+//! into shared query variables, other comparisons become arithmetic
+//! predicates. `BELIEF U.uid` prefixes turn into path variables shared with
+//! the `Users` atom — exactly how the paper writes q1/q2 (Sect. 2).
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use beliefdb_core::bcq::{Bcq, PathElem, QueryTerm};
+use beliefdb_core::{Bdms, BeliefPath, Sign, UserId};
+use beliefdb_storage::{CmpOp, Value};
+
+/// The catalog relation name (Fig. 5's `Users`).
+pub const USERS_TABLE: &str = "Users";
+
+/// A lowered SELECT: the query, its output column labels, and whether the
+/// statement is trivially unsatisfiable (contradictory equality constants).
+pub struct LoweredSelect {
+    pub query: Option<Bcq>,
+    pub columns: Vec<String>,
+}
+
+/// What a from-item binds.
+enum AliasKind {
+    Users,
+    Relation { rel: beliefdb_core::RelId, sign: Sign, prefix: Vec<UserRef> },
+}
+
+struct AliasInfo {
+    name: String,
+    kind: AliasKind,
+    columns: Vec<String>,
+    /// Global slot offset of this alias's first column.
+    offset: usize,
+}
+
+/// Union-find over column slots with optional class constants.
+struct Slots {
+    parent: Vec<usize>,
+    constant: Vec<Option<Value>>,
+    unsat: bool,
+}
+
+impl Slots {
+    fn new(n: usize) -> Self {
+        Slots { parent: (0..n).collect(), constant: vec![None; n], unsat: false }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        if self.parent[i] != i {
+            let root = self.find(self.parent[i]);
+            self.parent[i] = root;
+        }
+        self.parent[i]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        match (self.constant[ra].clone(), self.constant[rb].clone()) {
+            (Some(x), Some(y)) if x != y => self.unsat = true,
+            (Some(x), _) => self.constant[rb] = Some(x),
+            _ => {}
+        }
+        self.parent[ra] = rb;
+    }
+
+    fn set_const(&mut self, i: usize, v: Value) {
+        let r = self.find(i);
+        match &self.constant[r] {
+            Some(existing) if *existing != v => self.unsat = true,
+            _ => self.constant[r] = Some(v),
+        }
+    }
+}
+
+pub struct SelectLowerer<'a> {
+    bdms: &'a Bdms,
+    aliases: Vec<AliasInfo>,
+    slots: Slots,
+    /// Slots that must surface as named variables (selected, compared,
+    /// used in a prefix, or shared between columns).
+    material: Vec<bool>,
+}
+
+impl<'a> SelectLowerer<'a> {
+    pub fn lower(bdms: &'a Bdms, stmt: &SelectStmt) -> Result<LoweredSelect> {
+        let mut aliases = Vec::with_capacity(stmt.from.len());
+        let mut offset = 0usize;
+        for item in &stmt.from {
+            let name = item.binding().to_string();
+            if aliases.iter().any(|a: &AliasInfo| a.name == name) {
+                return Err(SqlError::Lower(format!("duplicate alias `{name}`")));
+            }
+            let (kind, columns) = if item.table == USERS_TABLE {
+                if item.prefix.is_some() {
+                    return Err(SqlError::Lower(
+                        "the Users catalog cannot carry BELIEF annotations".into(),
+                    ));
+                }
+                (AliasKind::Users, vec!["uid".to_string(), "name".to_string()])
+            } else {
+                let rel = bdms.schema().relation_id(&item.table)?;
+                let def = bdms.schema().relation(rel)?;
+                let (sign, prefix) = match &item.prefix {
+                    None => (Sign::Pos, Vec::new()),
+                    Some(p) => (
+                        if p.negated { Sign::Neg } else { Sign::Pos },
+                        p.users.clone(),
+                    ),
+                };
+                (
+                    AliasKind::Relation { rel, sign, prefix },
+                    def.columns().to_vec(),
+                )
+            };
+            let arity = columns.len();
+            aliases.push(AliasInfo { name, kind, columns, offset });
+            offset += arity;
+        }
+
+        let this = SelectLowerer {
+            bdms,
+            aliases,
+            slots: Slots::new(offset),
+            material: vec![false; offset],
+        };
+        this.run(stmt)
+    }
+
+    fn resolve(&self, c: &ColumnRef) -> Result<usize> {
+        match &c.qualifier {
+            Some(q) => {
+                let alias = self
+                    .aliases
+                    .iter()
+                    .find(|a| &a.name == q)
+                    .ok_or_else(|| SqlError::Lower(format!("unknown alias `{q}`")))?;
+                let idx = alias
+                    .columns
+                    .iter()
+                    .position(|col| col == &c.column)
+                    .ok_or_else(|| {
+                        SqlError::Lower(format!("no column `{}` in `{}`", c.column, q))
+                    })?;
+                Ok(alias.offset + idx)
+            }
+            None => {
+                let mut hit = None;
+                for alias in &self.aliases {
+                    if let Some(idx) = alias.columns.iter().position(|col| col == &c.column) {
+                        if hit.is_some() {
+                            return Err(SqlError::Lower(format!(
+                                "ambiguous column `{}`",
+                                c.column
+                            )));
+                        }
+                        hit = Some(alias.offset + idx);
+                    }
+                }
+                hit.ok_or_else(|| SqlError::Lower(format!("unknown column `{}`", c.column)))
+            }
+        }
+    }
+
+    fn run(mut self, stmt: &SelectStmt) -> Result<LoweredSelect> {
+        // 1. Equalities fold into the union-find; the rest become predicates.
+        let mut residual: Vec<(usize, CmpOp, OperandSlot)> = Vec::new();
+        for cond in &stmt.conditions {
+            match (&cond.left, cond.op, &cond.right) {
+                (Operand::Column(a), CmpOp::Eq, Operand::Column(b)) => {
+                    let (sa, sb) = (self.resolve(a)?, self.resolve(b)?);
+                    self.slots.union(sa, sb);
+                }
+                (Operand::Column(a), CmpOp::Eq, Operand::Literal(l))
+                | (Operand::Literal(l), CmpOp::Eq, Operand::Column(a)) => {
+                    let s = self.resolve(a)?;
+                    self.slots.set_const(s, l.to_value());
+                }
+                (Operand::Literal(a), op, Operand::Literal(b)) => {
+                    if !op.eval(&a.to_value(), &b.to_value()) {
+                        self.slots.unsat = true;
+                    }
+                }
+                (Operand::Column(a), op, Operand::Column(b)) => {
+                    let (sa, sb) = (self.resolve(a)?, self.resolve(b)?);
+                    self.material[sa] = true;
+                    self.material[sb] = true;
+                    residual.push((sa, op, OperandSlot::Slot(sb)));
+                }
+                (Operand::Column(a), op, Operand::Literal(l)) => {
+                    let s = self.resolve(a)?;
+                    self.material[s] = true;
+                    residual.push((s, op, OperandSlot::Const(l.to_value())));
+                }
+                (Operand::Literal(l), op, Operand::Column(a)) => {
+                    let s = self.resolve(a)?;
+                    self.material[s] = true;
+                    residual.push((s, op.flip(), OperandSlot::Const(l.to_value())));
+                }
+            }
+        }
+
+        // 2. Select list: expand wildcards, mark slots material, collect
+        // output labels.
+        let mut head_slots: Vec<usize> = Vec::new();
+        let mut columns: Vec<String> = Vec::new();
+        for item in &stmt.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for alias in &self.aliases {
+                        for (i, col) in alias.columns.iter().enumerate() {
+                            head_slots.push(alias.offset + i);
+                            columns.push(format!("{}.{col}", alias.name));
+                        }
+                    }
+                }
+                SelectItem::Column(c) => {
+                    let s = self.resolve(c)?;
+                    head_slots.push(s);
+                    columns.push(c.to_string());
+                }
+            }
+        }
+        for &s in &head_slots {
+            self.material[s] = true;
+        }
+
+        // 3. Resolve belief-prefix user references up front; prefix columns
+        // are material too.
+        let mut prefix_specs: Vec<Vec<PathSpec>> = Vec::with_capacity(self.aliases.len());
+        for alias in &self.aliases {
+            let mut specs = Vec::new();
+            if let AliasKind::Relation { prefix, .. } = &alias.kind {
+                for u in prefix {
+                    specs.push(match u {
+                        UserRef::Name(name) => PathSpec::Uid(self.bdms.user_by_name(name)?),
+                        UserRef::Column(c) => PathSpec::Slot(self.resolve(c)?),
+                    });
+                }
+            }
+            prefix_specs.push(specs);
+        }
+        for specs in &prefix_specs {
+            for spec in specs {
+                if let PathSpec::Slot(s) = spec {
+                    self.material[*s] = true;
+                }
+            }
+        }
+
+        if self.slots.unsat {
+            return Ok(LoweredSelect { query: None, columns });
+        }
+
+        // 4. Classes shared by ≥ 2 slots are joins: material as well.
+        let n = self.material.len();
+        let mut class_size = vec![0usize; n];
+        for i in 0..n {
+            let r = self.slots.find(i);
+            class_size[r] += 1;
+        }
+        for i in 0..n {
+            let r = self.slots.find(i);
+            if class_size[r] > 1 || self.slots.constant[r].is_some() || self.material[i] {
+                self.material[r] = true;
+            }
+        }
+
+        // 5. Terms per slot.
+        let term_of = |slots: &mut Slots, material: &[bool], i: usize| -> QueryTerm {
+            let r = slots.find(i);
+            if let Some(v) = &slots.constant[r] {
+                return QueryTerm::Const(v.clone());
+            }
+            if material[r] {
+                QueryTerm::Var(format!("v{r}"))
+            } else {
+                QueryTerm::Any
+            }
+        };
+
+        // 6. Assemble the BCQ.
+        let mut head = Vec::with_capacity(head_slots.len());
+        for &s in &head_slots {
+            head.push(term_of(&mut self.slots, &self.material, s));
+        }
+        let mut builder = Bcq::builder(head);
+        for (ai, alias) in self.aliases.iter().enumerate() {
+            match &alias.kind {
+                AliasKind::Users => {
+                    let uid = term_of(&mut self.slots, &self.material, alias.offset);
+                    let name = term_of(&mut self.slots, &self.material, alias.offset + 1);
+                    builder = builder.user(uid, name);
+                }
+                AliasKind::Relation { rel, sign, prefix: _ } => {
+                    let mut path = Vec::with_capacity(prefix_specs[ai].len());
+                    for spec in &prefix_specs[ai] {
+                        path.push(path_elem(&mut self.slots, &self.material, spec)?);
+                    }
+                    let mut args = Vec::with_capacity(alias.columns.len());
+                    for i in 0..alias.columns.len() {
+                        args.push(term_of(&mut self.slots, &self.material, alias.offset + i));
+                    }
+                    builder = match sign {
+                        Sign::Pos => builder.positive(path, *rel, args),
+                        Sign::Neg => builder.negative(path, *rel, args),
+                    };
+                }
+            }
+        }
+        for (slot, op, rhs) in residual {
+            let left = term_of(&mut self.slots, &self.material, slot);
+            let right = match rhs {
+                OperandSlot::Slot(s) => term_of(&mut self.slots, &self.material, s),
+                OperandSlot::Const(v) => QueryTerm::Const(v),
+            };
+            builder = builder.pred(left, op, right);
+        }
+
+        let query = builder.build(self.bdms.schema()).map_err(|e| match e {
+            beliefdb_core::BeliefError::UnsafeQuery(msg) => SqlError::Lower(format!(
+                "{msg}; a negated (BELIEF ... not) relation must have every \
+                 column pinned by the WHERE clause — belief statements negate \
+                 whole tuples"
+            )),
+            other => SqlError::Core(other),
+        })?;
+        Ok(LoweredSelect { query: Some(query), columns })
+    }
+
+}
+
+/// A resolved belief-prefix element: a concrete user id or a column slot.
+enum PathSpec {
+    Uid(UserId),
+    Slot(usize),
+}
+
+fn path_elem(slots: &mut Slots, _material: &[bool], spec: &PathSpec) -> Result<PathElem> {
+    match spec {
+        PathSpec::Uid(u) => Ok(PathElem::User(*u)),
+        PathSpec::Slot(s) => {
+            let r = slots.find(*s);
+            if let Some(v) = slots.constant[r].clone() {
+                let uid = UserId::from_value(&v).ok_or_else(|| {
+                    SqlError::Lower(format!(
+                        "BELIEF column is pinned to `{v}`, which is not a user id"
+                    ))
+                })?;
+                Ok(PathElem::User(uid))
+            } else {
+                Ok(PathElem::Var(format!("v{r}")))
+            }
+        }
+    }
+}
+
+enum OperandSlot {
+    Slot(usize),
+    Const(Value),
+}
+
+/// Resolve a DML `BELIEF` prefix to a belief path and sign. DML prefixes
+/// must name users literally (there is no query context to bind columns).
+pub fn lower_dml_prefix(bdms: &Bdms, prefix: &Option<BeliefPrefix>) -> Result<(BeliefPath, Sign)> {
+    let Some(prefix) = prefix else {
+        return Ok((BeliefPath::root(), Sign::Pos));
+    };
+    let mut users = Vec::with_capacity(prefix.users.len());
+    for u in &prefix.users {
+        match u {
+            UserRef::Name(name) => users.push(bdms.user_by_name(name)?),
+            UserRef::Column(c) => {
+                return Err(SqlError::Lower(format!(
+                    "BELIEF {c}: DML statements must name users literally"
+                )))
+            }
+        }
+    }
+    let path = BeliefPath::new(users)?;
+    let sign = if prefix.negated { Sign::Neg } else { Sign::Pos };
+    Ok((path, sign))
+}

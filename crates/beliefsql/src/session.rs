@@ -1,0 +1,311 @@
+//! Interactive sessions: parse → lower → execute against a [`Bdms`].
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use crate::lower::{lower_dml_prefix, SelectLowerer};
+use crate::parser::parse;
+use beliefdb_core::internal::InsertOutcome;
+use beliefdb_core::{Bdms, ExternalSchema, GroundTuple, Sign};
+use beliefdb_storage::{Row, Value};
+use std::fmt;
+
+/// Result of executing one BeliefSQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecResult {
+    /// `SELECT`: column labels and (sorted, deduplicated) rows.
+    Rows { columns: Vec<String>, rows: Vec<Row> },
+    /// `INSERT`: what Algorithm 4 did with the statement.
+    Inserted(InsertOutcome),
+    /// `DELETE`: number of explicit statements removed.
+    Deleted(usize),
+    /// `UPDATE`: number of tuples rewritten.
+    Updated(usize),
+}
+
+impl ExecResult {
+    /// Rows of a `SELECT` result (empty for DML).
+    pub fn rows(&self) -> &[Row] {
+        match self {
+            ExecResult::Rows { rows, .. } => rows,
+            _ => &[],
+        }
+    }
+
+    /// Column labels of a `SELECT` result.
+    pub fn columns(&self) -> &[String] {
+        match self {
+            ExecResult::Rows { columns, .. } => columns,
+            _ => &[],
+        }
+    }
+}
+
+impl fmt::Display for ExecResult {
+    /// Render as an aligned text table (for examples and the REPL-style
+    /// binaries).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecResult::Inserted(outcome) => write!(f, "-- insert: {outcome:?}"),
+            ExecResult::Deleted(n) => write!(f, "-- deleted {n} statement(s)"),
+            ExecResult::Updated(n) => write!(f, "-- updated {n} tuple(s)"),
+            ExecResult::Rows { columns, rows } => {
+                let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+                let rendered: Vec<Vec<String>> = rows
+                    .iter()
+                    .map(|r| r.values().iter().map(|v| v.to_string()).collect())
+                    .collect();
+                for row in &rendered {
+                    for (i, cell) in row.iter().enumerate() {
+                        if i < widths.len() {
+                            widths[i] = widths[i].max(cell.len());
+                        }
+                    }
+                }
+                let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+                    write!(f, "|")?;
+                    for (i, c) in cells.iter().enumerate() {
+                        write!(f, " {c:<w$} |", w = widths.get(i).copied().unwrap_or(c.len()))?;
+                    }
+                    writeln!(f)
+                };
+                line(f, columns)?;
+                write!(f, "|")?;
+                for w in &widths {
+                    write!(f, "{:-<w$}|", "", w = w + 2)?;
+                }
+                writeln!(f)?;
+                for row in &rendered {
+                    line(f, row)?;
+                }
+                write!(f, "({} row{})", rows.len(), if rows.len() == 1 { "" } else { "s" })
+            }
+        }
+    }
+}
+
+/// A BeliefSQL session owning a BDMS instance.
+pub struct Session {
+    bdms: Bdms,
+}
+
+impl Session {
+    /// Open a session over a fresh BDMS with the given external schema.
+    pub fn new(schema: ExternalSchema) -> Result<Self> {
+        Ok(Session { bdms: Bdms::new(schema)? })
+    }
+
+    /// Wrap an existing BDMS.
+    pub fn from_bdms(bdms: Bdms) -> Self {
+        Session { bdms }
+    }
+
+    pub fn bdms(&self) -> &Bdms {
+        &self.bdms
+    }
+
+    pub fn bdms_mut(&mut self) -> &mut Bdms {
+        &mut self.bdms
+    }
+
+    /// Register a user (not part of the Fig. 1 grammar; the paper manages
+    /// users out of band, Sect. 5.3).
+    pub fn add_user(&mut self, name: impl Into<String>) -> Result<beliefdb_core::UserId> {
+        Ok(self.bdms.add_user(name)?)
+    }
+
+    /// Parse and execute one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecResult> {
+        match parse(sql)? {
+            Statement::Select(sel) => self.run_select(&sel),
+            Statement::Insert(ins) => self.run_insert(&ins),
+            Statement::Delete(del) => self.run_delete(&del),
+            Statement::Update(up) => self.run_update(&up),
+        }
+    }
+
+    /// Parse and execute a read-only statement.
+    pub fn query(&self, sql: &str) -> Result<ExecResult> {
+        match parse(sql)? {
+            Statement::Select(sel) => self.run_select(&sel),
+            _ => Err(SqlError::Lower("query() only accepts SELECT statements".into())),
+        }
+    }
+
+    /// EXPLAIN: show how a SELECT lowers — the belief conjunctive query and
+    /// the non-recursive Datalog program Algorithm 1 produces for it.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let Statement::Select(sel) = parse(sql)? else {
+            return Err(SqlError::Lower("explain() only accepts SELECT statements".into()));
+        };
+        let lowered = SelectLowerer::lower(&self.bdms, &sel)?;
+        let mut out = String::new();
+        match &lowered.query {
+            None => out.push_str("-- contradictory constants: empty result\n"),
+            Some(q) => {
+                out.push_str(&format!("-- belief conjunctive query (Def. 13):\n{q}\n\n"));
+                let translated = self.bdms.translate(q)?;
+                out.push_str("-- Algorithm 1 translation (non-recursive Datalog over R*):\n");
+                out.push_str(&translated.program.to_string());
+            }
+        }
+        Ok(out)
+    }
+
+    fn run_select(&self, sel: &SelectStmt) -> Result<ExecResult> {
+        let lowered = SelectLowerer::lower(&self.bdms, sel)?;
+        let rows = match &lowered.query {
+            None => Vec::new(), // contradictory constants: empty result
+            Some(q) => self.bdms.query(q)?,
+        };
+        Ok(ExecResult::Rows { columns: lowered.columns, rows })
+    }
+
+    fn run_insert(&mut self, ins: &InsertStmt) -> Result<ExecResult> {
+        let (path, sign) = lower_dml_prefix(&self.bdms, &ins.prefix)?;
+        let rel = self.bdms.schema().relation_id(&ins.table)?;
+        let row = Row::new(ins.values.iter().map(|l| l.to_value()).collect::<Vec<_>>());
+        let outcome = self.bdms.insert(path, rel, row, sign)?;
+        Ok(ExecResult::Inserted(outcome))
+    }
+
+    fn run_delete(&mut self, del: &DeleteStmt) -> Result<ExecResult> {
+        let (path, sign) = lower_dml_prefix(&self.bdms, &del.prefix)?;
+        let rel = self.bdms.schema().relation_id(&del.table)?;
+        let binding = del.alias.as_deref().unwrap_or(&del.table);
+        let matcher = RowMatcher::new(&self.bdms, rel, binding, &del.conditions)?;
+
+        let victims: Vec<GroundTuple> = self
+            .bdms
+            .explicit_statements_at(&path)?
+            .into_iter()
+            .filter(|s| s.tuple.rel == rel && s.sign == sign && matcher.matches(&s.tuple.row))
+            .map(|s| s.tuple)
+            .collect();
+        let mut deleted = 0;
+        for t in victims {
+            if self.bdms.delete(path.clone(), rel, t.row, sign)? {
+                deleted += 1;
+            }
+        }
+        Ok(ExecResult::Deleted(deleted))
+    }
+
+    fn run_update(&mut self, up: &UpdateStmt) -> Result<ExecResult> {
+        let (path, sign) = lower_dml_prefix(&self.bdms, &up.prefix)?;
+        let rel = self.bdms.schema().relation_id(&up.table)?;
+        let def = self.bdms.schema().relation(rel)?;
+        let binding = up.alias.as_deref().unwrap_or(&up.table);
+        let matcher = RowMatcher::new(&self.bdms, rel, binding, &up.conditions)?;
+
+        let mut assignments: Vec<(usize, Value)> = Vec::with_capacity(up.assignments.len());
+        for (col, lit) in &up.assignments {
+            let idx = def.column_index(col).ok_or_else(|| {
+                SqlError::Lower(format!("no column `{col}` in `{}`", up.table))
+            })?;
+            if idx == 0 {
+                return Err(SqlError::Lower(
+                    "cannot update the external key; insert a new tuple instead".into(),
+                ));
+            }
+            assignments.push((idx, lit.to_value()));
+        }
+
+        // Positive updates revise what the world *believes* (Sect. 2's
+        // "correct a sighting" semantics); negative updates rewrite stated
+        // negatives.
+        let targets: Vec<Row> = match sign {
+            Sign::Pos => self
+                .bdms
+                .world(&path)?
+                .pos_tuples()
+                .filter(|t| t.rel == rel && matcher.matches(&t.row))
+                .map(|t| t.row)
+                .collect(),
+            Sign::Neg => self
+                .bdms
+                .explicit_statements_at(&path)?
+                .into_iter()
+                .filter(|s| {
+                    s.tuple.rel == rel && s.sign == Sign::Neg && matcher.matches(&s.tuple.row)
+                })
+                .map(|s| s.tuple.row)
+                .collect(),
+        };
+
+        let mut updated = 0;
+        for old in targets {
+            let mut vals: Vec<Value> = old.values().to_vec();
+            for (idx, v) in &assignments {
+                vals[*idx] = v.clone();
+            }
+            let new = Row::new(vals);
+            if new == old {
+                continue;
+            }
+            match sign {
+                Sign::Pos => {
+                    self.bdms.update(path.clone(), rel, old, new)?;
+                }
+                Sign::Neg => {
+                    self.bdms.delete(path.clone(), rel, old, Sign::Neg)?;
+                    self.bdms.insert(path.clone(), rel, new, Sign::Neg)?;
+                }
+            }
+            updated += 1;
+        }
+        Ok(ExecResult::Updated(updated))
+    }
+}
+
+/// Evaluates a DML WHERE clause against single-table rows.
+struct RowMatcher {
+    conds: Vec<(CondSide, beliefdb_storage::CmpOp, CondSide)>,
+}
+
+enum CondSide {
+    Col(usize),
+    Lit(Value),
+}
+
+impl RowMatcher {
+    fn new(
+        bdms: &Bdms,
+        rel: beliefdb_core::RelId,
+        binding: &str,
+        conditions: &[Condition],
+    ) -> Result<Self> {
+        let def = bdms.schema().relation(rel)?;
+        let resolve = |c: &ColumnRef| -> Result<usize> {
+            if let Some(q) = &c.qualifier {
+                if q != binding {
+                    return Err(SqlError::Lower(format!(
+                        "unknown alias `{q}` in single-table statement"
+                    )));
+                }
+            }
+            def.column_index(&c.column)
+                .ok_or_else(|| SqlError::Lower(format!("no column `{}`", c.column)))
+        };
+        let mut conds = Vec::with_capacity(conditions.len());
+        for c in conditions {
+            let side = |o: &Operand| -> Result<CondSide> {
+                Ok(match o {
+                    Operand::Column(c) => CondSide::Col(resolve(c)?),
+                    Operand::Literal(l) => CondSide::Lit(l.to_value()),
+                })
+            };
+            conds.push((side(&c.left)?, c.op, side(&c.right)?));
+        }
+        Ok(RowMatcher { conds })
+    }
+
+    fn matches(&self, row: &Row) -> bool {
+        self.conds.iter().all(|(l, op, r)| {
+            let val = |s: &CondSide| match s {
+                CondSide::Col(i) => row[*i].clone(),
+                CondSide::Lit(v) => v.clone(),
+            };
+            op.eval(&val(l), &val(r))
+        })
+    }
+}

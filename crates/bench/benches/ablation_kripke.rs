@@ -1,0 +1,49 @@
+//! Ablation B: canonical Kripke construction cost (Thm. 17(2): `O(m^d n)`).
+//!
+//! Sweeps the number of users `m` and the annotation count `n` and measures
+//! `CanonicalKripke::build` over the logical belief database.
+
+use beliefdb_core::CanonicalKripke;
+use beliefdb_gen::{generate_logical, DepthDist, GeneratorConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canonical_build");
+    group.sample_size(10);
+
+    // Sweep n at fixed m.
+    for n in [100usize, 400, 1600] {
+        let cfg = GeneratorConfig::new(10, n).with_seed(42);
+        let (db, _) = generate_logical(&cfg).expect("generation failed");
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("by_n_m10", n), &db, |b, db| {
+            b.iter(|| std::hint::black_box(CanonicalKripke::build(db).state_count()))
+        });
+    }
+
+    // Sweep m at fixed n.
+    for m in [5usize, 20, 80] {
+        let cfg = GeneratorConfig::new(m, 500).with_seed(42);
+        let (db, _) = generate_logical(&cfg).expect("generation failed");
+        group.bench_with_input(BenchmarkId::new("by_m_n500", m), &db, |b, db| {
+            b.iter(|| std::hint::black_box(CanonicalKripke::build(db).state_count()))
+        });
+    }
+
+    // Depth matters: deeper annotations -> more states.
+    for (label, depth) in [
+        ("d<=1", DepthDist::new(&[0.5, 0.5])),
+        ("d<=2", DepthDist::uniform_012()),
+        ("d<=4", DepthDist::table2_mix()),
+    ] {
+        let cfg = GeneratorConfig::new(10, 500).with_depth(depth).with_seed(42);
+        let (db, _) = generate_logical(&cfg).expect("generation failed");
+        group.bench_with_input(BenchmarkId::new("by_depth_n500", label), &db, |b, db| {
+            b.iter(|| std::hint::black_box(CanonicalKripke::build(db).state_count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Ablation D: eager vs. lazy application of the default rule — the
+//! trade-off the paper proposes to explore in Sect. 6.3.
+//!
+//! * **eager** (`Bdms`): inserts propagate to every dependent world
+//!   (`|R*| = O(n·N)`), queries are pure relational joins;
+//! * **lazy** (`LazyBdms`): inserts are O(1) and storage is O(n), queries
+//!   pay the closure walk per touched world.
+
+use beliefdb_bench::table2_queries;
+use beliefdb_core::{Bdms, LazyBdms};
+use beliefdb_gen::scenarios::table2_config;
+use beliefdb_gen::{experiment_schema, CandidateStream};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_lazy_vs_eager(c: &mut Criterion) {
+    let n = 500usize;
+    let cfg = table2_config(n, 42);
+    let mut stream = CandidateStream::new(&cfg);
+    let stmts: Vec<_> = (0..n).map(|_| stream.next_candidate()).collect();
+
+    // ---- ingest cost ------------------------------------------------------
+    let mut group = c.benchmark_group("lazy_vs_eager_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function(BenchmarkId::new("eager", n), |b| {
+        b.iter(|| {
+            let mut bdms = Bdms::new(experiment_schema()).unwrap();
+            for i in 1..=cfg.users {
+                bdms.add_user(format!("u{i}")).unwrap();
+            }
+            for s in &stmts {
+                let _ = bdms.insert_statement(s).unwrap();
+            }
+            std::hint::black_box(bdms.stats().total_tuples)
+        })
+    });
+    group.bench_function(BenchmarkId::new("lazy", n), |b| {
+        b.iter(|| {
+            let mut lazy = LazyBdms::new(experiment_schema());
+            for i in 1..=cfg.users {
+                lazy.add_user(format!("u{i}")).unwrap();
+            }
+            for s in &stmts {
+                let _ = lazy.insert_statement(s).unwrap();
+            }
+            std::hint::black_box(lazy.stored_tuples())
+        })
+    });
+    group.finish();
+
+    // ---- query cost -------------------------------------------------------
+    let mut eager = Bdms::new(experiment_schema()).unwrap();
+    let mut lazy = LazyBdms::new(experiment_schema());
+    for i in 1..=cfg.users {
+        eager.add_user(format!("u{i}")).unwrap();
+        lazy.add_user(format!("u{i}")).unwrap();
+    }
+    for s in &stmts {
+        let _ = eager.insert_statement(s).unwrap();
+        let _ = lazy.insert_statement(s).unwrap();
+    }
+    let queries = table2_queries(&eager).unwrap();
+    let mut group = c.benchmark_group("lazy_vs_eager_query");
+    group.sample_size(10);
+    for (name, q) in &queries {
+        group.bench_with_input(BenchmarkId::new("eager", name), q, |b, q| {
+            b.iter(|| std::hint::black_box(eager.query(q).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("lazy", name), q, |b, q| {
+            b.iter(|| std::hint::black_box(lazy.query(q).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lazy_vs_eager);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Run every experiment at a configurable scale and print all reports.
+//!
+//! Usage: `cargo run -p beliefdb-bench --release --bin all_experiments -- \
+//!         [--n 10000] [--seeds 3] [--reps 50]`
+
+use beliefdb_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_usize(&args, "--n", 10_000);
+    let seeds: Vec<u64> = (0..arg_usize(&args, "--seeds", 3) as u64).map(|i| 42 + i).collect();
+    let reps = arg_usize(&args, "--reps", 50);
+
+    println!("=== Table 1 ===");
+    let rows = run_table1(n, &seeds).expect("table1");
+    println!("{}", format_table1(&rows, n));
+
+    println!("=== Figure 6 ===");
+    let mut ns = vec![10, 33, 100, 333, 1000, 3333];
+    if n >= 10_000 {
+        ns.push(10_000);
+    }
+    let series = run_fig6(&ns, seeds[0]).expect("fig6");
+    println!("{}", format_fig6(&series));
+
+    println!("=== Table 2 ===");
+    let (bdms, rows) = run_table2(n, seeds[0], reps).expect("table2");
+    println!("{}", format_table2(&rows, n, bdms.stats().total_tuples));
+}

@@ -1,0 +1,31 @@
+//! Reproduce Figure 6: |R*|/n as a function of the number of annotations n
+//! (100 users, uniform participation, two depth distributions).
+//!
+//! Usage: `cargo run -p beliefdb-bench --release --bin fig6 -- \
+//!         [--max 10000] [--seed 42]`
+
+use beliefdb_bench::{arg_u64, arg_usize, format_fig6, run_fig6};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max = arg_usize(&args, "--max", 10_000);
+    let seed = arg_u64(&args, "--seed", 42);
+    // Log-spaced n values from 10 up to --max, as in the paper's log-log plot.
+    let mut ns = Vec::new();
+    let mut n = 10usize;
+    while n <= max {
+        ns.push(n);
+        ns.push((n * 10 / 3).min(max));
+        n *= 10;
+    }
+    ns.dedup();
+    ns.retain(|&x| x <= max);
+    eprintln!("running Figure 6 sweep over n = {ns:?}");
+    let start = std::time::Instant::now();
+    let series = run_fig6(&ns, seed).expect("fig6 run failed");
+    println!("{}", format_fig6(&series));
+    println!("paper shape: the uniform-depth series grows with n toward its");
+    println!("O(m^dmax) cap; the skewed series *decreases* with n (the fixed");
+    println!("per-user cost amortizes).");
+    eprintln!("total time: {:.1?}", start.elapsed());
+}

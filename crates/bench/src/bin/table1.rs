@@ -1,0 +1,25 @@
+//! Reproduce Table 1: relative overhead |R*|/n.
+//!
+//! Usage: `cargo run -p beliefdb-bench --release --bin table1 -- \
+//!         [--n 10000] [--seeds 3]`
+//!
+//! The paper uses n = 10,000 and averages each cell over 10 databases; the
+//! defaults match n and use 3 seeds to keep the run in minutes.
+
+use beliefdb_bench::{arg_u64, arg_usize, format_table1, run_table1};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_usize(&args, "--n", 10_000);
+    let seed0 = arg_u64(&args, "--seed", 42);
+    let seeds: Vec<u64> = (0..arg_usize(&args, "--seeds", 3) as u64).map(|i| seed0 + i).collect();
+    eprintln!("generating {} databases with n = {n} annotations each ...", seeds.len() * 12);
+    let start = std::time::Instant::now();
+    let rows = run_table1(n, &seeds).expect("table 1 run failed");
+    println!("{}", format_table1(&rows, n));
+    println!("paper values (n = 10,000):");
+    println!("  [1/3, 1/3, 1/3]       |  31  38 | 130 1009");
+    println!("  [0.8, 0.19, 0.01]     |  27  60 |  68  162");
+    println!("  [0.199, 0.8, 0.001]   |   7   6 |  21   26");
+    eprintln!("total time: {:.1?}", start.elapsed());
+}

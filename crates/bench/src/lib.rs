@@ -1,0 +1,385 @@
+//! # beliefdb-bench
+//!
+//! The experiment harness reproducing the paper's evaluation (Sect. 6):
+//!
+//! * **Table 1** — relative overhead `|R*|/n` for `n = 10,000` annotations,
+//!   `m ∈ {10, 100}` users, Zipf vs. uniform participation, three depth
+//!   distributions ([`run_table1`]);
+//! * **Figure 6** — `|R*|/n` as a function of `n` for two depth
+//!   distributions ([`run_fig6`]);
+//! * **Table 2** — latency and result sizes of the seven example queries
+//!   `q1,0..q1,4`, `q2`, `q3` ([`run_table2`]);
+//! * ablations (criterion benches) comparing evaluation strategies,
+//!   canonical-construction cost, and insert strategies.
+//!
+//! Binaries (`table1`, `fig6`, `table2`, `all_experiments`) print
+//! paper-style reports; criterion benches wrap the same code paths.
+
+use beliefdb_core::bcq::dsl::*;
+use beliefdb_core::bcq::Bcq;
+use beliefdb_core::{Bdms, Result, UserId};
+use beliefdb_gen::scenarios::{fig6_series, table1_cells, table2_config};
+use beliefdb_gen::{generate_bdms, GeneratorConfig};
+use std::time::{Duration, Instant};
+
+/// One measured cell of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    pub depth_label: &'static str,
+    pub users: usize,
+    pub zipf: bool,
+    /// Mean relative overhead `|R*|/n` over the seeds.
+    pub overhead: f64,
+    /// Per-seed values (for dispersion reporting).
+    pub samples: Vec<f64>,
+}
+
+/// Run the Table 1 grid: `n` annotations per database, averaging over
+/// `seeds` generated databases per cell (the paper averages over 10).
+pub fn run_table1(n: usize, seeds: &[u64]) -> Result<Vec<Table1Row>> {
+    let mut rows: Vec<Table1Row> = Vec::new();
+    for seed in seeds {
+        for cell in table1_cells(n, *seed) {
+            let (bdms, report) = generate_bdms(&cell.config)?;
+            debug_assert_eq!(report.accepted, n);
+            let overhead = bdms.stats().relative_overhead(n);
+            match rows.iter_mut().find(|r| {
+                r.depth_label == cell.depth_label && r.users == cell.users && r.zipf == cell.zipf
+            }) {
+                Some(row) => row.samples.push(overhead),
+                None => rows.push(Table1Row {
+                    depth_label: cell.depth_label,
+                    users: cell.users,
+                    zipf: cell.zipf,
+                    overhead: 0.0,
+                    samples: vec![overhead],
+                }),
+            }
+        }
+    }
+    for row in &mut rows {
+        row.overhead = row.samples.iter().sum::<f64>() / row.samples.len() as f64;
+    }
+    Ok(rows)
+}
+
+/// Render Table 1 in the paper's layout.
+pub fn format_table1(rows: &[Table1Row], n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 1: relative overhead |R*|/n for n = {n} annotations\n"
+    ));
+    out.push_str(&format!(
+        "{:<22} | {:>10} {:>10} | {:>10} {:>10}\n",
+        "Pr[d = {0,1,2}]", "m=10 Zipf", "m=10 unif", "m=100 Zipf", "m=100 unif"
+    ));
+    out.push_str(&"-".repeat(70));
+    out.push('\n');
+    for depth in ["[1/3, 1/3, 1/3]", "[0.8, 0.19, 0.01]", "[0.199, 0.8, 0.001]"] {
+        let cell = |users: usize, zipf: bool| -> String {
+            rows.iter()
+                .find(|r| r.depth_label == depth && r.users == users && r.zipf == zipf)
+                .map(|r| format!("{:.0}", r.overhead))
+                .unwrap_or_else(|| "-".into())
+        };
+        out.push_str(&format!(
+            "{:<22} | {:>10} {:>10} | {:>10} {:>10}\n",
+            depth,
+            cell(10, true),
+            cell(10, false),
+            cell(100, true),
+            cell(100, false)
+        ));
+    }
+    out
+}
+
+/// One point of Figure 6.
+#[derive(Debug, Clone)]
+pub struct Fig6Point {
+    pub n: usize,
+    pub overhead: f64,
+}
+
+/// One series of Figure 6.
+#[derive(Debug, Clone)]
+pub struct Fig6Series {
+    pub label: &'static str,
+    pub points: Vec<Fig6Point>,
+}
+
+/// Run the Figure 6 sweep: overhead vs. number of annotations, 100 users,
+/// uniform participation, two depth distributions.
+pub fn run_fig6(ns: &[usize], seed: u64) -> Result<Vec<Fig6Series>> {
+    let mut out = Vec::new();
+    for (label, configs) in fig6_series(ns, seed) {
+        let mut points = Vec::with_capacity(configs.len());
+        for cfg in configs {
+            let n = cfg.annotations;
+            let (bdms, _) = generate_bdms(&cfg)?;
+            points.push(Fig6Point { n, overhead: bdms.stats().relative_overhead(n) });
+        }
+        out.push(Fig6Series { label, points });
+    }
+    Ok(out)
+}
+
+/// Render Figure 6 as a data table.
+pub fn format_fig6(series: &[Fig6Series]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 6: relative overhead |R*|/n vs. number of annotations n\n");
+    out.push_str("(100 users, uniform participation)\n\n");
+    for s in series {
+        out.push_str(&format!("series: {}\n", s.label));
+        out.push_str(&format!("{:>10} | {:>12}\n", "n", "|R*|/n"));
+        for p in &s.points {
+            out.push_str(&format!("{:>10} | {:>12.1}\n", p.n, p.overhead));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The seven example queries of Sect. 6.2 over the experiment schema
+/// `S(sid, uid, species, date, location)`.
+///
+/// * `q1,d` — content query "what does world `w` (|w| = d) believe",
+///   projecting `(sid, species)`;
+/// * `q2` — conflict query `2·1 S+ ∧ 2 S−` (what Bob believes Alice
+///   believes but does not believe himself);
+/// * `q3` — user query: who disagrees with a belief of user 1 at a fixed
+///   location (the query variable only occurs in the belief path of a
+///   negative subgoal).
+pub fn table2_queries(bdms: &Bdms) -> Result<Vec<(String, Bcq)>> {
+    let s = bdms.schema().relation_id("S")?;
+    let schema = bdms.schema();
+    let mut queries = Vec::new();
+
+    // q1,d for d = 0..4 with alternating constant paths ending like the
+    // paper's examples (ε, 1, 2·1, 1·2·1, 2·1·2·1).
+    let paths: [Vec<UserId>; 5] = [
+        vec![],
+        vec![UserId(1)],
+        vec![UserId(2), UserId(1)],
+        vec![UserId(1), UserId(2), UserId(1)],
+        vec![UserId(2), UserId(1), UserId(2), UserId(1)],
+    ];
+    for (d, users) in paths.iter().enumerate() {
+        let path = users.iter().map(|u| pu(*u)).collect::<Vec<_>>();
+        let q = Bcq::builder(vec![qv("x"), qv("y")])
+            .positive(path, s, vec![qv("x"), qany(), qv("y"), qany(), qany()])
+            .build(schema)?;
+        queries.push((format!("q1,{d}"), q));
+    }
+
+    // q2: conflicts between "Bob believes Alice believes" and "Bob believes".
+    let args = vec![qv("x"), qv("z"), qv("y"), qv("u"), qv("v")];
+    let q2 = Bcq::builder(vec![qv("x"), qv("y")])
+        .positive(vec![pu(UserId(2)), pu(UserId(1))], s, args.clone())
+        .negative(vec![pu(UserId(2))], s, args)
+        .build(schema)?;
+    queries.push(("q2".into(), q2));
+
+    // q3: users disagreeing with user 1's beliefs at location 'loc0'.
+    let args = vec![qv("y"), qv("z"), qv("u"), qv("v"), qc("loc0")];
+    let q3 = Bcq::builder(vec![qv("x")])
+        .negative(vec![pv("x")], s, args.clone())
+        .positive(vec![pu(UserId(1))], s, args)
+        .build(schema)?;
+    queries.push(("q3".into(), q3));
+
+    Ok(queries)
+}
+
+/// One measured query of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    pub name: String,
+    pub mean: Duration,
+    pub stddev: Duration,
+    pub result_size: usize,
+}
+
+/// Run Table 2: build the `n`-annotation database, execute each query
+/// `reps` times, report mean/σ latency and result sizes.
+pub fn run_table2(n: usize, seed: u64, reps: usize) -> Result<(Bdms, Vec<Table2Row>)> {
+    let cfg = table2_config(n, seed);
+    let (bdms, _) = generate_bdms(&cfg)?;
+    let rows = run_table2_queries(&bdms, reps)?;
+    Ok((bdms, rows))
+}
+
+/// Measure the Table 2 queries against an existing database.
+pub fn run_table2_queries(bdms: &Bdms, reps: usize) -> Result<Vec<Table2Row>> {
+    let queries = table2_queries(bdms)?;
+    let mut out = Vec::with_capacity(queries.len());
+    for (name, q) in queries {
+        let mut samples = Vec::with_capacity(reps);
+        let mut result_size = 0;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            let rows = bdms.query(&q)?;
+            samples.push(start.elapsed());
+            result_size = rows.len();
+        }
+        let mean_nanos = samples.iter().map(|d| d.as_nanos()).sum::<u128>()
+            / samples.len() as u128;
+        let var = samples
+            .iter()
+            .map(|d| {
+                let diff = d.as_nanos() as f64 - mean_nanos as f64;
+                diff * diff
+            })
+            .sum::<f64>()
+            / samples.len() as f64;
+        out.push(Table2Row {
+            name,
+            mean: Duration::from_nanos(mean_nanos as u64),
+            stddev: Duration::from_nanos(var.sqrt() as u64),
+            result_size,
+        });
+    }
+    Ok(out)
+}
+
+/// Render Table 2 in the paper's layout.
+pub fn format_table2(rows: &[Table2Row], n: usize, total_tuples: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 2: query latency over a belief database with {n} annotations \
+         ({total_tuples} internal tuples, overhead {:.1})\n",
+        total_tuples as f64 / n.max(1) as f64
+    ));
+    out.push_str(&format!("{:<8}", ""));
+    for r in rows {
+        out.push_str(&format!("{:>10}", r.name));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<8}", "E(ms)"));
+    for r in rows {
+        out.push_str(&format!("{:>10.2}", r.mean.as_secs_f64() * 1e3));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<8}", "sd(ms)"));
+    for r in rows {
+        out.push_str(&format!("{:>10.2}", r.stddev.as_secs_f64() * 1e3));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<8}", "rows"));
+    for r in rows {
+        out.push_str(&format!("{:>10}", r.result_size));
+    }
+    out.push('\n');
+    out
+}
+
+/// Parse `--flag value` style arguments with defaults (tiny helper shared
+/// by the experiment binaries; avoids a CLI dependency).
+pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// See [`arg_usize`].
+pub fn arg_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Default generator config used by the storage/insert ablations.
+pub fn ablation_config(n: usize, users: usize, seed: u64) -> GeneratorConfig {
+    GeneratorConfig::new(users, n).with_seed(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_runs_at_small_scale() {
+        let rows = run_table1(60, &[1, 2]).unwrap();
+        assert_eq!(rows.len(), 12);
+        for r in &rows {
+            assert_eq!(r.samples.len(), 2);
+            assert!(r.overhead >= 1.0, "|R*| at least stores the annotations");
+        }
+        let rendered = format_table1(&rows, 60);
+        assert!(rendered.contains("m=100 Zipf"));
+        assert!(rendered.contains("[0.8, 0.19, 0.01]"));
+    }
+
+    #[test]
+    fn table1_zipf_cheaper_than_uniform_at_m100() {
+        // The paper's headline shape: with many users and uniform
+        // participation the overhead explodes; Zipf concentration tames it.
+        let rows = run_table1(300, &[7]).unwrap();
+        let get = |zipf: bool| {
+            rows.iter()
+                .find(|r| r.depth_label == "[1/3, 1/3, 1/3]" && r.users == 100 && r.zipf == zipf)
+                .unwrap()
+                .overhead
+        };
+        assert!(
+            get(true) < get(false),
+            "Zipf {} should be below uniform {}",
+            get(true),
+            get(false)
+        );
+    }
+
+    #[test]
+    fn fig6_runs_and_formats() {
+        let series = run_fig6(&[20, 80], 3).unwrap();
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert_eq!(s.points.len(), 2);
+        }
+        let rendered = format_fig6(&series);
+        assert!(rendered.contains("Figure 6"));
+        assert!(rendered.contains("|R*|/n"));
+    }
+
+    #[test]
+    fn table2_queries_cover_the_seven_shapes() {
+        let cfg = beliefdb_gen::scenarios::table2_config(200, 5);
+        let (bdms, _) = generate_bdms(&cfg).unwrap();
+        let queries = table2_queries(&bdms).unwrap();
+        assert_eq!(queries.len(), 7);
+        assert_eq!(queries[0].0, "q1,0");
+        assert_eq!(queries[4].0, "q1,4");
+        assert_eq!(queries[5].0, "q2");
+        assert_eq!(queries[6].0, "q3");
+        // every query translates and runs
+        for (name, q) in &queries {
+            let rows = bdms.query(q);
+            assert!(rows.is_ok(), "query {name} failed: {rows:?}");
+        }
+    }
+
+    #[test]
+    fn table2_harness_reports_rows() {
+        let (bdms, rows) = run_table2(200, 5, 2).unwrap();
+        assert_eq!(rows.len(), 7);
+        let rendered = format_table2(&rows, 200, bdms.stats().total_tuples);
+        assert!(rendered.contains("q1,0"));
+        assert!(rendered.contains("E(ms)"));
+        // content queries should return something on a populated database
+        assert!(rows[1].result_size > 0, "q1,1 empty: {rows:?}");
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = vec!["--n".into(), "500".into(), "--seed".into(), "9".into()];
+        assert_eq!(arg_usize(&args, "--n", 10), 500);
+        assert_eq!(arg_usize(&args, "--missing", 10), 10);
+        assert_eq!(arg_u64(&args, "--seed", 1), 9);
+        let bad: Vec<String> = vec!["--n".into(), "xyz".into()];
+        assert_eq!(arg_usize(&bad, "--n", 3), 3);
+    }
+}

@@ -1,0 +1,385 @@
+//! The Belief Database Management System facade.
+//!
+//! `Bdms` is the paper's prototype system: an external schema, a user
+//! registry, statement-level updates (Algorithms 2–4) against the
+//! materialized relational representation, and BCQ evaluation through the
+//! Algorithm 1 translation. This is the type applications interact with;
+//! `beliefdb-sql` layers the BeliefSQL surface syntax on top of it.
+
+use crate::bcq::{self, Bcq};
+use crate::canonical::CanonicalKripke;
+use crate::database::BeliefDatabase;
+use crate::error::Result;
+use crate::ids::{RelId, UserId};
+use crate::internal::{InsertOutcome, InternalStore};
+use crate::path::BeliefPath;
+use crate::schema::ExternalSchema;
+use crate::statement::{BeliefStatement, GroundTuple, Sign};
+use crate::world::BeliefWorld;
+use beliefdb_storage::{Database, Row};
+
+/// Size report for the internal database (`|R*|` of Sect. 5.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeStats {
+    /// Total internal tuples — the paper's size measure.
+    pub total_tuples: usize,
+    /// Per-table breakdown, sorted by table name.
+    pub per_table: Vec<(String, usize)>,
+    /// Number of belief worlds (states of the canonical structure).
+    pub worlds: usize,
+    /// Number of registered users.
+    pub users: usize,
+}
+
+impl SizeStats {
+    /// The relative overhead `|R*| / n` for a given annotation count.
+    pub fn relative_overhead(&self, annotations: usize) -> f64 {
+        if annotations == 0 {
+            return 0.0;
+        }
+        self.total_tuples as f64 / annotations as f64
+    }
+}
+
+/// A Belief Database Management System instance.
+pub struct Bdms {
+    store: InternalStore,
+}
+
+impl std::fmt::Debug for Bdms {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bdms")
+            .field("users", &self.store.user_count())
+            .field("worlds", &self.store.directory().len())
+            .field("total_tuples", &self.store.total_tuples())
+            .finish()
+    }
+}
+
+impl Bdms {
+    /// Create a BDMS over an external schema.
+    pub fn new(schema: ExternalSchema) -> Result<Self> {
+        Ok(Bdms { store: InternalStore::new(schema)? })
+    }
+
+    /// Create a BDMS preloaded with a logical belief database.
+    pub fn from_belief_database(db: &BeliefDatabase) -> Result<Self> {
+        let mut bdms = Bdms::new(db.schema().clone())?;
+        for u in db.users() {
+            bdms.add_user(db.user_name(u)?.to_string())?;
+        }
+        for stmt in db.statements() {
+            bdms.insert_statement(&stmt)?;
+        }
+        Ok(bdms)
+    }
+
+    pub fn schema(&self) -> &ExternalSchema {
+        self.store.schema()
+    }
+
+    /// Register a new user (Sect. 5.3).
+    pub fn add_user(&mut self, name: impl Into<String>) -> Result<UserId> {
+        self.store.add_user(name)
+    }
+
+    pub fn user_by_name(&self, name: &str) -> Result<UserId> {
+        self.store.user_by_name(name)
+    }
+
+    pub fn user_name(&self, id: UserId) -> Result<&str> {
+        self.store.user_name(id)
+    }
+
+    pub fn users(&self) -> Vec<UserId> {
+        self.store.users().collect()
+    }
+
+    /// Insert a belief statement `w t^s` (Algorithm 4).
+    pub fn insert(
+        &mut self,
+        path: BeliefPath,
+        rel: RelId,
+        row: Row,
+        sign: Sign,
+    ) -> Result<InsertOutcome> {
+        let tuple = GroundTuple::new(rel, row);
+        self.store.insert(&path, &tuple, sign)
+    }
+
+    /// Insert a prebuilt statement.
+    pub fn insert_statement(&mut self, stmt: &BeliefStatement) -> Result<InsertOutcome> {
+        self.store.insert_statement(stmt)
+    }
+
+    /// Delete an explicit statement; returns whether it was present.
+    pub fn delete(
+        &mut self,
+        path: BeliefPath,
+        rel: RelId,
+        row: Row,
+        sign: Sign,
+    ) -> Result<bool> {
+        let tuple = GroundTuple::new(rel, row);
+        self.store.delete(&path, &tuple, sign)
+    }
+
+    pub fn delete_statement(&mut self, stmt: &BeliefStatement) -> Result<bool> {
+        self.store.delete_statement(stmt)
+    }
+
+    /// Update: replace an explicit positive tuple at `path` by a new tuple
+    /// with the same key (the conflicting-alternative semantics of Sect. 2).
+    /// If the old tuple was only implicit, the new tuple simply overrides
+    /// it. Returns the outcome of the final insert.
+    pub fn update(
+        &mut self,
+        path: BeliefPath,
+        rel: RelId,
+        old_row: Row,
+        new_row: Row,
+    ) -> Result<InsertOutcome> {
+        let old = GroundTuple::new(rel, old_row);
+        let new = GroundTuple::new(rel, new_row);
+        self.store.delete(&path, &old, Sign::Pos)?;
+        self.store.insert(&path, &new, Sign::Pos)
+    }
+
+    /// Evaluate a belief conjunctive query via the Algorithm 1 translation.
+    pub fn query(&self, q: &Bcq) -> Result<Vec<Row>> {
+        bcq::translate::evaluate(&self.store, q)
+    }
+
+    /// Evaluate via the naive Def. 14 evaluator (reference semantics; used
+    /// by tests and the evaluation-strategy ablation).
+    pub fn query_naive(&self, q: &Bcq) -> Result<Vec<Row>> {
+        let logical = self.store.to_belief_database()?;
+        let mut rows = bcq::naive::evaluate(&logical, q)?;
+        rows.sort();
+        Ok(rows)
+    }
+
+    /// Translate a query without executing it (for inspection).
+    pub fn translate(&self, q: &Bcq) -> Result<bcq::translate::TranslatedQuery> {
+        bcq::translate::translate(&self.store, q)
+    }
+
+    /// World-level entailment `D |= ϕ` (Thm. 17 walk + Prop. 7 check).
+    pub fn entails(&self, stmt: &BeliefStatement) -> Result<bool> {
+        self.store.entails(&stmt.path, &stmt.tuple, stmt.sign)
+    }
+
+    /// Materialize the entailed belief world at a path.
+    pub fn world(&self, path: &BeliefPath) -> Result<BeliefWorld> {
+        self.store.world(path)
+    }
+
+    /// The explicit statements recorded at a path.
+    pub fn explicit_statements_at(&self, path: &BeliefPath) -> Result<Vec<BeliefStatement>> {
+        self.store.explicit_statements_at(path)
+    }
+
+    /// Size statistics (`|R*|`, Sect. 5.4 / Sect. 6.1).
+    pub fn stats(&self) -> SizeStats {
+        SizeStats {
+            total_tuples: self.store.total_tuples(),
+            per_table: self.store.table_sizes(),
+            worlds: self.store.directory().len(),
+            users: self.store.user_count(),
+        }
+    }
+
+    /// Read-only access to the internal relational database.
+    pub fn storage(&self) -> &Database {
+        self.store.database()
+    }
+
+    /// Read-only access to the internal store (advanced / benches).
+    pub fn internal(&self) -> &InternalStore {
+        &self.store
+    }
+
+    /// Extract the logical belief database (explicit statements).
+    pub fn to_belief_database(&self) -> Result<BeliefDatabase> {
+        self.store.to_belief_database()
+    }
+
+    /// Build the in-memory canonical Kripke structure for the current
+    /// contents (Def. 16) — the logical counterpart of what the store
+    /// materializes relationally.
+    pub fn canonical_kripke(&self) -> Result<CanonicalKripke> {
+        Ok(CanonicalKripke::build(&self.to_belief_database()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcq::dsl::*;
+    use crate::database::running_example;
+    use crate::path::path;
+    use beliefdb_storage::row;
+
+    fn running_bdms() -> (Bdms, UserId, UserId, UserId) {
+        let (db, a, b, c) = running_example();
+        (Bdms::from_belief_database(&db).unwrap(), a, b, c)
+    }
+
+    #[test]
+    fn from_belief_database_round_trips() {
+        let (db, ..) = running_example();
+        let bdms = Bdms::from_belief_database(&db).unwrap();
+        let back = bdms.to_belief_database().unwrap();
+        assert_eq!(back.statements(), db.statements());
+        assert_eq!(back.user_count(), 3);
+    }
+
+    #[test]
+    fn store_worlds_match_closure_worlds() {
+        // The central differential test: every state's V-slice equals the
+        // closure's entailed world.
+        let (bdms, ..) = running_bdms();
+        let logical = bdms.to_belief_database().unwrap();
+        let mut closure = crate::closure::Closure::new(&logical);
+        for p in logical.states() {
+            let materialized = bdms.world(&p).unwrap();
+            let reference = closure.entailed_world(&p).clone();
+            assert_eq!(materialized, reference, "world mismatch at {p}");
+        }
+    }
+
+    #[test]
+    fn queries_q1_and_q2_of_sect2() {
+        let (bdms, alice, bob, _) = running_bdms();
+        let s = bdms.schema().relation_id("Sightings").unwrap();
+        // q1: sightings believed by Bob.
+        let q1 = Bcq::builder(vec![qv("sid"), qv("uid"), qv("species")])
+            .positive(vec![pu(bob)], s, vec![qv("sid"), qv("uid"), qv("species"), qany(), qany()])
+            .build(bdms.schema())
+            .unwrap();
+        assert_eq!(bdms.query(&q1).unwrap(), vec![row!["s2", "Alice", "raven"]]);
+
+        // q2: entries on which users disagree with what Alice believes.
+        let q2 = Bcq::builder(vec![qv("u2"), qv("sp1"), qv("sp2")])
+            .positive(vec![pu(alice)], s, vec![qv("sid"), qany(), qv("sp1"), qany(), qany()])
+            .positive(vec![pv("u2")], s, vec![qv("sid"), qany(), qv("sp2"), qany(), qany()])
+            .pred(qv("sp1"), beliefdb_storage::CmpOp::Ne, qv("sp2"))
+            .build(bdms.schema())
+            .unwrap();
+        assert_eq!(bdms.query(&q2).unwrap(), vec![row![2, "crow", "raven"]]);
+    }
+
+    #[test]
+    fn translated_matches_naive_on_running_example() {
+        let (bdms, alice, bob, _) = running_bdms();
+        let s = bdms.schema().relation_id("Sightings").unwrap();
+        let args = vec![qv("y"), qv("z"), qv("u"), qv("v"), qv("w")];
+        let queries = vec![
+            Bcq::builder(vec![qv("x")])
+                .negative(vec![pv("x")], s, args.clone())
+                .positive(vec![pu(alice)], s, args.clone())
+                .build(bdms.schema())
+                .unwrap(),
+            Bcq::builder(vec![qv("y"), qv("u")])
+                .positive(vec![pu(bob), pu(alice)], s, args.clone())
+                .build(bdms.schema())
+                .unwrap(),
+        ];
+        for q in queries {
+            assert_eq!(bdms.query(&q).unwrap(), bdms.query_naive(&q).unwrap(), "on {q}");
+        }
+    }
+
+    #[test]
+    fn update_replaces_tuple() {
+        let (mut bdms, _, bob, _) = running_bdms();
+        let s = bdms.schema().relation_id("Sightings").unwrap();
+        // Bob revises raven → heron.
+        let outcome = bdms
+            .update(
+                BeliefPath::user(bob),
+                s,
+                row!["s2", "Alice", "raven", "6-14-08", "Lake Placid"],
+                row!["s2", "Alice", "heron", "6-14-08", "Lake Placid"],
+            )
+            .unwrap();
+        assert_eq!(outcome, InsertOutcome::Inserted);
+        let heron = GroundTuple::new(s, row!["s2", "Alice", "heron", "6-14-08", "Lake Placid"]);
+        let raven = GroundTuple::new(s, row!["s2", "Alice", "raven", "6-14-08", "Lake Placid"]);
+        assert!(bdms.entails(&BeliefStatement::positive(BeliefPath::user(bob), heron)).unwrap());
+        assert!(bdms.entails(&BeliefStatement::negative(BeliefPath::user(bob), raven)).unwrap());
+    }
+
+    #[test]
+    fn stats_report_sizes() {
+        let (bdms, ..) = running_bdms();
+        let stats = bdms.stats();
+        assert_eq!(stats.users, 3);
+        assert_eq!(stats.worlds, 4);
+        assert!(stats.total_tuples > 8, "internal size exceeds annotation count");
+        assert!(stats.relative_overhead(8) > 1.0);
+        assert_eq!(stats.per_table.len(), bdms.storage().table_names().len());
+        // Fig. 5 check: E has 9 rows for this example.
+        let e = stats.per_table.iter().find(|(n, _)| n == "E").unwrap();
+        assert_eq!(e.1, 9);
+    }
+
+    #[test]
+    fn canonical_kripke_agrees_with_store() {
+        let (bdms, alice, bob, _) = running_bdms();
+        let k = bdms.canonical_kripke().unwrap();
+        let s = bdms.schema().relation_id("Sightings").unwrap();
+        let raven = GroundTuple::new(s, row!["s2", "Alice", "raven", "6-14-08", "Lake Placid"]);
+        for p in [
+            BeliefPath::root(),
+            BeliefPath::user(alice),
+            BeliefPath::user(bob),
+            path(&[2, 1]),
+            path(&[1, 2]),
+            path(&[3, 2, 1]),
+        ] {
+            for sign in [Sign::Pos, Sign::Neg] {
+                let stmt = BeliefStatement::new(p.clone(), raven.clone(), sign);
+                assert_eq!(bdms.entails(&stmt).unwrap(), k.entails(&stmt), "on {stmt}");
+            }
+        }
+    }
+
+    #[test]
+    fn user_atoms_join_the_catalog() {
+        // Paper q1: select sightings believed by the user *named* Bob.
+        let (bdms, ..) = running_bdms();
+        let s = bdms.schema().relation_id("Sightings").unwrap();
+        let q = Bcq::builder(vec![qv("sid"), qv("species")])
+            .user(qv("u"), qc("Bob"))
+            .positive(vec![pv("u")], s, vec![qv("sid"), qany(), qv("species"), qany(), qany()])
+            .build(bdms.schema())
+            .unwrap();
+        assert_eq!(bdms.query(&q).unwrap(), vec![row!["s2", "raven"]]);
+        assert_eq!(bdms.query_naive(&q).unwrap(), vec![row!["s2", "raven"]]);
+
+        // Selecting user names via the catalog: who disagrees with Alice?
+        let args = vec![qv("y"), qv("z"), qv("u2"), qv("v"), qv("w")];
+        let q = Bcq::builder(vec![qv("name")])
+            .user(qv("x"), qv("name"))
+            .negative(vec![pv("x")], s, args.clone())
+            .positive(vec![pu(UserId(1))], s, args)
+            .build(bdms.schema())
+            .unwrap();
+        assert_eq!(bdms.query(&q).unwrap(), vec![row!["Bob"]]);
+        assert_eq!(bdms.query_naive(&q).unwrap(), vec![row!["Bob"]]);
+    }
+
+    #[test]
+    fn dora_joins_and_gets_default_beliefs() {
+        let (mut bdms, _, bob, _) = running_bdms();
+        let dora = bdms.add_user("Dora").unwrap();
+        let s = bdms.schema().relation_id("Sightings").unwrap();
+        let s11 = GroundTuple::new(s, row!["s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"]);
+        assert!(bdms
+            .entails(&BeliefStatement::positive(BeliefPath::user(dora), s11.clone()))
+            .unwrap());
+        let dora_bob = BeliefPath::new(vec![dora, bob]).unwrap();
+        assert!(bdms.entails(&BeliefStatement::negative(dora_bob, s11)).unwrap());
+    }
+}

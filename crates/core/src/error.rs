@@ -1,0 +1,84 @@
+//! Error taxonomy for belief databases.
+
+use beliefdb_storage::StorageError;
+use std::fmt;
+
+/// Errors raised by the belief-database layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BeliefError {
+    /// A belief path repeated the same user in adjacent positions
+    /// (belief paths must lie in `Û*`, Sect. 3.2 of the paper).
+    InvalidPath(String),
+    /// Unknown user id or name.
+    NoSuchUser(String),
+    /// A user with this name already exists.
+    DuplicateUser(String),
+    /// Unknown external relation.
+    NoSuchRelation(String),
+    /// A relation with this name already exists in the external schema.
+    DuplicateRelation(String),
+    /// Tuple arity does not match the external relation.
+    ArityMismatch { relation: String, expected: usize, got: usize },
+    /// The operation would make a belief world inconsistent
+    /// (violates Γ1 or Γ2 of Prop. 5).
+    Inconsistent(String),
+    /// A belief conjunctive query failed the safety check of Def. 13.
+    UnsafeQuery(String),
+    /// A query is structurally malformed (wrong arity, bad path, ...).
+    MalformedQuery(String),
+    /// Error from the storage substrate.
+    Storage(StorageError),
+}
+
+impl fmt::Display for BeliefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BeliefError::InvalidPath(msg) => write!(f, "invalid belief path: {msg}"),
+            BeliefError::NoSuchUser(u) => write!(f, "no such user: {u}"),
+            BeliefError::DuplicateUser(u) => write!(f, "duplicate user: {u}"),
+            BeliefError::NoSuchRelation(r) => write!(f, "no such relation: {r}"),
+            BeliefError::DuplicateRelation(r) => write!(f, "duplicate relation: {r}"),
+            BeliefError::ArityMismatch { relation, expected, got } => {
+                write!(f, "arity mismatch for `{relation}`: expected {expected}, got {got}")
+            }
+            BeliefError::Inconsistent(msg) => write!(f, "inconsistent belief world: {msg}"),
+            BeliefError::UnsafeQuery(msg) => write!(f, "unsafe query: {msg}"),
+            BeliefError::MalformedQuery(msg) => write!(f, "malformed query: {msg}"),
+            BeliefError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BeliefError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BeliefError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for BeliefError {
+    fn from(e: StorageError) -> Self {
+        BeliefError::Storage(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T, E = BeliefError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = BeliefError::InvalidPath("1·1".into());
+        assert!(e.to_string().contains("invalid belief path"));
+        let e = BeliefError::from(StorageError::NoSuchTable("V".into()));
+        assert!(e.to_string().contains("storage error"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(BeliefError::NoSuchUser("Dora".into()).source().is_none());
+    }
+}

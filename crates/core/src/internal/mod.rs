@@ -1,0 +1,448 @@
+//! The relational representation of a belief database (Sect. 5 of the
+//! paper): internal schema `R* = (R*_1..R*_r, U, V_1..V_r, E, D, S)` over
+//! the [`beliefdb_storage`] engine, with the update algorithms
+//! `idWorld` (Alg. 2), `dss` (Alg. 3) and `insertTuple` (Alg. 4).
+//!
+//! ## Internal schema (Fig. 5)
+//!
+//! | Table | Columns | Key |
+//! |---|---|---|
+//! | `{R}__star` | `tid, key, att2, ...` | `tid` |
+//! | `U` | `uid, name` | `uid` |
+//! | `V__{R}` | `wid, tid, key, s, e` | multiset, index `(wid, key)` |
+//! | `E` | `wid1, uid, wid2` | multiset, index `(wid1, uid)` |
+//! | `D` | `wid, d` | `wid` |
+//! | `S` | `wid1, wid2` | `wid1` |
+//!
+//! `s` is the sign (`'+'`/`'-'`), `e` records whether the tuple is explicit
+//! (`'y'`) or implied by the message-board assumption (`'n'`).
+//!
+//! ## Fidelity notes
+//!
+//! * The world directory (`wid ↔ belief path`) is kept in memory as a cache
+//!   of what `E`/`D` encode relationally; `dss` walks it directly instead of
+//!   running Algorithm 3's `E*`-join + MAX query each time (same result,
+//!   same information source).
+//! * `insertTuple` is implemented as Algorithm 4 *reformulated per key
+//!   slice*: an insert/delete of key `k` at world `w` recomputes the
+//!   `(world, k)` slice of `V` for `w` and each dependent world (worlds
+//!   having `w` as proper suffix) in ascending depth order, from the world's
+//!   explicit tuples plus its suffix-parent slice (`S`). This follows the
+//!   overriding-union characterization of Thm. 17(2a) / Fig. 9 and fixes a
+//!   corner case in the paper's pseudo-code where a dependent world could
+//!   retain a stale implicit tuple after its parent chain changed (the
+//!   formal spec, Def. 9, always wins; see `slices.rs`). Deletes use the
+//!   same machinery, which is why they "follow a similar semantics as
+//!   inserts" (Sect. 5.3).
+//! * Worlds are never destroyed by deletes; a state with an empty explicit
+//!   world is transparent (its entailed world equals its suffix-parent's),
+//!   so keeping it does not change any query answer.
+
+mod ops;
+mod slices;
+mod worlds;
+
+pub use worlds::WorldDirectory;
+
+use crate::error::{BeliefError, Result};
+use crate::ids::{RelId, Tid, UserId, Wid};
+use crate::path::BeliefPath;
+use crate::schema::ExternalSchema;
+use crate::statement::{GroundTuple, Sign};
+use crate::world::BeliefWorld;
+use beliefdb_storage::{Database, Row, TableSchema, Value};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Result of an insert attempt (Algorithm 4's return value, refined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The statement was recorded and propagated.
+    Inserted,
+    /// The statement was already explicitly present (Alg. 4 line 3).
+    AlreadyExplicit,
+    /// The tuple was implicitly present with the same sign; it is now
+    /// explicit (Alg. 4 line 4).
+    MadeExplicit,
+    /// The statement conflicts with explicit beliefs at the world (Γ1/Γ2)
+    /// and was rejected (Alg. 4 line 5 failing).
+    Rejected,
+}
+
+impl InsertOutcome {
+    /// Did the database content change?
+    pub fn changed(self) -> bool {
+        matches!(self, InsertOutcome::Inserted | InsertOutcome::MadeExplicit)
+    }
+
+    /// Algorithm 4's boolean: was the statement accepted (present
+    /// explicitly afterwards)?
+    pub fn accepted(self) -> bool {
+        !matches!(self, InsertOutcome::Rejected)
+    }
+}
+
+/// Interned `'y'` / `'n'` values for the explicitness flag.
+pub(crate) fn explicit_value(explicit: bool) -> Value {
+    static YES: OnceLock<Arc<str>> = OnceLock::new();
+    static NO: OnceLock<Arc<str>> = OnceLock::new();
+    if explicit {
+        Value::Str(YES.get_or_init(|| Arc::from("y")).clone())
+    } else {
+        Value::Str(NO.get_or_init(|| Arc::from("n")).clone())
+    }
+}
+
+/// Name of the internal content table `R*_i` for external relation `name`.
+pub fn star_table(name: &str) -> String {
+    format!("{name}__star")
+}
+
+/// Name of the valuation table `V_i` for external relation `name`.
+pub fn v_table(name: &str) -> String {
+    format!("V__{name}")
+}
+
+/// Fixed internal table names.
+pub const U_TABLE: &str = "U";
+pub const E_TABLE: &str = "E";
+pub const D_TABLE: &str = "D";
+pub const S_TABLE: &str = "S";
+
+/// Index name on every `V__{R}` table covering `(wid, key)`.
+pub const V_BY_WID_KEY: &str = "by_wid_key";
+/// Index name on every `V__{R}` table covering `(wid)` — used when copying
+/// a whole world (Alg. 2 line 9) and for world dumps.
+pub const V_BY_WID: &str = "by_wid";
+/// Index name on `E` covering `(wid1, uid)`.
+pub const E_BY_SRC_USER: &str = "by_src_user";
+/// Index name on `E` covering `(wid1)` — the hop lookups of the `E*` walk.
+pub const E_BY_SRC: &str = "by_src";
+
+/// The materialized canonical representation: a [`Database`] holding the
+/// internal schema, plus the in-memory mirrors (world directory, user list,
+/// tuple-id cache) that the update algorithms consult.
+pub struct InternalStore {
+    pub(crate) db: Database,
+    pub(crate) schema: Arc<ExternalSchema>,
+    pub(crate) users: Vec<(UserId, String)>,
+    pub(crate) dir: WorldDirectory,
+    pub(crate) next_tid: u32,
+    /// Reverse lookup `ground tuple → tid` (an in-memory unique index over
+    /// `R*` minus the tid column).
+    pub(crate) tid_cache: HashMap<GroundTuple, Tid>,
+}
+
+impl InternalStore {
+    /// Create the internal schema for an external one and initialize the
+    /// root world (`wid 0`, depth 0).
+    pub fn new(schema: ExternalSchema) -> Result<Self> {
+        let schema = Arc::new(schema);
+        let mut db = Database::new();
+
+        for rel in schema.relations() {
+            // R*_i(tid, key, att2, ...): one extra surrogate-key column.
+            let mut cols: Vec<&str> = vec!["tid"];
+            cols.extend(rel.columns().iter().map(|c| c.as_str()));
+            db.create_table(TableSchema::with_key(star_table(rel.name()), &cols))?;
+
+            // V_i(wid, tid, key, s, e): multiset with the slice index.
+            let vt = db.create_table(TableSchema::keyless(
+                v_table(rel.name()),
+                &["wid", "tid", "key", "s", "e"],
+            ))?;
+            vt.create_index(V_BY_WID_KEY, &["wid", "key"])?;
+            vt.create_index(V_BY_WID, &["wid"])?;
+        }
+
+        db.create_table(TableSchema::with_key(U_TABLE, &["uid", "name"]))?;
+        let e = db.create_table(TableSchema::keyless(E_TABLE, &["wid1", "uid", "wid2"]))?;
+        e.create_index(E_BY_SRC_USER, &["wid1", "uid"])?;
+        e.create_index(E_BY_SRC, &["wid1"])?;
+        db.create_table(TableSchema::with_key(D_TABLE, &["wid", "d"]))?;
+        db.create_table(TableSchema::with_key(S_TABLE, &["wid1", "wid2"]))?;
+
+        // Root world ε: D(0, 0). No S entry (ε has no suffix parent).
+        let mut dir = WorldDirectory::new();
+        let root = dir.insert(BeliefPath::root());
+        debug_assert_eq!(root, Wid::ROOT);
+        db.table_mut(D_TABLE)?.insert(Row::new(vec![Wid::ROOT.value(), Value::Int(0)]))?;
+
+        Ok(InternalStore {
+            db,
+            schema,
+            users: Vec::new(),
+            dir,
+            next_tid: 0,
+            tid_cache: HashMap::new(),
+        })
+    }
+
+    pub fn schema(&self) -> &ExternalSchema {
+        &self.schema
+    }
+
+    pub fn schema_arc(&self) -> Arc<ExternalSchema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// The underlying relational database (read-only).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn directory(&self) -> &WorldDirectory {
+        &self.dir
+    }
+
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.users.iter().map(|(u, _)| *u)
+    }
+
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    pub fn user_name(&self, id: UserId) -> Result<&str> {
+        self.users
+            .iter()
+            .find(|(u, _)| *u == id)
+            .map(|(_, n)| n.as_str())
+            .ok_or_else(|| BeliefError::NoSuchUser(format!("#{id}")))
+    }
+
+    pub fn user_by_name(&self, name: &str) -> Result<UserId> {
+        self.users
+            .iter()
+            .find(|(_, n)| n == name)
+            .map(|(u, _)| *u)
+            .ok_or_else(|| BeliefError::NoSuchUser(name.to_string()))
+    }
+
+    pub fn has_user(&self, id: UserId) -> bool {
+        self.users.iter().any(|(u, _)| *u == id)
+    }
+
+    /// Register a new user (Sect. 5.3 "Other updates"): a `U` row plus an
+    /// edge labelled by the new user from every world to the root (the new
+    /// user has no states, so `dss(w·u) = ε` everywhere).
+    pub fn add_user(&mut self, name: impl Into<String>) -> Result<UserId> {
+        let name = name.into();
+        if self.users.iter().any(|(_, n)| *n == name) {
+            return Err(BeliefError::DuplicateUser(name));
+        }
+        let id = UserId(self.users.len() as u32 + 1);
+        self.db
+            .table_mut(U_TABLE)?
+            .insert(Row::new(vec![id.value(), Value::str(&name)]))?;
+        self.users.push((id, name));
+        for wid in self.dir.wids() {
+            let path = self.dir.path(wid).clone();
+            let target = match path.push(id) {
+                Ok(extended) => self.dir.dss(&extended),
+                Err(_) => continue,
+            };
+            self.db
+                .table_mut(E_TABLE)?
+                .insert(Row::new(vec![wid.value(), id.value(), target.value()]))?;
+        }
+        Ok(id)
+    }
+
+    /// The internal tuple id for a ground tuple, creating the `R*` row on
+    /// first sight (Alg. 4 line 1).
+    pub(crate) fn tid_of_or_create(&mut self, tuple: &GroundTuple) -> Result<Tid> {
+        if let Some(&tid) = self.tid_cache.get(tuple) {
+            return Ok(tid);
+        }
+        let tid = Tid(self.next_tid);
+        self.next_tid += 1;
+        let rel_name = self.schema.relation(tuple.rel)?.name().to_string();
+        let mut vals = Vec::with_capacity(tuple.row.arity() + 1);
+        vals.push(tid.value());
+        vals.extend(tuple.row.values().iter().cloned());
+        self.db.table_mut(&star_table(&rel_name))?.insert(Row::new(vals))?;
+        self.tid_cache.insert(tuple.clone(), tid);
+        Ok(tid)
+    }
+
+    /// Look up the ground tuple for a tid.
+    pub fn tuple_of(&self, rel: RelId, tid: Tid) -> Result<GroundTuple> {
+        let rel_name = self.schema.relation(rel)?.name().to_string();
+        let table = self.db.table(&star_table(&rel_name))?;
+        let row = table.get_by_key(&tid.value()).ok_or_else(|| {
+            BeliefError::MalformedQuery(format!("dangling tid {tid} in relation {rel_name}"))
+        })?;
+        Ok(GroundTuple::new(rel, row.suffix(1)))
+    }
+
+    /// Total number of tuples in the internal database — the paper's
+    /// `|R*|` size measure.
+    pub fn total_tuples(&self) -> usize {
+        self.db.total_tuples()
+    }
+
+    /// Per-table sizes for reporting.
+    pub fn table_sizes(&self) -> Vec<(String, usize)> {
+        self.db
+            .table_sizes()
+            .into_iter()
+            .map(|(n, c)| (n.to_string(), c))
+            .collect()
+    }
+
+    /// Resolve a belief path to the state whose world carries its entailed
+    /// content (`dss`, since non-state paths are transparent).
+    pub fn resolve(&self, path: &BeliefPath) -> Wid {
+        self.dir.dss(path)
+    }
+
+    /// Materialize the entailed belief world at a path from the `V` tables.
+    pub fn world(&self, path: &BeliefPath) -> Result<BeliefWorld> {
+        let wid = self.resolve(path);
+        let mut world = BeliefWorld::new();
+        for rel in self.schema.relations() {
+            let rel_id = self.schema.relation_id(rel.name())?;
+            let vt = self.db.table(&v_table(rel.name()))?;
+            for row in vt.index_rows(V_BY_WID, &[wid.value()])? {
+                let tid = Tid::from_value(&row[1]).expect("tid column");
+                let tuple = self.tuple_of(rel_id, tid)?;
+                let sign = Sign::from_value(&row[3]).expect("sign column");
+                world.add(tuple, sign);
+            }
+        }
+        Ok(world)
+    }
+
+    /// World-level entailment `D |= w t^s` directly off the `(wid, key)`
+    /// slice — the fast path used by [`crate::bdms::Bdms::entails`].
+    pub fn entails(&self, path: &BeliefPath, tuple: &GroundTuple, sign: Sign) -> Result<bool> {
+        let wid = self.resolve(path);
+        let rel_name = self.schema.relation(tuple.rel)?.name().to_string();
+        let vt = self.db.table(&v_table(&rel_name))?;
+        let slice = vt.index_rows(V_BY_WID_KEY, &[wid.value(), tuple.key().clone()])?;
+        let tid = self.tid_cache.get(tuple).copied();
+        match sign {
+            Sign::Pos => {
+                let Some(tid) = tid else { return Ok(false) };
+                Ok(slice
+                    .iter()
+                    .any(|r| r[1] == tid.value() && r[3] == Sign::Pos.value()))
+            }
+            Sign::Neg => {
+                // Stated negative: exact tid with '-'; unstated: any other
+                // positive tid in the slice (Prop. 7).
+                for r in slice {
+                    if r[3] == Sign::Neg.value() {
+                        if let Some(tid) = tid {
+                            if r[1] == tid.value() {
+                                return Ok(true);
+                            }
+                        }
+                    } else if tid.is_none_or(|t| r[1] != t.value()) {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// Reconstruct the logical belief database (explicit statements only)
+    /// from the `V` tables — the inverse of ingestion, used by the
+    /// differential tests.
+    pub fn to_belief_database(&self) -> Result<crate::database::BeliefDatabase> {
+        let mut out = crate::database::BeliefDatabase::new((*self.schema).clone());
+        for (_, name) in &self.users {
+            out.add_user(name.clone())?;
+        }
+        for rel in self.schema.relations() {
+            let rel_id = self.schema.relation_id(rel.name())?;
+            let vt = self.db.table(&v_table(rel.name()))?;
+            for (_, row) in vt.iter() {
+                if row[4] != explicit_value(true) {
+                    continue;
+                }
+                let wid = Wid::from_value(&row[0]).expect("wid column");
+                let tid = Tid::from_value(&row[1]).expect("tid column");
+                let sign = Sign::from_value(&row[3]).expect("sign column");
+                let tuple = self.tuple_of(rel_id, tid)?;
+                let path = self.dir.path(wid).clone();
+                out.insert_unchecked(crate::statement::BeliefStatement::new(path, tuple, sign))?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beliefdb_storage::row;
+
+    fn schema() -> ExternalSchema {
+        ExternalSchema::new().with_relation("S", &["sid", "species"])
+    }
+
+    #[test]
+    fn fresh_store_has_internal_schema_and_root() {
+        let store = InternalStore::new(schema()).unwrap();
+        let names = store.database().table_names();
+        assert_eq!(names, vec!["D", "E", "S", "S__star", "U", "V__S"]);
+        // Root world: exactly the D(0,0) row.
+        assert_eq!(store.total_tuples(), 1);
+        assert_eq!(store.resolve(&BeliefPath::root()), Wid::ROOT);
+        assert_eq!(store.directory().len(), 1);
+    }
+
+    #[test]
+    fn add_user_creates_back_edges() {
+        let mut store = InternalStore::new(schema()).unwrap();
+        let alice = store.add_user("Alice").unwrap();
+        assert_eq!(alice, UserId(1));
+        // E(0, 1, 0): Alice loops on the root.
+        let e = store.database().table(E_TABLE).unwrap();
+        assert_eq!(e.len(), 1);
+        let rows = e.scan();
+        assert_eq!(rows[0], row![0, 1, 0]);
+        assert_eq!(store.user_by_name("Alice").unwrap(), alice);
+        assert_eq!(store.user_name(alice).unwrap(), "Alice");
+        assert!(store.add_user("Alice").is_err());
+        assert!(store.user_by_name("Zoe").is_err());
+    }
+
+    #[test]
+    fn tid_allocation_is_stable() {
+        let mut store = InternalStore::new(schema()).unwrap();
+        let rel = store.schema().relation_id("S").unwrap();
+        let t1 = GroundTuple::new(rel, row!["s1", "crow"]);
+        let t2 = GroundTuple::new(rel, row!["s1", "raven"]);
+        let a = store.tid_of_or_create(&t1).unwrap();
+        let b = store.tid_of_or_create(&t2).unwrap();
+        let a2 = store.tid_of_or_create(&t1).unwrap();
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(store.database().table("S__star").unwrap().len(), 2);
+        assert_eq!(store.tuple_of(rel, a).unwrap(), t1);
+        assert_eq!(store.tuple_of(rel, b).unwrap(), t2);
+        assert!(store.tuple_of(rel, Tid(99)).is_err());
+    }
+
+    #[test]
+    fn insert_outcome_helpers() {
+        assert!(InsertOutcome::Inserted.changed());
+        assert!(InsertOutcome::MadeExplicit.changed());
+        assert!(!InsertOutcome::AlreadyExplicit.changed());
+        assert!(!InsertOutcome::Rejected.changed());
+        assert!(InsertOutcome::AlreadyExplicit.accepted());
+        assert!(!InsertOutcome::Rejected.accepted());
+    }
+
+    #[test]
+    fn naming_helpers() {
+        assert_eq!(star_table("Sightings"), "Sightings__star");
+        assert_eq!(v_table("Sightings"), "V__Sightings");
+        assert_eq!(explicit_value(true), Value::str("y"));
+        assert_eq!(explicit_value(false), Value::str("n"));
+    }
+}

@@ -1,0 +1,421 @@
+//! World management: the world directory, `dss` (Algorithm 3) and
+//! `idWorld` (Algorithm 2, with the tech-report errata applied).
+
+use super::{InternalStore, D_TABLE, E_TABLE, S_TABLE};
+use crate::error::Result;
+use crate::ids::Wid;
+use crate::path::BeliefPath;
+use beliefdb_storage::{Row, Value};
+use std::collections::HashMap;
+
+/// Bidirectional mapping `wid ↔ belief path`.
+///
+/// This mirrors what the `E` and `D` relations encode (a path is the label
+/// sequence of forward edges from the root); keeping it in memory turns
+/// Algorithm 3's `E*`-join-plus-MAX query into a suffix walk.
+#[derive(Debug, Clone, Default)]
+pub struct WorldDirectory {
+    paths: Vec<BeliefPath>,
+    ids: HashMap<BeliefPath, Wid>,
+}
+
+impl WorldDirectory {
+    pub fn new() -> Self {
+        WorldDirectory::default()
+    }
+
+    /// Register a new world; ids are dense starting at 0 (the root).
+    pub(crate) fn insert(&mut self, path: BeliefPath) -> Wid {
+        debug_assert!(!self.ids.contains_key(&path), "world already exists");
+        let wid = Wid(self.paths.len() as u32);
+        self.ids.insert(path.clone(), wid);
+        self.paths.push(path);
+        wid
+    }
+
+    pub fn get(&self, path: &BeliefPath) -> Option<Wid> {
+        self.ids.get(path).copied()
+    }
+
+    pub fn path(&self, wid: Wid) -> &BeliefPath {
+        &self.paths[wid.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    pub fn wids(&self) -> Vec<Wid> {
+        (0..self.paths.len() as u32).map(Wid).collect()
+    }
+
+    /// Iterate `(wid, path)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Wid, &BeliefPath)> {
+        self.paths.iter().enumerate().map(|(i, p)| (Wid(i as u32), p))
+    }
+
+    /// `dss(w)`: the id of the deepest suffix state of `w` (Algorithm 3).
+    /// The root always matches, so this never fails.
+    pub fn dss(&self, path: &BeliefPath) -> Wid {
+        for suffix in path.suffixes() {
+            if let Some(&wid) = self.ids.get(&suffix) {
+                return wid;
+            }
+        }
+        unreachable!("root world always exists")
+    }
+
+    /// Dependent worlds of `w`: states having `w` as *proper* suffix, in
+    /// ascending depth order. An insert at `w` must be re-examined at
+    /// exactly these worlds (Alg. 4 line 8).
+    pub fn dependents(&self, path: &BeliefPath) -> Vec<Wid> {
+        let mut deps: Vec<(usize, Wid)> = self
+            .iter()
+            .filter(|(_, p)| path.is_proper_suffix_of(p))
+            .map(|(wid, p)| (p.depth(), wid))
+            .collect();
+        deps.sort_unstable();
+        deps.into_iter().map(|(_, w)| w).collect()
+    }
+}
+
+impl InternalStore {
+    /// `idWorld` (Algorithm 2): return the id of world `w`, creating it —
+    /// and every missing prefix — if needed.
+    ///
+    /// Creation performs the paper's steps:
+    /// 1. recursively ensure the parent `w[1,d−1]` exists,
+    /// 2. allocate `x`, insert `D(x, d)`,
+    /// 3. redirect the parent's `w[d]`-edge from `dss(w)` to `x`,
+    /// 4. add edges `E(x, u, dss(w·u))` for every user `u ≠ w[d]`,
+    /// 5. redirect the `w[d]`-edge of every world `y = v·w[1,d−1]` whose
+    ///    current target is shallower than `d` (those edges now reach `x`),
+    /// 6. insert `S(x, dss(w[2,d]))` (errata version) and also repoint the
+    ///    `S` entry of any world whose deepest suffix parent is now `x`,
+    /// 7. copy all tuples of the suffix parent into `x` as implicit.
+    pub fn ensure_world(&mut self, path: &BeliefPath) -> Result<Wid> {
+        if let Some(wid) = self.dir.get(path) {
+            return Ok(wid);
+        }
+        let d = path.depth();
+        debug_assert!(d >= 1, "the root world always exists");
+        let last = path.last().expect("non-root path");
+
+        // (1) parent prefix w[1,d-1]
+        let parent = self.ensure_world(&path.prefix(d - 1))?;
+
+        // (2) allocate x
+        let x = self.dir.insert(path.clone());
+        self.db
+            .table_mut(D_TABLE)?
+            .insert(Row::new(vec![x.value(), Value::Int(d as i64)]))?;
+
+        // (3) redirect the parent's w[d]-edge to x
+        {
+            let e = self.db.table_mut(E_TABLE)?;
+            e.delete_by_index(super::E_BY_SRC_USER, &[parent.value(), last.value()])?;
+            e.insert(Row::new(vec![parent.value(), last.value(), x.value()]))?;
+        }
+
+        // (4) outgoing edges of x: u-edge to dss(w·u) for u ≠ w[d]
+        let users: Vec<_> = self.users().collect();
+        for u in users {
+            if u == last {
+                continue;
+            }
+            let target = self.dir.dss(&path.push(u).expect("u ≠ last"));
+            self.db
+                .table_mut(E_TABLE)?
+                .insert(Row::new(vec![x.value(), u.value(), target.value()]))?;
+        }
+
+        // (5) redirect w[d]-edges of deeper worlds that should now reach x:
+        // y ends with w[1,d−1], can take a w[d]-edge, and its current target
+        // is shallower than d.
+        let w_prefix = path.prefix(d - 1);
+        let redirect: Vec<Wid> = self
+            .dir
+            .iter()
+            .filter(|(y, y_path)| {
+                *y != x
+                    && *y != parent
+                    && w_prefix.is_suffix_of(y_path)
+                    && y_path.can_push(last)
+            })
+            .map(|(y, _)| y)
+            .collect();
+        for y in redirect {
+            let current = self.edge_target(y, last)?;
+            let current_depth = self.dir.path(current).depth();
+            if current_depth < d {
+                let e = self.db.table_mut(E_TABLE)?;
+                e.delete_by_index(super::E_BY_SRC_USER, &[y.value(), last.value()])?;
+                e.insert(Row::new(vec![y.value(), last.value(), x.value()]))?;
+            }
+        }
+
+        // (6) S entry for x: the deepest suffix state of w[2,d] (errata),
+        // and repoint S of worlds whose suffix parent is now x. Repointing
+        // needs no content rebuild: x was just created with exactly the
+        // entailed content of the old parent chain.
+        let s_parent = self.dir.dss(&path.drop_first());
+        self.db
+            .table_mut(S_TABLE)?
+            .insert(Row::new(vec![x.value(), s_parent.value()]))?;
+        let repoint: Vec<Wid> = self
+            .dir
+            .iter()
+            .filter(|(z, z_path)| *z != x && path.is_suffix_of(&z_path.drop_first()))
+            .map(|(z, _)| z)
+            .collect();
+        for z in repoint {
+            let current = self.suffix_parent(z)?;
+            if self.dir.path(current).depth() < d {
+                let s = self.db.table_mut(S_TABLE)?;
+                if let Some(rid) = s.rid_by_key(&z.value()) {
+                    s.delete(rid)?;
+                }
+                s.insert(Row::new(vec![z.value(), x.value()]))?;
+            }
+        }
+
+        // (7) copy the suffix parent's tuples into x as implicit beliefs.
+        self.copy_world_as_implicit(s_parent, x)?;
+
+        Ok(x)
+    }
+
+    /// The unique `E` target of `(world, user)`.
+    pub(crate) fn edge_target(&self, wid: Wid, user: crate::ids::UserId) -> Result<Wid> {
+        let e = self.db.table(E_TABLE)?;
+        let hits = e.index_rows(super::E_BY_SRC_USER, &[wid.value(), user.value()])?;
+        debug_assert!(hits.len() <= 1, "E must be deterministic per (world, user)");
+        match hits.first() {
+            Some(row) => Ok(Wid::from_value(&row[2]).expect("wid column")),
+            // No edge materialized (e.g. user registered after queries
+            // started, or u = last(w)): fall back to the directory.
+            None => {
+                let path = self.dir.path(wid);
+                match path.push(user) {
+                    Ok(p) => Ok(self.dir.dss(&p)),
+                    Err(_) => Ok(wid),
+                }
+            }
+        }
+    }
+
+    /// The `S` parent of a world (None for the root).
+    pub(crate) fn suffix_parent(&self, wid: Wid) -> Result<Wid> {
+        if wid == Wid::ROOT {
+            return Ok(Wid::ROOT);
+        }
+        let s = self.db.table(S_TABLE)?;
+        match s.get_by_key(&wid.value()) {
+            Some(row) => Ok(Wid::from_value(&row[1]).expect("wid column")),
+            None => Ok(Wid::ROOT),
+        }
+    }
+
+    /// Copy every `V` row of `from` into `to` with `e = 'n'` (Alg. 2
+    /// line 9: a new world starts with the implicit content of its suffix
+    /// parent).
+    fn copy_world_as_implicit(&mut self, from: Wid, to: Wid) -> Result<()> {
+        if from == to {
+            return Ok(());
+        }
+        for rel in self.schema.relations().to_vec() {
+            let vt_name = super::v_table(rel.name());
+            let vt = self.db.table(&vt_name)?;
+            let copies: Vec<Row> = vt
+                .index_rows(super::V_BY_WID, &[from.value()])?
+                .into_iter()
+                .map(|r| {
+                    Row::new(vec![
+                        to.value(),
+                        r[1].clone(),
+                        r[2].clone(),
+                        r[3].clone(),
+                        super::explicit_value(false),
+                    ])
+                })
+                .collect();
+            let vt = self.db.table_mut(&vt_name)?;
+            for row in copies {
+                vt.insert(row)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::UserId;
+    use crate::path::path;
+    use crate::schema::ExternalSchema;
+
+    fn store_with_users(n: u32) -> InternalStore {
+        let schema = ExternalSchema::new().with_relation("S", &["sid", "species"]);
+        let mut store = InternalStore::new(schema).unwrap();
+        for i in 1..=n {
+            store.add_user(format!("user{i}")).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn directory_basics() {
+        let mut dir = WorldDirectory::new();
+        let root = dir.insert(BeliefPath::root());
+        assert_eq!(root, Wid(0));
+        let w1 = dir.insert(path(&[1]));
+        assert_eq!(dir.get(&path(&[1])), Some(w1));
+        assert_eq!(dir.get(&path(&[2])), None);
+        assert_eq!(dir.path(w1), &path(&[1]));
+        assert_eq!(dir.len(), 2);
+        assert_eq!(dir.wids(), vec![Wid(0), Wid(1)]);
+    }
+
+    #[test]
+    fn directory_dss() {
+        let mut dir = WorldDirectory::new();
+        dir.insert(BeliefPath::root());
+        let w2 = dir.insert(path(&[2]));
+        let w21 = dir.insert(path(&[2, 1]));
+        assert_eq!(dir.dss(&path(&[2, 1])), w21);
+        assert_eq!(dir.dss(&path(&[3, 2, 1])), w21);
+        assert_eq!(dir.dss(&path(&[1, 2])), w2);
+        assert_eq!(dir.dss(&path(&[1])), Wid(0));
+        assert_eq!(dir.dss(&BeliefPath::root()), Wid(0));
+    }
+
+    #[test]
+    fn directory_dependents_sorted_by_depth() {
+        let mut dir = WorldDirectory::new();
+        dir.insert(BeliefPath::root());
+        let w1 = dir.insert(path(&[1]));
+        let w21 = dir.insert(path(&[2, 1]));
+        let w321 = dir.insert(path(&[3, 2, 1]));
+        let w2 = dir.insert(path(&[2]));
+        // dependents of ε: every other world, shallow first.
+        let deps = dir.dependents(&BeliefPath::root());
+        assert_eq!(deps.len(), 4);
+        assert_eq!(deps[0], w1); // depth 1 worlds first (w1 inserted before w2)
+        assert!(deps.contains(&w2));
+        assert_eq!(*deps.last().unwrap(), w321);
+        // dependents of [1]: 2·1 and 3·2·1, not [1] itself.
+        assert_eq!(dir.dependents(&path(&[1])), vec![w21, w321]);
+        // dependents of [2·1]: 3·2·1.
+        assert_eq!(dir.dependents(&path(&[2, 1])), vec![w321]);
+        assert!(dir.dependents(&path(&[3, 2, 1])).is_empty());
+    }
+
+    #[test]
+    fn ensure_world_creates_prefixes() {
+        let mut store = store_with_users(3);
+        let w = store.ensure_world(&path(&[2, 1])).unwrap();
+        // Creates both [2] and [2,1]; directory: ε, 2, 2·1.
+        assert_eq!(store.dir.len(), 3);
+        assert_eq!(store.dir.path(w), &path(&[2, 1]));
+        assert!(store.dir.get(&path(&[2])).is_some());
+        // Idempotent.
+        assert_eq!(store.ensure_world(&path(&[2, 1])).unwrap(), w);
+        assert_eq!(store.dir.len(), 3);
+    }
+
+    #[test]
+    fn edges_match_fig4_after_creation() {
+        // Recreate the running example's world set: 1, 2, 2·1 over 3 users.
+        let mut store = store_with_users(3);
+        store.ensure_world(&path(&[1])).unwrap();
+        store.ensure_world(&path(&[2])).unwrap();
+        store.ensure_world(&path(&[2, 1])).unwrap();
+
+        let root = Wid::ROOT;
+        let w1 = store.dir.get(&path(&[1])).unwrap();
+        let w2 = store.dir.get(&path(&[2])).unwrap();
+        let w21 = store.dir.get(&path(&[2, 1])).unwrap();
+        let (u1, u2, u3) = (UserId(1), UserId(2), UserId(3));
+
+        assert_eq!(store.edge_target(root, u1).unwrap(), w1);
+        assert_eq!(store.edge_target(root, u2).unwrap(), w2);
+        assert_eq!(store.edge_target(root, u3).unwrap(), root);
+        assert_eq!(store.edge_target(w1, u2).unwrap(), w2);
+        assert_eq!(store.edge_target(w1, u3).unwrap(), root);
+        assert_eq!(store.edge_target(w2, u1).unwrap(), w21);
+        assert_eq!(store.edge_target(w2, u3).unwrap(), root);
+        assert_eq!(store.edge_target(w21, u2).unwrap(), w2);
+        assert_eq!(store.edge_target(w21, u3).unwrap(), root);
+        // Edge count matches Fig. 5's E table: 9 rows.
+        assert_eq!(store.database().table(E_TABLE).unwrap().len(), 9);
+    }
+
+    #[test]
+    fn late_world_creation_redirects_existing_edges() {
+        // Create 2·1 BEFORE 1; then creating 1 must redirect both the
+        // root's 1-edge and S(2·1).
+        let mut store = store_with_users(2);
+        let w21 = store.ensure_world(&path(&[2, 1])).unwrap();
+        let root = Wid::ROOT;
+        let (u1, _u2) = (UserId(1), UserId(2));
+        // Before: dss(1) = ε.
+        assert_eq!(store.edge_target(root, u1).unwrap(), root);
+        assert_eq!(store.suffix_parent(w21).unwrap(), root);
+
+        let w1 = store.ensure_world(&path(&[1])).unwrap();
+        // Root's 1-edge now reaches the new world.
+        assert_eq!(store.edge_target(root, u1).unwrap(), w1);
+        // S(2·1) repointed to the deeper suffix parent [1].
+        assert_eq!(store.suffix_parent(w21).unwrap(), w1);
+        // S(1) = root.
+        assert_eq!(store.suffix_parent(w1).unwrap(), root);
+    }
+
+    #[test]
+    fn deeper_suffix_states_keep_their_edges() {
+        // Worlds: 1, 2·1 (deeper). Creating... the 1-edge of world [2]
+        // should point to [2·1]? No: from [2], pushing 1 gives 2·1 which IS
+        // a state → forward edge. From [3·2]... exercise: create [3,2] and
+        // check its 1-edge goes to the *deepest* suffix state of 3·2·1,
+        // which is 2·1, and stays there when [1] is created later.
+        let mut store = store_with_users(3);
+        store.ensure_world(&path(&[2, 1])).unwrap();
+        let w32 = store.ensure_world(&path(&[3, 2])).unwrap();
+        let w21 = store.dir.get(&path(&[2, 1])).unwrap();
+        assert_eq!(store.edge_target(w32, UserId(1)).unwrap(), w21);
+        // Creating the shallower state [1] must NOT steal the edge.
+        store.ensure_world(&path(&[1])).unwrap();
+        assert_eq!(store.edge_target(w32, UserId(1)).unwrap(), w21);
+    }
+
+    #[test]
+    fn s_table_matches_errata_definition() {
+        // S(w) = dss(w[2,d]), not dss(w) (which would be w itself).
+        let mut store = store_with_users(3);
+        store.ensure_world(&path(&[1])).unwrap();
+        let w21 = store.ensure_world(&path(&[2, 1])).unwrap();
+        let w321 = store.ensure_world(&path(&[3, 2, 1])).unwrap();
+        let w1 = store.dir.get(&path(&[1])).unwrap();
+        assert_eq!(store.suffix_parent(w21).unwrap(), w1, "S(2·1) = dss(1) = [1]");
+        assert_eq!(store.suffix_parent(w321).unwrap(), w21, "S(3·2·1) = dss(2·1) = [2·1]");
+    }
+
+    #[test]
+    fn depth_relation_is_maintained() {
+        let mut store = store_with_users(2);
+        store.ensure_world(&path(&[1, 2])).unwrap();
+        let d = store.database().table(D_TABLE).unwrap();
+        // ε, 1, 1·2
+        assert_eq!(d.len(), 3);
+        let mut rows = d.scan();
+        rows.sort();
+        assert_eq!(rows[0], beliefdb_storage::row![0, 0]);
+        assert_eq!(rows[1], beliefdb_storage::row![1, 1]);
+        assert_eq!(rows[2], beliefdb_storage::row![2, 2]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Rooted Kripke structures (Sect. 4).
+//!
+//! `K = (V, (W_v)_{v∈V}, (E_i)_{i∈U}, v0)`: states carrying belief worlds,
+//! per-user accessibility relations, and a root. Entailment is the standard
+//! recursive definition:
+//!
+//! ```text
+//! (K, v) |= t^s   iff  W_v |= t^s           (Def. 6 / Prop. 7)
+//! (K, v) |= □_i ϕ iff  ∀(v,v') ∈ E_i. (K, v') |= ϕ
+//! ```
+//!
+//! This module is the *generic* structure — arbitrary edge relations, used
+//! to validate the canonical construction of [`crate::canonical`] (whose
+//! edges are deterministic) against the textbook semantics.
+
+use crate::ids::UserId;
+use crate::statement::{BeliefStatement, GroundTuple, Sign};
+use crate::world::BeliefWorld;
+use std::collections::HashMap;
+
+/// Index of a state in a [`Kripke`] structure.
+pub type StateId = usize;
+
+/// A rooted Kripke structure over belief worlds.
+#[derive(Debug, Clone, Default)]
+pub struct Kripke {
+    worlds: Vec<BeliefWorld>,
+    edges: HashMap<(StateId, UserId), Vec<StateId>>,
+    root: StateId,
+}
+
+impl Kripke {
+    pub fn new() -> Self {
+        Kripke::default()
+    }
+
+    /// Add a state with its belief world; returns its id. The first state
+    /// added becomes the root unless [`Kripke::set_root`] is called.
+    pub fn add_state(&mut self, world: BeliefWorld) -> StateId {
+        self.worlds.push(world);
+        self.worlds.len() - 1
+    }
+
+    pub fn set_root(&mut self, root: StateId) {
+        assert!(root < self.worlds.len(), "root must be an existing state");
+        self.root = root;
+    }
+
+    pub fn root(&self) -> StateId {
+        self.root
+    }
+
+    pub fn state_count(&self) -> usize {
+        self.worlds.len()
+    }
+
+    pub fn world(&self, v: StateId) -> &BeliefWorld {
+        &self.worlds[v]
+    }
+
+    /// Add an edge `(from, to)` to the accessibility relation `E_user`.
+    pub fn add_edge(&mut self, from: StateId, user: UserId, to: StateId) {
+        assert!(from < self.worlds.len() && to < self.worlds.len());
+        self.edges.entry((from, user)).or_default().push(to);
+    }
+
+    /// Successors of `v` under user `i`.
+    pub fn successors(&self, v: StateId, user: UserId) -> &[StateId] {
+        self.edges.get(&(v, user)).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(|v| v.len()).sum()
+    }
+
+    /// `(K, v) |= ϕ` for a belief statement `ϕ = w t^s`, by structural
+    /// recursion on the path. Note the ∀ over successors: a state with *no*
+    /// `i`-successor vacuously satisfies every `□_i ϕ`.
+    pub fn entails_at(&self, v: StateId, stmt: &BeliefStatement) -> bool {
+        self.entails_rec(v, stmt.path.users(), &stmt.tuple, stmt.sign)
+    }
+
+    /// `K |= ϕ` — entailment at the root.
+    pub fn entails(&self, stmt: &BeliefStatement) -> bool {
+        self.entails_at(self.root, stmt)
+    }
+
+    fn entails_rec(&self, v: StateId, path: &[UserId], tuple: &GroundTuple, sign: Sign) -> bool {
+        match path.split_first() {
+            None => self.worlds[v].entails(tuple, sign),
+            Some((first, rest)) => self
+                .successors(v, *first)
+                .iter()
+                .all(|&v2| self.entails_rec(v2, rest, tuple, sign)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RelId;
+    use crate::path::{path, BeliefPath};
+    use beliefdb_storage::row;
+
+    fn t(key: &str, species: &str) -> GroundTuple {
+        GroundTuple::new(RelId(0), row![key, species])
+    }
+
+    fn world(pos: &[GroundTuple], neg: &[GroundTuple]) -> BeliefWorld {
+        let mut w = BeliefWorld::new();
+        for p in pos {
+            w.add_pos(p.clone());
+        }
+        for n in neg {
+            w.add_neg(n.clone());
+        }
+        w
+    }
+
+    /// The canonical Kripke structure of Fig. 4, built by hand:
+    /// #0 root {s11+}, #1 Alice {s11+, s21+, c11+}, #2 Bob {s11−, s12−,
+    /// s22+, c22+}, #3 Bob·Alice {s11+, s21+, c11+, c21+} (tuples simplified
+    /// to a 2-column schema for the test).
+    fn fig4() -> Kripke {
+        let alice = UserId(1);
+        let bob = UserId(2);
+        let carol = UserId(3);
+        let s11 = t("s1", "bald eagle");
+        let s12 = t("s1", "fish eagle");
+        let s21 = t("s2", "crow");
+        let s22 = t("s2", "raven");
+        let c11 = t("c1", "found feathers");
+        let c21 = t("c2", "black feathers");
+        let c22 = t("c2", "purple-black feathers");
+
+        let mut k = Kripke::new();
+        let v0 = k.add_state(world(std::slice::from_ref(&s11), &[]));
+        let v1 = k.add_state(world(&[s11.clone(), s21.clone(), c11.clone()], &[]));
+        let v2 = k.add_state(world(&[s22.clone(), c22.clone()], &[s11.clone(), s12.clone()]));
+        let v3 = k.add_state(world(&[s11, s21, c11, c21], &[]));
+        k.set_root(v0);
+        // Edges as drawn in Fig. 4.
+        k.add_edge(v0, alice, v1);
+        k.add_edge(v0, bob, v2);
+        k.add_edge(v0, carol, v0);
+        k.add_edge(v1, bob, v2);
+        k.add_edge(v1, carol, v0);
+        k.add_edge(v2, alice, v3);
+        k.add_edge(v2, carol, v0);
+        k.add_edge(v3, bob, v2);
+        k.add_edge(v3, carol, v0);
+        k
+    }
+
+    #[test]
+    fn ground_entailment_at_root() {
+        let k = fig4();
+        assert!(k.entails(&BeliefStatement::positive(BeliefPath::root(), t("s1", "bald eagle"))));
+        assert!(!k.entails(&BeliefStatement::positive(BeliefPath::root(), t("s2", "crow"))));
+    }
+
+    #[test]
+    fn modal_entailment_follows_edges() {
+        let k = fig4();
+        // Bob believes the raven tuple: K |= □2 s22+.
+        assert!(k.entails(&BeliefStatement::positive(path(&[2]), t("s2", "raven"))));
+        // Bob disbelieves the bald eagle (stated negative).
+        assert!(k.entails(&BeliefStatement::negative(path(&[2]), t("s1", "bald eagle"))));
+        // Bob believes Alice believes the crow.
+        assert!(k.entails(&BeliefStatement::positive(path(&[2, 1]), t("s2", "crow"))));
+        // Bob's unstated negative: crow conflicts with his raven.
+        assert!(k.entails(&BeliefStatement::negative(path(&[2]), t("s2", "crow"))));
+        // Carol's edge loops to the root: she believes the eagle.
+        assert!(k.entails(&BeliefStatement::positive(path(&[3]), t("s1", "bald eagle"))));
+        // Deeper loop: Carol believes Bob believes Alice believes the crow.
+        assert!(k.entails(&BeliefStatement::positive(path(&[3, 2, 1]), t("s2", "crow"))));
+    }
+
+    #[test]
+    fn missing_edges_are_vacuous() {
+        let k = fig4();
+        // No edge labelled 1 from state #1 (Alice's own world): □1 from
+        // there is vacuously true for any statement... but paths are in Û*,
+        // so this only shows through a user with no edges at all.
+        let dora = UserId(9);
+        assert!(k.entails(&BeliefStatement::positive(
+            BeliefPath::user(dora),
+            t("zz", "anything")
+        )));
+    }
+
+    #[test]
+    fn multiple_successors_require_all() {
+        let alice = UserId(1);
+        let mut k = Kripke::new();
+        let v0 = k.add_state(BeliefWorld::new());
+        let v1 = k.add_state(world(&[t("s1", "crow")], &[]));
+        let v2 = k.add_state(world(&[t("s1", "crow"), t("s2", "owl")], &[]));
+        k.set_root(v0);
+        k.add_edge(v0, alice, v1);
+        k.add_edge(v0, alice, v2);
+        // crow holds in both successors; owl only in one.
+        assert!(k.entails(&BeliefStatement::positive(path(&[1]), t("s1", "crow"))));
+        assert!(!k.entails(&BeliefStatement::positive(path(&[1]), t("s2", "owl"))));
+        assert_eq!(k.successors(v0, alice).len(), 2);
+        assert_eq!(k.edge_count(), 2);
+    }
+
+    #[test]
+    fn state_accessors() {
+        let k = fig4();
+        assert_eq!(k.state_count(), 4);
+        assert_eq!(k.root(), 0);
+        assert_eq!(k.world(1).pos_len(), 3);
+        assert_eq!(k.edge_count(), 9);
+        assert!(k.successors(1, UserId(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "root must be an existing state")]
+    fn invalid_root_panics() {
+        let mut k = Kripke::new();
+        k.set_root(3);
+    }
+}

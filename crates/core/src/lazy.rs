@@ -1,0 +1,254 @@
+//! Lazy default-rule evaluation — the paper's Sect. 6.3 proposal,
+//! implemented as an extension.
+//!
+//! "Our current canonical Kripke structure stores `D̄`, the set of all
+//! entailed beliefs, which means that it applies eagerly all instances of
+//! the default rule to `D`; this causes the database to increase. An
+//! alternative approach is to apply the default rule [...] only during
+//! query evaluation. This will complicate the query translation, but, at
+//! the same time, will drastically reduce the size of the database."
+//!
+//! [`LazyBdms`] stores only the *explicit* statements (size `O(n)` instead
+//! of `O(n·N)`), keeps the world directory, and materializes entailed
+//! worlds on demand with memoization. Inserts are O(1) — no dependent-world
+//! propagation — at the price of query-time closure walks. The
+//! `ablation_lazy` bench quantifies the trade-off the paper predicts.
+
+use crate::bcq::{naive, Bcq};
+use crate::database::BeliefDatabase;
+use crate::error::{BeliefError, Result};
+use crate::ids::UserId;
+use crate::internal::InsertOutcome;
+use crate::path::BeliefPath;
+use crate::schema::ExternalSchema;
+use crate::statement::{BeliefStatement, GroundTuple, Sign};
+use crate::world::BeliefWorld;
+use beliefdb_storage::Row;
+use std::collections::HashMap;
+
+/// A belief database that applies the message-board default rule lazily.
+pub struct LazyBdms {
+    db: BeliefDatabase,
+    /// Memoized entailed worlds; invalidated wholesale on update (an update
+    /// of key `k` could refine this to per-key invalidation — kept simple,
+    /// as the mode trades update cost for query cost anyway).
+    cache: HashMap<BeliefPath, BeliefWorld>,
+}
+
+impl LazyBdms {
+    pub fn new(schema: ExternalSchema) -> Self {
+        LazyBdms { db: BeliefDatabase::new(schema), cache: HashMap::new() }
+    }
+
+    /// Wrap an existing logical database.
+    pub fn from_belief_database(db: BeliefDatabase) -> Self {
+        LazyBdms { db, cache: HashMap::new() }
+    }
+
+    pub fn schema(&self) -> &ExternalSchema {
+        self.db.schema()
+    }
+
+    pub fn add_user(&mut self, name: impl Into<String>) -> Result<UserId> {
+        // New users change default beliefs everywhere (they believe all
+        // stated beliefs) — but entailed worlds of *existing paths* are
+        // untouched, so the cache stays valid.
+        self.db.add_user(name)
+    }
+
+    pub fn user_by_name(&self, name: &str) -> Result<UserId> {
+        self.db.user_by_name(name)
+    }
+
+    /// Insert a statement. O(depth) — no propagation.
+    pub fn insert(
+        &mut self,
+        path: BeliefPath,
+        rel: crate::ids::RelId,
+        row: Row,
+        sign: Sign,
+    ) -> Result<InsertOutcome> {
+        self.insert_statement(&BeliefStatement::new(path, GroundTuple::new(rel, row), sign))
+    }
+
+    pub fn insert_statement(&mut self, stmt: &BeliefStatement) -> Result<InsertOutcome> {
+        match self.db.insert(stmt.clone()) {
+            Ok(true) => {
+                self.cache.clear();
+                Ok(InsertOutcome::Inserted)
+            }
+            Ok(false) => Ok(InsertOutcome::AlreadyExplicit),
+            Err(BeliefError::Inconsistent(_)) => Ok(InsertOutcome::Rejected),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Delete an explicit statement. O(depth).
+    pub fn delete_statement(&mut self, stmt: &BeliefStatement) -> Result<bool> {
+        let removed = self.db.remove(stmt);
+        if removed {
+            self.cache.clear();
+        }
+        Ok(removed)
+    }
+
+    /// The entailed world at a path, computed on demand (suffix-chain
+    /// overriding union) and memoized until the next update.
+    pub fn world(&mut self, path: &BeliefPath) -> &BeliefWorld {
+        if !self.cache.contains_key(path) {
+            let world = if path.is_root() {
+                self.db.explicit_world(path)
+            } else {
+                let parent = self.world(&path.drop_first()).clone();
+                self.db.explicit_world(path).override_with(&parent)
+            };
+            self.cache.insert(path.clone(), world);
+        }
+        &self.cache[path]
+    }
+
+    /// World-level entailment, resolved lazily.
+    pub fn entails(&mut self, stmt: &BeliefStatement) -> bool {
+        self.world(&stmt.path).entails(&stmt.tuple, stmt.sign)
+    }
+
+    /// Evaluate a BCQ. The default rule is applied during evaluation —
+    /// exactly the strategy sketched in Sect. 6.3. Path variables cost one
+    /// world materialization per candidate user assignment.
+    pub fn query(&self, q: &Bcq) -> Result<Vec<Row>> {
+        let mut rows = naive::evaluate(&self.db, q)?;
+        rows.sort();
+        Ok(rows)
+    }
+
+    /// Storage footprint of the lazy representation: explicit statements
+    /// plus the catalog — the `O(n)` the paper predicts ("drastically
+    /// reduce the size of the database").
+    pub fn stored_tuples(&self) -> usize {
+        // One V row per explicit statement, one R* row per distinct tuple,
+        // one U row per user, D/S/E for the states only.
+        let states = self.db.states().len();
+        let users = self.db.user_count();
+        self.db.len()
+            + self.db.mentioned_tuples().len()
+            + users
+            + states // D
+            + states.saturating_sub(1) // S
+            + states * users // E upper bound
+    }
+
+    pub fn database(&self) -> &BeliefDatabase {
+        &self.db
+    }
+
+    /// Number of memoized worlds (for observability in benches).
+    pub fn cached_worlds(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcq::dsl::*;
+    use crate::bdms::Bdms;
+    use crate::database::running_example;
+    use crate::path::path;
+    use beliefdb_storage::row;
+
+    fn lazy_running_example() -> LazyBdms {
+        let (db, ..) = running_example();
+        LazyBdms::from_belief_database(db)
+    }
+
+    #[test]
+    fn lazy_entailment_matches_eager() {
+        let (db, ..) = running_example();
+        let eager = Bdms::from_belief_database(&db).unwrap();
+        let mut lazy = LazyBdms::from_belief_database(db.clone());
+        for t in db.mentioned_tuples() {
+            for p in [path(&[1]), path(&[2]), path(&[2, 1]), path(&[1, 2]), path(&[3, 2, 1])] {
+                for sign in [Sign::Pos, Sign::Neg] {
+                    let stmt = BeliefStatement::new(p.clone(), t.clone(), sign);
+                    assert_eq!(
+                        lazy.entails(&stmt),
+                        eager.entails(&stmt).unwrap(),
+                        "lazy vs eager on {stmt}"
+                    );
+                }
+            }
+        }
+        assert!(lazy.cached_worlds() >= 5);
+    }
+
+    #[test]
+    fn lazy_queries_match_eager_queries() {
+        let (db, alice, _, _) = running_example();
+        let eager = Bdms::from_belief_database(&db).unwrap();
+        let lazy = LazyBdms::from_belief_database(db.clone());
+        let s = db.schema().relation_id("Sightings").unwrap();
+        let args = vec![qv("y"), qv("z"), qv("u"), qv("v"), qv("w")];
+        let q = Bcq::builder(vec![qv("x")])
+            .negative(vec![pv("x")], s, args.clone())
+            .positive(vec![pu(alice)], s, args)
+            .build(db.schema())
+            .unwrap();
+        assert_eq!(lazy.query(&q).unwrap(), eager.query(&q).unwrap());
+    }
+
+    #[test]
+    fn lazy_inserts_are_cheap_and_invalidate() {
+        let mut lazy = lazy_running_example();
+        let s = lazy.schema().relation_id("Sightings").unwrap();
+        let heron = GroundTuple::new(s, row!["s9", "Alice", "heron", "7-01-08", "Lake Placid"]);
+        // Warm the cache.
+        let _ = lazy.world(&path(&[2, 1]));
+        assert!(lazy.cached_worlds() > 0);
+        let out = lazy
+            .insert_statement(&BeliefStatement::positive(BeliefPath::root(), heron.clone()))
+            .unwrap();
+        assert_eq!(out, InsertOutcome::Inserted);
+        assert_eq!(lazy.cached_worlds(), 0, "cache invalidated");
+        // The new fact flows through defaults lazily.
+        assert!(lazy.entails(&BeliefStatement::positive(path(&[2, 1]), heron)));
+    }
+
+    #[test]
+    fn lazy_rejects_inconsistent_inserts() {
+        let mut lazy = lazy_running_example();
+        let s = lazy.schema().relation_id("Sightings").unwrap();
+        // Bob explicitly believes raven@s2; a second positive on the same
+        // key must be rejected, same as Algorithm 4.
+        let heron = GroundTuple::new(s, row!["s2", "Alice", "heron", "6-14-08", "Lake Placid"]);
+        let out = lazy
+            .insert_statement(&BeliefStatement::positive(path(&[2]), heron))
+            .unwrap();
+        assert_eq!(out, InsertOutcome::Rejected);
+        // Duplicates are reported as such.
+        let raven = GroundTuple::new(s, row!["s2", "Alice", "raven", "6-14-08", "Lake Placid"]);
+        let out = lazy
+            .insert_statement(&BeliefStatement::positive(path(&[2]), raven))
+            .unwrap();
+        assert_eq!(out, InsertOutcome::AlreadyExplicit);
+    }
+
+    #[test]
+    fn lazy_delete_restores_defaults() {
+        let mut lazy = lazy_running_example();
+        let s = lazy.schema().relation_id("Sightings").unwrap();
+        let s11 = GroundTuple::new(s, row!["s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"]);
+        let stmt = BeliefStatement::negative(path(&[2]), s11.clone());
+        assert!(lazy.delete_statement(&stmt).unwrap());
+        assert!(!lazy.delete_statement(&stmt).unwrap());
+        assert!(lazy.entails(&BeliefStatement::positive(path(&[2]), s11)));
+    }
+
+    #[test]
+    fn lazy_footprint_is_much_smaller_than_eager() {
+        // The headline claim of Sect. 6.3: explicit-only storage is O(n).
+        let (db, ..) = running_example();
+        let eager = Bdms::from_belief_database(&db).unwrap();
+        let lazy = LazyBdms::from_belief_database(db);
+        assert!(lazy.stored_tuples() <= eager.stats().total_tuples);
+    }
+}

@@ -1,0 +1,88 @@
+//! # beliefdb-core
+//!
+//! A faithful implementation of **belief databases** — "Believe It or Not:
+//! Adding Belief Annotations to Databases" (Gatterbauer, Balazinska,
+//! Khoussainova, Suciu; VLDB 2009).
+//!
+//! A belief database annotates ordinary relational tuples with *belief
+//! statements* `w t^s`: a belief path `w` (a sequence of users, e.g.
+//! "Bob believes Alice believes"), a ground tuple `t`, and a sign. The
+//! semantics is a fragment of multi-agent epistemic logic with the
+//! *message-board assumption*: by default every user believes every stated
+//! belief, unless they explicitly contradict it.
+//!
+//! ## Layer map (paper section → module)
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | Sect. 3.1 belief worlds, Γ1/Γ2, Prop. 7 | [`world`] |
+//! | Sect. 3.2 belief databases, `Û*` paths | [`database`], [`path`], [`statement`] |
+//! | Def. 9–12 message-board closure `D̄` | [`closure`] |
+//! | Sect. 4 Kripke structures, Def. 16/Thm. 17 | [`kripke`], [`canonical`] |
+//! | Sect. 5.1 internal schema `R*` + Alg. 2–4 | [`internal`] |
+//! | Sect. 3.3 / 5.2 BCQ + Algorithm 1 | [`bcq`] |
+//! | The prototype BDMS | [`bdms`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use beliefdb_core::prelude::*;
+//! use beliefdb_storage::row;
+//!
+//! let schema = ExternalSchema::new().with_relation("S", &["sid", "species"]);
+//! let mut bdms = Bdms::new(schema).unwrap();
+//! let alice = bdms.add_user("Alice").unwrap();
+//! let bob = bdms.add_user("Bob").unwrap();
+//!
+//! // Alice believes she saw a crow; Bob believes it was a raven.
+//! let s = bdms.schema().relation_id("S").unwrap();
+//! bdms.insert(BeliefPath::user(alice), s, row!["s1", "crow"], Sign::Pos).unwrap();
+//! bdms.insert(BeliefPath::user(bob), s, row!["s1", "raven"], Sign::Pos).unwrap();
+//!
+//! // Bob's world entails the *unstated* negative for the crow tuple.
+//! let crow = GroundTuple::new(s, row!["s1", "crow"]);
+//! assert!(bdms.entails(&BeliefStatement::negative(BeliefPath::user(bob), crow)).unwrap());
+//! ```
+
+pub mod bcq;
+pub mod bdms;
+pub mod canonical;
+pub mod closure;
+pub mod database;
+pub mod error;
+pub mod ids;
+pub mod internal;
+pub mod kripke;
+pub mod lazy;
+pub mod path;
+pub mod schema;
+pub mod statement;
+pub mod world;
+
+pub use bdms::Bdms;
+pub use canonical::CanonicalKripke;
+pub use closure::Closure;
+pub use database::{running_example, BeliefDatabase};
+pub use error::{BeliefError, Result};
+pub use ids::{RelId, Tid, UserId, Wid};
+pub use kripke::Kripke;
+pub use lazy::LazyBdms;
+pub use path::BeliefPath;
+pub use schema::{naturemapping_schema, ExternalSchema, RelationDef};
+pub use statement::{BeliefStatement, GroundTuple, Sign};
+pub use world::BeliefWorld;
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::bcq::{Bcq, PathElem, QueryTerm, Subgoal, UserAtom};
+    pub use crate::bdms::Bdms;
+    pub use crate::canonical::CanonicalKripke;
+    pub use crate::closure::Closure;
+    pub use crate::database::BeliefDatabase;
+    pub use crate::error::{BeliefError, Result};
+    pub use crate::ids::{RelId, Tid, UserId, Wid};
+    pub use crate::path::BeliefPath;
+    pub use crate::schema::{ExternalSchema, RelationDef};
+    pub use crate::statement::{BeliefStatement, GroundTuple, Sign};
+    pub use crate::world::BeliefWorld;
+}

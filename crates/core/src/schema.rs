@@ -1,0 +1,172 @@
+//! The external schema `R = (R1, ..., Rr)` (Sect. 3).
+//!
+//! This is how users see the non-annotated data. Each relation's *first*
+//! attribute is its distinguished primary key (`key_i`). The internal
+//! schema `R*` derived from it lives in [`crate::internal`].
+
+use crate::error::{BeliefError, Result};
+use crate::ids::RelId;
+use beliefdb_storage::Row;
+
+/// One external relation `Ri(key, att2, ..., attl)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationDef {
+    name: String,
+    columns: Vec<String>,
+}
+
+impl RelationDef {
+    pub fn new(name: impl Into<String>, columns: &[&str]) -> Self {
+        let name = name.into();
+        assert!(!columns.is_empty(), "relation `{name}` needs at least a key column");
+        RelationDef { name, columns: columns.iter().map(|c| c.to_string()).collect() }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Name of the distinguished key attribute (always the first column).
+    pub fn key_column(&self) -> &str {
+        &self.columns[0]
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+}
+
+/// The external schema: an ordered list of relations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExternalSchema {
+    relations: Vec<RelationDef>,
+}
+
+impl ExternalSchema {
+    pub fn new() -> Self {
+        ExternalSchema::default()
+    }
+
+    /// Add a relation; its first column is the primary key.
+    pub fn add_relation(&mut self, name: impl Into<String>, columns: &[&str]) -> Result<RelId> {
+        let def = RelationDef::new(name, columns);
+        if self.relations.iter().any(|r| r.name == def.name) {
+            return Err(BeliefError::DuplicateRelation(def.name));
+        }
+        self.relations.push(def);
+        Ok(RelId((self.relations.len() - 1) as u32))
+    }
+
+    /// Builder-style variant of [`ExternalSchema::add_relation`].
+    pub fn with_relation(mut self, name: impl Into<String>, columns: &[&str]) -> Self {
+        self.add_relation(name, columns).expect("duplicate relation in schema literal");
+        self
+    }
+
+    pub fn relations(&self) -> &[RelationDef] {
+        &self.relations
+    }
+
+    pub fn relation(&self, id: RelId) -> Result<&RelationDef> {
+        self.relations
+            .get(id.0 as usize)
+            .ok_or_else(|| BeliefError::NoSuchRelation(format!("#{id}")))
+    }
+
+    pub fn relation_id(&self, name: &str) -> Result<RelId> {
+        self.relations
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RelId(i as u32))
+            .ok_or_else(|| BeliefError::NoSuchRelation(name.to_string()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Validate that `row` fits relation `rel`.
+    pub fn check_tuple(&self, rel: RelId, row: &Row) -> Result<()> {
+        let def = self.relation(rel)?;
+        if row.arity() != def.arity() {
+            return Err(BeliefError::ArityMismatch {
+                relation: def.name.clone(),
+                expected: def.arity(),
+                got: row.arity(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The running example's schema (Sect. 2):
+/// `Sightings(sid, uid, species, date, location)`,
+/// `Comments(cid, comment, sid)`.
+///
+/// The `Users` relation of the paper is the user catalog and is managed by
+/// the BDMS itself, not by the external schema.
+pub fn naturemapping_schema() -> ExternalSchema {
+    ExternalSchema::new()
+        .with_relation("Sightings", &["sid", "uid", "species", "date", "location"])
+        .with_relation("Comments", &["cid", "comment", "sid"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beliefdb_storage::row;
+
+    #[test]
+    fn add_and_lookup() {
+        let s = naturemapping_schema();
+        assert_eq!(s.len(), 2);
+        let sightings = s.relation_id("Sightings").unwrap();
+        assert_eq!(sightings, RelId(0));
+        let def = s.relation(sightings).unwrap();
+        assert_eq!(def.name(), "Sightings");
+        assert_eq!(def.arity(), 5);
+        assert_eq!(def.key_column(), "sid");
+        assert_eq!(def.column_index("species"), Some(2));
+        assert_eq!(def.column_index("nope"), None);
+        assert!(s.relation_id("Nope").is_err());
+        assert!(s.relation(RelId(9)).is_err());
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut s = naturemapping_schema();
+        assert!(matches!(
+            s.add_relation("Sightings", &["sid"]),
+            Err(BeliefError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn tuple_check() {
+        let s = naturemapping_schema();
+        let rel = s.relation_id("Comments").unwrap();
+        assert!(s.check_tuple(rel, &row!["c1", "found feathers", "s2"]).is_ok());
+        assert!(matches!(
+            s.check_tuple(rel, &row!["c1"]),
+            Err(BeliefError::ArityMismatch { expected: 3, got: 1, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a key column")]
+    fn empty_relation_panics() {
+        let _ = RelationDef::new("T", &[]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Annotation-depth distributions: the paper's `Pr[d = x]` pmf over belief
+//! path nesting depths (Sect. 6.1, Table 1).
+
+use rand::Rng;
+
+/// A discrete probability mass function over nesting depths `0, 1, 2, ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthDist {
+    cdf: Vec<f64>,
+}
+
+impl DepthDist {
+    /// Build from a pmf (weights are normalized; they need not sum to 1).
+    pub fn new(pmf: &[f64]) -> Self {
+        assert!(!pmf.is_empty(), "depth distribution needs at least one entry");
+        assert!(pmf.iter().all(|p| *p >= 0.0), "probabilities must be non-negative");
+        let total: f64 = pmf.iter().sum();
+        assert!(total > 0.0, "at least one depth must have positive probability");
+        let mut acc = 0.0;
+        let cdf = pmf
+            .iter()
+            .map(|p| {
+                acc += p / total;
+                acc
+            })
+            .collect();
+        DepthDist { cdf }
+    }
+
+    /// Table 1 row 1: `Pr[d = {0,1,2}] = [1/3, 1/3, 1/3]`.
+    pub fn uniform_012() -> Self {
+        DepthDist::new(&[1.0, 1.0, 1.0])
+    }
+
+    /// Table 1 row 2: `[0.8, 0.19, 0.01]` — mostly base data.
+    pub fn skewed_shallow() -> Self {
+        DepthDist::new(&[0.8, 0.19, 0.01])
+    }
+
+    /// Table 1 row 3: `[0.199, 0.8, 0.001]` — mostly depth-1 annotations.
+    pub fn skewed_depth1() -> Self {
+        DepthDist::new(&[0.199, 0.8, 0.001])
+    }
+
+    /// The depth-≤4 mix used for the Table 2 query benchmark database
+    /// (content queries go down to depth 4 there). Root inserts are rare:
+    /// every root fact fans out to *all* belief worlds under the eager
+    /// default rule, and the paper's Table 2 database has a modest overhead
+    /// of 22.4, which implies annotation-heavy, fact-light data.
+    pub fn table2_mix() -> Self {
+        DepthDist::new(&[0.04, 0.56, 0.30, 0.08, 0.02])
+    }
+
+    /// Maximum depth with non-zero probability.
+    pub fn max_depth(&self) -> usize {
+        self.cdf.len() - 1
+    }
+
+    /// Sample a depth.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let x: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&x).expect("no NaN")) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frequencies(d: &DepthDist, n: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = vec![0usize; d.max_depth() + 1];
+        for _ in 0..n {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn uniform_012_splits_evenly() {
+        let f = frequencies(&DepthDist::uniform_012(), 120_000);
+        for p in f {
+            assert!((p - 1.0 / 3.0).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn skewed_distributions_match_table1_rows() {
+        let f = frequencies(&DepthDist::skewed_shallow(), 200_000);
+        assert!((f[0] - 0.8).abs() < 0.01);
+        assert!((f[1] - 0.19).abs() < 0.01);
+        assert!((f[2] - 0.01).abs() < 0.005);
+
+        let f = frequencies(&DepthDist::skewed_depth1(), 200_000);
+        assert!((f[1] - 0.8).abs() < 0.01);
+        assert!(f[2] < 0.01);
+    }
+
+    #[test]
+    fn normalization_is_automatic() {
+        let d = DepthDist::new(&[2.0, 2.0]);
+        let f = frequencies(&d, 50_000);
+        assert!((f[0] - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn max_depth_reported() {
+        assert_eq!(DepthDist::uniform_012().max_depth(), 2);
+        assert_eq!(DepthDist::table2_mix().max_depth(), 4);
+        assert_eq!(DepthDist::new(&[1.0]).max_depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive probability")]
+    fn all_zero_pmf_panics() {
+        let _ = DepthDist::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_probability_panics() {
+        let _ = DepthDist::new(&[0.5, -0.1]);
+    }
+}

@@ -1,0 +1,155 @@
+//! User-participation distributions (Sect. 6.1).
+//!
+//! The paper models "user participation as either uniform or following a
+//! generalized Zipf distribution (e.g. user 1 is responsible for 50% of all
+//! annotations, user 2 for 25%, ...)". We provide uniform, power-law Zipf
+//! (`p_i ∝ 1/i^θ`), and the geometric shape of the paper's 50/25/12.5 %
+//! example.
+
+use rand::Rng;
+
+/// How annotation authorship is distributed over the `m` users.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Participation {
+    /// Every user equally likely.
+    Uniform,
+    /// Generalized Zipf: `Pr[user i] ∝ 1 / i^theta` (ranks start at 1).
+    Zipf { theta: f64 },
+    /// Geometric: `Pr[user i] ∝ ratio^i` — the paper's 50/25/12.5 example
+    /// is `ratio = 0.5`.
+    Geometric { ratio: f64 },
+}
+
+impl Participation {
+    /// The paper's skewed example (user 1 → 50 %, user 2 → 25 %, ...).
+    pub fn paper_zipf() -> Self {
+        Participation::Geometric { ratio: 0.5 }
+    }
+
+    /// Cumulative distribution over `m` users (normalized).
+    pub fn cdf(&self, m: usize) -> Vec<f64> {
+        assert!(m > 0, "need at least one user");
+        let weights: Vec<f64> = match self {
+            Participation::Uniform => vec![1.0; m],
+            Participation::Zipf { theta } => {
+                (1..=m).map(|i| 1.0 / (i as f64).powf(*theta)).collect()
+            }
+            Participation::Geometric { ratio } => {
+                assert!(*ratio > 0.0 && *ratio < 1.0, "ratio must be in (0, 1)");
+                (1..=m).map(|i| ratio.powi(i as i32)).collect()
+            }
+        };
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect()
+    }
+}
+
+/// Samples user ranks from a participation distribution.
+#[derive(Debug, Clone)]
+pub struct UserSampler {
+    cdf: Vec<f64>,
+}
+
+impl UserSampler {
+    pub fn new(participation: &Participation, m: usize) -> Self {
+        UserSampler { cdf: participation.cdf(m) }
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Sample a user rank in `1..=m`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let x: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&x).expect("no NaN")) {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frequencies(p: &Participation, m: usize, n: usize) -> Vec<f64> {
+        let sampler = UserSampler::new(p, m);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; m];
+        for _ in 0..n {
+            counts[sampler.sample(&mut rng) - 1] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let freq = frequencies(&Participation::Uniform, 10, 100_000);
+        for f in freq {
+            assert!((f - 0.1).abs() < 0.01, "frequency {f} too far from 0.1");
+        }
+    }
+
+    #[test]
+    fn paper_zipf_matches_50_25_example() {
+        let freq = frequencies(&Participation::paper_zipf(), 10, 200_000);
+        assert!((freq[0] - 0.5).abs() < 0.01, "user 1 should author ~50%: {}", freq[0]);
+        assert!((freq[1] - 0.25).abs() < 0.01, "user 2 should author ~25%: {}", freq[1]);
+        assert!((freq[2] - 0.125).abs() < 0.01);
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing() {
+        let freq = frequencies(&Participation::Zipf { theta: 1.0 }, 20, 200_000);
+        for pair in freq.windows(2) {
+            assert!(pair[0] + 0.01 >= pair[1], "Zipf frequencies must not increase");
+        }
+        // heavier head than uniform
+        assert!(freq[0] > 0.2);
+    }
+
+    #[test]
+    fn cdf_ends_at_one() {
+        for p in [
+            Participation::Uniform,
+            Participation::Zipf { theta: 1.5 },
+            Participation::paper_zipf(),
+        ] {
+            let cdf = p.cdf(17);
+            assert_eq!(cdf.len(), 17);
+            assert!((cdf.last().unwrap() - 1.0).abs() < 1e-9);
+            assert!(cdf.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let sampler = UserSampler::new(&Participation::Zipf { theta: 2.0 }, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let u = sampler.sample(&mut rng);
+            assert!((1..=5).contains(&u));
+        }
+        assert_eq!(sampler.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn zero_users_panics() {
+        let _ = Participation::Uniform.cdf(0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Parameter presets for the paper's experiments (Sect. 6).
+
+use crate::depth::DepthDist;
+use crate::generator::GeneratorConfig;
+use crate::participation::Participation;
+
+/// One cell of Table 1: a labeled configuration.
+#[derive(Debug, Clone)]
+pub struct Table1Cell {
+    pub label: String,
+    pub depth_label: &'static str,
+    pub users: usize,
+    pub zipf: bool,
+    pub config: GeneratorConfig,
+}
+
+/// The 12 cells of Table 1: `n = 10,000`, `m ∈ {10, 100}`, participation
+/// ∈ {Zipf, uniform}, three depth pmfs. `n` is scalable so smoke tests and
+/// CI can run the same grid cheaply.
+type DepthPreset = (&'static str, fn() -> DepthDist);
+
+pub fn table1_cells(n: usize, seed: u64) -> Vec<Table1Cell> {
+    let depths: [DepthPreset; 3] = [
+        ("[1/3, 1/3, 1/3]", DepthDist::uniform_012),
+        ("[0.8, 0.19, 0.01]", DepthDist::skewed_shallow),
+        ("[0.199, 0.8, 0.001]", DepthDist::skewed_depth1),
+    ];
+    let mut cells = Vec::new();
+    for (depth_label, depth) in depths {
+        for users in [10usize, 100] {
+            for zipf in [true, false] {
+                // Power-law Zipf (θ = 1) rather than the geometric example:
+                // the paper's m=100 Zipf overhead (130) clearly exceeds its
+                // m=10 Zipf one (31), so participation must still spread
+                // with m — p_i ∝ 1/i does, the 50/25/12.5 geometric doesn't.
+                let participation = if zipf {
+                    Participation::Zipf { theta: 1.0 }
+                } else {
+                    Participation::Uniform
+                };
+                let config = GeneratorConfig::new(users, n)
+                    .with_participation(participation.clone())
+                    .with_depth(depth())
+                    .with_seed(seed);
+                cells.push(Table1Cell {
+                    label: format!(
+                        "m={users} {} {}",
+                        if zipf { "Zipf" } else { "uniform" },
+                        depth_label
+                    ),
+                    depth_label,
+                    users,
+                    zipf,
+                    config,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Figure 6: `|R*|/n` vs. `n` for 100 users with uniform participation and
+/// two depth distributions. Returns `(series label, configs per n)`.
+pub fn fig6_series(ns: &[usize], seed: u64) -> Vec<(&'static str, Vec<GeneratorConfig>)> {
+    let mk = |depth: DepthDist| -> Vec<GeneratorConfig> {
+        ns.iter()
+            .map(|&n| {
+                GeneratorConfig::new(100, n)
+                    .with_participation(Participation::Uniform)
+                    .with_depth(depth.clone())
+                    .with_seed(seed)
+            })
+            .collect()
+    };
+    vec![
+        ("Pr[d] = [1/3, 1/3, 1/3]", mk(DepthDist::uniform_012())),
+        ("Pr[d] = [0.199, 0.8, 0.001]", mk(DepthDist::skewed_depth1())),
+    ]
+}
+
+/// The Table 2 database: `n` annotations with nesting depths up to 4
+/// ("the depth of its belief path d ∈ {0, ..., 4}") over 10 users.
+pub fn table2_config(n: usize, seed: u64) -> GeneratorConfig {
+    GeneratorConfig::new(10, n)
+        .with_depth(DepthDist::table2_mix())
+        .with_seed(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_grid_has_12_cells() {
+        let cells = table1_cells(100, 1);
+        assert_eq!(cells.len(), 12);
+        assert_eq!(cells.iter().filter(|c| c.zipf).count(), 6);
+        assert_eq!(cells.iter().filter(|c| c.users == 100).count(), 6);
+        // labels are unique
+        let mut labels: Vec<&str> = cells.iter().map(|c| c.label.as_str()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 12);
+        for c in &cells {
+            assert_eq!(c.config.annotations, 100);
+        }
+    }
+
+    #[test]
+    fn fig6_series_cover_requested_ns() {
+        let ns = [10, 100, 1000];
+        let series = fig6_series(&ns, 2);
+        assert_eq!(series.len(), 2);
+        for (_, configs) in &series {
+            assert_eq!(configs.len(), 3);
+            assert!(configs.iter().all(|c| c.users == 100));
+            assert_eq!(
+                configs.iter().map(|c| c.annotations).collect::<Vec<_>>(),
+                vec![10, 100, 1000]
+            );
+        }
+    }
+
+    #[test]
+    fn table2_config_has_depth_4() {
+        let cfg = table2_config(500, 3);
+        assert_eq!(cfg.depth.max_depth(), 4);
+        assert_eq!(cfg.users, 10);
+    }
+}

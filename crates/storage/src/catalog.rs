@@ -1,0 +1,127 @@
+//! The database catalog: a named collection of tables.
+
+use crate::error::{Result, StorageError};
+use crate::schema::TableSchema;
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// An in-memory database: the catalog plus all table data.
+///
+/// `BTreeMap` keeps iteration deterministic, which matters for the size
+/// accounting experiments (Table 1 / Figure 6 of the paper) and for
+/// reproducible test output.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Create a table from its schema.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<&mut Table> {
+        let name = schema.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::TableExists(name));
+        }
+        self.tables.insert(name.clone(), Table::new(schema));
+        Ok(self.tables.get_mut(&name).expect("just inserted"))
+    }
+
+    /// Drop a table; returns it if present.
+    pub fn drop_table(&mut self, name: &str) -> Result<Table> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Total number of live tuples across all tables.
+    ///
+    /// This is the paper's `|R*|` measure (Sect. 5.4, Sect. 6.1): "we measure
+    /// the size as the number of all tuples in the database".
+    pub fn total_tuples(&self) -> usize {
+        self.tables.values().map(|t| t.len()).sum()
+    }
+
+    /// Per-table tuple counts, sorted by table name.
+    pub fn table_sizes(&self) -> Vec<(&str, usize)> {
+        self.tables.iter().map(|(n, t)| (n.as_str(), t.len())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    #[test]
+    fn create_and_lookup() {
+        let mut db = Database::new();
+        db.create_table(TableSchema::with_key("Users", &["uid", "name"])).unwrap();
+        assert!(db.has_table("Users"));
+        assert!(db.table("Users").is_ok());
+        assert!(matches!(db.table("Nope"), Err(StorageError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = Database::new();
+        db.create_table(TableSchema::with_key("T", &["a"])).unwrap();
+        assert!(matches!(
+            db.create_table(TableSchema::with_key("T", &["b"])),
+            Err(StorageError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn drop_table() {
+        let mut db = Database::new();
+        db.create_table(TableSchema::with_key("T", &["a"])).unwrap();
+        db.drop_table("T").unwrap();
+        assert!(!db.has_table("T"));
+        assert!(db.drop_table("T").is_err());
+    }
+
+    #[test]
+    fn total_tuples_counts_all_tables() {
+        let mut db = Database::new();
+        db.create_table(TableSchema::with_key("U", &["uid"])).unwrap();
+        db.create_table(TableSchema::keyless("E", &["w1", "u", "w2"])).unwrap();
+        db.table_mut("U").unwrap().insert(row![1]).unwrap();
+        db.table_mut("U").unwrap().insert(row![2]).unwrap();
+        db.table_mut("E").unwrap().insert(row![0, 1, 1]).unwrap();
+        assert_eq!(db.total_tuples(), 3);
+        assert_eq!(db.table_sizes(), vec![("E", 1), ("U", 2)]);
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let mut db = Database::new();
+        db.create_table(TableSchema::with_key("Zeta", &["a"])).unwrap();
+        db.create_table(TableSchema::with_key("Alpha", &["a"])).unwrap();
+        assert_eq!(db.table_names(), vec!["Alpha", "Zeta"]);
+    }
+}

@@ -1,0 +1,851 @@
+//! Non-recursive Datalog over the relational engine.
+//!
+//! Section 5.2 of the paper translates belief conjunctive queries "into
+//! non-recursive Datalog (and, hence, to SQL)". This module is that target
+//! language: rules with positive atoms, negated atoms (safe, i.e. all their
+//! variables bound positively), comparison literals, and — because
+//! Algorithm 1's conditions for negative subgoals "require nested
+//! disjunctions with negation" — a DNF disjunction literal.
+//!
+//! Rules compile to [`Plan`]s: positive atoms become joins, negated atoms
+//! anti-joins, comparisons selections. Derived relations are materialized
+//! in definition order (non-recursiveness is enforced).
+
+use crate::catalog::Database;
+use crate::error::{Result, StorageError};
+use crate::exec::execute;
+use crate::expr::{CmpOp, Expr};
+use crate::plan::Plan;
+use crate::row::Row;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A term in an atom: a named variable, a constant, or a wildcard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    Var(String),
+    Const(Value),
+    /// Anonymous variable `_`: matches anything, binds nothing. Only
+    /// meaningful in body atoms.
+    Any,
+}
+
+impl Term {
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    pub fn val(v: impl Into<Value>) -> Term {
+        Term::Const(v.into())
+    }
+}
+
+/// `relation(t1, ..., tn)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    pub relation: String,
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom { relation: relation.into(), terms }
+    }
+}
+
+/// A single comparison `a op b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmpLit {
+    pub left: Term,
+    pub op: CmpOp,
+    pub right: Term,
+}
+
+/// One literal in a rule body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyLit {
+    /// `R(t̄)` — joins the relation in.
+    Pos(Atom),
+    /// `¬R(t̄)` — anti-join; every variable must be bound elsewhere.
+    Neg(Atom),
+    /// `a op b` — selection; both sides must be bound or constant.
+    Cmp(CmpLit),
+    /// Disjunction of conjunctions of comparisons (DNF). This is what the
+    /// nested conditions of Algorithm 1 lower to.
+    Or(Vec<Vec<CmpLit>>),
+}
+
+/// `head :− body`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    pub head: Atom,
+    pub body: Vec<BodyLit>,
+}
+
+/// An ordered list of rules. Rules deriving the same head relation union
+/// their results. A rule may only use derived relations defined by earlier
+/// rules (and must not reference its own head): the program is non-recursive
+/// by construction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    pub rules: Vec<Rule>,
+}
+
+/// Evaluates programs and rules against a database, holding materialized
+/// derived relations.
+pub struct Evaluator<'a> {
+    db: &'a Database,
+    derived: HashMap<String, (usize, Vec<Row>)>,
+}
+
+impl<'a> Evaluator<'a> {
+    pub fn new(db: &'a Database) -> Self {
+        Evaluator { db, derived: HashMap::new() }
+    }
+
+    /// Register a pre-materialized relation (e.g. a literal temp table).
+    pub fn define(&mut self, name: impl Into<String>, arity: usize, rows: Vec<Row>) {
+        self.derived.insert(name.into(), (arity, rows));
+    }
+
+    /// Materialized rows of a derived relation.
+    pub fn relation(&self, name: &str) -> Option<&[Row]> {
+        self.derived.get(name).map(|(_, rows)| rows.as_slice())
+    }
+
+    /// Run every rule in order, materializing head relations. Returns the
+    /// name of the last head (by convention the query answer).
+    pub fn run(&mut self, program: &Program) -> Result<Option<String>> {
+        let mut last = None;
+        for rule in &program.rules {
+            self.check_nonrecursive(rule)?;
+            let rows = self.eval_rule(rule)?;
+            let arity = rule.head.terms.len();
+            let entry = self
+                .derived
+                .entry(rule.head.relation.clone())
+                .or_insert_with(|| (arity, Vec::new()));
+            if entry.0 != arity {
+                return Err(StorageError::DatalogError(format!(
+                    "relation `{}` derived with conflicting arities {} and {arity}",
+                    rule.head.relation, entry.0
+                )));
+            }
+            entry.1.extend(rows);
+            dedup_rows(&mut entry.1);
+            last = Some(rule.head.relation.clone());
+        }
+        Ok(last)
+    }
+
+    fn check_nonrecursive(&self, rule: &Rule) -> Result<()> {
+        for lit in &rule.body {
+            if let BodyLit::Pos(a) | BodyLit::Neg(a) = lit {
+                if a.relation == rule.head.relation {
+                    return Err(StorageError::DatalogError(format!(
+                        "rule for `{}` references its own head (recursion is not supported)",
+                        a.relation
+                    )));
+                }
+            }
+        }
+        if self.db.has_table(&rule.head.relation) {
+            return Err(StorageError::DatalogError(format!(
+                "cannot derive into base table `{}`",
+                rule.head.relation
+            )));
+        }
+        Ok(())
+    }
+
+    /// Evaluate a single rule to its (deduplicated) head rows.
+    pub fn eval_rule(&self, rule: &Rule) -> Result<Vec<Row>> {
+        let plan = self.compile_rule(rule)?;
+        let mut rows = execute(self.db, &plan)?;
+        dedup_rows(&mut rows);
+        Ok(rows)
+    }
+
+    /// Compile a rule into a plan producing the head projection.
+    pub fn compile_rule(&self, rule: &Rule) -> Result<Plan> {
+        let mut acc = Plan::unit();
+        let mut acc_arity: usize = 0;
+        let mut bind: HashMap<String, usize> = HashMap::new();
+
+        // Deferred literals: applied as soon as all their variables bind.
+        let mut pending: Vec<&BodyLit> = Vec::new();
+
+        let positives: Vec<&Atom> = rule
+            .body
+            .iter()
+            .filter_map(|l| match l {
+                BodyLit::Pos(a) => Some(a),
+                _ => None,
+            })
+            .collect();
+
+        for lit in &rule.body {
+            match lit {
+                BodyLit::Pos(_) => {}
+                other => pending.push(other),
+            }
+        }
+
+        for atom in positives {
+            let (src, src_arity) = self.atom_source(atom)?;
+            // Intra-atom constraints: constants and repeated variables.
+            let mut local_preds: Vec<Expr> = Vec::new();
+            let mut first_seen: HashMap<&str, usize> = HashMap::new();
+            let mut joins: Vec<(usize, usize)> = Vec::new();
+            let mut new_binds: Vec<(String, usize)> = Vec::new();
+            for (pos, term) in atom.terms.iter().enumerate() {
+                match term {
+                    Term::Const(v) => local_preds.push(Expr::col_eq_lit(pos, v.clone())),
+                    Term::Any => {}
+                    Term::Var(name) => {
+                        if let Some(&prev) = first_seen.get(name.as_str()) {
+                            local_preds.push(Expr::col_eq_col(prev, pos));
+                        } else {
+                            first_seen.insert(name, pos);
+                            if let Some(&acc_col) = bind.get(name) {
+                                joins.push((acc_col, pos));
+                            } else {
+                                new_binds.push((name.clone(), acc_arity + pos));
+                            }
+                        }
+                    }
+                }
+            }
+            let src = if local_preds.is_empty() {
+                src
+            } else {
+                src.select(Expr::and(local_preds))
+            };
+            acc = acc.join(src, joins);
+            acc_arity += src_arity;
+            for (name, col) in new_binds {
+                bind.insert(name, col);
+            }
+            self.apply_ready(&mut acc, &bind, &mut pending)?;
+        }
+
+        // Anything still pending must now be applicable (negated atoms and
+        // comparisons whose variables never bound are unsafe).
+        self.apply_ready(&mut acc, &bind, &mut pending)?;
+        if let Some(stuck) = pending.first() {
+            return Err(StorageError::DatalogError(format!(
+                "unsafe rule: literal {stuck:?} has variables with no positive binding"
+            )));
+        }
+
+        // Head projection.
+        let mut exprs = Vec::with_capacity(rule.head.terms.len());
+        for term in &rule.head.terms {
+            match term {
+                Term::Var(name) => {
+                    let col = bind.get(name).ok_or_else(|| {
+                        StorageError::DatalogError(format!(
+                            "head variable `{name}` is not bound in the body"
+                        ))
+                    })?;
+                    exprs.push(Expr::Col(*col));
+                }
+                Term::Const(v) => exprs.push(Expr::Lit(v.clone())),
+                Term::Any => {
+                    return Err(StorageError::DatalogError(
+                        "wildcard `_` cannot appear in a rule head".into(),
+                    ))
+                }
+            }
+        }
+        Ok(acc.project(exprs).distinct())
+    }
+
+    /// Apply every pending literal whose variables are all bound.
+    fn apply_ready(
+        &self,
+        acc: &mut Plan,
+        bind: &HashMap<String, usize>,
+        pending: &mut Vec<&BodyLit>,
+    ) -> Result<()> {
+        let mut i = 0;
+        while i < pending.len() {
+            let lit = pending[i];
+            if self.lit_ready(lit, bind) {
+                let taken = pending.remove(i);
+                let next = std::mem::replace(acc, Plan::unit());
+                *acc = self.apply_lit(next, taken, bind)?;
+                // Restart: applying one literal never unbinds others, but
+                // keeps the scan simple.
+                i = 0;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn lit_ready(&self, lit: &BodyLit, bind: &HashMap<String, usize>) -> bool {
+        let term_ready = |t: &Term| match t {
+            Term::Var(n) => bind.contains_key(n),
+            Term::Const(_) | Term::Any => true,
+        };
+        match lit {
+            BodyLit::Pos(_) => false,
+            BodyLit::Neg(a) => a.terms.iter().all(term_ready),
+            BodyLit::Cmp(c) => term_ready(&c.left) && term_ready(&c.right),
+            BodyLit::Or(disjuncts) => disjuncts
+                .iter()
+                .flatten()
+                .all(|c| term_ready(&c.left) && term_ready(&c.right)),
+        }
+    }
+
+    fn apply_lit(
+        &self,
+        acc: Plan,
+        lit: &BodyLit,
+        bind: &HashMap<String, usize>,
+    ) -> Result<Plan> {
+        match lit {
+            BodyLit::Pos(_) => unreachable!("positive atoms are joined, not applied"),
+            BodyLit::Cmp(c) => {
+                let e = self.cmp_expr(c, bind, 0)?;
+                Ok(acc.select(e))
+            }
+            BodyLit::Or(disjuncts) => {
+                let mut parts = Vec::with_capacity(disjuncts.len());
+                for conj in disjuncts {
+                    let mut es = Vec::with_capacity(conj.len());
+                    for c in conj {
+                        es.push(self.cmp_expr(c, bind, 0)?);
+                    }
+                    parts.push(Expr::and(es));
+                }
+                Ok(acc.select(Expr::or(parts)))
+            }
+            BodyLit::Neg(atom) => {
+                let (src, _src_arity) = self.atom_source(atom)?;
+                let mut local_preds: Vec<Expr> = Vec::new();
+                let mut joins: Vec<(usize, usize)> = Vec::new();
+                let mut first_seen: HashMap<&str, usize> = HashMap::new();
+                for (pos, term) in atom.terms.iter().enumerate() {
+                    match term {
+                        Term::Const(v) => local_preds.push(Expr::col_eq_lit(pos, v.clone())),
+                        Term::Any => {}
+                        Term::Var(name) => {
+                            if let Some(&prev) = first_seen.get(name.as_str()) {
+                                local_preds.push(Expr::col_eq_col(prev, pos));
+                            } else {
+                                first_seen.insert(name, pos);
+                                let acc_col = bind[name.as_str()];
+                                joins.push((acc_col, pos));
+                            }
+                        }
+                    }
+                }
+                let src = if local_preds.is_empty() {
+                    src
+                } else {
+                    src.select(Expr::and(local_preds))
+                };
+                Ok(acc.anti_join(src, joins))
+            }
+        }
+    }
+
+    /// Comparison over bound columns/constants. `offset` shifts column
+    /// positions (unused today, kept for joined-row contexts).
+    fn cmp_expr(
+        &self,
+        c: &CmpLit,
+        bind: &HashMap<String, usize>,
+        offset: usize,
+    ) -> Result<Expr> {
+        let side = |t: &Term| -> Result<Expr> {
+            match t {
+                Term::Var(n) => {
+                    let col = bind.get(n).ok_or_else(|| {
+                        StorageError::DatalogError(format!("comparison variable `{n}` unbound"))
+                    })?;
+                    Ok(Expr::Col(col + offset))
+                }
+                Term::Const(v) => Ok(Expr::Lit(v.clone())),
+                Term::Any => Err(StorageError::DatalogError(
+                    "wildcard `_` cannot appear in a comparison".into(),
+                )),
+            }
+        };
+        Ok(Expr::cmp(c.op, side(&c.left)?, side(&c.right)?))
+    }
+
+    /// Plan + arity for a body atom's relation (base table or derived).
+    fn atom_source(&self, atom: &Atom) -> Result<(Plan, usize)> {
+        if let Some((arity, rows)) = self.derived.get(&atom.relation) {
+            if atom.terms.len() != *arity {
+                return Err(StorageError::DatalogError(format!(
+                    "atom `{}` has {} terms but relation has arity {arity}",
+                    atom.relation,
+                    atom.terms.len()
+                )));
+            }
+            return Ok((Plan::Values { arity: *arity, rows: rows.clone() }, *arity));
+        }
+        let t = self.db.table(&atom.relation)?;
+        let arity = t.schema().arity();
+        if atom.terms.len() != arity {
+            return Err(StorageError::DatalogError(format!(
+                "atom `{}` has {} terms but table has arity {arity}",
+                atom.relation,
+                atom.terms.len()
+            )));
+        }
+        Ok((Plan::scan(&atom.relation), arity))
+    }
+}
+
+fn dedup_rows(rows: &mut Vec<Row>) {
+    let mut seen = std::collections::HashSet::with_capacity(rows.len());
+    rows.retain(|r| seen.insert(r.clone()));
+}
+
+/// Convenience: shorthand constructors for terms.
+pub mod dsl {
+    use super::*;
+
+    pub fn v(name: &str) -> Term {
+        Term::var(name)
+    }
+
+    pub fn c(value: impl Into<Value>) -> Term {
+        Term::val(value)
+    }
+
+    pub fn any() -> Term {
+        Term::Any
+    }
+
+    pub fn atom(rel: &str, terms: Vec<Term>) -> Atom {
+        Atom::new(rel, terms)
+    }
+
+    pub fn pos(rel: &str, terms: Vec<Term>) -> BodyLit {
+        BodyLit::Pos(atom(rel, terms))
+    }
+
+    pub fn neg(rel: &str, terms: Vec<Term>) -> BodyLit {
+        BodyLit::Neg(atom(rel, terms))
+    }
+
+    pub fn cmp(left: Term, op: CmpOp, right: Term) -> BodyLit {
+        BodyLit::Cmp(CmpLit { left, op, right })
+    }
+
+    pub fn rule(head_rel: &str, head_terms: Vec<Term>, body: Vec<BodyLit>) -> Rule {
+        Rule { head: atom(head_rel, head_terms), body }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dsl::*;
+    use super::*;
+    use crate::row;
+    use crate::schema::TableSchema;
+
+    /// Users/parent fixture: classic datalog examples.
+    fn db() -> Database {
+        let mut db = Database::new();
+        let users = db.create_table(TableSchema::with_key("Users", &["uid", "name"])).unwrap();
+        users.insert(row![1, "Alice"]).unwrap();
+        users.insert(row![2, "Bob"]).unwrap();
+        users.insert(row![3, "Carol"]).unwrap();
+        let e = db.create_table(TableSchema::keyless("E", &["w1", "u", "w2"])).unwrap();
+        e.insert(row![0, 1, 1]).unwrap();
+        e.insert(row![0, 2, 2]).unwrap();
+        e.insert(row![0, 3, 0]).unwrap();
+        e.insert(row![1, 2, 2]).unwrap();
+        e.insert(row![2, 1, 3]).unwrap();
+        db
+    }
+
+    #[test]
+    fn single_atom_rule() {
+        let db = db();
+        let ev = Evaluator::new(&db);
+        let r = rule("Q", vec![v("n")], vec![pos("Users", vec![v("u"), v("n")])]);
+        let mut rows = ev.eval_rule(&r).unwrap();
+        rows.sort();
+        assert_eq!(rows, vec![row!["Alice"], row!["Bob"], row!["Carol"]]);
+    }
+
+    #[test]
+    fn constants_select() {
+        let db = db();
+        let ev = Evaluator::new(&db);
+        let r = rule("Q", vec![v("u")], vec![pos("Users", vec![v("u"), c("Bob")])]);
+        assert_eq!(ev.eval_rule(&r).unwrap(), vec![row![2]]);
+    }
+
+    #[test]
+    fn join_via_shared_variable() {
+        let db = db();
+        let ev = Evaluator::new(&db);
+        // Two-hop paths from world 0: E(0,u1,w), E(w,u2,w2)
+        let r = rule(
+            "Q",
+            vec![v("u1"), v("u2"), v("w2")],
+            vec![
+                pos("E", vec![c(0), v("u1"), v("w")]),
+                pos("E", vec![v("w"), v("u2"), v("w2")]),
+            ],
+        );
+        let mut rows = ev.eval_rule(&r).unwrap();
+        rows.sort();
+        // From 0: (1→1),(2→2),(3→0). Hops: 1→(1,2,2); 2→(2,1,3); 0→ all three.
+        assert_eq!(
+            rows,
+            vec![
+                row![1, 2, 2], // via w=1
+                row![2, 1, 3], // via w=2
+                row![3, 1, 1], // via w=0
+                row![3, 2, 2],
+                row![3, 3, 0],
+            ]
+        );
+    }
+
+    #[test]
+    fn repeated_variable_within_atom() {
+        let db = db();
+        let ev = Evaluator::new(&db);
+        // Self-loops: E(w, u, w)
+        let r = rule("Q", vec![v("w")], vec![pos("E", vec![v("w"), any(), v("w")])]);
+        assert_eq!(ev.eval_rule(&r).unwrap(), vec![row![0]]);
+    }
+
+    #[test]
+    fn negated_atom() {
+        let db = db();
+        let ev = Evaluator::new(&db);
+        // Users with no outgoing edge from world 1: E(1, u, _) misses u ∈ {1,3}.
+        let r = rule(
+            "Q",
+            vec![v("u")],
+            vec![
+                pos("Users", vec![v("u"), any()]),
+                neg("E", vec![c(1), v("u"), any()]),
+            ],
+        );
+        let mut rows = ev.eval_rule(&r).unwrap();
+        rows.sort();
+        assert_eq!(rows, vec![row![1], row![3]]);
+    }
+
+    #[test]
+    fn comparison_literals() {
+        let db = db();
+        let ev = Evaluator::new(&db);
+        let r = rule(
+            "Q",
+            vec![v("u")],
+            vec![
+                pos("Users", vec![v("u"), any()]),
+                cmp(v("u"), CmpOp::Gt, c(1)),
+            ],
+        );
+        let mut rows = ev.eval_rule(&r).unwrap();
+        rows.sort();
+        assert_eq!(rows, vec![row![2], row![3]]);
+    }
+
+    #[test]
+    fn disjunction_literal() {
+        let db = db();
+        let ev = Evaluator::new(&db);
+        let r = rule(
+            "Q",
+            vec![v("n")],
+            vec![
+                pos("Users", vec![v("u"), v("n")]),
+                BodyLit::Or(vec![
+                    vec![CmpLit { left: v("u"), op: CmpOp::Eq, right: c(1) }],
+                    vec![CmpLit { left: v("n"), op: CmpOp::Eq, right: c("Carol") }],
+                ]),
+            ],
+        );
+        let mut rows = ev.eval_rule(&r).unwrap();
+        rows.sort();
+        assert_eq!(rows, vec![row!["Alice"], row!["Carol"]]);
+    }
+
+    #[test]
+    fn head_constants_and_duplicates_deduped() {
+        let db = db();
+        let ev = Evaluator::new(&db);
+        let r = rule("Q", vec![c("marker")], vec![pos("Users", vec![any(), any()])]);
+        assert_eq!(ev.eval_rule(&r).unwrap(), vec![row!["marker"]]);
+    }
+
+    #[test]
+    fn unsafe_rules_rejected() {
+        let db = db();
+        let ev = Evaluator::new(&db);
+        // Head var never bound.
+        let r = rule("Q", vec![v("x")], vec![pos("Users", vec![v("u"), any()])]);
+        assert!(ev.eval_rule(&r).is_err());
+        // Negated atom with unbound var.
+        let r = rule(
+            "Q",
+            vec![v("u")],
+            vec![
+                pos("Users", vec![v("u"), any()]),
+                neg("E", vec![v("w"), v("u"), any()]),
+            ],
+        );
+        assert!(matches!(ev.eval_rule(&r), Err(StorageError::DatalogError(_))));
+        // Comparison with unbound var.
+        let r = rule(
+            "Q",
+            vec![v("u")],
+            vec![pos("Users", vec![v("u"), any()]), cmp(v("z"), CmpOp::Eq, c(1))],
+        );
+        assert!(ev.eval_rule(&r).is_err());
+    }
+
+    #[test]
+    fn program_with_derived_relations() {
+        let db = db();
+        let mut ev = Evaluator::new(&db);
+        let prog = Program {
+            rules: vec![
+                // Reach1(w) :- E(0, _, w)
+                rule("Reach1", vec![v("w")], vec![pos("E", vec![c(0), any(), v("w")])]),
+                // Reach2(w) :- Reach1(x), E(x, _, w)
+                rule(
+                    "Reach2",
+                    vec![v("w")],
+                    vec![pos("Reach1", vec![v("x")]), pos("E", vec![v("x"), any(), v("w")])],
+                ),
+            ],
+        };
+        let last = ev.run(&prog).unwrap();
+        assert_eq!(last.as_deref(), Some("Reach2"));
+        let mut r1 = ev.relation("Reach1").unwrap().to_vec();
+        r1.sort();
+        assert_eq!(r1, vec![row![0], row![1], row![2]]);
+        let mut r2 = ev.relation("Reach2").unwrap().to_vec();
+        r2.sort();
+        assert_eq!(r2, vec![row![0], row![1], row![2], row![3]]);
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let db = db();
+        let mut ev = Evaluator::new(&db);
+        let prog = Program {
+            rules: vec![rule(
+                "R",
+                vec![v("w")],
+                vec![pos("R", vec![v("w")])],
+            )],
+        };
+        assert!(matches!(ev.run(&prog), Err(StorageError::DatalogError(_))));
+    }
+
+    #[test]
+    fn cannot_derive_into_base_table() {
+        let db = db();
+        let mut ev = Evaluator::new(&db);
+        let prog = Program {
+            rules: vec![rule("Users", vec![v("u"), v("n")], vec![pos("E", vec![v("u"), v("n"), any()])])],
+        };
+        assert!(ev.run(&prog).is_err());
+    }
+
+    #[test]
+    fn manual_temp_tables() {
+        let db = db();
+        let mut ev = Evaluator::new(&db);
+        ev.define("T", 2, vec![row![1, "x"], row![2, "y"]]);
+        let r = rule(
+            "Q",
+            vec![v("n"), v("tag")],
+            vec![pos("Users", vec![v("u"), v("n")]), pos("T", vec![v("u"), v("tag")])],
+        );
+        let mut rows = ev.eval_rule(&r).unwrap();
+        rows.sort();
+        assert_eq!(rows, vec![row!["Alice", "x"], row!["Bob", "y"]]);
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let db = db();
+        let ev = Evaluator::new(&db);
+        let r = rule("Q", vec![v("u")], vec![pos("Users", vec![v("u")])]);
+        assert!(matches!(ev.eval_rule(&r), Err(StorageError::DatalogError(_))));
+    }
+
+    #[test]
+    fn union_of_rules_same_head() {
+        let db = db();
+        let mut ev = Evaluator::new(&db);
+        let prog = Program {
+            rules: vec![
+                rule("Q", vec![v("u")], vec![pos("Users", vec![v("u"), c("Alice")])]),
+                rule("Q", vec![v("u")], vec![pos("Users", vec![v("u"), c("Bob")])]),
+                // duplicate of the first: result must stay deduplicated
+                rule("Q", vec![v("u")], vec![pos("Users", vec![v("u"), c("Alice")])]),
+            ],
+        };
+        ev.run(&prog).unwrap();
+        let mut rows = ev.relation("Q").unwrap().to_vec();
+        rows.sort();
+        assert_eq!(rows, vec![row![1], row![2]]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Display: render programs in conventional Datalog syntax (used by EXPLAIN).
+// ---------------------------------------------------------------------------
+
+impl std::fmt::Display for Term {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Term::Var(n) => write!(f, "{n}"),
+            Term::Const(Value::Str(s)) => write!(f, "'{s}'"),
+            Term::Const(v) => write!(f, "{v}"),
+            Term::Any => write!(f, "_"),
+        }
+    }
+}
+
+impl std::fmt::Display for Atom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::fmt::Display for CmpLit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+impl std::fmt::Display for BodyLit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BodyLit::Pos(a) => write!(f, "{a}"),
+            BodyLit::Neg(a) => write!(f, "not {a}"),
+            BodyLit::Cmp(c) => write!(f, "{c}"),
+            BodyLit::Or(disjuncts) => {
+                write!(f, "(")?;
+                for (i, conj) in disjuncts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    if conj.len() > 1 {
+                        write!(f, "(")?;
+                    }
+                    for (j, c) in conj.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, " & ")?;
+                        }
+                        write!(f, "{c}")?;
+                    }
+                    if conj.len() > 1 {
+                        write!(f, ")")?;
+                    }
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, lit) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{lit}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+impl std::fmt::Display for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::dsl::*;
+    use super::*;
+
+    #[test]
+    fn rules_render_as_datalog() {
+        let r = rule(
+            "Q",
+            vec![v("x"), c("marker")],
+            vec![
+                pos("E", vec![c(0), v("x"), v("z")]),
+                neg("V", vec![v("z"), any()]),
+                cmp(v("x"), CmpOp::Ne, c(3)),
+            ],
+        );
+        assert_eq!(
+            r.to_string(),
+            "Q(x, 'marker') :- E(0, x, z), not V(z, _), x <> 3."
+        );
+    }
+
+    #[test]
+    fn disjunctions_render_in_dnf() {
+        let r = Rule {
+            head: atom("Q", vec![v("x")]),
+            body: vec![
+                pos("T", vec![v("x"), v("s")]),
+                BodyLit::Or(vec![
+                    vec![
+                        CmpLit { left: v("s"), op: CmpOp::Eq, right: c("-") },
+                        CmpLit { left: v("x"), op: CmpOp::Eq, right: c(1) },
+                    ],
+                    vec![CmpLit { left: v("s"), op: CmpOp::Eq, right: c("+") }],
+                ]),
+            ],
+        };
+        assert_eq!(
+            r.to_string(),
+            "Q(x) :- T(x, s), ((s = '-' & x = 1) | s = '+')."
+        );
+    }
+
+    #[test]
+    fn programs_render_line_per_rule() {
+        let prog = Program {
+            rules: vec![
+                rule("A", vec![v("x")], vec![pos("E", vec![v("x"), any(), any()])]),
+                rule("B", vec![v("x")], vec![pos("A", vec![v("x")])]),
+            ],
+        };
+        let text = prog.to_string();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("A(x) :- E(x, _, _)."));
+        assert!(text.contains("B(x) :- A(x)."));
+    }
+}

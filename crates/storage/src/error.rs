@@ -1,0 +1,96 @@
+//! Error taxonomy for the storage engine.
+
+use std::fmt;
+
+/// Errors raised by the storage engine.
+///
+/// Every public fallible operation in this crate returns
+/// [`Result<T, StorageError>`](StorageError). The variants are deliberately
+/// coarse: callers in `beliefdb-core` either propagate them or treat them as
+/// internal invariant violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table with this name already exists in the catalog.
+    TableExists(String),
+    /// No table with this name exists in the catalog.
+    NoSuchTable(String),
+    /// No column with this name exists in the referenced table.
+    NoSuchColumn { table: String, column: String },
+    /// A row's arity does not match the table schema.
+    ArityMismatch { table: String, expected: usize, got: usize },
+    /// Inserting the row would violate the table's primary-key constraint.
+    DuplicateKey { table: String, key: String },
+    /// An index with this specification already exists.
+    IndexExists { table: String, name: String },
+    /// No index with this name exists on the table.
+    NoSuchIndex { table: String, name: String },
+    /// A row id referenced a deleted or out-of-range slot.
+    InvalidRowId { table: String, row_id: usize },
+    /// An expression referenced a column index beyond the row arity.
+    ColumnOutOfRange { index: usize, arity: usize },
+    /// An expression was applied to operands of incompatible types.
+    TypeError(String),
+    /// A query plan is malformed (arity mismatches between operators, etc.).
+    PlanError(String),
+    /// A Datalog program is malformed (unsafe rule, unknown relation, ...).
+    DatalogError(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableExists(name) => write!(f, "table `{name}` already exists"),
+            StorageError::NoSuchTable(name) => write!(f, "no such table `{name}`"),
+            StorageError::NoSuchColumn { table, column } => {
+                write!(f, "no column `{column}` in table `{table}`")
+            }
+            StorageError::ArityMismatch { table, expected, got } => {
+                write!(f, "arity mismatch for `{table}`: expected {expected} values, got {got}")
+            }
+            StorageError::DuplicateKey { table, key } => {
+                write!(f, "duplicate primary key {key} in table `{table}`")
+            }
+            StorageError::IndexExists { table, name } => {
+                write!(f, "index `{name}` already exists on table `{table}`")
+            }
+            StorageError::NoSuchIndex { table, name } => {
+                write!(f, "no index `{name}` on table `{table}`")
+            }
+            StorageError::InvalidRowId { table, row_id } => {
+                write!(f, "invalid row id {row_id} for table `{table}`")
+            }
+            StorageError::ColumnOutOfRange { index, arity } => {
+                write!(f, "column index {index} out of range for arity {arity}")
+            }
+            StorageError::TypeError(msg) => write!(f, "type error: {msg}"),
+            StorageError::PlanError(msg) => write!(f, "plan error: {msg}"),
+            StorageError::DatalogError(msg) => write!(f, "datalog error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T, E = StorageError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = StorageError::NoSuchTable("Sightings".into());
+        assert_eq!(err.to_string(), "no such table `Sightings`");
+        let err = StorageError::ArityMismatch { table: "V".into(), expected: 5, got: 4 };
+        assert!(err.to_string().contains("expected 5"));
+        let err = StorageError::DuplicateKey { table: "D".into(), key: "Int(3)".into() };
+        assert!(err.to_string().contains("duplicate primary key"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(StorageError::TypeError("bad".into()));
+    }
+}

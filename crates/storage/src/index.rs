@@ -1,0 +1,118 @@
+//! Secondary hash indexes.
+
+use crate::error::Result;
+use crate::row::Row;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Identifier of a row slot inside a [`crate::table::Table`].
+pub type RowId = usize;
+
+/// A hash index over one or more columns of a table.
+///
+/// Maps the projected key to the set of row ids currently holding it. The
+/// index is maintained eagerly by `Table::insert` / `Table::delete`.
+#[derive(Debug, Clone)]
+pub struct Index {
+    name: String,
+    cols: Vec<usize>,
+    map: HashMap<Box<[Value]>, Vec<RowId>>,
+}
+
+impl Index {
+    pub fn new(name: impl Into<String>, cols: Vec<usize>) -> Self {
+        assert!(!cols.is_empty(), "index must cover at least one column");
+        Index { name: name.into(), cols, map: HashMap::new() }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn columns(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Project `row` onto the indexed columns.
+    pub fn key_of(&self, row: &Row) -> Result<Box<[Value]>> {
+        let mut key = Vec::with_capacity(self.cols.len());
+        for &c in &self.cols {
+            key.push(row.get(c)?.clone());
+        }
+        Ok(key.into_boxed_slice())
+    }
+
+    pub fn insert(&mut self, row: &Row, rid: RowId) -> Result<()> {
+        let key = self.key_of(row)?;
+        self.map.entry(key).or_default().push(rid);
+        Ok(())
+    }
+
+    pub fn remove(&mut self, row: &Row, rid: RowId) -> Result<()> {
+        let key = self.key_of(row)?;
+        if let Some(ids) = self.map.get_mut(&key) {
+            if let Some(pos) = ids.iter().position(|&r| r == rid) {
+                ids.swap_remove(pos);
+            }
+            if ids.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+        Ok(())
+    }
+
+    /// Row ids whose projection equals `key`.
+    pub fn get(&self, key: &[Value]) -> &[RowId] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys in the index.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut idx = Index::new("by_wid_key", vec![0, 2]);
+        let r1 = row![1, "t1", "s1"];
+        let r2 = row![1, "t2", "s1"];
+        let r3 = row![2, "t1", "s1"];
+        idx.insert(&r1, 10).unwrap();
+        idx.insert(&r2, 11).unwrap();
+        idx.insert(&r3, 12).unwrap();
+
+        let key = [Value::int(1), Value::str("s1")];
+        let mut hits = idx.get(&key).to_vec();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![10, 11]);
+        assert_eq!(idx.get(&[Value::int(2), Value::str("s1")]), &[12]);
+        assert_eq!(idx.get(&[Value::int(9), Value::str("s1")]), &[] as &[RowId]);
+
+        idx.remove(&r1, 10).unwrap();
+        assert_eq!(idx.get(&key), &[11]);
+        idx.remove(&r2, 11).unwrap();
+        assert_eq!(idx.get(&key), &[] as &[RowId]);
+        assert_eq!(idx.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn remove_is_idempotent_for_missing_rid() {
+        let mut idx = Index::new("i", vec![0]);
+        let r = row![5];
+        idx.insert(&r, 1).unwrap();
+        idx.remove(&r, 99).unwrap();
+        assert_eq!(idx.get(&[Value::int(5)]), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_column_list_panics() {
+        let _ = Index::new("bad", vec![]);
+    }
+}

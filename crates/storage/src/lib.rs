@@ -1,0 +1,58 @@
+//! # beliefdb-storage
+//!
+//! An embedded, in-memory relational engine: the substrate on which
+//! `beliefdb-core` materializes the canonical Kripke representation of a
+//! belief database.
+//!
+//! The paper ("Believe It or Not: Adding Belief Annotations to Databases",
+//! VLDB 2009) runs its prototype on Microsoft SQL Server 2005; this crate is
+//! the from-scratch substitute. It provides exactly the relational machinery
+//! Sections 5.1–5.3 of the paper rely on:
+//!
+//! * **tables** with a distinguished first-column primary key (the paper's
+//!   schema convention) or multiset semantics for the internal `V`/`E`
+//!   relations, plus secondary hash indexes ("clustered indexes over the
+//!   internal keys"),
+//! * **logical plans** with selections, projections, equi/theta joins,
+//!   anti-joins, distinct, union, and MAX/MIN/COUNT aggregation
+//!   (Algorithm 3 needs a max-operator),
+//! * a **non-recursive Datalog** layer ([`datalog`]) — the target language of
+//!   the paper's query translation (Algorithm 1), including the "nested
+//!   disjunctions with negation" required for negative subgoals.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use beliefdb_storage::{Database, TableSchema, Plan, Expr, execute, row};
+//!
+//! let mut db = Database::new();
+//! let t = db.create_table(TableSchema::with_key("Users", &["uid", "name"])).unwrap();
+//! t.insert(row![1, "Alice"]).unwrap();
+//! t.insert(row![2, "Bob"]).unwrap();
+//!
+//! let plan = Plan::scan("Users").select(Expr::col_eq_lit(1, "Bob")).project_cols(&[0]);
+//! assert_eq!(execute(&db, &plan).unwrap(), vec![row![2]]);
+//! ```
+
+pub mod catalog;
+pub mod datalog;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod index;
+pub mod plan;
+pub mod row;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::Database;
+pub use error::{Result, StorageError};
+pub use exec::execute;
+pub use expr::{CmpOp, Expr};
+pub use index::RowId;
+pub use plan::{Agg, Plan};
+pub use row::Row;
+pub use schema::{ColumnDef, KeyMode, TableSchema};
+pub use table::Table;
+pub use value::Value;

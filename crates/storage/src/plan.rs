@@ -1,0 +1,346 @@
+//! Logical query plans.
+//!
+//! The plan language is positional: every operator produces rows of a fixed
+//! arity and column references are indexes into those rows. It covers
+//! exactly the relational algebra the paper's translation needs —
+//! selections, projections, equi/theta joins, anti-joins (for the
+//! `not exists` consistency checks of Algorithms 2–4), distinct, union, and
+//! MAX/MIN/COUNT aggregation (Algorithm 3's deepest-suffix-state query).
+
+use crate::catalog::Database;
+use crate::error::{Result, StorageError};
+use crate::expr::Expr;
+use crate::row::Row;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Agg {
+    /// Number of input rows in the group.
+    Count,
+    /// Maximum of a column within the group.
+    Max(usize),
+    /// Minimum of a column within the group.
+    Min(usize),
+}
+
+/// A logical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// All live rows of a named table.
+    Scan { table: String },
+    /// Rows of `input` satisfying `predicate`.
+    Selection { input: Box<Plan>, predicate: Expr },
+    /// Each row of `input` mapped through `exprs`.
+    Projection { input: Box<Plan>, exprs: Vec<Expr> },
+    /// Join: rows `l ++ r` with `l[a] = r[b]` for each `(a, b)` in `on`,
+    /// and optionally satisfying `residual` (evaluated over `l ++ r`).
+    Join {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        on: Vec<(usize, usize)>,
+        residual: Option<Expr>,
+    },
+    /// Anti-join: rows of `left` with *no* matching `right` row, where a
+    /// match means all `on` pairs are equal and `residual` (over `l ++ r`)
+    /// holds. This implements `NOT EXISTS` subqueries.
+    AntiJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        on: Vec<(usize, usize)>,
+        residual: Option<Expr>,
+    },
+    /// Duplicate elimination.
+    Distinct { input: Box<Plan> },
+    /// Bag union of plans with identical arity.
+    Union { inputs: Vec<Plan> },
+    /// Hash aggregation. Output row = group-by columns ++ aggregate values.
+    Aggregate { input: Box<Plan>, group_by: Vec<usize>, aggs: Vec<Agg> },
+    /// A literal relation.
+    Values { arity: usize, rows: Vec<Row> },
+    /// Sort by the given columns ascending (deterministic output for tests
+    /// and reports).
+    Sort { input: Box<Plan>, by: Vec<usize> },
+    /// At most `n` rows.
+    Limit { input: Box<Plan>, n: usize },
+}
+
+impl Plan {
+    pub fn scan(table: impl Into<String>) -> Plan {
+        Plan::Scan { table: table.into() }
+    }
+
+    pub fn select(self, predicate: Expr) -> Plan {
+        Plan::Selection { input: Box::new(self), predicate }
+    }
+
+    pub fn project(self, exprs: Vec<Expr>) -> Plan {
+        Plan::Projection { input: Box::new(self), exprs }
+    }
+
+    /// Convenience: projection by column positions.
+    pub fn project_cols(self, cols: &[usize]) -> Plan {
+        self.project(cols.iter().map(|&c| Expr::Col(c)).collect())
+    }
+
+    pub fn join(self, right: Plan, on: Vec<(usize, usize)>) -> Plan {
+        Plan::Join { left: Box::new(self), right: Box::new(right), on, residual: None }
+    }
+
+    pub fn join_where(self, right: Plan, on: Vec<(usize, usize)>, residual: Expr) -> Plan {
+        Plan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+            residual: Some(residual),
+        }
+    }
+
+    pub fn anti_join(self, right: Plan, on: Vec<(usize, usize)>) -> Plan {
+        Plan::AntiJoin { left: Box::new(self), right: Box::new(right), on, residual: None }
+    }
+
+    pub fn distinct(self) -> Plan {
+        Plan::Distinct { input: Box::new(self) }
+    }
+
+    pub fn sort(self, by: Vec<usize>) -> Plan {
+        Plan::Sort { input: Box::new(self), by }
+    }
+
+    pub fn limit(self, n: usize) -> Plan {
+        Plan::Limit { input: Box::new(self), n }
+    }
+
+    /// Single-row, zero-column relation — the unit for join chains.
+    pub fn unit() -> Plan {
+        Plan::Values { arity: 0, rows: vec![Row::new(vec![])] }
+    }
+
+    /// Number of output columns, validated against the catalog.
+    pub fn arity(&self, db: &Database) -> Result<usize> {
+        match self {
+            Plan::Scan { table } => Ok(db.table(table)?.schema().arity()),
+            Plan::Selection { input, predicate } => {
+                let a = input.arity(db)?;
+                if let Some(m) = predicate.max_col() {
+                    if m >= a {
+                        return Err(StorageError::PlanError(format!(
+                            "selection references column {m} but input arity is {a}"
+                        )));
+                    }
+                }
+                Ok(a)
+            }
+            Plan::Projection { input, exprs } => {
+                let a = input.arity(db)?;
+                for e in exprs {
+                    if let Some(m) = e.max_col() {
+                        if m >= a {
+                            return Err(StorageError::PlanError(format!(
+                                "projection references column {m} but input arity is {a}"
+                            )));
+                        }
+                    }
+                }
+                Ok(exprs.len())
+            }
+            Plan::Join { left, right, on, residual } => {
+                let la = left.arity(db)?;
+                let ra = right.arity(db)?;
+                for &(l, r) in on {
+                    if l >= la || r >= ra {
+                        return Err(StorageError::PlanError(format!(
+                            "join key ({l},{r}) out of range for arities ({la},{ra})"
+                        )));
+                    }
+                }
+                if let Some(m) = residual.as_ref().and_then(|e| e.max_col()) {
+                    if m >= la + ra {
+                        return Err(StorageError::PlanError(format!(
+                            "join residual references column {m} but joined arity is {}",
+                            la + ra
+                        )));
+                    }
+                }
+                Ok(la + ra)
+            }
+            Plan::AntiJoin { left, right, on, residual } => {
+                let la = left.arity(db)?;
+                let ra = right.arity(db)?;
+                for &(l, r) in on {
+                    if l >= la || r >= ra {
+                        return Err(StorageError::PlanError(format!(
+                            "anti-join key ({l},{r}) out of range for arities ({la},{ra})"
+                        )));
+                    }
+                }
+                if let Some(m) = residual.as_ref().and_then(|e| e.max_col()) {
+                    if m >= la + ra {
+                        return Err(StorageError::PlanError(format!(
+                            "anti-join residual references column {m} but joined arity is {}",
+                            la + ra
+                        )));
+                    }
+                }
+                Ok(la)
+            }
+            Plan::Distinct { input } => input.arity(db),
+            Plan::Union { inputs } => {
+                if inputs.is_empty() {
+                    return Err(StorageError::PlanError("empty union".into()));
+                }
+                let a = inputs[0].arity(db)?;
+                for p in &inputs[1..] {
+                    if p.arity(db)? != a {
+                        return Err(StorageError::PlanError("union arity mismatch".into()));
+                    }
+                }
+                Ok(a)
+            }
+            Plan::Aggregate { input, group_by, aggs } => {
+                let a = input.arity(db)?;
+                for &g in group_by {
+                    if g >= a {
+                        return Err(StorageError::PlanError(format!(
+                            "group-by column {g} out of range for arity {a}"
+                        )));
+                    }
+                }
+                for agg in aggs {
+                    if let Agg::Max(c) | Agg::Min(c) = agg {
+                        if *c >= a {
+                            return Err(StorageError::PlanError(format!(
+                                "aggregate column {c} out of range for arity {a}"
+                            )));
+                        }
+                    }
+                }
+                Ok(group_by.len() + aggs.len())
+            }
+            Plan::Values { arity, rows } => {
+                for r in rows {
+                    if r.arity() != *arity {
+                        return Err(StorageError::PlanError(format!(
+                            "values row arity {} does not match declared {arity}",
+                            r.arity()
+                        )));
+                    }
+                }
+                Ok(*arity)
+            }
+            Plan::Sort { input, by } => {
+                let a = input.arity(db)?;
+                for &c in by {
+                    if c >= a {
+                        return Err(StorageError::PlanError(format!(
+                            "sort column {c} out of range for arity {a}"
+                        )));
+                    }
+                }
+                Ok(a)
+            }
+            Plan::Limit { input, .. } => input.arity(db),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::TableSchema;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(TableSchema::with_key("Users", &["uid", "name"])).unwrap();
+        db.create_table(TableSchema::keyless("E", &["w1", "u", "w2"])).unwrap();
+        db
+    }
+
+    #[test]
+    fn arities_compose() {
+        let db = db();
+        assert_eq!(Plan::scan("Users").arity(&db).unwrap(), 2);
+        let j = Plan::scan("Users").join(Plan::scan("E"), vec![(0, 1)]);
+        assert_eq!(j.arity(&db).unwrap(), 5);
+        let p = j.project_cols(&[4, 1]);
+        assert_eq!(p.arity(&db).unwrap(), 2);
+        assert_eq!(Plan::unit().arity(&db).unwrap(), 0);
+    }
+
+    #[test]
+    fn selection_validates_columns() {
+        let db = db();
+        let bad = Plan::scan("Users").select(Expr::col_eq_lit(5, 1));
+        assert!(matches!(bad.arity(&db), Err(StorageError::PlanError(_))));
+    }
+
+    #[test]
+    fn join_validates_keys_and_residual() {
+        let db = db();
+        let bad = Plan::scan("Users").join(Plan::scan("E"), vec![(2, 0)]);
+        assert!(bad.arity(&db).is_err());
+        let bad = Plan::scan("Users").join_where(
+            Plan::scan("E"),
+            vec![(0, 1)],
+            Expr::col_eq_lit(7, 1),
+        );
+        assert!(bad.arity(&db).is_err());
+        let ok = Plan::scan("Users").join_where(
+            Plan::scan("E"),
+            vec![(0, 1)],
+            Expr::col_eq_lit(4, 1),
+        );
+        assert_eq!(ok.arity(&db).unwrap(), 5);
+    }
+
+    #[test]
+    fn anti_join_keeps_left_arity() {
+        let db = db();
+        let p = Plan::scan("Users").anti_join(Plan::scan("E"), vec![(0, 1)]);
+        assert_eq!(p.arity(&db).unwrap(), 2);
+    }
+
+    #[test]
+    fn union_checks_arity() {
+        let db = db();
+        let ok = Plan::Union { inputs: vec![Plan::scan("Users"), Plan::scan("Users")] };
+        assert_eq!(ok.arity(&db).unwrap(), 2);
+        let bad = Plan::Union { inputs: vec![Plan::scan("Users"), Plan::scan("E")] };
+        assert!(bad.arity(&db).is_err());
+        let empty = Plan::Union { inputs: vec![] };
+        assert!(empty.arity(&db).is_err());
+    }
+
+    #[test]
+    fn aggregate_arity() {
+        let db = db();
+        let p = Plan::Aggregate {
+            input: Box::new(Plan::scan("E")),
+            group_by: vec![0],
+            aggs: vec![Agg::Count, Agg::Max(2)],
+        };
+        assert_eq!(p.arity(&db).unwrap(), 3);
+        let bad = Plan::Aggregate {
+            input: Box::new(Plan::scan("E")),
+            group_by: vec![9],
+            aggs: vec![],
+        };
+        assert!(bad.arity(&db).is_err());
+    }
+
+    #[test]
+    fn values_validates_rows() {
+        let db = db();
+        let ok = Plan::Values { arity: 2, rows: vec![row![1, 2]] };
+        assert_eq!(ok.arity(&db).unwrap(), 2);
+        let bad = Plan::Values { arity: 2, rows: vec![row![1]] };
+        assert!(bad.arity(&db).is_err());
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let db = db();
+        assert!(Plan::scan("Nope").arity(&db).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Rows (tuples) of values.
+
+use crate::error::{Result, StorageError};
+use crate::value::Value;
+use std::fmt;
+
+/// An immutable tuple of [`Value`]s.
+///
+/// Rows are the unit of storage and of query results. They are stored as a
+/// boxed slice to keep the in-memory footprint at two words plus payload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Row(Box<[Value]>);
+
+impl Row {
+    /// Build a row from any iterable of values.
+    pub fn new(values: impl IntoIterator<Item = Value>) -> Self {
+        Row(values.into_iter().collect())
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Borrow the value at `idx`, or an error if out of range.
+    pub fn get(&self, idx: usize) -> Result<&Value> {
+        self.0
+            .get(idx)
+            .ok_or(StorageError::ColumnOutOfRange { index: idx, arity: self.0.len() })
+    }
+
+    /// Borrow all values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Build a new row keeping only the columns at `indices`, in order.
+    pub fn project(&self, indices: &[usize]) -> Result<Row> {
+        let mut out = Vec::with_capacity(indices.len());
+        for &i in indices {
+            out.push(self.get(i)?.clone());
+        }
+        Ok(Row::new(out))
+    }
+
+    /// Concatenate two rows (used by join operators).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut out = Vec::with_capacity(self.arity() + other.arity());
+        out.extend_from_slice(&self.0);
+        out.extend_from_slice(&other.0);
+        Row::new(out)
+    }
+
+    /// Extract the sub-row `[at..]` — the complement of a prefix.
+    pub fn suffix(&self, at: usize) -> Row {
+        Row::new(self.0[at..].iter().cloned())
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Self {
+        Row(v.into_boxed_slice())
+    }
+}
+
+impl std::ops::Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+}
+
+/// Build a [`Row`] from a heterogeneous list of literals.
+///
+/// ```
+/// use beliefdb_storage::{row, Value};
+/// let r = row!["s1", "Carol", "bald eagle", 614, true];
+/// assert_eq!(r.arity(), 5);
+/// assert_eq!(r[0], Value::str("s1"));
+/// assert_eq!(r[3], Value::int(614));
+/// ```
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::Row::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Row {
+        Row::new(vec![Value::str("s1"), Value::str("Carol"), Value::int(2008)])
+    }
+
+    #[test]
+    fn arity_and_get() {
+        let r = sample();
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.get(0).unwrap(), &Value::str("s1"));
+        assert_eq!(r.get(2).unwrap(), &Value::int(2008));
+        assert!(matches!(r.get(3), Err(StorageError::ColumnOutOfRange { index: 3, arity: 3 })));
+    }
+
+    #[test]
+    fn project_reorders_and_duplicates() {
+        let r = sample();
+        let p = r.project(&[2, 0, 0]).unwrap();
+        assert_eq!(p, Row::new(vec![Value::int(2008), Value::str("s1"), Value::str("s1")]));
+        assert!(r.project(&[5]).is_err());
+    }
+
+    #[test]
+    fn concat_joins_rows() {
+        let a = Row::new(vec![Value::int(1)]);
+        let b = Row::new(vec![Value::int(2), Value::int(3)]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c[0], Value::int(1));
+        assert_eq!(c[2], Value::int(3));
+    }
+
+    #[test]
+    fn suffix_slices() {
+        let r = sample();
+        assert_eq!(r.suffix(1).arity(), 2);
+        assert_eq!(r.suffix(1)[0], Value::str("Carol"));
+        assert_eq!(r.suffix(3).arity(), 0);
+    }
+
+    #[test]
+    fn display_and_macro() {
+        let r = row!["a", 1];
+        assert_eq!(r.to_string(), "(a, 1)");
+        let empty = Row::new(vec![]);
+        assert_eq!(empty.to_string(), "()");
+    }
+
+    #[test]
+    fn rows_hash_and_compare() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(sample());
+        set.insert(sample());
+        assert_eq!(set.len(), 1);
+        assert!(row![1] < row![2]);
+        assert!(row![1] < row![1, 0]);
+    }
+}

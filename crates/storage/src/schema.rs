@@ -1,0 +1,141 @@
+//! Table schemas.
+//!
+//! Following the paper (Sect. 3, "each relation `Ri(atti1, ..., attili)` has
+//! a distinguished primary key `atti1`"), the *first column* of a
+//! key-enforced table is its primary key. Internal bookkeeping relations
+//! (`V`, `E` in the paper's Fig. 5) are multisets and disable key
+//! enforcement.
+
+use crate::error::{Result, StorageError};
+
+/// A named column. The engine is dynamically typed, so a column carries no
+/// type — only a name used for resolution by the SQL front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>) -> Self {
+        ColumnDef { name: name.into() }
+    }
+}
+
+/// How a table treats duplicate keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyMode {
+    /// First column is a primary key; duplicate inserts are rejected.
+    PrimaryKey,
+    /// No key; the table is a multiset of rows.
+    None,
+}
+
+/// Schema of one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    name: String,
+    columns: Vec<ColumnDef>,
+    key_mode: KeyMode,
+}
+
+impl TableSchema {
+    /// Create a schema whose first column is the primary key.
+    pub fn with_key(name: impl Into<String>, columns: &[&str]) -> Self {
+        Self::build(name, columns, KeyMode::PrimaryKey)
+    }
+
+    /// Create a keyless (multiset) schema.
+    pub fn keyless(name: impl Into<String>, columns: &[&str]) -> Self {
+        Self::build(name, columns, KeyMode::None)
+    }
+
+    fn build(name: impl Into<String>, columns: &[&str], key_mode: KeyMode) -> Self {
+        let name = name.into();
+        assert!(!columns.is_empty(), "table `{name}` must have at least one column");
+        TableSchema {
+            name,
+            columns: columns.iter().map(|c| ColumnDef::new(*c)).collect(),
+            key_mode,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    pub fn key_mode(&self) -> KeyMode {
+        self.key_mode
+    }
+
+    /// Index of the primary key column (always 0 when key-enforced).
+    pub fn key_column(&self) -> Option<usize> {
+        match self.key_mode {
+            KeyMode::PrimaryKey => Some(0),
+            KeyMode::None => None,
+        }
+    }
+
+    /// Resolve a column name to its position.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| StorageError::NoSuchColumn {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })
+    }
+
+    /// Names of all columns, in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_key_puts_key_first() {
+        let s = TableSchema::with_key("Sightings", &["sid", "uid", "species", "date", "location"]);
+        assert_eq!(s.name(), "Sightings");
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.key_mode(), KeyMode::PrimaryKey);
+        assert_eq!(s.key_column(), Some(0));
+        assert_eq!(s.columns()[0].name, "sid");
+    }
+
+    #[test]
+    fn keyless_has_no_key() {
+        let s = TableSchema::keyless("V_Sightings", &["wid", "tid", "key", "s", "e"]);
+        assert_eq!(s.key_mode(), KeyMode::None);
+        assert_eq!(s.key_column(), None);
+    }
+
+    #[test]
+    fn column_resolution() {
+        let s = TableSchema::with_key("Users", &["uid", "name"]);
+        assert_eq!(s.column_index("uid").unwrap(), 0);
+        assert_eq!(s.column_index("name").unwrap(), 1);
+        assert!(matches!(
+            s.column_index("email"),
+            Err(StorageError::NoSuchColumn { .. })
+        ));
+        assert_eq!(s.column_names(), vec!["uid", "name"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_schema_panics() {
+        let _ = TableSchema::with_key("T", &[]);
+    }
+}

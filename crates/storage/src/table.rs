@@ -1,0 +1,358 @@
+//! Heap tables with primary-key enforcement and secondary indexes.
+
+use crate::error::{Result, StorageError};
+use crate::index::{Index, RowId};
+use crate::row::Row;
+use crate::schema::{KeyMode, TableSchema};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// An in-memory table: a slotted heap of rows, an optional primary-key map
+/// (over the first column, per the paper's schema convention), and any
+/// number of secondary hash indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Option<Row>>,
+    live: usize,
+    pk: HashMap<Value, RowId>,
+    indexes: Vec<Index>,
+}
+
+impl Table {
+    pub fn new(schema: TableSchema) -> Self {
+        Table { schema, rows: Vec::new(), live: 0, pk: HashMap::new(), indexes: Vec::new() }
+    }
+
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Create a secondary hash index over the named columns.
+    pub fn create_index(&mut self, name: &str, columns: &[&str]) -> Result<()> {
+        if self.indexes.iter().any(|i| i.name() == name) {
+            return Err(StorageError::IndexExists {
+                table: self.schema.name().to_string(),
+                name: name.to_string(),
+            });
+        }
+        let cols = columns
+            .iter()
+            .map(|c| self.schema.column_index(c))
+            .collect::<Result<Vec<_>>>()?;
+        let mut idx = Index::new(name, cols);
+        for (rid, slot) in self.rows.iter().enumerate() {
+            if let Some(row) = slot {
+                idx.insert(row, rid)?;
+            }
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    fn check_arity(&self, row: &Row) -> Result<()> {
+        if row.arity() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                table: self.schema.name().to_string(),
+                expected: self.schema.arity(),
+                got: row.arity(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Insert a row, enforcing the primary-key constraint when the schema
+    /// declares one. Returns the new row's id.
+    pub fn insert(&mut self, row: Row) -> Result<RowId> {
+        self.check_arity(&row)?;
+        if self.schema.key_mode() == KeyMode::PrimaryKey {
+            let key = row.get(0)?.clone();
+            if self.pk.contains_key(&key) {
+                return Err(StorageError::DuplicateKey {
+                    table: self.schema.name().to_string(),
+                    key: format!("{key}"),
+                });
+            }
+            self.pk.insert(key, self.rows.len());
+        }
+        let rid = self.rows.len();
+        for idx in &mut self.indexes {
+            idx.insert(&row, rid)?;
+        }
+        self.rows.push(Some(row));
+        self.live += 1;
+        Ok(rid)
+    }
+
+    /// Fetch a live row by id.
+    pub fn get(&self, rid: RowId) -> Result<&Row> {
+        self.rows
+            .get(rid)
+            .and_then(|s| s.as_ref())
+            .ok_or(StorageError::InvalidRowId { table: self.schema.name().to_string(), row_id: rid })
+    }
+
+    /// Delete a row by id, returning it.
+    pub fn delete(&mut self, rid: RowId) -> Result<Row> {
+        let slot = self
+            .rows
+            .get_mut(rid)
+            .ok_or(StorageError::InvalidRowId { table: self.schema.name().to_string(), row_id: rid })?;
+        let row = slot.take().ok_or(StorageError::InvalidRowId {
+            table: self.schema.name().to_string(),
+            row_id: rid,
+        })?;
+        if self.schema.key_mode() == KeyMode::PrimaryKey {
+            self.pk.remove(row.get(0)?);
+        }
+        for idx in &mut self.indexes {
+            idx.remove(&row, rid)?;
+        }
+        self.live -= 1;
+        Ok(row)
+    }
+
+    /// Delete every row matching `pred`; returns the number deleted.
+    ///
+    /// Scans the whole heap — prefer [`Table::delete_by_index_where`] on
+    /// large tables when an index covers the selection.
+    pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> bool) -> Result<usize> {
+        let victims: Vec<RowId> = self
+            .rows
+            .iter()
+            .enumerate()
+            .filter_map(|(rid, s)| s.as_ref().filter(|r| pred(r)).map(|_| rid))
+            .collect();
+        for rid in &victims {
+            self.delete(*rid)?;
+        }
+        Ok(victims.len())
+    }
+
+    /// Delete the rows matching `key` on the named index that also satisfy
+    /// `pred`; returns the number deleted. O(matching rows), not O(table).
+    pub fn delete_by_index_where(
+        &mut self,
+        index: &str,
+        key: &[Value],
+        mut pred: impl FnMut(&Row) -> bool,
+    ) -> Result<usize> {
+        let victims: Vec<RowId> = self
+            .index_lookup(index, key)?
+            .iter()
+            .copied()
+            .filter(|&rid| self.rows[rid].as_ref().is_some_and(&mut pred))
+            .collect();
+        for rid in &victims {
+            self.delete(*rid)?;
+        }
+        Ok(victims.len())
+    }
+
+    /// Delete all rows with this index key.
+    pub fn delete_by_index(&mut self, index: &str, key: &[Value]) -> Result<usize> {
+        self.delete_by_index_where(index, key, |_| true)
+    }
+
+    /// Look up a row by primary key.
+    pub fn get_by_key(&self, key: &Value) -> Option<&Row> {
+        let rid = *self.pk.get(key)?;
+        self.rows[rid].as_ref()
+    }
+
+    /// Row id for a primary key.
+    pub fn rid_by_key(&self, key: &Value) -> Option<RowId> {
+        self.pk.get(key).copied()
+    }
+
+    /// Row ids matching `key` on the named secondary index.
+    pub fn index_lookup(&self, index: &str, key: &[Value]) -> Result<&[RowId]> {
+        let idx = self
+            .indexes
+            .iter()
+            .find(|i| i.name() == index)
+            .ok_or_else(|| StorageError::NoSuchIndex {
+                table: self.schema.name().to_string(),
+                name: index.to_string(),
+            })?;
+        Ok(idx.get(key))
+    }
+
+    /// Rows matching `key` on the named secondary index.
+    pub fn index_rows(&self, index: &str, key: &[Value]) -> Result<Vec<&Row>> {
+        Ok(self
+            .index_lookup(index, key)?
+            .iter()
+            .filter_map(|&rid| self.rows[rid].as_ref())
+            .collect())
+    }
+
+    /// Iterate over live rows with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(rid, s)| s.as_ref().map(|r| (rid, r)))
+    }
+
+    /// Clone all live rows (used by `Scan`).
+    pub fn scan(&self) -> Vec<Row> {
+        self.iter().map(|(_, r)| r.clone()).collect()
+    }
+
+    /// True iff the table has an index with this exact column list.
+    pub fn has_index_on(&self, cols: &[usize]) -> Option<&str> {
+        self.indexes
+            .iter()
+            .find(|i| i.columns() == cols)
+            .map(|i| i.name())
+    }
+
+    /// Find an index over exactly this *set* of columns (order-insensitive).
+    /// Returns the index name and its column order, which callers must use
+    /// when assembling lookup keys.
+    pub fn find_index_for(&self, cols: &[usize]) -> Option<(&str, &[usize])> {
+        let mut want: Vec<usize> = cols.to_vec();
+        want.sort_unstable();
+        self.indexes
+            .iter()
+            .find(|i| {
+                let mut have: Vec<usize> = i.columns().to_vec();
+                have.sort_unstable();
+                have == want
+            })
+            .map(|i| (i.name(), i.columns()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn users() -> Table {
+        let mut t = Table::new(TableSchema::with_key("Users", &["uid", "name"]));
+        t.insert(row![1, "Alice"]).unwrap();
+        t.insert(row![2, "Bob"]).unwrap();
+        t.insert(row![3, "Carol"]).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_and_key_lookup() {
+        let t = users();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get_by_key(&Value::int(2)).unwrap()[1], Value::str("Bob"));
+        assert!(t.get_by_key(&Value::int(9)).is_none());
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut t = users();
+        let err = t.insert(row![1, "Imposter"]).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateKey { .. }));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn keyless_table_allows_duplicates() {
+        let mut t = Table::new(TableSchema::keyless("E", &["wid1", "uid", "wid2"]));
+        t.insert(row![0, 1, 1]).unwrap();
+        t.insert(row![0, 1, 1]).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut t = users();
+        assert!(matches!(
+            t.insert(row![4]),
+            Err(StorageError::ArityMismatch { expected: 2, got: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn delete_frees_key_and_slot() {
+        let mut t = users();
+        let rid = t.rid_by_key(&Value::int(2)).unwrap();
+        let row = t.delete(rid).unwrap();
+        assert_eq!(row[1], Value::str("Bob"));
+        assert_eq!(t.len(), 2);
+        assert!(t.get(rid).is_err());
+        assert!(t.get_by_key(&Value::int(2)).is_none());
+        // key can be reused after delete
+        t.insert(row![2, "Bobby"]).unwrap();
+        assert_eq!(t.get_by_key(&Value::int(2)).unwrap()[1], Value::str("Bobby"));
+    }
+
+    #[test]
+    fn delete_twice_fails() {
+        let mut t = users();
+        let rid = t.rid_by_key(&Value::int(1)).unwrap();
+        t.delete(rid).unwrap();
+        assert!(t.delete(rid).is_err());
+    }
+
+    #[test]
+    fn secondary_index_tracks_mutations() {
+        let mut t = Table::new(TableSchema::keyless("V", &["wid", "tid", "key", "s", "e"]));
+        t.create_index("by_wid_key", &["wid", "key"]).unwrap();
+        t.insert(row![1, "t1", "s1", "+", "y"]).unwrap();
+        t.insert(row![1, "t2", "s1", "-", "n"]).unwrap();
+        t.insert(row![2, "t1", "s1", "+", "n"]).unwrap();
+
+        let key = [Value::int(1), Value::str("s1")];
+        assert_eq!(t.index_rows("by_wid_key", &key).unwrap().len(), 2);
+
+        t.delete_where(|r| r[3] == Value::str("-")).unwrap();
+        assert_eq!(t.index_rows("by_wid_key", &key).unwrap().len(), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn index_created_after_data_backfills() {
+        let mut t = users();
+        t.create_index("by_name", &["name"]).unwrap();
+        let hits = t.index_rows("by_name", &[Value::str("Carol")]).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0][0], Value::int(3));
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut t = users();
+        t.create_index("i", &["name"]).unwrap();
+        assert!(matches!(
+            t.create_index("i", &["uid"]),
+            Err(StorageError::IndexExists { .. })
+        ));
+    }
+
+    #[test]
+    fn has_index_on_matches_exact_columns() {
+        let mut t = users();
+        t.create_index("by_name", &["name"]).unwrap();
+        assert_eq!(t.has_index_on(&[1]), Some("by_name"));
+        assert_eq!(t.has_index_on(&[0]), None);
+        assert_eq!(t.has_index_on(&[1, 0]), None);
+    }
+
+    #[test]
+    fn scan_returns_live_rows_only() {
+        let mut t = users();
+        let rid = t.rid_by_key(&Value::int(1)).unwrap();
+        t.delete(rid).unwrap();
+        let rows = t.scan();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r[1] != Value::str("Alice")));
+    }
+}

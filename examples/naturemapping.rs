@@ -1,0 +1,113 @@
+//! NatureMapping: a collaborative curation workflow (the paper's motivating
+//! application, Sect. 1–2) at a slightly larger scale.
+//!
+//! Volunteers report sightings; graduate students, technicians, and the
+//! principal investigator annotate them with beliefs instead of waiting for
+//! a single expert to curate every entry. The example walks through:
+//! field reports → expert disagreement → higher-order explanations →
+//! a curation review query → belief revision after discussion.
+//!
+//! ```text
+//! cargo run --example naturemapping
+//! ```
+
+use beliefdb::core::ExternalSchema;
+use beliefdb::sql::Session;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schema = ExternalSchema::new()
+        .with_relation("Sightings", &["sid", "uid", "species", "date", "location"])
+        .with_relation("Comments", &["cid", "comment", "sid"]);
+    let mut session = Session::new(schema)?;
+
+    // The curation team and two volunteers.
+    for name in ["Prof_Dvorak", "Grad_Gail", "Tech_Tom", "Vol_Vera", "Vol_Victor"] {
+        session.add_user(name)?;
+    }
+
+    println!("== 1. Volunteers file field reports (base data) ==\n");
+    let reports = [
+        "insert into Sightings values ('r1','Vol_Vera','pileated woodpecker','5-02-09','Cedar Grove')",
+        "insert into Sightings values ('r2','Vol_Vera','gray wolf','5-02-09','North Ridge')",
+        "insert into Sightings values ('r3','Vol_Victor','mountain beaver','5-03-09','Wet Meadow')",
+        "insert into Sightings values ('r4','Vol_Victor','golden eagle','5-04-09','North Ridge')",
+    ];
+    for sql in reports {
+        session.execute(sql)?;
+        println!("  {sql}");
+    }
+
+    println!("\n== 2. Experts annotate: agreement, doubt, and alternatives ==\n");
+    // Tom doubts the wolf (likely a coyote) and says why.
+    session.execute(
+        "insert into BELIEF 'Tech_Tom' Sightings values \
+         ('r2','Vol_Vera','coyote','5-02-09','North Ridge')",
+    )?;
+    session.execute(
+        "insert into BELIEF 'Tech_Tom' Comments values \
+         ('n1','track size 6cm, too small for wolf','r2')",
+    )?;
+    // Gail doubts the golden eagle outright (no alternative: a pure negative).
+    session.execute(
+        "insert into BELIEF 'Grad_Gail' not Sightings values \
+         ('r4','Vol_Victor','golden eagle','5-04-09','North Ridge')",
+    )?;
+    // The professor trusts Tom's coyote call and adds a higher-order
+    // explanation: Vera believed the tracks were large.
+    session.execute(
+        "insert into BELIEF 'Prof_Dvorak' Sightings values \
+         ('r2','Vol_Vera','coyote','5-02-09','North Ridge')",
+    )?;
+    session.execute(
+        "insert into BELIEF 'Prof_Dvorak' BELIEF 'Vol_Vera' Comments values \
+         ('n2','tracks looked large in mud','r2')",
+    )?;
+    println!("  (5 belief statements recorded)");
+
+    println!("\n== 3. Curation review: where do experts disagree with reports? ==\n");
+    let review = "select U.name, S.sid, S.species \
+                  from Users as U, BELIEF U.uid Sightings as S, Sightings as R \
+                  where S.sid = R.sid and S.species <> R.species";
+    println!("> {review}");
+    println!("{}\n", session.query(review)?);
+
+    println!("== 4. What does each expert believe about r2? ==\n");
+    for expert in ["Prof_Dvorak", "Grad_Gail", "Tech_Tom"] {
+        let q = format!(
+            "select S.species from Users as U, BELIEF U.uid Sightings as S \
+             where U.name = '{expert}' and S.sid = 'r2'"
+        );
+        let result = session.query(&q)?;
+        let species: Vec<String> =
+            result.rows().iter().map(|r| r[0].to_string()).collect();
+        println!("  {expert:<12} believes r2 is: {}", species.join(", "));
+    }
+
+    println!("\n== 5. Vera concedes after seeing the track note ==\n");
+    // She updates her own belief world — the base report stays untouched,
+    // which is the whole point of annotations.
+    session.execute(
+        "insert into BELIEF 'Vol_Vera' Sightings values \
+         ('r2','Vol_Vera','coyote','5-02-09','North Ridge')",
+    )?;
+    let consensus = "select U.name from Users as U, BELIEF U.uid Sightings as S \
+                     where S.sid = 'r2' and S.species = 'coyote'";
+    println!("> {consensus}");
+    println!("{}\n", session.query(consensus)?);
+
+    println!("== 6. Gail retracts her doubt about the golden eagle ==\n");
+    session.execute(
+        "delete from BELIEF 'Grad_Gail' not Sightings where sid = 'r4'",
+    )?;
+    let gail = "select S.species from Users as U, BELIEF U.uid Sightings as S \
+                where U.name = 'Grad_Gail' and S.sid = 'r4'";
+    println!("> {gail}   -- the default belief returns");
+    println!("{}\n", session.query(gail)?);
+
+    let stats = session.bdms().stats();
+    println!(
+        "final state: {} explicit worlds over {} users, {} internal tuples",
+        stats.worlds, stats.users, stats.total_tuples
+    );
+    Ok(())
+}

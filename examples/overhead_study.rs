@@ -1,0 +1,74 @@
+//! Overhead study: a miniature of the paper's Sect. 6.1 experiments, showing
+//! how the relative overhead `|R*|/n` of the eager belief encoding depends
+//! on annotation skew — runnable in seconds.
+//!
+//! ```text
+//! cargo run --release --example overhead_study
+//! ```
+
+use beliefdb::gen::{generate_bdms, DepthDist, GeneratorConfig, Participation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1_000;
+    println!("relative overhead |R*|/n for n = {n} annotations\n");
+    println!(
+        "{:<26} {:>7} {:>14} {:>9} {:>9}",
+        "configuration", "worlds", "|R*| tuples", "|R*|/n", "theory"
+    );
+    println!("{}", "-".repeat(70));
+
+    let configs: Vec<(&str, GeneratorConfig)> = vec![
+        (
+            "m=10  uniform d<=2",
+            GeneratorConfig::new(10, n).with_depth(DepthDist::uniform_012()),
+        ),
+        (
+            "m=10  Zipf    d<=2",
+            GeneratorConfig::new(10, n)
+                .with_depth(DepthDist::uniform_012())
+                .with_participation(Participation::paper_zipf()),
+        ),
+        (
+            "m=100 uniform d<=2",
+            GeneratorConfig::new(100, n).with_depth(DepthDist::uniform_012()),
+        ),
+        (
+            "m=100 Zipf    d<=2",
+            GeneratorConfig::new(100, n)
+                .with_depth(DepthDist::uniform_012())
+                .with_participation(Participation::paper_zipf()),
+        ),
+        (
+            "m=10  uniform shallow",
+            GeneratorConfig::new(10, n).with_depth(DepthDist::skewed_shallow()),
+        ),
+        (
+            "m=10  uniform depth-1",
+            GeneratorConfig::new(10, n).with_depth(DepthDist::skewed_depth1()),
+        ),
+    ];
+
+    for (label, cfg) in configs {
+        let users = cfg.users;
+        let max_d = cfg.depth.max_depth() as u32;
+        let (bdms, report) = generate_bdms(&cfg)?;
+        let stats = bdms.stats();
+        // Sect. 5.4: the worst case is O(m^dmax).
+        let bound = (users as f64).powi(max_d as i32);
+        println!(
+            "{:<26} {:>7} {:>14} {:>9.1} {:>9}",
+            label,
+            stats.worlds,
+            stats.total_tuples,
+            stats.relative_overhead(report.accepted),
+            format!("<= {bound:.0}"),
+        );
+    }
+
+    println!("\ntake-aways (matching the paper):");
+    println!(" * more users + uniform participation  -> many belief worlds -> big overhead");
+    println!(" * skewed (Zipf) participation          -> far fewer worlds   -> small overhead");
+    println!(" * mostly depth-1 annotations           -> cheapest: little default-rule fan-out");
+    println!(" * overhead never exceeds its O(m^dmax) bound");
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Quickstart: the paper's running example (Sect. 2) in BeliefSQL.
+//!
+//! Little Carol reports a bald eagle; Bob disagrees and explains why Alice's
+//! crow was probably a raven. Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use beliefdb::core::ExternalSchema;
+use beliefdb::sql::Session;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // External schema of the NatureMapping scenario (the Users relation is
+    // managed by the BDMS itself).
+    let schema = ExternalSchema::new()
+        .with_relation("Sightings", &["sid", "uid", "species", "date", "location"])
+        .with_relation("Comments", &["cid", "comment", "sid"]);
+    let mut session = Session::new(schema)?;
+    session.add_user("Alice")?;
+    session.add_user("Bob")?;
+    session.add_user("Carol")?;
+
+    // The eight belief statements i1–i8 of the paper.
+    let inserts = [
+        // i1: Carol reports her sighting as base data.
+        "insert into Sightings values ('s1','Carol','bald eagle','6-14-08','Lake Forest')",
+        // i2, i3: Bob does not believe either eagle alternative.
+        "insert into BELIEF 'Bob' not Sightings values ('s1','Carol','bald eagle','6-14-08','Lake Forest')",
+        "insert into BELIEF 'Bob' not Sightings values ('s1','Carol','fish eagle','6-14-08','Lake Forest')",
+        // i4, i5: Alice believes she saw a crow and comments on the feathers.
+        "insert into BELIEF 'Alice' Sightings values ('s2','Alice','crow','6-14-08','Lake Placid')",
+        "insert into BELIEF 'Alice' Comments values ('c1','found feathers','s2')",
+        // i6: Bob believes Alice saw a raven.
+        "insert into BELIEF 'Bob' Sightings values ('s2','Alice','raven','6-14-08','Lake Placid')",
+        // i7: higher-order: Bob believes that ALICE believes the feathers
+        //     were black — his explanation of her mistake.
+        "insert into BELIEF 'Bob' BELIEF 'Alice' Comments values ('c2','black feathers','s2')",
+        // i8: ... while he believes they were purple-black.
+        "insert into BELIEF 'Bob' Comments values ('c2','purple-black feathers','s2')",
+    ];
+    for sql in inserts {
+        println!("> {sql}");
+        println!("{}\n", session.execute(sql)?);
+    }
+
+    // q1: sightings at Lake Placid that Bob believes.
+    let q1 = "select S.sid, S.uid, S.species \
+              from Users as U, BELIEF U.uid Sightings as S \
+              where U.name = 'Bob' and S.location = 'Lake Placid'";
+    println!("> {q1}");
+    println!("{}\n", session.query(q1)?);
+
+    // q2: entries on which users disagree with what Alice believes.
+    let q2 = "select U2.name, S1.species, S2.species \
+              from Users as U1, Users as U2, \
+                   BELIEF U1.uid Sightings as S1, \
+                   BELIEF U2.uid Sightings as S2 \
+              where U1.name = 'Alice' and S1.sid = S2.sid \
+                and S1.species <> S2.species";
+    println!("> {q2}");
+    println!("{}\n", session.query(q2)?);
+
+    // The message-board assumption at work: Dora joins late and believes
+    // everything stated — including that Bob disagrees with Carol.
+    session.add_user("Dora")?;
+    let q3 = "select S.species \
+              from Users as U, BELIEF U.uid Sightings as S \
+              where U.name = 'Dora'";
+    println!("> {q3}   -- Dora's default beliefs");
+    println!("{}\n", session.query(q3)?);
+
+    // Internal representation sizes (Fig. 5's tables).
+    let stats = session.bdms().stats();
+    println!("internal representation: {} tuples across {} tables, {} belief worlds",
+        stats.total_tuples,
+        stats.per_table.len(),
+        stats.worlds,
+    );
+    for (table, rows) in &stats.per_table {
+        println!("  {table:<18} {rows:>4} rows");
+    }
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! An interactive BeliefSQL shell over the NatureMapping schema.
+//!
+//! ```text
+//! cargo run --example shell
+//! ```
+//!
+//! Meta-commands: `\user <name>` registers a user, `\stats` prints the
+//! internal representation sizes, `\worlds` lists the belief worlds,
+//! `\help`, `\quit`. Everything else is parsed as BeliefSQL.
+//!
+//! Example session:
+//!
+//! ```text
+//! beliefdb> \user Alice
+//! beliefdb> \user Bob
+//! beliefdb> insert into Sightings values ('s1','Alice','crow','6-14-08','Lake Placid')
+//! beliefdb> insert into BELIEF 'Bob' Sightings values ('s1','Alice','raven','6-14-08','Lake Placid')
+//! beliefdb> select U.name, S.species from Users as U, BELIEF U.uid Sightings as S
+//! ```
+
+use beliefdb::core::ExternalSchema;
+use beliefdb::sql::Session;
+use std::io::{BufRead, Write};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schema = ExternalSchema::new()
+        .with_relation("Sightings", &["sid", "uid", "species", "date", "location"])
+        .with_relation("Comments", &["cid", "comment", "sid"]);
+    let mut session = Session::new(schema)?;
+
+    println!("beliefdb shell — BeliefSQL over Sightings/Comments. \\help for help.");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("beliefdb> ");
+        out.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('\\') {
+            let mut parts = rest.split_whitespace();
+            match parts.next() {
+                Some("quit") | Some("q") => break,
+                Some("help") => {
+                    println!("  \\user <name>   register a user");
+                    println!("  \\stats         internal representation sizes");
+                    println!("  \\worlds        list belief worlds");
+                    println!("  \\explain <q>   show the BCQ + Datalog translation of a SELECT");
+                    println!("  \\quit          exit");
+                    println!("  anything else is BeliefSQL, e.g.:");
+                    println!("    insert into BELIEF 'Bob' not Sightings values (...)");
+                    println!("    select U.name, S.species from Users as U, BELIEF U.uid Sightings as S");
+                }
+                Some("user") => match parts.next() {
+                    Some(name) => match session.add_user(name) {
+                        Ok(id) => println!("registered user {name} (uid {id})"),
+                        Err(e) => println!("error: {e}"),
+                    },
+                    None => println!("usage: \\user <name>"),
+                },
+                Some("stats") => {
+                    let stats = session.bdms().stats();
+                    println!(
+                        "{} tuples, {} worlds, {} users",
+                        stats.total_tuples, stats.worlds, stats.users
+                    );
+                    for (table, rows) in &stats.per_table {
+                        println!("  {table:<20} {rows:>6}");
+                    }
+                }
+                Some("explain") => {
+                    let rest: Vec<&str> = parts.collect();
+                    match session.explain(&rest.join(" ")) {
+                        Ok(text) => println!("{text}"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                Some("worlds") => {
+                    for (wid, path) in session.bdms().internal().directory().iter() {
+                        println!("  #{wid} {path}");
+                    }
+                }
+                other => println!("unknown meta-command {other:?}; try \\help"),
+            }
+            continue;
+        }
+        match session.execute(line) {
+            Ok(result) => println!("{result}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}

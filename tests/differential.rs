@@ -1,0 +1,249 @@
+//! Randomized differential tests: the three implementations of the belief
+//! semantics — logical closure (the executable spec, Def. 9–12), canonical
+//! Kripke structure (Def. 16), and the materialized relational store
+//! (Algorithms 2–4) — must agree on every world, every entailment, and
+//! every query answer, on arbitrary generated workloads.
+
+use beliefdb::core::bcq::dsl::*;
+use beliefdb::core::bcq::{naive, Bcq};
+use beliefdb::core::{
+    closure::Closure, Bdms, BeliefPath, BeliefStatement, CanonicalKripke, Sign, UserId,
+};
+use beliefdb::gen::{generate_logical, DepthDist, GeneratorConfig, Participation};
+
+/// Small-but-diverse workloads: every combination of user count, depth
+/// distribution, and participation that keeps the naive evaluator fast.
+fn workloads() -> Vec<GeneratorConfig> {
+    let mut out = Vec::new();
+    for (users, n) in [(2usize, 60usize), (3, 120), (5, 200)] {
+        for depth in [DepthDist::uniform_012(), DepthDist::new(&[0.2, 0.4, 0.3, 0.1])] {
+            for participation in [Participation::Uniform, Participation::paper_zipf()] {
+                out.push(
+                    GeneratorConfig::new(users, n)
+                        .with_depth(depth.clone())
+                        .with_participation(participation.clone())
+                        .with_key_space(n / 6)
+                        .with_negative_rate(0.3)
+                        .with_seed(1234),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn store_worlds_equal_closure_worlds() {
+    for cfg in workloads() {
+        let (db, _) = generate_logical(&cfg).unwrap();
+        let bdms = Bdms::from_belief_database(&db).unwrap();
+        let mut cl = Closure::new(&db);
+        for state in db.states() {
+            let materialized = bdms.world(&state).unwrap();
+            let spec = cl.entailed_world(&state).clone();
+            assert_eq!(
+                materialized, spec,
+                "world mismatch at {state} (m={}, n={})",
+                cfg.users, cfg.annotations
+            );
+        }
+    }
+}
+
+#[test]
+fn kripke_walk_equals_closure_on_deep_paths() {
+    for cfg in workloads().into_iter().take(6) {
+        let (db, _) = generate_logical(&cfg).unwrap();
+        let kripke = CanonicalKripke::build(&db);
+        let mut cl = Closure::new(&db);
+        let users: Vec<UserId> = db.users().collect();
+        let tuples = db.mentioned_tuples();
+        // All paths up to depth 3 (beyond any state depth, exercising the
+        // back edges).
+        let mut paths = vec![BeliefPath::root()];
+        let mut frontier = vec![BeliefPath::root()];
+        for _ in 0..3 {
+            let mut next = Vec::new();
+            for p in &frontier {
+                for &u in &users {
+                    if let Ok(q) = p.push(u) {
+                        next.push(q);
+                    }
+                }
+            }
+            paths.extend(next.iter().cloned());
+            frontier = next;
+        }
+        for p in &paths {
+            for t in tuples.iter().step_by(7) {
+                for sign in [Sign::Pos, Sign::Neg] {
+                    let stmt = BeliefStatement::new(p.clone(), t.clone(), sign);
+                    assert_eq!(
+                        cl.entails(&stmt),
+                        kripke.entails(&stmt),
+                        "Thm. 17 violated on {stmt}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn store_entailment_equals_closure_entailment() {
+    for cfg in workloads().into_iter().take(6) {
+        let (db, _) = generate_logical(&cfg).unwrap();
+        let bdms = Bdms::from_belief_database(&db).unwrap();
+        let mut cl = Closure::new(&db);
+        let users: Vec<UserId> = db.users().collect();
+        for t in db.mentioned_tuples().iter().step_by(5) {
+            for &u in &users {
+                for &v in &users {
+                    if u == v {
+                        continue;
+                    }
+                    let path = BeliefPath::new(vec![u, v]).unwrap();
+                    for sign in [Sign::Pos, Sign::Neg] {
+                        let stmt = BeliefStatement::new(path.clone(), t.clone(), sign);
+                        assert_eq!(
+                            bdms.entails(&stmt).unwrap(),
+                            cl.entails(&stmt),
+                            "store vs closure on {stmt}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Query shapes covering the translation's branches: content (constant and
+/// variable paths), conflicts (negative subgoal with variables), user
+/// queries (variable only in a negative path), arithmetic predicates, and
+/// catalog atoms.
+fn query_shapes(schema: &beliefdb::core::ExternalSchema) -> Vec<Bcq> {
+    let s = schema.relation_id("S").unwrap();
+    let all = |p| -> Vec<beliefdb::core::bcq::QueryTerm> {
+        let _ = &p;
+        vec![qv("a"), qv("b"), qv("c"), qv("d"), qv("e")]
+    };
+    vec![
+        // content at root
+        Bcq::builder(vec![qv("a"), qv("c")])
+            .positive(vec![], s, vec![qv("a"), qany(), qv("c"), qany(), qany()])
+            .build(schema)
+            .unwrap(),
+        // content at depth 1, variable path
+        Bcq::builder(vec![qv("x"), qv("a")])
+            .positive(vec![pv("x")], s, vec![qv("a"), qany(), qany(), qany(), qany()])
+            .build(schema)
+            .unwrap(),
+        // depth-2 constant path
+        Bcq::builder(vec![qv("a"), qv("c")])
+            .positive(
+                vec![pu(UserId(2)), pu(UserId(1))],
+                s,
+                vec![qv("a"), qany(), qv("c"), qany(), qany()],
+            )
+            .build(schema)
+            .unwrap(),
+        // conflict: same tuple believed at 2·1 and denied at 2
+        Bcq::builder(vec![qv("a"), qv("c")])
+            .positive(vec![pu(UserId(2)), pu(UserId(1))], s, all(0))
+            .negative(vec![pu(UserId(2))], s, all(0))
+            .build(schema)
+            .unwrap(),
+        // user query: who disagrees with user 1?
+        Bcq::builder(vec![qv("x")])
+            .negative(vec![pv("x")], s, all(0))
+            .positive(vec![pu(UserId(1))], s, all(0))
+            .build(schema)
+            .unwrap(),
+        // two variable paths + inequality predicate
+        Bcq::builder(vec![qv("x"), qv("y"), qv("c"), qv("c2")])
+            .positive(vec![pv("x")], s, vec![qv("a"), qany(), qv("c"), qany(), qany()])
+            .positive(vec![pv("y")], s, vec![qv("a"), qany(), qv("c2"), qany(), qany()])
+            .pred(qv("c"), beliefdb::storage::CmpOp::Ne, qv("c2"))
+            .build(schema)
+            .unwrap(),
+        // catalog atom binding the path variable
+        Bcq::builder(vec![qv("n"), qv("a")])
+            .user(qv("x"), qv("n"))
+            .positive(vec![pv("x")], s, vec![qv("a"), qany(), qany(), qany(), qany()])
+            .build(schema)
+            .unwrap(),
+    ]
+}
+
+#[test]
+fn translated_queries_equal_naive_queries() {
+    for cfg in workloads() {
+        let (db, _) = generate_logical(&cfg).unwrap();
+        let bdms = Bdms::from_belief_database(&db).unwrap();
+        for (i, q) in query_shapes(db.schema()).iter().enumerate() {
+            let translated = bdms.query(q).unwrap();
+            let mut reference = naive::evaluate(&db, q).unwrap();
+            reference.sort();
+            assert_eq!(
+                translated, reference,
+                "query #{i} differs (m={}, n={}): {q}",
+                cfg.users, cfg.annotations
+            );
+        }
+    }
+}
+
+#[test]
+fn deletes_agree_with_reclosure() {
+    // Delete a third of the statements (every 3rd) from the store and from
+    // the logical database; worlds must still agree — the incremental
+    // delete path equals re-closing D \ {deleted}.
+    for cfg in workloads().into_iter().take(4) {
+        let (mut db, _) = generate_logical(&cfg).unwrap();
+        let mut bdms = Bdms::from_belief_database(&db).unwrap();
+        let stmts = db.statements();
+        for stmt in stmts.iter().step_by(3) {
+            assert!(bdms.delete_statement(stmt).unwrap(), "store delete of {stmt}");
+            assert!(db.remove(stmt), "logical delete of {stmt}");
+        }
+        let mut cl = Closure::new(&db);
+        // Worlds the store still knows about are a superset of the states
+        // of the shrunken D; check over the *store's* directory so stale
+        // implicit content would be caught.
+        let dir_paths: Vec<BeliefPath> = bdms
+            .internal()
+            .directory()
+            .iter()
+            .map(|(_, p)| p.clone())
+            .collect();
+        for p in dir_paths {
+            assert_eq!(
+                bdms.world(&p).unwrap(),
+                cl.entailed_world(&p).clone(),
+                "post-delete world mismatch at {p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn reinserting_deleted_statements_restores_the_database() {
+    let cfg = GeneratorConfig::new(4, 150).with_seed(77);
+    let (db, _) = generate_logical(&cfg).unwrap();
+    let mut bdms = Bdms::from_belief_database(&db).unwrap();
+    let stmts = db.statements();
+    // Delete half, then re-insert in reverse order.
+    for stmt in stmts.iter().step_by(2) {
+        assert!(bdms.delete_statement(stmt).unwrap());
+    }
+    for stmt in stmts.iter().step_by(2).collect::<Vec<_>>().into_iter().rev() {
+        assert!(bdms.insert_statement(stmt).unwrap().accepted());
+    }
+    let roundtrip = bdms.to_belief_database().unwrap();
+    assert_eq!(roundtrip.statements(), db.statements());
+    // And the worlds match the spec again.
+    let mut cl = Closure::new(&db);
+    for p in db.states() {
+        assert_eq!(bdms.world(&p).unwrap(), cl.entailed_world(&p).clone());
+    }
+}

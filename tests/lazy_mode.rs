@@ -1,0 +1,155 @@
+//! Differential tests for the lazy default-rule mode (the Sect. 6.3
+//! extension): `LazyBdms` must answer exactly like the eager `Bdms` on
+//! entailments and queries, while storing asymptotically less.
+
+use beliefdb::core::bcq::dsl::*;
+use beliefdb::core::bcq::Bcq;
+use beliefdb::core::{Bdms, BeliefPath, BeliefStatement, LazyBdms, Sign, UserId};
+use beliefdb::gen::{generate_logical, CandidateStream, DepthDist, GeneratorConfig};
+
+fn configs() -> Vec<GeneratorConfig> {
+    vec![
+        GeneratorConfig::new(3, 120).with_seed(21),
+        GeneratorConfig::new(5, 200)
+            .with_depth(DepthDist::new(&[0.1, 0.5, 0.3, 0.1]))
+            .with_negative_rate(0.35)
+            .with_seed(22),
+        GeneratorConfig::new(8, 150)
+            .with_participation(beliefdb::gen::Participation::paper_zipf())
+            .with_seed(23),
+    ]
+}
+
+#[test]
+fn lazy_and_eager_agree_on_entailments() {
+    for cfg in configs() {
+        let (db, _) = generate_logical(&cfg).unwrap();
+        let eager = Bdms::from_belief_database(&db).unwrap();
+        let mut lazy = LazyBdms::from_belief_database(db.clone());
+        let users: Vec<UserId> = db.users().collect();
+        for t in db.mentioned_tuples().iter().step_by(4) {
+            for &u in &users {
+                for &v in &users {
+                    if u == v {
+                        continue;
+                    }
+                    for sign in [Sign::Pos, Sign::Neg] {
+                        let stmt = BeliefStatement::new(
+                            BeliefPath::new(vec![u, v]).unwrap(),
+                            t.clone(),
+                            sign,
+                        );
+                        assert_eq!(
+                            lazy.entails(&stmt),
+                            eager.entails(&stmt).unwrap(),
+                            "lazy vs eager on {stmt}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lazy_and_eager_agree_on_queries() {
+    for cfg in configs() {
+        let (db, _) = generate_logical(&cfg).unwrap();
+        let eager = Bdms::from_belief_database(&db).unwrap();
+        let lazy = LazyBdms::from_belief_database(db.clone());
+        let s = db.schema().relation_id("S").unwrap();
+        let all = vec![qv("a"), qv("b"), qv("c"), qv("d"), qv("e")];
+        let queries = [
+            Bcq::builder(vec![qv("x"), qv("a")])
+                .positive(vec![pv("x")], s, vec![qv("a"), qany(), qany(), qany(), qany()])
+                .build(db.schema())
+                .unwrap(),
+            Bcq::builder(vec![qv("x")])
+                .negative(vec![pv("x")], s, all.clone())
+                .positive(vec![pu(UserId(1))], s, all.clone())
+                .build(db.schema())
+                .unwrap(),
+            Bcq::builder(vec![qv("a"), qv("c")])
+                .positive(vec![pu(UserId(2)), pu(UserId(1))], s, all)
+                .build(db.schema())
+                .unwrap(),
+        ];
+        for q in &queries {
+            assert_eq!(lazy.query(q).unwrap(), eager.query(q).unwrap(), "on {q}");
+        }
+    }
+}
+
+#[test]
+fn lazy_and_eager_accept_the_same_statements() {
+    // Feed the identical raw candidate stream (including inconsistent
+    // candidates) to both; every outcome must match.
+    let cfg = GeneratorConfig::new(4, 200).with_seed(31).with_negative_rate(0.4);
+    let mut stream = CandidateStream::new(&cfg);
+    let mut eager = Bdms::new(beliefdb::gen::experiment_schema()).unwrap();
+    let mut lazy = LazyBdms::new(beliefdb::gen::experiment_schema());
+    for i in 1..=cfg.users {
+        eager.add_user(format!("u{i}")).unwrap();
+        lazy.add_user(format!("u{i}")).unwrap();
+    }
+    for _ in 0..500 {
+        let stmt = stream.next_candidate();
+        let a = eager.insert_statement(&stmt).unwrap();
+        let b = lazy.insert_statement(&stmt).unwrap();
+        // The eager store distinguishes MadeExplicit (implicit tuple
+        // promoted); the lazy store has no implicit layer, so the same
+        // statement is a plain insert there. Everything else must match.
+        use beliefdb::core::internal::InsertOutcome::*;
+        match (a, b) {
+            (MadeExplicit, Inserted) => {}
+            (x, y) => assert_eq!(x, y, "outcome mismatch on {stmt}"),
+        }
+    }
+    // Same explicit statements afterwards.
+    assert_eq!(
+        eager.to_belief_database().unwrap().statements(),
+        lazy.database().statements()
+    );
+}
+
+#[test]
+fn lazy_storage_is_smaller_and_updates_do_not_fan_out() {
+    let cfg = GeneratorConfig::new(10, 400).with_seed(41);
+    let (db, _) = generate_logical(&cfg).unwrap();
+    let eager = Bdms::from_belief_database(&db).unwrap();
+    let lazy = LazyBdms::from_belief_database(db);
+    let eager_size = eager.stats().total_tuples;
+    let lazy_size = lazy.stored_tuples();
+    assert!(
+        lazy_size < eager_size,
+        "lazy {lazy_size} should undercut eager {eager_size}"
+    );
+}
+
+#[test]
+fn lazy_deletes_match_eager_deletes() {
+    let cfg = GeneratorConfig::new(4, 150).with_seed(51);
+    let (db, _) = generate_logical(&cfg).unwrap();
+    let mut eager = Bdms::from_belief_database(&db).unwrap();
+    let mut lazy = LazyBdms::from_belief_database(db.clone());
+    for stmt in db.statements().iter().step_by(3) {
+        assert_eq!(
+            eager.delete_statement(stmt).unwrap(),
+            lazy.delete_statement(stmt).unwrap(),
+            "delete outcome on {stmt}"
+        );
+    }
+    let users: Vec<UserId> = db.users().collect();
+    for t in db.mentioned_tuples().iter().step_by(6) {
+        for &u in &users {
+            for sign in [Sign::Pos, Sign::Neg] {
+                let stmt = BeliefStatement::new(BeliefPath::user(u), t.clone(), sign);
+                assert_eq!(
+                    lazy.entails(&stmt),
+                    eager.entails(&stmt).unwrap(),
+                    "post-delete on {stmt}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * Γ1/Γ2 consistency is preserved by any accepted insert sequence
+//!   (Prop. 5, Lemma 11);
+//! * the overriding union is idempotent and its explicit part wins;
+//! * the canonical Kripke structure is deterministic (exactly one successor
+//!   per (state, user) with `u ≠ last(w)`) and satisfies Thm. 17;
+//! * the store's structural invariants (`E(w,u) = dss(w·u)`,
+//!   `S(w) = dss(w[2,d])`, `D` depths) hold after arbitrary updates;
+//! * `|R*|` respects the size bound of Sect. 5.4.
+
+use beliefdb::core::closure::Closure;
+use beliefdb::core::{
+    Bdms, BeliefDatabase, BeliefPath, BeliefStatement, CanonicalKripke, ExternalSchema,
+    GroundTuple, RelId, Sign, UserId,
+};
+use beliefdb::storage::{row, Value};
+use proptest::prelude::*;
+
+const MAX_USERS: u32 = 4;
+
+/// A randomly generated statement over a 2-column schema with small key and
+/// value domains (to force conflicts and overrides).
+fn arb_statement() -> impl Strategy<Value = BeliefStatement> {
+    let path = proptest::collection::vec(1..=MAX_USERS, 0..=3).prop_filter_map(
+        "adjacent-distinct paths",
+        |raw| {
+            let users: Vec<UserId> = raw.into_iter().map(UserId).collect();
+            BeliefPath::new(users).ok()
+        },
+    );
+    let key = 0..6u8;
+    let val = 0..4u8;
+    let sign = prop_oneof![Just(Sign::Pos), Just(Sign::Neg)];
+    (path, key, val, sign).prop_map(|(path, key, val, sign)| {
+        let tuple = GroundTuple::new(
+            RelId(0),
+            row![format!("k{key}").as_str(), format!("v{val}").as_str()],
+        );
+        // Root-world statements are positive (grammar of Fig. 1).
+        let sign = if path.is_root() { Sign::Pos } else { sign };
+        BeliefStatement::new(path, tuple, sign)
+    })
+}
+
+fn schema() -> ExternalSchema {
+    ExternalSchema::new().with_relation("S", &["sid", "species"])
+}
+
+fn fresh_bdms() -> Bdms {
+    let mut bdms = Bdms::new(schema()).unwrap();
+    for i in 1..=MAX_USERS {
+        bdms.add_user(format!("u{i}")).unwrap();
+    }
+    bdms
+}
+
+fn fresh_logical() -> BeliefDatabase {
+    let mut db = BeliefDatabase::new(schema());
+    for i in 1..=MAX_USERS {
+        db.add_user(format!("u{i}")).unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every explicit world stays consistent no matter what sequence of
+    /// inserts is attempted (rejected ones must not leak partial state),
+    /// and the store matches the logical database closed over the same
+    /// accepted statements.
+    #[test]
+    fn consistency_preserved_and_store_matches_spec(
+        stmts in proptest::collection::vec(arb_statement(), 1..60)
+    ) {
+        let mut bdms = fresh_bdms();
+        let mut logical = fresh_logical();
+        for stmt in &stmts {
+            let store_outcome = bdms.insert_statement(stmt).unwrap();
+            let logical_outcome = logical.insert(stmt.clone());
+            // Acceptance decisions agree between Algorithm 4 and Def. 8.
+            match logical_outcome {
+                Ok(_) => prop_assert!(store_outcome.accepted(), "store rejected {stmt}"),
+                Err(_) => prop_assert!(!store_outcome.accepted(), "store accepted {stmt}"),
+            }
+        }
+        prop_assert!(logical.is_consistent());
+        // Differential: every state's world equals the closure's.
+        let mut cl = Closure::new(&logical);
+        for state in logical.states() {
+            let lhs = bdms.world(&state).unwrap();
+            let rhs = cl.entailed_world(&state).clone();
+            prop_assert_eq!(lhs, rhs, "world mismatch at {}", state);
+        }
+    }
+
+    /// The overriding union (Fig. 9) is idempotent and explicit-preserving.
+    #[test]
+    fn override_union_laws(stmts in proptest::collection::vec(arb_statement(), 1..40)) {
+        let mut logical = fresh_logical();
+        for stmt in &stmts {
+            let _ = logical.insert(stmt.clone());
+        }
+        let mut cl = Closure::new(&logical);
+        for state in logical.states() {
+            let explicit = logical.explicit_world(&state);
+            let parent = cl.entailed_world(&state.drop_first()).clone();
+            let once = explicit.override_with(&parent);
+            let twice = once.override_with(&parent);
+            prop_assert_eq!(&once, &twice, "override must be idempotent at {}", state);
+            // every explicit tuple survives
+            for (t, sign) in explicit.signed_tuples() {
+                prop_assert!(once.contains(&t, sign), "explicit tuple lost at {}", state);
+            }
+            prop_assert!(once.is_consistent());
+        }
+    }
+
+    /// Canonical Kripke: deterministic edges, correct targets, Thm. 17.
+    #[test]
+    fn canonical_structure_invariants(
+        stmts in proptest::collection::vec(arb_statement(), 1..40)
+    ) {
+        let mut logical = fresh_logical();
+        for stmt in &stmts {
+            let _ = logical.insert(stmt.clone());
+        }
+        let k = CanonicalKripke::build(&logical);
+        let users: Vec<UserId> = logical.users().collect();
+        // Edge structure.
+        let mut expected_edges = 0;
+        for (sid, path, _) in k.states() {
+            for &u in &users {
+                if !path.can_push(u) {
+                    continue;
+                }
+                expected_edges += 1;
+                let target = k.successor(sid, u);
+                // The target's path must be the deepest suffix state of w·u.
+                let want = logical.dss(&path.push(u).unwrap());
+                prop_assert_eq!(k.path_of(target), &want);
+            }
+        }
+        prop_assert_eq!(k.edge_count(), expected_edges);
+        // Thm. 17 on sampled statements.
+        let mut cl = Closure::new(&logical);
+        for stmt in stmts.iter().step_by(3) {
+            prop_assert_eq!(cl.entails(stmt), k.entails(stmt), "on {}", stmt);
+        }
+    }
+
+    /// Store structural invariants after arbitrary inserts AND deletes:
+    /// every world's E edges and S backlink encode dss correctly, and D
+    /// holds the right depths.
+    #[test]
+    fn store_structural_invariants(
+        stmts in proptest::collection::vec(arb_statement(), 1..50),
+        delete_every in 2..5usize,
+    ) {
+        let mut bdms = fresh_bdms();
+        for stmt in &stmts {
+            let _ = bdms.insert_statement(stmt).unwrap();
+        }
+        for stmt in stmts.iter().step_by(delete_every) {
+            let _ = bdms.delete_statement(stmt).unwrap();
+        }
+        let store = bdms.internal();
+        let dir = store.directory();
+        let storage = store.database();
+        let users: Vec<UserId> = bdms.users();
+
+        // D: one row per world with the path depth.
+        let d = storage.table("D").unwrap();
+        prop_assert_eq!(d.len(), dir.len());
+        for (wid, path) in dir.iter() {
+            let row = d.get_by_key(&wid.value()).unwrap();
+            prop_assert_eq!(row[1].as_int().unwrap() as usize, path.depth());
+        }
+
+        // E: exactly one edge per (world, pushable user), pointing at dss.
+        let e = storage.table("E").unwrap();
+        let mut edge_count = 0;
+        for (wid, path) in dir.iter() {
+            for &u in &users {
+                let hits = e
+                    .index_rows("by_src_user", &[wid.value(), u.value()])
+                    .unwrap();
+                if !path.can_push(u) {
+                    prop_assert!(hits.is_empty(), "forbidden edge at {} user {}", path, u);
+                    continue;
+                }
+                edge_count += 1;
+                prop_assert_eq!(hits.len(), 1, "edge multiplicity at {} user {}", path, u);
+                let target = beliefdb::core::Wid::from_value(&hits[0][2]).unwrap();
+                prop_assert_eq!(dir.dss(&path.push(u).unwrap()), target);
+            }
+        }
+        prop_assert_eq!(e.len(), edge_count);
+
+        // S: backlink to dss(w[2,d]) for every non-root world.
+        let s = storage.table("S").unwrap();
+        prop_assert_eq!(s.len(), dir.len() - 1);
+        for (wid, path) in dir.iter() {
+            if path.is_root() {
+                continue;
+            }
+            let row = s.get_by_key(&wid.value()).unwrap();
+            let target = beliefdb::core::Wid::from_value(&row[1]).unwrap();
+            prop_assert_eq!(dir.dss(&path.drop_first()), target);
+        }
+    }
+
+    /// Size bound of Sect. 5.4: |V| = O(n·N) — concretely, each V table
+    /// holds at most (explicit statements + inherited copies) ≤ n·N rows,
+    /// and |E| ≤ m·N, |D| = N, |S| = N−1.
+    #[test]
+    fn size_bounds_hold(stmts in proptest::collection::vec(arb_statement(), 1..60)) {
+        let mut bdms = fresh_bdms();
+        let mut accepted = 0usize;
+        for stmt in &stmts {
+            if bdms.insert_statement(stmt).unwrap().changed() {
+                accepted += 1;
+            }
+        }
+        let stats = bdms.stats();
+        let n_worlds = stats.worlds;
+        let m = stats.users;
+        let storage = bdms.storage();
+        prop_assert!(storage.table("V__S").unwrap().len() <= accepted.max(1) * n_worlds);
+        prop_assert!(storage.table("E").unwrap().len() <= m * n_worlds);
+        prop_assert_eq!(storage.table("D").unwrap().len(), n_worlds);
+        prop_assert_eq!(storage.table("S").unwrap().len(), n_worlds - 1);
+        // Overall |R*| ≤ (n + m)·N + N + (N−1) + m + n  (V + E + D + S + U + R*)
+        let bound = (accepted + m) * n_worlds + 2 * n_worlds + m + stmts.len();
+        prop_assert!(
+            stats.total_tuples <= bound,
+            "total {} exceeds bound {}",
+            stats.total_tuples,
+            bound
+        );
+    }
+
+    /// World-level entailment laws (Prop. 7): a world never entails both
+    /// t+ and t− ... unless inconsistent, which accepted inserts prevent;
+    /// and entails_neg is monotone over key-conflicts.
+    #[test]
+    fn entailment_laws(stmts in proptest::collection::vec(arb_statement(), 1..40)) {
+        let mut logical = fresh_logical();
+        for stmt in &stmts {
+            let _ = logical.insert(stmt.clone());
+        }
+        let mut cl = Closure::new(&logical);
+        for state in logical.states() {
+            let world = cl.entailed_world(&state).clone();
+            for (t, _) in world.signed_tuples() {
+                prop_assert!(
+                    !(world.entails_pos(&t) && world.entails_neg(&t)),
+                    "world at {} entails {} both ways",
+                    state,
+                    t
+                );
+            }
+        }
+    }
+
+    /// Lexer/parser round trip: any generated statement can be printed as a
+    /// BeliefSQL insert and parsed back to the same effect.
+    #[test]
+    fn sql_insert_round_trip(stmt in arb_statement()) {
+        let mut direct = fresh_bdms();
+        let outcome_direct = direct.insert_statement(&stmt).unwrap();
+
+        let mut session = beliefdb::sql::Session::new(schema()).unwrap();
+        for i in 1..=MAX_USERS {
+            session.add_user(format!("u{i}")).unwrap();
+        }
+        let mut sql = String::from("insert into ");
+        for u in stmt.path.users() {
+            sql.push_str(&format!("BELIEF 'u{u}' "));
+        }
+        if stmt.sign == Sign::Neg {
+            sql.push_str("not ");
+        }
+        sql.push_str("S values (");
+        let vals: Vec<String> = stmt
+            .tuple
+            .row
+            .values()
+            .iter()
+            .map(|v| format!("'{v}'"))
+            .collect();
+        sql.push_str(&vals.join(","));
+        sql.push(')');
+
+        let result = session.execute(&sql).unwrap();
+        prop_assert_eq!(
+            result,
+            beliefdb::sql::ExecResult::Inserted(outcome_direct)
+        );
+        prop_assert_eq!(
+            session.bdms().to_belief_database().unwrap().statements(),
+            direct.to_belief_database().unwrap().statements()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary interleavings of inserts and deletes: after the dust
+    /// settles, every world in the store equals the closure of the explicit
+    /// statements that remain — the strongest end-to-end invariant.
+    #[test]
+    fn random_insert_delete_interleavings_match_reclosure(
+        ops in proptest::collection::vec((arb_statement(), proptest::bool::ANY), 1..50)
+    ) {
+        let mut bdms = fresh_bdms();
+        let mut shadow: Vec<BeliefStatement> = Vec::new();
+        for (stmt, is_delete) in &ops {
+            if *is_delete {
+                let _ = bdms.delete_statement(stmt).unwrap();
+                shadow.retain(|s| s != stmt);
+            } else if bdms.insert_statement(stmt).unwrap().accepted() {
+                if !shadow.contains(stmt) {
+                    shadow.push(stmt.clone());
+                }
+            }
+        }
+        // Rebuild the logical database from the shadow and compare worlds.
+        let mut logical = fresh_logical();
+        for stmt in &shadow {
+            logical.insert_unchecked(stmt.clone()).unwrap();
+        }
+        prop_assert!(logical.is_consistent(), "shadow went inconsistent");
+        let mut cl = Closure::new(&logical);
+        let dir_paths: Vec<BeliefPath> = bdms
+            .internal()
+            .directory()
+            .iter()
+            .map(|(_, p)| p.clone())
+            .collect();
+        for p in dir_paths {
+            let store_world = bdms.world(&p).unwrap();
+            let spec_world = cl.entailed_world(&p).clone();
+            prop_assert_eq!(store_world, spec_world, "after {} ops, world {} diverged", ops.len(), p);
+        }
+        // And the explicit layer round-trips.
+        let mut store_stmts = bdms.to_belief_database().unwrap().statements();
+        let mut shadow_sorted = shadow.clone();
+        store_stmts.sort();
+        shadow_sorted.sort();
+        prop_assert_eq!(store_stmts, shadow_sorted);
+    }
+}
+
+/// Deterministic regression cases distilled from earlier failures and edge
+/// cases worth pinning.
+#[test]
+fn pinned_edge_cases() {
+    // Re-inserting after delete at a deep path.
+    let mut bdms = fresh_bdms();
+    let t = GroundTuple::new(RelId(0), row!["k0", "v0"]);
+    let p = BeliefPath::new(vec![UserId(1), UserId(2), UserId(1)]).unwrap();
+    assert!(bdms
+        .insert_statement(&BeliefStatement::positive(p.clone(), t.clone()))
+        .unwrap()
+        .changed());
+    assert!(bdms
+        .delete_statement(&BeliefStatement::positive(p.clone(), t.clone()))
+        .unwrap());
+    assert!(bdms
+        .insert_statement(&BeliefStatement::positive(p, t))
+        .unwrap()
+        .changed());
+
+    // Value total order sanity for the slice index keys.
+    assert!(Value::str("k1") < Value::str("k2"));
+    assert_ne!(Value::Int(1), Value::str("1"));
+}

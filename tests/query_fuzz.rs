@@ -1,0 +1,225 @@
+//! Query fuzzing: randomly generated belief conjunctive queries evaluated
+//! both through the Algorithm 1 translation (relational) and the naive
+//! Def. 14 evaluator (logical closure). Any disagreement is a bug in the
+//! translation, the executor, or the closure — historically the richest
+//! source of subtle defects in this kind of system.
+
+use beliefdb::core::bcq::{Bcq, CmpPred, PathElem, QueryTerm, Subgoal};
+use beliefdb::core::{bcq::naive, Bdms, Sign, UserId};
+use beliefdb::gen::{generate_logical, DepthDist, GeneratorConfig};
+use beliefdb::storage::{CmpOp, Value};
+use proptest::prelude::*;
+
+const USERS: u32 = 3;
+const ARITY: usize = 5;
+
+/// Variable pool: path variables and argument variables share a namespace
+/// (as in the paper's q1, where `U.uid` is both).
+fn var_pool() -> Vec<&'static str> {
+    vec!["x", "y", "a", "b", "c"]
+}
+
+fn arb_path_elem() -> impl Strategy<Value = PathElem> {
+    prop_oneof![
+        (1..=USERS).prop_map(|u| PathElem::User(UserId(u))),
+        (0..2usize).prop_map(|i| PathElem::var(var_pool()[i])),
+    ]
+}
+
+fn arb_query_term(allow_any: bool) -> impl Strategy<Value = QueryTerm> {
+    let consts = prop_oneof![
+        (0..6u8).prop_map(|k| QueryTerm::val(format!("s{k}"))),
+        (0..4u8).prop_map(|v| QueryTerm::val(format!("species{v}"))),
+    ];
+    let vars = (0..var_pool().len()).prop_map(|i| QueryTerm::var(var_pool()[i]));
+    if allow_any {
+        prop_oneof![2 => vars, 1 => consts, 1 => Just(QueryTerm::Any)].boxed()
+    } else {
+        prop_oneof![2 => vars, 1 => consts].boxed()
+    }
+}
+
+fn arb_subgoal() -> impl Strategy<Value = Subgoal> {
+    (
+        proptest::collection::vec(arb_path_elem(), 0..=2),
+        proptest::bool::ANY,
+    )
+        .prop_flat_map(|(path, negative)| {
+            let sign = if negative { Sign::Neg } else { Sign::Pos };
+            proptest::collection::vec(arb_query_term(sign == Sign::Pos), ARITY..=ARITY)
+                .prop_map(move |args| Subgoal {
+                    path: path.clone(),
+                    sign,
+                    rel: beliefdb::core::RelId(0),
+                    args,
+                })
+        })
+}
+
+fn arb_query() -> impl Strategy<Value = Bcq> {
+    (
+        proptest::collection::vec(arb_subgoal(), 1..=3),
+        proptest::collection::vec((0..var_pool().len(), 0..var_pool().len()), 0..=1),
+        proptest::collection::vec(0..var_pool().len(), 0..=2),
+    )
+        .prop_map(|(subgoals, preds, head_vars)| {
+            let predicates = preds
+                .into_iter()
+                .map(|(l, r)| CmpPred {
+                    left: QueryTerm::var(var_pool()[l]),
+                    op: CmpOp::Ne,
+                    right: QueryTerm::var(var_pool()[r]),
+                })
+                .collect();
+            let head = head_vars
+                .into_iter()
+                .map(|i| QueryTerm::var(var_pool()[i]))
+                .collect();
+            Bcq { head, subgoals, predicates, user_atoms: Vec::new() }
+        })
+}
+
+fn workload() -> Bdms {
+    let cfg = GeneratorConfig::new(USERS as usize, 100)
+        .with_depth(DepthDist::new(&[0.25, 0.45, 0.3]))
+        .with_key_space(6)
+        .with_negative_rate(0.3)
+        .with_seed(99);
+    let (db, _) = generate_logical(&cfg).unwrap();
+    Bdms::from_belief_database(&db).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn translated_equals_naive_on_random_queries(q in arb_query()) {
+        // Only evaluate queries that pass the Def. 13 safety check; the
+        // generators above produce plenty of safe ones.
+        let bdms = workload();
+        prop_assume!(q.validate(bdms.schema()).is_ok());
+        let translated = bdms.query(&q).unwrap();
+        let logical = bdms.to_belief_database().unwrap();
+        let mut reference = naive::evaluate(&logical, &q).unwrap();
+        reference.sort();
+        prop_assert_eq!(translated, reference, "divergence on query {}", q);
+    }
+
+    #[test]
+    fn unsafe_queries_rejected_by_both(q in arb_query()) {
+        let bdms = workload();
+        prop_assume!(q.validate(bdms.schema()).is_err());
+        let logical = bdms.to_belief_database().unwrap();
+        prop_assert!(bdms.query(&q).is_err());
+        prop_assert!(naive::evaluate(&logical, &q).is_err());
+    }
+}
+
+/// Pinned adversarial queries distilled from the fuzz space: shapes that
+/// stress specific translation branches.
+#[test]
+fn pinned_adversarial_queries() {
+    let bdms = workload();
+    let logical = bdms.to_belief_database().unwrap();
+    let s = beliefdb::core::RelId(0);
+    let v = |n: &str| QueryTerm::var(n);
+    let c = |x: &str| QueryTerm::val(x);
+
+    let cases: Vec<Bcq> = vec![
+        // Same variable as path AND argument (uid-style self-join).
+        Bcq {
+            head: vec![v("x")],
+            subgoals: vec![Subgoal {
+                path: vec![PathElem::var("x")],
+                sign: Sign::Pos,
+                rel: s,
+                args: vec![v("a"), v("x"), QueryTerm::Any, QueryTerm::Any, QueryTerm::Any],
+            }],
+            predicates: vec![],
+            user_atoms: vec![],
+        },
+        // Repeated variable inside one subgoal's arguments.
+        Bcq {
+            head: vec![v("a")],
+            subgoals: vec![Subgoal {
+                path: vec![],
+                sign: Sign::Pos,
+                rel: s,
+                args: vec![v("a"), QueryTerm::Any, v("a"), QueryTerm::Any, QueryTerm::Any],
+            }],
+            predicates: vec![],
+            user_atoms: vec![],
+        },
+        // Two negative subgoals with interlocking path variables (the
+        // "circular binding" case: each negative's args are bound by the
+        // other's path).
+        Bcq {
+            head: vec![v("x"), v("y")],
+            subgoals: vec![
+                Subgoal {
+                    path: vec![PathElem::var("x")],
+                    sign: Sign::Neg,
+                    rel: s,
+                    args: vec![c("s0"), v("y"), c("species0"), c("6-14-08"), c("loc0")],
+                },
+                Subgoal {
+                    path: vec![PathElem::var("y")],
+                    sign: Sign::Neg,
+                    rel: s,
+                    args: vec![c("s1"), v("x"), c("species1"), c("6-14-08"), c("loc1")],
+                },
+            ],
+            predicates: vec![],
+            user_atoms: vec![],
+        },
+        // Constant-only negative subgoal alongside a positive anchor.
+        Bcq {
+            head: vec![v("x")],
+            subgoals: vec![
+                Subgoal {
+                    path: vec![PathElem::var("x")],
+                    sign: Sign::Pos,
+                    rel: s,
+                    args: vec![v("a"), QueryTerm::Any, QueryTerm::Any, QueryTerm::Any, QueryTerm::Any],
+                },
+                Subgoal {
+                    path: vec![PathElem::var("x")],
+                    sign: Sign::Neg,
+                    rel: s,
+                    args: vec![v("a"), c("u1"), c("species2"), c("6-14-08"), c("loc2")],
+                },
+            ],
+            predicates: vec![],
+            user_atoms: vec![],
+        },
+    ];
+
+    for (i, q) in cases.iter().enumerate() {
+        // All of these must validate against a 5-column schema...
+        if let Err(e) = q.validate(bdms.schema()) {
+            // ... except the interlocking-negatives case, which IS safe
+            // (path occurrences are positive); any error here is a bug.
+            panic!("case {i} failed validation: {e}");
+        }
+        let translated = bdms.query(q).unwrap();
+        let mut reference = naive::evaluate(&logical, q).unwrap();
+        reference.sort();
+        assert_eq!(translated, reference, "case {i} diverged: {q}");
+    }
+
+    // A query whose head is a constant row only (boolean-style query).
+    let boolean = Bcq {
+        head: vec![QueryTerm::Const(Value::Int(1))],
+        subgoals: vec![Subgoal {
+            path: vec![],
+            sign: Sign::Pos,
+            rel: s,
+            args: vec![QueryTerm::Any; ARITY],
+        }],
+        predicates: vec![],
+        user_atoms: vec![],
+    };
+    let translated = bdms.query(&boolean).unwrap();
+    let reference = naive::evaluate(&logical, &boolean).unwrap();
+    assert_eq!(translated, reference);
+}
