@@ -137,9 +137,15 @@ mod tests {
 
     #[test]
     fn column_ref_display() {
-        let c = ColumnRef { qualifier: Some("S".into()), column: "sid".into() };
+        let c = ColumnRef {
+            qualifier: Some("S".into()),
+            column: "sid".into(),
+        };
         assert_eq!(c.to_string(), "S.sid");
-        let c = ColumnRef { qualifier: None, column: "sid".into() };
+        let c = ColumnRef {
+            qualifier: None,
+            column: "sid".into(),
+        };
         assert_eq!(c.to_string(), "sid");
     }
 
@@ -151,9 +157,17 @@ mod tests {
 
     #[test]
     fn from_item_binding() {
-        let f = FromItem { prefix: None, table: "Sightings".into(), alias: Some("S".into()) };
+        let f = FromItem {
+            prefix: None,
+            table: "Sightings".into(),
+            alias: Some("S".into()),
+        };
         assert_eq!(f.binding(), "S");
-        let f = FromItem { prefix: None, table: "Sightings".into(), alias: None };
+        let f = FromItem {
+            prefix: None,
+            table: "Sightings".into(),
+            alias: None,
+        };
         assert_eq!(f.binding(), "Sightings");
     }
 }

@@ -52,9 +52,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = SqlError::Lex { message: "unterminated string".into(), offset: 12 };
+        let e = SqlError::Lex {
+            message: "unterminated string".into(),
+            offset: 12,
+        };
         assert!(e.to_string().contains("byte 12"));
-        let e = SqlError::Parse { message: "expected FROM".into(), near: "WHERE".into() };
+        let e = SqlError::Parse {
+            message: "expected FROM".into(),
+            near: "WHERE".into(),
+        };
         assert!(e.to_string().contains("`WHERE`"));
         let e = SqlError::Lower("no such alias".into());
         assert!(e.to_string().contains("no such alias"));

@@ -111,57 +111,96 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(SqlError::Lex {
@@ -199,7 +238,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     }
                 }
                 let text = String::from_utf8(out).expect("input was valid UTF-8");
-                tokens.push(Token { kind: TokenKind::Str(text), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(text),
+                    offset: start,
+                });
             }
             c if c.is_ascii_digit()
                 || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
@@ -213,7 +255,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     message: format!("invalid integer literal `{text}`"),
                     offset: start,
                 })?;
-                tokens.push(Token { kind: TokenKind::Int(value), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    offset: start,
+                });
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -231,7 +276,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     Some(k) => TokenKind::Keyword(k),
                     None => TokenKind::Ident(text.to_string()),
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i = j;
             }
             other => {
@@ -242,7 +290,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
     Ok(tokens)
 }
 
@@ -251,7 +302,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -351,6 +406,9 @@ mod tests {
 
     #[test]
     fn rejects_unknown_characters() {
-        assert!(matches!(tokenize("a @ b"), Err(SqlError::Lex { offset: 2, .. })));
+        assert!(matches!(
+            tokenize("a @ b"),
+            Err(SqlError::Lex { offset: 2, .. })
+        ));
     }
 }

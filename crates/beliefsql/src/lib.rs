@@ -163,7 +163,10 @@ mod tests {
         let result = session.query("select * from Comments").unwrap();
         // Root world has no comments (all comment beliefs are annotated).
         assert!(result.rows().is_empty());
-        assert_eq!(result.columns(), &["Comments.cid", "Comments.comment", "Comments.sid"]);
+        assert_eq!(
+            result.columns(),
+            &["Comments.cid", "Comments.comment", "Comments.sid"]
+        );
 
         let result = session
             .query("select * from BELIEF 'Alice' Comments")
@@ -195,9 +198,7 @@ mod tests {
     fn update_revises_belief() {
         let mut session = paper_session();
         let out = session
-            .execute(
-                "update BELIEF 'Bob' Sightings set species = 'heron' where sid = 's2'",
-            )
+            .execute("update BELIEF 'Bob' Sightings set species = 'heron' where sid = 's2'")
             .unwrap();
         assert_eq!(out, ExecResult::Updated(1));
         let result = session
@@ -249,9 +250,7 @@ mod tests {
             .execute("insert into BELIEF U.uid Sightings values ('x','y','z','d','l')")
             .is_err());
         // updating the key
-        assert!(session
-            .execute("update Sightings set sid = 'zz'")
-            .is_err());
+        assert!(session.execute("update Sightings set sid = 'zz'").is_err());
         // query() refuses DML
         assert!(session
             .query("insert into Sightings values ('x','y','z','d','l')")

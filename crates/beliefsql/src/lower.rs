@@ -25,7 +25,11 @@ pub struct LoweredSelect {
 /// What a from-item binds.
 enum AliasKind {
     Users,
-    Relation { rel: beliefdb_core::RelId, sign: Sign, prefix: Vec<UserRef> },
+    Relation {
+        rel: beliefdb_core::RelId,
+        sign: Sign,
+        prefix: Vec<UserRef>,
+    },
 }
 
 struct AliasInfo {
@@ -45,7 +49,11 @@ struct Slots {
 
 impl Slots {
     fn new(n: usize) -> Self {
-        Slots { parent: (0..n).collect(), constant: vec![None; n], unsat: false }
+        Slots {
+            parent: (0..n).collect(),
+            constant: vec![None; n],
+            unsat: false,
+        }
     }
 
     fn find(&mut self, i: usize) -> usize {
@@ -103,7 +111,10 @@ impl<'a> SelectLowerer<'a> {
                         "the Users catalog cannot carry BELIEF annotations".into(),
                     ));
                 }
-                (AliasKind::Users, vec!["uid".to_string(), "name".to_string()])
+                (
+                    AliasKind::Users,
+                    vec!["uid".to_string(), "name".to_string()],
+                )
             } else {
                 let rel = bdms.schema().relation_id(&item.table)?;
                 let def = bdms.schema().relation(rel)?;
@@ -120,7 +131,12 @@ impl<'a> SelectLowerer<'a> {
                 )
             };
             let arity = columns.len();
-            aliases.push(AliasInfo { name, kind, columns, offset });
+            aliases.push(AliasInfo {
+                name,
+                kind,
+                columns,
+                offset,
+            });
             offset += arity;
         }
 
@@ -255,7 +271,10 @@ impl<'a> SelectLowerer<'a> {
         }
 
         if self.slots.unsat {
-            return Ok(LoweredSelect { query: None, columns });
+            return Ok(LoweredSelect {
+                query: None,
+                columns,
+            });
         }
 
         // 4. Classes shared by ≥ 2 slots are joins: material as well.
@@ -298,7 +317,11 @@ impl<'a> SelectLowerer<'a> {
                     let name = term_of(&mut self.slots, &self.material, alias.offset + 1);
                     builder = builder.user(uid, name);
                 }
-                AliasKind::Relation { rel, sign, prefix: _ } => {
+                AliasKind::Relation {
+                    rel,
+                    sign,
+                    prefix: _,
+                } => {
                     let mut path = Vec::with_capacity(prefix_specs[ai].len());
                     for spec in &prefix_specs[ai] {
                         path.push(path_elem(&mut self.slots, &self.material, spec)?);
@@ -331,9 +354,11 @@ impl<'a> SelectLowerer<'a> {
             )),
             other => SqlError::Core(other),
         })?;
-        Ok(LoweredSelect { query: Some(query), columns })
+        Ok(LoweredSelect {
+            query: Some(query),
+            columns,
+        })
     }
-
 }
 
 /// A resolved belief-prefix element: a concrete user id or a column slot.

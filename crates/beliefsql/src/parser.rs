@@ -59,7 +59,10 @@ impl Parser {
     }
 
     fn error(&self, message: impl Into<String>) -> SqlError {
-        SqlError::Parse { message: message.into(), near: self.peek().to_string() }
+        SqlError::Parse {
+            message: message.into(),
+            near: self.peek().to_string(),
+        }
     }
 
     fn expect(&mut self, kind: &TokenKind) -> Result<()> {
@@ -111,7 +114,11 @@ impl Parser {
             from.push(self.parse_from_item()?);
         }
         let conditions = self.opt_where()?;
-        Ok(SelectStmt { items, from, conditions })
+        Ok(SelectStmt {
+            items,
+            from,
+            conditions,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
@@ -125,9 +132,15 @@ impl Parser {
         let first = self.ident()?;
         if self.accept(&TokenKind::Dot) {
             let column = self.ident()?;
-            Ok(ColumnRef { qualifier: Some(first), column })
+            Ok(ColumnRef {
+                qualifier: Some(first),
+                column,
+            })
         } else {
-            Ok(ColumnRef { qualifier: None, column: first })
+            Ok(ColumnRef {
+                qualifier: None,
+                column: first,
+            })
         }
     }
 
@@ -158,7 +171,11 @@ impl Parser {
         let prefix = self.belief_prefix()?;
         let table = self.ident()?;
         let alias = self.opt_alias()?;
-        Ok(FromItem { prefix, table, alias })
+        Ok(FromItem {
+            prefix,
+            table,
+            alias,
+        })
     }
 
     fn opt_alias(&mut self) -> Result<Option<String>> {
@@ -230,7 +247,11 @@ impl Parser {
             values.push(self.literal()?);
         }
         self.expect(&TokenKind::RParen)?;
-        Ok(InsertStmt { prefix, table, values })
+        Ok(InsertStmt {
+            prefix,
+            table,
+            values,
+        })
     }
 
     fn literal(&mut self) -> Result<Literal> {
@@ -253,7 +274,12 @@ impl Parser {
         let table = self.ident()?;
         let alias = self.opt_alias()?;
         let conditions = self.opt_where()?;
-        Ok(DeleteStmt { prefix, table, alias, conditions })
+        Ok(DeleteStmt {
+            prefix,
+            table,
+            alias,
+            conditions,
+        })
     }
 
     fn update(&mut self) -> Result<UpdateStmt> {
@@ -270,7 +296,13 @@ impl Parser {
             assignments.push(self.assignment()?);
         }
         let conditions = self.opt_where()?;
-        Ok(UpdateStmt { prefix, table, alias, assignments, conditions })
+        Ok(UpdateStmt {
+            prefix,
+            table,
+            alias,
+            assignments,
+            conditions,
+        })
     }
 
     fn assignment(&mut self) -> Result<(String, Literal)> {
@@ -291,7 +323,9 @@ mod tests {
             "insert into Sightings values ('s1','Carol','bald eagle','6-14-08','Lake Forest')",
         )
         .unwrap();
-        let Statement::Insert(ins) = stmt else { panic!("expected insert") };
+        let Statement::Insert(ins) = stmt else {
+            panic!("expected insert")
+        };
         assert!(ins.prefix.is_none());
         assert_eq!(ins.table, "Sightings");
         assert_eq!(ins.values.len(), 5);
@@ -304,7 +338,9 @@ mod tests {
             "insert into BELIEF 'Bob' not Sightings values ('s1','Carol','bald eagle','6-14-08','Lake Forest')",
         )
         .unwrap();
-        let Statement::Insert(ins) = stmt else { panic!() };
+        let Statement::Insert(ins) = stmt else {
+            panic!()
+        };
         let prefix = ins.prefix.unwrap();
         assert!(prefix.negated);
         assert_eq!(prefix.users, vec![UserRef::Name("Bob".into())]);
@@ -316,7 +352,9 @@ mod tests {
             "insert into BELIEF 'Bob' BELIEF 'Alice' Comments values ('c2','black feathers','s2')",
         )
         .unwrap();
-        let Statement::Insert(ins) = stmt else { panic!() };
+        let Statement::Insert(ins) = stmt else {
+            panic!()
+        };
         let prefix = ins.prefix.unwrap();
         assert!(!prefix.negated);
         assert_eq!(prefix.users.len(), 2);
@@ -331,7 +369,9 @@ mod tests {
              where U.name = 'Bob' and S.location = 'Lake Placid'",
         )
         .unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
         assert_eq!(sel.items.len(), 3);
         assert_eq!(sel.from.len(), 2);
         assert_eq!(sel.from[0].binding(), "U");
@@ -340,7 +380,10 @@ mod tests {
         let prefix = s.prefix.as_ref().unwrap();
         assert_eq!(
             prefix.users,
-            vec![UserRef::Column(ColumnRef { qualifier: Some("U".into()), column: "uid".into() })]
+            vec![UserRef::Column(ColumnRef {
+                qualifier: Some("U".into()),
+                column: "uid".into()
+            })]
         );
         assert_eq!(sel.conditions.len(), 2);
     }
@@ -355,7 +398,9 @@ mod tests {
              where U1.name = 'Alice' and S1.sid = S2.sid and S1.species <> S2.species",
         )
         .unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
         assert_eq!(sel.from.len(), 4);
         assert_eq!(sel.conditions.len(), 3);
         assert_eq!(sel.conditions[2].op, CmpOp::Ne);
@@ -364,22 +409,27 @@ mod tests {
     #[test]
     fn parses_wildcard_select_and_bare_alias() {
         let stmt = parse("select * from Sightings S where S.sid = 's1'").unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
         assert_eq!(sel.items, vec![SelectItem::Wildcard]);
         assert_eq!(sel.from[0].alias.as_deref(), Some("S"));
     }
 
     #[test]
     fn parses_delete() {
-        let stmt =
-            parse("delete from BELIEF 'Bob' Sightings where sid = 's2'").unwrap();
-        let Statement::Delete(del) = stmt else { panic!() };
+        let stmt = parse("delete from BELIEF 'Bob' Sightings where sid = 's2'").unwrap();
+        let Statement::Delete(del) = stmt else {
+            panic!()
+        };
         assert_eq!(del.table, "Sightings");
         assert!(!del.prefix.as_ref().unwrap().negated);
         assert_eq!(del.conditions.len(), 1);
         // negated delete
         let stmt = parse("delete from BELIEF 'Bob' not Sightings").unwrap();
-        let Statement::Delete(del) = stmt else { panic!() };
+        let Statement::Delete(del) = stmt else {
+            panic!()
+        };
         assert!(del.prefix.unwrap().negated);
         assert!(del.conditions.is_empty());
     }
@@ -390,13 +440,20 @@ mod tests {
             "update BELIEF 'Alice' Sightings set species = 'raven', location = 'Lake Placid' where sid = 's2'",
         )
         .unwrap();
-        let Statement::Update(up) = stmt else { panic!() };
+        let Statement::Update(up) = stmt else {
+            panic!()
+        };
         assert_eq!(up.assignments.len(), 2);
-        assert_eq!(up.assignments[0], ("species".into(), Literal::Str("raven".into())));
+        assert_eq!(
+            up.assignments[0],
+            ("species".into(), Literal::Str("raven".into()))
+        );
         assert_eq!(up.conditions.len(), 1);
         // without prefix, without where
         let stmt = parse("update Sightings set species = 'crow'").unwrap();
-        let Statement::Update(up) = stmt else { panic!() };
+        let Statement::Update(up) = stmt else {
+            panic!()
+        };
         assert!(up.prefix.is_none());
         assert!(up.conditions.is_empty());
     }
@@ -423,11 +480,15 @@ mod tests {
     #[test]
     fn integer_literals_in_conditions_and_values() {
         let stmt = parse("insert into T values (1, -2, 'x')").unwrap();
-        let Statement::Insert(ins) = stmt else { panic!() };
+        let Statement::Insert(ins) = stmt else {
+            panic!()
+        };
         assert_eq!(ins.values[0], Literal::Int(1));
         assert_eq!(ins.values[1], Literal::Int(-2));
         let stmt = parse("select * from T where a >= 10").unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
         assert_eq!(sel.conditions[0].op, CmpOp::Ge);
     }
 }

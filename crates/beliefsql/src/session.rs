@@ -13,13 +13,19 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecResult {
     /// `SELECT`: column labels and (sorted, deduplicated) rows.
-    Rows { columns: Vec<String>, rows: Vec<Row> },
+    Rows {
+        columns: Vec<String>,
+        rows: Vec<Row>,
+    },
     /// `INSERT`: what Algorithm 4 did with the statement.
     Inserted(InsertOutcome),
     /// `DELETE`: number of explicit statements removed.
     Deleted(usize),
     /// `UPDATE`: number of tuples rewritten.
     Updated(usize),
+    /// `EXPLAIN <select>`: the lowered query, its Datalog translation, and
+    /// the optimized physical plan of every rule.
+    Explain(String),
 }
 
 impl ExecResult {
@@ -48,6 +54,7 @@ impl fmt::Display for ExecResult {
             ExecResult::Inserted(outcome) => write!(f, "-- insert: {outcome:?}"),
             ExecResult::Deleted(n) => write!(f, "-- deleted {n} statement(s)"),
             ExecResult::Updated(n) => write!(f, "-- updated {n} tuple(s)"),
+            ExecResult::Explain(text) => write!(f, "{}", text.trim_end()),
             ExecResult::Rows { columns, rows } => {
                 let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
                 let rendered: Vec<Vec<String>> = rows
@@ -64,7 +71,11 @@ impl fmt::Display for ExecResult {
                 let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
                     write!(f, "|")?;
                     for (i, c) in cells.iter().enumerate() {
-                        write!(f, " {c:<w$} |", w = widths.get(i).copied().unwrap_or(c.len()))?;
+                        write!(
+                            f,
+                            " {c:<w$} |",
+                            w = widths.get(i).copied().unwrap_or(c.len())
+                        )?;
                     }
                     writeln!(f)
                 };
@@ -77,7 +88,12 @@ impl fmt::Display for ExecResult {
                 for row in &rendered {
                     line(f, row)?;
                 }
-                write!(f, "({} row{})", rows.len(), if rows.len() == 1 { "" } else { "s" })
+                write!(
+                    f,
+                    "({} row{})",
+                    rows.len(),
+                    if rows.len() == 1 { "" } else { "s" }
+                )
             }
         }
     }
@@ -91,7 +107,9 @@ pub struct Session {
 impl Session {
     /// Open a session over a fresh BDMS with the given external schema.
     pub fn new(schema: ExternalSchema) -> Result<Self> {
-        Ok(Session { bdms: Bdms::new(schema)? })
+        Ok(Session {
+            bdms: Bdms::new(schema)?,
+        })
     }
 
     /// Wrap an existing BDMS.
@@ -113,8 +131,12 @@ impl Session {
         Ok(self.bdms.add_user(name)?)
     }
 
-    /// Parse and execute one statement.
+    /// Parse and execute one statement. `EXPLAIN <select>` is handled here
+    /// as a statement form.
     pub fn execute(&mut self, sql: &str) -> Result<ExecResult> {
+        if let Some(rest) = strip_explain(sql) {
+            return Ok(ExecResult::Explain(self.explain(rest)?));
+        }
         match parse(sql)? {
             Statement::Select(sel) => self.run_select(&sel),
             Statement::Insert(ins) => self.run_insert(&ins),
@@ -123,19 +145,27 @@ impl Session {
         }
     }
 
-    /// Parse and execute a read-only statement.
+    /// Parse and execute a read-only statement (`SELECT` or `EXPLAIN`).
     pub fn query(&self, sql: &str) -> Result<ExecResult> {
+        if let Some(rest) = strip_explain(sql) {
+            return Ok(ExecResult::Explain(self.explain(rest)?));
+        }
         match parse(sql)? {
             Statement::Select(sel) => self.run_select(&sel),
-            _ => Err(SqlError::Lower("query() only accepts SELECT statements".into())),
+            _ => Err(SqlError::Lower(
+                "query() only accepts SELECT statements".into(),
+            )),
         }
     }
 
-    /// EXPLAIN: show how a SELECT lowers — the belief conjunctive query and
-    /// the non-recursive Datalog program Algorithm 1 produces for it.
+    /// EXPLAIN: show how a SELECT runs — the belief conjunctive query it
+    /// lowers to, the non-recursive Datalog program Algorithm 1 produces,
+    /// and the optimized physical plan of every rule.
     pub fn explain(&self, sql: &str) -> Result<String> {
         let Statement::Select(sel) = parse(sql)? else {
-            return Err(SqlError::Lower("explain() only accepts SELECT statements".into()));
+            return Err(SqlError::Lower(
+                "explain() only accepts SELECT statements".into(),
+            ));
         };
         let lowered = SelectLowerer::lower(&self.bdms, &sel)?;
         let mut out = String::new();
@@ -146,6 +176,8 @@ impl Session {
                 let translated = self.bdms.translate(q)?;
                 out.push_str("-- Algorithm 1 translation (non-recursive Datalog over R*):\n");
                 out.push_str(&translated.program.to_string());
+                out.push_str("\n-- optimized physical plans:\n");
+                out.push_str(&self.bdms.explain_query(q)?);
             }
         }
         Ok(out)
@@ -157,7 +189,10 @@ impl Session {
             None => Vec::new(), // contradictory constants: empty result
             Some(q) => self.bdms.query(q)?,
         };
-        Ok(ExecResult::Rows { columns: lowered.columns, rows })
+        Ok(ExecResult::Rows {
+            columns: lowered.columns,
+            rows,
+        })
     }
 
     fn run_insert(&mut self, ins: &InsertStmt) -> Result<ExecResult> {
@@ -199,9 +234,9 @@ impl Session {
 
         let mut assignments: Vec<(usize, Value)> = Vec::with_capacity(up.assignments.len());
         for (col, lit) in &up.assignments {
-            let idx = def.column_index(col).ok_or_else(|| {
-                SqlError::Lower(format!("no column `{col}` in `{}`", up.table))
-            })?;
+            let idx = def
+                .column_index(col)
+                .ok_or_else(|| SqlError::Lower(format!("no column `{col}` in `{}`", up.table)))?;
             if idx == 0 {
                 return Err(SqlError::Lower(
                     "cannot update the external key; insert a new tuple instead".into(),
@@ -257,6 +292,17 @@ impl Session {
     }
 }
 
+/// If `sql` is an `EXPLAIN <statement>`, return the inner statement text.
+fn strip_explain(sql: &str) -> Option<&str> {
+    let trimmed = sql.trim_start();
+    let head = trimmed.get(..7)?;
+    if head.eq_ignore_ascii_case("explain") && trimmed[7..].starts_with(char::is_whitespace) {
+        Some(trimmed[7..].trim_start())
+    } else {
+        None
+    }
+}
+
 /// Evaluates a DML WHERE clause against single-table rows.
 struct RowMatcher {
     conds: Vec<(CondSide, beliefdb_storage::CmpOp, CondSide)>,
@@ -307,5 +353,84 @@ impl RowMatcher {
             };
             op.eval(&val(l), &val(r))
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> Session {
+        let schema = ExternalSchema::new()
+            .with_relation("Sightings", &["sid", "uid", "species", "date", "location"]);
+        let mut s = Session::new(schema).unwrap();
+        s.add_user("Alice").unwrap();
+        s.add_user("Bob").unwrap();
+        s.execute(
+            "insert into BELIEF 'Alice' Sightings values \
+             ('s2','Alice','crow','6-14-08','Lake Placid')",
+        )
+        .unwrap();
+        s.execute(
+            "insert into BELIEF 'Bob' Sightings values \
+             ('s2','Alice','raven','6-14-08','Lake Placid')",
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn explain_statement_form() {
+        let s = session();
+        let sql = "explain select S.sid from BELIEF 'Bob' Sightings as S";
+        let result = s.query(sql).unwrap();
+        let ExecResult::Explain(text) = &result else {
+            panic!("expected EXPLAIN result, got {result:?}");
+        };
+        assert!(text.contains("belief conjunctive query"), "{text}");
+        assert!(text.contains("Algorithm 1 translation"), "{text}");
+        assert!(text.contains("optimized physical plans"), "{text}");
+        assert!(text.contains("Scan"), "{text}");
+        // Case-insensitive keyword, and execute() handles it too.
+        let mut s = session();
+        let upper = s.execute("EXPLAIN select S.sid from BELIEF 'Bob' Sightings as S");
+        assert!(matches!(upper, Ok(ExecResult::Explain(_))));
+    }
+
+    #[test]
+    fn explain_is_deterministic() {
+        let s = session();
+        let sql = "explain select S.sid, S.species from BELIEF 'Bob' Sightings as S";
+        let a = s.query(sql).unwrap();
+        let b = s.query(sql).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explain_rejects_dml() {
+        let s = session();
+        assert!(s
+            .query("explain insert into Sightings values ('x','y','z','d','l')")
+            .is_err());
+    }
+
+    #[test]
+    fn explain_display_renders_text() {
+        let s = session();
+        let result = s
+            .query("explain select S.sid from BELIEF 'Bob' Sightings as S")
+            .unwrap();
+        assert!(result.to_string().contains("physical plans"));
+        assert!(result.rows().is_empty());
+        assert!(result.columns().is_empty());
+    }
+
+    #[test]
+    fn strip_explain_parses_prefix_only() {
+        assert!(strip_explain("explain select 1").is_some());
+        assert!(strip_explain("  EXPLAIN  select 1").is_some());
+        assert!(strip_explain("explainselect 1").is_none());
+        assert!(strip_explain("select 1").is_none());
+        assert!(strip_explain("ex").is_none());
     }
 }

@@ -46,23 +46,27 @@ fn bench_insert_strategies(c: &mut Criterion) {
         // Rebuild: after every batch of 50 statements, reconstruct the
         // store from the accumulated logical database (what a system
         // without incremental maintenance would do).
-        group.bench_with_input(BenchmarkId::new("rebuild_per_batch", n), &stmts, |b, stmts| {
-            b.iter(|| {
-                let mut logical = beliefdb_core::BeliefDatabase::new(experiment_schema());
-                for i in 1..=10 {
-                    logical.add_user(format!("u{i}")).expect("user");
-                }
-                let mut last = 0;
-                for (i, s) in stmts.iter().enumerate() {
-                    let _ = logical.insert(s.clone());
-                    if i % 50 == 49 || i + 1 == stmts.len() {
-                        let bdms = Bdms::from_belief_database(&logical).expect("rebuild");
-                        last = bdms.stats().total_tuples;
+        group.bench_with_input(
+            BenchmarkId::new("rebuild_per_batch", n),
+            &stmts,
+            |b, stmts| {
+                b.iter(|| {
+                    let mut logical = beliefdb_core::BeliefDatabase::new(experiment_schema());
+                    for i in 1..=10 {
+                        logical.add_user(format!("u{i}")).expect("user");
                     }
-                }
-                std::hint::black_box(last)
-            })
-        });
+                    let mut last = 0;
+                    for (i, s) in stmts.iter().enumerate() {
+                        let _ = logical.insert(s.clone());
+                        if i % 50 == 49 || i + 1 == stmts.len() {
+                            let bdms = Bdms::from_belief_database(&logical).expect("rebuild");
+                            last = bdms.stats().total_tuples;
+                        }
+                    }
+                    std::hint::black_box(last)
+                })
+            },
+        );
     }
     group.finish();
 }

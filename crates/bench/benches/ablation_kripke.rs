@@ -36,7 +36,9 @@ fn bench_build(c: &mut Criterion) {
         ("d<=2", DepthDist::uniform_012()),
         ("d<=4", DepthDist::table2_mix()),
     ] {
-        let cfg = GeneratorConfig::new(10, 500).with_depth(depth).with_seed(42);
+        let cfg = GeneratorConfig::new(10, 500)
+            .with_depth(depth)
+            .with_seed(42);
         let (db, _) = generate_logical(&cfg).expect("generation failed");
         group.bench_with_input(BenchmarkId::new("by_depth_n500", label), &db, |b, db| {
             b.iter(|| std::hint::black_box(CanonicalKripke::build(db).state_count()))

@@ -1,0 +1,55 @@
+//! Optimizer ablation over the paper's experiment workloads: the Table 2
+//! query set (`q1,0..q1,4`, `q2`, `q3`) plus join-order stress queries,
+//! evaluated with the cost-based optimizer on (`Bdms::query`) versus off
+//! (`Bdms::query_unoptimized`). Both paths run the same Algorithm 1
+//! translation; only plan rewriting differs.
+//!
+//! Two workloads: the Table 2 configuration (depth ≤ 4 annotations), and
+//! a Table 1-style clustered workload (m = 10 users, uniform
+//! participation, small key space) where the key-sharing stress queries
+//! produce large intermediate joins under naive subgoal order.
+
+use beliefdb_bench::{optimizer_stress_queries, table2_queries};
+use beliefdb_core::bcq::Bcq;
+use beliefdb_core::Bdms;
+use beliefdb_gen::scenarios::table2_config;
+use beliefdb_gen::{generate_bdms, GeneratorConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_queries(c: &mut Criterion, group_name: &str, bdms: &Bdms, queries: &[(String, Bcq)]) {
+    // Sanity: the two paths must agree before we time them.
+    for (name, q) in queries {
+        let a = bdms.query(q).expect("optimized query failed");
+        let b = bdms.query_unoptimized(q).expect("unoptimized query failed");
+        assert_eq!(a, b, "optimizer changed the answer of {name}");
+    }
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for (name, q) in queries {
+        group.bench_with_input(BenchmarkId::new("on", name), q, |b, q| {
+            b.iter(|| std::hint::black_box(bdms.query(q).expect("query").len()))
+        });
+        group.bench_with_input(BenchmarkId::new("off", name), q, |b, q| {
+            b.iter(|| std::hint::black_box(bdms.query_unoptimized(q).expect("query").len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_opt_onoff(c: &mut Criterion) {
+    // Table 2 workload, paper query set.
+    let (bdms, _) = generate_bdms(&table2_config(2_000, 42)).expect("generation failed");
+    let queries = table2_queries(&bdms).expect("query construction failed");
+    bench_queries(c, "optimizer_onoff_table2", &bdms, &queries);
+
+    // Table 1-style clustered workload, join-order stress queries.
+    let cfg = GeneratorConfig::new(10, 1_500)
+        .with_key_space(150)
+        .with_seed(7);
+    let (bdms, _) = generate_bdms(&cfg).expect("generation failed");
+    let queries = optimizer_stress_queries(&bdms).expect("query construction failed");
+    bench_queries(c, "optimizer_onoff_table1_stress", &bdms, &queries);
+}
+
+criterion_group!(benches, bench_opt_onoff);
+criterion_main!(benches);

@@ -14,9 +14,12 @@ fn build_db(rows: usize) -> Database {
     for i in 0..rows {
         let wid = (i % 97) as i64;
         let key = format!("k{}", i % 503);
-        v.insert(row![wid, i as i64, key.as_str(), "+", "n"]).unwrap();
+        v.insert(row![wid, i as i64, key.as_str(), "+", "n"])
+            .unwrap();
     }
-    let e = db.create_table(TableSchema::keyless("E", &["w1", "u", "w2"])).unwrap();
+    let e = db
+        .create_table(TableSchema::keyless("E", &["w1", "u", "w2"]))
+        .unwrap();
     e.create_index("by_src_user", &["w1", "u"]).unwrap();
     for w in 0..97i64 {
         for u in 1..=10i64 {

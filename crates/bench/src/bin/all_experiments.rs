@@ -8,7 +8,9 @@ use beliefdb_bench::*;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let n = arg_usize(&args, "--n", 10_000);
-    let seeds: Vec<u64> = (0..arg_usize(&args, "--seeds", 3) as u64).map(|i| 42 + i).collect();
+    let seeds: Vec<u64> = (0..arg_usize(&args, "--seeds", 3) as u64)
+        .map(|i| 42 + i)
+        .collect();
     let reps = arg_usize(&args, "--reps", 50);
 
     println!("=== Table 1 ===");

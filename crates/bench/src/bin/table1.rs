@@ -12,8 +12,13 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let n = arg_usize(&args, "--n", 10_000);
     let seed0 = arg_u64(&args, "--seed", 42);
-    let seeds: Vec<u64> = (0..arg_usize(&args, "--seeds", 3) as u64).map(|i| seed0 + i).collect();
-    eprintln!("generating {} databases with n = {n} annotations each ...", seeds.len() * 12);
+    let seeds: Vec<u64> = (0..arg_usize(&args, "--seeds", 3) as u64)
+        .map(|i| seed0 + i)
+        .collect();
+    eprintln!(
+        "generating {} databases with n = {n} annotations each ...",
+        seeds.len() * 12
+    );
     let start = std::time::Instant::now();
     let rows = run_table1(n, &seeds).expect("table 1 run failed");
     println!("{}", format_table1(&rows, n));

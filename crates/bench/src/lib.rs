@@ -75,7 +75,11 @@ pub fn format_table1(rows: &[Table1Row], n: usize) -> String {
     ));
     out.push_str(&"-".repeat(70));
     out.push('\n');
-    for depth in ["[1/3, 1/3, 1/3]", "[0.8, 0.19, 0.01]", "[0.199, 0.8, 0.001]"] {
+    for depth in [
+        "[1/3, 1/3, 1/3]",
+        "[0.8, 0.19, 0.01]",
+        "[0.199, 0.8, 0.001]",
+    ] {
         let cell = |users: usize, zipf: bool| -> String {
             rows.iter()
                 .find(|r| r.depth_label == depth && r.users == users && r.zipf == zipf)
@@ -117,7 +121,10 @@ pub fn run_fig6(ns: &[usize], seed: u64) -> Result<Vec<Fig6Series>> {
         for cfg in configs {
             let n = cfg.annotations;
             let (bdms, _) = generate_bdms(&cfg)?;
-            points.push(Fig6Point { n, overhead: bdms.stats().relative_overhead(n) });
+            points.push(Fig6Point {
+                n,
+                overhead: bdms.stats().relative_overhead(n),
+            });
         }
         out.push(Fig6Series { label, points });
     }
@@ -140,16 +147,44 @@ pub fn format_fig6(series: &[Fig6Series]) -> String {
     out
 }
 
+/// Join-order stress queries for the optimizer ablation: two wide-open
+/// subgoals share the sighting key, and the *last* subgoal pins the key
+/// set down with constants. Naive body-order evaluation joins the two
+/// huge temp tables first and filters late; the cost-based reorder
+/// starts from the selective relation. `qj3_first` is the same query
+/// with the selective subgoal written first — a sanity baseline where
+/// naive order is already good.
+pub fn optimizer_stress_queries(bdms: &Bdms) -> Result<Vec<(String, Bcq)>> {
+    let s = bdms.schema().relation_id("S")?;
+    let schema = bdms.schema();
+    let wide1 = vec![qv("k"), qany(), qv("sp1"), qany(), qany()];
+    let wide2 = vec![qv("k"), qany(), qv("sp2"), qany(), qany()];
+    let selective = vec![qv("k"), qc("u1"), qc("species0"), qany(), qany()];
+
+    let qj3_last = Bcq::builder(vec![qv("x"), qv("y"), qv("sp1"), qv("sp2")])
+        .positive(vec![pv("x")], s, wide1.clone())
+        .positive(vec![pv("y")], s, wide2.clone())
+        .positive(vec![], s, selective.clone())
+        .build(schema)?;
+    let qj3_first = Bcq::builder(vec![qv("x"), qv("y"), qv("sp1"), qv("sp2")])
+        .positive(vec![], s, selective)
+        .positive(vec![pv("x")], s, wide1)
+        .positive(vec![pv("y")], s, wide2)
+        .build(schema)?;
+    Ok(vec![
+        ("qj3_last".into(), qj3_last),
+        ("qj3_first".into(), qj3_first),
+    ])
+}
+
 /// The seven example queries of Sect. 6.2 over the experiment schema
-/// `S(sid, uid, species, date, location)`.
-///
-/// * `q1,d` — content query "what does world `w` (|w| = d) believe",
-///   projecting `(sid, species)`;
-/// * `q2` — conflict query `2·1 S+ ∧ 2 S−` (what Bob believes Alice
-///   believes but does not believe himself);
-/// * `q3` — user query: who disagrees with a belief of user 1 at a fixed
-///   location (the query variable only occurs in the belief path of a
-///   negative subgoal).
+/// `S(sid, uid, species, date, location)`:
+/// `q1,d` — content query "what does world `w` (|w| = d) believe",
+/// projecting `(sid, species)`; `q2` — conflict query `2·1 S+ ∧ 2 S−`
+/// (what Bob believes Alice believes but does not believe himself);
+/// `q3` — user query: who disagrees with a belief of user 1 at a fixed
+/// location (the query variable only occurs in the belief path of a
+/// negative subgoal).
 pub fn table2_queries(bdms: &Bdms) -> Result<Vec<(String, Bcq)>> {
     let s = bdms.schema().relation_id("S")?;
     let schema = bdms.schema();
@@ -222,8 +257,7 @@ pub fn run_table2_queries(bdms: &Bdms, reps: usize) -> Result<Vec<Table2Row>> {
             samples.push(start.elapsed());
             result_size = rows.len();
         }
-        let mean_nanos = samples.iter().map(|d| d.as_nanos()).sum::<u128>()
-            / samples.len() as u128;
+        let mean_nanos = samples.iter().map(|d| d.as_nanos()).sum::<u128>() / samples.len() as u128;
         let var = samples
             .iter()
             .map(|d| {

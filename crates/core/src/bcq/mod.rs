@@ -80,11 +80,21 @@ pub struct Subgoal {
 
 impl Subgoal {
     pub fn positive(path: Vec<PathElem>, rel: RelId, args: Vec<QueryTerm>) -> Self {
-        Subgoal { path, sign: Sign::Pos, rel, args }
+        Subgoal {
+            path,
+            sign: Sign::Pos,
+            rel,
+            args,
+        }
     }
 
     pub fn negative(path: Vec<PathElem>, rel: RelId, args: Vec<QueryTerm>) -> Self {
-        Subgoal { path, sign: Sign::Neg, rel, args }
+        Subgoal {
+            path,
+            sign: Sign::Neg,
+            rel,
+            args,
+        }
     }
 
     /// Depth of the subgoal's belief path.
@@ -381,8 +391,7 @@ mod tests {
     use super::*;
 
     fn schema() -> ExternalSchema {
-        ExternalSchema::new()
-            .with_relation("S", &["sid", "uid", "species", "date", "location"])
+        ExternalSchema::new().with_relation("S", &["sid", "uid", "species", "date", "location"])
     }
 
     #[test]

@@ -383,7 +383,11 @@ mod tests {
         let (db, _, bob, _) = running_example();
         let s = db.schema().relation_id("Sightings").unwrap();
         let q = Bcq::builder(vec![qv("sid")])
-            .positive(vec![pu(bob)], s, vec![qv("sid"), qany(), qv("sp"), qany(), qany()])
+            .positive(
+                vec![pu(bob)],
+                s,
+                vec![qv("sid"), qany(), qv("sp"), qany(), qany()],
+            )
             .pred(qv("sp"), CmpOp::Eq, qc("heron"))
             .build(db.schema())
             .unwrap();
@@ -395,7 +399,11 @@ mod tests {
         let (db, _, bob, _) = running_example();
         let s = db.schema().relation_id("Sightings").unwrap();
         let q = Bcq::builder(vec![qc("marker"), qv("sid")])
-            .positive(vec![pu(bob)], s, vec![qv("sid"), qany(), qany(), qany(), qany()])
+            .positive(
+                vec![pu(bob)],
+                s,
+                vec![qv("sid"), qany(), qany(), qany(), qany()],
+            )
             .build(db.schema())
             .unwrap();
         let rows = evaluate(&db, &q).unwrap();

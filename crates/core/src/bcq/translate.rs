@@ -86,7 +86,11 @@ pub fn translate(store: &InternalStore, q: &Bcq) -> Result<TranslatedQuery> {
             let b = path_term(&sg.path[j]);
             if matches!(sg.path[j - 1], PathElem::Var(_)) || matches!(sg.path[j], PathElem::Var(_))
             {
-                body.push(BodyLit::Cmp(CmpLit { left: a, op: CmpOp::Ne, right: b }));
+                body.push(BodyLit::Cmp(CmpLit {
+                    left: a,
+                    op: CmpOp::Ne,
+                    right: b,
+                }));
             }
         }
 
@@ -115,11 +119,17 @@ pub fn translate(store: &InternalStore, q: &Bcq) -> Result<TranslatedQuery> {
             star_terms.push(col.clone());
             col_terms.push(col);
         }
-        body.push(BodyLit::Pos(Atom::new(star_table(rel_def.name()), star_terms)));
+        body.push(BodyLit::Pos(Atom::new(
+            star_table(rel_def.name()),
+            star_terms,
+        )));
 
         head_terms.extend(col_terms.clone());
         head_terms.push(sign_term);
-        rules.push(Rule { head: Atom::new(&temp, head_terms), body });
+        rules.push(Rule {
+            head: Atom::new(&temp, head_terms),
+            body,
+        });
 
         // ---- final-rule atom + conditions C_i -----------------------------
         let mut atom_terms: Vec<Term> = Vec::with_capacity(sg.path.len() + arity + 1);
@@ -166,7 +176,11 @@ pub fn translate(store: &InternalStore, q: &Bcq) -> Result<TranslatedQuery> {
                 let mut disjuncts = vec![stated];
                 for (j, t) in fresh.iter().enumerate() {
                     disjuncts.push(vec![
-                        CmpLit { left: sign_var.clone(), op: CmpOp::Eq, right: Term::val("+") },
+                        CmpLit {
+                            left: sign_var.clone(),
+                            op: CmpOp::Eq,
+                            right: Term::val("+"),
+                        },
                         CmpLit {
                             left: t.clone(),
                             op: CmpOp::Ne,
@@ -189,15 +203,35 @@ pub fn translate(store: &InternalStore, q: &Bcq) -> Result<TranslatedQuery> {
     }
 
     let head_terms: Vec<Term> = q.head.iter().map(query_term).collect();
-    rules.push(Rule { head: Atom::new("__bcq_answer", head_terms), body: final_body });
+    rules.push(Rule {
+        head: Atom::new("__bcq_answer", head_terms),
+        body: final_body,
+    });
 
-    Ok(TranslatedQuery { program: Program { rules }, answer: "__bcq_answer".to_string() })
+    Ok(TranslatedQuery {
+        program: Program { rules },
+        answer: "__bcq_answer".to_string(),
+    })
 }
 
-/// Translate and execute a query against the store.
+/// Translate and execute a query against the store. Rule plans go through
+/// the storage-layer cost-based optimizer (`beliefdb_storage::opt`) — the
+/// role the paper delegates to "the database optimizer".
 pub fn evaluate(store: &InternalStore, q: &Bcq) -> Result<Vec<Row>> {
     let translated = translate(store, q)?;
-    let mut ev = Evaluator::new(store.database());
+    let ev = Evaluator::new(store.database()).seed_stats(store.stats_catalog());
+    run_program(ev, &translated)
+}
+
+/// Translate and execute without the optimizer: plans run exactly as
+/// Algorithm 1 emits them. Kept for differential testing and the
+/// optimizer-ablation benches.
+pub fn evaluate_unoptimized(store: &InternalStore, q: &Bcq) -> Result<Vec<Row>> {
+    let translated = translate(store, q)?;
+    run_program(Evaluator::new_unoptimized(store.database()), &translated)
+}
+
+fn run_program(mut ev: Evaluator<'_>, translated: &TranslatedQuery) -> Result<Vec<Row>> {
     ev.run(&translated.program).map_err(BeliefError::from)?;
     let mut rows = ev
         .relation(&translated.answer)
@@ -205,6 +239,15 @@ pub fn evaluate(store: &InternalStore, q: &Bcq) -> Result<Vec<Row>> {
         .unwrap_or_default();
     rows.sort();
     Ok(rows)
+}
+
+/// Full `EXPLAIN` of a query: the Datalog program Algorithm 1 produces,
+/// followed by the optimized physical plan of every rule.
+pub fn explain(store: &InternalStore, q: &Bcq) -> Result<String> {
+    let translated = translate(store, q)?;
+    let mut ev = Evaluator::new(store.database()).seed_stats(store.stats_catalog());
+    ev.explain_program(&translated.program)
+        .map_err(BeliefError::from)
 }
 
 fn path_term(elem: &PathElem) -> Term {
@@ -236,7 +279,9 @@ mod tests {
         let (db, ..) = running_example();
         let mut store = InternalStore::new(db.schema().clone()).unwrap();
         for u in db.users() {
-            store.add_user(db.user_name(u).unwrap().to_string()).unwrap();
+            store
+                .add_user(db.user_name(u).unwrap().to_string())
+                .unwrap();
         }
         for stmt in db.statements() {
             assert!(store.insert_statement(&stmt).unwrap().accepted());
@@ -249,7 +294,11 @@ mod tests {
         let st = store();
         let s = st.schema().relation_id("Sightings").unwrap();
         let q = Bcq::builder(vec![qv("x")])
-            .positive(vec![pv("x")], s, vec![qany(), qany(), qany(), qany(), qany()])
+            .positive(
+                vec![pv("x")],
+                s,
+                vec![qany(), qany(), qany(), qany(), qany()],
+            )
             .build(st.schema())
             .unwrap();
         let t = translate(&st, &q).unwrap();
@@ -257,7 +306,10 @@ mod tests {
         assert_eq!(t.answer, "__bcq_answer");
         // The temp rule walks E once (depth-1 path).
         let temp = &t.program.rules[0];
-        assert!(temp.body.iter().any(|b| matches!(b, BodyLit::Pos(a) if a.relation == "E")));
+        assert!(temp
+            .body
+            .iter()
+            .any(|b| matches!(b, BodyLit::Pos(a) if a.relation == "E")));
     }
 
     #[test]
@@ -266,7 +318,11 @@ mod tests {
         let (db, _, bob, _) = running_example();
         let s = st.schema().relation_id("Sightings").unwrap();
         let q = Bcq::builder(vec![qv("sid"), qv("species")])
-            .positive(vec![pu(bob)], s, vec![qv("sid"), qany(), qv("species"), qany(), qany()])
+            .positive(
+                vec![pu(bob)],
+                s,
+                vec![qv("sid"), qany(), qv("species"), qany(), qany()],
+            )
             .build(st.schema())
             .unwrap();
         let translated = evaluate(&st, &q).unwrap();
@@ -350,7 +406,9 @@ mod tests {
         // Sample a is disputed in both directions; b is not disputed.
         assert!(rows.contains(&row!["a", 1, 2]));
         assert!(rows.contains(&row!["a", 2, 1]));
-        assert!(!rows.iter().any(|r| r[0] == beliefdb_storage::Value::str("b")));
+        assert!(!rows
+            .iter()
+            .any(|r| r[0] == beliefdb_storage::Value::str("b")));
 
         // Differential check against the naive evaluator.
         let logical = st.to_belief_database().unwrap();
@@ -387,8 +445,16 @@ mod tests {
         let (db, alice, _, _) = running_example();
         let s = st.schema().relation_id("Sightings").unwrap();
         let q = Bcq::builder(vec![qv("x"), qv("sp1"), qv("sp2")])
-            .positive(vec![pu(alice)], s, vec![qv("sid"), qany(), qv("sp1"), qany(), qany()])
-            .positive(vec![pv("x")], s, vec![qv("sid"), qany(), qv("sp2"), qany(), qany()])
+            .positive(
+                vec![pu(alice)],
+                s,
+                vec![qv("sid"), qany(), qv("sp1"), qany(), qany()],
+            )
+            .positive(
+                vec![pv("x")],
+                s,
+                vec![qv("sid"), qany(), qv("sp2"), qany(), qany()],
+            )
             .pred(qv("sp1"), beliefdb_storage::CmpOp::Ne, qv("sp2"))
             .build(st.schema())
             .unwrap();
@@ -396,6 +462,58 @@ mod tests {
         let reference = naive::evaluate(&db, &q).unwrap();
         assert_eq!(rows, reference);
         assert_eq!(rows, vec![row![2, "crow", "raven"]]);
+    }
+
+    #[test]
+    fn optimized_and_unoptimized_evaluation_agree() {
+        let st = store();
+        let (_, alice, bob, _) = running_example();
+        let s = st.schema().relation_id("Sightings").unwrap();
+        let args = vec![qv("y"), qv("z"), qv("u"), qv("v"), qv("w")];
+        let queries = vec![
+            Bcq::builder(vec![qv("x")])
+                .negative(vec![pv("x")], s, args.clone())
+                .positive(vec![pu(alice)], s, args.clone())
+                .build(st.schema())
+                .unwrap(),
+            Bcq::builder(vec![qv("y"), qv("u")])
+                .positive(vec![pu(bob), pu(alice)], s, args.clone())
+                .build(st.schema())
+                .unwrap(),
+            Bcq::builder(vec![qv("x"), qv("y")])
+                .positive(vec![pv("x"), pv("y")], s, args)
+                .build(st.schema())
+                .unwrap(),
+        ];
+        for q in &queries {
+            assert_eq!(
+                evaluate(&st, q).unwrap(),
+                evaluate_unoptimized(&st, q).unwrap(),
+                "optimizer changed semantics of {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_renders_physical_plans() {
+        let st = store();
+        let s = st.schema().relation_id("Sightings").unwrap();
+        let q = Bcq::builder(vec![qv("sid")])
+            .positive(
+                vec![pu(crate::ids::UserId(2))],
+                s,
+                vec![qv("sid"), qany(), qany(), qany(), qany()],
+            )
+            .build(st.schema())
+            .unwrap();
+        let text = explain(&st, &q).unwrap();
+        assert!(text.contains("__bcq_T1"), "{text}");
+        assert!(text.contains("Scan"), "{text}");
+        assert_eq!(
+            text,
+            explain(&st, &q).unwrap(),
+            "explain must be deterministic"
+        );
     }
 
     #[test]

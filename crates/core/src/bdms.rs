@@ -59,7 +59,9 @@ impl std::fmt::Debug for Bdms {
 impl Bdms {
     /// Create a BDMS over an external schema.
     pub fn new(schema: ExternalSchema) -> Result<Self> {
-        Ok(Bdms { store: InternalStore::new(schema)? })
+        Ok(Bdms {
+            store: InternalStore::new(schema)?,
+        })
     }
 
     /// Create a BDMS preloaded with a logical belief database.
@@ -113,13 +115,7 @@ impl Bdms {
     }
 
     /// Delete an explicit statement; returns whether it was present.
-    pub fn delete(
-        &mut self,
-        path: BeliefPath,
-        rel: RelId,
-        row: Row,
-        sign: Sign,
-    ) -> Result<bool> {
+    pub fn delete(&mut self, path: BeliefPath, rel: RelId, row: Row, sign: Sign) -> Result<bool> {
         let tuple = GroundTuple::new(rel, row);
         self.store.delete(&path, &tuple, sign)
     }
@@ -146,8 +142,21 @@ impl Bdms {
     }
 
     /// Evaluate a belief conjunctive query via the Algorithm 1 translation.
+    /// Rule plans are optimized by the storage layer's cost-based optimizer.
     pub fn query(&self, q: &Bcq) -> Result<Vec<Row>> {
         bcq::translate::evaluate(&self.store, q)
+    }
+
+    /// Evaluate via the Algorithm 1 translation with the optimizer off:
+    /// plans execute exactly as emitted (differential testing / benches).
+    pub fn query_unoptimized(&self, q: &Bcq) -> Result<Vec<Row>> {
+        bcq::translate::evaluate_unoptimized(&self.store, q)
+    }
+
+    /// `EXPLAIN`: the optimized physical plan of every Datalog rule the
+    /// Algorithm 1 translation produces for this query.
+    pub fn explain_query(&self, q: &Bcq) -> Result<String> {
+        bcq::translate::explain(&self.store, q)
     }
 
     /// Evaluate via the naive Def. 14 evaluator (reference semantics; used
@@ -254,15 +263,27 @@ mod tests {
         let s = bdms.schema().relation_id("Sightings").unwrap();
         // q1: sightings believed by Bob.
         let q1 = Bcq::builder(vec![qv("sid"), qv("uid"), qv("species")])
-            .positive(vec![pu(bob)], s, vec![qv("sid"), qv("uid"), qv("species"), qany(), qany()])
+            .positive(
+                vec![pu(bob)],
+                s,
+                vec![qv("sid"), qv("uid"), qv("species"), qany(), qany()],
+            )
             .build(bdms.schema())
             .unwrap();
         assert_eq!(bdms.query(&q1).unwrap(), vec![row!["s2", "Alice", "raven"]]);
 
         // q2: entries on which users disagree with what Alice believes.
         let q2 = Bcq::builder(vec![qv("u2"), qv("sp1"), qv("sp2")])
-            .positive(vec![pu(alice)], s, vec![qv("sid"), qany(), qv("sp1"), qany(), qany()])
-            .positive(vec![pv("u2")], s, vec![qv("sid"), qany(), qv("sp2"), qany(), qany()])
+            .positive(
+                vec![pu(alice)],
+                s,
+                vec![qv("sid"), qany(), qv("sp1"), qany(), qany()],
+            )
+            .positive(
+                vec![pv("u2")],
+                s,
+                vec![qv("sid"), qany(), qv("sp2"), qany(), qany()],
+            )
             .pred(qv("sp1"), beliefdb_storage::CmpOp::Ne, qv("sp2"))
             .build(bdms.schema())
             .unwrap();
@@ -286,7 +307,11 @@ mod tests {
                 .unwrap(),
         ];
         for q in queries {
-            assert_eq!(bdms.query(&q).unwrap(), bdms.query_naive(&q).unwrap(), "on {q}");
+            assert_eq!(
+                bdms.query(&q).unwrap(),
+                bdms.query_naive(&q).unwrap(),
+                "on {q}"
+            );
         }
     }
 
@@ -306,8 +331,12 @@ mod tests {
         assert_eq!(outcome, InsertOutcome::Inserted);
         let heron = GroundTuple::new(s, row!["s2", "Alice", "heron", "6-14-08", "Lake Placid"]);
         let raven = GroundTuple::new(s, row!["s2", "Alice", "raven", "6-14-08", "Lake Placid"]);
-        assert!(bdms.entails(&BeliefStatement::positive(BeliefPath::user(bob), heron)).unwrap());
-        assert!(bdms.entails(&BeliefStatement::negative(BeliefPath::user(bob), raven)).unwrap());
+        assert!(bdms
+            .entails(&BeliefStatement::positive(BeliefPath::user(bob), heron))
+            .unwrap());
+        assert!(bdms
+            .entails(&BeliefStatement::negative(BeliefPath::user(bob), raven))
+            .unwrap());
     }
 
     #[test]
@@ -316,7 +345,10 @@ mod tests {
         let stats = bdms.stats();
         assert_eq!(stats.users, 3);
         assert_eq!(stats.worlds, 4);
-        assert!(stats.total_tuples > 8, "internal size exceeds annotation count");
+        assert!(
+            stats.total_tuples > 8,
+            "internal size exceeds annotation count"
+        );
         assert!(stats.relative_overhead(8) > 1.0);
         assert_eq!(stats.per_table.len(), bdms.storage().table_names().len());
         // Fig. 5 check: E has 9 rows for this example.
@@ -352,7 +384,11 @@ mod tests {
         let s = bdms.schema().relation_id("Sightings").unwrap();
         let q = Bcq::builder(vec![qv("sid"), qv("species")])
             .user(qv("u"), qc("Bob"))
-            .positive(vec![pv("u")], s, vec![qv("sid"), qany(), qv("species"), qany(), qany()])
+            .positive(
+                vec![pv("u")],
+                s,
+                vec![qv("sid"), qany(), qv("species"), qany(), qany()],
+            )
             .build(bdms.schema())
             .unwrap();
         assert_eq!(bdms.query(&q).unwrap(), vec![row!["s2", "raven"]]);
@@ -375,11 +411,19 @@ mod tests {
         let (mut bdms, _, bob, _) = running_bdms();
         let dora = bdms.add_user("Dora").unwrap();
         let s = bdms.schema().relation_id("Sightings").unwrap();
-        let s11 = GroundTuple::new(s, row!["s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"]);
+        let s11 = GroundTuple::new(
+            s,
+            row!["s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"],
+        );
         assert!(bdms
-            .entails(&BeliefStatement::positive(BeliefPath::user(dora), s11.clone()))
+            .entails(&BeliefStatement::positive(
+                BeliefPath::user(dora),
+                s11.clone()
+            ))
             .unwrap());
         let dora_bob = BeliefPath::new(vec![dora, bob]).unwrap();
-        assert!(bdms.entails(&BeliefStatement::negative(dora_bob, s11)).unwrap());
+        assert!(bdms
+            .entails(&BeliefStatement::negative(dora_bob, s11))
+            .unwrap());
     }
 }

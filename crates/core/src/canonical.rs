@@ -63,7 +63,13 @@ impl CanonicalKripke {
                 edges[sid].insert(u, target);
             }
         }
-        CanonicalKripke { paths, index, worlds, edges, users }
+        CanonicalKripke {
+            paths,
+            index,
+            worlds,
+            edges,
+            users,
+        }
     }
 
     /// Number of states `N`.
@@ -218,7 +224,11 @@ mod tests {
         let v_ba = k.state_of(&path(&[2, 1])).unwrap();
         assert_eq!(k.successor(root, alice), v_alice);
         assert_eq!(k.successor(root, bob), v_bob);
-        assert_eq!(k.successor(root, carol), root, "Carol has no world: self-loop");
+        assert_eq!(
+            k.successor(root, carol),
+            root,
+            "Carol has no world: self-loop"
+        );
         assert_eq!(k.successor(v_alice, bob), v_bob, "dss(1·2) = 2");
         assert_eq!(k.successor(v_bob, alice), v_ba, "forward edge 2 → 2·1");
         assert_eq!(k.successor(v_ba, bob), v_bob, "dss(2·1·2) = 2");
@@ -260,11 +270,7 @@ mod tests {
             for t in &tuples {
                 for sign in [Sign::Pos, Sign::Neg] {
                     let stmt = BeliefStatement::new(p.clone(), t.clone(), sign);
-                    assert_eq!(
-                        cl.entails(&stmt),
-                        k.entails(&stmt),
-                        "mismatch on {stmt}"
-                    );
+                    assert_eq!(cl.entails(&stmt), k.entails(&stmt), "mismatch on {stmt}");
                     checked += 1;
                 }
             }
@@ -288,8 +294,11 @@ mod tests {
                 }
                 for t in &tuples {
                     for sign in [Sign::Pos, Sign::Neg] {
-                        let stmt =
-                            BeliefStatement::new(BeliefPath::new(vec![u, v]).unwrap(), t.clone(), sign);
+                        let stmt = BeliefStatement::new(
+                            BeliefPath::new(vec![u, v]).unwrap(),
+                            t.clone(),
+                            sign,
+                        );
                         assert_eq!(k.entails(&stmt), generic.entails(&stmt), "on {stmt}");
                     }
                 }
@@ -329,7 +338,11 @@ mod tests {
     #[test]
     fn unknown_user_edges_fall_back_to_dss() {
         let mut db = small_db(&["Alice"]);
-        db.insert(BeliefStatement::positive(BeliefPath::root(), t("s1", "crow"))).unwrap();
+        db.insert(BeliefStatement::positive(
+            BeliefPath::root(),
+            t("s1", "crow"),
+        ))
+        .unwrap();
         let k = CanonicalKripke::build(&db);
         // UserId(7) was never registered; the walk still resolves (to ε).
         let stmt = BeliefStatement::positive(BeliefPath::user(UserId(7)), t("s1", "crow"));
@@ -344,21 +357,26 @@ mod tests {
         assert_eq!(listed.len(), 4);
         assert_eq!(listed[0].1, BeliefPath::root());
         // ids are dense and ordered
-        assert_eq!(listed.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            listed.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
     }
 
     #[test]
     fn growing_database_reuses_construction() {
         // Build twice with one more statement; state count grows.
         let mut db = small_db(&["Alice", "Bob"]);
-        db.insert(BeliefStatement::positive(path(&[1]), t("s1", "crow"))).unwrap();
+        db.insert(BeliefStatement::positive(path(&[1]), t("s1", "crow")))
+            .unwrap();
         let k1 = CanonicalKripke::build(&db);
         assert_eq!(k1.state_count(), 2);
-        db.insert(BeliefStatement::positive(path(&[2, 1]), t("s2", "owl"))).unwrap();
+        db.insert(BeliefStatement::positive(path(&[2, 1]), t("s2", "owl")))
+            .unwrap();
         let k2 = CanonicalKripke::build(&db);
         assert_eq!(k2.state_count(), 4); // ε, 1, 2, 2·1
-        // Bob's world inherits Alice's crow via the default rule; check the
-        // edge 2 →1 2·1 exists and carries it.
+                                         // Bob's world inherits Alice's crow via the default rule; check the
+                                         // edge 2 →1 2·1 exists and carries it.
         let v_ba = k2.state_of(&path(&[2, 1])).unwrap();
         assert!(k2.world_of(v_ba).contains_pos(&t("s1", "crow")));
         assert!(k2.world_of(v_ba).contains_pos(&t("s2", "owl")));

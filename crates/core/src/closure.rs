@@ -40,7 +40,10 @@ pub struct Closure<'a> {
 
 impl<'a> Closure<'a> {
     pub fn new(db: &'a BeliefDatabase) -> Self {
-        Closure { db, cache: HashMap::new() }
+        Closure {
+            db,
+            cache: HashMap::new(),
+        }
     }
 
     pub fn database(&self) -> &BeliefDatabase {
@@ -68,7 +71,8 @@ impl<'a> Closure<'a> {
     /// Kripke structure: `D̄_w |= t^s` per Def. 6 / Prop. 7 (positive =
     /// membership in `I+`; negative = stated or unstated).
     pub fn entails(&mut self, stmt: &BeliefStatement) -> bool {
-        self.entailed_world(&stmt.path).entails(&stmt.tuple, stmt.sign)
+        self.entailed_world(&stmt.path)
+            .entails(&stmt.tuple, stmt.sign)
     }
 
     /// Statement membership `ϕ ∈ D̄` (Def. 12): the statement is explicitly
@@ -77,7 +81,8 @@ impl<'a> Closure<'a> {
     /// propagates to `w` — unstated negatives (key conflicts) are entailed
     /// by the world but are not statements of the theory.
     pub fn theory_contains(&mut self, stmt: &BeliefStatement) -> bool {
-        self.entailed_world(&stmt.path).contains(&stmt.tuple, stmt.sign)
+        self.entailed_world(&stmt.path)
+            .contains(&stmt.tuple, stmt.sign)
     }
 
     /// Entailed worlds at every state of `D` (used to build the canonical
@@ -156,7 +161,8 @@ mod tests {
     #[test]
     fn root_world_is_explicit_only() {
         let mut db = small_db(&["Alice"]);
-        db.insert(BeliefStatement::positive(path(&[1]), t("s1", "crow"))).unwrap();
+        db.insert(BeliefStatement::positive(path(&[1]), t("s1", "crow")))
+            .unwrap();
         // Alice's belief does NOT flow down into the root world.
         let root = entailed_world(&db, &BeliefPath::root());
         assert!(root.is_empty());
@@ -165,38 +171,85 @@ mod tests {
     #[test]
     fn default_rule_propagates_root_facts() {
         let mut db = small_db(&["Alice", "Bob"]);
-        db.insert(BeliefStatement::positive(BeliefPath::root(), t("s1", "eagle"))).unwrap();
+        db.insert(BeliefStatement::positive(
+            BeliefPath::root(),
+            t("s1", "eagle"),
+        ))
+        .unwrap();
         // By the message-board assumption both users believe the fact...
-        assert!(entails(&db, &BeliefStatement::positive(path(&[1]), t("s1", "eagle"))));
-        assert!(entails(&db, &BeliefStatement::positive(path(&[2]), t("s1", "eagle"))));
+        assert!(entails(
+            &db,
+            &BeliefStatement::positive(path(&[1]), t("s1", "eagle"))
+        ));
+        assert!(entails(
+            &db,
+            &BeliefStatement::positive(path(&[2]), t("s1", "eagle"))
+        ));
         // ... at any nesting depth.
-        assert!(entails(&db, &BeliefStatement::positive(path(&[1, 2]), t("s1", "eagle"))));
-        assert!(entails(&db, &BeliefStatement::positive(path(&[2, 1, 2]), t("s1", "eagle"))));
+        assert!(entails(
+            &db,
+            &BeliefStatement::positive(path(&[1, 2]), t("s1", "eagle"))
+        ));
+        assert!(entails(
+            &db,
+            &BeliefStatement::positive(path(&[2, 1, 2]), t("s1", "eagle"))
+        ));
     }
 
     #[test]
     fn explicit_disagreement_overrides_default() {
         let mut db = small_db(&["Alice", "Bob"]);
-        db.insert(BeliefStatement::positive(BeliefPath::root(), t("s1", "eagle"))).unwrap();
-        db.insert(BeliefStatement::negative(path(&[2]), t("s1", "eagle"))).unwrap();
+        db.insert(BeliefStatement::positive(
+            BeliefPath::root(),
+            t("s1", "eagle"),
+        ))
+        .unwrap();
+        db.insert(BeliefStatement::negative(path(&[2]), t("s1", "eagle")))
+            .unwrap();
         // Bob does not believe the sighting ...
-        assert!(entails(&db, &BeliefStatement::negative(path(&[2]), t("s1", "eagle"))));
-        assert!(!entails(&db, &BeliefStatement::positive(path(&[2]), t("s1", "eagle"))));
+        assert!(entails(
+            &db,
+            &BeliefStatement::negative(path(&[2]), t("s1", "eagle"))
+        ));
+        assert!(!entails(
+            &db,
+            &BeliefStatement::positive(path(&[2]), t("s1", "eagle"))
+        ));
         // ... but Alice still does, and Bob believes that Alice believes it.
-        assert!(entails(&db, &BeliefStatement::positive(path(&[1]), t("s1", "eagle"))));
-        assert!(entails(&db, &BeliefStatement::positive(path(&[2, 1]), t("s1", "eagle"))));
+        assert!(entails(
+            &db,
+            &BeliefStatement::positive(path(&[1]), t("s1", "eagle"))
+        ));
+        assert!(entails(
+            &db,
+            &BeliefStatement::positive(path(&[2, 1]), t("s1", "eagle"))
+        ));
         // And Alice believes Bob disbelieves it.
-        assert!(entails(&db, &BeliefStatement::negative(path(&[1, 2]), t("s1", "eagle"))));
+        assert!(entails(
+            &db,
+            &BeliefStatement::negative(path(&[1, 2]), t("s1", "eagle"))
+        ));
     }
 
     #[test]
     fn key_conflict_blocks_inheritance() {
         let mut db = small_db(&["Alice", "Bob"]);
-        db.insert(BeliefStatement::positive(BeliefPath::root(), t("s1", "crow"))).unwrap();
-        db.insert(BeliefStatement::positive(path(&[2]), t("s1", "raven"))).unwrap();
+        db.insert(BeliefStatement::positive(
+            BeliefPath::root(),
+            t("s1", "crow"),
+        ))
+        .unwrap();
+        db.insert(BeliefStatement::positive(path(&[2]), t("s1", "raven")))
+            .unwrap();
         // Bob's own tuple wins; the root's crow is blocked (unstated negative).
-        assert!(entails(&db, &BeliefStatement::positive(path(&[2]), t("s1", "raven"))));
-        assert!(entails(&db, &BeliefStatement::negative(path(&[2]), t("s1", "crow"))));
+        assert!(entails(
+            &db,
+            &BeliefStatement::positive(path(&[2]), t("s1", "raven"))
+        ));
+        assert!(entails(
+            &db,
+            &BeliefStatement::negative(path(&[2]), t("s1", "crow"))
+        ));
         // But the theory contains no *stated* negative crow for Bob:
         let mut cl = Closure::new(&db);
         assert!(!cl.theory_contains(&BeliefStatement::negative(path(&[2]), t("s1", "crow"))));
@@ -207,11 +260,19 @@ mod tests {
     fn inheritance_chain_drops_first_user() {
         // World 2·1 inherits from world 1, not from world 2.
         let mut db = small_db(&["Alice", "Bob"]);
-        db.insert(BeliefStatement::positive(path(&[1]), t("s1", "crow"))).unwrap();
-        db.insert(BeliefStatement::positive(path(&[2]), t("s2", "owl"))).unwrap();
+        db.insert(BeliefStatement::positive(path(&[1]), t("s1", "crow")))
+            .unwrap();
+        db.insert(BeliefStatement::positive(path(&[2]), t("s2", "owl")))
+            .unwrap();
         let w21 = entailed_world(&db, &path(&[2, 1]));
-        assert!(w21.contains_pos(&t("s1", "crow")), "inherits Alice's belief");
-        assert!(!w21.contains_pos(&t("s2", "owl")), "does not inherit Bob's own belief");
+        assert!(
+            w21.contains_pos(&t("s1", "crow")),
+            "inherits Alice's belief"
+        );
+        assert!(
+            !w21.contains_pos(&t("s2", "owl")),
+            "does not inherit Bob's own belief"
+        );
     }
 
     #[test]
@@ -227,10 +288,16 @@ mod tests {
             row!["s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"],
         );
         // Dora believes Carol's sighting (it is stated at the root).
-        assert!(entails(&db, &BeliefStatement::positive(BeliefPath::user(dora), s11.clone())));
+        assert!(entails(
+            &db,
+            &BeliefStatement::positive(BeliefPath::user(dora), s11.clone())
+        ));
         // Dora believes that Bob does not believe it.
         let dora_bob = BeliefPath::new(vec![dora, bob]).unwrap();
-        assert!(entails(&db, &BeliefStatement::negative(dora_bob, s11.clone())));
+        assert!(entails(
+            &db,
+            &BeliefStatement::negative(dora_bob, s11.clone())
+        ));
         // Dora believes that Alice believes it.
         let dora_alice = BeliefPath::new(vec![dora, alice]).unwrap();
         assert!(entails(&db, &BeliefStatement::positive(dora_alice, s11)));
@@ -245,8 +312,14 @@ mod tests {
             row!["s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"],
         );
         // D |= Alice s1+ (default) and D |= Bob s1− (explicit).
-        assert!(entails(&db, &BeliefStatement::positive(BeliefPath::user(alice), s11.clone())));
-        assert!(entails(&db, &BeliefStatement::negative(BeliefPath::user(bob), s11.clone())));
+        assert!(entails(
+            &db,
+            &BeliefStatement::positive(BeliefPath::user(alice), s11.clone())
+        ));
+        assert!(entails(
+            &db,
+            &BeliefStatement::negative(BeliefPath::user(bob), s11.clone())
+        ));
         // D |= Bob·Alice s1+: Bob believes Alice believes the sighting.
         let bob_alice = BeliefPath::new(vec![bob, alice]).unwrap();
         assert!(entails(&db, &BeliefStatement::positive(bob_alice, s11)));
@@ -261,7 +334,10 @@ mod tests {
         let comments = db.schema().relation_id("Comments").unwrap();
         let ba = BeliefPath::new(vec![bob, alice]).unwrap();
         let w = entailed_world(&db, &ba);
-        let s21 = GroundTuple::new(sightings, row!["s2", "Alice", "crow", "6-14-08", "Lake Placid"]);
+        let s21 = GroundTuple::new(
+            sightings,
+            row!["s2", "Alice", "crow", "6-14-08", "Lake Placid"],
+        );
         let c11 = GroundTuple::new(comments, row!["c1", "found feathers", "s2"]);
         let c21 = GroundTuple::new(comments, row!["c2", "black feathers", "s2"]);
         let s11 = GroundTuple::new(
@@ -296,7 +372,10 @@ mod tests {
         let w = entailed_world(&db, &BeliefPath::user(bob));
         assert_eq!(w.pos_len(), 2);
         assert_eq!(w.neg_len(), 2);
-        let s21 = GroundTuple::new(sightings, row!["s2", "Alice", "crow", "6-14-08", "Lake Placid"]);
+        let s21 = GroundTuple::new(
+            sightings,
+            row!["s2", "Alice", "crow", "6-14-08", "Lake Placid"],
+        );
         assert!(w.entails_neg(&s21), "crow is an unstated negative for Bob");
         assert!(!w.contains_neg(&s21), "but not a stated one");
     }
@@ -363,7 +442,9 @@ pub fn literal_def9_closure(
         let mut additions: Vec<BeliefStatement> = Vec::new();
         for stmt in &current {
             for &i in &users {
-                let Ok(prefixed_path) = stmt.path.prepend(i) else { continue };
+                let Ok(prefixed_path) = stmt.path.prepend(i) else {
+                    continue;
+                };
                 let candidate =
                     BeliefStatement::new(prefixed_path.clone(), stmt.tuple.clone(), stmt.sign);
                 if current.contains(&candidate) {
@@ -372,7 +453,7 @@ pub fn literal_def9_closure(
                 // D^(d) ∪ {iϕ} is consistent ⇔ the world at i·w accepts ϕ.
                 let accepts = worlds
                     .get(&prefixed_path)
-                    .map_or(true, |w| w.can_accept(&candidate.tuple, candidate.sign));
+                    .is_none_or(|w| w.can_accept(&candidate.tuple, candidate.sign));
                 if accepts {
                     additions.push(candidate);
                 }
@@ -443,7 +524,10 @@ mod def9_tests {
                 }
             }
         }
-        assert!(checked >= 300, "exhaustive sweep should cover many statements, got {checked}");
+        assert!(
+            checked >= 300,
+            "exhaustive sweep should cover many statements, got {checked}"
+        );
     }
 
     /// Lemma 11 via the literal iteration: every world of the truncated
@@ -461,7 +545,10 @@ mod def9_tests {
                 .add(stmt.tuple.clone(), stmt.sign);
         }
         for (path, world) in worlds {
-            assert!(world.is_consistent(), "inconsistent closure world at {path}");
+            assert!(
+                world.is_consistent(),
+                "inconsistent closure world at {path}"
+            );
         }
     }
 

@@ -22,7 +22,11 @@ pub struct BeliefDatabase {
 
 impl BeliefDatabase {
     pub fn new(schema: ExternalSchema) -> Self {
-        BeliefDatabase { schema: Arc::new(schema), users: Vec::new(), worlds: BTreeMap::new() }
+        BeliefDatabase {
+            schema: Arc::new(schema),
+            users: Vec::new(),
+            worlds: BTreeMap::new(),
+        }
     }
 
     pub fn schema(&self) -> &ExternalSchema {
@@ -227,10 +231,22 @@ pub fn running_example() -> (BeliefDatabase, UserId, UserId, UserId) {
     let sightings = db.schema().relation_id("Sightings").unwrap();
     let comments = db.schema().relation_id("Comments").unwrap();
 
-    let s11 = GroundTuple::new(sightings, row!["s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"]);
-    let s12 = GroundTuple::new(sightings, row!["s1", "Carol", "fish eagle", "6-14-08", "Lake Forest"]);
-    let s21 = GroundTuple::new(sightings, row!["s2", "Alice", "crow", "6-14-08", "Lake Placid"]);
-    let s22 = GroundTuple::new(sightings, row!["s2", "Alice", "raven", "6-14-08", "Lake Placid"]);
+    let s11 = GroundTuple::new(
+        sightings,
+        row!["s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"],
+    );
+    let s12 = GroundTuple::new(
+        sightings,
+        row!["s1", "Carol", "fish eagle", "6-14-08", "Lake Forest"],
+    );
+    let s21 = GroundTuple::new(
+        sightings,
+        row!["s2", "Alice", "crow", "6-14-08", "Lake Placid"],
+    );
+    let s22 = GroundTuple::new(
+        sightings,
+        row!["s2", "Alice", "raven", "6-14-08", "Lake Placid"],
+    );
     let c11 = GroundTuple::new(comments, row!["c1", "found feathers", "s2"]);
     let c21 = GroundTuple::new(comments, row!["c2", "black feathers", "s2"]);
     let c22 = GroundTuple::new(comments, row!["c2", "purple-black feathers", "s2"]);
@@ -241,17 +257,23 @@ pub fn running_example() -> (BeliefDatabase, UserId, UserId, UserId) {
     let p_bob_alice = BeliefPath::new(vec![bob, alice]).unwrap();
 
     // i1: Carol inserts the bald-eagle sighting (root world).
-    db.insert(BeliefStatement::positive(root, s11.clone())).unwrap();
+    db.insert(BeliefStatement::positive(root, s11.clone()))
+        .unwrap();
     // i2, i3: Bob disbelieves both eagle alternatives.
-    db.insert(BeliefStatement::negative(p_bob.clone(), s11)).unwrap();
-    db.insert(BeliefStatement::negative(p_bob.clone(), s12)).unwrap();
+    db.insert(BeliefStatement::negative(p_bob.clone(), s11))
+        .unwrap();
+    db.insert(BeliefStatement::negative(p_bob.clone(), s12))
+        .unwrap();
     // i4, i5: Alice believes the crow sighting and her comment.
-    db.insert(BeliefStatement::positive(p_alice.clone(), s21)).unwrap();
+    db.insert(BeliefStatement::positive(p_alice.clone(), s21))
+        .unwrap();
     db.insert(BeliefStatement::positive(p_alice, c11)).unwrap();
     // i6: Bob believes Alice saw a raven.
-    db.insert(BeliefStatement::positive(p_bob.clone(), s22)).unwrap();
+    db.insert(BeliefStatement::positive(p_bob.clone(), s22))
+        .unwrap();
     // i7: Bob believes Alice believes the feathers were black.
-    db.insert(BeliefStatement::positive(p_bob_alice, c21)).unwrap();
+    db.insert(BeliefStatement::positive(p_bob_alice, c21))
+        .unwrap();
     // i8: Bob believes the feathers were purple-black.
     db.insert(BeliefStatement::positive(p_bob, c22)).unwrap();
 
@@ -286,7 +308,10 @@ mod tests {
         assert_eq!(db.user_name(UserId(2)).unwrap(), "Bob");
         assert!(db.user_by_name("Dora").is_err());
         assert!(db.user_name(UserId(9)).is_err());
-        assert!(matches!(db.add_user("Alice"), Err(BeliefError::DuplicateUser(_))));
+        assert!(matches!(
+            db.add_user("Alice"),
+            Err(BeliefError::DuplicateUser(_))
+        ));
         let dora = db.add_user("Dora").unwrap();
         assert_eq!(dora, UserId(3));
     }
@@ -302,16 +327,21 @@ mod tests {
             BeliefPath::root(),
             GroundTuple::new(RelId(0), row!["s1", "x", "extra"]),
         );
-        assert!(matches!(db.insert(bad), Err(BeliefError::ArityMismatch { .. })));
+        assert!(matches!(
+            db.insert(bad),
+            Err(BeliefError::ArityMismatch { .. })
+        ));
         // unknown relation
-        let bad = BeliefStatement::positive(BeliefPath::root(), GroundTuple::new(RelId(7), row!["k"]));
+        let bad =
+            BeliefStatement::positive(BeliefPath::root(), GroundTuple::new(RelId(7), row!["k"]));
         assert!(db.insert(bad).is_err());
     }
 
     #[test]
     fn insert_gates_consistency() {
         let mut db = small_db();
-        db.insert(BeliefStatement::positive(path(&[1]), t("s1", "crow"))).unwrap();
+        db.insert(BeliefStatement::positive(path(&[1]), t("s1", "crow")))
+            .unwrap();
         // conflicting positive on the same key: rejected
         let err = db
             .insert(BeliefStatement::positive(path(&[1]), t("s1", "raven")))
@@ -322,16 +352,22 @@ mod tests {
             .insert(BeliefStatement::negative(path(&[1]), t("s1", "crow")))
             .is_err());
         // different-key positive: fine; duplicate returns false
-        assert!(db.insert(BeliefStatement::positive(path(&[1]), t("s2", "owl"))).unwrap());
-        assert!(!db.insert(BeliefStatement::positive(path(&[1]), t("s2", "owl"))).unwrap());
+        assert!(db
+            .insert(BeliefStatement::positive(path(&[1]), t("s2", "owl")))
+            .unwrap());
+        assert!(!db
+            .insert(BeliefStatement::positive(path(&[1]), t("s2", "owl")))
+            .unwrap());
         assert!(db.is_consistent());
     }
 
     #[test]
     fn unchecked_insert_can_create_inconsistency() {
         let mut db = small_db();
-        db.insert_unchecked(BeliefStatement::positive(path(&[1]), t("s1", "crow"))).unwrap();
-        db.insert_unchecked(BeliefStatement::positive(path(&[1]), t("s1", "raven"))).unwrap();
+        db.insert_unchecked(BeliefStatement::positive(path(&[1]), t("s1", "crow")))
+            .unwrap();
+        db.insert_unchecked(BeliefStatement::positive(path(&[1]), t("s1", "raven")))
+            .unwrap();
         assert!(!db.is_consistent());
     }
 
@@ -353,14 +389,22 @@ mod tests {
     fn support_and_states_are_prefix_closed() {
         let mut db = small_db();
         db.add_user("Carol").unwrap();
-        db.insert(BeliefStatement::positive(path(&[2, 1, 3]), t("s1", "crow"))).unwrap();
-        db.insert(BeliefStatement::positive(path(&[3]), t("s2", "owl"))).unwrap();
+        db.insert(BeliefStatement::positive(path(&[2, 1, 3]), t("s1", "crow")))
+            .unwrap();
+        db.insert(BeliefStatement::positive(path(&[3]), t("s2", "owl")))
+            .unwrap();
         let support: Vec<_> = db.support().cloned().collect();
         assert_eq!(support, vec![path(&[2, 1, 3]), path(&[3])]);
         let states = db.states();
         assert_eq!(
             states,
-            vec![path(&[]), path(&[2]), path(&[2, 1]), path(&[2, 1, 3]), path(&[3])]
+            vec![
+                path(&[]),
+                path(&[2]),
+                path(&[2, 1]),
+                path(&[2, 1, 3]),
+                path(&[3])
+            ]
         );
     }
 
@@ -368,7 +412,8 @@ mod tests {
     fn dss_finds_deepest_suffix_state() {
         let mut db = small_db();
         db.add_user("Carol").unwrap();
-        db.insert(BeliefStatement::positive(path(&[2, 1]), t("s1", "crow"))).unwrap();
+        db.insert(BeliefStatement::positive(path(&[2, 1]), t("s1", "crow")))
+            .unwrap();
         // states: ε, 2, 2·1
         assert_eq!(db.dss(&path(&[2, 1])), path(&[2, 1]));
         assert_eq!(db.dss(&path(&[3, 2, 1])), path(&[2, 1]));
@@ -380,8 +425,13 @@ mod tests {
     #[test]
     fn statement_listing_and_counts() {
         let mut db = small_db();
-        db.insert(BeliefStatement::positive(BeliefPath::root(), t("s1", "crow"))).unwrap();
-        db.insert(BeliefStatement::negative(path(&[2]), t("s1", "crow"))).unwrap();
+        db.insert(BeliefStatement::positive(
+            BeliefPath::root(),
+            t("s1", "crow"),
+        ))
+        .unwrap();
+        db.insert(BeliefStatement::negative(path(&[2]), t("s1", "crow")))
+            .unwrap();
         assert_eq!(db.len(), 2);
         assert_eq!(db.max_depth(), 1);
         let stmts = db.statements();

@@ -18,7 +18,11 @@ pub enum BeliefError {
     /// A relation with this name already exists in the external schema.
     DuplicateRelation(String),
     /// Tuple arity does not match the external relation.
-    ArityMismatch { relation: String, expected: usize, got: usize },
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        got: usize,
+    },
     /// The operation would make a belief world inconsistent
     /// (violates Γ1 or Γ2 of Prop. 5).
     Inconsistent(String),
@@ -38,8 +42,15 @@ impl fmt::Display for BeliefError {
             BeliefError::DuplicateUser(u) => write!(f, "duplicate user: {u}"),
             BeliefError::NoSuchRelation(r) => write!(f, "no such relation: {r}"),
             BeliefError::DuplicateRelation(r) => write!(f, "duplicate relation: {r}"),
-            BeliefError::ArityMismatch { relation, expected, got } => {
-                write!(f, "arity mismatch for `{relation}`: expected {expected}, got {got}")
+            BeliefError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "arity mismatch for `{relation}`: expected {expected}, got {got}"
+                )
             }
             BeliefError::Inconsistent(msg) => write!(f, "inconsistent belief world: {msg}"),
             BeliefError::UnsafeQuery(msg) => write!(f, "unsafe query: {msg}"),

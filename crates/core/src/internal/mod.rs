@@ -131,6 +131,10 @@ pub struct InternalStore {
     /// Reverse lookup `ground tuple → tid` (an in-memory unique index over
     /// `R*` minus the tid column).
     pub(crate) tid_cache: HashMap<GroundTuple, Tid>,
+    /// Optimizer statistics, shared across queries and refreshed lazily
+    /// (table versions detect staleness, so refresh is O(#tables) when the
+    /// store has not mutated).
+    pub(crate) stats: std::sync::Mutex<beliefdb_storage::StatsCatalog>,
 }
 
 impl InternalStore {
@@ -166,13 +170,15 @@ impl InternalStore {
         let mut dir = WorldDirectory::new();
         let root = dir.insert(BeliefPath::root());
         debug_assert_eq!(root, Wid::ROOT);
-        db.table_mut(D_TABLE)?.insert(Row::new(vec![Wid::ROOT.value(), Value::Int(0)]))?;
+        db.table_mut(D_TABLE)?
+            .insert(Row::new(vec![Wid::ROOT.value(), Value::Int(0)]))?;
 
         Ok(InternalStore {
             db,
             schema,
             users: Vec::new(),
             dir,
+            stats: std::sync::Mutex::new(beliefdb_storage::StatsCatalog::default()),
             next_tid: 0,
             tid_cache: HashMap::new(),
         })
@@ -189,6 +195,15 @@ impl InternalStore {
     /// The underlying relational database (read-only).
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// An up-to-date optimizer statistics snapshot for the internal
+    /// database. The snapshot is cached across queries; only tables whose
+    /// mutation version changed are recomputed.
+    pub fn stats_catalog(&self) -> beliefdb_storage::StatsCatalog {
+        let mut cache = self.stats.lock().expect("stats lock poisoned");
+        cache.refresh(&self.db);
+        cache.clone()
     }
 
     pub fn directory(&self) -> &WorldDirectory {
@@ -242,9 +257,11 @@ impl InternalStore {
                 Ok(extended) => self.dir.dss(&extended),
                 Err(_) => continue,
             };
-            self.db
-                .table_mut(E_TABLE)?
-                .insert(Row::new(vec![wid.value(), id.value(), target.value()]))?;
+            self.db.table_mut(E_TABLE)?.insert(Row::new(vec![
+                wid.value(),
+                id.value(),
+                target.value(),
+            ]))?;
         }
         Ok(id)
     }
@@ -261,7 +278,9 @@ impl InternalStore {
         let mut vals = Vec::with_capacity(tuple.row.arity() + 1);
         vals.push(tid.value());
         vals.extend(tuple.row.values().iter().cloned());
-        self.db.table_mut(&star_table(&rel_name))?.insert(Row::new(vals))?;
+        self.db
+            .table_mut(&star_table(&rel_name))?
+            .insert(Row::new(vals))?;
         self.tid_cache.insert(tuple.clone(), tid);
         Ok(tid)
     }

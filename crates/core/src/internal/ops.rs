@@ -43,7 +43,9 @@ impl InternalStore {
             Some(SliceEntry { explicit: true, .. }) => return Ok(InsertOutcome::AlreadyExplicit),
             // line 4: implicitly present — promote to explicit. Content of
             // this world and all dependents is unchanged.
-            Some(SliceEntry { explicit: false, .. }) => {
+            Some(SliceEntry {
+                explicit: false, ..
+            }) => {
                 self.set_explicit_flag(tuple.rel, wid, tid, sign, true)?;
                 return Ok(InsertOutcome::MadeExplicit);
             }
@@ -54,10 +56,11 @@ impl InternalStore {
         // are overridden by the new statement).
         let conflict = match sign {
             Sign::Pos => slice.iter().any(|e| {
-                e.explicit
-                    && ((e.sign == Sign::Neg && e.tid == tid) || e.sign == Sign::Pos)
+                e.explicit && ((e.sign == Sign::Neg && e.tid == tid) || e.sign == Sign::Pos)
             }),
-            Sign::Neg => slice.iter().any(|e| e.explicit && e.sign == Sign::Pos && e.tid == tid),
+            Sign::Neg => slice
+                .iter()
+                .any(|e| e.explicit && e.sign == Sign::Pos && e.tid == tid),
         };
         if conflict {
             return Ok(InsertOutcome::Rejected);
@@ -66,13 +69,15 @@ impl InternalStore {
         // lines 6–7: record the explicit tuple; the slice rebuild evicts any
         // implicit tuples it overrides.
         let rel_name = self.schema.relation(tuple.rel)?.name().to_string();
-        self.db.table_mut(&v_table(&rel_name))?.insert(Row::new(vec![
-            wid.value(),
-            tid.value(),
-            key.clone(),
-            sign.value(),
-            explicit_value(true),
-        ]))?;
+        self.db
+            .table_mut(&v_table(&rel_name))?
+            .insert(Row::new(vec![
+                wid.value(),
+                tid.value(),
+                key.clone(),
+                sign.value(),
+                explicit_value(true),
+            ]))?;
         // lines 8–14: recompute this world's key slice and propagate to the
         // dependent worlds in ascending depth order.
         self.propagate_key(tuple.rel, path, &key)?;
@@ -89,15 +94,14 @@ impl InternalStore {
     /// slice here and at all dependents — the tuple may be re-inherited
     /// from the suffix parent, or vanish entirely. Returns `true` iff the
     /// statement was explicitly present.
-    pub fn delete(
-        &mut self,
-        path: &BeliefPath,
-        tuple: &GroundTuple,
-        sign: Sign,
-    ) -> Result<bool> {
+    pub fn delete(&mut self, path: &BeliefPath, tuple: &GroundTuple, sign: Sign) -> Result<bool> {
         self.check_statement(path, tuple)?;
-        let Some(wid) = self.dir.get(path) else { return Ok(false) };
-        let Some(&tid) = self.tid_cache.get(tuple) else { return Ok(false) };
+        let Some(wid) = self.dir.get(path) else {
+            return Ok(false);
+        };
+        let Some(&tid) = self.tid_cache.get(tuple) else {
+            return Ok(false);
+        };
         let key = tuple.key().clone();
 
         let slice = self.read_slice(tuple.rel, wid, &key)?;
@@ -108,11 +112,11 @@ impl InternalStore {
             return Ok(false);
         }
         let rel_name = self.schema.relation(tuple.rel)?.name().to_string();
-        self.db.table_mut(&v_table(&rel_name))?.delete_by_index_where(
-            super::V_BY_WID_KEY,
-            &[wid.value(), key.clone()],
-            |r| r[1] == tid.value() && r[3] == sign.value() && r[4] == explicit_value(true),
-        )?;
+        self.db
+            .table_mut(&v_table(&rel_name))?
+            .delete_by_index_where(super::V_BY_WID_KEY, &[wid.value(), key.clone()], |r| {
+                r[1] == tid.value() && r[3] == sign.value() && r[4] == explicit_value(true)
+            })?;
         self.propagate_key(tuple.rel, path, &key)?;
         Ok(true)
     }
@@ -149,7 +153,9 @@ impl InternalStore {
 
     /// The explicit statements at a path (for introspection and tests).
     pub fn explicit_statements_at(&self, path: &BeliefPath) -> Result<Vec<BeliefStatement>> {
-        let Some(wid) = self.dir.get(path) else { return Ok(Vec::new()) };
+        let Some(wid) = self.dir.get(path) else {
+            return Ok(Vec::new());
+        };
         let mut out = Vec::new();
         for rel in self.schema.relations() {
             let rel_id = self.schema.relation_id(rel.name())?;
@@ -239,9 +245,15 @@ mod tests {
         let raven = t(&s, "s1", "raven");
         s.insert(&path(&[1]), &crow, Sign::Pos).unwrap();
         // second positive with the same key
-        assert_eq!(s.insert(&path(&[1]), &raven, Sign::Pos).unwrap(), InsertOutcome::Rejected);
+        assert_eq!(
+            s.insert(&path(&[1]), &raven, Sign::Pos).unwrap(),
+            InsertOutcome::Rejected
+        );
         // negative of the explicitly positive tuple
-        assert_eq!(s.insert(&path(&[1]), &crow, Sign::Neg).unwrap(), InsertOutcome::Rejected);
+        assert_eq!(
+            s.insert(&path(&[1]), &crow, Sign::Neg).unwrap(),
+            InsertOutcome::Rejected
+        );
         // the rejected raven must not have leaked into any world
         assert!(!s.entails(&path(&[1]), &raven, Sign::Pos).unwrap());
         assert!(!s.entails(&path(&[2, 1]), &raven, Sign::Pos).unwrap());
@@ -254,10 +266,16 @@ mod tests {
         let raven = t(&s, "s1", "raven");
         s.insert(&BeliefPath::root(), &crow, Sign::Pos).unwrap();
         // Bob disagrees with an alternative: implicit crow is evicted.
-        assert_eq!(s.insert(&path(&[2]), &raven, Sign::Pos).unwrap(), InsertOutcome::Inserted);
+        assert_eq!(
+            s.insert(&path(&[2]), &raven, Sign::Pos).unwrap(),
+            InsertOutcome::Inserted
+        );
         assert!(s.entails(&path(&[2]), &raven, Sign::Pos).unwrap());
         assert!(!s.entails(&path(&[2]), &crow, Sign::Pos).unwrap());
-        assert!(s.entails(&path(&[2]), &crow, Sign::Neg).unwrap(), "unstated negative");
+        assert!(
+            s.entails(&path(&[2]), &crow, Sign::Neg).unwrap(),
+            "unstated negative"
+        );
         // Alice still believes the crow; Bob believes Alice believes it.
         assert!(s.entails(&path(&[1]), &crow, Sign::Pos).unwrap());
         assert!(s.entails(&path(&[2, 1]), &crow, Sign::Pos).unwrap());
@@ -268,7 +286,10 @@ mod tests {
         let mut s = store();
         let eagle = t(&s, "s1", "eagle");
         s.insert(&BeliefPath::root(), &eagle, Sign::Pos).unwrap();
-        assert_eq!(s.insert(&path(&[2]), &eagle, Sign::Neg).unwrap(), InsertOutcome::Inserted);
+        assert_eq!(
+            s.insert(&path(&[2]), &eagle, Sign::Neg).unwrap(),
+            InsertOutcome::Inserted
+        );
         assert!(s.entails(&path(&[2]), &eagle, Sign::Neg).unwrap());
         assert!(!s.entails(&path(&[2]), &eagle, Sign::Pos).unwrap());
         // Alice believes Bob disbelieves it.
@@ -342,11 +363,17 @@ mod tests {
         // 2·1 inherits crow implicitly; raven overrides it (conflicts are
         // only checked against explicit tuples). Creating 2·1 also creates
         // its prefix [2].
-        assert_eq!(s.insert(&path(&[2, 1]), &raven, Sign::Pos).unwrap(), InsertOutcome::Inserted);
+        assert_eq!(
+            s.insert(&path(&[2, 1]), &raven, Sign::Pos).unwrap(),
+            InsertOutcome::Inserted
+        );
         assert_eq!(s.directory().len(), before_worlds + 2);
         // Now force an actual rejection at 2·1 and confirm no world change.
         let owl = t(&s, "s1", "owl");
-        assert_eq!(s.insert(&path(&[2, 1]), &owl, Sign::Pos).unwrap(), InsertOutcome::Rejected);
+        assert_eq!(
+            s.insert(&path(&[2, 1]), &owl, Sign::Pos).unwrap(),
+            InsertOutcome::Rejected
+        );
         // owl's R* row exists even though rejected.
         assert!(s.tid_cache.contains_key(&owl));
     }

@@ -54,8 +54,7 @@ impl InternalStore {
     /// parent's entries are inherited when consistent.
     pub(crate) fn recompute_slice(&mut self, rel: RelId, wid: Wid, key: &Value) -> Result<()> {
         let current = self.read_slice(rel, wid, key)?;
-        let explicit: Vec<SliceEntry> =
-            current.iter().copied().filter(|e| e.explicit).collect();
+        let explicit: Vec<SliceEntry> = current.iter().copied().filter(|e| e.explicit).collect();
 
         let mut next: Vec<SliceEntry> = explicit;
         if wid != Wid::ROOT {
@@ -65,7 +64,10 @@ impl InternalStore {
             // spirit; within a consistent parent slice it cannot matter.
             for phase in [Sign::Pos, Sign::Neg] {
                 for entry in parent_slice.iter().filter(|e| e.sign == phase) {
-                    if next.iter().any(|e| e.tid == entry.tid && e.sign == entry.sign) {
+                    if next
+                        .iter()
+                        .any(|e| e.tid == entry.tid && e.sign == entry.sign)
+                    {
                         continue; // already present (explicitly)
                     }
                     let ok = match entry.sign {
@@ -80,7 +82,11 @@ impl InternalStore {
                             .any(|e| e.sign == Sign::Pos && e.tid == entry.tid),
                     };
                     if ok {
-                        next.push(SliceEntry { tid: entry.tid, sign: entry.sign, explicit: false });
+                        next.push(SliceEntry {
+                            tid: entry.tid,
+                            sign: entry.sign,
+                            explicit: false,
+                        });
                     }
                 }
             }
@@ -120,7 +126,10 @@ impl InternalStore {
         path: &crate::path::BeliefPath,
         key: &Value,
     ) -> Result<()> {
-        let wid = self.dir.get(path).expect("world must exist before propagation");
+        let wid = self
+            .dir
+            .get(path)
+            .expect("world must exist before propagation");
         self.recompute_slice(rel, wid, key)?;
         for dep in self.dir.dependents(path) {
             self.recompute_slice(rel, dep, key)?;
@@ -145,17 +154,21 @@ mod tests {
         s
     }
 
-    fn insert_explicit(store: &mut InternalStore, p: &crate::path::BeliefPath, key: &str, species: &str, sign: Sign) {
+    fn insert_explicit(
+        store: &mut InternalStore,
+        p: &crate::path::BeliefPath,
+        key: &str,
+        species: &str,
+        sign: Sign,
+    ) {
         let rel = store.schema().relation_id("S").unwrap();
         let tuple = GroundTuple::new(rel, row![key, species]);
         let wid = store.ensure_world(p).unwrap();
         let tid = store.tid_of_or_create(&tuple).unwrap();
         let vt = store.db.table_mut(&v_table("S")).unwrap();
         // remove a pre-existing implicit copy of the same tid+sign, if any
-        vt.delete_where(|r| {
-            r[0] == wid.value() && r[1] == tid.value() && r[3] == sign.value()
-        })
-        .unwrap();
+        vt.delete_where(|r| r[0] == wid.value() && r[1] == tid.value() && r[3] == sign.value())
+            .unwrap();
         vt.insert(Row::new(vec![
             wid.value(),
             tid.value(),
@@ -167,7 +180,11 @@ mod tests {
         store.propagate_key(rel, p, &Value::str(key)).unwrap();
     }
 
-    fn slice(store: &InternalStore, p: &crate::path::BeliefPath, key: &str) -> Vec<(u32, Sign, bool)> {
+    fn slice(
+        store: &InternalStore,
+        p: &crate::path::BeliefPath,
+        key: &str,
+    ) -> Vec<(u32, Sign, bool)> {
         let rel = store.schema().relation_id("S").unwrap();
         let wid = store.dir.get(p).unwrap();
         let mut s: Vec<_> = store
@@ -186,7 +203,10 @@ mod tests {
         s.ensure_world(&path(&[1])).unwrap();
         s.ensure_world(&path(&[2, 1])).unwrap();
         insert_explicit(&mut s, &BeliefPath::root(), "s1", "crow", Sign::Pos);
-        assert_eq!(slice(&s, &BeliefPath::root(), "s1"), vec![(0, Sign::Pos, true)]);
+        assert_eq!(
+            slice(&s, &BeliefPath::root(), "s1"),
+            vec![(0, Sign::Pos, true)]
+        );
         assert_eq!(slice(&s, &path(&[1]), "s1"), vec![(0, Sign::Pos, false)]);
         assert_eq!(slice(&s, &path(&[2, 1]), "s1"), vec![(0, Sign::Pos, false)]);
     }
@@ -202,7 +222,10 @@ mod tests {
         assert_eq!(slice(&s, &path(&[1]), "s1"), vec![(1, Sign::Pos, true)]);
         assert_eq!(slice(&s, &path(&[2, 1]), "s1"), vec![(1, Sign::Pos, false)]);
         // Root unchanged.
-        assert_eq!(slice(&s, &BeliefPath::root(), "s1"), vec![(0, Sign::Pos, true)]);
+        assert_eq!(
+            slice(&s, &BeliefPath::root(), "s1"),
+            vec![(0, Sign::Pos, true)]
+        );
     }
 
     #[test]
@@ -214,7 +237,7 @@ mod tests {
         s.ensure_world(&path(&[1])).unwrap();
         s.ensure_world(&path(&[2, 1])).unwrap();
         insert_explicit(&mut s, &BeliefPath::root(), "s1", "crow", Sign::Pos); // tid 0
-        // child explicitly denies the raven (tid 1) before it exists upstream
+                                                                               // child explicitly denies the raven (tid 1) before it exists upstream
         insert_explicit(&mut s, &path(&[2, 1]), "s1", "raven", Sign::Neg);
         assert_eq!(
             slice(&s, &path(&[2, 1]), "s1"),
@@ -258,8 +281,10 @@ mod tests {
         insert_explicit(&mut s, &BeliefPath::root(), "s1", "crow", Sign::Pos);
         let rel = s.schema().relation_id("S").unwrap();
         let before = slice(&s, &path(&[2, 1]), "s1");
-        s.propagate_key(rel, &BeliefPath::root(), &Value::str("s1")).unwrap();
-        s.propagate_key(rel, &BeliefPath::root(), &Value::str("s1")).unwrap();
+        s.propagate_key(rel, &BeliefPath::root(), &Value::str("s1"))
+            .unwrap();
+        s.propagate_key(rel, &BeliefPath::root(), &Value::str("s1"))
+            .unwrap();
         assert_eq!(slice(&s, &path(&[2, 1]), "s1"), before);
     }
 

@@ -55,7 +55,10 @@ impl WorldDirectory {
 
     /// Iterate `(wid, path)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (Wid, &BeliefPath)> {
-        self.paths.iter().enumerate().map(|(i, p)| (Wid(i as u32), p))
+        self.paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (Wid(i as u32), p))
     }
 
     /// `dss(w)`: the id of the deepest suffix state of `w` (Algorithm 3).
@@ -128,9 +131,11 @@ impl InternalStore {
                 continue;
             }
             let target = self.dir.dss(&path.push(u).expect("u ≠ last"));
-            self.db
-                .table_mut(E_TABLE)?
-                .insert(Row::new(vec![x.value(), u.value(), target.value()]))?;
+            self.db.table_mut(E_TABLE)?.insert(Row::new(vec![
+                x.value(),
+                u.value(),
+                target.value(),
+            ]))?;
         }
 
         // (5) redirect w[d]-edges of deeper worlds that should now reach x:
@@ -141,10 +146,7 @@ impl InternalStore {
             .dir
             .iter()
             .filter(|(y, y_path)| {
-                *y != x
-                    && *y != parent
-                    && w_prefix.is_suffix_of(y_path)
-                    && y_path.can_push(last)
+                *y != x && *y != parent && w_prefix.is_suffix_of(y_path) && y_path.can_push(last)
             })
             .map(|(y, _)| y)
             .collect();
@@ -401,8 +403,16 @@ mod tests {
         let w21 = store.ensure_world(&path(&[2, 1])).unwrap();
         let w321 = store.ensure_world(&path(&[3, 2, 1])).unwrap();
         let w1 = store.dir.get(&path(&[1])).unwrap();
-        assert_eq!(store.suffix_parent(w21).unwrap(), w1, "S(2·1) = dss(1) = [1]");
-        assert_eq!(store.suffix_parent(w321).unwrap(), w21, "S(3·2·1) = dss(2·1) = [2·1]");
+        assert_eq!(
+            store.suffix_parent(w21).unwrap(),
+            w1,
+            "S(2·1) = dss(1) = [1]"
+        );
+        assert_eq!(
+            store.suffix_parent(w321).unwrap(),
+            w21,
+            "S(3·2·1) = dss(2·1) = [2·1]"
+        );
     }
 
     #[test]

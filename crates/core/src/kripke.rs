@@ -66,7 +66,10 @@ impl Kripke {
 
     /// Successors of `v` under user `i`.
     pub fn successors(&self, v: StateId, user: UserId) -> &[StateId] {
-        self.edges.get(&(v, user)).map(|v| v.as_slice()).unwrap_or(&[])
+        self.edges
+            .get(&(v, user))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     pub fn edge_count(&self) -> usize {
@@ -137,7 +140,10 @@ mod tests {
         let mut k = Kripke::new();
         let v0 = k.add_state(world(std::slice::from_ref(&s11), &[]));
         let v1 = k.add_state(world(&[s11.clone(), s21.clone(), c11.clone()], &[]));
-        let v2 = k.add_state(world(&[s22.clone(), c22.clone()], &[s11.clone(), s12.clone()]));
+        let v2 = k.add_state(world(
+            &[s22.clone(), c22.clone()],
+            &[s11.clone(), s12.clone()],
+        ));
         let v3 = k.add_state(world(&[s11, s21, c11, c21], &[]));
         k.set_root(v0);
         // Edges as drawn in Fig. 4.
@@ -156,8 +162,14 @@ mod tests {
     #[test]
     fn ground_entailment_at_root() {
         let k = fig4();
-        assert!(k.entails(&BeliefStatement::positive(BeliefPath::root(), t("s1", "bald eagle"))));
-        assert!(!k.entails(&BeliefStatement::positive(BeliefPath::root(), t("s2", "crow"))));
+        assert!(k.entails(&BeliefStatement::positive(
+            BeliefPath::root(),
+            t("s1", "bald eagle")
+        )));
+        assert!(!k.entails(&BeliefStatement::positive(
+            BeliefPath::root(),
+            t("s2", "crow")
+        )));
     }
 
     #[test]
@@ -166,15 +178,24 @@ mod tests {
         // Bob believes the raven tuple: K |= □2 s22+.
         assert!(k.entails(&BeliefStatement::positive(path(&[2]), t("s2", "raven"))));
         // Bob disbelieves the bald eagle (stated negative).
-        assert!(k.entails(&BeliefStatement::negative(path(&[2]), t("s1", "bald eagle"))));
+        assert!(k.entails(&BeliefStatement::negative(
+            path(&[2]),
+            t("s1", "bald eagle")
+        )));
         // Bob believes Alice believes the crow.
         assert!(k.entails(&BeliefStatement::positive(path(&[2, 1]), t("s2", "crow"))));
         // Bob's unstated negative: crow conflicts with his raven.
         assert!(k.entails(&BeliefStatement::negative(path(&[2]), t("s2", "crow"))));
         // Carol's edge loops to the root: she believes the eagle.
-        assert!(k.entails(&BeliefStatement::positive(path(&[3]), t("s1", "bald eagle"))));
+        assert!(k.entails(&BeliefStatement::positive(
+            path(&[3]),
+            t("s1", "bald eagle")
+        )));
         // Deeper loop: Carol believes Bob believes Alice believes the crow.
-        assert!(k.entails(&BeliefStatement::positive(path(&[3, 2, 1]), t("s2", "crow"))));
+        assert!(k.entails(&BeliefStatement::positive(
+            path(&[3, 2, 1]),
+            t("s2", "crow")
+        )));
     }
 
     #[test]

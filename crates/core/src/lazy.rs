@@ -37,12 +37,18 @@ pub struct LazyBdms {
 
 impl LazyBdms {
     pub fn new(schema: ExternalSchema) -> Self {
-        LazyBdms { db: BeliefDatabase::new(schema), cache: HashMap::new() }
+        LazyBdms {
+            db: BeliefDatabase::new(schema),
+            cache: HashMap::new(),
+        }
     }
 
     /// Wrap an existing logical database.
     pub fn from_belief_database(db: BeliefDatabase) -> Self {
-        LazyBdms { db, cache: HashMap::new() }
+        LazyBdms {
+            db,
+            cache: HashMap::new(),
+        }
     }
 
     pub fn schema(&self) -> &ExternalSchema {
@@ -68,7 +74,11 @@ impl LazyBdms {
         row: Row,
         sign: Sign,
     ) -> Result<InsertOutcome> {
-        self.insert_statement(&BeliefStatement::new(path, GroundTuple::new(rel, row), sign))
+        self.insert_statement(&BeliefStatement::new(
+            path,
+            GroundTuple::new(rel, row),
+            sign,
+        ))
     }
 
     pub fn insert_statement(&mut self, stmt: &BeliefStatement) -> Result<InsertOutcome> {
@@ -167,7 +177,13 @@ mod tests {
         let eager = Bdms::from_belief_database(&db).unwrap();
         let mut lazy = LazyBdms::from_belief_database(db.clone());
         for t in db.mentioned_tuples() {
-            for p in [path(&[1]), path(&[2]), path(&[2, 1]), path(&[1, 2]), path(&[3, 2, 1])] {
+            for p in [
+                path(&[1]),
+                path(&[2]),
+                path(&[2, 1]),
+                path(&[1, 2]),
+                path(&[3, 2, 1]),
+            ] {
                 for sign in [Sign::Pos, Sign::Neg] {
                     let stmt = BeliefStatement::new(p.clone(), t.clone(), sign);
                     assert_eq!(
@@ -205,7 +221,10 @@ mod tests {
         let _ = lazy.world(&path(&[2, 1]));
         assert!(lazy.cached_worlds() > 0);
         let out = lazy
-            .insert_statement(&BeliefStatement::positive(BeliefPath::root(), heron.clone()))
+            .insert_statement(&BeliefStatement::positive(
+                BeliefPath::root(),
+                heron.clone(),
+            ))
             .unwrap();
         assert_eq!(out, InsertOutcome::Inserted);
         assert_eq!(lazy.cached_worlds(), 0, "cache invalidated");
@@ -236,7 +255,10 @@ mod tests {
     fn lazy_delete_restores_defaults() {
         let mut lazy = lazy_running_example();
         let s = lazy.schema().relation_id("Sightings").unwrap();
-        let s11 = GroundTuple::new(s, row!["s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"]);
+        let s11 = GroundTuple::new(
+            s,
+            row!["s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"],
+        );
         let stmt = BeliefStatement::negative(path(&[2]), s11.clone());
         assert!(lazy.delete_statement(&stmt).unwrap());
         assert!(!lazy.delete_statement(&stmt).unwrap());

@@ -200,9 +200,15 @@ mod tests {
     fn prefixes_and_suffixes() {
         let w = path(&[2, 1, 3]);
         let prefixes: Vec<_> = w.prefixes().collect();
-        assert_eq!(prefixes, vec![path(&[]), path(&[2]), path(&[2, 1]), path(&[2, 1, 3])]);
+        assert_eq!(
+            prefixes,
+            vec![path(&[]), path(&[2]), path(&[2, 1]), path(&[2, 1, 3])]
+        );
         let suffixes: Vec<_> = w.suffixes().collect();
-        assert_eq!(suffixes, vec![path(&[2, 1, 3]), path(&[1, 3]), path(&[3]), path(&[])]);
+        assert_eq!(
+            suffixes,
+            vec![path(&[2, 1, 3]), path(&[1, 3]), path(&[3]), path(&[])]
+        );
         assert_eq!(w.prefix(2), path(&[2, 1]));
         assert_eq!(w.prefix(99), w);
         assert_eq!(w.drop_first(), path(&[1, 3]));

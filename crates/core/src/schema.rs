@@ -18,8 +18,14 @@ pub struct RelationDef {
 impl RelationDef {
     pub fn new(name: impl Into<String>, columns: &[&str]) -> Self {
         let name = name.into();
-        assert!(!columns.is_empty(), "relation `{name}` needs at least a key column");
-        RelationDef { name, columns: columns.iter().map(|c| c.to_string()).collect() }
+        assert!(
+            !columns.is_empty(),
+            "relation `{name}` needs at least a key column"
+        );
+        RelationDef {
+            name,
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+        }
     }
 
     pub fn name(&self) -> &str {
@@ -67,7 +73,8 @@ impl ExternalSchema {
 
     /// Builder-style variant of [`ExternalSchema::add_relation`].
     pub fn with_relation(mut self, name: impl Into<String>, columns: &[&str]) -> Self {
-        self.add_relation(name, columns).expect("duplicate relation in schema literal");
+        self.add_relation(name, columns)
+            .expect("duplicate relation in schema literal");
         self
     }
 
@@ -157,10 +164,16 @@ mod tests {
     fn tuple_check() {
         let s = naturemapping_schema();
         let rel = s.relation_id("Comments").unwrap();
-        assert!(s.check_tuple(rel, &row!["c1", "found feathers", "s2"]).is_ok());
+        assert!(s
+            .check_tuple(rel, &row!["c1", "found feathers", "s2"])
+            .is_ok());
         assert!(matches!(
             s.check_tuple(rel, &row!["c1"]),
-            Err(BeliefError::ArityMismatch { expected: 3, got: 1, .. })
+            Err(BeliefError::ArityMismatch {
+                expected: 3,
+                got: 1,
+                ..
+            })
         ));
     }
 

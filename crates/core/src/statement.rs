@@ -65,7 +65,10 @@ pub struct GroundTuple {
 
 impl GroundTuple {
     pub fn new(rel: RelId, row: Row) -> Self {
-        assert!(row.arity() >= 1, "ground tuples need at least a key attribute");
+        assert!(
+            row.arity() >= 1,
+            "ground tuples need at least a key attribute"
+        );
         GroundTuple { rel, row }
     }
 
@@ -132,7 +135,10 @@ mod tests {
     use beliefdb_storage::row;
 
     fn t(key: &str, species: &str) -> GroundTuple {
-        GroundTuple::new(RelId(0), row![key, "Carol", species, "6-14-08", "Lake Forest"])
+        GroundTuple::new(
+            RelId(0),
+            row![key, "Carol", species, "6-14-08", "Lake Forest"],
+        )
     }
 
     #[test]

@@ -95,12 +95,16 @@ impl BeliefWorld {
 
     /// `t ∈ I+`?
     pub fn contains_pos(&self, t: &GroundTuple) -> bool {
-        self.pos.get(&Self::key_of(t)).is_some_and(|s| s.contains(&t.row))
+        self.pos
+            .get(&Self::key_of(t))
+            .is_some_and(|s| s.contains(&t.row))
     }
 
     /// `t ∈ I−`?
     pub fn contains_neg(&self, t: &GroundTuple) -> bool {
-        self.neg.get(&Self::key_of(t)).is_some_and(|s| s.contains(&t.row))
+        self.neg
+            .get(&Self::key_of(t))
+            .is_some_and(|s| s.contains(&t.row))
     }
 
     pub fn contains(&self, t: &GroundTuple, sign: Sign) -> bool {
@@ -385,10 +389,22 @@ mod tests {
         parent.add_neg(t("s4", "heron"));
 
         let merged = child.override_with(&parent);
-        assert!(merged.contains_pos(&t("s2", "raven")), "explicit belief survives");
-        assert!(!merged.contains_pos(&t("s2", "crow")), "conflicting parent tuple blocked");
-        assert!(!merged.contains_pos(&t("s3", "owl")), "stated negative blocks inherit");
-        assert!(merged.contains_pos(&t("s1", "eagle")), "unopposed tuple inherited");
+        assert!(
+            merged.contains_pos(&t("s2", "raven")),
+            "explicit belief survives"
+        );
+        assert!(
+            !merged.contains_pos(&t("s2", "crow")),
+            "conflicting parent tuple blocked"
+        );
+        assert!(
+            !merged.contains_pos(&t("s3", "owl")),
+            "stated negative blocks inherit"
+        );
+        assert!(
+            merged.contains_pos(&t("s1", "eagle")),
+            "unopposed tuple inherited"
+        );
         assert!(merged.contains_neg(&t("s4", "heron")), "negative inherited");
         assert!(merged.is_consistent());
     }

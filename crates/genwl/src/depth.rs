@@ -12,10 +12,19 @@ pub struct DepthDist {
 impl DepthDist {
     /// Build from a pmf (weights are normalized; they need not sum to 1).
     pub fn new(pmf: &[f64]) -> Self {
-        assert!(!pmf.is_empty(), "depth distribution needs at least one entry");
-        assert!(pmf.iter().all(|p| *p >= 0.0), "probabilities must be non-negative");
+        assert!(
+            !pmf.is_empty(),
+            "depth distribution needs at least one entry"
+        );
+        assert!(
+            pmf.iter().all(|p| *p >= 0.0),
+            "probabilities must be non-negative"
+        );
         let total: f64 = pmf.iter().sum();
-        assert!(total > 0.0, "at least one depth must have positive probability");
+        assert!(
+            total > 0.0,
+            "at least one depth must have positive probability"
+        );
         let mut acc = 0.0;
         let cdf = pmf
             .iter()
@@ -59,7 +68,10 @@ impl DepthDist {
     /// Sample a depth.
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let x: f64 = rng.gen();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&x).expect("no NaN")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&x).expect("no NaN"))
+        {
             Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
         }
     }

@@ -15,8 +15,8 @@
 use crate::depth::DepthDist;
 use crate::participation::{Participation, UserSampler};
 use beliefdb_core::{
-    Bdms, BeliefDatabase, BeliefError, BeliefStatement, ExternalSchema, GroundTuple, Result,
-    Sign, UserId,
+    Bdms, BeliefDatabase, BeliefError, BeliefStatement, ExternalSchema, GroundTuple, Result, Sign,
+    UserId,
 };
 use beliefdb_storage::{Row, Value};
 use rand::rngs::StdRng;
@@ -137,7 +137,8 @@ impl CandidateStream {
                 }
             }
         }
-        let path = beliefdb_core::BeliefPath::new(users).expect("adjacent-distinct by construction");
+        let path =
+            beliefdb_core::BeliefPath::new(users).expect("adjacent-distinct by construction");
 
         let key_idx = self.rng.gen_range(0..self.key_space);
         let species_idx = self.rng.gen_range(0..self.species_pool);
@@ -307,7 +308,10 @@ mod tests {
         let (bdms, r1) = generate_bdms(&cfg).unwrap();
         let (db, r2) = generate_logical(&cfg).unwrap();
         assert_eq!(r1, r2, "acceptance decisions must match");
-        assert_eq!(bdms.to_belief_database().unwrap().statements(), db.statements());
+        assert_eq!(
+            bdms.to_belief_database().unwrap().statements(),
+            db.statements()
+        );
     }
 
     #[test]
@@ -323,7 +327,10 @@ mod tests {
                 by_user[u.0 as usize] += 1;
             }
         }
-        assert!(by_user[1] > by_user[10] * 3, "Zipf head should dominate: {by_user:?}");
+        assert!(
+            by_user[1] > by_user[10] * 3,
+            "Zipf head should dominate: {by_user:?}"
+        );
     }
 
     #[test]

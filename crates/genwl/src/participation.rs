@@ -59,7 +59,9 @@ pub struct UserSampler {
 
 impl UserSampler {
     pub fn new(participation: &Participation, m: usize) -> Self {
-        UserSampler { cdf: participation.cdf(m) }
+        UserSampler {
+            cdf: participation.cdf(m),
+        }
     }
 
     /// Number of users.
@@ -74,7 +76,10 @@ impl UserSampler {
     /// Sample a user rank in `1..=m`.
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let x: f64 = rng.gen();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&x).expect("no NaN")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&x).expect("no NaN"))
+        {
             Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
         }
     }
@@ -107,8 +112,16 @@ mod tests {
     #[test]
     fn paper_zipf_matches_50_25_example() {
         let freq = frequencies(&Participation::paper_zipf(), 10, 200_000);
-        assert!((freq[0] - 0.5).abs() < 0.01, "user 1 should author ~50%: {}", freq[0]);
-        assert!((freq[1] - 0.25).abs() < 0.01, "user 2 should author ~25%: {}", freq[1]);
+        assert!(
+            (freq[0] - 0.5).abs() < 0.01,
+            "user 1 should author ~50%: {}",
+            freq[0]
+        );
+        assert!(
+            (freq[1] - 0.25).abs() < 0.01,
+            "user 2 should author ~25%: {}",
+            freq[1]
+        );
         assert!((freq[2] - 0.125).abs() < 0.01);
     }
 
@@ -116,7 +129,10 @@ mod tests {
     fn zipf_is_monotone_decreasing() {
         let freq = frequencies(&Participation::Zipf { theta: 1.0 }, 20, 200_000);
         for pair in freq.windows(2) {
-            assert!(pair[0] + 0.01 >= pair[1], "Zipf frequencies must not increase");
+            assert!(
+                pair[0] + 0.01 >= pair[1],
+                "Zipf frequencies must not increase"
+            );
         }
         // heavier head than uniform
         assert!(freq[0] > 0.2);

@@ -74,7 +74,10 @@ pub fn fig6_series(ns: &[usize], seed: u64) -> Vec<(&'static str, Vec<GeneratorC
     };
     vec![
         ("Pr[d] = [1/3, 1/3, 1/3]", mk(DepthDist::uniform_012())),
-        ("Pr[d] = [0.199, 0.8, 0.001]", mk(DepthDist::skewed_depth1())),
+        (
+            "Pr[d] = [0.199, 0.8, 0.001]",
+            mk(DepthDist::skewed_depth1()),
+        ),
     ]
 }
 

@@ -1,0 +1,205 @@
+//! Offline stand-in for the parts of `rand` 0.8 this workspace uses.
+//!
+//! The build environment has no network access, so the real `rand` crate
+//! cannot be fetched. The workload generator only needs a seedable,
+//! deterministic PRNG with uniform `f64`, integer-range, and Bernoulli
+//! draws; this shim provides exactly that surface (`Rng::gen`,
+//! `Rng::gen_range`, `Rng::gen_bool`, `rngs::StdRng`, `SeedableRng`).
+//!
+//! The generator core is xoshiro256++ seeded through splitmix64 — the same
+//! construction `rand`'s small-rng family uses. Streams are deterministic
+//! per seed but do **not** bit-match the real `StdRng` (ChaCha12); nothing
+//! in this workspace depends on the exact stream, only on determinism and
+//! uniformity.
+
+/// Types that can be sampled uniformly by [`Rng::gen`].
+pub trait Uniform: Sized {
+    fn from_u64(bits: u64) -> Self;
+}
+
+impl Uniform for u64 {
+    fn from_u64(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Uniform for u32 {
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Uniform for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Uniform for bool {
+    fn from_u64(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+/// Integer types usable as `gen_range` bounds.
+pub trait RangeSample: Copy + PartialOrd {
+    fn to_u64(self) -> u64;
+    fn from_offset(base: Self, offset: u64) -> Self;
+}
+
+macro_rules! impl_range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_offset(base: Self, offset: u64) -> Self {
+                base + offset as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sample!(u8, u16, u32, u64, usize, i32, i64);
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample of `T` (`f64` in `[0,1)`, full-width integers).
+    fn gen<T: Uniform>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Uniform sample in a half-open range `lo..hi`.
+    fn gen_range<T: RangeSample>(&mut self, range: std::ops::Range<T>) -> T {
+        let lo = range.start.to_u64();
+        let hi = range.end.to_u64();
+        assert!(lo < hi, "gen_range called with an empty range");
+        let span = hi - lo;
+        // Multiply-shift rejection-free mapping; bias is < 2^-64 * span,
+        // irrelevant for workload generation.
+        let offset = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        T::from_offset(range.start, offset)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable PRNGs (the `seed_from_u64` entry point only).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (API-compatible stand-in for
+    /// `rand::rngs::StdRng` at the call sites this workspace has).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub use rngs::StdRng as DefaultRng;
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_uniform_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn gen_range_covers_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0usize..5);
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let p = hits as f64 / n as f64;
+        assert!((p - 0.3).abs() < 0.01, "observed {p}");
+    }
+}

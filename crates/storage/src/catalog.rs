@@ -68,7 +68,10 @@ impl Database {
 
     /// Per-table tuple counts, sorted by table name.
     pub fn table_sizes(&self) -> Vec<(&str, usize)> {
-        self.tables.iter().map(|(n, t)| (n.as_str(), t.len())).collect()
+        self.tables
+            .iter()
+            .map(|(n, t)| (n.as_str(), t.len()))
+            .collect()
     }
 }
 
@@ -80,10 +83,14 @@ mod tests {
     #[test]
     fn create_and_lookup() {
         let mut db = Database::new();
-        db.create_table(TableSchema::with_key("Users", &["uid", "name"])).unwrap();
+        db.create_table(TableSchema::with_key("Users", &["uid", "name"]))
+            .unwrap();
         assert!(db.has_table("Users"));
         assert!(db.table("Users").is_ok());
-        assert!(matches!(db.table("Nope"), Err(StorageError::NoSuchTable(_))));
+        assert!(matches!(
+            db.table("Nope"),
+            Err(StorageError::NoSuchTable(_))
+        ));
     }
 
     #[test]
@@ -108,8 +115,10 @@ mod tests {
     #[test]
     fn total_tuples_counts_all_tables() {
         let mut db = Database::new();
-        db.create_table(TableSchema::with_key("U", &["uid"])).unwrap();
-        db.create_table(TableSchema::keyless("E", &["w1", "u", "w2"])).unwrap();
+        db.create_table(TableSchema::with_key("U", &["uid"]))
+            .unwrap();
+        db.create_table(TableSchema::keyless("E", &["w1", "u", "w2"]))
+            .unwrap();
         db.table_mut("U").unwrap().insert(row![1]).unwrap();
         db.table_mut("U").unwrap().insert(row![2]).unwrap();
         db.table_mut("E").unwrap().insert(row![0, 1, 1]).unwrap();
@@ -120,8 +129,10 @@ mod tests {
     #[test]
     fn table_names_sorted() {
         let mut db = Database::new();
-        db.create_table(TableSchema::with_key("Zeta", &["a"])).unwrap();
-        db.create_table(TableSchema::with_key("Alpha", &["a"])).unwrap();
+        db.create_table(TableSchema::with_key("Zeta", &["a"]))
+            .unwrap();
+        db.create_table(TableSchema::with_key("Alpha", &["a"]))
+            .unwrap();
         assert_eq!(db.table_names(), vec!["Alpha", "Zeta"]);
     }
 }

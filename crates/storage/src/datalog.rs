@@ -49,7 +49,10 @@ pub struct Atom {
 
 impl Atom {
     pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
-        Atom { relation: relation.into(), terms }
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
     }
 }
 
@@ -93,14 +96,119 @@ pub struct Program {
 
 /// Evaluates programs and rules against a database, holding materialized
 /// derived relations.
+///
+/// By default every compiled rule plan is run through the cost-based
+/// optimizer ([`crate::opt`]) before execution — this is the layer where
+/// the paper delegates to "the database optimizer". Construct with
+/// [`Evaluator::new_unoptimized`] to execute plans exactly as compiled
+/// (the differential tests compare the two).
 pub struct Evaluator<'a> {
     db: &'a Database,
     derived: HashMap<String, (usize, Vec<Row>)>,
+    optimizer: Option<crate::opt::OptimizerOptions>,
+    stats: Option<crate::opt::StatsCatalog>,
 }
 
 impl<'a> Evaluator<'a> {
     pub fn new(db: &'a Database) -> Self {
-        Evaluator { db, derived: HashMap::new() }
+        Evaluator {
+            db,
+            derived: HashMap::new(),
+            optimizer: Some(crate::opt::OptimizerOptions::default()),
+            stats: None,
+        }
+    }
+
+    /// An evaluator that executes rule plans exactly as compiled.
+    pub fn new_unoptimized(db: &'a Database) -> Self {
+        Evaluator {
+            db,
+            derived: HashMap::new(),
+            optimizer: None,
+            stats: None,
+        }
+    }
+
+    /// An evaluator with explicit optimizer options.
+    pub fn with_optimizer(db: &'a Database, opts: crate::opt::OptimizerOptions) -> Self {
+        Evaluator {
+            db,
+            derived: HashMap::new(),
+            optimizer: Some(opts),
+            stats: None,
+        }
+    }
+
+    /// Seed this evaluator with a pre-built statistics snapshot (e.g. one
+    /// cached across queries by the owner of the database). A stale seed is
+    /// fine — it is version-checked and refreshed incrementally on use.
+    pub fn seed_stats(mut self, catalog: crate::opt::StatsCatalog) -> Self {
+        self.stats = Some(catalog);
+        self
+    }
+
+    /// Refresh the statistics snapshot for this evaluator's database when
+    /// the database has mutated since the last use.
+    fn refresh_stats(&mut self) {
+        match &mut self.stats {
+            Some(s) => s.refresh(self.db),
+            None => self.stats = Some(crate::opt::StatsCatalog::snapshot(self.db)),
+        }
+    }
+
+    /// Compile a rule and run it through the optimizer (when enabled).
+    pub fn plan_rule(&mut self, rule: &Rule) -> Result<Plan> {
+        let plan = self.compile_rule(rule)?;
+        match self.optimizer.clone() {
+            Some(opts) => {
+                self.refresh_stats();
+                let stats = self.stats.as_ref().expect("just refreshed");
+                crate::opt::optimize_with_stats(self.db, stats, plan, &opts)
+            }
+            None => Ok(plan),
+        }
+    }
+
+    /// Render the optimized physical plan of each rule (the program-level
+    /// `EXPLAIN`).
+    ///
+    /// Intermediate heads are materialized so later rules compile against
+    /// real derived relations (their sizes drive the cost estimates shown);
+    /// the final rule — the query answer — is planned but **not** executed.
+    pub fn explain_program(&mut self, program: &Program) -> Result<String> {
+        let mut out = String::new();
+        for (i, rule) in program.rules.iter().enumerate() {
+            self.check_nonrecursive(rule)?;
+            out.push_str(&format!("-- {rule}\n"));
+            let plan = self.plan_rule(rule)?;
+            self.refresh_stats();
+            let stats = self.stats.as_ref().expect("just refreshed");
+            out.push_str(&crate::opt::render(self.db, stats, &plan));
+            if i + 1 < program.rules.len() {
+                let rows = execute(self.db, &plan)?;
+                self.materialize_head(rule, rows)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fold `rows` into the head relation's derived entry, enforcing that
+    /// every rule deriving the same head agrees on its arity.
+    fn materialize_head(&mut self, rule: &Rule, rows: Vec<Row>) -> Result<()> {
+        let arity = rule.head.terms.len();
+        let entry = self
+            .derived
+            .entry(rule.head.relation.clone())
+            .or_insert_with(|| (arity, Vec::new()));
+        if entry.0 != arity {
+            return Err(StorageError::DatalogError(format!(
+                "relation `{}` derived with conflicting arities {} and {arity}",
+                rule.head.relation, entry.0
+            )));
+        }
+        entry.1.extend(rows);
+        dedup_rows(&mut entry.1);
+        Ok(())
     }
 
     /// Register a pre-materialized relation (e.g. a literal temp table).
@@ -119,20 +227,9 @@ impl<'a> Evaluator<'a> {
         let mut last = None;
         for rule in &program.rules {
             self.check_nonrecursive(rule)?;
-            let rows = self.eval_rule(rule)?;
-            let arity = rule.head.terms.len();
-            let entry = self
-                .derived
-                .entry(rule.head.relation.clone())
-                .or_insert_with(|| (arity, Vec::new()));
-            if entry.0 != arity {
-                return Err(StorageError::DatalogError(format!(
-                    "relation `{}` derived with conflicting arities {} and {arity}",
-                    rule.head.relation, entry.0
-                )));
-            }
-            entry.1.extend(rows);
-            dedup_rows(&mut entry.1);
+            let plan = self.plan_rule(rule)?;
+            let rows = execute(self.db, &plan)?;
+            self.materialize_head(rule, rows)?;
             last = Some(rule.head.relation.clone());
         }
         Ok(last)
@@ -160,7 +257,10 @@ impl<'a> Evaluator<'a> {
 
     /// Evaluate a single rule to its (deduplicated) head rows.
     pub fn eval_rule(&self, rule: &Rule) -> Result<Vec<Row>> {
-        let plan = self.compile_rule(rule)?;
+        let mut plan = self.compile_rule(rule)?;
+        if let Some(opts) = &self.optimizer {
+            plan = crate::opt::optimize_with(self.db, plan, opts)?;
+        }
         let mut rows = execute(self.db, &plan)?;
         dedup_rows(&mut rows);
         Ok(rows)
@@ -301,12 +401,7 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn apply_lit(
-        &self,
-        acc: Plan,
-        lit: &BodyLit,
-        bind: &HashMap<String, usize>,
-    ) -> Result<Plan> {
+    fn apply_lit(&self, acc: Plan, lit: &BodyLit, bind: &HashMap<String, usize>) -> Result<Plan> {
         match lit {
             BodyLit::Pos(_) => unreachable!("positive atoms are joined, not applied"),
             BodyLit::Cmp(c) => {
@@ -356,12 +451,7 @@ impl<'a> Evaluator<'a> {
 
     /// Comparison over bound columns/constants. `offset` shifts column
     /// positions (unused today, kept for joined-row contexts).
-    fn cmp_expr(
-        &self,
-        c: &CmpLit,
-        bind: &HashMap<String, usize>,
-        offset: usize,
-    ) -> Result<Expr> {
+    fn cmp_expr(&self, c: &CmpLit, bind: &HashMap<String, usize>, offset: usize) -> Result<Expr> {
         let side = |t: &Term| -> Result<Expr> {
             match t {
                 Term::Var(n) => {
@@ -389,7 +479,13 @@ impl<'a> Evaluator<'a> {
                     atom.terms.len()
                 )));
             }
-            return Ok((Plan::Values { arity: *arity, rows: rows.clone() }, *arity));
+            return Ok((
+                Plan::Values {
+                    arity: *arity,
+                    rows: rows.clone(),
+                },
+                *arity,
+            ));
         }
         let t = self.db.table(&atom.relation)?;
         let arity = t.schema().arity();
@@ -442,7 +538,10 @@ pub mod dsl {
     }
 
     pub fn rule(head_rel: &str, head_terms: Vec<Term>, body: Vec<BodyLit>) -> Rule {
-        Rule { head: atom(head_rel, head_terms), body }
+        Rule {
+            head: atom(head_rel, head_terms),
+            body,
+        }
     }
 }
 
@@ -456,11 +555,15 @@ mod tests {
     /// Users/parent fixture: classic datalog examples.
     fn db() -> Database {
         let mut db = Database::new();
-        let users = db.create_table(TableSchema::with_key("Users", &["uid", "name"])).unwrap();
+        let users = db
+            .create_table(TableSchema::with_key("Users", &["uid", "name"]))
+            .unwrap();
         users.insert(row![1, "Alice"]).unwrap();
         users.insert(row![2, "Bob"]).unwrap();
         users.insert(row![3, "Carol"]).unwrap();
-        let e = db.create_table(TableSchema::keyless("E", &["w1", "u", "w2"])).unwrap();
+        let e = db
+            .create_table(TableSchema::keyless("E", &["w1", "u", "w2"]))
+            .unwrap();
         e.insert(row![0, 1, 1]).unwrap();
         e.insert(row![0, 2, 2]).unwrap();
         e.insert(row![0, 3, 0]).unwrap();
@@ -483,7 +586,11 @@ mod tests {
     fn constants_select() {
         let db = db();
         let ev = Evaluator::new(&db);
-        let r = rule("Q", vec![v("u")], vec![pos("Users", vec![v("u"), c("Bob")])]);
+        let r = rule(
+            "Q",
+            vec![v("u")],
+            vec![pos("Users", vec![v("u"), c("Bob")])],
+        );
         assert_eq!(ev.eval_rule(&r).unwrap(), vec![row![2]]);
     }
 
@@ -520,7 +627,11 @@ mod tests {
         let db = db();
         let ev = Evaluator::new(&db);
         // Self-loops: E(w, u, w)
-        let r = rule("Q", vec![v("w")], vec![pos("E", vec![v("w"), any(), v("w")])]);
+        let r = rule(
+            "Q",
+            vec![v("w")],
+            vec![pos("E", vec![v("w"), any(), v("w")])],
+        );
         assert_eq!(ev.eval_rule(&r).unwrap(), vec![row![0]]);
     }
 
@@ -569,8 +680,16 @@ mod tests {
             vec![
                 pos("Users", vec![v("u"), v("n")]),
                 BodyLit::Or(vec![
-                    vec![CmpLit { left: v("u"), op: CmpOp::Eq, right: c(1) }],
-                    vec![CmpLit { left: v("n"), op: CmpOp::Eq, right: c("Carol") }],
+                    vec![CmpLit {
+                        left: v("u"),
+                        op: CmpOp::Eq,
+                        right: c(1),
+                    }],
+                    vec![CmpLit {
+                        left: v("n"),
+                        op: CmpOp::Eq,
+                        right: c("Carol"),
+                    }],
                 ]),
             ],
         );
@@ -583,7 +702,11 @@ mod tests {
     fn head_constants_and_duplicates_deduped() {
         let db = db();
         let ev = Evaluator::new(&db);
-        let r = rule("Q", vec![c("marker")], vec![pos("Users", vec![any(), any()])]);
+        let r = rule(
+            "Q",
+            vec![c("marker")],
+            vec![pos("Users", vec![any(), any()])],
+        );
         assert_eq!(ev.eval_rule(&r).unwrap(), vec![row!["marker"]]);
     }
 
@@ -603,12 +726,18 @@ mod tests {
                 neg("E", vec![v("w"), v("u"), any()]),
             ],
         );
-        assert!(matches!(ev.eval_rule(&r), Err(StorageError::DatalogError(_))));
+        assert!(matches!(
+            ev.eval_rule(&r),
+            Err(StorageError::DatalogError(_))
+        ));
         // Comparison with unbound var.
         let r = rule(
             "Q",
             vec![v("u")],
-            vec![pos("Users", vec![v("u"), any()]), cmp(v("z"), CmpOp::Eq, c(1))],
+            vec![
+                pos("Users", vec![v("u"), any()]),
+                cmp(v("z"), CmpOp::Eq, c(1)),
+            ],
         );
         assert!(ev.eval_rule(&r).is_err());
     }
@@ -620,12 +749,19 @@ mod tests {
         let prog = Program {
             rules: vec![
                 // Reach1(w) :- E(0, _, w)
-                rule("Reach1", vec![v("w")], vec![pos("E", vec![c(0), any(), v("w")])]),
+                rule(
+                    "Reach1",
+                    vec![v("w")],
+                    vec![pos("E", vec![c(0), any(), v("w")])],
+                ),
                 // Reach2(w) :- Reach1(x), E(x, _, w)
                 rule(
                     "Reach2",
                     vec![v("w")],
-                    vec![pos("Reach1", vec![v("x")]), pos("E", vec![v("x"), any(), v("w")])],
+                    vec![
+                        pos("Reach1", vec![v("x")]),
+                        pos("E", vec![v("x"), any(), v("w")]),
+                    ],
                 ),
             ],
         };
@@ -644,11 +780,7 @@ mod tests {
         let db = db();
         let mut ev = Evaluator::new(&db);
         let prog = Program {
-            rules: vec![rule(
-                "R",
-                vec![v("w")],
-                vec![pos("R", vec![v("w")])],
-            )],
+            rules: vec![rule("R", vec![v("w")], vec![pos("R", vec![v("w")])])],
         };
         assert!(matches!(ev.run(&prog), Err(StorageError::DatalogError(_))));
     }
@@ -658,7 +790,11 @@ mod tests {
         let db = db();
         let mut ev = Evaluator::new(&db);
         let prog = Program {
-            rules: vec![rule("Users", vec![v("u"), v("n")], vec![pos("E", vec![v("u"), v("n"), any()])])],
+            rules: vec![rule(
+                "Users",
+                vec![v("u"), v("n")],
+                vec![pos("E", vec![v("u"), v("n"), any()])],
+            )],
         };
         assert!(ev.run(&prog).is_err());
     }
@@ -671,7 +807,10 @@ mod tests {
         let r = rule(
             "Q",
             vec![v("n"), v("tag")],
-            vec![pos("Users", vec![v("u"), v("n")]), pos("T", vec![v("u"), v("tag")])],
+            vec![
+                pos("Users", vec![v("u"), v("n")]),
+                pos("T", vec![v("u"), v("tag")]),
+            ],
         );
         let mut rows = ev.eval_rule(&r).unwrap();
         rows.sort();
@@ -679,11 +818,102 @@ mod tests {
     }
 
     #[test]
+    fn optimized_and_unoptimized_agree() {
+        let db = db();
+        let rules = vec![
+            rule(
+                "Q",
+                vec![v("u1"), v("u2"), v("w2")],
+                vec![
+                    pos("E", vec![c(0), v("u1"), v("w")]),
+                    pos("E", vec![v("w"), v("u2"), v("w2")]),
+                    pos("Users", vec![v("u1"), any()]),
+                ],
+            ),
+            rule(
+                "R",
+                vec![v("u")],
+                vec![
+                    pos("Users", vec![v("u"), any()]),
+                    neg("E", vec![c(1), v("u"), any()]),
+                    cmp(v("u"), CmpOp::Gt, c(0)),
+                ],
+            ),
+        ];
+        for r in &rules {
+            let optimized = Evaluator::new(&db);
+            let plain = Evaluator::new_unoptimized(&db);
+            let mut a = optimized.eval_rule(r).unwrap();
+            let mut b = plain.eval_rule(r).unwrap();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "optimizer changed rule semantics for {r}");
+        }
+    }
+
+    #[test]
+    fn explain_program_renders_each_rule() {
+        let db = db();
+        let mut ev = Evaluator::new(&db);
+        let prog = Program {
+            rules: vec![
+                rule(
+                    "Reach1",
+                    vec![v("w")],
+                    vec![pos("E", vec![c(0), any(), v("w")])],
+                ),
+                rule(
+                    "Reach2",
+                    vec![v("w")],
+                    vec![
+                        pos("Reach1", vec![v("x")]),
+                        pos("E", vec![v("x"), any(), v("w")]),
+                    ],
+                ),
+            ],
+        };
+        let text = ev.explain_program(&prog).unwrap();
+        assert!(text.contains("-- Reach1(w) :- E(0, _, w)."), "{text}");
+        assert!(text.contains("Scan E"), "{text}");
+        // Deterministic across evaluators.
+        let mut ev2 = Evaluator::new(&db);
+        assert_eq!(text, ev2.explain_program(&prog).unwrap());
+    }
+
+    #[test]
+    fn explain_program_rejects_conflicting_head_arities() {
+        let db = db();
+        let prog = Program {
+            rules: vec![
+                rule("Q", vec![v("u")], vec![pos("Users", vec![v("u"), any()])]),
+                rule(
+                    "Q",
+                    vec![v("u"), v("n")],
+                    vec![pos("Users", vec![v("u"), v("n")])],
+                ),
+                // A third rule so the conflicting second rule is not last
+                // (the final rule is planned but not executed).
+                rule("Z", vec![v("x")], vec![pos("Q", vec![v("x")])]),
+            ],
+        };
+        let mut ev = Evaluator::new(&db);
+        assert!(matches!(
+            ev.explain_program(&prog),
+            Err(StorageError::DatalogError(_))
+        ));
+        let mut ev = Evaluator::new(&db);
+        assert!(matches!(ev.run(&prog), Err(StorageError::DatalogError(_))));
+    }
+
+    #[test]
     fn arity_mismatch_detected() {
         let db = db();
         let ev = Evaluator::new(&db);
         let r = rule("Q", vec![v("u")], vec![pos("Users", vec![v("u")])]);
-        assert!(matches!(ev.eval_rule(&r), Err(StorageError::DatalogError(_))));
+        assert!(matches!(
+            ev.eval_rule(&r),
+            Err(StorageError::DatalogError(_))
+        ));
     }
 
     #[test]
@@ -692,10 +922,22 @@ mod tests {
         let mut ev = Evaluator::new(&db);
         let prog = Program {
             rules: vec![
-                rule("Q", vec![v("u")], vec![pos("Users", vec![v("u"), c("Alice")])]),
-                rule("Q", vec![v("u")], vec![pos("Users", vec![v("u"), c("Bob")])]),
+                rule(
+                    "Q",
+                    vec![v("u")],
+                    vec![pos("Users", vec![v("u"), c("Alice")])],
+                ),
+                rule(
+                    "Q",
+                    vec![v("u")],
+                    vec![pos("Users", vec![v("u"), c("Bob")])],
+                ),
                 // duplicate of the first: result must stay deduplicated
-                rule("Q", vec![v("u")], vec![pos("Users", vec![v("u"), c("Alice")])]),
+                rule(
+                    "Q",
+                    vec![v("u")],
+                    vec![pos("Users", vec![v("u"), c("Alice")])],
+                ),
             ],
         };
         ev.run(&prog).unwrap();
@@ -822,10 +1064,22 @@ mod display_tests {
                 pos("T", vec![v("x"), v("s")]),
                 BodyLit::Or(vec![
                     vec![
-                        CmpLit { left: v("s"), op: CmpOp::Eq, right: c("-") },
-                        CmpLit { left: v("x"), op: CmpOp::Eq, right: c(1) },
+                        CmpLit {
+                            left: v("s"),
+                            op: CmpOp::Eq,
+                            right: c("-"),
+                        },
+                        CmpLit {
+                            left: v("x"),
+                            op: CmpOp::Eq,
+                            right: c(1),
+                        },
                     ],
-                    vec![CmpLit { left: v("s"), op: CmpOp::Eq, right: c("+") }],
+                    vec![CmpLit {
+                        left: v("s"),
+                        op: CmpOp::Eq,
+                        right: c("+"),
+                    }],
                 ]),
             ],
         };
@@ -839,7 +1093,11 @@ mod display_tests {
     fn programs_render_line_per_rule() {
         let prog = Program {
             rules: vec![
-                rule("A", vec![v("x")], vec![pos("E", vec![v("x"), any(), any()])]),
+                rule(
+                    "A",
+                    vec![v("x")],
+                    vec![pos("E", vec![v("x"), any(), any()])],
+                ),
                 rule("B", vec![v("x")], vec![pos("A", vec![v("x")])]),
             ],
         };

@@ -17,7 +17,11 @@ pub enum StorageError {
     /// No column with this name exists in the referenced table.
     NoSuchColumn { table: String, column: String },
     /// A row's arity does not match the table schema.
-    ArityMismatch { table: String, expected: usize, got: usize },
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        got: usize,
+    },
     /// Inserting the row would violate the table's primary-key constraint.
     DuplicateKey { table: String, key: String },
     /// An index with this specification already exists.
@@ -44,8 +48,15 @@ impl fmt::Display for StorageError {
             StorageError::NoSuchColumn { table, column } => {
                 write!(f, "no column `{column}` in table `{table}`")
             }
-            StorageError::ArityMismatch { table, expected, got } => {
-                write!(f, "arity mismatch for `{table}`: expected {expected} values, got {got}")
+            StorageError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "arity mismatch for `{table}`: expected {expected} values, got {got}"
+                )
             }
             StorageError::DuplicateKey { table, key } => {
                 write!(f, "duplicate primary key {key} in table `{table}`")
@@ -82,9 +93,16 @@ mod tests {
     fn display_is_informative() {
         let err = StorageError::NoSuchTable("Sightings".into());
         assert_eq!(err.to_string(), "no such table `Sightings`");
-        let err = StorageError::ArityMismatch { table: "V".into(), expected: 5, got: 4 };
+        let err = StorageError::ArityMismatch {
+            table: "V".into(),
+            expected: 5,
+            got: 4,
+        };
         assert!(err.to_string().contains("expected 5"));
-        let err = StorageError::DuplicateKey { table: "D".into(), key: "Int(3)".into() };
+        let err = StorageError::DuplicateKey {
+            table: "D".into(),
+            key: "Int(3)".into(),
+        };
         assert!(err.to_string().contains("duplicate primary key"));
     }
 

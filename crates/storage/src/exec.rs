@@ -28,6 +28,14 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
     run(db, plan)
 }
 
+/// Run the plan through the cost-based optimizer (see [`crate::opt`]),
+/// then execute it. Semantics are identical to [`execute`]; only the
+/// evaluation order (and therefore the running time) changes.
+pub fn execute_optimized(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
+    let optimized = crate::opt::optimize(db, plan.clone())?;
+    run(db, &optimized)
+}
+
 fn run(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
     match plan {
         Plan::Scan { table } => Ok(db.table(table)?.scan()),
@@ -59,7 +67,12 @@ fn run(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
             }
             Ok(out)
         }
-        Plan::Join { left, right, on, residual } => {
+        Plan::Join {
+            left,
+            right,
+            on,
+            residual,
+        } => {
             let lrows = run(db, left)?;
             if let Some(out) = try_index_join(db, &lrows, right, on, residual.as_ref())? {
                 return Ok(out);
@@ -67,7 +80,12 @@ fn run(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
             let rrows = run(db, right)?;
             join_rows(&lrows, &rrows, on, residual.as_ref())
         }
-        Plan::AntiJoin { left, right, on, residual } => {
+        Plan::AntiJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => {
             let lrows = run(db, left)?;
             let rrows = run(db, right)?;
             anti_join_rows(lrows, &rrows, on, residual.as_ref())
@@ -90,7 +108,11 @@ fn run(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
             }
             Ok(out)
         }
-        Plan::Aggregate { input, group_by, aggs } => {
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let rows = run(db, input)?;
             aggregate_rows(&rows, group_by, aggs)
         }
@@ -152,7 +174,11 @@ fn try_index_join(
 
     // Primary-key fast path: joining on exactly the key column.
     let pk_path = table.schema().key_column() == Some(0) && rcols == [0];
-    let index = if pk_path { None } else { table.find_index_for(&rcols) };
+    let index = if pk_path {
+        None
+    } else {
+        table.find_index_for(&rcols)
+    };
     if !pk_path && index.is_none() {
         return Ok(None);
     }
@@ -282,6 +308,29 @@ fn equality_conjuncts(e: &Expr) -> Vec<(usize, Value)> {
     out
 }
 
+/// Which access path [`try_index_selection`] would take for this
+/// predicate over this table — used by `EXPLAIN` so the rendered plan
+/// reports what the executor will actually do.
+pub(crate) fn access_path_note(db: &Database, table: &str, predicate: &Expr) -> Option<String> {
+    let table = db.table(table).ok()?;
+    let eqs = equality_conjuncts(predicate);
+    if eqs.is_empty() {
+        return None;
+    }
+    if let Some(kc) = table.schema().key_column() {
+        if eqs.iter().any(|(c, _)| *c == kc) {
+            return Some("access=pk".to_string());
+        }
+    }
+    let pinned: Vec<usize> = eqs.iter().map(|(c, _)| *c).collect();
+    for cols in subsets_in_order(&pinned) {
+        if let Some((name, _)) = table.find_index_for(&cols) {
+            return Some(format!("access=index:{name}"));
+        }
+    }
+    None
+}
+
 fn collect_eqs(e: &Expr, out: &mut Vec<(usize, Value)>) {
     match e {
         Expr::And(parts) => {
@@ -323,7 +372,11 @@ fn join_rows(
     }
     // Hash join: build on the smaller side.
     let build_left = lrows.len() <= rrows.len();
-    let (build, probe) = if build_left { (lrows, rrows) } else { (rrows, lrows) };
+    let (build, probe) = if build_left {
+        (lrows, rrows)
+    } else {
+        (rrows, lrows)
+    };
     let key_of = |row: &Row, left_side: bool| -> Box<[Value]> {
         on.iter()
             .map(|&(lc, rc)| row[if left_side { lc } else { rc }].clone())
@@ -474,11 +527,15 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        let users = db.create_table(TableSchema::with_key("Users", &["uid", "name"])).unwrap();
+        let users = db
+            .create_table(TableSchema::with_key("Users", &["uid", "name"]))
+            .unwrap();
         users.insert(row![1, "Alice"]).unwrap();
         users.insert(row![2, "Bob"]).unwrap();
         users.insert(row![3, "Carol"]).unwrap();
-        let e = db.create_table(TableSchema::keyless("E", &["w1", "u", "w2"])).unwrap();
+        let e = db
+            .create_table(TableSchema::keyless("E", &["w1", "u", "w2"]))
+            .unwrap();
         e.create_index("by_w1_u", &["w1", "u"]).unwrap();
         e.insert(row![0, 1, 1]).unwrap();
         e.insert(row![0, 2, 2]).unwrap();
@@ -575,11 +632,7 @@ mod tests {
     fn equi_join_with_residual() {
         let db = db();
         // E join E on w2 = w1 of the next hop, keeping only hops ending at 0.
-        let p = Plan::scan("E").join_where(
-            Plan::scan("E"),
-            vec![(2, 0)],
-            Expr::col_eq_lit(5, 0),
-        );
+        let p = Plan::scan("E").join_where(Plan::scan("E"), vec![(2, 0)], Expr::col_eq_lit(5, 0));
         let rows = execute(&db, &p).unwrap();
         assert!(rows.iter().all(|r| r[5] == Value::int(0)));
         assert!(!rows.is_empty());
@@ -603,7 +656,10 @@ mod tests {
         let p = Plan::scan("Users").anti_join(
             Plan::AntiJoin {
                 left: Box::new(Plan::scan("E")),
-                right: Box::new(Plan::Values { arity: 0, rows: vec![] }),
+                right: Box::new(Plan::Values {
+                    arity: 0,
+                    rows: vec![],
+                }),
                 on: vec![],
                 residual: None,
             },
@@ -643,7 +699,10 @@ mod tests {
     fn global_aggregate_on_empty_input() {
         let db = db();
         let p = Plan::Aggregate {
-            input: Box::new(Plan::Values { arity: 2, rows: vec![] }),
+            input: Box::new(Plan::Values {
+                arity: 2,
+                rows: vec![],
+            }),
             group_by: vec![],
             aggs: vec![Agg::Count, Agg::Max(0)],
         };
@@ -665,7 +724,10 @@ mod tests {
     #[test]
     fn sort_limit_values_unit() {
         let db = db();
-        let p = Plan::scan("Users").sort(vec![1]).limit(2).project_cols(&[1]);
+        let p = Plan::scan("Users")
+            .sort(vec![1])
+            .limit(2)
+            .project_cols(&[1]);
         assert_eq!(execute(&db, &p).unwrap(), vec![row!["Alice"], row!["Bob"]]);
         assert_eq!(execute(&db, &Plan::unit()).unwrap().len(), 1);
     }
@@ -673,7 +735,10 @@ mod tests {
     #[test]
     fn empty_join_sides() {
         let db = db();
-        let empty = Plan::Values { arity: 2, rows: vec![] };
+        let empty = Plan::Values {
+            arity: 2,
+            rows: vec![],
+        };
         let p = Plan::scan("Users").join(empty.clone(), vec![(0, 0)]);
         assert!(execute(&db, &p).unwrap().is_empty());
         let p = empty.join(Plan::scan("Users"), vec![(0, 0)]);
@@ -695,13 +760,18 @@ mod index_join_tests {
             .unwrap();
         v.create_index("by_wid", &["wid"]).unwrap();
         for i in 0..500i64 {
-            v.insert(row![i % 20, i, if i % 3 == 0 { "+" } else { "-" }]).unwrap();
+            v.insert(row![i % 20, i, if i % 3 == 0 { "+" } else { "-" }])
+                .unwrap();
         }
-        let r = db.create_table(TableSchema::with_key("R", &["tid", "val"])).unwrap();
+        let r = db
+            .create_table(TableSchema::with_key("R", &["tid", "val"]))
+            .unwrap();
         for i in 0..500i64 {
             r.insert(row![i, format!("v{i}").as_str()]).unwrap();
         }
-        let probe = db.create_table(TableSchema::keyless("Probe", &["w"])).unwrap();
+        let probe = db
+            .create_table(TableSchema::keyless("Probe", &["w"]))
+            .unwrap();
         probe.insert(row![3]).unwrap();
         probe.insert(row![7]).unwrap();
         db
@@ -712,7 +782,13 @@ mod index_join_tests {
         let via_exec = execute(db, plan).unwrap();
         // Force the generic path by evaluating both sides and joining
         // manually.
-        if let Plan::Join { left, right, on, residual } = plan {
+        if let Plan::Join {
+            left,
+            right,
+            on,
+            residual,
+        } = plan
+        {
             let l = execute(db, left).unwrap();
             let r = execute(db, right).unwrap();
             let mut generic = join_rows(&l, &r, on, residual.as_ref()).unwrap();
@@ -777,7 +853,9 @@ mod index_join_tests {
         let mut db = big_db();
         // Probe2(w, w2): join on V.wid twice — (0,0) and (1,0). The index
         // key only pins one; the pair check must reject mismatches.
-        let p2 = db.create_table(TableSchema::keyless("Probe2", &["a", "b"])).unwrap();
+        let p2 = db
+            .create_table(TableSchema::keyless("Probe2", &["a", "b"]))
+            .unwrap();
         p2.insert(row![3, 3]).unwrap(); // matches
         p2.insert(row![3, 7]).unwrap(); // must NOT match
         let plan = Plan::scan("Probe2").join(Plan::scan("V"), vec![(0, 0), (1, 0)]);

@@ -237,7 +237,14 @@ mod tests {
 
     #[test]
     fn flip_is_involutive_and_correct() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.flip().flip(), op);
             let a = Value::int(1);
             let b = Value::int(2);

@@ -22,7 +22,11 @@ pub struct Index {
 impl Index {
     pub fn new(name: impl Into<String>, cols: Vec<usize>) -> Self {
         assert!(!cols.is_empty(), "index must cover at least one column");
-        Index { name: name.into(), cols, map: HashMap::new() }
+        Index {
+            name: name.into(),
+            cols,
+            map: HashMap::new(),
+        }
     }
 
     pub fn name(&self) -> &str {

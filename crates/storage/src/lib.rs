@@ -40,6 +40,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod index;
+pub mod opt;
 pub mod plan;
 pub mod row;
 pub mod schema;
@@ -48,9 +49,10 @@ pub mod value;
 
 pub use catalog::Database;
 pub use error::{Result, StorageError};
-pub use exec::execute;
+pub use exec::{execute, execute_optimized};
 pub use expr::{CmpOp, Expr};
 pub use index::RowId;
+pub use opt::{optimize, optimize_with, OptimizerOptions, StatsCatalog};
 pub use plan::{Agg, Plan};
 pub use row::Row;
 pub use schema::{ColumnDef, KeyMode, TableSchema};

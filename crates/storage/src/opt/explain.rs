@@ -1,0 +1,253 @@
+//! `EXPLAIN`: a stable, deterministic rendering of a physical plan tree,
+//! annotated with estimated cardinalities and the access path the
+//! executor will pick (primary-key lookup, secondary-index probe, or
+//! scan).
+
+use super::stats::{estimate, StatsCatalog};
+use crate::catalog::Database;
+use crate::exec::access_path_note;
+use crate::plan::{Agg, Plan};
+
+/// Render a plan as an indented tree. Deterministic: node order follows
+/// the plan structure, estimates are integers, and no hash-map iteration
+/// is involved.
+pub fn render(db: &Database, catalog: &StatsCatalog, plan: &Plan) -> String {
+    let mut out = String::new();
+    render_node(db, catalog, plan, 0, &mut out);
+    out
+}
+
+/// Render with a fresh statistics snapshot.
+pub fn render_with_snapshot(db: &Database, plan: &Plan) -> String {
+    render(db, &StatsCatalog::snapshot(db), plan)
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn est_note(catalog: &StatsCatalog, plan: &Plan) -> String {
+    let rows = estimate(catalog, plan).rows;
+    format!(" (est={})", rows.round().max(0.0) as u64)
+}
+
+fn on_note(on: &[(usize, usize)]) -> String {
+    if on.is_empty() {
+        return String::new();
+    }
+    let pairs: Vec<String> = on.iter().map(|(l, r)| format!("#{l}=#{r}")).collect();
+    format!(" on [{}]", pairs.join(", "))
+}
+
+fn render_node(db: &Database, catalog: &StatsCatalog, plan: &Plan, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match plan {
+        Plan::Scan { table } => {
+            let rows = db.table(table).map(|t| t.len()).unwrap_or(0);
+            out.push_str(&format!("Scan {table} (rows={rows})\n"));
+        }
+        Plan::Selection { input, predicate } => {
+            let access = match input.as_ref() {
+                Plan::Scan { table } => access_path_note(db, table, predicate),
+                _ => None,
+            };
+            let access = access.map(|a| format!(" [{a}]")).unwrap_or_default();
+            out.push_str(&format!(
+                "Select {predicate}{access}{}\n",
+                est_note(catalog, plan)
+            ));
+            render_node(db, catalog, input, depth + 1, out);
+        }
+        Plan::Projection { input, exprs } => {
+            let cols: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+            out.push_str(&format!(
+                "Project [{}]{}\n",
+                cols.join(", "),
+                est_note(catalog, plan)
+            ));
+            render_node(db, catalog, input, depth + 1, out);
+        }
+        Plan::Join {
+            left,
+            right,
+            on,
+            residual,
+        } => {
+            let res = residual
+                .as_ref()
+                .map(|r| format!(" where {r}"))
+                .unwrap_or_default();
+            let probe = join_probe_note(db, right, on);
+            out.push_str(&format!(
+                "Join{}{res}{probe}{}\n",
+                on_note(on),
+                est_note(catalog, plan)
+            ));
+            render_node(db, catalog, left, depth + 1, out);
+            render_node(db, catalog, right, depth + 1, out);
+        }
+        Plan::AntiJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => {
+            let res = residual
+                .as_ref()
+                .map(|r| format!(" where {r}"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "AntiJoin{}{res}{}\n",
+                on_note(on),
+                est_note(catalog, plan)
+            ));
+            render_node(db, catalog, left, depth + 1, out);
+            render_node(db, catalog, right, depth + 1, out);
+        }
+        Plan::Distinct { input } => {
+            out.push_str(&format!("Distinct{}\n", est_note(catalog, plan)));
+            render_node(db, catalog, input, depth + 1, out);
+        }
+        Plan::Union { inputs } => {
+            out.push_str(&format!("Union{}\n", est_note(catalog, plan)));
+            for p in inputs {
+                render_node(db, catalog, p, depth + 1, out);
+            }
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let aggs: Vec<String> = aggs
+                .iter()
+                .map(|a| match a {
+                    Agg::Count => "count".to_string(),
+                    Agg::Max(c) => format!("max(#{c})"),
+                    Agg::Min(c) => format!("min(#{c})"),
+                })
+                .collect();
+            let groups: Vec<String> = group_by.iter().map(|g| format!("#{g}")).collect();
+            out.push_str(&format!(
+                "Aggregate group=[{}] aggs=[{}]{}\n",
+                groups.join(", "),
+                aggs.join(", "),
+                est_note(catalog, plan)
+            ));
+            render_node(db, catalog, input, depth + 1, out);
+        }
+        Plan::Values { arity, rows } => {
+            out.push_str(&format!("Values {}x{arity}\n", rows.len()));
+        }
+        Plan::Sort { input, by } => {
+            let by: Vec<String> = by.iter().map(|c| format!("#{c}")).collect();
+            out.push_str(&format!("Sort by [{}]\n", by.join(", ")));
+            render_node(db, catalog, input, depth + 1, out);
+        }
+        Plan::Limit { input, n } => {
+            out.push_str(&format!("Limit {n}\n"));
+            render_node(db, catalog, input, depth + 1, out);
+        }
+    }
+}
+
+/// Annotation when the executor's index-nested-loop join can probe the
+/// right side of a join through an index instead of materializing it.
+fn join_probe_note(db: &Database, right: &Plan, on: &[(usize, usize)]) -> String {
+    if on.is_empty() {
+        return String::new();
+    }
+    let table = match right {
+        Plan::Scan { table } => table,
+        Plan::Selection { input, .. } => match input.as_ref() {
+            Plan::Scan { table } => table,
+            _ => return String::new(),
+        },
+        _ => return String::new(),
+    };
+    let Ok(t) = db.table(table) else {
+        return String::new();
+    };
+    let rcols: Vec<usize> = on.iter().map(|&(_, rc)| rc).collect();
+    if t.schema().key_column() == Some(0) && rcols == [0] {
+        return format!(" [probe {table}.pk]");
+    }
+    if let Some((name, _)) = t.find_index_for(&rcols) {
+        return format!(" [probe {table}.{name}]");
+    }
+    String::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::row;
+    use crate::schema::TableSchema;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let v = db
+            .create_table(TableSchema::keyless("V", &["wid", "tid", "s"]))
+            .unwrap();
+        v.create_index("by_wid", &["wid"]).unwrap();
+        for i in 0..50i64 {
+            v.insert(row![i % 5, i, "+"]).unwrap();
+        }
+        let r = db
+            .create_table(TableSchema::with_key("R", &["tid", "val"]))
+            .unwrap();
+        r.insert(row![1, "x"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn renders_tree_with_estimates() {
+        let db = db();
+        let plan = Plan::scan("V")
+            .select(Expr::col_eq_lit(0, 3i64))
+            .join(Plan::scan("R"), vec![(1, 0)])
+            .project_cols(&[1, 4]);
+        let text = render_with_snapshot(&db, &plan);
+        assert!(text.contains("Project"), "{text}");
+        assert!(text.contains("Join on [#1=#0]"), "{text}");
+        assert!(text.contains("Scan V (rows=50)"), "{text}");
+        assert!(text.contains("est="), "{text}");
+        // Indentation encodes the tree.
+        assert!(text.lines().any(|l| l.starts_with("    ")), "{text}");
+    }
+
+    #[test]
+    fn annotates_index_and_pk_access() {
+        let db = db();
+        // Selection pinning the indexed column.
+        let sel = Plan::scan("V").select(Expr::col_eq_lit(0, 3i64));
+        let text = render_with_snapshot(&db, &sel);
+        assert!(text.contains("index"), "{text}");
+        // Join probing the primary key.
+        let join = Plan::scan("V").join(Plan::scan("R"), vec![(1, 0)]);
+        let text = render_with_snapshot(&db, &join);
+        assert!(text.contains("[probe R.pk]"), "{text}");
+        // Join probing a secondary index.
+        let join = Plan::Values {
+            arity: 1,
+            rows: vec![row![1]],
+        }
+        .join(Plan::scan("V"), vec![(0, 0)]);
+        let text = render_with_snapshot(&db, &join);
+        assert!(text.contains("[probe V.by_wid]"), "{text}");
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let db = db();
+        let plan = Plan::scan("V")
+            .join(Plan::scan("R"), vec![(1, 0)])
+            .distinct();
+        let a = render_with_snapshot(&db, &plan);
+        let b = render_with_snapshot(&db, &plan);
+        assert_eq!(a, b);
+    }
+}

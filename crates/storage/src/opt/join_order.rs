@@ -1,0 +1,492 @@
+//! Greedy cardinality-ordered join reordering.
+//!
+//! A maximal tree of [`Plan::Join`] nodes is flattened into its leaf
+//! relations, equality edges (the `on` pairs), and residual predicates,
+//! all expressed over *global* column positions (the columns of the
+//! original join output, left to right). The chain is then rebuilt
+//! left-deep: start from the leaf with the smallest estimated
+//! cardinality, and repeatedly join the connected leaf whose addition has
+//! the smallest estimated result — preferring leaves the executor can
+//! probe through an index (a scan, or a selection over a scan, whose join
+//! columns are covered by the primary key or a secondary hash index). A
+//! final projection restores the original column order, so the rewrite is
+//! bag-equivalent to the input plan.
+
+use super::rules::{cols_of, join_and, split_and};
+use super::stats::{estimate, RelEstimate, StatsCatalog};
+use crate::catalog::Database;
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::plan::Plan;
+
+/// A flattened join chain over global column positions.
+struct Chain {
+    /// Leaf plans in original order.
+    leaves: Vec<Plan>,
+    /// Global column offset of each leaf.
+    offsets: Vec<usize>,
+    /// Arity of each leaf.
+    arities: Vec<usize>,
+    /// Equality edges `(global_col, global_col)` from `on` lists.
+    eqs: Vec<(usize, usize)>,
+    /// Residual conjuncts over global columns.
+    preds: Vec<Expr>,
+    /// Total output arity.
+    total: usize,
+}
+
+fn flatten(db: &Database, plan: Plan, start: usize, chain: &mut Chain) -> Result<usize> {
+    match plan {
+        // A residual that is not boolean-shaped could raise a TypeError if
+        // re-evaluated at a different point in the chain; keep such joins
+        // intact as leaves.
+        Plan::Join {
+            left,
+            right,
+            on,
+            residual,
+        } if residual
+            .as_ref()
+            .is_none_or(super::rules::is_boolean_shaped) =>
+        {
+            let la = flatten(db, *left, start, chain)?;
+            let ra = flatten(db, *right, start + la, chain)?;
+            for &(lc, rc) in &on {
+                chain.eqs.push((start + lc, start + la + rc));
+            }
+            if let Some(r) = residual {
+                for c in split_and(&r.remap_cols(&|i| i + start)) {
+                    chain.preds.push(c);
+                }
+            }
+            Ok(la + ra)
+        }
+        leaf => {
+            let arity = leaf.arity(db)?;
+            chain.leaves.push(leaf);
+            chain.offsets.push(start);
+            chain.arities.push(arity);
+            Ok(arity)
+        }
+    }
+}
+
+/// True iff the executor's index-nested-loop join could probe this plan:
+/// a base-table access whose given columns are covered by the primary key
+/// or a secondary index.
+fn index_probeable(db: &Database, plan: &Plan, cols: &[usize]) -> bool {
+    let table = match plan {
+        Plan::Scan { table } => table,
+        Plan::Selection { input, .. } => match input.as_ref() {
+            Plan::Scan { table } => table,
+            _ => return false,
+        },
+        _ => return false,
+    };
+    if cols.is_empty() {
+        return false;
+    }
+    let Ok(t) = db.table(table) else { return false };
+    (t.schema().key_column() == Some(0) && cols == [0]) || t.find_index_for(cols).is_some()
+}
+
+/// Reorder every maximal join chain in the plan. Recurses into non-join
+/// operators and into the join leaves themselves.
+pub fn reorder_joins(db: &Database, catalog: &StatsCatalog, plan: Plan) -> Result<Plan> {
+    match plan {
+        Plan::Join { .. } => reorder_chain(db, catalog, plan),
+        Plan::Scan { .. } | Plan::Values { .. } => Ok(plan),
+        Plan::Selection { input, predicate } => Ok(Plan::Selection {
+            input: Box::new(reorder_joins(db, catalog, *input)?),
+            predicate,
+        }),
+        Plan::Projection { input, exprs } => Ok(Plan::Projection {
+            input: Box::new(reorder_joins(db, catalog, *input)?),
+            exprs,
+        }),
+        Plan::AntiJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => Ok(Plan::AntiJoin {
+            left: Box::new(reorder_joins(db, catalog, *left)?),
+            right: Box::new(reorder_joins(db, catalog, *right)?),
+            on,
+            residual,
+        }),
+        Plan::Distinct { input } => Ok(Plan::Distinct {
+            input: Box::new(reorder_joins(db, catalog, *input)?),
+        }),
+        Plan::Union { inputs } => Ok(Plan::Union {
+            inputs: inputs
+                .into_iter()
+                .map(|p| reorder_joins(db, catalog, p))
+                .collect::<Result<_>>()?,
+        }),
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Ok(Plan::Aggregate {
+            input: Box::new(reorder_joins(db, catalog, *input)?),
+            group_by,
+            aggs,
+        }),
+        Plan::Sort { input, by } => Ok(Plan::Sort {
+            input: Box::new(reorder_joins(db, catalog, *input)?),
+            by,
+        }),
+        Plan::Limit { input, n } => Ok(Plan::Limit {
+            input: Box::new(reorder_joins(db, catalog, *input)?),
+            n,
+        }),
+    }
+}
+
+fn reorder_chain(db: &Database, catalog: &StatsCatalog, plan: Plan) -> Result<Plan> {
+    let mut chain = Chain {
+        leaves: Vec::new(),
+        offsets: Vec::new(),
+        arities: Vec::new(),
+        eqs: Vec::new(),
+        preds: Vec::new(),
+        total: 0,
+    };
+    chain.total = flatten(db, plan, 0, &mut chain)?;
+
+    // Reorder inside each leaf first (nested chains under e.g. a distinct).
+    for leaf in &mut chain.leaves {
+        let taken = std::mem::replace(leaf, Plan::unit());
+        *leaf = reorder_joins(db, catalog, taken)?;
+    }
+    let n = chain.leaves.len();
+    if n < 2 {
+        return Ok(chain
+            .leaves
+            .pop()
+            .expect("join chain has at least one leaf"));
+    }
+
+    let ests: Vec<RelEstimate> = chain.leaves.iter().map(|l| estimate(catalog, l)).collect();
+
+    // Map a global column to its owning leaf and local position.
+    let owner = |g: usize| -> (usize, usize) {
+        for i in (0..n).rev() {
+            if g >= chain.offsets[i] {
+                return (i, g - chain.offsets[i]);
+            }
+        }
+        unreachable!("column before first offset")
+    };
+
+    // --- greedy ordering ---------------------------------------------------
+    let mut placed = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    // Start with the smallest leaf (ties: original order).
+    let first = (0..n)
+        .min_by(|&a, &b| {
+            ests[a]
+                .rows
+                .partial_cmp(&ests[b].rows)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        })
+        .expect("n >= 2");
+    placed[first] = true;
+    order.push(first);
+    let mut acc_rows = ests[first].rows;
+
+    while order.len() < n {
+        // Candidate score: estimated rows after joining the accumulator
+        // with the candidate over the available equality edges.
+        let mut best: Option<(f64, usize)> = None;
+        let connected_exists = (0..n).any(|i| {
+            !placed[i]
+                && chain.eqs.iter().any(|&(a, b)| {
+                    let (oa, _) = owner(a);
+                    let (ob, _) = owner(b);
+                    (placed[oa] && ob == i) || (placed[ob] && oa == i)
+                })
+        });
+        for cand in 0..n {
+            if placed[cand] {
+                continue;
+            }
+            let mut sel = 1.0f64;
+            let mut join_cols: Vec<usize> = Vec::new();
+            for &(a, b) in &chain.eqs {
+                let (oa, ca) = owner(a);
+                let (ob, cb) = owner(b);
+                let (acc_side, cand_col) = if placed[oa] && ob == cand {
+                    (a, cb)
+                } else if placed[ob] && oa == cand {
+                    (b, ca)
+                } else {
+                    continue;
+                };
+                let (acc_owner, acc_local) = owner(acc_side);
+                let d_acc = ests[acc_owner]
+                    .distinct
+                    .get(acc_local)
+                    .copied()
+                    .unwrap_or(ests[acc_owner].rows);
+                let d_cand = ests[cand]
+                    .distinct
+                    .get(cand_col)
+                    .copied()
+                    .unwrap_or(ests[cand].rows);
+                sel /= d_acc.max(d_cand).max(1.0);
+                join_cols.push(cand_col);
+            }
+            let connected = !join_cols.is_empty();
+            if connected_exists && !connected {
+                continue; // never introduce a cross product early
+            }
+            join_cols.sort_unstable();
+            join_cols.dedup();
+            let mut score = acc_rows * ests[cand].rows * sel;
+            if connected && index_probeable(db, &chain.leaves[cand], &join_cols) {
+                // The executor can turn this join into index probes.
+                score *= 0.9;
+            }
+            match best {
+                Some((bs, bi)) if bs < score || (bs == score && bi < cand) => {}
+                _ => best = Some((score, cand)),
+            }
+        }
+        let (score, next) = best.expect("unplaced leaf exists");
+        placed[next] = true;
+        order.push(next);
+        acc_rows = score.max(1.0);
+    }
+
+    // --- rebuild left-deep -------------------------------------------------
+    // Global column -> position in the accumulator output.
+    let mut pos: Vec<Option<usize>> = vec![None; chain.total];
+    let mut remaining_eqs = chain.eqs.clone();
+    let mut remaining_preds = chain.preds.clone();
+    let mut acc: Option<Plan> = None;
+    let mut acc_arity = 0usize;
+
+    // Each leaf is consumed exactly once (order is a permutation): take
+    // the leaves out of the chain so they move instead of cloning
+    // materialized rows (`owner` keeps borrowing chain.offsets).
+    let mut leaves = std::mem::take(&mut chain.leaves);
+    for &leaf_idx in &order {
+        let leaf = std::mem::replace(&mut leaves[leaf_idx], Plan::unit());
+        let arity = chain.arities[leaf_idx];
+        let offset = chain.offsets[leaf_idx];
+        match acc {
+            None => {
+                for c in 0..arity {
+                    pos[offset + c] = Some(c);
+                }
+                acc = Some(leaf);
+                acc_arity = arity;
+            }
+            Some(prev) => {
+                // Every equality edge with one endpoint placed and the
+                // other in this leaf becomes a hash key.
+                let mut on: Vec<(usize, usize)> = Vec::new();
+                let mut intra: Vec<(usize, usize)> = Vec::new();
+                remaining_eqs.retain(|&(a, b)| {
+                    let (oa, ca) = owner(a);
+                    let (ob, cb) = owner(b);
+                    if oa == leaf_idx && ob == leaf_idx {
+                        intra.push((ca, cb));
+                        false
+                    } else if ob == leaf_idx {
+                        if let Some(p) = pos[a] {
+                            on.push((p, cb));
+                            false
+                        } else {
+                            true
+                        }
+                    } else if oa == leaf_idx {
+                        if let Some(p) = pos[b] {
+                            on.push((p, ca));
+                            false
+                        } else {
+                            true
+                        }
+                    } else {
+                        true
+                    }
+                });
+                on.sort_unstable();
+                on.dedup();
+                // Equalities between two columns of the same leaf become a
+                // selection on the leaf itself.
+                let leaf = if intra.is_empty() {
+                    leaf
+                } else {
+                    let conj: Vec<Expr> =
+                        intra.iter().map(|&(a, b)| Expr::col_eq_col(a, b)).collect();
+                    leaf.select(join_and(conj))
+                };
+                for c in 0..arity {
+                    pos[offset + c] = Some(acc_arity + c);
+                }
+                acc = Some(Plan::Join {
+                    left: Box::new(prev),
+                    right: Box::new(leaf),
+                    on,
+                    residual: None,
+                });
+                acc_arity += arity;
+            }
+        }
+        // Attach residual predicates whose columns are all available.
+        let mut attach: Vec<Expr> = Vec::new();
+        remaining_preds.retain(|p| {
+            if cols_of(p).iter().all(|&c| pos[c].is_some()) {
+                attach.push(p.remap_cols(&|c| pos[c].expect("checked")));
+                false
+            } else {
+                true
+            }
+        });
+        if !attach.is_empty() {
+            acc = Some(
+                acc.take()
+                    .expect("accumulator built")
+                    .select(join_and(attach)),
+            );
+        }
+    }
+    debug_assert!(remaining_eqs.is_empty(), "unplaced equality edges");
+    debug_assert!(remaining_preds.is_empty(), "unplaced residual predicates");
+
+    let acc = acc.expect("n >= 2 leaves placed");
+    // Restore original column order.
+    let exprs: Vec<Expr> = (0..chain.total)
+        .map(|g| Expr::Col(pos[g].expect("all columns placed")))
+        .collect();
+    let identity = exprs
+        .iter()
+        .enumerate()
+        .all(|(i, e)| matches!(e, Expr::Col(c) if *c == i));
+    Ok(if identity { acc } else { acc.project(exprs) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::row;
+    use crate::schema::TableSchema;
+
+    /// Big `V`, small `Probe`, medium keyed `R` — enough skew that greedy
+    /// ordering matters.
+    fn db() -> Database {
+        let mut db = Database::new();
+        let v = db
+            .create_table(TableSchema::keyless("V", &["wid", "tid", "s"]))
+            .unwrap();
+        v.create_index("by_wid", &["wid"]).unwrap();
+        for i in 0..400i64 {
+            v.insert(row![i % 20, i % 100, if i % 2 == 0 { "+" } else { "-" }])
+                .unwrap();
+        }
+        let r = db
+            .create_table(TableSchema::with_key("R", &["tid", "val"]))
+            .unwrap();
+        for i in 0..100i64 {
+            r.insert(row![i, format!("v{i}").as_str()]).unwrap();
+        }
+        let probe = db
+            .create_table(TableSchema::keyless("Probe", &["w"]))
+            .unwrap();
+        probe.insert(row![3]).unwrap();
+        probe.insert(row![7]).unwrap();
+        db
+    }
+
+    fn assert_equivalent(db: &Database, original: &Plan, rewritten: &Plan) {
+        let mut a = execute(db, original).unwrap();
+        let mut b = execute(db, rewritten).unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "reorder changed semantics");
+    }
+
+    #[test]
+    fn big_join_small_gets_swapped() {
+        let db = db();
+        let catalog = StatsCatalog::snapshot(&db);
+        // V ⋈ Probe written big-first; greedy starts from Probe.
+        let original = Plan::scan("V").join(Plan::scan("Probe"), vec![(0, 0)]);
+        let reordered = reorder_joins(&db, &catalog, original.clone()).unwrap();
+        // Output column order restored by a projection.
+        let Plan::Projection { input, .. } = &reordered else {
+            panic!("expected restoring projection, got {reordered:?}");
+        };
+        let Plan::Join { left, .. } = input.as_ref() else {
+            panic!("expected join, got {input:?}");
+        };
+        assert_eq!(left.as_ref(), &Plan::scan("Probe"));
+        assert_equivalent(&db, &original, &reordered);
+    }
+
+    #[test]
+    fn three_way_chain_starts_small_and_follows_edges() {
+        let db = db();
+        let catalog = StatsCatalog::snapshot(&db);
+        // (V ⋈ R) ⋈ Probe — the greedy order should be Probe, V (indexed
+        // on wid), then R.
+        let original = Plan::scan("V")
+            .join(Plan::scan("R"), vec![(1, 0)])
+            .join(Plan::scan("Probe"), vec![(0, 0)]);
+        let reordered = reorder_joins(&db, &catalog, original.clone()).unwrap();
+        fn leftmost(p: &Plan) -> &Plan {
+            match p {
+                Plan::Join { left, .. } => leftmost(left),
+                Plan::Projection { input, .. } | Plan::Selection { input, .. } => leftmost(input),
+                other => other,
+            }
+        }
+        assert_eq!(leftmost(&reordered), &Plan::scan("Probe"));
+        assert_equivalent(&db, &original, &reordered);
+    }
+
+    #[test]
+    fn residuals_and_cross_joins_survive() {
+        let db = db();
+        let catalog = StatsCatalog::snapshot(&db);
+        let original = Plan::scan("Probe").join_where(
+            Plan::scan("R"),
+            vec![],
+            Expr::cmp(crate::expr::CmpOp::Lt, Expr::Col(0), Expr::Col(1)),
+        );
+        let reordered = reorder_joins(&db, &catalog, original.clone()).unwrap();
+        assert_equivalent(&db, &original, &reordered);
+    }
+
+    #[test]
+    fn reorder_is_deterministic() {
+        let db = db();
+        let catalog = StatsCatalog::snapshot(&db);
+        let original = Plan::scan("V")
+            .join(Plan::scan("R"), vec![(1, 0)])
+            .join(Plan::scan("Probe"), vec![(0, 0)]);
+        let a = reorder_joins(&db, &catalog, original.clone()).unwrap();
+        let b = reorder_joins(&db, &catalog, original).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nested_chains_under_barriers_reorder_too() {
+        let db = db();
+        let catalog = StatsCatalog::snapshot(&db);
+        let inner = Plan::scan("V")
+            .join(Plan::scan("Probe"), vec![(0, 0)])
+            .distinct();
+        let reordered = reorder_joins(&db, &catalog, inner.clone()).unwrap();
+        let Plan::Distinct { input } = &reordered else {
+            panic!("expected distinct, got {reordered:?}");
+        };
+        assert!(matches!(input.as_ref(), Plan::Projection { .. }));
+        assert_equivalent(&db, &inner, &reordered);
+    }
+}

@@ -1,0 +1,514 @@
+//! The statistics catalog: row counts and per-column distinct-value
+//! estimates, plus the cardinality model the rewrite rules and the join
+//! reorderer consume.
+//!
+//! Row counts and index distinct-key counts are maintained incrementally
+//! by [`Table`](crate::table::Table) on insert/delete; a snapshot records
+//! each table's mutation [`version`](crate::table::Table::version) so
+//! callers can detect staleness in O(#tables). Distinct estimates for
+//! non-indexed columns come from a bounded deterministic sample of the
+//! heap (first `SAMPLE_CAP` live rows) with the classic "every sampled
+//! value repeated ⇒ domain saturated" extrapolation.
+
+use crate::catalog::Database;
+use crate::expr::{CmpOp, Expr};
+use crate::plan::{Agg, Plan};
+use crate::row::Row;
+use crate::table::Table;
+use std::collections::{BTreeMap, HashSet};
+
+/// Rows sampled per column when no index covers it.
+const SAMPLE_CAP: usize = 512;
+
+/// Default selectivity of a range predicate (`<`, `<=`, `>`, `>=`).
+const RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// Statistics for one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Live row count (exact; maintained by insert/delete).
+    pub rows: usize,
+    /// Estimated number of distinct values per column.
+    pub distinct: Vec<f64>,
+    /// The table's mutation version at snapshot time.
+    pub version: u64,
+}
+
+impl TableStats {
+    /// Compute statistics for a table.
+    pub fn of_table(table: &Table) -> TableStats {
+        let rows = table.len();
+        let arity = table.schema().arity();
+        let mut distinct = vec![0.0f64; arity];
+
+        // Exact count for the primary key; index distinct-key counts for
+        // single-column secondary indexes (both maintained incrementally).
+        let mut resolved = vec![false; arity];
+        if let Some(kc) = table.schema().key_column() {
+            if kc < arity {
+                distinct[kc] = rows as f64;
+                resolved[kc] = true;
+            }
+        }
+        for (_, cols, keys) in table.index_stats() {
+            if let [c] = cols {
+                if !resolved[*c] {
+                    distinct[*c] = keys as f64;
+                    resolved[*c] = true;
+                }
+            }
+        }
+
+        // Deterministic bounded sample for the rest.
+        let unresolved: Vec<usize> = (0..arity).filter(|&c| !resolved[c]).collect();
+        if !unresolved.is_empty() && rows > 0 {
+            let mut seen: Vec<HashSet<&crate::value::Value>> =
+                unresolved.iter().map(|_| HashSet::new()).collect();
+            let mut sampled = 0usize;
+            for (_, row) in table.iter().take(SAMPLE_CAP) {
+                sampled += 1;
+                for (slot, &c) in unresolved.iter().enumerate() {
+                    seen[slot].insert(&row[c]);
+                }
+            }
+            for (slot, &c) in unresolved.iter().enumerate() {
+                distinct[c] = extrapolate_distinct(seen[slot].len(), sampled, rows);
+            }
+        }
+        TableStats {
+            rows,
+            distinct,
+            version: table.version(),
+        }
+    }
+}
+
+/// Scale a sampled distinct count up to the full table: if nearly every
+/// sampled row introduced a new value, assume the column is key-like and
+/// scale linearly; if values repeat heavily, assume the sample saw the
+/// whole domain.
+fn extrapolate_distinct(observed: usize, sampled: usize, rows: usize) -> f64 {
+    if sampled == 0 {
+        return 0.0;
+    }
+    let ratio = observed as f64 / sampled as f64;
+    let estimate = if ratio > 0.9 {
+        // Key-like: distinct grows with the table.
+        rows as f64 * ratio
+    } else {
+        // Repetitive: the sample likely saturated the domain.
+        observed as f64
+    };
+    estimate.clamp(1.0, rows as f64)
+}
+
+/// A point-in-time statistics snapshot over a whole database.
+#[derive(Debug, Clone, Default)]
+pub struct StatsCatalog {
+    tables: BTreeMap<String, TableStats>,
+}
+
+impl StatsCatalog {
+    /// Snapshot every table in the database.
+    pub fn snapshot(db: &Database) -> StatsCatalog {
+        let mut tables = BTreeMap::new();
+        for name in db.table_names() {
+            let t = db.table(name).expect("name from catalog");
+            tables.insert(name.to_string(), TableStats::of_table(t));
+        }
+        StatsCatalog { tables }
+    }
+
+    pub fn table(&self, name: &str) -> Option<&TableStats> {
+        self.tables.get(name)
+    }
+
+    /// Bring the snapshot up to date, recomputing only tables whose
+    /// mutation version changed (and adding/removing tables as needed).
+    /// O(#tables) when nothing changed.
+    pub fn refresh(&mut self, db: &Database) {
+        let names = db.table_names();
+        self.tables.retain(|n, _| names.contains(&n.as_str()));
+        for name in names {
+            let t = db.table(name).expect("name from catalog");
+            let fresh = !matches!(self.tables.get(name), Some(s) if s.version == t.version());
+            if fresh {
+                self.tables
+                    .insert(name.to_string(), TableStats::of_table(t));
+            }
+        }
+    }
+
+    /// True iff any table mutated (or appeared/disappeared) since the
+    /// snapshot was taken.
+    pub fn is_stale(&self, db: &Database) -> bool {
+        let names = db.table_names();
+        if names.len() != self.tables.len() {
+            return true;
+        }
+        names.iter().any(|n| match self.tables.get(*n) {
+            Some(s) => db
+                .table(n)
+                .map(|t| t.version() != s.version)
+                .unwrap_or(true),
+            None => true,
+        })
+    }
+}
+
+/// Cardinality estimate of a plan node: row count plus per-output-column
+/// distinct-value estimates (propagated so join selectivities compose).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelEstimate {
+    pub rows: f64,
+    pub distinct: Vec<f64>,
+}
+
+impl RelEstimate {
+    fn capped(mut self) -> RelEstimate {
+        for d in &mut self.distinct {
+            *d = d.max(1.0).min(self.rows.max(1.0));
+        }
+        self
+    }
+}
+
+/// Estimate the output cardinality of `plan`.
+///
+/// Unknown tables (derived relations registered elsewhere) get a small
+/// default so estimation never fails: the optimizer must behave on any
+/// plan the executor accepts.
+pub fn estimate(catalog: &StatsCatalog, plan: &Plan) -> RelEstimate {
+    match plan {
+        Plan::Scan { table } => match catalog.table(table) {
+            Some(s) => RelEstimate {
+                rows: s.rows as f64,
+                distinct: s.distinct.clone(),
+            }
+            .capped(),
+            None => RelEstimate {
+                rows: 100.0,
+                distinct: Vec::new(),
+            },
+        },
+        Plan::Values { arity, rows } => values_estimate(*arity, rows),
+        Plan::Selection { input, predicate } => {
+            let mut est = estimate(catalog, input);
+            let sel = selectivity(predicate, &est);
+            est.rows *= sel;
+            est.capped()
+        }
+        Plan::Projection { input, exprs } => {
+            let inner = estimate(catalog, input);
+            let distinct = exprs
+                .iter()
+                .map(|e| match e {
+                    Expr::Col(c) => inner.distinct.get(*c).copied().unwrap_or(inner.rows),
+                    Expr::Lit(_) => 1.0,
+                    _ => inner.rows,
+                })
+                .collect();
+            RelEstimate {
+                rows: inner.rows,
+                distinct,
+            }
+            .capped()
+        }
+        Plan::Join {
+            left,
+            right,
+            on,
+            residual,
+        } => {
+            let l = estimate(catalog, left);
+            let r = estimate(catalog, right);
+            let mut rows = l.rows * r.rows;
+            for &(lc, rc) in on {
+                let dl = l.distinct.get(lc).copied().unwrap_or(l.rows);
+                let dr = r.distinct.get(rc).copied().unwrap_or(r.rows);
+                rows /= dl.max(dr).max(1.0);
+            }
+            let mut distinct = l.distinct.clone();
+            distinct.extend(r.distinct.iter().copied());
+            let mut est = RelEstimate { rows, distinct };
+            if let Some(pred) = residual {
+                est.rows *= selectivity(pred, &est);
+            }
+            est.capped()
+        }
+        Plan::AntiJoin {
+            left, right, on, ..
+        } => {
+            let l = estimate(catalog, left);
+            let r = estimate(catalog, right);
+            // Fraction of left rows with no partner; crude but monotone in
+            // the right side's coverage of the key domain.
+            let survive = if on.is_empty() || r.rows <= 0.0 {
+                if r.rows > 0.0 {
+                    0.1
+                } else {
+                    1.0
+                }
+            } else {
+                let covered: f64 = on
+                    .iter()
+                    .map(|&(lc, rc)| {
+                        let dl = l.distinct.get(lc).copied().unwrap_or(l.rows).max(1.0);
+                        let dr = r.distinct.get(rc).copied().unwrap_or(r.rows);
+                        (dr / dl).min(1.0)
+                    })
+                    .fold(1.0, f64::min);
+                (1.0 - covered).max(0.05)
+            };
+            RelEstimate {
+                rows: l.rows * survive,
+                distinct: l.distinct,
+            }
+            .capped()
+        }
+        Plan::Distinct { input } => {
+            let inner = estimate(catalog, input);
+            let combos: f64 = inner
+                .distinct
+                .iter()
+                .fold(1.0f64, |acc, d| (acc * d.max(1.0)).min(inner.rows.max(1.0)));
+            let rows = if inner.distinct.is_empty() {
+                inner.rows.min(1.0)
+            } else {
+                inner.rows.min(combos)
+            };
+            RelEstimate {
+                rows,
+                distinct: inner.distinct,
+            }
+            .capped()
+        }
+        Plan::Union { inputs } => {
+            let mut rows = 0.0;
+            let mut distinct: Vec<f64> = Vec::new();
+            for p in inputs {
+                let e = estimate(catalog, p);
+                rows += e.rows;
+                if distinct.is_empty() {
+                    distinct = e.distinct;
+                } else {
+                    for (a, b) in distinct.iter_mut().zip(e.distinct) {
+                        *a += b;
+                    }
+                }
+            }
+            RelEstimate { rows, distinct }.capped()
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let inner = estimate(catalog, input);
+            let groups: f64 = group_by
+                .iter()
+                .map(|&g| inner.distinct.get(g).copied().unwrap_or(inner.rows))
+                .fold(1.0f64, |acc, d| (acc * d.max(1.0)).min(inner.rows.max(1.0)));
+            let rows = if group_by.is_empty() { 1.0 } else { groups };
+            let mut distinct: Vec<f64> = group_by
+                .iter()
+                .map(|&g| inner.distinct.get(g).copied().unwrap_or(rows))
+                .collect();
+            distinct.extend(aggs.iter().map(|a| match a {
+                Agg::Count => rows,
+                Agg::Max(c) | Agg::Min(c) => inner.distinct.get(*c).copied().unwrap_or(rows),
+            }));
+            RelEstimate { rows, distinct }.capped()
+        }
+        Plan::Sort { input, .. } => estimate(catalog, input),
+        Plan::Limit { input, n } => {
+            let inner = estimate(catalog, input);
+            RelEstimate {
+                rows: inner.rows.min(*n as f64),
+                distinct: inner.distinct,
+            }
+            .capped()
+        }
+    }
+}
+
+/// Sampled statistics for a literal relation (bounded work per call —
+/// temp tables can hold thousands of materialized rows and `estimate`
+/// runs on the query path).
+fn values_estimate(arity: usize, rows: &[Row]) -> RelEstimate {
+    let mut distinct = vec![0.0f64; arity];
+    if !rows.is_empty() {
+        let cap = rows.len().min(SAMPLE_CAP);
+        for (c, d) in distinct.iter_mut().enumerate() {
+            let seen: HashSet<_> = rows[..cap].iter().map(|r| &r[c]).collect();
+            *d = extrapolate_distinct(seen.len(), cap, rows.len());
+        }
+    }
+    RelEstimate {
+        rows: rows.len() as f64,
+        distinct,
+    }
+    .capped()
+}
+
+/// Estimated fraction of rows satisfying `pred`, given the input estimate.
+pub fn selectivity(pred: &Expr, input: &RelEstimate) -> f64 {
+    match pred {
+        Expr::Lit(v) => match v {
+            crate::value::Value::Bool(true) => 1.0,
+            crate::value::Value::Bool(false) => 0.0,
+            _ => 1.0,
+        },
+        Expr::Col(_) => 0.5,
+        Expr::Cmp(op, a, b) => {
+            let eq = match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(c), Expr::Lit(_)) | (Expr::Lit(_), Expr::Col(c)) => {
+                    1.0 / input.distinct.get(*c).copied().unwrap_or(10.0).max(1.0)
+                }
+                (Expr::Col(c1), Expr::Col(c2)) => {
+                    let d1 = input.distinct.get(*c1).copied().unwrap_or(10.0);
+                    let d2 = input.distinct.get(*c2).copied().unwrap_or(10.0);
+                    1.0 / d1.max(d2).max(1.0)
+                }
+                _ => 0.1,
+            };
+            match op {
+                CmpOp::Eq => eq,
+                CmpOp::Ne => (1.0 - eq).max(0.0),
+                _ => RANGE_SELECTIVITY,
+            }
+        }
+        Expr::And(parts) => parts.iter().map(|p| selectivity(p, input)).product(),
+        Expr::Or(parts) => {
+            let miss: f64 = parts.iter().map(|p| 1.0 - selectivity(p, input)).product();
+            (1.0 - miss).clamp(0.0, 1.0)
+        }
+        Expr::Not(inner) => (1.0 - selectivity(inner, input)).clamp(0.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::TableSchema;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        let v = db
+            .create_table(TableSchema::keyless("V", &["wid", "tid", "s"]))
+            .unwrap();
+        v.create_index("by_wid", &["wid"]).unwrap();
+        for i in 0..200i64 {
+            v.insert(row![i % 10, i, if i % 2 == 0 { "+" } else { "-" }])
+                .unwrap();
+        }
+        let r = db
+            .create_table(TableSchema::with_key("R", &["tid", "val"]))
+            .unwrap();
+        for i in 0..50i64 {
+            r.insert(row![i, format!("v{}", i % 5).as_str()]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn snapshot_uses_incremental_counters() {
+        let db = sample_db();
+        let cat = StatsCatalog::snapshot(&db);
+        let v = cat.table("V").unwrap();
+        assert_eq!(v.rows, 200);
+        // wid is covered by a single-column index: exact distinct count.
+        assert_eq!(v.distinct[0], 10.0);
+        // tid is key-like: sampled estimate should be near the row count.
+        assert!(v.distinct[1] > 100.0, "tid distinct {}", v.distinct[1]);
+        // s has two values: the sample saturates the domain.
+        assert!(v.distinct[2] <= 4.0, "s distinct {}", v.distinct[2]);
+        let r = cat.table("R").unwrap();
+        // Primary key: exact.
+        assert_eq!(r.distinct[0], 50.0);
+    }
+
+    #[test]
+    fn staleness_tracks_table_versions() {
+        let mut db = sample_db();
+        let cat = StatsCatalog::snapshot(&db);
+        assert!(!cat.is_stale(&db));
+        db.table_mut("R").unwrap().insert(row![99i64, "x"]).unwrap();
+        assert!(cat.is_stale(&db));
+    }
+
+    #[test]
+    fn create_index_invalidates_snapshot() {
+        let mut db = sample_db();
+        let mut cat = StatsCatalog::snapshot(&db);
+        // Column 2 of R ("val") has 5 distinct values but is estimated by
+        // sampling; creating an index makes the count exact — the snapshot
+        // must notice.
+        db.table_mut("R")
+            .unwrap()
+            .create_index("by_val", &["val"])
+            .unwrap();
+        assert!(cat.is_stale(&db));
+        cat.refresh(&db);
+        assert_eq!(cat.table("R").unwrap().distinct[1], 5.0);
+    }
+
+    #[test]
+    fn selection_estimate_shrinks_by_selectivity() {
+        let db = sample_db();
+        let cat = StatsCatalog::snapshot(&db);
+        let scan = Plan::scan("V");
+        let full = estimate(&cat, &scan);
+        assert_eq!(full.rows, 200.0);
+        let sel = scan.select(Expr::col_eq_lit(0, 3i64));
+        let est = estimate(&cat, &sel);
+        assert!((est.rows - 20.0).abs() < 1.0, "estimated {}", est.rows);
+    }
+
+    #[test]
+    fn join_estimate_uses_distinct_counts() {
+        let db = sample_db();
+        let cat = StatsCatalog::snapshot(&db);
+        // V ⋈ R on tid = R.tid: tid is key-like on both sides, so the join
+        // should estimate ≈ |V| matches at most.
+        let plan = Plan::scan("V").join(Plan::scan("R"), vec![(1, 0)]);
+        let est = estimate(&cat, &plan);
+        assert!(est.rows <= 210.0, "estimated {}", est.rows);
+        assert!(est.rows >= 10.0, "estimated {}", est.rows);
+        assert_eq!(est.distinct.len(), 5);
+    }
+
+    #[test]
+    fn union_and_limit_estimates() {
+        let db = sample_db();
+        let cat = StatsCatalog::snapshot(&db);
+        let u = Plan::Union {
+            inputs: vec![Plan::scan("R"), Plan::scan("R")],
+        };
+        assert_eq!(estimate(&cat, &u).rows, 100.0);
+        let l = Plan::scan("R").limit(7);
+        assert_eq!(estimate(&cat, &l).rows, 7.0);
+    }
+
+    #[test]
+    fn unknown_relation_gets_default() {
+        let cat = StatsCatalog::default();
+        let est = estimate(&cat, &Plan::scan("Ghost"));
+        assert!(est.rows > 0.0);
+    }
+
+    #[test]
+    fn selectivity_composes() {
+        let input = RelEstimate {
+            rows: 100.0,
+            distinct: vec![10.0, 2.0],
+        };
+        let eq = Expr::col_eq_lit(0, 1i64);
+        assert!((selectivity(&eq, &input) - 0.1).abs() < 1e-9);
+        let both = Expr::and(vec![eq.clone(), Expr::col_eq_lit(1, "x")]);
+        assert!((selectivity(&both, &input) - 0.05).abs() < 1e-9);
+        let either = Expr::or(vec![eq, Expr::col_eq_lit(1, "x")]);
+        assert!(selectivity(&either, &input) > 0.5);
+    }
+}

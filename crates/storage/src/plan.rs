@@ -54,7 +54,11 @@ pub enum Plan {
     /// Bag union of plans with identical arity.
     Union { inputs: Vec<Plan> },
     /// Hash aggregation. Output row = group-by columns ++ aggregate values.
-    Aggregate { input: Box<Plan>, group_by: Vec<usize>, aggs: Vec<Agg> },
+    Aggregate {
+        input: Box<Plan>,
+        group_by: Vec<usize>,
+        aggs: Vec<Agg>,
+    },
     /// A literal relation.
     Values { arity: usize, rows: Vec<Row> },
     /// Sort by the given columns ascending (deterministic output for tests
@@ -66,15 +70,23 @@ pub enum Plan {
 
 impl Plan {
     pub fn scan(table: impl Into<String>) -> Plan {
-        Plan::Scan { table: table.into() }
+        Plan::Scan {
+            table: table.into(),
+        }
     }
 
     pub fn select(self, predicate: Expr) -> Plan {
-        Plan::Selection { input: Box::new(self), predicate }
+        Plan::Selection {
+            input: Box::new(self),
+            predicate,
+        }
     }
 
     pub fn project(self, exprs: Vec<Expr>) -> Plan {
-        Plan::Projection { input: Box::new(self), exprs }
+        Plan::Projection {
+            input: Box::new(self),
+            exprs,
+        }
     }
 
     /// Convenience: projection by column positions.
@@ -83,7 +95,12 @@ impl Plan {
     }
 
     pub fn join(self, right: Plan, on: Vec<(usize, usize)>) -> Plan {
-        Plan::Join { left: Box::new(self), right: Box::new(right), on, residual: None }
+        Plan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+            residual: None,
+        }
     }
 
     pub fn join_where(self, right: Plan, on: Vec<(usize, usize)>, residual: Expr) -> Plan {
@@ -96,24 +113,40 @@ impl Plan {
     }
 
     pub fn anti_join(self, right: Plan, on: Vec<(usize, usize)>) -> Plan {
-        Plan::AntiJoin { left: Box::new(self), right: Box::new(right), on, residual: None }
+        Plan::AntiJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+            residual: None,
+        }
     }
 
     pub fn distinct(self) -> Plan {
-        Plan::Distinct { input: Box::new(self) }
+        Plan::Distinct {
+            input: Box::new(self),
+        }
     }
 
     pub fn sort(self, by: Vec<usize>) -> Plan {
-        Plan::Sort { input: Box::new(self), by }
+        Plan::Sort {
+            input: Box::new(self),
+            by,
+        }
     }
 
     pub fn limit(self, n: usize) -> Plan {
-        Plan::Limit { input: Box::new(self), n }
+        Plan::Limit {
+            input: Box::new(self),
+            n,
+        }
     }
 
     /// Single-row, zero-column relation — the unit for join chains.
     pub fn unit() -> Plan {
-        Plan::Values { arity: 0, rows: vec![Row::new(vec![])] }
+        Plan::Values {
+            arity: 0,
+            rows: vec![Row::new(vec![])],
+        }
     }
 
     /// Number of output columns, validated against the catalog.
@@ -144,7 +177,12 @@ impl Plan {
                 }
                 Ok(exprs.len())
             }
-            Plan::Join { left, right, on, residual } => {
+            Plan::Join {
+                left,
+                right,
+                on,
+                residual,
+            } => {
                 let la = left.arity(db)?;
                 let ra = right.arity(db)?;
                 for &(l, r) in on {
@@ -164,7 +202,12 @@ impl Plan {
                 }
                 Ok(la + ra)
             }
-            Plan::AntiJoin { left, right, on, residual } => {
+            Plan::AntiJoin {
+                left,
+                right,
+                on,
+                residual,
+            } => {
                 let la = left.arity(db)?;
                 let ra = right.arity(db)?;
                 for &(l, r) in on {
@@ -197,7 +240,11 @@ impl Plan {
                 }
                 Ok(a)
             }
-            Plan::Aggregate { input, group_by, aggs } => {
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let a = input.arity(db)?;
                 for &g in group_by {
                     if g >= a {
@@ -252,8 +299,10 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.create_table(TableSchema::with_key("Users", &["uid", "name"])).unwrap();
-        db.create_table(TableSchema::keyless("E", &["w1", "u", "w2"])).unwrap();
+        db.create_table(TableSchema::with_key("Users", &["uid", "name"]))
+            .unwrap();
+        db.create_table(TableSchema::keyless("E", &["w1", "u", "w2"]))
+            .unwrap();
         db
     }
 
@@ -280,17 +329,11 @@ mod tests {
         let db = db();
         let bad = Plan::scan("Users").join(Plan::scan("E"), vec![(2, 0)]);
         assert!(bad.arity(&db).is_err());
-        let bad = Plan::scan("Users").join_where(
-            Plan::scan("E"),
-            vec![(0, 1)],
-            Expr::col_eq_lit(7, 1),
-        );
+        let bad =
+            Plan::scan("Users").join_where(Plan::scan("E"), vec![(0, 1)], Expr::col_eq_lit(7, 1));
         assert!(bad.arity(&db).is_err());
-        let ok = Plan::scan("Users").join_where(
-            Plan::scan("E"),
-            vec![(0, 1)],
-            Expr::col_eq_lit(4, 1),
-        );
+        let ok =
+            Plan::scan("Users").join_where(Plan::scan("E"), vec![(0, 1)], Expr::col_eq_lit(4, 1));
         assert_eq!(ok.arity(&db).unwrap(), 5);
     }
 
@@ -304,9 +347,13 @@ mod tests {
     #[test]
     fn union_checks_arity() {
         let db = db();
-        let ok = Plan::Union { inputs: vec![Plan::scan("Users"), Plan::scan("Users")] };
+        let ok = Plan::Union {
+            inputs: vec![Plan::scan("Users"), Plan::scan("Users")],
+        };
         assert_eq!(ok.arity(&db).unwrap(), 2);
-        let bad = Plan::Union { inputs: vec![Plan::scan("Users"), Plan::scan("E")] };
+        let bad = Plan::Union {
+            inputs: vec![Plan::scan("Users"), Plan::scan("E")],
+        };
         assert!(bad.arity(&db).is_err());
         let empty = Plan::Union { inputs: vec![] };
         assert!(empty.arity(&db).is_err());
@@ -332,9 +379,15 @@ mod tests {
     #[test]
     fn values_validates_rows() {
         let db = db();
-        let ok = Plan::Values { arity: 2, rows: vec![row![1, 2]] };
+        let ok = Plan::Values {
+            arity: 2,
+            rows: vec![row![1, 2]],
+        };
         assert_eq!(ok.arity(&db).unwrap(), 2);
-        let bad = Plan::Values { arity: 2, rows: vec![row![1]] };
+        let bad = Plan::Values {
+            arity: 2,
+            rows: vec![row![1]],
+        };
         assert!(bad.arity(&db).is_err());
     }
 

@@ -24,9 +24,10 @@ impl Row {
 
     /// Borrow the value at `idx`, or an error if out of range.
     pub fn get(&self, idx: usize) -> Result<&Value> {
-        self.0
-            .get(idx)
-            .ok_or(StorageError::ColumnOutOfRange { index: idx, arity: self.0.len() })
+        self.0.get(idx).ok_or(StorageError::ColumnOutOfRange {
+            index: idx,
+            arity: self.0.len(),
+        })
     }
 
     /// Borrow all values.
@@ -104,7 +105,11 @@ mod tests {
     use super::*;
 
     fn sample() -> Row {
-        Row::new(vec![Value::str("s1"), Value::str("Carol"), Value::int(2008)])
+        Row::new(vec![
+            Value::str("s1"),
+            Value::str("Carol"),
+            Value::int(2008),
+        ])
     }
 
     #[test]
@@ -113,14 +118,20 @@ mod tests {
         assert_eq!(r.arity(), 3);
         assert_eq!(r.get(0).unwrap(), &Value::str("s1"));
         assert_eq!(r.get(2).unwrap(), &Value::int(2008));
-        assert!(matches!(r.get(3), Err(StorageError::ColumnOutOfRange { index: 3, arity: 3 })));
+        assert!(matches!(
+            r.get(3),
+            Err(StorageError::ColumnOutOfRange { index: 3, arity: 3 })
+        ));
     }
 
     #[test]
     fn project_reorders_and_duplicates() {
         let r = sample();
         let p = r.project(&[2, 0, 0]).unwrap();
-        assert_eq!(p, Row::new(vec![Value::int(2008), Value::str("s1"), Value::str("s1")]));
+        assert_eq!(
+            p,
+            Row::new(vec![Value::int(2008), Value::str("s1"), Value::str("s1")])
+        );
         assert!(r.project(&[5]).is_err());
     }
 

@@ -51,7 +51,10 @@ impl TableSchema {
 
     fn build(name: impl Into<String>, columns: &[&str], key_mode: KeyMode) -> Self {
         let name = name.into();
-        assert!(!columns.is_empty(), "table `{name}` must have at least one column");
+        assert!(
+            !columns.is_empty(),
+            "table `{name}` must have at least one column"
+        );
         TableSchema {
             name,
             columns: columns.iter().map(|c| ColumnDef::new(*c)).collect(),

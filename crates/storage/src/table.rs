@@ -17,11 +17,21 @@ pub struct Table {
     live: usize,
     pk: HashMap<Value, RowId>,
     indexes: Vec<Index>,
+    /// Bumped on every insert/delete; lets the optimizer's statistics
+    /// catalog detect stale snapshots without rescanning.
+    version: u64,
 }
 
 impl Table {
     pub fn new(schema: TableSchema) -> Self {
-        Table { schema, rows: Vec::new(), live: 0, pk: HashMap::new(), indexes: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+            live: 0,
+            pk: HashMap::new(),
+            indexes: Vec::new(),
+            version: 0,
+        }
     }
 
     pub fn schema(&self) -> &TableSchema {
@@ -56,6 +66,9 @@ impl Table {
             }
         }
         self.indexes.push(idx);
+        // A new index changes the statistics surface (exact distinct-key
+        // counts become available): invalidate cached stats snapshots.
+        self.version += 1;
         Ok(())
     }
 
@@ -90,6 +103,7 @@ impl Table {
         }
         self.rows.push(Some(row));
         self.live += 1;
+        self.version += 1;
         Ok(rid)
     }
 
@@ -98,15 +112,18 @@ impl Table {
         self.rows
             .get(rid)
             .and_then(|s| s.as_ref())
-            .ok_or(StorageError::InvalidRowId { table: self.schema.name().to_string(), row_id: rid })
+            .ok_or(StorageError::InvalidRowId {
+                table: self.schema.name().to_string(),
+                row_id: rid,
+            })
     }
 
     /// Delete a row by id, returning it.
     pub fn delete(&mut self, rid: RowId) -> Result<Row> {
-        let slot = self
-            .rows
-            .get_mut(rid)
-            .ok_or(StorageError::InvalidRowId { table: self.schema.name().to_string(), row_id: rid })?;
+        let slot = self.rows.get_mut(rid).ok_or(StorageError::InvalidRowId {
+            table: self.schema.name().to_string(),
+            row_id: rid,
+        })?;
         let row = slot.take().ok_or(StorageError::InvalidRowId {
             table: self.schema.name().to_string(),
             row_id: rid,
@@ -118,6 +135,7 @@ impl Table {
             idx.remove(&row, rid)?;
         }
         self.live -= 1;
+        self.version += 1;
         Ok(row)
     }
 
@@ -217,6 +235,22 @@ impl Table {
             .map(|i| i.name())
     }
 
+    /// Monotone mutation counter (insert/delete), used by the optimizer's
+    /// statistics catalog to detect stale snapshots.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Per-index statistics: `(name, columns, distinct keys)`. Distinct-key
+    /// counts are maintained incrementally by insert/delete, so this is
+    /// O(#indexes).
+    pub fn index_stats(&self) -> Vec<(&str, &[usize], usize)> {
+        self.indexes
+            .iter()
+            .map(|i| (i.name(), i.columns(), i.distinct_keys()))
+            .collect()
+    }
+
     /// Find an index over exactly this *set* of columns (order-insensitive).
     /// Returns the index name and its column order, which callers must use
     /// when assembling lookup keys.
@@ -276,7 +310,11 @@ mod tests {
         let mut t = users();
         assert!(matches!(
             t.insert(row![4]),
-            Err(StorageError::ArityMismatch { expected: 2, got: 1, .. })
+            Err(StorageError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
     }
 
@@ -291,7 +329,10 @@ mod tests {
         assert!(t.get_by_key(&Value::int(2)).is_none());
         // key can be reused after delete
         t.insert(row![2, "Bobby"]).unwrap();
-        assert_eq!(t.get_by_key(&Value::int(2)).unwrap()[1], Value::str("Bobby"));
+        assert_eq!(
+            t.get_by_key(&Value::int(2)).unwrap()[1],
+            Value::str("Bobby")
+        );
     }
 
     #[test]

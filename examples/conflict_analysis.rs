@@ -25,14 +25,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r = bdms.schema().relation_id("R")?;
 
     // Ana classifies three samples.
-    for (s, c, o) in [("a", "fungus", "soil"), ("b", "moss", "rock"), ("c", "lichen", "bark")] {
+    for (s, c, o) in [
+        ("a", "fungus", "soil"),
+        ("b", "moss", "rock"),
+        ("c", "lichen", "bark"),
+    ] {
         bdms.insert(BeliefPath::user(ana), r, row![s, c, o], Sign::Pos)?;
     }
     // Ben re-classifies sample a's origin and disputes c entirely.
-    bdms.insert(BeliefPath::user(ben), r, row!["a", "fungus", "bark"], Sign::Pos)?;
-    bdms.insert(BeliefPath::user(ben), r, row!["c", "lichen", "bark"], Sign::Neg)?;
+    bdms.insert(
+        BeliefPath::user(ben),
+        r,
+        row!["a", "fungus", "bark"],
+        Sign::Pos,
+    )?;
+    bdms.insert(
+        BeliefPath::user(ben),
+        r,
+        row!["c", "lichen", "bark"],
+        Sign::Neg,
+    )?;
     // Cleo agrees with Ana on b (default) but thinks a is a different category.
-    bdms.insert(BeliefPath::user(cleo), r, row!["a", "mold", "soil"], Sign::Pos)?;
+    bdms.insert(
+        BeliefPath::user(cleo),
+        r,
+        row!["a", "mold", "soil"],
+        Sign::Pos,
+    )?;
 
     // Example 18: disputed samples — q(x, y, z) :- [y]R+(x,u,v), [z]R−(x,u,v).
     let disputed = Bcq::builder(vec![qv("x"), qv("y"), qv("z")])
@@ -45,9 +64,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Show the Algorithm 1 translation (non-recursive Datalog).
     let translated = bdms.translate(&disputed)?;
-    println!("Algorithm 1 produces {} Datalog rules:", translated.program.rules.len());
+    println!(
+        "Algorithm 1 produces {} Datalog rules:",
+        translated.program.rules.len()
+    );
     for rule in &translated.program.rules {
-        println!("  {} :- {} body literals", rule.head.relation, rule.body.len());
+        println!(
+            "  {} :- {} body literals",
+            rule.head.relation,
+            rule.body.len()
+        );
     }
     println!();
 
@@ -58,13 +84,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("disputed samples (sample, believer, disbeliever):");
     for row in &via_translation {
-        let believer = bdms.user_name(beliefdb::core::UserId(
-            row[1].as_int().unwrap() as u32
-        ))?;
-        let disbeliever = bdms.user_name(beliefdb::core::UserId(
-            row[2].as_int().unwrap() as u32
-        ))?;
-        println!("  sample {:<2} believed by {believer:<5} disputed by {disbeliever}", row[0]);
+        let believer = bdms.user_name(beliefdb::core::UserId(row[1].as_int().unwrap() as u32))?;
+        let disbeliever =
+            bdms.user_name(beliefdb::core::UserId(row[2].as_int().unwrap() as u32))?;
+        println!(
+            "  sample {:<2} believed by {believer:<5} disputed by {disbeliever}",
+            row[0]
+        );
     }
 
     // Agreement analysis: pairs of users believing the same tuple.
@@ -103,7 +129,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 BeliefPath::user(u),
                 t,
             ))?;
-            print!("{:>6}", if pos { "+" } else if neg { "-" } else { "?" });
+            print!(
+                "{:>6}",
+                if pos {
+                    "+"
+                } else if neg {
+                    "-"
+                } else {
+                    "?"
+                }
+            );
         }
         println!();
     }

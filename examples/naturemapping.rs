@@ -21,7 +21,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = Session::new(schema)?;
 
     // The curation team and two volunteers.
-    for name in ["Prof_Dvorak", "Grad_Gail", "Tech_Tom", "Vol_Vera", "Vol_Victor"] {
+    for name in [
+        "Prof_Dvorak",
+        "Grad_Gail",
+        "Tech_Tom",
+        "Vol_Vera",
+        "Vol_Victor",
+    ] {
         session.add_user(name)?;
     }
 
@@ -78,8 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              where U.name = '{expert}' and S.sid = 'r2'"
         );
         let result = session.query(&q)?;
-        let species: Vec<String> =
-            result.rows().iter().map(|r| r[0].to_string()).collect();
+        let species: Vec<String> = result.rows().iter().map(|r| r[0].to_string()).collect();
         println!("  {expert:<12} believes r2 is: {}", species.join(", "));
     }
 
@@ -96,9 +101,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}\n", session.query(consensus)?);
 
     println!("== 6. Gail retracts her doubt about the golden eagle ==\n");
-    session.execute(
-        "delete from BELIEF 'Grad_Gail' not Sightings where sid = 'r4'",
-    )?;
+    session.execute("delete from BELIEF 'Grad_Gail' not Sightings where sid = 'r4'")?;
     let gail = "select S.species from Users as U, BELIEF U.uid Sightings as S \
                 where U.name = 'Grad_Gail' and S.sid = 'r4'";
     println!("> {gail}   -- the default belief returns");

@@ -72,7 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Internal representation sizes (Fig. 5's tables).
     let stats = session.bdms().stats();
-    println!("internal representation: {} tuples across {} tables, {} belief worlds",
+    println!(
+        "internal representation: {} tuples across {} tables, {} belief worlds",
         stats.total_tuples,
         stats.per_table.len(),
         stats.worlds,

@@ -50,11 +50,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     println!("  \\user <name>   register a user");
                     println!("  \\stats         internal representation sizes");
                     println!("  \\worlds        list belief worlds");
-                    println!("  \\explain <q>   show the BCQ + Datalog translation of a SELECT");
+                    println!(
+                        "  \\explain <q>   show the BCQ + Datalog translation + physical plans"
+                    );
                     println!("  \\quit          exit");
                     println!("  anything else is BeliefSQL, e.g.:");
                     println!("    insert into BELIEF 'Bob' not Sightings values (...)");
-                    println!("    select U.name, S.species from Users as U, BELIEF U.uid Sightings as S");
+                    println!(
+                        "    select U.name, S.species from Users as U, BELIEF U.uid Sightings as S"
+                    );
+                    println!("    explain select S.species from BELIEF 'Bob' Sightings as S");
                 }
                 Some("user") => match parts.next() {
                     Some(name) => match session.add_user(name) {

@@ -16,7 +16,10 @@ use beliefdb::gen::{generate_logical, DepthDist, GeneratorConfig, Participation}
 fn workloads() -> Vec<GeneratorConfig> {
     let mut out = Vec::new();
     for (users, n) in [(2usize, 60usize), (3, 120), (5, 200)] {
-        for depth in [DepthDist::uniform_012(), DepthDist::new(&[0.2, 0.4, 0.3, 0.1])] {
+        for depth in [
+            DepthDist::uniform_012(),
+            DepthDist::new(&[0.2, 0.4, 0.3, 0.1]),
+        ] {
             for participation in [Participation::Uniform, Participation::paper_zipf()] {
                 out.push(
                     GeneratorConfig::new(users, n)
@@ -135,7 +138,11 @@ fn query_shapes(schema: &beliefdb::core::ExternalSchema) -> Vec<Bcq> {
             .unwrap(),
         // content at depth 1, variable path
         Bcq::builder(vec![qv("x"), qv("a")])
-            .positive(vec![pv("x")], s, vec![qv("a"), qany(), qany(), qany(), qany()])
+            .positive(
+                vec![pv("x")],
+                s,
+                vec![qv("a"), qany(), qany(), qany(), qany()],
+            )
             .build(schema)
             .unwrap(),
         // depth-2 constant path
@@ -161,15 +168,27 @@ fn query_shapes(schema: &beliefdb::core::ExternalSchema) -> Vec<Bcq> {
             .unwrap(),
         // two variable paths + inequality predicate
         Bcq::builder(vec![qv("x"), qv("y"), qv("c"), qv("c2")])
-            .positive(vec![pv("x")], s, vec![qv("a"), qany(), qv("c"), qany(), qany()])
-            .positive(vec![pv("y")], s, vec![qv("a"), qany(), qv("c2"), qany(), qany()])
+            .positive(
+                vec![pv("x")],
+                s,
+                vec![qv("a"), qany(), qv("c"), qany(), qany()],
+            )
+            .positive(
+                vec![pv("y")],
+                s,
+                vec![qv("a"), qany(), qv("c2"), qany(), qany()],
+            )
             .pred(qv("c"), beliefdb::storage::CmpOp::Ne, qv("c2"))
             .build(schema)
             .unwrap(),
         // catalog atom binding the path variable
         Bcq::builder(vec![qv("n"), qv("a")])
             .user(qv("x"), qv("n"))
-            .positive(vec![pv("x")], s, vec![qv("a"), qany(), qany(), qany(), qany()])
+            .positive(
+                vec![pv("x")],
+                s,
+                vec![qv("a"), qany(), qany(), qany(), qany()],
+            )
             .build(schema)
             .unwrap(),
     ]
@@ -203,7 +222,10 @@ fn deletes_agree_with_reclosure() {
         let mut bdms = Bdms::from_belief_database(&db).unwrap();
         let stmts = db.statements();
         for stmt in stmts.iter().step_by(3) {
-            assert!(bdms.delete_statement(stmt).unwrap(), "store delete of {stmt}");
+            assert!(
+                bdms.delete_statement(stmt).unwrap(),
+                "store delete of {stmt}"
+            );
             assert!(db.remove(stmt), "logical delete of {stmt}");
         }
         let mut cl = Closure::new(&db);
@@ -236,7 +258,13 @@ fn reinserting_deleted_statements_restores_the_database() {
     for stmt in stmts.iter().step_by(2) {
         assert!(bdms.delete_statement(stmt).unwrap());
     }
-    for stmt in stmts.iter().step_by(2).collect::<Vec<_>>().into_iter().rev() {
+    for stmt in stmts
+        .iter()
+        .step_by(2)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+    {
         assert!(bdms.insert_statement(stmt).unwrap().accepted());
     }
     let roundtrip = bdms.to_belief_database().unwrap();

@@ -61,7 +61,11 @@ fn lazy_and_eager_agree_on_queries() {
         let all = vec![qv("a"), qv("b"), qv("c"), qv("d"), qv("e")];
         let queries = [
             Bcq::builder(vec![qv("x"), qv("a")])
-                .positive(vec![pv("x")], s, vec![qv("a"), qany(), qany(), qany(), qany()])
+                .positive(
+                    vec![pv("x")],
+                    s,
+                    vec![qv("a"), qany(), qany(), qany(), qany()],
+                )
                 .build(db.schema())
                 .unwrap(),
             Bcq::builder(vec![qv("x")])
@@ -84,7 +88,9 @@ fn lazy_and_eager_agree_on_queries() {
 fn lazy_and_eager_accept_the_same_statements() {
     // Feed the identical raw candidate stream (including inconsistent
     // candidates) to both; every outcome must match.
-    let cfg = GeneratorConfig::new(4, 200).with_seed(31).with_negative_rate(0.4);
+    let cfg = GeneratorConfig::new(4, 200)
+        .with_seed(31)
+        .with_negative_rate(0.4);
     let mut stream = CandidateStream::new(&cfg);
     let mut eager = Bdms::new(beliefdb::gen::experiment_schema()).unwrap();
     let mut lazy = LazyBdms::new(beliefdb::gen::experiment_schema());

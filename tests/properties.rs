@@ -321,10 +321,10 @@ proptest! {
             if *is_delete {
                 let _ = bdms.delete_statement(stmt).unwrap();
                 shadow.retain(|s| s != stmt);
-            } else if bdms.insert_statement(stmt).unwrap().accepted() {
-                if !shadow.contains(stmt) {
-                    shadow.push(stmt.clone());
-                }
+            } else if bdms.insert_statement(stmt).unwrap().accepted()
+                && !shadow.contains(stmt)
+            {
+                shadow.push(stmt.clone());
             }
         }
         // Rebuild the logical database from the shadow and compare worlds.

@@ -46,13 +46,14 @@ fn arb_subgoal() -> impl Strategy<Value = Subgoal> {
     )
         .prop_flat_map(|(path, negative)| {
             let sign = if negative { Sign::Neg } else { Sign::Pos };
-            proptest::collection::vec(arb_query_term(sign == Sign::Pos), ARITY..=ARITY)
-                .prop_map(move |args| Subgoal {
+            proptest::collection::vec(arb_query_term(sign == Sign::Pos), ARITY..=ARITY).prop_map(
+                move |args| Subgoal {
                     path: path.clone(),
                     sign,
                     rel: beliefdb::core::RelId(0),
                     args,
-                })
+                },
+            )
         })
 }
 
@@ -75,7 +76,12 @@ fn arb_query() -> impl Strategy<Value = Bcq> {
                 .into_iter()
                 .map(|i| QueryTerm::var(var_pool()[i]))
                 .collect();
-            Bcq { head, subgoals, predicates, user_atoms: Vec::new() }
+            Bcq {
+                head,
+                subgoals,
+                predicates,
+                user_atoms: Vec::new(),
+            }
         })
 }
 
@@ -133,7 +139,13 @@ fn pinned_adversarial_queries() {
                 path: vec![PathElem::var("x")],
                 sign: Sign::Pos,
                 rel: s,
-                args: vec![v("a"), v("x"), QueryTerm::Any, QueryTerm::Any, QueryTerm::Any],
+                args: vec![
+                    v("a"),
+                    v("x"),
+                    QueryTerm::Any,
+                    QueryTerm::Any,
+                    QueryTerm::Any,
+                ],
             }],
             predicates: vec![],
             user_atoms: vec![],
@@ -145,7 +157,13 @@ fn pinned_adversarial_queries() {
                 path: vec![],
                 sign: Sign::Pos,
                 rel: s,
-                args: vec![v("a"), QueryTerm::Any, v("a"), QueryTerm::Any, QueryTerm::Any],
+                args: vec![
+                    v("a"),
+                    QueryTerm::Any,
+                    v("a"),
+                    QueryTerm::Any,
+                    QueryTerm::Any,
+                ],
             }],
             predicates: vec![],
             user_atoms: vec![],
@@ -180,7 +198,13 @@ fn pinned_adversarial_queries() {
                     path: vec![PathElem::var("x")],
                     sign: Sign::Pos,
                     rel: s,
-                    args: vec![v("a"), QueryTerm::Any, QueryTerm::Any, QueryTerm::Any, QueryTerm::Any],
+                    args: vec![
+                        v("a"),
+                        QueryTerm::Any,
+                        QueryTerm::Any,
+                        QueryTerm::Any,
+                        QueryTerm::Any,
+                    ],
                 },
                 Subgoal {
                     path: vec![PathElem::var("x")],

@@ -28,7 +28,10 @@ fn relational_dss(bdms: &Bdms, path: &BeliefPath) -> Wid {
         let mut prev = dsl::c(0i64);
         for (j, u) in suffix.users().iter().enumerate() {
             let next = dsl::v(&format!("z{j}"));
-            body.push(dsl::pos(E_TABLE, vec![prev.clone(), dsl::c(u.value()), next.clone()]));
+            body.push(dsl::pos(
+                E_TABLE,
+                vec![prev.clone(), dsl::c(u.value()), next.clone()],
+            ));
             prev = next;
         }
         body.push(dsl::pos(D_TABLE, vec![prev.clone(), dsl::v("y")]));
@@ -112,7 +115,13 @@ fn world_contents_via_pure_relational_walk() {
                     dsl::pos(E_TABLE, vec![dsl::v("z1"), dsl::c(v.value()), dsl::v("z2")]),
                     dsl::pos(
                         "V__S",
-                        vec![dsl::v("z2"), dsl::v("t"), dsl::any(), dsl::v("s"), dsl::any()],
+                        vec![
+                            dsl::v("z2"),
+                            dsl::v("t"),
+                            dsl::any(),
+                            dsl::v("s"),
+                            dsl::any(),
+                        ],
                     ),
                     dsl::pos(
                         "S__star",
@@ -134,9 +143,7 @@ fn world_contents_via_pure_relational_walk() {
             let world = bdms.world(&path).unwrap();
             let mut expected: Vec<Row> = world
                 .signed_tuples()
-                .map(|(t, sign)| {
-                    Row::new(vec![t.row[0].clone(), t.row[2].clone(), sign.value()])
-                })
+                .map(|(t, sign)| Row::new(vec![t.row[0].clone(), t.row[2].clone(), sign.value()]))
                 .collect();
             expected.sort();
             expected.dedup();

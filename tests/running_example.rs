@@ -84,7 +84,10 @@ fn sect_3_2_entailments_through_the_store() {
     let s = bdms.schema().relation_id("Sightings").unwrap();
     let alice = bdms.user_by_name("Alice").unwrap();
     let bob = bdms.user_by_name("Bob").unwrap();
-    let s11 = GroundTuple::new(s, row!["s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"]);
+    let s11 = GroundTuple::new(
+        s,
+        row!["s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"],
+    );
 
     // D |= Alice s1+ (default), D |= Bob s1− (explicit),
     // D |= Bob·Alice s1+ (Bob believes Alice believes it).
@@ -97,7 +100,11 @@ fn sect_3_2_entailments_through_the_store() {
     ];
     for (path, sign, expected) in cases {
         let stmt = BeliefStatement::new(path.clone(), s11.clone(), sign);
-        assert_eq!(bdms.entails(&stmt).unwrap(), expected, "at {path} sign {sign}");
+        assert_eq!(
+            bdms.entails(&stmt).unwrap(),
+            expected,
+            "at {path} sign {sign}"
+        );
     }
 }
 
@@ -156,11 +163,17 @@ fn dora_joins_late() {
     let dora = bdms.user_by_name("Dora").unwrap();
     let bob = bdms.user_by_name("Bob").unwrap();
     let s = bdms.schema().relation_id("Sightings").unwrap();
-    let s11 = GroundTuple::new(s, row!["s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"]);
+    let s11 = GroundTuple::new(
+        s,
+        row!["s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"],
+    );
 
     // Dora believes the sighting, and believes Bob disbelieves it.
     assert!(bdms
-        .entails(&BeliefStatement::positive(BeliefPath::user(dora), s11.clone()))
+        .entails(&BeliefStatement::positive(
+            BeliefPath::user(dora),
+            s11.clone()
+        ))
         .unwrap());
     assert!(bdms
         .entails(&BeliefStatement::negative(
@@ -179,10 +192,16 @@ fn dora_joins_late() {
         .unwrap();
     let bdms = session.bdms();
     assert!(!bdms
-        .entails(&BeliefStatement::positive(BeliefPath::user(dora), s11.clone()))
+        .entails(&BeliefStatement::positive(
+            BeliefPath::user(dora),
+            s11.clone()
+        ))
         .unwrap());
     assert!(bdms
-        .entails(&BeliefStatement::negative(BeliefPath::user(dora), s11.clone()))
+        .entails(&BeliefStatement::negative(
+            BeliefPath::user(dora),
+            s11.clone()
+        ))
         .unwrap());
     let alice = bdms.user_by_name("Alice").unwrap();
     assert!(bdms
@@ -209,16 +228,28 @@ fn i9_alice_offers_fish_eagle_alternative() {
     let alice = bdms.user_by_name("Alice").unwrap();
     let bob = bdms.user_by_name("Bob").unwrap();
     let s = bdms.schema().relation_id("Sightings").unwrap();
-    let bald = GroundTuple::new(s, row!["s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"]);
-    let fish = GroundTuple::new(s, row!["s1", "Carol", "fish eagle", "6-14-08", "Lake Forest"]);
+    let bald = GroundTuple::new(
+        s,
+        row!["s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"],
+    );
+    let fish = GroundTuple::new(
+        s,
+        row!["s1", "Carol", "fish eagle", "6-14-08", "Lake Forest"],
+    );
 
     // Alice now believes the fish eagle; the bald eagle became an unstated
     // negative for her.
     assert!(bdms
-        .entails(&BeliefStatement::positive(BeliefPath::user(alice), fish.clone()))
+        .entails(&BeliefStatement::positive(
+            BeliefPath::user(alice),
+            fish.clone()
+        ))
         .unwrap());
     assert!(bdms
-        .entails(&BeliefStatement::negative(BeliefPath::user(alice), bald.clone()))
+        .entails(&BeliefStatement::negative(
+            BeliefPath::user(alice),
+            bald.clone()
+        ))
         .unwrap());
     // Bob still explicitly rejects both.
     assert!(bdms

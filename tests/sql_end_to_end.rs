@@ -23,11 +23,16 @@ fn full_curation_workflow() {
     let mut s = lab_session();
 
     // Base data + annotations.
-    s.execute("insert into Samples values ('a','fungus','soil')").unwrap();
-    s.execute("insert into Samples values ('b','moss','rock')").unwrap();
-    s.execute("insert into BELIEF 'Ben' Samples values ('a','fungus','bark')").unwrap();
-    s.execute("insert into BELIEF 'Ben' Notes values ('n1','bark residue found','a')").unwrap();
-    s.execute("insert into BELIEF 'Cleo' not Samples values ('b','moss','rock')").unwrap();
+    s.execute("insert into Samples values ('a','fungus','soil')")
+        .unwrap();
+    s.execute("insert into Samples values ('b','moss','rock')")
+        .unwrap();
+    s.execute("insert into BELIEF 'Ben' Samples values ('a','fungus','bark')")
+        .unwrap();
+    s.execute("insert into BELIEF 'Ben' Notes values ('n1','bark residue found','a')")
+        .unwrap();
+    s.execute("insert into BELIEF 'Cleo' not Samples values ('b','moss','rock')")
+        .unwrap();
     s.execute(
         "insert into BELIEF 'Cleo' BELIEF 'Ana' Notes values ('n2','collected near stream','b')",
     )
@@ -94,9 +99,12 @@ fn full_curation_workflow() {
 #[test]
 fn multi_relation_joins_through_beliefs() {
     let mut s = lab_session();
-    s.execute("insert into BELIEF 'Ana' Samples values ('a','fungus','soil')").unwrap();
-    s.execute("insert into BELIEF 'Ana' Notes values ('n1','smells earthy','a')").unwrap();
-    s.execute("insert into BELIEF 'Ben' Notes values ('n2','microscopy pending','a')").unwrap();
+    s.execute("insert into BELIEF 'Ana' Samples values ('a','fungus','soil')")
+        .unwrap();
+    s.execute("insert into BELIEF 'Ana' Notes values ('n1','smells earthy','a')")
+        .unwrap();
+    s.execute("insert into BELIEF 'Ben' Notes values ('n2','microscopy pending','a')")
+        .unwrap();
 
     // Join a belief-annotated relation with another belief-annotated
     // relation of the same user.
@@ -122,7 +130,10 @@ fn multi_relation_joins_through_beliefs() {
         .unwrap();
     assert_eq!(
         r.rows(),
-        &[row!["Ana", "smells earthy"], row!["Ben", "microscopy pending"]]
+        &[
+            row!["Ana", "smells earthy"],
+            row!["Ben", "microscopy pending"]
+        ]
     );
 
     // The higher-order worlds DO inherit Ana's note: everyone believes that
@@ -135,10 +146,7 @@ fn multi_relation_joins_through_beliefs() {
         .unwrap();
     assert_eq!(
         r.rows(),
-        &[
-            row!["Ben", "smells earthy"],
-            row!["Cleo", "smells earthy"],
-        ]
+        &[row!["Ben", "smells earthy"], row!["Cleo", "smells earthy"],]
     );
 }
 
@@ -201,12 +209,20 @@ fn statement_counts_survive_sql_ingest() {
             sql.push_str("not ");
         }
         sql.push_str("S values (");
-        let vals: Vec<String> =
-            stmt.tuple.row.values().iter().map(|v| format!("'{v}'")).collect();
+        let vals: Vec<String> = stmt
+            .tuple
+            .row
+            .values()
+            .iter()
+            .map(|v| format!("'{v}'"))
+            .collect();
         sql.push_str(&vals.join(","));
         sql.push(')');
         let out = session.execute(&sql).unwrap();
-        assert!(matches!(out, ExecResult::Inserted(o) if o.accepted()), "{sql}");
+        assert!(
+            matches!(out, ExecResult::Inserted(o) if o.accepted()),
+            "{sql}"
+        );
     }
     let via_sql = session.bdms().to_belief_database().unwrap();
     let via_generator = reference.to_belief_database().unwrap();
@@ -227,15 +243,19 @@ fn statement_counts_survive_sql_ingest() {
 #[test]
 fn dml_conditions_support_column_comparisons_and_aliases() {
     let mut s = lab_session();
-    s.execute("insert into BELIEF 'Ana' Samples values ('x','x','soil')").unwrap();
-    s.execute("insert into BELIEF 'Ana' Samples values ('y','moss','rock')").unwrap();
+    s.execute("insert into BELIEF 'Ana' Samples values ('x','x','soil')")
+        .unwrap();
+    s.execute("insert into BELIEF 'Ana' Samples values ('y','moss','rock')")
+        .unwrap();
     // Column-to-column condition inside a single-table DELETE: remove the
     // statement whose sid equals its category.
     let out = s
         .execute("delete from BELIEF 'Ana' Samples as T where T.sid = T.category")
         .unwrap();
     assert_eq!(out, ExecResult::Deleted(1));
-    let r = s.query("select S.sid from BELIEF 'Ana' Samples as S").unwrap();
+    let r = s
+        .query("select S.sid from BELIEF 'Ana' Samples as S")
+        .unwrap();
     assert_eq!(r.rows(), &[row!["y"]]);
     // Wrong alias in the WHERE clause is rejected.
     assert!(s
@@ -255,12 +275,17 @@ fn dml_conditions_support_column_comparisons_and_aliases() {
 #[test]
 fn delete_without_conditions_clears_the_world_sign() {
     let mut s = lab_session();
-    s.execute("insert into BELIEF 'Ben' not Samples values ('a','fungus','soil')").unwrap();
-    s.execute("insert into BELIEF 'Ben' not Samples values ('a','fungus','bark')").unwrap();
-    s.execute("insert into BELIEF 'Ben' Samples values ('b','moss','rock')").unwrap();
+    s.execute("insert into BELIEF 'Ben' not Samples values ('a','fungus','soil')")
+        .unwrap();
+    s.execute("insert into BELIEF 'Ben' not Samples values ('a','fungus','bark')")
+        .unwrap();
+    s.execute("insert into BELIEF 'Ben' Samples values ('b','moss','rock')")
+        .unwrap();
     // Unconditional negative delete removes both negatives, not the positive.
     let out = s.execute("delete from BELIEF 'Ben' not Samples").unwrap();
     assert_eq!(out, ExecResult::Deleted(2));
-    let r = s.query("select S.sid from BELIEF 'Ben' Samples as S").unwrap();
+    let r = s
+        .query("select S.sid from BELIEF 'Ben' Samples as S")
+        .unwrap();
     assert_eq!(r.rows(), &[row!["b"]]);
 }
