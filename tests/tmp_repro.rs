@@ -1,0 +1,24 @@
+use beliefdb::storage::{row, Database, Expr, Plan, TableSchema};
+
+#[test]
+fn reorder_with_fallible_residual() {
+    let mut db = Database::new();
+    let t = db
+        .create_table(TableSchema::keyless("T", &["a"]))
+        .unwrap();
+    t.insert(row![1]).unwrap();
+    let u = db
+        .create_table(TableSchema::keyless("U", &["b"]))
+        .unwrap();
+    u.insert(row![2]).unwrap();
+    // Residual Expr::Col(0) is not boolean-shaped.
+    let plan = Plan::scan("T").join_where(Plan::scan("U"), vec![], Expr::Col(0));
+    let opts = beliefdb::storage::OptimizerOptions {
+        fold: false,
+        pushdown: false,
+        simplify: false,
+        reorder_joins: true,
+        prune: false,
+    };
+    let _ = beliefdb::storage::optimize_with(&db, plan, &opts);
+}
