@@ -158,6 +158,35 @@ impl Session {
         }
     }
 
+    /// Execute a `SELECT`, streaming result rows into `on_row` as the
+    /// final Datalog rule of the Algorithm 1 translation produces them:
+    /// nothing is collected, so the first row reaches the consumer before
+    /// the query finishes and an interrupted consumer never pays for the
+    /// full result. Rows are deduplicated but arrive in executor order
+    /// (unsorted — use [`Session::query`] for the sorted table).
+    ///
+    /// Returns the column labels and the number of rows emitted.
+    pub fn query_streaming(
+        &self,
+        sql: &str,
+        mut on_row: impl FnMut(Row),
+    ) -> Result<(Vec<String>, usize)> {
+        let Statement::Select(sel) = parse(sql)? else {
+            return Err(SqlError::Lower(
+                "query_streaming() only accepts SELECT statements".into(),
+            ));
+        };
+        let lowered = SelectLowerer::lower(&self.bdms, &sel)?;
+        let mut emitted = 0usize;
+        if let Some(q) = &lowered.query {
+            self.bdms.query_streaming(q, |row| {
+                emitted += 1;
+                on_row(row);
+            })?;
+        }
+        Ok((lowered.columns, emitted))
+    }
+
     /// EXPLAIN: show how a SELECT runs — the belief conjunctive query it
     /// lowers to, the non-recursive Datalog program Algorithm 1 produces,
     /// and the optimized physical plan of every rule.
@@ -377,6 +406,38 @@ mod tests {
         )
         .unwrap();
         s
+    }
+
+    #[test]
+    fn query_streaming_matches_collected_select() {
+        let s = session();
+        let sql = "select S.sid, S.species from BELIEF 'Bob' Sightings as S";
+        let collected = s.query(sql).unwrap();
+        let mut streamed = Vec::new();
+        let (columns, n) = s.query_streaming(sql, |row| streamed.push(row)).unwrap();
+        streamed.sort();
+        assert_eq!(streamed, collected.rows());
+        assert_eq!(n, collected.rows().len());
+        assert_eq!(columns, collected.columns());
+    }
+
+    #[test]
+    fn query_streaming_rejects_dml_and_handles_contradictions() {
+        let s = session();
+        assert!(s
+            .query_streaming("insert into Sightings values ('a','b','c','d','e')", |_| {})
+            .is_err());
+        // Contradictory constants lower to "no query": zero rows, labels
+        // still reported.
+        let (columns, n) = s
+            .query_streaming(
+                "select S.sid from BELIEF 'Bob' Sightings as S \
+                 where S.sid = 's1' and S.sid = 's2'",
+                |_| panic!("no rows expected"),
+            )
+            .unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(columns, vec!["S.sid".to_string()]);
     }
 
     #[test]

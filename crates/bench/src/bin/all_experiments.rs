@@ -28,4 +28,8 @@ fn main() {
     println!("=== Table 2 ===");
     let (bdms, rows) = run_table2(n, seeds[0], reps).expect("table2");
     println!("{}", format_table2(&rows, n, bdms.stats().total_tuples));
+
+    println!("=== Streaming executor ===");
+    let rows = run_exec_streaming(n, reps.clamp(3, 20)).expect("exec_streaming");
+    println!("{}", format_exec_streaming(&rows, n));
 }

@@ -307,6 +307,130 @@ pub fn format_table2(rows: &[Table2Row], n: usize, total_tuples: usize) -> Strin
     out
 }
 
+// ---------------------------------------------------------------------------
+// Streaming vs materializing executor
+// ---------------------------------------------------------------------------
+
+/// One measured plan of the streaming-vs-materializing comparison.
+#[derive(Debug, Clone)]
+pub struct ExecStreamingRow {
+    pub name: &'static str,
+    pub streaming: Duration,
+    pub materialized: Duration,
+    pub result_size: usize,
+}
+
+impl ExecStreamingRow {
+    /// Materialized-over-streaming time ratio (>1 means streaming wins).
+    pub fn speedup(&self) -> f64 {
+        self.materialized.as_secs_f64() / self.streaming.as_secs_f64().max(1e-12)
+    }
+}
+
+/// The wide-intermediate workload of the executor comparison: a fact
+/// table `F` (`n` rows) joined against a fanout-4 dimension `D`, so the
+/// join's intermediate is `4n` rows wide before a selective filter cuts
+/// it down. The materializing executor allocates that intermediate; the
+/// streaming executor pipelines `F` through the build table row by row.
+pub fn exec_streaming_db(n: usize) -> Result<beliefdb_storage::Database> {
+    use beliefdb_storage::{row, Database, TableSchema};
+    let mut db = Database::new();
+    let f = db.create_table(TableSchema::keyless("F", &["fid", "k", "v"]))?;
+    for i in 0..n as i64 {
+        f.insert(row![i, i % 50, i % 997])?;
+    }
+    let d = db.create_table(TableSchema::keyless("D", &["k", "tag"]))?;
+    for k in 0..50i64 {
+        for copy in 0..4i64 {
+            d.insert(row![k, k * 4 + copy])?;
+        }
+    }
+    Ok(db)
+}
+
+/// The measured plans: a selective scan→filter→project pipeline, the
+/// wide-intermediate join, and a first-rows query where streaming's
+/// short-circuiting `Limit` never runs the full join.
+pub fn exec_streaming_plans() -> Vec<(&'static str, beliefdb_storage::Plan)> {
+    use beliefdb_storage::{CmpOp, Expr, Plan};
+    let selective = Plan::scan("F")
+        .select(Expr::col_eq_lit(2, 3i64))
+        .project_cols(&[0]);
+    let wide_join = Plan::scan("F")
+        .join(Plan::scan("D"), vec![(1, 0)])
+        .select(Expr::cmp(CmpOp::Lt, Expr::Col(2), Expr::lit(5i64)))
+        .project_cols(&[0, 4]);
+    let first_rows = Plan::scan("F")
+        .join(Plan::scan("D"), vec![(1, 0)])
+        .project_cols(&[0, 4])
+        .limit(100);
+    vec![
+        ("filter", selective),
+        ("wide_join", wide_join),
+        ("first_100", first_rows),
+    ]
+}
+
+/// Time each workload plan under both executors (`reps` runs each,
+/// best-of to damp scheduler noise) and sanity-check that they agree.
+pub fn run_exec_streaming(n: usize, reps: usize) -> Result<Vec<ExecStreamingRow>> {
+    use beliefdb_storage::{execute, execute_materialized};
+    let db = exec_streaming_db(n)?;
+    let mut out = Vec::new();
+    for (name, plan) in exec_streaming_plans() {
+        let mut streamed = execute(&db, &plan)?;
+        let mut materialized = execute_materialized(&db, &plan)?;
+        streamed.sort();
+        materialized.sort();
+        assert_eq!(streamed, materialized, "executors disagree on {name}");
+        let best = |f: &dyn Fn() -> usize| -> Duration {
+            let mut best = Duration::MAX;
+            for _ in 0..reps.max(1) {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                best = best.min(start.elapsed());
+            }
+            best
+        };
+        let streaming = best(&|| execute(&db, &plan).expect("streaming run").len());
+        let materializing = best(&|| {
+            execute_materialized(&db, &plan)
+                .expect("materialized run")
+                .len()
+        });
+        out.push(ExecStreamingRow {
+            name,
+            streaming,
+            materialized: materializing,
+            result_size: streamed.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Render the executor comparison as a small report table.
+pub fn format_exec_streaming(rows: &[ExecStreamingRow], n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Streaming vs materializing executor (fact table of {n} rows, fanout-4 join)\n"
+    ));
+    out.push_str(&format!(
+        "{:<12}{:>14}{:>14}{:>10}{:>10}\n",
+        "plan", "stream(ms)", "mat(ms)", "speedup", "rows"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12}{:>14.3}{:>14.3}{:>9.2}x{:>10}\n",
+            r.name,
+            r.streaming.as_secs_f64() * 1e3,
+            r.materialized.as_secs_f64() * 1e3,
+            r.speedup(),
+            r.result_size
+        ));
+    }
+    out
+}
+
 /// Parse `--flag value` style arguments with defaults (tiny helper shared
 /// by the experiment binaries; avoids a CLI dependency).
 pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {

@@ -216,11 +216,61 @@ pub fn translate(store: &InternalStore, q: &Bcq) -> Result<TranslatedQuery> {
 
 /// Translate and execute a query against the store. Rule plans go through
 /// the storage-layer cost-based optimizer (`beliefdb_storage::opt`) — the
-/// role the paper delegates to "the database optimizer".
+/// role the paper delegates to "the database optimizer" — and the
+/// optimized plans are cached in the store keyed by (program, table
+/// versions), so repeat queries skip the rewrite passes entirely.
 pub fn evaluate(store: &InternalStore, q: &Bcq) -> Result<Vec<Row>> {
+    use beliefdb_storage::datalog::PlanCache;
     let translated = translate(store, q)?;
-    let ev = Evaluator::new(store.database()).seed_stats(store.stats_catalog());
-    run_program(ev, &translated)
+    let mut ev = Evaluator::new(store.database()).seed_stats(store.stats_catalog());
+    // The cache lock is held only for the brief lookup/store calls —
+    // never while plans execute — so concurrent queries don't serialize
+    // on each other's evaluation.
+    let key = translated.program.to_string();
+    let versions = PlanCache::db_versions(store.database());
+    let cached = store.with_plan_cache(|cache| cache.lookup(&key, &versions));
+    match cached {
+        Some(plans) => {
+            ev.run_cached_plans(&translated.program, &plans)
+                .map_err(BeliefError::from)?;
+        }
+        None => {
+            let (_, plans) = ev
+                .run_collecting_plans(&translated.program)
+                .map_err(BeliefError::from)?;
+            store.with_plan_cache(|cache| cache.store(key, versions, plans));
+        }
+    }
+    collect_answer(&ev, &translated)
+}
+
+/// Translate and execute, **streaming** the answer rows into `sink` as
+/// the final Datalog rule produces them: the answer relation is never
+/// collected or sorted. Rows are deduplicated but arrive in executor
+/// order; intermediate temp tables are still materialized (they feed
+/// later rules).
+pub fn evaluate_streaming(store: &InternalStore, q: &Bcq, sink: impl FnMut(Row)) -> Result<()> {
+    use beliefdb_storage::datalog::PlanCache;
+    let translated = translate(store, q)?;
+    let mut ev = Evaluator::new(store.database()).seed_stats(store.stats_catalog());
+    // Same brief-lock cache protocol as [`evaluate`]: a repeat query
+    // streams the cached answer plan directly, skipping rewrite passes
+    // and intermediate re-derivation.
+    let key = translated.program.to_string();
+    let versions = PlanCache::db_versions(store.database());
+    let cached = store.with_plan_cache(|cache| cache.lookup(&key, &versions));
+    match cached {
+        Some(plans) => ev
+            .stream_cached_plans(&translated.program, &plans, sink)
+            .map_err(BeliefError::from),
+        None => {
+            let plans = ev
+                .run_streaming_collecting_plans(&translated.program, sink)
+                .map_err(BeliefError::from)?;
+            store.with_plan_cache(|cache| cache.store(key, versions, plans));
+            Ok(())
+        }
+    }
 }
 
 /// Translate and execute without the optimizer: plans run exactly as
@@ -231,8 +281,23 @@ pub fn evaluate_unoptimized(store: &InternalStore, q: &Bcq) -> Result<Vec<Row>> 
     run_program(Evaluator::new_unoptimized(store.database()), &translated)
 }
 
+/// Translate and execute with the materializing (operator-at-a-time)
+/// executor instead of the streaming one. Kept as the reference side of
+/// the streaming-vs-materializing differential suite.
+pub fn evaluate_materialized(store: &InternalStore, q: &Bcq) -> Result<Vec<Row>> {
+    let translated = translate(store, q)?;
+    let ev = Evaluator::new(store.database())
+        .seed_stats(store.stats_catalog())
+        .use_materializing_executor();
+    run_program(ev, &translated)
+}
+
 fn run_program(mut ev: Evaluator<'_>, translated: &TranslatedQuery) -> Result<Vec<Row>> {
     ev.run(&translated.program).map_err(BeliefError::from)?;
+    collect_answer(&ev, translated)
+}
+
+fn collect_answer(ev: &Evaluator<'_>, translated: &TranslatedQuery) -> Result<Vec<Row>> {
     let mut rows = ev
         .relation(&translated.answer)
         .map(|r| r.to_vec())

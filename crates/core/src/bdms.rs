@@ -147,10 +147,28 @@ impl Bdms {
         bcq::translate::evaluate(&self.store, q)
     }
 
+    /// Evaluate a BCQ, streaming answer rows into `sink` as the final
+    /// Datalog rule produces them: the answer is never collected into a
+    /// `Vec` (and is therefore *unsorted*, unlike [`Bdms::query`]). Rows
+    /// are deduplicated. This is the path interactive consumers (the
+    /// BeliefSQL shell) use to show first results before the query
+    /// finishes.
+    pub fn query_streaming(&self, q: &Bcq, sink: impl FnMut(Row)) -> Result<()> {
+        bcq::translate::evaluate_streaming(&self.store, q, sink)
+    }
+
     /// Evaluate via the Algorithm 1 translation with the optimizer off:
     /// plans execute exactly as emitted (differential testing / benches).
     pub fn query_unoptimized(&self, q: &Bcq) -> Result<Vec<Row>> {
         bcq::translate::evaluate_unoptimized(&self.store, q)
+    }
+
+    /// Evaluate with the materializing (operator-at-a-time) executor
+    /// instead of the streaming one — the reference side of the
+    /// streaming-vs-materializing differential suite and the
+    /// `exec_streaming` bench baseline.
+    pub fn query_materialized(&self, q: &Bcq) -> Result<Vec<Row>> {
+        bcq::translate::evaluate_materialized(&self.store, q)
     }
 
     /// `EXPLAIN`: the optimized physical plan of every Datalog rule the
@@ -337,6 +355,90 @@ mod tests {
         assert!(bdms
             .entails(&BeliefStatement::negative(BeliefPath::user(bob), raven))
             .unwrap());
+    }
+
+    #[test]
+    fn query_streaming_matches_collected_query() {
+        let (bdms, alice, _, _) = running_bdms();
+        let s = bdms.schema().relation_id("Sightings").unwrap();
+        let args = vec![qv("y"), qv("z"), qv("u"), qv("v"), qv("w")];
+        let q = Bcq::builder(vec![qv("x")])
+            .negative(vec![pv("x")], s, args.clone())
+            .positive(vec![pu(alice)], s, args)
+            .build(bdms.schema())
+            .unwrap();
+        let mut streamed = Vec::new();
+        bdms.query_streaming(&q, |row| streamed.push(row)).unwrap();
+        streamed.sort();
+        assert_eq!(streamed, bdms.query(&q).unwrap());
+    }
+
+    #[test]
+    fn query_materialized_matches_streaming_executor() {
+        let (bdms, alice, bob, _) = running_bdms();
+        let s = bdms.schema().relation_id("Sightings").unwrap();
+        let args = vec![qv("y"), qv("z"), qv("u"), qv("v"), qv("w")];
+        let queries = vec![
+            Bcq::builder(vec![qv("y"), qv("u")])
+                .positive(vec![pu(bob), pu(alice)], s, args.clone())
+                .build(bdms.schema())
+                .unwrap(),
+            Bcq::builder(vec![qv("x")])
+                .negative(vec![pv("x")], s, args.clone())
+                .positive(vec![pu(alice)], s, args)
+                .build(bdms.schema())
+                .unwrap(),
+        ];
+        for q in &queries {
+            assert_eq!(
+                bdms.query(q).unwrap(),
+                bdms.query_materialized(q).unwrap(),
+                "executors disagree on {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_plan_cache_and_mutations_invalidate() {
+        let (mut bdms, _, bob, _) = running_bdms();
+        let s = bdms.schema().relation_id("Sightings").unwrap();
+        let q = Bcq::builder(vec![qv("sid"), qv("species")])
+            .positive(
+                vec![pu(bob)],
+                s,
+                vec![qv("sid"), qany(), qv("species"), qany(), qany()],
+            )
+            .build(bdms.schema())
+            .unwrap();
+        let first = bdms.query(&q).unwrap();
+        let (h0, m0) = bdms.internal().with_plan_cache(|c| (c.hits(), c.misses()));
+        assert_eq!((h0, m0), (0, 1));
+        // Repeat: served from the cache, identical answer.
+        assert_eq!(bdms.query(&q).unwrap(), first);
+        let (h1, m1) = bdms.internal().with_plan_cache(|c| (c.hits(), c.misses()));
+        assert_eq!((h1, m1), (1, 1));
+        // A mutation bumps table versions: the stale plans must not be
+        // served, and the answer reflects the new statement.
+        bdms.insert(
+            BeliefPath::user(bob),
+            s,
+            row!["s9", "Bob", "owl", "7-1-08", "Ridge"],
+            Sign::Pos,
+        )
+        .unwrap();
+        let after = bdms.query(&q).unwrap();
+        let (h2, m2) = bdms.internal().with_plan_cache(|c| (c.hits(), c.misses()));
+        assert_eq!((h2, m2), (1, 2));
+        assert!(after.contains(&row!["s9", "owl"]), "{after:?}");
+
+        // The streaming path shares the cache: this repeat is a hit and
+        // returns the same rows.
+        let mut streamed = Vec::new();
+        bdms.query_streaming(&q, |row| streamed.push(row)).unwrap();
+        streamed.sort();
+        assert_eq!(streamed, after);
+        let (h3, _) = bdms.internal().with_plan_cache(|c| (c.hits(), c.misses()));
+        assert_eq!(h3, 2);
     }
 
     #[test]

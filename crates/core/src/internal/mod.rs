@@ -135,6 +135,12 @@ pub struct InternalStore {
     /// (table versions detect staleness, so refresh is O(#tables) when the
     /// store has not mutated).
     pub(crate) stats: std::sync::Mutex<beliefdb_storage::StatsCatalog>,
+    /// Optimized-plan cache for the Datalog programs BCQ translation
+    /// emits, keyed by (program text, table versions): repeat queries
+    /// against an unmutated store skip every optimizer rewrite pass.
+    /// Invalidation is coarse — entries record every table's version,
+    /// so any insert/delete makes *all* entries stale until re-planned.
+    pub(crate) plan_cache: std::sync::Mutex<beliefdb_storage::datalog::PlanCache>,
 }
 
 impl InternalStore {
@@ -179,6 +185,7 @@ impl InternalStore {
             users: Vec::new(),
             dir,
             stats: std::sync::Mutex::new(beliefdb_storage::StatsCatalog::default()),
+            plan_cache: std::sync::Mutex::new(beliefdb_storage::datalog::PlanCache::new()),
             next_tid: 0,
             tid_cache: HashMap::new(),
         })
@@ -204,6 +211,16 @@ impl InternalStore {
         let mut cache = self.stats.lock().expect("stats lock poisoned");
         cache.refresh(&self.db);
         cache.clone()
+    }
+
+    /// Run `f` with exclusive access to the store's optimized-plan cache
+    /// (see [`beliefdb_storage::datalog::PlanCache`]).
+    pub fn with_plan_cache<R>(
+        &self,
+        f: impl FnOnce(&mut beliefdb_storage::datalog::PlanCache) -> R,
+    ) -> R {
+        let mut cache = self.plan_cache.lock().expect("plan cache lock poisoned");
+        f(&mut cache)
     }
 
     pub fn directory(&self) -> &WorldDirectory {

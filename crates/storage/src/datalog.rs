@@ -18,7 +18,186 @@ use crate::expr::{CmpOp, Expr};
 use crate::plan::Plan;
 use crate::row::Row;
 use crate::value::Value;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Entries kept in a [`PlanCache`] before first-in-first-out eviction.
+const PLAN_CACHE_CAP: usize = 64;
+
+/// Total rows embedded (as `Values` leaves) across all cached plans the
+/// cache will hold; entries are evicted FIFO past this budget, and a
+/// single program whose plans embed more than the whole budget is not
+/// cached at all. Keeps the cache from pinning large intermediate
+/// results in memory after queries complete.
+const PLAN_CACHE_ROW_BUDGET: usize = 200_000;
+
+/// A cache of optimized physical plans for the *answer* rules of whole
+/// programs, keyed by the program's deterministic textual rendering plus
+/// the mutation version of every table in the database at planning time.
+/// Repeat queries against an unmutated database skip compilation, every
+/// optimizer rewrite pass, **and the re-derivation of intermediate
+/// relations**. Invalidation is coarse: entries record the version of
+/// *every* table, so an insert/delete anywhere in the database makes
+/// all entries miss until their programs are re-planned (precise
+/// per-read-set invalidation would need plan provenance; re-planning is
+/// cheap enough that coarse is fine).
+///
+/// Only the plans of rules deriving the final head are stored: by
+/// compile time every derived relation they read is embedded as a
+/// `Values` leaf, so they are self-contained. Replaying them is sound
+/// because program evaluation is deterministic — with identical
+/// base-table versions every derived relation is reproduced exactly.
+/// For the same reason the cache only serves evaluators with **no
+/// pre-registered derived relations** ([`Evaluator::define`]) — those
+/// rows are outside the cache key.
+///
+/// Locking discipline: [`PlanCache::lookup`] and [`PlanCache::store`]
+/// are brief (a version compare plus an `Arc` clone); callers holding
+/// the cache behind a mutex should release it while the plans execute
+/// (see `beliefdb-core`'s `bcq::translate::evaluate`).
+pub struct PlanCache {
+    entries: HashMap<String, CachedProgram>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<String>,
+    /// Rows embedded across all cached entries (tracked against the
+    /// budget).
+    total_rows: usize,
+    row_budget: usize,
+    hits: u64,
+    misses: u64,
+}
+
+struct CachedProgram {
+    /// `(table, version)` per table, sorted by name (the catalog order).
+    versions: Vec<(String, u64)>,
+    /// Optimized plans of the rules deriving the final head, in program
+    /// order, shared so a cache hit never deep-copies embedded rows.
+    plans: Arc<Vec<Plan>>,
+    /// Rows embedded in `plans` as `Values` leaves.
+    rows: usize,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+impl PlanCache {
+    pub fn new() -> Self {
+        PlanCache::with_row_budget(PLAN_CACHE_ROW_BUDGET)
+    }
+
+    /// A cache with an explicit embedded-row budget (tests and memory-
+    /// constrained embedders).
+    pub fn with_row_budget(row_budget: usize) -> Self {
+        PlanCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            total_rows: 0,
+            row_budget,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The version vector the cache validates entries against.
+    pub fn db_versions(db: &Database) -> Vec<(String, u64)> {
+        db.table_names()
+            .into_iter()
+            .map(|n| {
+                let v = db.table(n).expect("name from catalog").version();
+                (n.to_string(), v)
+            })
+            .collect()
+    }
+
+    /// Cached answer plans for `key`, if present and planned at exactly
+    /// these table versions. Counts a hit or miss.
+    pub fn lookup(&mut self, key: &str, versions: &[(String, u64)]) -> Option<Arc<Vec<Plan>>> {
+        match self.entries.get(key) {
+            Some(entry) if entry.versions == versions => {
+                self.hits += 1;
+                Some(Arc::clone(&entry.plans))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record the answer plans of a freshly planned program. Oversized
+    /// entries (more embedded rows than the whole budget) are dropped;
+    /// otherwise older entries are evicted FIFO until both the entry
+    /// count and the row budget fit.
+    pub fn store(&mut self, key: String, versions: Vec<(String, u64)>, plans: Vec<Plan>) {
+        let rows: usize = plans.iter().map(embedded_rows).sum();
+        if rows > self.row_budget {
+            return;
+        }
+        if let Some(old) = self.entries.remove(&key) {
+            self.total_rows -= old.rows;
+            self.order.retain(|k| k != &key);
+        }
+        while !self.order.is_empty()
+            && (self.order.len() >= PLAN_CACHE_CAP || self.total_rows + rows > self.row_budget)
+        {
+            let victim = self.order.pop_front().expect("order non-empty");
+            if let Some(evicted) = self.entries.remove(&victim) {
+                self.total_rows -= evicted.rows;
+            }
+        }
+        self.total_rows += rows;
+        self.order.push_back(key.clone());
+        self.entries.insert(
+            key,
+            CachedProgram {
+                versions,
+                plans: Arc::new(plans),
+                rows,
+            },
+        );
+    }
+
+    /// Number of cached programs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Rows embedded (as `Values` leaves) across all cached entries.
+    pub fn embedded_row_count(&self) -> usize {
+        self.total_rows
+    }
+
+    /// Lookups served from the cache since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to plan from scratch.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Rows a plan carries inline as `Values` leaves (the memory a cached
+/// plan pins).
+fn embedded_rows(plan: &Plan) -> usize {
+    let own = match plan {
+        Plan::Values { rows, .. } => rows.len(),
+        _ => 0,
+    };
+    own + plan
+        .children()
+        .into_iter()
+        .map(embedded_rows)
+        .sum::<usize>()
+}
 
 /// A term in an atom: a named variable, a constant, or a wildcard.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +286,9 @@ pub struct Evaluator<'a> {
     derived: HashMap<String, (usize, Vec<Row>)>,
     optimizer: Option<crate::opt::OptimizerOptions>,
     stats: Option<crate::opt::StatsCatalog>,
+    /// Evaluate rule plans with the operator-at-a-time executor instead
+    /// of the streaming one (differential testing only).
+    materializing: bool,
 }
 
 impl<'a> Evaluator<'a> {
@@ -116,6 +298,7 @@ impl<'a> Evaluator<'a> {
             derived: HashMap::new(),
             optimizer: Some(crate::opt::OptimizerOptions::default()),
             stats: None,
+            materializing: false,
         }
     }
 
@@ -126,6 +309,7 @@ impl<'a> Evaluator<'a> {
             derived: HashMap::new(),
             optimizer: None,
             stats: None,
+            materializing: false,
         }
     }
 
@@ -136,7 +320,17 @@ impl<'a> Evaluator<'a> {
             derived: HashMap::new(),
             optimizer: Some(opts),
             stats: None,
+            materializing: false,
         }
+    }
+
+    /// Evaluate rule plans with the materializing executor
+    /// ([`crate::exec::execute_materialized`]) instead of the streaming
+    /// one. The two are differentially tested to agree; this switch
+    /// exists so higher layers can run both sides of that comparison.
+    pub fn use_materializing_executor(mut self) -> Self {
+        self.materializing = true;
+        self
     }
 
     /// Seed this evaluator with a pre-built statistics snapshot (e.g. one
@@ -195,6 +389,15 @@ impl<'a> Evaluator<'a> {
     /// Fold `rows` into the head relation's derived entry, enforcing that
     /// every rule deriving the same head agrees on its arity.
     fn materialize_head(&mut self, rule: &Rule, rows: Vec<Row>) -> Result<()> {
+        let entry = self.head_entry(rule)?;
+        entry.1.extend(rows);
+        dedup_rows(&mut entry.1);
+        Ok(())
+    }
+
+    /// The derived entry a rule's head feeds, created on first use and
+    /// checked for a consistent arity across rules.
+    fn head_entry(&mut self, rule: &Rule) -> Result<&mut (usize, Vec<Row>)> {
         let arity = rule.head.terms.len();
         let entry = self
             .derived
@@ -206,8 +409,32 @@ impl<'a> Evaluator<'a> {
                 rule.head.relation, entry.0
             )));
         }
-        entry.1.extend(rows);
-        dedup_rows(&mut entry.1);
+        Ok(entry)
+    }
+
+    /// Evaluate `plan` and fold its rows into the rule's head relation,
+    /// deduplicating incrementally. On the (default) streaming path the
+    /// rows flow from the executor straight into the derived entry — no
+    /// per-rule intermediate `Vec`.
+    fn consume_into_head(&mut self, rule: &Rule, plan: &Plan) -> Result<()> {
+        let db = self.db;
+        let materializing = self.materializing;
+        let entry = self.head_entry(rule)?;
+        let mut seen: HashSet<Row> = entry.1.iter().cloned().collect();
+        if materializing {
+            for row in crate::exec::execute_materialized(db, plan)? {
+                if seen.insert(row.clone()) {
+                    entry.1.push(row);
+                }
+            }
+        } else {
+            for row in crate::exec::stream(db, plan)? {
+                let row = row?;
+                if seen.insert(row.clone()) {
+                    entry.1.push(row);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -222,17 +449,220 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Run every rule in order, materializing head relations. Returns the
-    /// name of the last head (by convention the query answer).
+    /// name of the last head (by convention the query answer). Rule rows
+    /// stream from the executor into the derived relations.
     pub fn run(&mut self, program: &Program) -> Result<Option<String>> {
         let mut last = None;
         for rule in &program.rules {
             self.check_nonrecursive(rule)?;
             let plan = self.plan_rule(rule)?;
-            let rows = execute(self.db, &plan)?;
-            self.materialize_head(rule, rows)?;
+            self.consume_into_head(rule, &plan)?;
             last = Some(rule.head.relation.clone());
         }
         Ok(last)
+    }
+
+    /// Like [`Evaluator::run`], but consulting `cache` for the optimized
+    /// answer plans of the program: a hit (same program text, same table
+    /// versions) skips compilation, safety checks, every optimizer
+    /// rewrite pass, and the re-derivation of intermediate relations —
+    /// **on a hit only the final head relation is materialized**. Falls
+    /// back to the uncached path when this evaluator carries
+    /// pre-registered derived relations (their rows are outside the
+    /// cache key) or has the optimizer disabled.
+    ///
+    /// This convenience holds no lock; callers sharing a `PlanCache`
+    /// behind a mutex should instead do the brief
+    /// [`PlanCache::lookup`]/[`PlanCache::store`] calls under the lock
+    /// and run [`Evaluator::run_cached_plans`] /
+    /// [`Evaluator::run_collecting_plans`] outside it.
+    pub fn run_cached(
+        &mut self,
+        program: &Program,
+        cache: &mut PlanCache,
+    ) -> Result<Option<String>> {
+        if !self.derived.is_empty() || self.optimizer.is_none() {
+            return self.run(program);
+        }
+        let key = program.to_string();
+        let versions = PlanCache::db_versions(self.db);
+        if let Some(plans) = cache.lookup(&key, &versions) {
+            return self.run_cached_plans(program, &plans);
+        }
+        let (last, plans) = self.run_collecting_plans(program)?;
+        cache.store(key, versions, plans);
+        Ok(last)
+    }
+
+    /// Execute cached answer plans (from [`PlanCache::lookup`]) for
+    /// `program`: only the rules deriving the final head run — their
+    /// plans embed every derived relation they read as `Values` — and
+    /// only that head is materialized. Falls back to [`Evaluator::run`]
+    /// if the plan list does not line up with the program (a stale or
+    /// foreign cache entry).
+    pub fn run_cached_plans(
+        &mut self,
+        program: &Program,
+        plans: &[Plan],
+    ) -> Result<Option<String>> {
+        let Some(last) = program.rules.last() else {
+            return Ok(None);
+        };
+        let answer_rules: Vec<&Rule> = program
+            .rules
+            .iter()
+            .filter(|r| r.head.relation == last.head.relation)
+            .collect();
+        if answer_rules.len() != plans.len() {
+            return self.run(program);
+        }
+        for (rule, plan) in answer_rules.into_iter().zip(plans) {
+            self.consume_into_head(rule, plan)?;
+        }
+        Ok(Some(last.head.relation.clone()))
+    }
+
+    /// Run the whole program (exactly like [`Evaluator::run`]) and also
+    /// return the optimized plans of the rules deriving the final head,
+    /// for a later [`PlanCache::store`].
+    pub fn run_collecting_plans(
+        &mut self,
+        program: &Program,
+    ) -> Result<(Option<String>, Vec<Plan>)> {
+        let mut plans: Vec<(String, Plan)> = Vec::with_capacity(program.rules.len());
+        let mut last = None;
+        for rule in &program.rules {
+            self.check_nonrecursive(rule)?;
+            let plan = self.plan_rule(rule)?;
+            self.consume_into_head(rule, &plan)?;
+            plans.push((rule.head.relation.clone(), plan));
+            last = Some(rule.head.relation.clone());
+        }
+        let answer_plans = match &last {
+            Some(head) => plans
+                .into_iter()
+                .filter(|(h, _)| h == head)
+                .map(|(_, p)| p)
+                .collect(),
+            None => Vec::new(),
+        };
+        Ok((last, answer_plans))
+    }
+
+    /// Run every rule, materializing intermediate heads, but **stream**
+    /// the final head's rows into `sink` as the executor produces them —
+    /// the query answer is never collected into a `Vec` here. Rows
+    /// derived by earlier rules sharing the final rule's head are
+    /// emitted first (they are part of the answer, exactly as in
+    /// [`Evaluator::run`]); the final rule's own rows then stream,
+    /// deduplicated against them. Rows arrive in executor order,
+    /// unsorted.
+    pub fn run_streaming(&mut self, program: &Program, sink: impl FnMut(Row)) -> Result<()> {
+        self.run_streaming_collecting_plans(program, sink)
+            .map(|_| ())
+    }
+
+    /// [`Evaluator::run_streaming`], additionally returning the optimized
+    /// plans of the rules deriving the final head for a later
+    /// [`PlanCache::store`] (the streaming counterpart of
+    /// [`Evaluator::run_collecting_plans`]).
+    pub fn run_streaming_collecting_plans(
+        &mut self,
+        program: &Program,
+        mut sink: impl FnMut(Row),
+    ) -> Result<Vec<Plan>> {
+        let Some((last, init)) = program.rules.split_last() else {
+            return Ok(Vec::new());
+        };
+        let mut answer_plans: Vec<Plan> = Vec::new();
+        for rule in init {
+            self.check_nonrecursive(rule)?;
+            let plan = self.plan_rule(rule)?;
+            self.consume_into_head(rule, &plan)?;
+            if rule.head.relation == last.head.relation {
+                answer_plans.push(plan);
+            }
+        }
+        self.check_nonrecursive(last)?;
+        let plan = self.plan_rule(last)?;
+        let mut seen: HashSet<Row> = match self.derived.get(&last.head.relation) {
+            Some((arity, rows)) => {
+                if *arity != last.head.terms.len() {
+                    return Err(StorageError::DatalogError(format!(
+                        "relation `{}` derived with conflicting arities {} and {}",
+                        last.head.relation,
+                        arity,
+                        last.head.terms.len()
+                    )));
+                }
+                // Earlier rules already derived (deduplicated) answer
+                // rows: they belong to the streamed result.
+                for row in rows {
+                    sink(row.clone());
+                }
+                rows.iter().cloned().collect()
+            }
+            None => HashSet::new(),
+        };
+        if self.materializing {
+            for row in crate::exec::execute_materialized(self.db, &plan)? {
+                if seen.insert(row.clone()) {
+                    sink(row);
+                }
+            }
+        } else {
+            for row in crate::exec::stream(self.db, &plan)? {
+                let row = row?;
+                if seen.insert(row.clone()) {
+                    sink(row);
+                }
+            }
+        }
+        answer_plans.push(plan);
+        Ok(answer_plans)
+    }
+
+    /// Stream cached answer plans (from [`PlanCache::lookup`]) into
+    /// `sink`: nothing but the final head's rows is computed — the
+    /// cached plans embed every derived relation they read — and the
+    /// answer is never collected. Rows are deduplicated across the
+    /// plans. Falls back to [`Evaluator::run_streaming`] if the plan
+    /// list does not line up with the program.
+    pub fn stream_cached_plans(
+        &mut self,
+        program: &Program,
+        plans: &[Plan],
+        mut sink: impl FnMut(Row),
+    ) -> Result<()> {
+        let Some(last) = program.rules.last() else {
+            return Ok(());
+        };
+        let n_answer = program
+            .rules
+            .iter()
+            .filter(|r| r.head.relation == last.head.relation)
+            .count();
+        if n_answer != plans.len() {
+            return self.run_streaming(program, sink);
+        }
+        let mut seen: HashSet<Row> = HashSet::new();
+        for plan in plans {
+            if self.materializing {
+                for row in crate::exec::execute_materialized(self.db, plan)? {
+                    if seen.insert(row.clone()) {
+                        sink(row);
+                    }
+                }
+            } else {
+                for row in crate::exec::stream(self.db, plan)? {
+                    let row = row?;
+                    if seen.insert(row.clone()) {
+                        sink(row);
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     fn check_nonrecursive(&self, rule: &Rule) -> Result<()> {
@@ -261,7 +691,11 @@ impl<'a> Evaluator<'a> {
         if let Some(opts) = &self.optimizer {
             plan = crate::opt::optimize_with(self.db, plan, opts)?;
         }
-        let mut rows = execute(self.db, &plan)?;
+        let mut rows = if self.materializing {
+            crate::exec::execute_materialized(self.db, &plan)?
+        } else {
+            execute(self.db, &plan)?
+        };
         dedup_rows(&mut rows);
         Ok(rows)
     }
@@ -914,6 +1348,280 @@ mod tests {
             ev.eval_rule(&r),
             Err(StorageError::DatalogError(_))
         ));
+    }
+
+    fn reach_program() -> Program {
+        Program {
+            rules: vec![
+                rule(
+                    "Reach1",
+                    vec![v("w")],
+                    vec![pos("E", vec![c(0), any(), v("w")])],
+                ),
+                rule(
+                    "Reach2",
+                    vec![v("w")],
+                    vec![
+                        pos("Reach1", vec![v("x")]),
+                        pos("E", vec![v("x"), any(), v("w")]),
+                    ],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeat_and_invalidates_on_mutation() {
+        let mut db = db();
+        let prog = reach_program();
+        let mut cache = PlanCache::new();
+
+        let mut ev = Evaluator::new(&db);
+        ev.run_cached(&prog, &mut cache).unwrap();
+        let mut first = ev.relation("Reach2").unwrap().to_vec();
+        first.sort();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 1);
+
+        // Same program, unmutated database: served from the cache, same
+        // answer — and the intermediate relation is *not* re-derived
+        // (the cached answer plan embeds it).
+        let mut ev = Evaluator::new(&db);
+        ev.run_cached(&prog, &mut cache).unwrap();
+        let mut second = ev.relation("Reach2").unwrap().to_vec();
+        second.sort();
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(first, second);
+        assert!(
+            ev.relation("Reach1").is_none(),
+            "cache hit must skip intermediate derivation"
+        );
+
+        // A mutation bumps a table version: the stale entry must not be
+        // served, and the recomputed answer reflects the new row.
+        db.table_mut("E").unwrap().insert(row![0, 1, 9]).unwrap();
+        let mut ev = Evaluator::new(&db);
+        ev.run_cached(&prog, &mut cache).unwrap();
+        assert_eq!(cache.misses(), 2);
+        let reach1 = ev.relation("Reach1").unwrap();
+        assert!(reach1.contains(&row![9]), "{reach1:?}");
+
+        // Against a reference evaluation without the cache.
+        let mut plain = Evaluator::new(&db);
+        plain.run(&prog).unwrap();
+        let mut a = ev.relation("Reach2").unwrap().to_vec();
+        let mut b = plain.relation("Reach2").unwrap().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plan_cache_declines_predefined_relations() {
+        let db = db();
+        let mut cache = PlanCache::new();
+        let prog = Program {
+            rules: vec![rule("Q", vec![v("x")], vec![pos("T", vec![v("x")])])],
+        };
+        for rows in [vec![row![1]], vec![row![2]]] {
+            let mut ev = Evaluator::new(&db);
+            ev.define("T", 1, rows.clone());
+            ev.run_cached(&prog, &mut cache).unwrap();
+            // The evaluator carries out-of-program state: the cache must
+            // not serve (or record) plans embedding it.
+            assert_eq!(ev.relation("Q").unwrap(), rows.as_slice());
+        }
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn plan_cache_evicts_fifo() {
+        let db = db();
+        let mut cache = PlanCache::new();
+        for i in 0..(super::PLAN_CACHE_CAP + 8) as i64 {
+            let prog = Program {
+                rules: vec![rule(
+                    "Q",
+                    vec![v("u")],
+                    vec![
+                        pos("Users", vec![v("u"), any()]),
+                        cmp(v("u"), CmpOp::Gt, c(i)),
+                    ],
+                )],
+            };
+            let mut ev = Evaluator::new(&db);
+            ev.run_cached(&prog, &mut cache).unwrap();
+        }
+        assert_eq!(cache.len(), super::PLAN_CACHE_CAP);
+    }
+
+    #[test]
+    fn run_streaming_matches_run() {
+        let db = db();
+        let prog = reach_program();
+        let mut reference = Evaluator::new(&db);
+        reference.run(&prog).unwrap();
+        let mut want = reference.relation("Reach2").unwrap().to_vec();
+        want.sort();
+
+        let mut ev = Evaluator::new(&db);
+        let mut got = Vec::new();
+        ev.run_streaming(&prog, |row| got.push(row)).unwrap();
+        got.sort();
+        assert_eq!(got, want);
+
+        // The final head is *not* materialized in the evaluator — that is
+        // the point of the streaming path — but intermediates are.
+        assert!(ev.relation("Reach2").is_none());
+        assert!(ev.relation("Reach1").is_some());
+    }
+
+    #[test]
+    fn run_streaming_unions_and_dedups_rules_with_same_head() {
+        let db = db();
+        // Both rules derive Q. Rule 1 contributes Alice (uid 1), which
+        // rule 2 (uid > 1) does NOT re-derive: the streamed answer must
+        // still include her — and Bob/Carol, re-derivable or not, only
+        // once.
+        let prog = Program {
+            rules: vec![
+                rule(
+                    "Q",
+                    vec![v("u")],
+                    vec![pos("Users", vec![v("u"), c("Alice")])],
+                ),
+                rule(
+                    "Q",
+                    vec![v("u")],
+                    vec![
+                        pos("Users", vec![v("u"), any()]),
+                        cmp(v("u"), CmpOp::Gt, c(1)),
+                    ],
+                ),
+            ],
+        };
+        let mut reference = Evaluator::new(&db);
+        reference.run(&prog).unwrap();
+        let mut want = reference.relation("Q").unwrap().to_vec();
+        want.sort();
+
+        let mut ev = Evaluator::new(&db);
+        let mut got = Vec::new();
+        ev.run_streaming(&prog, |row| got.push(row)).unwrap();
+        got.sort();
+        assert_eq!(got, want);
+        assert_eq!(got, vec![row![1], row![2], row![3]]);
+    }
+
+    #[test]
+    fn streaming_cache_roundtrip_matches_run_streaming() {
+        let db = db();
+        let prog = reach_program();
+        let mut cache = PlanCache::new();
+
+        // Miss path: stream and record the answer plans.
+        let mut ev = Evaluator::new(&db);
+        let mut first = Vec::new();
+        let plans = ev
+            .run_streaming_collecting_plans(&prog, |row| first.push(row))
+            .unwrap();
+        cache.store(prog.to_string(), PlanCache::db_versions(&db), plans);
+        first.sort();
+
+        // Hit path: stream the cached plans — same rows, nothing but the
+        // answer computed.
+        let cached = cache
+            .lookup(&prog.to_string(), &PlanCache::db_versions(&db))
+            .expect("entry just stored");
+        let mut ev = Evaluator::new(&db);
+        let mut second = Vec::new();
+        ev.stream_cached_plans(&prog, &cached, |row| second.push(row))
+            .unwrap();
+        second.sort();
+        assert_eq!(first, second);
+        assert!(
+            ev.relation("Reach1").is_none(),
+            "cached streaming must skip intermediate derivation"
+        );
+    }
+
+    #[test]
+    fn plan_cache_row_budget_bounds_memory() {
+        let db = db();
+        // Every cached answer plan embeds the Reach1 rows (3 of them) as
+        // a Values leaf. With a budget of 4 embedded rows, at most one
+        // such entry fits at a time, and eviction keeps the total within
+        // budget.
+        let mut cache = PlanCache::with_row_budget(4);
+        for i in 0..3i64 {
+            let prog = Program {
+                rules: vec![
+                    rule(
+                        "Reach1",
+                        vec![v("w")],
+                        vec![pos("E", vec![c(0), any(), v("w")])],
+                    ),
+                    rule(
+                        "Reach2",
+                        vec![v("w")],
+                        vec![
+                            pos("Reach1", vec![v("x")]),
+                            pos("E", vec![v("x"), any(), v("w")]),
+                            cmp(v("w"), CmpOp::Ge, c(i)),
+                        ],
+                    ),
+                ],
+            };
+            let mut ev = Evaluator::new(&db);
+            ev.run_cached(&prog, &mut cache).unwrap();
+            assert!(
+                cache.embedded_row_count() <= 4,
+                "budget exceeded: {} rows cached",
+                cache.embedded_row_count()
+            );
+        }
+        assert!(
+            cache.len() <= 1,
+            "{} entries fit a 4-row budget",
+            cache.len()
+        );
+
+        // A zero budget caches nothing (every entry is oversized), but
+        // evaluation still works.
+        let mut none = PlanCache::with_row_budget(0);
+        let prog = Program {
+            rules: vec![rule(
+                "Q",
+                vec![v("u")],
+                vec![pos("Users", vec![v("u"), any()])],
+            )],
+        };
+        let mut ev = Evaluator::new(&db);
+        ev.run_cached(&prog, &mut none).unwrap();
+        assert_eq!(ev.relation("Q").unwrap().len(), 3);
+        assert!(none.is_empty() || none.embedded_row_count() == 0);
+    }
+
+    #[test]
+    fn materializing_executor_mode_agrees() {
+        let db = db();
+        let r = rule(
+            "Q",
+            vec![v("u1"), v("u2"), v("w2")],
+            vec![
+                pos("E", vec![c(0), v("u1"), v("w")]),
+                pos("E", vec![v("w"), v("u2"), v("w2")]),
+            ],
+        );
+        let streaming = Evaluator::new(&db);
+        let materializing = Evaluator::new(&db).use_materializing_executor();
+        let mut a = streaming.eval_rule(&r).unwrap();
+        let mut b = materializing.eval_rule(&r).unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
     }
 
     #[test]

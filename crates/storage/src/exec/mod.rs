@@ -1,15 +1,31 @@
 //! Plan execution.
 //!
-//! The executor materializes each operator's output (`Vec<Row>`). For the
-//! data sizes of the paper's experiments (≤ a few million internal tuples)
-//! this is simpler and fast enough; joins are hash joins whenever an
-//! equi-key is available, falling back to nested loops with a predicate.
+//! Two executors share this module:
 //!
-//! One access-path optimization is applied, mirroring what the paper gets
-//! from SQL Server's "clustered indexes over the internal keys": a
-//! `Selection` directly over a `Scan` uses the table's primary key or a
-//! covering secondary index when the predicate pins those columns with
-//! equality conjuncts.
+//! * the **streaming executor** ([`stream`], [`Executor`], [`RowStream`])
+//!   — the default. Scan, Selection, Projection, Union, Distinct, Limit,
+//!   and the probe side of (anti-)joins pipeline rows one at a time; the
+//!   hash-join build side, Aggregate, and Sort are the only
+//!   materialization points, so intermediate results stay bounded by the
+//!   build/group/sort state instead of every operator's full output;
+//! * the **materializing executor** ([`execute_materialized`]) — the
+//!   original operator-at-a-time evaluator, kept as the executable
+//!   specification for differential testing and the `exec_streaming`
+//!   bench.
+//!
+//! [`execute`] is a thin collect-the-stream wrapper, so call sites that
+//! want a `Vec<Row>` are unchanged.
+//!
+//! One access-path optimization is applied by both, mirroring what the
+//! paper gets from SQL Server's "clustered indexes over the internal
+//! keys": a `Selection` directly over a `Scan` uses the table's primary
+//! key or a covering secondary index when the predicate pins those
+//! columns with equality conjuncts, and small join inputs probe indexes
+//! on the other side instead of materializing it.
+
+pub mod stream;
+
+pub use stream::{stream, Executor, RowStream};
 
 use crate::catalog::Database;
 use crate::error::{Result, StorageError};
@@ -21,11 +37,11 @@ use crate::value::Value;
 use std::collections::HashMap;
 
 /// Execute a plan against a database, returning materialized rows.
+///
+/// This is a thin wrapper collecting the streaming executor's output;
+/// use [`stream`] directly to consume rows without building the vector.
 pub fn execute(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
-    // Validate arities once at the root; recursion below assumes shapes are
-    // consistent.
-    plan.arity(db)?;
-    run(db, plan)
+    stream::stream(db, plan)?.collect_rows()
 }
 
 /// Run the plan through the cost-based optimizer (see [`crate::opt`]),
@@ -33,7 +49,19 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
 /// evaluation order (and therefore the running time) changes.
 pub fn execute_optimized(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
     let optimized = crate::opt::optimize(db, plan.clone())?;
-    run(db, &optimized)
+    let rows = stream::stream(db, &optimized)?;
+    rows.collect_rows()
+}
+
+/// Execute with the original operator-at-a-time evaluator, which
+/// materializes every operator's full output. Kept as the executable
+/// specification the streaming executor is differentially tested against
+/// (and as the baseline of the `exec_streaming` bench).
+pub fn execute_materialized(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
+    // Validate arities once at the root; recursion below assumes shapes are
+    // consistent.
+    plan.arity(db)?;
+    run(db, plan)
 }
 
 fn run(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
@@ -114,7 +142,7 @@ fn run(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
             aggs,
         } => {
             let rows = run(db, input)?;
-            aggregate_rows(&rows, group_by, aggs)
+            aggregate_stream(rows.into_iter().map(Ok), group_by, aggs)
         }
         Plan::Values { rows, .. } => Ok(rows.clone()),
         Plan::Sort { input, by } => {
@@ -456,7 +484,14 @@ fn anti_join_rows(
     Ok(out)
 }
 
-fn aggregate_rows(rows: &[Row], group_by: &[usize], aggs: &[Agg]) -> Result<Vec<Row>> {
+/// Hash aggregation over a stream of rows. Shared by both executors: the
+/// accumulators consume rows one at a time, so only one row per group is
+/// ever held (the aggregate's output, not its input, bounds the memory).
+fn aggregate_stream(
+    rows: impl Iterator<Item = Result<Row>>,
+    group_by: &[usize],
+    aggs: &[Agg],
+) -> Result<Vec<Row>> {
     #[derive(Clone)]
     enum Acc {
         Count(i64),
@@ -478,6 +513,7 @@ fn aggregate_rows(rows: &[Row], group_by: &[usize], aggs: &[Agg]) -> Result<Vec<
         groups.insert(Box::from([]), fresh());
     }
     for row in rows {
+        let row = row?;
         let key: Box<[Value]> = group_by.iter().map(|&c| row[c].clone()).collect();
         let accs = groups.entry(key).or_insert_with(fresh);
         for (acc, agg) in accs.iter_mut().zip(aggs) {

@@ -49,7 +49,7 @@ pub mod value;
 
 pub use catalog::Database;
 pub use error::{Result, StorageError};
-pub use exec::{execute, execute_optimized};
+pub use exec::{execute, execute_materialized, execute_optimized, stream, Executor, RowStream};
 pub use expr::{CmpOp, Expr};
 pub use index::RowId;
 pub use opt::{optimize, optimize_with, OptimizerOptions, StatsCatalog};

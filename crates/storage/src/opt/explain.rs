@@ -1,9 +1,15 @@
 //! `EXPLAIN`: a stable, deterministic rendering of a physical plan tree,
-//! annotated with estimated cardinalities and the access path the
-//! executor will pick (primary-key lookup, secondary-index probe, or
-//! scan).
+//! annotated with estimated cardinalities, the access path the executor
+//! will pick (primary-key lookup, secondary-index probe, or scan), and
+//! whether each operator pipelines rows or materializes its input under
+//! the streaming executor ([`crate::exec::stream`]).
+//!
+//! Estimates are computed in **one bottom-up pass** shared with the
+//! rendering ([`EstTree`]): every node — in particular every sampled
+//! `Values` leaf — is estimated exactly once, so rendering is linear in
+//! plan size instead of quadratic.
 
-use super::stats::{estimate, StatsCatalog};
+use super::stats::{combine, RelEstimate, StatsCatalog};
 use crate::catalog::Database;
 use crate::exec::access_path_note;
 use crate::plan::{Agg, Plan};
@@ -12,8 +18,9 @@ use crate::plan::{Agg, Plan};
 /// the plan structure, estimates are integers, and no hash-map iteration
 /// is involved.
 pub fn render(db: &Database, catalog: &StatsCatalog, plan: &Plan) -> String {
+    let est = EstTree::build(catalog, plan);
     let mut out = String::new();
-    render_node(db, catalog, plan, 0, &mut out);
+    render_node(db, plan, &est, 0, &mut out);
     out
 }
 
@@ -22,15 +29,54 @@ pub fn render_with_snapshot(db: &Database, plan: &Plan) -> String {
     render(db, &StatsCatalog::snapshot(db), plan)
 }
 
+/// Per-node estimates memoized in plan shape: children mirror
+/// [`Plan::children`] order.
+struct EstTree {
+    est: RelEstimate,
+    children: Vec<EstTree>,
+}
+
+impl EstTree {
+    fn build(catalog: &StatsCatalog, plan: &Plan) -> EstTree {
+        let children: Vec<EstTree> = plan
+            .children()
+            .into_iter()
+            .map(|c| EstTree::build(catalog, c))
+            .collect();
+        let child_ests: Vec<RelEstimate> = children.iter().map(|c| c.est.clone()).collect();
+        EstTree {
+            est: combine(catalog, plan, &child_ests),
+            children,
+        }
+    }
+}
+
 fn indent(depth: usize, out: &mut String) {
     for _ in 0..depth {
         out.push_str("  ");
     }
 }
 
-fn est_note(catalog: &StatsCatalog, plan: &Plan) -> String {
-    let rows = estimate(catalog, plan).rows;
-    format!(" (est={})", rows.round().max(0.0) as u64)
+fn est_note(est: &EstTree) -> String {
+    format!(" (est={})", est.est.rows.round().max(0.0) as u64)
+}
+
+/// How the streaming executor evaluates this operator: forwarding rows
+/// one at a time, or consuming its whole input first. Joins and
+/// anti-joins pipeline their probe (left) side while the build (right)
+/// side is materialized into the hash table.
+fn exec_note(plan: &Plan) -> &'static str {
+    match plan {
+        Plan::Scan { .. }
+        | Plan::Values { .. }
+        | Plan::Selection { .. }
+        | Plan::Projection { .. }
+        | Plan::Union { .. }
+        | Plan::Distinct { .. }
+        | Plan::Limit { .. } => " [pipeline]",
+        Plan::Join { .. } | Plan::AntiJoin { .. } => " [pipeline; build=right]",
+        Plan::Aggregate { .. } | Plan::Sort { .. } => " [materialize]",
+    }
 }
 
 fn on_note(on: &[(usize, usize)]) -> String {
@@ -41,12 +87,13 @@ fn on_note(on: &[(usize, usize)]) -> String {
     format!(" on [{}]", pairs.join(", "))
 }
 
-fn render_node(db: &Database, catalog: &StatsCatalog, plan: &Plan, depth: usize, out: &mut String) {
+fn render_node(db: &Database, plan: &Plan, est: &EstTree, depth: usize, out: &mut String) {
     indent(depth, out);
+    let exec = exec_note(plan);
     match plan {
         Plan::Scan { table } => {
             let rows = db.table(table).map(|t| t.len()).unwrap_or(0);
-            out.push_str(&format!("Scan {table} (rows={rows})\n"));
+            out.push_str(&format!("Scan {table} (rows={rows}){exec}\n"));
         }
         Plan::Selection { input, predicate } => {
             let access = match input.as_ref() {
@@ -55,19 +102,19 @@ fn render_node(db: &Database, catalog: &StatsCatalog, plan: &Plan, depth: usize,
             };
             let access = access.map(|a| format!(" [{a}]")).unwrap_or_default();
             out.push_str(&format!(
-                "Select {predicate}{access}{}\n",
-                est_note(catalog, plan)
+                "Select {predicate}{access}{}{exec}\n",
+                est_note(est)
             ));
-            render_node(db, catalog, input, depth + 1, out);
+            render_node(db, input, &est.children[0], depth + 1, out);
         }
         Plan::Projection { input, exprs } => {
             let cols: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
             out.push_str(&format!(
-                "Project [{}]{}\n",
+                "Project [{}]{}{exec}\n",
                 cols.join(", "),
-                est_note(catalog, plan)
+                est_note(est)
             ));
-            render_node(db, catalog, input, depth + 1, out);
+            render_node(db, input, &est.children[0], depth + 1, out);
         }
         Plan::Join {
             left,
@@ -81,12 +128,12 @@ fn render_node(db: &Database, catalog: &StatsCatalog, plan: &Plan, depth: usize,
                 .unwrap_or_default();
             let probe = join_probe_note(db, right, on);
             out.push_str(&format!(
-                "Join{}{res}{probe}{}\n",
+                "Join{}{res}{probe}{}{exec}\n",
                 on_note(on),
-                est_note(catalog, plan)
+                est_note(est)
             ));
-            render_node(db, catalog, left, depth + 1, out);
-            render_node(db, catalog, right, depth + 1, out);
+            render_node(db, left, &est.children[0], depth + 1, out);
+            render_node(db, right, &est.children[1], depth + 1, out);
         }
         Plan::AntiJoin {
             left,
@@ -99,21 +146,21 @@ fn render_node(db: &Database, catalog: &StatsCatalog, plan: &Plan, depth: usize,
                 .map(|r| format!(" where {r}"))
                 .unwrap_or_default();
             out.push_str(&format!(
-                "AntiJoin{}{res}{}\n",
+                "AntiJoin{}{res}{}{exec}\n",
                 on_note(on),
-                est_note(catalog, plan)
+                est_note(est)
             ));
-            render_node(db, catalog, left, depth + 1, out);
-            render_node(db, catalog, right, depth + 1, out);
+            render_node(db, left, &est.children[0], depth + 1, out);
+            render_node(db, right, &est.children[1], depth + 1, out);
         }
         Plan::Distinct { input } => {
-            out.push_str(&format!("Distinct{}\n", est_note(catalog, plan)));
-            render_node(db, catalog, input, depth + 1, out);
+            out.push_str(&format!("Distinct{}{exec}\n", est_note(est)));
+            render_node(db, input, &est.children[0], depth + 1, out);
         }
         Plan::Union { inputs } => {
-            out.push_str(&format!("Union{}\n", est_note(catalog, plan)));
-            for p in inputs {
-                render_node(db, catalog, p, depth + 1, out);
+            out.push_str(&format!("Union{}{exec}\n", est_note(est)));
+            for (p, e) in inputs.iter().zip(&est.children) {
+                render_node(db, p, e, depth + 1, out);
             }
         }
         Plan::Aggregate {
@@ -131,24 +178,24 @@ fn render_node(db: &Database, catalog: &StatsCatalog, plan: &Plan, depth: usize,
                 .collect();
             let groups: Vec<String> = group_by.iter().map(|g| format!("#{g}")).collect();
             out.push_str(&format!(
-                "Aggregate group=[{}] aggs=[{}]{}\n",
+                "Aggregate group=[{}] aggs=[{}]{}{exec}\n",
                 groups.join(", "),
                 aggs.join(", "),
-                est_note(catalog, plan)
+                est_note(est)
             ));
-            render_node(db, catalog, input, depth + 1, out);
+            render_node(db, input, &est.children[0], depth + 1, out);
         }
         Plan::Values { arity, rows } => {
-            out.push_str(&format!("Values {}x{arity}\n", rows.len()));
+            out.push_str(&format!("Values {}x{arity}{exec}\n", rows.len()));
         }
         Plan::Sort { input, by } => {
             let by: Vec<String> = by.iter().map(|c| format!("#{c}")).collect();
-            out.push_str(&format!("Sort by [{}]\n", by.join(", ")));
-            render_node(db, catalog, input, depth + 1, out);
+            out.push_str(&format!("Sort by [{}]{exec}\n", by.join(", ")));
+            render_node(db, input, &est.children[0], depth + 1, out);
         }
         Plan::Limit { input, n } => {
-            out.push_str(&format!("Limit {n}\n"));
-            render_node(db, catalog, input, depth + 1, out);
+            out.push_str(&format!("Limit {n}{exec}\n"));
+            render_node(db, input, &est.children[0], depth + 1, out);
         }
     }
 }
@@ -238,6 +285,48 @@ mod tests {
         .join(Plan::scan("V"), vec![(0, 0)]);
         let text = render_with_snapshot(&db, &join);
         assert!(text.contains("[probe V.by_wid]"), "{text}");
+    }
+
+    #[test]
+    fn annotates_pipeline_vs_materialization() {
+        let db = db();
+        let plan = Plan::scan("V")
+            .select(Expr::col_eq_lit(2, "+"))
+            .join(Plan::scan("R"), vec![(1, 0)])
+            .sort(vec![0])
+            .limit(3);
+        let text = render_with_snapshot(&db, &plan);
+        assert!(text.contains("Limit 3 [pipeline]"), "{text}");
+        assert!(text.contains("Sort by [#0] [materialize]"), "{text}");
+        assert!(text.contains("[pipeline; build=right]"), "{text}");
+        assert!(text.contains("Scan R (rows=1) [pipeline]"), "{text}");
+        let agg = Plan::Aggregate {
+            input: Box::new(Plan::scan("V")),
+            group_by: vec![0],
+            aggs: vec![Agg::Count],
+        };
+        let text = render_with_snapshot(&db, &agg);
+        assert!(text.contains("[materialize]"), "{text}");
+    }
+
+    #[test]
+    fn estimates_match_the_recursive_estimator() {
+        // The memoized bottom-up pass must agree with `stats::estimate`
+        // node-for-node (same formulas, evaluated once each).
+        let db = db();
+        let catalog = StatsCatalog::snapshot(&db);
+        let plan = Plan::scan("V")
+            .select(Expr::col_eq_lit(0, 3i64))
+            .join(Plan::scan("R"), vec![(1, 0)])
+            .distinct();
+        let tree = EstTree::build(&catalog, &plan);
+        fn walk(catalog: &StatsCatalog, plan: &Plan, tree: &EstTree) {
+            assert_eq!(tree.est, super::super::stats::estimate(catalog, plan));
+            for (c, t) in plan.children().into_iter().zip(&tree.children) {
+                walk(catalog, c, t);
+            }
+        }
+        walk(&catalog, &plan, &tree);
     }
 
     #[test]

@@ -144,6 +144,28 @@ pub fn reorder_joins(db: &Database, catalog: &StatsCatalog, plan: Plan) -> Resul
     }
 }
 
+/// Reorder *inside* a chain leaf. A leaf can itself be a `Join` when
+/// [`flatten`] kept it intact (its residual is not boolean-shaped and
+/// must not be re-evaluated elsewhere); re-entering [`reorder_joins`] on
+/// that node would flatten it to a single leaf again and recurse
+/// forever, so only its inputs are reordered.
+fn reorder_leaf(db: &Database, catalog: &StatsCatalog, leaf: Plan) -> Result<Plan> {
+    match leaf {
+        Plan::Join {
+            left,
+            right,
+            on,
+            residual,
+        } => Ok(Plan::Join {
+            left: Box::new(reorder_joins(db, catalog, *left)?),
+            right: Box::new(reorder_joins(db, catalog, *right)?),
+            on,
+            residual,
+        }),
+        other => reorder_joins(db, catalog, other),
+    }
+}
+
 fn reorder_chain(db: &Database, catalog: &StatsCatalog, plan: Plan) -> Result<Plan> {
     let mut chain = Chain {
         leaves: Vec::new(),
@@ -158,7 +180,7 @@ fn reorder_chain(db: &Database, catalog: &StatsCatalog, plan: Plan) -> Result<Pl
     // Reorder inside each leaf first (nested chains under e.g. a distinct).
     for leaf in &mut chain.leaves {
         let taken = std::mem::replace(leaf, Plan::unit());
-        *leaf = reorder_joins(db, catalog, taken)?;
+        *leaf = reorder_leaf(db, catalog, taken)?;
     }
     let n = chain.leaves.len();
     if n < 2 {

@@ -34,7 +34,7 @@ pub mod rules;
 pub mod stats;
 
 pub use explain::{render, render_with_snapshot};
-pub use stats::{estimate, selectivity, RelEstimate, StatsCatalog, TableStats};
+pub use stats::{combine, estimate, selectivity, RelEstimate, StatsCatalog, TableStats};
 
 use crate::catalog::Database;
 use crate::error::Result;

@@ -173,12 +173,27 @@ impl RelEstimate {
     }
 }
 
-/// Estimate the output cardinality of `plan`.
+/// Estimate the output cardinality of `plan`, recursing into children.
 ///
 /// Unknown tables (derived relations registered elsewhere) get a small
 /// default so estimation never fails: the optimizer must behave on any
 /// plan the executor accepts.
 pub fn estimate(catalog: &StatsCatalog, plan: &Plan) -> RelEstimate {
+    let children: Vec<RelEstimate> = plan
+        .children()
+        .into_iter()
+        .map(|c| estimate(catalog, c))
+        .collect();
+    combine(catalog, plan, &children)
+}
+
+/// Combine pre-computed child estimates (in [`Plan::children`] order) into
+/// this node's estimate — the non-recursive core of [`estimate`].
+///
+/// `EXPLAIN` uses this to annotate a whole plan tree in one bottom-up
+/// pass: each node (in particular each sampled `Values` leaf) is
+/// estimated exactly once instead of once per ancestor.
+pub fn combine(catalog: &StatsCatalog, plan: &Plan, children: &[RelEstimate]) -> RelEstimate {
     match plan {
         Plan::Scan { table } => match catalog.table(table) {
             Some(s) => RelEstimate {
@@ -192,14 +207,14 @@ pub fn estimate(catalog: &StatsCatalog, plan: &Plan) -> RelEstimate {
             },
         },
         Plan::Values { arity, rows } => values_estimate(*arity, rows),
-        Plan::Selection { input, predicate } => {
-            let mut est = estimate(catalog, input);
+        Plan::Selection { predicate, .. } => {
+            let mut est = children[0].clone();
             let sel = selectivity(predicate, &est);
             est.rows *= sel;
             est.capped()
         }
-        Plan::Projection { input, exprs } => {
-            let inner = estimate(catalog, input);
+        Plan::Projection { exprs, .. } => {
+            let inner = &children[0];
             let distinct = exprs
                 .iter()
                 .map(|e| match e {
@@ -214,14 +229,8 @@ pub fn estimate(catalog: &StatsCatalog, plan: &Plan) -> RelEstimate {
             }
             .capped()
         }
-        Plan::Join {
-            left,
-            right,
-            on,
-            residual,
-        } => {
-            let l = estimate(catalog, left);
-            let r = estimate(catalog, right);
+        Plan::Join { on, residual, .. } => {
+            let (l, r) = (&children[0], &children[1]);
             let mut rows = l.rows * r.rows;
             for &(lc, rc) in on {
                 let dl = l.distinct.get(lc).copied().unwrap_or(l.rows);
@@ -236,11 +245,8 @@ pub fn estimate(catalog: &StatsCatalog, plan: &Plan) -> RelEstimate {
             }
             est.capped()
         }
-        Plan::AntiJoin {
-            left, right, on, ..
-        } => {
-            let l = estimate(catalog, left);
-            let r = estimate(catalog, right);
+        Plan::AntiJoin { on, .. } => {
+            let (l, r) = (&children[0], &children[1]);
             // Fraction of left rows with no partner; crude but monotone in
             // the right side's coverage of the key domain.
             let survive = if on.is_empty() || r.rows <= 0.0 {
@@ -262,12 +268,12 @@ pub fn estimate(catalog: &StatsCatalog, plan: &Plan) -> RelEstimate {
             };
             RelEstimate {
                 rows: l.rows * survive,
-                distinct: l.distinct,
+                distinct: l.distinct.clone(),
             }
             .capped()
         }
-        Plan::Distinct { input } => {
-            let inner = estimate(catalog, input);
+        Plan::Distinct { .. } => {
+            let inner = &children[0];
             let combos: f64 = inner
                 .distinct
                 .iter()
@@ -279,32 +285,27 @@ pub fn estimate(catalog: &StatsCatalog, plan: &Plan) -> RelEstimate {
             };
             RelEstimate {
                 rows,
-                distinct: inner.distinct,
+                distinct: inner.distinct.clone(),
             }
             .capped()
         }
-        Plan::Union { inputs } => {
+        Plan::Union { .. } => {
             let mut rows = 0.0;
             let mut distinct: Vec<f64> = Vec::new();
-            for p in inputs {
-                let e = estimate(catalog, p);
+            for e in children {
                 rows += e.rows;
                 if distinct.is_empty() {
-                    distinct = e.distinct;
+                    distinct = e.distinct.clone();
                 } else {
-                    for (a, b) in distinct.iter_mut().zip(e.distinct) {
+                    for (a, b) in distinct.iter_mut().zip(&e.distinct) {
                         *a += b;
                     }
                 }
             }
             RelEstimate { rows, distinct }.capped()
         }
-        Plan::Aggregate {
-            input,
-            group_by,
-            aggs,
-        } => {
-            let inner = estimate(catalog, input);
+        Plan::Aggregate { group_by, aggs, .. } => {
+            let inner = &children[0];
             let groups: f64 = group_by
                 .iter()
                 .map(|&g| inner.distinct.get(g).copied().unwrap_or(inner.rows))
@@ -320,12 +321,12 @@ pub fn estimate(catalog: &StatsCatalog, plan: &Plan) -> RelEstimate {
             }));
             RelEstimate { rows, distinct }.capped()
         }
-        Plan::Sort { input, .. } => estimate(catalog, input),
-        Plan::Limit { input, n } => {
-            let inner = estimate(catalog, input);
+        Plan::Sort { .. } => children[0].clone(),
+        Plan::Limit { n, .. } => {
+            let inner = &children[0];
             RelEstimate {
                 rows: inner.rows.min(*n as f64),
-                distinct: inner.distinct,
+                distinct: inner.distinct.clone(),
             }
             .capped()
         }

@@ -149,6 +149,24 @@ impl Plan {
         }
     }
 
+    /// Child plans in evaluation order (left before right). Used by the
+    /// optimizer's single-pass bottom-up estimation and by `EXPLAIN`.
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan { .. } | Plan::Values { .. } => Vec::new(),
+            Plan::Selection { input, .. }
+            | Plan::Projection { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => vec![input],
+            Plan::Join { left, right, .. } | Plan::AntiJoin { left, right, .. } => {
+                vec![left, right]
+            }
+            Plan::Union { inputs } => inputs.iter().collect(),
+        }
+    }
+
     /// Number of output columns, validated against the catalog.
     pub fn arity(&self, db: &Database) -> Result<usize> {
         match self {

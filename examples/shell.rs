@@ -94,6 +94,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             continue;
         }
+        // SELECTs stream: each row is printed the moment the executor
+        // produces it (the streaming pipeline never collects the result),
+        // with the column header and count as a footer. DML and EXPLAIN
+        // go through the collecting path.
+        if line
+            .get(..6)
+            .is_some_and(|h| h.eq_ignore_ascii_case("select"))
+        {
+            match session.query_streaming(line, |row| println!("{row}")) {
+                Ok((columns, n)) => println!(
+                    "({n} row{} of {})",
+                    if n == 1 { "" } else { "s" },
+                    columns.join(", ")
+                ),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
         match session.execute(line) {
             Ok(result) => println!("{result}"),
             Err(e) => println!("error: {e}"),

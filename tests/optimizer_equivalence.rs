@@ -13,180 +13,21 @@
 //! 3. **EXPLAIN determinism** — the rendered plan tree is stable across
 //!    runs.
 
+mod common;
+
 use beliefdb::core::bcq::{Bcq, CmpPred, PathElem, QueryTerm, Subgoal};
 use beliefdb::core::{Bdms, RelId, Sign, UserId};
 use beliefdb::gen::{generate_logical, DepthDist, GeneratorConfig};
 use beliefdb::storage::{
-    execute, execute_optimized, row, CmpOp, Database, Expr, Plan, Row, TableSchema, Value,
+    execute, execute_optimized, row, CmpOp, Database, Expr, Plan, TableSchema,
 };
+use common::{contains_order_sensitive_limit, gen_plan, plan_db, sorted};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 // ---------------------------------------------------------------------------
-// Layer 1: fuzzed relational plans
+// Layer 1: fuzzed relational plans (generator shared via tests/common)
 // ---------------------------------------------------------------------------
-
-fn plan_db() -> Database {
-    let mut db = Database::new();
-    let users = db
-        .create_table(TableSchema::with_key("Users", &["uid", "name"]))
-        .unwrap();
-    for i in 1..=40i64 {
-        users
-            .insert(row![i, format!("user{}", i % 7).as_str()])
-            .unwrap();
-    }
-    let e = db
-        .create_table(TableSchema::keyless("E", &["w1", "u", "w2"]))
-        .unwrap();
-    e.create_index("by_w1_u", &["w1", "u"]).unwrap();
-    for w in 0..30i64 {
-        for u in 1..=5i64 {
-            e.insert(row![w, u, (w * u + u) % 30]).unwrap();
-        }
-    }
-    let v = db
-        .create_table(TableSchema::keyless("V", &["wid", "tid", "s"]))
-        .unwrap();
-    v.create_index("by_wid", &["wid"]).unwrap();
-    for i in 0..300i64 {
-        v.insert(row![i % 30, i % 60, if i % 3 == 0 { "+" } else { "-" }])
-            .unwrap();
-    }
-    db
-}
-
-/// A random predicate over `arity` columns.
-fn gen_pred(rng: &mut StdRng, arity: usize, depth: usize) -> Expr {
-    let leaf = |rng: &mut StdRng| -> Expr {
-        let c = rng.gen_range(0..arity);
-        let op = match rng.gen_range(0..4u32) {
-            0 => CmpOp::Eq,
-            1 => CmpOp::Ne,
-            2 => CmpOp::Lt,
-            _ => CmpOp::Ge,
-        };
-        if rng.gen_bool(0.5) {
-            let lit: Value = match rng.gen_range(0..3u32) {
-                0 => Value::int(rng.gen_range(0..30u32) as i64),
-                1 => Value::str(if rng.gen_bool(0.5) { "+" } else { "-" }),
-                _ => Value::str(format!("user{}", rng.gen_range(0..7u32))),
-            };
-            Expr::cmp(op, Expr::Col(c), Expr::Lit(lit))
-        } else {
-            Expr::cmp(op, Expr::Col(c), Expr::Col(rng.gen_range(0..arity)))
-        }
-    };
-    if depth == 0 || rng.gen_bool(0.4) {
-        return leaf(rng);
-    }
-    match rng.gen_range(0..3u32) {
-        0 => Expr::and(
-            (0..rng.gen_range(1..4usize))
-                .map(|_| gen_pred(rng, arity, depth - 1))
-                .collect(),
-        ),
-        1 => Expr::or(
-            (0..rng.gen_range(1..4usize))
-                .map(|_| gen_pred(rng, arity, depth - 1))
-                .collect(),
-        ),
-        _ => Expr::Not(Box::new(gen_pred(rng, arity, depth - 1))),
-    }
-}
-
-/// A random arity-correct plan. Returns the plan and its arity.
-fn gen_plan(rng: &mut StdRng, depth: usize) -> (Plan, usize) {
-    if depth == 0 || rng.gen_bool(0.25) {
-        return match rng.gen_range(0..4u32) {
-            0 => (Plan::scan("Users"), 2),
-            1 => (Plan::scan("E"), 3),
-            2 => (Plan::scan("V"), 3),
-            _ => {
-                let arity = rng.gen_range(1..4usize);
-                let n = rng.gen_range(0..6usize);
-                let rows: Vec<Row> = (0..n)
-                    .map(|_| {
-                        Row::new(
-                            (0..arity)
-                                .map(|_| Value::int(rng.gen_range(0..20u32) as i64))
-                                .collect::<Vec<_>>(),
-                        )
-                    })
-                    .collect();
-                (Plan::Values { arity, rows }, arity)
-            }
-        };
-    }
-    match rng.gen_range(0..8u32) {
-        0 => {
-            let (p, a) = gen_plan(rng, depth - 1);
-            (p.select(gen_pred(rng, a, 2)), a)
-        }
-        1 => {
-            let (p, a) = gen_plan(rng, depth - 1);
-            let out = rng.gen_range(1..4usize);
-            let cols: Vec<usize> = (0..out).map(|_| rng.gen_range(0..a)).collect();
-            (p.project_cols(&cols), out)
-        }
-        2 => {
-            let (l, la) = gen_plan(rng, depth - 1);
-            let (r, ra) = gen_plan(rng, depth - 1);
-            let keys = rng.gen_range(0..3usize);
-            let on: Vec<(usize, usize)> = (0..keys)
-                .map(|_| (rng.gen_range(0..la), rng.gen_range(0..ra)))
-                .collect();
-            let joined = if rng.gen_bool(0.3) {
-                let residual = gen_pred(rng, la + ra, 1);
-                l.join_where(r, on, residual)
-            } else {
-                l.join(r, on)
-            };
-            (joined, la + ra)
-        }
-        3 => {
-            let (l, la) = gen_plan(rng, depth - 1);
-            let (r, ra) = gen_plan(rng, depth - 1);
-            let keys = rng.gen_range(0..3usize);
-            let on: Vec<(usize, usize)> = (0..keys)
-                .map(|_| (rng.gen_range(0..la), rng.gen_range(0..ra)))
-                .collect();
-            (l.anti_join(r, on), la)
-        }
-        4 => {
-            let (l, la) = gen_plan(rng, depth - 1);
-            let (r, ra) = gen_plan(rng, depth - 1);
-            // Align arities with projections for a valid union.
-            let a = la.min(ra);
-            let cols: Vec<usize> = (0..a).collect();
-            (
-                Plan::Union {
-                    inputs: vec![l.project_cols(&cols), r.project_cols(&cols)],
-                },
-                a,
-            )
-        }
-        5 => {
-            let (p, a) = gen_plan(rng, depth - 1);
-            (p.distinct(), a)
-        }
-        6 => {
-            let (p, a) = gen_plan(rng, depth - 1);
-            let by: Vec<usize> = (0..a.min(2)).map(|_| rng.gen_range(0..a)).collect();
-            (p.sort(by), a)
-        }
-        _ => {
-            let (p, a) = gen_plan(rng, depth - 1);
-            (p.limit(rng.gen_range(0..50usize)), a)
-        }
-    }
-}
-
-/// Multiset comparison via sort.
-fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
-    rows.sort();
-    rows
-}
 
 #[test]
 fn fuzzed_plans_agree_with_and_without_optimizer() {
@@ -220,22 +61,31 @@ fn fuzzed_plans_agree_with_and_without_optimizer() {
     );
 }
 
-/// `Limit` over anything whose order the optimizer may change picks
-/// different rows; that is allowed behaviour, so those plans are skipped.
-fn contains_order_sensitive_limit(p: &Plan) -> bool {
-    match p {
-        Plan::Limit { input, .. } => !matches!(input.as_ref(), Plan::Sort { .. }),
-        Plan::Scan { .. } | Plan::Values { .. } => false,
-        Plan::Selection { input, .. }
-        | Plan::Projection { input, .. }
-        | Plan::Distinct { input }
-        | Plan::Sort { input, .. } => contains_order_sensitive_limit(input),
-        Plan::Join { left, right, .. } | Plan::AntiJoin { left, right, .. } => {
-            contains_order_sensitive_limit(left) || contains_order_sensitive_limit(right)
-        }
-        Plan::Union { inputs } => inputs.iter().any(contains_order_sensitive_limit),
-        Plan::Aggregate { input, .. } => contains_order_sensitive_limit(input),
-    }
+/// Regression (formerly `tests/tmp_repro.rs`): a join whose residual is
+/// not boolean-shaped (`Expr::Col(0)` can raise a TypeError at eval time)
+/// must survive the reorder pass without panicking, and the optimized
+/// plan must fail or succeed exactly like the original.
+#[test]
+fn reorder_keeps_fallible_residuals_intact() {
+    let mut db = Database::new();
+    let t = db.create_table(TableSchema::keyless("T", &["a"])).unwrap();
+    t.insert(row![1]).unwrap();
+    let u = db.create_table(TableSchema::keyless("U", &["b"])).unwrap();
+    u.insert(row![2]).unwrap();
+    let plan = Plan::scan("T").join_where(Plan::scan("U"), vec![], Expr::Col(0));
+    let opts = beliefdb::storage::OptimizerOptions {
+        fold: false,
+        pushdown: false,
+        simplify: false,
+        reorder_joins: true,
+        prune: false,
+    };
+    let optimized = beliefdb::storage::optimize_with(&db, plan.clone(), &opts)
+        .expect("reorder must not reject a fallible residual");
+    // Both plans evaluate the residual over a real row pair, so both must
+    // surface the same TypeError instead of silently dropping rows.
+    assert!(execute(&db, &plan).is_err());
+    assert!(execute(&db, &optimized).is_err());
 }
 
 // ---------------------------------------------------------------------------
