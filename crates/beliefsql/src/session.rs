@@ -163,7 +163,10 @@ impl Session {
     /// nothing is collected, so the first row reaches the consumer before
     /// the query finishes and an interrupted consumer never pays for the
     /// full result. Rows are deduplicated but arrive in executor order
-    /// (unsorted — use [`Session::query`] for the sorted table).
+    /// (unsorted — use [`Session::query`] for the sorted table). Under
+    /// the vectorized executor rows are produced a chunk at a time
+    /// upstream; this sink still sees them one by one, so existing
+    /// consumers are source-compatible.
     ///
     /// Returns the column labels and the number of rows emitted.
     pub fn query_streaming(

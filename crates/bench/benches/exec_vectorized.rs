@@ -1,0 +1,61 @@
+//! Chunked (vectorized) vs row-at-a-time streaming execution.
+//!
+//! Three workload plans over the fanout-4 join schema: a selective
+//! filter-heavy scan (where the columnar equality kernel and the
+//! filter-before-clone scan fusion pay off), the wide join (chunked
+//! probe), and the first-100-rows query (`Limit` must keep
+//! short-circuiting — the chunked executor caps its subtree's batch at
+//! the limit, so latency must not regress). A batch-size sweep
+//! (128/1024/4096) over the selective filter shows where dispatch
+//! amortization saturates.
+//!
+//! Both executors are asserted to agree before anything is timed.
+
+use beliefdb_bench::{exec_streaming_db, exec_streaming_plans};
+use beliefdb_storage::{execute, execute_rows, Executor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_exec_vectorized(c: &mut Criterion) {
+    let db = exec_streaming_db(50_000).expect("workload build failed");
+    let plans = exec_streaming_plans();
+    for (name, plan) in &plans {
+        let mut a = execute(&db, plan).expect("chunked failed");
+        let mut b = execute_rows(&db, plan).expect("row-at-a-time failed");
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "executors disagree on {name}");
+    }
+    let mut group = c.benchmark_group("exec_vectorized");
+    group.sample_size(10);
+    for (name, plan) in &plans {
+        group.bench_with_input(BenchmarkId::new("chunked", name), plan, |b, plan| {
+            b.iter(|| std::hint::black_box(execute(&db, plan).expect("query").len()))
+        });
+        group.bench_with_input(BenchmarkId::new("row", name), plan, |b, plan| {
+            b.iter(|| std::hint::black_box(execute_rows(&db, plan).expect("query").len()))
+        });
+    }
+    let (_, filter) = plans.into_iter().next().expect("filter plan");
+    for batch in [128usize, 1024, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("batch_sweep", batch),
+            &filter,
+            |b, plan| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        Executor::with_batch_size(&db, batch)
+                            .open_chunks(plan)
+                            .expect("open")
+                            .collect_rows()
+                            .expect("query")
+                            .len(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exec_vectorized);
+criterion_main!(benches);

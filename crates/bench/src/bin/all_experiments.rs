@@ -32,4 +32,8 @@ fn main() {
     println!("=== Streaming executor ===");
     let rows = run_exec_streaming(n, reps.clamp(3, 20)).expect("exec_streaming");
     println!("{}", format_exec_streaming(&rows, n));
+
+    println!("=== Vectorized executor ===");
+    let (rows, sweep) = run_exec_vectorized(n, reps.clamp(3, 20)).expect("exec_vectorized");
+    println!("{}", format_exec_vectorized(&rows, &sweep, n));
 }

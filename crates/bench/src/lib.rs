@@ -431,6 +431,125 @@ pub fn format_exec_streaming(rows: &[ExecStreamingRow], n: usize) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Vectorized (chunked) vs row-at-a-time executor
+// ---------------------------------------------------------------------------
+
+/// One measured plan of the vectorization comparison.
+#[derive(Debug, Clone)]
+pub struct ExecVectorizedRow {
+    pub name: &'static str,
+    pub chunked: Duration,
+    pub row_at_a_time: Duration,
+    pub result_size: usize,
+}
+
+impl ExecVectorizedRow {
+    /// Row-at-a-time over chunked time ratio (>1 means chunked wins).
+    pub fn speedup(&self) -> f64 {
+        self.row_at_a_time.as_secs_f64() / self.chunked.as_secs_f64().max(1e-12)
+    }
+}
+
+/// One point of the batch-size sweep on the selective-filter plan.
+#[derive(Debug, Clone)]
+pub struct BatchSweepRow {
+    pub batch: usize,
+    pub chunked: Duration,
+}
+
+/// Time each workload plan under the chunked and row-at-a-time streaming
+/// executors (`reps` runs each, best-of to damp scheduler noise) and
+/// sanity-check that they agree. Same plans as the streaming-vs-
+/// materializing comparison: selective filter, wide fanout-4 join, and
+/// the short-circuiting first-100-rows query (which must *not* regress
+/// under chunking — `Limit` caps its subtree's batch size).
+pub fn run_exec_vectorized(
+    n: usize,
+    reps: usize,
+) -> Result<(Vec<ExecVectorizedRow>, Vec<BatchSweepRow>)> {
+    use beliefdb_storage::{execute, execute_rows, Executor};
+    let db = exec_streaming_db(n)?;
+    let best = |f: &dyn Fn() -> usize| -> Duration {
+        let mut best = Duration::MAX;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            best = best.min(start.elapsed());
+        }
+        best
+    };
+    let mut out = Vec::new();
+    for (name, plan) in exec_streaming_plans() {
+        let mut chunked = execute(&db, &plan)?;
+        let mut row_wise = execute_rows(&db, &plan)?;
+        chunked.sort();
+        row_wise.sort();
+        assert_eq!(chunked, row_wise, "executors disagree on {name}");
+        let chunked_time = best(&|| execute(&db, &plan).expect("chunked run").len());
+        let row_time = best(&|| execute_rows(&db, &plan).expect("row run").len());
+        out.push(ExecVectorizedRow {
+            name,
+            chunked: chunked_time,
+            row_at_a_time: row_time,
+            result_size: chunked.len(),
+        });
+    }
+    // Batch-size sweep over the selective filter.
+    let (_, filter_plan) = exec_streaming_plans().swap_remove(0);
+    let mut sweep = Vec::new();
+    for batch in [128usize, 1024, 4096] {
+        let time = best(&|| {
+            Executor::with_batch_size(&db, batch)
+                .open_chunks(&filter_plan)
+                .expect("open")
+                .collect_rows()
+                .expect("sweep run")
+                .len()
+        });
+        sweep.push(BatchSweepRow {
+            batch,
+            chunked: time,
+        });
+    }
+    Ok((out, sweep))
+}
+
+/// Render the vectorization comparison as a small report table.
+pub fn format_exec_vectorized(
+    rows: &[ExecVectorizedRow],
+    sweep: &[BatchSweepRow],
+    n: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Chunked (vectorized) vs row-at-a-time executor (fact table of {n} rows)\n"
+    ));
+    out.push_str(&format!(
+        "{:<12}{:>14}{:>14}{:>10}{:>10}\n",
+        "plan", "chunked(ms)", "row(ms)", "speedup", "rows"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12}{:>14.3}{:>14.3}{:>9.2}x{:>10}\n",
+            r.name,
+            r.chunked.as_secs_f64() * 1e3,
+            r.row_at_a_time.as_secs_f64() * 1e3,
+            r.speedup(),
+            r.result_size
+        ));
+    }
+    out.push_str("batch-size sweep (selective filter):\n");
+    for s in sweep {
+        out.push_str(&format!(
+            "  batch={:<6}{:>12.3}ms\n",
+            s.batch,
+            s.chunked.as_secs_f64() * 1e3
+        ));
+    }
+    out
+}
+
 /// Parse `--flag value` style arguments with defaults (tiny helper shared
 /// by the experiment binaries; avoids a CLI dependency).
 pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
@@ -529,6 +648,18 @@ mod tests {
         assert!(rendered.contains("E(ms)"));
         // content queries should return something on a populated database
         assert!(rows[1].result_size > 0, "q1,1 empty: {rows:?}");
+    }
+
+    #[test]
+    fn exec_vectorized_harness_runs_and_formats() {
+        let (rows, sweep) = run_exec_vectorized(2_000, 2).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].name, "filter");
+        assert_eq!(sweep.len(), 3);
+        assert_eq!(sweep[0].batch, 128);
+        let rendered = format_exec_vectorized(&rows, &sweep, 2_000);
+        assert!(rendered.contains("chunked(ms)"));
+        assert!(rendered.contains("batch=1024"));
     }
 
     #[test]

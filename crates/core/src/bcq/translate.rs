@@ -292,6 +292,19 @@ pub fn evaluate_materialized(store: &InternalStore, q: &Bcq) -> Result<Vec<Row>>
     run_program(ev, &translated)
 }
 
+/// Translate and execute with the row-at-a-time streaming executor (the
+/// PR 2 tuple pipeline) instead of the vectorized chunk-at-a-time one.
+/// Kept as the vectorization baseline: the `exec_vectorized` bench and
+/// the three-way differential suite (chunked / row / materialized) run
+/// whole BCQs through this path.
+pub fn evaluate_rows(store: &InternalStore, q: &Bcq) -> Result<Vec<Row>> {
+    let translated = translate(store, q)?;
+    let ev = Evaluator::new(store.database())
+        .seed_stats(store.stats_catalog())
+        .use_row_executor();
+    run_program(ev, &translated)
+}
+
 fn run_program(mut ev: Evaluator<'_>, translated: &TranslatedQuery) -> Result<Vec<Row>> {
     ev.run(&translated.program).map_err(BeliefError::from)?;
     collect_answer(&ev, translated)

@@ -41,6 +41,32 @@ impl SizeStats {
     }
 }
 
+/// Counters of the Datalog plan cache consulted by [`Bdms::query`] and
+/// [`Bdms::query_streaming`], so cache behavior is observable without a
+/// debugger (the shell's `\stats` prints these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Queries served from cached answer plans.
+    pub hits: u64,
+    /// Queries that had to plan from scratch.
+    pub misses: u64,
+    /// Programs currently cached.
+    pub entries: usize,
+    /// Rows pinned inside cached plans as `Values` leaves.
+    pub embedded_rows: usize,
+}
+
+impl PlanCacheStats {
+    /// Hits over total lookups (0.0 when nothing was looked up yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
 /// A Belief Database Management System instance.
 pub struct Bdms {
     store: InternalStore,
@@ -171,6 +197,15 @@ impl Bdms {
         bcq::translate::evaluate_materialized(&self.store, q)
     }
 
+    /// Evaluate with the row-at-a-time streaming executor (the PR 2
+    /// tuple pipeline) instead of the vectorized chunk-at-a-time one —
+    /// the baseline the `exec_vectorized` bench measures against, and
+    /// the third voice of the chunked/row/materialized differential
+    /// suite.
+    pub fn query_row_at_a_time(&self, q: &Bcq) -> Result<Vec<Row>> {
+        bcq::translate::evaluate_rows(&self.store, q)
+    }
+
     /// `EXPLAIN`: the optimized physical plan of every Datalog rule the
     /// Algorithm 1 translation produces for this query.
     pub fn explain_query(&self, q: &Bcq) -> Result<String> {
@@ -204,6 +239,17 @@ impl Bdms {
     /// The explicit statements recorded at a path.
     pub fn explicit_statements_at(&self, path: &BeliefPath) -> Result<Vec<BeliefStatement>> {
         self.store.explicit_statements_at(path)
+    }
+
+    /// Snapshot of the Datalog plan-cache counters (hits, misses, cached
+    /// programs, embedded rows). Takes the cache lock briefly.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.store.with_plan_cache(|cache| PlanCacheStats {
+            hits: cache.hits(),
+            misses: cache.misses(),
+            entries: cache.len(),
+            embedded_rows: cache.embedded_row_count(),
+        })
     }
 
     /// Size statistics (`|R*|`, Sect. 5.4 / Sect. 6.1).
@@ -395,7 +441,35 @@ mod tests {
                 bdms.query_materialized(q).unwrap(),
                 "executors disagree on {q}"
             );
+            assert_eq!(
+                bdms.query(q).unwrap(),
+                bdms.query_row_at_a_time(q).unwrap(),
+                "chunked and row-at-a-time executors disagree on {q}"
+            );
         }
+    }
+
+    #[test]
+    fn plan_cache_stats_are_observable() {
+        let (bdms, _, bob, _) = running_bdms();
+        let s = bdms.schema().relation_id("Sightings").unwrap();
+        let q = Bcq::builder(vec![qv("sid")])
+            .positive(
+                vec![pu(bob)],
+                s,
+                vec![qv("sid"), qany(), qany(), qany(), qany()],
+            )
+            .build(bdms.schema())
+            .unwrap();
+        let before = bdms.plan_cache_stats();
+        assert_eq!((before.hits, before.misses, before.entries), (0, 0, 0));
+        assert_eq!(before.hit_rate(), 0.0);
+        bdms.query(&q).unwrap();
+        bdms.query(&q).unwrap();
+        let after = bdms.plan_cache_stats();
+        assert_eq!((after.hits, after.misses), (1, 1));
+        assert_eq!(after.entries, 1);
+        assert!((after.hit_rate() - 0.5).abs() < 1e-9);
     }
 
     #[test]

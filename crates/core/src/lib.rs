@@ -59,7 +59,7 @@ pub mod schema;
 pub mod statement;
 pub mod world;
 
-pub use bdms::Bdms;
+pub use bdms::{Bdms, PlanCacheStats};
 pub use canonical::CanonicalKripke;
 pub use closure::Closure;
 pub use database::{running_example, BeliefDatabase};

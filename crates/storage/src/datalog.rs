@@ -273,6 +273,21 @@ pub struct Program {
     pub rules: Vec<Rule>,
 }
 
+/// Which executor evaluates rule plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The vectorized chunk-at-a-time streaming executor (default):
+    /// rule rows flow out of the executor a batch at a time.
+    #[default]
+    Chunked,
+    /// The row-at-a-time streaming executor (the PR 2 pipeline), kept as
+    /// the vectorization baseline and differential voice.
+    RowAtATime,
+    /// The operator-at-a-time materializing executor (the executable
+    /// specification the streaming executors are tested against).
+    Materializing,
+}
+
 /// Evaluates programs and rules against a database, holding materialized
 /// derived relations.
 ///
@@ -286,9 +301,36 @@ pub struct Evaluator<'a> {
     derived: HashMap<String, (usize, Vec<Row>)>,
     optimizer: Option<crate::opt::OptimizerOptions>,
     stats: Option<crate::opt::StatsCatalog>,
-    /// Evaluate rule plans with the operator-at-a-time executor instead
-    /// of the streaming one (differential testing only).
-    materializing: bool,
+    /// Which executor runs rule plans (differential testing and the
+    /// vectorization benches switch this; production stays chunked).
+    mode: ExecMode,
+}
+
+/// Pull every result row of `plan` through the chosen executor into
+/// `sink`, in executor order. The chunked path hands whole batches
+/// across the executor boundary — the per-row virtual call of the PR 2
+/// interface happens only inside this loop, not per operator.
+fn drive(db: &Database, plan: &Plan, mode: ExecMode, mut sink: impl FnMut(Row)) -> Result<()> {
+    match mode {
+        ExecMode::Chunked => {
+            for chunk in crate::exec::stream_chunks(db, plan)? {
+                for row in chunk?.into_rows() {
+                    sink(row);
+                }
+            }
+        }
+        ExecMode::RowAtATime => {
+            for item in crate::exec::stream_rows(db, plan)? {
+                sink(item?);
+            }
+        }
+        ExecMode::Materializing => {
+            for row in crate::exec::execute_materialized(db, plan)? {
+                sink(row);
+            }
+        }
+    }
+    Ok(())
 }
 
 impl<'a> Evaluator<'a> {
@@ -298,7 +340,7 @@ impl<'a> Evaluator<'a> {
             derived: HashMap::new(),
             optimizer: Some(crate::opt::OptimizerOptions::default()),
             stats: None,
-            materializing: false,
+            mode: ExecMode::Chunked,
         }
     }
 
@@ -309,7 +351,7 @@ impl<'a> Evaluator<'a> {
             derived: HashMap::new(),
             optimizer: None,
             stats: None,
-            materializing: false,
+            mode: ExecMode::Chunked,
         }
     }
 
@@ -320,16 +362,30 @@ impl<'a> Evaluator<'a> {
             derived: HashMap::new(),
             optimizer: Some(opts),
             stats: None,
-            materializing: false,
+            mode: ExecMode::Chunked,
         }
     }
 
     /// Evaluate rule plans with the materializing executor
     /// ([`crate::exec::execute_materialized`]) instead of the streaming
-    /// one. The two are differentially tested to agree; this switch
-    /// exists so higher layers can run both sides of that comparison.
-    pub fn use_materializing_executor(mut self) -> Self {
-        self.materializing = true;
+    /// one. The executors are differentially tested to agree; this
+    /// switch exists so higher layers can run both sides of that
+    /// comparison.
+    pub fn use_materializing_executor(self) -> Self {
+        self.with_exec_mode(ExecMode::Materializing)
+    }
+
+    /// Evaluate rule plans with the row-at-a-time streaming executor
+    /// ([`crate::exec::stream_rows`]) instead of the chunked one — the
+    /// vectorization baseline side of the differential suites and the
+    /// `exec_vectorized` bench.
+    pub fn use_row_executor(self) -> Self {
+        self.with_exec_mode(ExecMode::RowAtATime)
+    }
+
+    /// Evaluate rule plans with an explicit executor.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -413,29 +469,20 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Evaluate `plan` and fold its rows into the rule's head relation,
-    /// deduplicating incrementally. On the (default) streaming path the
-    /// rows flow from the executor straight into the derived entry — no
-    /// per-rule intermediate `Vec`.
+    /// deduplicating incrementally. On the (default) chunked path whole
+    /// batches flow from the executor straight into the derived entry —
+    /// no per-rule intermediate `Vec`, and no per-row virtual call at
+    /// the executor boundary.
     fn consume_into_head(&mut self, rule: &Rule, plan: &Plan) -> Result<()> {
         let db = self.db;
-        let materializing = self.materializing;
+        let mode = self.mode;
         let entry = self.head_entry(rule)?;
         let mut seen: HashSet<Row> = entry.1.iter().cloned().collect();
-        if materializing {
-            for row in crate::exec::execute_materialized(db, plan)? {
-                if seen.insert(row.clone()) {
-                    entry.1.push(row);
-                }
+        drive(db, plan, mode, |row| {
+            if seen.insert(row.clone()) {
+                entry.1.push(row);
             }
-        } else {
-            for row in crate::exec::stream(db, plan)? {
-                let row = row?;
-                if seen.insert(row.clone()) {
-                    entry.1.push(row);
-                }
-            }
-        }
-        Ok(())
+        })
     }
 
     /// Register a pre-materialized relation (e.g. a literal temp table).
@@ -604,20 +651,11 @@ impl<'a> Evaluator<'a> {
             }
             None => HashSet::new(),
         };
-        if self.materializing {
-            for row in crate::exec::execute_materialized(self.db, &plan)? {
-                if seen.insert(row.clone()) {
-                    sink(row);
-                }
+        drive(self.db, &plan, self.mode, |row| {
+            if seen.insert(row.clone()) {
+                sink(row);
             }
-        } else {
-            for row in crate::exec::stream(self.db, &plan)? {
-                let row = row?;
-                if seen.insert(row.clone()) {
-                    sink(row);
-                }
-            }
-        }
+        })?;
         answer_plans.push(plan);
         Ok(answer_plans)
     }
@@ -647,20 +685,11 @@ impl<'a> Evaluator<'a> {
         }
         let mut seen: HashSet<Row> = HashSet::new();
         for plan in plans {
-            if self.materializing {
-                for row in crate::exec::execute_materialized(self.db, plan)? {
-                    if seen.insert(row.clone()) {
-                        sink(row);
-                    }
+            drive(self.db, plan, self.mode, |row| {
+                if seen.insert(row.clone()) {
+                    sink(row);
                 }
-            } else {
-                for row in crate::exec::stream(self.db, plan)? {
-                    let row = row?;
-                    if seen.insert(row.clone()) {
-                        sink(row);
-                    }
-                }
-            }
+            })?;
         }
         Ok(())
     }
@@ -691,11 +720,8 @@ impl<'a> Evaluator<'a> {
         if let Some(opts) = &self.optimizer {
             plan = crate::opt::optimize_with(self.db, plan, opts)?;
         }
-        let mut rows = if self.materializing {
-            crate::exec::execute_materialized(self.db, &plan)?
-        } else {
-            execute(self.db, &plan)?
-        };
+        let mut rows = Vec::new();
+        drive(self.db, &plan, self.mode, |row| rows.push(row))?;
         dedup_rows(&mut rows);
         Ok(rows)
     }
@@ -1615,13 +1641,17 @@ mod tests {
                 pos("E", vec![v("w"), v("u2"), v("w2")]),
             ],
         );
-        let streaming = Evaluator::new(&db);
+        let chunked = Evaluator::new(&db);
+        let row_at_a_time = Evaluator::new(&db).use_row_executor();
         let materializing = Evaluator::new(&db).use_materializing_executor();
-        let mut a = streaming.eval_rule(&r).unwrap();
+        let mut a = chunked.eval_rule(&r).unwrap();
         let mut b = materializing.eval_rule(&r).unwrap();
+        let mut c = row_at_a_time.eval_rule(&r).unwrap();
         a.sort();
         b.sort();
+        c.sort();
         assert_eq!(a, b);
+        assert_eq!(a, c);
     }
 
     #[test]

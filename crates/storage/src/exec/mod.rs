@@ -1,31 +1,41 @@
 //! Plan execution.
 //!
-//! Two executors share this module:
+//! Three executors share this module:
 //!
-//! * the **streaming executor** ([`stream`], [`Executor`], [`RowStream`])
-//!   — the default. Scan, Selection, Projection, Union, Distinct, Limit,
-//!   and the probe side of (anti-)joins pipeline rows one at a time; the
-//!   hash-join build side, Aggregate, and Sort are the only
-//!   materialization points, so intermediate results stay bounded by the
-//!   build/group/sort state instead of every operator's full output;
+//! * the **vectorized streaming executor** ([`stream`],
+//!   [`stream_chunks`], [`Executor`], [`Chunk`], [`ChunkStream`]) — the
+//!   default. Operators exchange batches of up to [`BATCH_SIZE`] rows
+//!   with selection vectors; filters run columnar kernels into the
+//!   selection vector, projections precompile their column maps, and
+//!   hash joins probe a whole chunk per call. Scan, Selection,
+//!   Projection, Union, Distinct, Limit, and the probe side of
+//!   (anti-)joins pipeline; the hash-join build side, Aggregate, and
+//!   Sort are the only materialization points. [`RowStream`] adapts the
+//!   chunk pipeline to the row-at-a-time interface for external sinks;
+//! * the **row-at-a-time streaming executor** ([`stream_rows`],
+//!   [`execute_rows`], [`rows::RowExecutor`]) — the PR 2 tuple-at-a-time
+//!   pipeline, kept as the baseline the `exec_vectorized` bench measures
+//!   against and as a third voice in the differential suites;
 //! * the **materializing executor** ([`execute_materialized`]) — the
 //!   original operator-at-a-time evaluator, kept as the executable
-//!   specification for differential testing and the `exec_streaming`
-//!   bench.
+//!   specification for differential testing.
 //!
-//! [`execute`] is a thin collect-the-stream wrapper, so call sites that
-//! want a `Vec<Row>` are unchanged.
+//! [`execute`] collects the chunk stream, so call sites that want a
+//! `Vec<Row>` are unchanged.
 //!
-//! One access-path optimization is applied by both, mirroring what the
-//! paper gets from SQL Server's "clustered indexes over the internal
+//! One access-path optimization is applied by all three, mirroring what
+//! the paper gets from SQL Server's "clustered indexes over the internal
 //! keys": a `Selection` directly over a `Scan` uses the table's primary
 //! key or a covering secondary index when the predicate pins those
 //! columns with equality conjuncts, and small join inputs probe indexes
 //! on the other side instead of materializing it.
 
+pub mod rows;
 pub mod stream;
 
-pub use stream::{stream, Executor, RowStream};
+pub use rows::{stream_rows, RowExecutor};
+pub(crate) use stream::selection_kernel_label;
+pub use stream::{stream, stream_chunks, Chunk, ChunkStream, Executor, RowStream, BATCH_SIZE};
 
 use crate::catalog::Database;
 use crate::error::{Result, StorageError};
@@ -38,10 +48,18 @@ use std::collections::HashMap;
 
 /// Execute a plan against a database, returning materialized rows.
 ///
-/// This is a thin wrapper collecting the streaming executor's output;
-/// use [`stream`] directly to consume rows without building the vector.
+/// This is a thin wrapper collecting the vectorized executor's chunks;
+/// use [`stream_chunks`] (or [`stream`] for a row-at-a-time view) to
+/// consume results without building the vector.
 pub fn execute(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
-    stream::stream(db, plan)?.collect_rows()
+    stream::stream_chunks(db, plan)?.collect_rows()
+}
+
+/// Execute with the row-at-a-time streaming executor ([`rows`]): the
+/// PR 2 tuple pipeline kept as the vectorization baseline and as a third
+/// differential voice next to [`execute`] and [`execute_materialized`].
+pub fn execute_rows(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
+    rows::stream_rows(db, plan)?.collect_rows()
 }
 
 /// Run the plan through the cost-based optimizer (see [`crate::opt`]),
@@ -49,8 +67,8 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
 /// evaluation order (and therefore the running time) changes.
 pub fn execute_optimized(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
     let optimized = crate::opt::optimize(db, plan.clone())?;
-    let rows = stream::stream(db, &optimized)?;
-    rows.collect_rows()
+    let rows = stream::stream_chunks(db, &optimized)?.collect_rows();
+    rows
 }
 
 /// Execute with the original operator-at-a-time evaluator, which

@@ -1,60 +1,269 @@
-//! The streaming (pull-based) executor.
+//! The vectorized (chunk-at-a-time) streaming executor.
 //!
-//! [`Executor::open`] compiles a [`Plan`] into a [`RowStream`] — an
-//! iterator of `Result<Row>` — instead of a materialized `Vec<Row>`.
-//! Operators are classified as:
+//! [`Executor::open_chunks`] compiles a [`Plan`] into a [`ChunkStream`]
+//! — a pull-based iterator of `Result<Chunk>` where a [`Chunk`] is a
+//! batch of up to [`BATCH_SIZE`] rows plus an optional **selection
+//! vector**. Every operator produces and consumes whole chunks, so the
+//! per-row cost of the tuple-at-a-time pipeline ([`super::rows`]) — one
+//! dynamic-dispatch `next()` call plus an `Expr` interpretation per row
+//! — is amortized over up to `BATCH_SIZE` rows per call:
 //!
-//! * **pipelined** — Scan, Selection, Projection, Union, Limit, and
-//!   Distinct forward rows one at a time without buffering their input
-//!   (Distinct keeps a seen-set sized by its *output*, not its input);
-//!   the probe (left) side of hash joins and anti-joins also pipelines,
-//!   as does the outer side of the index-nested-loop join;
-//! * **materialization points** — the build (right) side of hash joins
-//!   and anti-joins, Aggregate, and Sort, which must consume their whole
-//!   input before emitting anything.
+//! * **Scan / Values** emit batches of table (or literal) rows; a
+//!   selection directly over a scan filters *references* before cloning,
+//!   so non-qualifying rows are never copied;
+//! * **Selection** evaluates its predicate into the selection vector —
+//!   no row is moved or cloned by a filter. `col op literal` predicates
+//!   compile to a [`ColLitKernel`] with specialized fast paths for
+//!   `=`/`<`/`<=` on int and string columns (no interpreter walk, no
+//!   `Value` clones); everything else falls back to the row-wise `Expr`
+//!   interpreter inside the chunk loop;
+//! * **Projection** uses a [`Projector`] precompiled and validated once
+//!   at open time when all expressions are plain columns — the per-row
+//!   `Result` and bounds re-check disappear from the inner loop;
+//! * **hash joins** build once, then probe an entire chunk per call;
+//!   the adaptive bounded-buffer index-nested-loop path of the row
+//!   executor is kept (buffer left rows up to `|table|/4`, probe the
+//!   index if the left side exhausts, replay into a hash join if not);
+//! * **Distinct** marks first occurrences in the selection vector;
+//!   **Limit** truncates mid-chunk and stops pulling upstream — and
+//!   additionally caps its subtree's batch size at `n`, so a `LIMIT 100`
+//!   never drags 1024-row batches through the pipeline;
+//! * **Aggregate**, **Sort**, and join build sides remain the
+//!   materialization points, exactly as before.
 //!
-//! Because join chains are left-deep (`acc.join(src)` everywhere in the
-//! Datalog compiler and the join reorderer), putting the *probe* on the
-//! left means an entire chain of hash joins pipelines: each row of the
-//! first relation flows through the successive build tables without any
-//! intermediate `Vec`. `Limit` short-circuits: once it has emitted `n`
-//! rows, nothing upstream is pulled again.
+//! ## Error order is preserved
 //!
-//! The index-nested-loop path of the materializing executor is kept via
-//! *bounded adaptive buffering*: when the right side is a base-table
-//! access whose join columns an index covers, up to `|table|/4` left
-//! rows are buffered (the same break-even point as the materializing
-//! heuristic). If the left side exhausts within that budget, the
-//! buffered rows drive index probes; otherwise the buffer is replayed in
-//! front of the remaining left stream and the join falls back to a hash
-//! build of the right side. Either way the buffer is bounded by the size
-//! of the probed table, never by the left input.
+//! Tuple-at-a-time execution surfaces a row's evaluation error only when
+//! that row is demanded; rows before it flow through untouched. Chunked
+//! operators keep that contract by **splitting** a chunk at the first
+//! failing row: the successfully processed prefix is emitted first, the
+//! error after it, and processing resumes behind it. A `Limit` that is
+//! satisfied by the prefix therefore never observes the error — the
+//! laziness-semantics differential tests pass unchanged against the row
+//! executor.
+//!
+//! [`RowStream`] survives as a thin row-at-a-time adapter over
+//! [`ChunkStream`], so every external sink written against the PR 2
+//! interface (`Iterator<Item = Result<Row>>`) is source-compatible.
 
+use super::rows::base_access;
 use super::{aggregate_stream, try_index_selection};
 use crate::catalog::Database;
 use crate::error::Result;
-use crate::expr::Expr;
+use crate::expr::{CmpOp, Expr};
 use crate::plan::Plan;
-use crate::row::Row;
-use crate::table::Table;
+use crate::row::{Projector, Row};
 use crate::value::Value;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
-/// A boxed iterator of fallible rows — the wire between operators.
-type BoxRowIter<'a> = Box<dyn Iterator<Item = Result<Row>> + 'a>;
+/// Default number of rows per chunk. Large enough to amortize per-chunk
+/// dispatch to noise, small enough that one in-flight chunk per operator
+/// stays cache- and memory-friendly.
+pub const BATCH_SIZE: usize = 1024;
 
-/// A pull-based stream of rows produced by [`Executor::open`].
+// ---------------------------------------------------------------------------
+// Chunk
+// ---------------------------------------------------------------------------
+
+/// A batch of rows with an optional selection vector.
+///
+/// `sel == None` means every row is live. A filter never moves or clones
+/// rows — it writes the indices of surviving rows into `sel`; downstream
+/// operators iterate only the live rows. Compaction happens where new
+/// rows are built anyway (projection, join output) or where a caller
+/// takes ownership ([`Chunk::into_rows`]).
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    rows: Vec<Row>,
+    /// Strictly increasing indices of the live rows, if filtered.
+    sel: Option<Vec<u32>>,
+}
+
+impl Chunk {
+    /// A chunk with every row live.
+    pub fn new(rows: Vec<Row>) -> Chunk {
+        Chunk { rows, sel: None }
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        match &self.sel {
+            Some(sel) => sel.len(),
+            None => self.rows.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate the live rows in order.
+    pub fn iter(&self) -> ChunkIter<'_> {
+        match &self.sel {
+            None => ChunkIter::All(self.rows.iter()),
+            Some(sel) => ChunkIter::Sel(&self.rows, sel.iter()),
+        }
+    }
+
+    /// Take ownership of the live rows (compacting if filtered).
+    pub fn into_rows(self) -> Vec<Row> {
+        match self.sel {
+            None => self.rows,
+            Some(sel) => {
+                let mut rows = self.rows;
+                sel.into_iter()
+                    .map(|i| std::mem::replace(&mut rows[i as usize], Row::new(vec![])))
+                    .collect()
+            }
+        }
+    }
+
+    /// Restrict the live rows by `keep`, refining the selection vector in
+    /// place; no rows are moved or cloned.
+    fn filter_in_place(&mut self, mut keep: impl FnMut(&Row) -> bool) {
+        let rows = &self.rows;
+        let sel = match self.sel.take() {
+            Some(sel) => sel
+                .into_iter()
+                .filter(|&i| keep(&rows[i as usize]))
+                .collect(),
+            None => (0..rows.len() as u32)
+                .filter(|&i| keep(&rows[i as usize]))
+                .collect(),
+        };
+        self.sel = Some(sel);
+    }
+
+    /// Keep only the first `n` live rows (a `Limit` landing mid-chunk).
+    fn truncate_live(&mut self, n: usize) {
+        match &mut self.sel {
+            Some(sel) => sel.truncate(n),
+            None => self.rows.truncate(n),
+        }
+    }
+
+    /// The live-row indices as a vector (error-splitting slow path).
+    fn live_indices(&self) -> Vec<u32> {
+        match &self.sel {
+            Some(sel) => sel.clone(),
+            None => (0..self.rows.len() as u32).collect(),
+        }
+    }
+
+    /// Physical index of the `k`-th live row.
+    fn live_at(&self, k: usize) -> u32 {
+        match &self.sel {
+            Some(sel) => sel[k],
+            None => k as u32,
+        }
+    }
+
+    /// Borrow the backing row at a physical index (used with
+    /// [`Chunk::live_indices`]).
+    fn row(&self, i: u32) -> &Row {
+        &self.rows[i as usize]
+    }
+}
+
+/// Iterator over a chunk's live rows.
+pub enum ChunkIter<'a> {
+    All(std::slice::Iter<'a, Row>),
+    Sel(&'a [Row], std::slice::Iter<'a, u32>),
+}
+
+impl<'a> Iterator for ChunkIter<'a> {
+    type Item = &'a Row;
+
+    fn next(&mut self) -> Option<&'a Row> {
+        match self {
+            ChunkIter::All(it) => it.next(),
+            ChunkIter::Sel(rows, it) => it.next().map(|&i| &rows[i as usize]),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streams
+// ---------------------------------------------------------------------------
+
+/// A boxed iterator of fallible chunks — the wire between operators.
+type BoxChunkIter<'a> = Box<dyn Iterator<Item = Result<Chunk>> + 'a>;
+
+/// A pull-based stream of chunks produced by [`Executor::open_chunks`].
+///
+/// Chunks are computed on demand: dropping the stream early abandons the
+/// rest of the computation. An `Err` item reports an evaluation error at
+/// its position in row order; pulling past it is allowed and yields
+/// whatever the underlying operators produce next.
+pub struct ChunkStream<'a> {
+    inner: BoxChunkIter<'a>,
+}
+
+impl<'a> ChunkStream<'a> {
+    fn new(inner: BoxChunkIter<'a>) -> Self {
+        ChunkStream { inner }
+    }
+
+    /// Drain the stream into a row vector, stopping at the first error.
+    pub fn collect_rows(self) -> Result<Vec<Row>> {
+        let mut out = Vec::new();
+        for chunk in self.inner {
+            out.extend(chunk?.into_rows());
+        }
+        Ok(out)
+    }
+
+    /// Adapt to a row-at-a-time stream (the source-compatible PR 2
+    /// interface). Rows of the current chunk are handed out one by one;
+    /// the next chunk is pulled only when they run out.
+    pub fn rows(self) -> RowStream<'a> {
+        RowStream::new(Box::new(self.inner.flat_map(|item| match item {
+            Ok(chunk) => ChunkRows::Rows(chunk.into_rows().into_iter()),
+            Err(e) => ChunkRows::Err(std::iter::once(Err(e))),
+        })))
+    }
+}
+
+impl Iterator for ChunkStream<'_> {
+    type Item = Result<Chunk>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
+/// Flattening adapter used by [`ChunkStream::rows`].
+enum ChunkRows {
+    Rows(std::vec::IntoIter<Row>),
+    Err(std::iter::Once<Result<Row>>),
+}
+
+impl Iterator for ChunkRows {
+    type Item = Result<Row>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            ChunkRows::Rows(it) => it.next().map(Ok),
+            ChunkRows::Err(it) => it.next(),
+        }
+    }
+}
+
+/// A pull-based stream of rows: the row-at-a-time adapter over
+/// [`ChunkStream`] (and the native interface of the tuple-at-a-time
+/// executor in [`super::rows`]).
 ///
 /// Rows are computed on demand: dropping the stream early (or wrapping it
 /// in a `take`) abandons the rest of the computation. An `Err` item
 /// reports an evaluation error; pulling past it is allowed but yields
 /// whatever the underlying operators produce next.
 pub struct RowStream<'a> {
-    inner: BoxRowIter<'a>,
+    inner: Box<dyn Iterator<Item = Result<Row>> + 'a>,
 }
 
 impl<'a> RowStream<'a> {
-    fn new(inner: BoxRowIter<'a>) -> Self {
+    pub(crate) fn new(inner: Box<dyn Iterator<Item = Result<Row>> + 'a>) -> Self {
         RowStream { inner }
     }
 
@@ -72,97 +281,262 @@ impl Iterator for RowStream<'_> {
     }
 }
 
-/// Entry point of the streaming executor.
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+/// Entry point of the vectorized executor.
 pub struct Executor<'a> {
     db: &'a Database,
+    batch: usize,
 }
 
 impl<'a> Executor<'a> {
     pub fn new(db: &'a Database) -> Self {
-        Executor { db }
+        Executor {
+            db,
+            batch: BATCH_SIZE,
+        }
     }
 
-    /// Open a plan as a row stream. Arities are validated once up front;
-    /// materialization points (aggregate/sort inputs, join build sides)
-    /// do their buffering eagerly here, pipelined operators do no work
-    /// until the stream is pulled.
-    pub fn open(&self, plan: &'a Plan) -> Result<RowStream<'a>> {
+    /// An executor with an explicit batch size (benchmark sweeps and
+    /// memory-constrained embedders).
+    pub fn with_batch_size(db: &'a Database, batch: usize) -> Self {
+        Executor {
+            db,
+            batch: batch.max(1),
+        }
+    }
+
+    /// Open a plan as a chunk stream. Arities are validated once up
+    /// front; materialization points (aggregate/sort inputs, join build
+    /// sides) do their buffering eagerly here, pipelined operators do no
+    /// work until the stream is pulled.
+    pub fn open_chunks(&self, plan: &'a Plan) -> Result<ChunkStream<'a>> {
         plan.arity(self.db)?;
-        Ok(RowStream::new(open_node(self.db, plan)?))
+        Ok(ChunkStream::new(open_node(
+            self.db,
+            plan,
+            Batch::new(self.batch),
+        )?))
+    }
+
+    /// Open a plan as a row stream (the chunked pipeline behind the
+    /// row-at-a-time adapter).
+    pub fn open(&self, plan: &'a Plan) -> Result<RowStream<'a>> {
+        Ok(self.open_chunks(plan)?.rows())
     }
 }
 
-/// Convenience: open `plan` against `db` as a [`RowStream`].
+/// Convenience: open `plan` against `db` as a [`RowStream`] backed by the
+/// vectorized executor.
 pub fn stream<'a>(db: &'a Database, plan: &'a Plan) -> Result<RowStream<'a>> {
     Executor::new(db).open(plan)
 }
 
-fn collect(iter: BoxRowIter<'_>) -> Result<Vec<Row>> {
-    iter.collect()
+/// Convenience: open `plan` against `db` as a [`ChunkStream`].
+pub fn stream_chunks<'a>(db: &'a Database, plan: &'a Plan) -> Result<ChunkStream<'a>> {
+    Executor::new(db).open_chunks(plan)
 }
 
-fn open_node<'a>(db: &'a Database, plan: &'a Plan) -> Result<BoxRowIter<'a>> {
+// ---------------------------------------------------------------------------
+// Filter kernels
+// ---------------------------------------------------------------------------
+
+/// A compiled `column op literal` filter: the columnar kernel a chunked
+/// `Selection` runs instead of interpreting the `Expr` tree per row.
+///
+/// The specialized variants replicate [`Value`]'s cross-type total order
+/// (`Null < Bool < Int < Str`) exactly, so a kernel and the interpreter
+/// always agree. Comparisons never yield non-boolean values, so kernels
+/// are infallible.
+pub(crate) enum ColLitKernel {
+    EqInt(usize, i64),
+    LtInt(usize, i64),
+    LeInt(usize, i64),
+    EqStr(usize, Arc<str>),
+    LtStr(usize, Arc<str>),
+    LeStr(usize, Arc<str>),
+    /// Any other `column op literal` comparison: still a tight loop over
+    /// [`CmpOp::eval`], just without the specialized match.
+    Cmp(usize, CmpOp, Value),
+}
+
+impl ColLitKernel {
+    /// Compile a predicate if it is a single `col op lit` comparison (in
+    /// either operand order).
+    pub(crate) fn compile(pred: &Expr) -> Option<ColLitKernel> {
+        let Expr::Cmp(op, a, b) = pred else {
+            return None;
+        };
+        let (col, lit, op) = match (a.as_ref(), b.as_ref()) {
+            (Expr::Col(c), Expr::Lit(v)) => (*c, v, *op),
+            (Expr::Lit(v), Expr::Col(c)) => (*c, v, op.flip()),
+            _ => return None,
+        };
+        Some(match (op, lit) {
+            (CmpOp::Eq, Value::Int(i)) => ColLitKernel::EqInt(col, *i),
+            (CmpOp::Lt, Value::Int(i)) => ColLitKernel::LtInt(col, *i),
+            (CmpOp::Le, Value::Int(i)) => ColLitKernel::LeInt(col, *i),
+            (CmpOp::Eq, Value::Str(s)) => ColLitKernel::EqStr(col, Arc::clone(s)),
+            (CmpOp::Lt, Value::Str(s)) => ColLitKernel::LtStr(col, Arc::clone(s)),
+            (CmpOp::Le, Value::Str(s)) => ColLitKernel::LeStr(col, Arc::clone(s)),
+            _ => ColLitKernel::Cmp(col, op, lit.clone()),
+        })
+    }
+
+    /// Deterministic label for `EXPLAIN`'s `[vectorized]` annotation.
+    pub(crate) fn label(&self) -> &'static str {
+        match self {
+            ColLitKernel::EqInt(..) => "eq:int",
+            ColLitKernel::LtInt(..) => "lt:int",
+            ColLitKernel::LeInt(..) => "le:int",
+            ColLitKernel::EqStr(..) => "eq:str",
+            ColLitKernel::LtStr(..) => "lt:str",
+            ColLitKernel::LeStr(..) => "le:str",
+            ColLitKernel::Cmp(..) => "cmp:lit",
+        }
+    }
+
+    #[inline]
+    pub(crate) fn test(&self, row: &Row) -> bool {
+        match self {
+            ColLitKernel::EqInt(c, k) => matches!(row[*c], Value::Int(x) if x == *k),
+            // Cross-type order: Null and Bool rank below Int, Str above.
+            ColLitKernel::LtInt(c, k) => match &row[*c] {
+                Value::Int(x) => x < k,
+                Value::Null | Value::Bool(_) => true,
+                Value::Str(_) => false,
+            },
+            ColLitKernel::LeInt(c, k) => match &row[*c] {
+                Value::Int(x) => x <= k,
+                Value::Null | Value::Bool(_) => true,
+                Value::Str(_) => false,
+            },
+            ColLitKernel::EqStr(c, s) => matches!(&row[*c], Value::Str(x) if **x == **s),
+            // Null, Bool, and Int all rank below Str.
+            ColLitKernel::LtStr(c, s) => match &row[*c] {
+                Value::Str(x) => **x < **s,
+                _ => true,
+            },
+            ColLitKernel::LeStr(c, s) => match &row[*c] {
+                Value::Str(x) => **x <= **s,
+                _ => true,
+            },
+            ColLitKernel::Cmp(c, op, v) => op.eval(&row[*c], v),
+        }
+    }
+}
+
+/// The kernel label a chunked `Selection` would use for this predicate,
+/// or `None` when it falls back to the row-wise interpreter. Used by
+/// `EXPLAIN` so the rendered plan reports what the executor will do.
+pub(crate) fn selection_kernel_label(pred: &Expr) -> Option<&'static str> {
+    ColLitKernel::compile(pred).map(|k| k.label())
+}
+
+// ---------------------------------------------------------------------------
+// Plan compilation
+// ---------------------------------------------------------------------------
+
+/// The batch size in effect while compiling a subtree.
+///
+/// `configured` is the executor's batch size ([`Executor::with_batch_size`]
+/// or [`BATCH_SIZE`]); `effective` is what pipelined operators in the
+/// current subtree actually use — a `Limit n` caps it at `n` so
+/// first-rows queries pull right-sized batches. Materialization points
+/// (Aggregate, Sort, join build and cross-join right sides) consume
+/// their whole input regardless of any Limit above, so they restore
+/// `effective` to `configured` — never to a hard-coded constant, which
+/// would override the embedder's configured bound.
+#[derive(Clone, Copy)]
+struct Batch {
+    configured: usize,
+    effective: usize,
+}
+
+impl Batch {
+    fn new(configured: usize) -> Batch {
+        Batch {
+            configured,
+            effective: configured,
+        }
+    }
+
+    /// Cap the effective size (a `Limit n` subtree).
+    fn capped(self, n: usize) -> Batch {
+        Batch {
+            effective: self.effective.min(n.max(1)),
+            ..self
+        }
+    }
+
+    /// Restore the configured size (a materialization point's input).
+    fn full(self) -> Batch {
+        Batch {
+            effective: self.configured,
+            ..self
+        }
+    }
+}
+
+fn open_node<'a>(db: &'a Database, plan: &'a Plan, batch: Batch) -> Result<BoxChunkIter<'a>> {
     match plan {
         Plan::Scan { table } => {
             let t = db.table(table)?;
-            Ok(Box::new(t.iter().map(|(_, r)| Ok(r.clone()))))
+            Ok(chunked_refs(t.iter().map(|(_, r)| r), batch.effective))
         }
-        Plan::Values { rows, .. } => Ok(Box::new(rows.iter().map(|r| Ok(r.clone())))),
-        Plan::Selection { input, predicate } => {
-            // Index access path: a selection directly over a scan whose
-            // predicate pins indexed columns fetches candidates through
-            // the index (a small, already-filtered set).
-            if let Plan::Scan { table } = input.as_ref() {
-                let t = db.table(table)?;
-                if let Some(rows) = try_index_selection(t, predicate)? {
-                    return Ok(Box::new(rows.into_iter().map(Ok)));
-                }
-            }
-            let input = open_node(db, input)?;
-            Ok(Box::new(input.filter_map(move |item| match item {
-                Ok(row) => match predicate.eval_bool(&row) {
-                    Ok(true) => Some(Ok(row)),
-                    Ok(false) => None,
-                    Err(e) => Some(Err(e)),
-                },
-                Err(e) => Some(Err(e)),
-            })))
-        }
+        Plan::Values { rows, .. } => Ok(chunked_refs(rows.iter(), batch.effective)),
+        Plan::Selection { input, predicate } => open_selection(db, input, predicate, batch),
         Plan::Projection { input, exprs } => {
-            let input = open_node(db, input)?;
-            Ok(Box::new(input.map(move |item| {
-                let row = item?;
+            let arity = input.arity(db)?;
+            let input = open_node(db, input, batch)?;
+            // All-column projections compile to an infallible Projector
+            // validated here, once; the per-row Result disappears.
+            let cols: Option<Vec<usize>> = exprs
+                .iter()
+                .map(|e| match e {
+                    Expr::Col(c) => Some(*c),
+                    _ => None,
+                })
+                .collect();
+            if let Some(cols) = cols {
+                let proj = Projector::new(cols, arity)?;
+                return Ok(Box::new(ProjectChunks { input, proj }));
+            }
+            Ok(map_chunks(input, batch.effective, move |row, out| {
                 let mut vals = Vec::with_capacity(exprs.len());
                 for e in exprs {
-                    vals.push(e.eval(&row)?);
+                    vals.push(e.eval(row)?);
                 }
-                Ok(Row::new(vals))
-            })))
+                out.push(Row::new(vals));
+                Ok(())
+            }))
         }
         Plan::Join {
             left,
             right,
             on,
             residual,
-        } => open_join(db, left, right, on, residual.as_ref()),
+        } => open_join(db, left, right, on, residual.as_ref(), batch),
         Plan::AntiJoin {
             left,
             right,
             on,
             residual,
-        } => open_anti_join(db, left, right, on, residual.as_ref()),
+        } => open_anti_join(db, left, right, on, residual.as_ref(), batch),
         Plan::Distinct { input } => {
-            let input = open_node(db, input)?;
+            let input = open_node(db, input, batch)?;
             let mut seen: HashSet<Row> = HashSet::new();
-            Ok(Box::new(input.filter_map(move |item| match item {
-                Ok(row) => seen.insert(row.clone()).then_some(Ok(row)),
-                Err(e) => Some(Err(e)),
-            })))
+            Ok(filter_chunks(
+                input,
+                move |row| Ok(seen.insert(row.clone())),
+            ))
         }
         Plan::Union { inputs } => {
             let mut streams = Vec::with_capacity(inputs.len());
             for p in inputs {
-                streams.push(open_node(db, p)?);
+                streams.push(open_node(db, p, batch)?);
             }
             Ok(Box::new(streams.into_iter().flatten()))
         }
@@ -172,14 +546,16 @@ fn open_node<'a>(db: &'a Database, plan: &'a Plan) -> Result<BoxRowIter<'a>> {
             aggs,
         } => {
             // Materialization point: the accumulators must see every input
-            // row, but only one row per group is ever held.
-            let input = open_node(db, input)?;
-            let rows = aggregate_stream(input, group_by, aggs)?;
-            Ok(Box::new(rows.into_iter().map(Ok)))
+            // row, but only one row per group is ever held. The input runs
+            // at the executor's full batch size regardless of any Limit
+            // above (the aggregate consumes everything anyway).
+            let input = open_node(db, input, batch.full())?;
+            let rows = aggregate_stream(ChunkStream::new(input).rows(), group_by, aggs)?;
+            Ok(chunked_owned(rows, batch.effective))
         }
         Plan::Sort { input, by } => {
             // Materialization point.
-            let mut rows = collect(open_node(db, input)?)?;
+            let mut rows = ChunkStream::new(open_node(db, input, batch.full())?).collect_rows()?;
             rows.sort_by(|a, b| {
                 for &c in by {
                     let ord = a[c].cmp(&b[c]);
@@ -189,11 +565,365 @@ fn open_node<'a>(db: &'a Database, plan: &'a Plan) -> Result<BoxRowIter<'a>> {
                 }
                 std::cmp::Ordering::Equal
             });
-            Ok(Box::new(rows.into_iter().map(Ok)))
+            Ok(chunked_owned(rows, batch.effective))
         }
         Plan::Limit { input, n } => {
-            let input = open_node(db, input)?;
-            Ok(Box::new(input.take(*n)))
+            // Cap the subtree's batch size at n: a first-rows query pulls
+            // one right-sized batch through the pipeline instead of a full
+            // one (materialization points below reset to the full batch).
+            let input = open_node(db, input, batch.capped(*n))?;
+            Ok(Box::new(LimitChunks {
+                input,
+                remaining: *n,
+            }))
+        }
+    }
+}
+
+/// First-chunk size of the leaf ramp-up: scans and literal relations
+/// start with a small batch and double up to the configured size, so a
+/// first-rows consumer (`Limit`, an abandoned stream) touches tens of
+/// rows, not a full batch, while steady-state throughput still runs at
+/// `batch`.
+const RAMP_START: usize = 32;
+
+/// Clone an iterator of borrowed rows into batches, lazily, ramping the
+/// chunk size up from [`RAMP_START`] to `batch`.
+fn chunked_refs<'a>(iter: impl Iterator<Item = &'a Row> + 'a, batch: usize) -> BoxChunkIter<'a> {
+    let mut iter = iter.peekable();
+    let mut size = RAMP_START.min(batch);
+    Box::new(std::iter::from_fn(move || {
+        iter.peek()?;
+        let rows: Vec<Row> = iter.by_ref().take(size).cloned().collect();
+        size = (size * 2).min(batch);
+        Some(Ok(Chunk::new(rows)))
+    }))
+}
+
+/// Batch an owned row vector (materialization-point outputs).
+fn chunked_owned<'a>(rows: Vec<Row>, batch: usize) -> BoxChunkIter<'a> {
+    let mut iter = rows.into_iter().peekable();
+    Box::new(std::iter::from_fn(move || {
+        iter.peek()?;
+        let rows: Vec<Row> = iter.by_ref().take(batch).collect();
+        Some(Ok(Chunk::new(rows)))
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Selection
+// ---------------------------------------------------------------------------
+
+fn open_selection<'a>(
+    db: &'a Database,
+    input: &'a Plan,
+    predicate: &'a Expr,
+    batch: Batch,
+) -> Result<BoxChunkIter<'a>> {
+    // Index access path: a selection directly over a scan whose predicate
+    // pins indexed columns fetches candidates through the index (a small,
+    // already-filtered set).
+    if let Plan::Scan { table } = input {
+        let t = db.table(table)?;
+        if let Some(rows) = try_index_selection(t, predicate)? {
+            return Ok(chunked_owned(rows, batch.effective));
+        }
+        // Filter-over-scan fusion: test table rows *by reference* and
+        // clone only the survivors into chunks — a selective filter never
+        // copies the rows it drops.
+        let refs = t.iter().map(|(_, r)| r);
+        if let Some(kernel) = ColLitKernel::compile(predicate) {
+            return Ok(chunked_refs(
+                refs.filter(move |r| kernel.test(r)),
+                batch.effective,
+            ));
+        }
+        return Ok(filtered_ref_scan(refs, predicate, batch.effective));
+    }
+    let input = open_node(db, input, batch)?;
+    if let Some(kernel) = ColLitKernel::compile(predicate) {
+        // Kernel filters are infallible: pure selection-vector updates.
+        return Ok(Box::new(input.filter_map(move |item| match item {
+            Ok(mut chunk) => {
+                chunk.filter_in_place(|row| kernel.test(row));
+                (!chunk.is_empty()).then_some(Ok(chunk))
+            }
+            Err(e) => Some(Err(e)),
+        })));
+    }
+    Ok(filter_chunks(input, move |row| predicate.eval_bool(row)))
+}
+
+/// Interpreter filter over borrowed scan rows with error splitting: rows
+/// before a failing row are emitted (already cloned) ahead of the error,
+/// and scanning resumes behind it.
+fn filtered_ref_scan<'a>(
+    refs: impl Iterator<Item = &'a Row> + 'a,
+    predicate: &'a Expr,
+    batch: usize,
+) -> BoxChunkIter<'a> {
+    let mut refs = refs.peekable();
+    let mut pending: VecDeque<Result<Chunk>> = VecDeque::new();
+    Box::new(std::iter::from_fn(move || loop {
+        if let Some(item) = pending.pop_front() {
+            return Some(item);
+        }
+        refs.peek()?;
+        let mut out: Vec<Row> = Vec::new();
+        for row in refs.by_ref() {
+            match predicate.eval_bool(row) {
+                Ok(true) => {
+                    out.push(row.clone());
+                    if out.len() >= batch {
+                        break;
+                    }
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    if !out.is_empty() {
+                        pending.push_back(Ok(Chunk::new(std::mem::take(&mut out))));
+                    }
+                    pending.push_back(Err(e));
+                    break;
+                }
+            }
+        }
+        if !out.is_empty() {
+            pending.push_back(Ok(Chunk::new(out)));
+        }
+    }))
+}
+
+/// Selection-vector filter with a fallible per-row predicate.
+///
+/// Clean chunks (the overwhelmingly common case) are filtered in place —
+/// only the selection vector is written. A chunk containing failing rows
+/// is split: passing rows before each error are emitted (cloned) ahead
+/// of it, preserving tuple-at-a-time error order.
+fn filter_chunks<'a>(
+    input: BoxChunkIter<'a>,
+    mut pred: impl FnMut(&Row) -> Result<bool> + 'a,
+) -> BoxChunkIter<'a> {
+    let mut input = input;
+    let mut pending: VecDeque<Result<Chunk>> = VecDeque::new();
+    Box::new(std::iter::from_fn(move || loop {
+        if let Some(item) = pending.pop_front() {
+            return Some(item);
+        }
+        match input.next()? {
+            Err(e) => return Some(Err(e)),
+            Ok(mut chunk) => {
+                let live = chunk.live_indices();
+                let mut segments: Vec<Vec<u32>> = vec![Vec::new()];
+                let mut errors = Vec::new();
+                for &i in &live {
+                    match pred(chunk.row(i)) {
+                        Ok(true) => segments.last_mut().expect("non-empty").push(i),
+                        Ok(false) => {}
+                        Err(e) => {
+                            errors.push(e);
+                            segments.push(Vec::new());
+                        }
+                    }
+                }
+                if errors.is_empty() {
+                    let sel = segments.pop().expect("non-empty");
+                    if sel.is_empty() {
+                        continue;
+                    }
+                    chunk.sel = Some(sel);
+                    return Some(Ok(chunk));
+                }
+                // Rare error path: interleave the passing segments with
+                // the errors in row order.
+                let mut errs = errors.into_iter();
+                for seg in segments {
+                    if !seg.is_empty() {
+                        let rows: Vec<Row> =
+                            seg.into_iter().map(|i| chunk.row(i).clone()).collect();
+                        pending.push_back(Ok(Chunk::new(rows)));
+                    }
+                    if let Some(e) = errs.next() {
+                        pending.push_back(Err(e));
+                    }
+                }
+            }
+        }
+    }))
+}
+
+/// Fallible per-row flat-map over chunks: `f` pushes zero or more output
+/// rows per live input row. Output flushes the moment a `batch`-sized
+/// chunk fills — **mid-input-chunk** — and processing resumes from the
+/// saved position on the next pull, so a satisfied `Limit` downstream
+/// never pays for the rest of the batch (first-rows latency does not
+/// regress under chunking). An error splits the output so rows produced
+/// before it are emitted first (tuple-at-a-time error order).
+fn map_chunks<'a>(
+    input: BoxChunkIter<'a>,
+    batch: usize,
+    f: impl FnMut(&Row, &mut Vec<Row>) -> Result<()> + 'a,
+) -> BoxChunkIter<'a> {
+    Box::new(MapChunks {
+        input,
+        f,
+        batch,
+        pending: VecDeque::new(),
+        current: None,
+        out: Vec::new(),
+        done: false,
+    })
+}
+
+struct MapChunks<'a, F> {
+    input: BoxChunkIter<'a>,
+    f: F,
+    batch: usize,
+    /// Emitted-but-not-yet-pulled items, in row order.
+    pending: VecDeque<Result<Chunk>>,
+    /// The partially processed input chunk and the next live position —
+    /// resumption state for mid-chunk flushes.
+    current: Option<(Chunk, usize)>,
+    /// Output rows accumulated toward the next batch (carried across
+    /// input chunks so output chunks stay full).
+    out: Vec<Row>,
+    done: bool,
+}
+
+impl<F: FnMut(&Row, &mut Vec<Row>) -> Result<()>> Iterator for MapChunks<'_, F> {
+    type Item = Result<Chunk>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(item) = self.pending.pop_front() {
+                return Some(item);
+            }
+            if let Some((chunk, pos)) = &mut self.current {
+                let n = chunk.len();
+                while *pos < n {
+                    let i = chunk.live_at(*pos);
+                    *pos += 1;
+                    match (self.f)(chunk.row(i), &mut self.out) {
+                        Ok(()) => {
+                            if self.out.len() >= self.batch {
+                                self.pending
+                                    .push_back(Ok(Chunk::new(std::mem::take(&mut self.out))));
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            if !self.out.is_empty() {
+                                self.pending
+                                    .push_back(Ok(Chunk::new(std::mem::take(&mut self.out))));
+                            }
+                            self.pending.push_back(Err(e));
+                            break;
+                        }
+                    }
+                }
+                if self
+                    .current
+                    .as_ref()
+                    .is_some_and(|(chunk, pos)| *pos >= chunk.len())
+                {
+                    self.current = None;
+                }
+                continue;
+            }
+            if self.done {
+                return None;
+            }
+            match self.input.next() {
+                None => {
+                    self.done = true;
+                    if !self.out.is_empty() {
+                        return Some(Ok(Chunk::new(std::mem::take(&mut self.out))));
+                    }
+                    return None;
+                }
+                Some(Err(e)) => {
+                    // Flush accumulated output first: it precedes the
+                    // error in row order.
+                    if !self.out.is_empty() {
+                        self.pending
+                            .push_back(Ok(Chunk::new(std::mem::take(&mut self.out))));
+                    }
+                    self.pending.push_back(Err(e));
+                }
+                Some(Ok(chunk)) => {
+                    self.current = Some((chunk, 0));
+                }
+            }
+        }
+    }
+}
+
+/// Precompiled all-column projection: one infallible clone loop per
+/// chunk, compacting as it goes.
+struct ProjectChunks<'a> {
+    input: BoxChunkIter<'a>,
+    proj: Projector,
+}
+
+impl Iterator for ProjectChunks<'_> {
+    type Item = Result<Chunk>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match self.input.next()? {
+                Err(e) => return Some(Err(e)),
+                Ok(chunk) => {
+                    if chunk.is_empty() {
+                        continue;
+                    }
+                    let mut rows = Vec::with_capacity(chunk.len());
+                    for row in chunk.iter() {
+                        rows.push(self.proj.apply(row));
+                    }
+                    return Some(Ok(Chunk::new(rows)));
+                }
+            }
+        }
+    }
+}
+
+/// `Limit`: pass chunks through, truncating the one that crosses the
+/// boundary; once satisfied, upstream is never pulled again. An error
+/// consumes one of the remaining slots, exactly like the row executor's
+/// `take(n)` over an `Iterator<Item = Result<Row>>` — a consumer
+/// pulling past errors sees the same item sequence from both executors.
+struct LimitChunks<'a> {
+    input: BoxChunkIter<'a>,
+    remaining: usize,
+}
+
+impl Iterator for LimitChunks<'_> {
+    type Item = Result<Chunk>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.remaining == 0 {
+                return None;
+            }
+            match self.input.next()? {
+                Err(e) => {
+                    self.remaining -= 1;
+                    return Some(Err(e));
+                }
+                Ok(mut chunk) => {
+                    let n = chunk.len();
+                    if n == 0 {
+                        continue;
+                    }
+                    if n <= self.remaining {
+                        self.remaining -= n;
+                    } else {
+                        chunk.truncate_live(self.remaining);
+                        self.remaining = 0;
+                    }
+                    return Some(Ok(chunk));
+                }
+            }
         }
     }
 }
@@ -202,25 +932,14 @@ fn open_node<'a>(db: &'a Database, plan: &'a Plan) -> Result<BoxRowIter<'a>> {
 // Joins
 // ---------------------------------------------------------------------------
 
-/// The right side of a join as a base-table access: `(table, selection)`.
-fn base_access(plan: &Plan) -> Option<(&str, Option<&Expr>)> {
-    match plan {
-        Plan::Scan { table } => Some((table, None)),
-        Plan::Selection { input, predicate } => match input.as_ref() {
-            Plan::Scan { table } => Some((table, Some(predicate))),
-            _ => None,
-        },
-        _ => None,
-    }
-}
-
 fn open_join<'a>(
     db: &'a Database,
     left: &'a Plan,
     right: &'a Plan,
     on: &'a [(usize, usize)],
     residual: Option<&'a Expr>,
-) -> Result<BoxRowIter<'a>> {
+    batch: Batch,
+) -> Result<BoxChunkIter<'a>> {
     if !on.is_empty() {
         if let Some((table_name, pred)) = base_access(right) {
             let table = db.table(table_name)?;
@@ -234,12 +953,11 @@ fn open_join<'a>(
                     .map(|(name, order)| (name.to_string(), order.to_vec()))
             };
             if pk_path || index.is_some() {
-                // Adaptive index-nested-loop: buffer left rows up to the
-                // break-even point of the materializing heuristic
-                // (`4·|left| ≤ |table|`). Exhausting within the budget
-                // means probing beats building a hash over the table.
+                // Adaptive index-nested-loop: buffer left rows (by whole
+                // chunks) up to the break-even point of the materializing
+                // heuristic (`4·|left| ≤ |table|`).
                 let budget = table.len().max(1) / 4;
-                let mut left_stream = open_node(db, left)?;
+                let mut left_stream = open_node(db, left, batch)?;
                 let mut buf: Vec<Row> = Vec::new();
                 let mut small_left = true;
                 loop {
@@ -248,241 +966,143 @@ fn open_join<'a>(
                         break;
                     }
                     match left_stream.next() {
-                        Some(row) => buf.push(row?),
+                        Some(chunk) => buf.extend(chunk?.into_rows()),
                         None => break,
                     }
                 }
                 if small_left {
-                    return Ok(Box::new(IndexJoin {
-                        table,
-                        lrows: buf.into_iter(),
-                        on,
-                        pred,
-                        residual,
-                        pk_path,
-                        index,
-                        current: None,
-                        pos: 0,
+                    let probe = chunked_owned(buf, batch.effective);
+                    return Ok(map_chunks(probe, batch.effective, move |lrow, out| {
+                        index_probe(table, lrow, on, pred, residual, pk_path, &index, out)
                     }));
                 }
                 // Too many left rows: replay the buffer in front of the
                 // rest of the stream and hash-join instead.
-                let probe: BoxRowIter<'a> = Box::new(buf.into_iter().map(Ok).chain(left_stream));
-                return hash_join(db, probe, right, on, residual);
+                let probe: BoxChunkIter<'a> =
+                    Box::new(chunked_owned(buf, batch.effective).chain(left_stream));
+                return hash_join(db, probe, right, on, residual, batch);
             }
         }
-        let probe = open_node(db, left)?;
-        return hash_join(db, probe, right, on, residual);
+        let probe = open_node(db, left, batch)?;
+        return hash_join(db, probe, right, on, residual, batch);
     }
     // Cross/theta join: the right side is materialized once, the left
-    // side pipelines through the nested loop.
-    let rrows = collect(open_node(db, right)?)?;
-    let left = open_node(db, left)?;
-    Ok(Box::new(NestedLoopJoin {
-        left,
-        rrows,
-        residual,
-        current: None,
-        pos: 0,
-    }))
-}
-
-/// Build a hash table over the right side, then stream the probe rows.
-fn hash_join<'a>(
-    db: &'a Database,
-    probe: BoxRowIter<'a>,
-    right: &'a Plan,
-    on: &'a [(usize, usize)],
-    residual: Option<&'a Expr>,
-) -> Result<BoxRowIter<'a>> {
-    let mut build: HashMap<Box<[Value]>, Vec<Row>> = HashMap::new();
-    for item in open_node(db, right)? {
-        let row = item?;
-        let key: Box<[Value]> = on.iter().map(|&(_, rc)| row[rc].clone()).collect();
-        build.entry(key).or_default().push(row);
-    }
-    Ok(Box::new(HashJoin {
-        probe,
-        build,
-        on,
-        residual,
-        current: None,
-        pos: 0,
-    }))
-}
-
-/// Streaming probe over a pre-built hash table. Output rows are
-/// `probe ++ build` (the probe side is the join's left input).
-struct HashJoin<'a> {
-    probe: BoxRowIter<'a>,
-    build: HashMap<Box<[Value]>, Vec<Row>>,
-    on: &'a [(usize, usize)],
-    residual: Option<&'a Expr>,
-    current: Option<(Row, Box<[Value]>)>,
-    pos: usize,
-}
-
-impl Iterator for HashJoin<'_> {
-    type Item = Result<Row>;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        loop {
-            if let Some((lrow, key)) = &self.current {
-                let hits = self.build.get(key).expect("current key has matches");
-                while self.pos < hits.len() {
-                    let rrow = &hits[self.pos];
-                    self.pos += 1;
-                    let joined = lrow.concat(rrow);
-                    match self.residual {
-                        None => return Some(Ok(joined)),
-                        Some(e) => match e.eval_bool(&joined) {
-                            Ok(true) => return Some(Ok(joined)),
-                            Ok(false) => {}
-                            Err(err) => return Some(Err(err)),
-                        },
+    // side pipelines chunk-at-a-time through the nested loop.
+    let rrows = ChunkStream::new(open_node(db, right, batch.full())?).collect_rows()?;
+    let left = open_node(db, left, batch)?;
+    Ok(map_chunks(left, batch.effective, move |lrow, out| {
+        for rrow in &rrows {
+            let joined = lrow.concat(rrow);
+            match residual {
+                None => out.push(joined),
+                Some(e) => {
+                    if e.eval_bool(&joined)? {
+                        out.push(joined);
                     }
                 }
-                self.current = None;
-            }
-            match self.probe.next()? {
-                Ok(lrow) => {
-                    let key: Box<[Value]> =
-                        self.on.iter().map(|&(lc, _)| lrow[lc].clone()).collect();
-                    if self.build.contains_key(&key) {
-                        self.current = Some((lrow, key));
-                        self.pos = 0;
-                    }
-                }
-                Err(e) => return Some(Err(e)),
             }
         }
-    }
+        Ok(())
+    }))
 }
 
-/// Index-nested-loop join: bounded buffered left rows probe the right
-/// table's primary key or a covering secondary index, emitting matches
-/// one at a time.
-struct IndexJoin<'a> {
-    table: &'a Table,
-    lrows: std::vec::IntoIter<Row>,
-    on: &'a [(usize, usize)],
-    /// Selection predicate of a `Selection`-over-`Scan` right side.
-    pred: Option<&'a Expr>,
-    residual: Option<&'a Expr>,
+/// Probe the right table's primary key or covering index for one left
+/// row, re-verifying every join pair and applying the right-side
+/// selection and residual (shared by the chunked index-nested-loop).
+#[allow(clippy::too_many_arguments)]
+fn index_probe(
+    table: &crate::table::Table,
+    lrow: &Row,
+    on: &[(usize, usize)],
+    pred: Option<&Expr>,
+    residual: Option<&Expr>,
     pk_path: bool,
-    index: Option<(String, Vec<usize>)>,
-    current: Option<(Row, Vec<&'a Row>)>,
-    pos: usize,
-}
-
-impl IndexJoin<'_> {
-    /// Re-verify every join pair (with duplicate right columns in `on` the
-    /// index key only pins one left column per right column), apply the
-    /// right-side selection and the residual.
-    fn try_emit(&self, lrow: &Row, rrow: &Row) -> Result<Option<Row>> {
-        for &(lc, rc) in self.on {
-            if lrow[lc] != rrow[rc] {
-                return Ok(None);
-            }
+    index: &Option<(String, Vec<usize>)>,
+    out: &mut Vec<Row>,
+) -> Result<()> {
+    let hits: Vec<&Row> = if pk_path {
+        let lc = on[0].0;
+        table.get_by_key(&lrow[lc]).into_iter().collect()
+    } else {
+        let (name, order) = index.as_ref().expect("index path");
+        let key: Vec<Value> = order
+            .iter()
+            .map(|rc| {
+                let (lc, _) = on.iter().find(|(_, r)| r == rc).expect("covered");
+                lrow[*lc].clone()
+            })
+            .collect();
+        table.index_rows(name, &key)?
+    };
+    for rrow in hits {
+        // Re-verify every join pair: with duplicate right columns in `on`
+        // the index key only pins one left column per right column.
+        if on.iter().any(|&(lc, rc)| lrow[lc] != rrow[rc]) {
+            continue;
         }
-        if let Some(p) = self.pred {
+        if let Some(p) = pred {
             if !p.eval_bool(rrow)? {
-                return Ok(None);
+                continue;
             }
         }
         let joined = lrow.concat(rrow);
-        let keep = match self.residual {
-            Some(e) => e.eval_bool(&joined)?,
-            None => true,
-        };
-        Ok(keep.then_some(joined))
-    }
-}
-
-impl Iterator for IndexJoin<'_> {
-    type Item = Result<Row>;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        loop {
-            if let Some((lrow, hits)) = &self.current {
-                while self.pos < hits.len() {
-                    let rrow = hits[self.pos];
-                    self.pos += 1;
-                    match self.try_emit(lrow, rrow) {
-                        Ok(Some(joined)) => return Some(Ok(joined)),
-                        Ok(None) => {}
-                        Err(e) => return Some(Err(e)),
-                    }
+        match residual {
+            None => out.push(joined),
+            Some(e) => {
+                if e.eval_bool(&joined)? {
+                    out.push(joined);
                 }
-                self.current = None;
-            }
-            let lrow = self.lrows.next()?;
-            let hits: Vec<&Row> = if self.pk_path {
-                let lc = self.on[0].0;
-                self.table.get_by_key(&lrow[lc]).into_iter().collect()
-            } else {
-                let (name, order) = self.index.as_ref().expect("index path");
-                let key: Vec<Value> = order
-                    .iter()
-                    .map(|rc| {
-                        let (lc, _) = self.on.iter().find(|(_, r)| r == rc).expect("covered");
-                        lrow[*lc].clone()
-                    })
-                    .collect();
-                match self.table.index_rows(name, &key) {
-                    Ok(rows) => rows,
-                    Err(e) => return Some(Err(e)),
-                }
-            };
-            if !hits.is_empty() {
-                self.current = Some((lrow, hits));
-                self.pos = 0;
             }
         }
     }
+    Ok(())
 }
 
-/// Cross/theta join: materialized right rows, streaming left.
-struct NestedLoopJoin<'a> {
-    left: BoxRowIter<'a>,
-    rrows: Vec<Row>,
+/// Build a hash table over the right side, then probe whole chunks.
+fn hash_join<'a>(
+    db: &'a Database,
+    probe: BoxChunkIter<'a>,
+    right: &'a Plan,
+    on: &'a [(usize, usize)],
     residual: Option<&'a Expr>,
-    current: Option<Row>,
-    pos: usize,
-}
-
-impl Iterator for NestedLoopJoin<'_> {
-    type Item = Result<Row>;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        loop {
-            if let Some(lrow) = &self.current {
-                while self.pos < self.rrows.len() {
-                    let rrow = &self.rrows[self.pos];
-                    self.pos += 1;
-                    let joined = lrow.concat(rrow);
-                    match self.residual {
-                        None => return Some(Ok(joined)),
-                        Some(e) => match e.eval_bool(&joined) {
-                            Ok(true) => return Some(Ok(joined)),
-                            Ok(false) => {}
-                            Err(err) => return Some(Err(err)),
-                        },
+    batch: Batch,
+) -> Result<BoxChunkIter<'a>> {
+    let build = build_side(db, right, on, batch)?;
+    Ok(map_chunks(probe, batch.effective, move |lrow, out| {
+        let key: Box<[Value]> = on.iter().map(|&(lc, _)| lrow[lc].clone()).collect();
+        if let Some(hits) = build.get(&key) {
+            for rrow in hits {
+                let joined = lrow.concat(rrow);
+                match residual {
+                    None => out.push(joined),
+                    Some(e) => {
+                        if e.eval_bool(&joined)? {
+                            out.push(joined);
+                        }
                     }
                 }
-                self.current = None;
-            }
-            match self.left.next()? {
-                Ok(lrow) => {
-                    if !self.rrows.is_empty() {
-                        self.current = Some(lrow);
-                        self.pos = 0;
-                    }
-                }
-                Err(e) => return Some(Err(e)),
             }
         }
+        Ok(())
+    }))
+}
+
+/// Materialize a join's build (right) side into a hash table keyed by
+/// the `on` columns. The build input always runs at the full batch size.
+fn build_side(
+    db: &Database,
+    right: &Plan,
+    on: &[(usize, usize)],
+    batch: Batch,
+) -> Result<HashMap<Box<[Value]>, Vec<Row>>> {
+    let mut build: HashMap<Box<[Value]>, Vec<Row>> = HashMap::new();
+    for chunk in ChunkStream::new(open_node(db, right, batch.full())?) {
+        for row in chunk?.into_rows() {
+            let key: Box<[Value]> = on.iter().map(|&(_, rc)| row[rc].clone()).collect();
+            build.entry(key).or_default().push(row);
+        }
     }
+    Ok(build)
 }
 
 fn open_anti_join<'a>(
@@ -491,65 +1111,52 @@ fn open_anti_join<'a>(
     right: &'a Plan,
     on: &'a [(usize, usize)],
     residual: Option<&'a Expr>,
-) -> Result<BoxRowIter<'a>> {
-    let left_stream = open_node(db, left)?;
+    batch: Batch,
+) -> Result<BoxChunkIter<'a>> {
+    let left_stream = open_node(db, left, batch)?;
     if on.is_empty() {
         // A left row survives iff no right row makes the residual hold.
-        let rrows = collect(open_node(db, right)?)?;
-        return Ok(Box::new(left_stream.filter_map(move |item| match item {
-            Ok(lrow) => {
-                for rrow in &rrows {
-                    let joined = lrow.concat(rrow);
-                    match residual {
-                        None => return None,
-                        Some(e) => match e.eval_bool(&joined) {
-                            Ok(true) => return None,
-                            Ok(false) => {}
-                            Err(err) => return Some(Err(err)),
-                        },
+        // Anti-joins keep left rows unchanged, so this is a pure
+        // selection-vector filter.
+        let rrows = ChunkStream::new(open_node(db, right, batch.full())?).collect_rows()?;
+        return Ok(filter_chunks(left_stream, move |lrow| {
+            for rrow in &rrows {
+                match residual {
+                    None => return Ok(false),
+                    Some(e) => {
+                        if e.eval_bool(&lrow.concat(rrow))? {
+                            return Ok(false);
+                        }
                     }
                 }
-                Some(Ok(lrow))
             }
-            Err(e) => Some(Err(e)),
-        })));
+            Ok(true)
+        }));
     }
-    let mut build: HashMap<Box<[Value]>, Vec<Row>> = HashMap::new();
-    for item in open_node(db, right)? {
-        let row = item?;
-        let key: Box<[Value]> = on.iter().map(|&(_, rc)| row[rc].clone()).collect();
-        build.entry(key).or_default().push(row);
-    }
-    Ok(Box::new(left_stream.filter_map(move |item| match item {
-        Ok(lrow) => {
-            let key: Box<[Value]> = on.iter().map(|&(lc, _)| lrow[lc].clone()).collect();
-            match build.get(&key) {
-                None => Some(Ok(lrow)),
-                Some(hits) => match residual {
-                    None => None,
-                    Some(e) => {
-                        for rrow in hits {
-                            let joined = lrow.concat(rrow);
-                            match e.eval_bool(&joined) {
-                                Ok(true) => return None,
-                                Ok(false) => {}
-                                Err(err) => return Some(Err(err)),
-                            }
+    let build = build_side(db, right, on, batch)?;
+    Ok(filter_chunks(left_stream, move |lrow| {
+        let key: Box<[Value]> = on.iter().map(|&(lc, _)| lrow[lc].clone()).collect();
+        match build.get(&key) {
+            None => Ok(true),
+            Some(hits) => match residual {
+                None => Ok(false),
+                Some(e) => {
+                    for rrow in hits {
+                        if e.eval_bool(&lrow.concat(rrow))? {
+                            return Ok(false);
                         }
-                        Some(Ok(lrow))
                     }
-                },
-            }
+                    Ok(true)
+                }
+            },
         }
-        Err(e) => Some(Err(e)),
-    })))
+    }))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::{execute, execute_materialized};
-    use crate::expr::CmpOp;
+    use crate::exec::{execute, execute_materialized, execute_rows};
     use crate::row;
     use crate::schema::TableSchema;
 
@@ -579,7 +1186,7 @@ mod tests {
     }
 
     #[test]
-    fn streaming_matches_materializing_on_basic_operators() {
+    fn chunked_matches_materializing_on_basic_operators() {
         let db = db();
         let plans = vec![
             Plan::scan("Users"),
@@ -607,13 +1214,13 @@ mod tests {
             assert_eq!(
                 sorted(execute(&db, plan).unwrap()),
                 sorted(execute_materialized(&db, plan).unwrap()),
-                "streaming and materializing disagree on {plan:?}"
+                "chunked and materializing disagree on {plan:?}"
             );
         }
     }
 
     #[test]
-    fn streaming_preserves_scan_order() {
+    fn chunked_preserves_scan_order() {
         let db = db();
         let plan = Plan::scan("Users");
         let rows = stream(&db, &plan).unwrap().collect_rows().unwrap();
@@ -624,10 +1231,11 @@ mod tests {
     }
 
     #[test]
-    fn limit_short_circuits_upstream_errors() {
-        // The second Values row makes the predicate non-boolean; a
-        // streaming Limit(1) never reaches it, while the materializing
-        // executor (which filters everything first) errors out.
+    fn limit_short_circuits_upstream_errors_mid_chunk() {
+        // Both Values rows land in the *same* chunk; the selection splits
+        // the chunk at the failing row, so Limit(1) is satisfied by the
+        // prefix and the error is never demanded — identical to the
+        // tuple-at-a-time semantics.
         let db = db();
         let plan = Plan::Values {
             arity: 1,
@@ -664,6 +1272,24 @@ mod tests {
         // And through a projection above it.
         let plan = plan.project_cols(&[0]);
         assert!(execute(&db, &plan).is_err());
+    }
+
+    #[test]
+    fn error_splitting_preserves_row_order_around_errors() {
+        // Rows 1 and 3 pass, row 2 errors: the stream must yield
+        // Ok(1), Err, Ok(3) in that order.
+        let db = db();
+        let plan = Plan::Values {
+            arity: 1,
+            rows: vec![row![true], row![7], row![true]],
+        }
+        .select(Expr::Col(0));
+        let stream = stream_chunks(&db, &plan).unwrap();
+        let items: Vec<Result<Vec<Row>>> = stream.map(|item| item.map(Chunk::into_rows)).collect();
+        assert_eq!(items.len(), 3, "{items:?}");
+        assert_eq!(items[0].as_ref().unwrap(), &vec![row![true]]);
+        assert!(items[1].is_err());
+        assert_eq!(items[2].as_ref().unwrap(), &vec![row![true]]);
     }
 
     #[test]
@@ -713,5 +1339,227 @@ mod tests {
             sorted(execute(&db, &plan).unwrap()),
             sorted(execute_materialized(&db, &plan).unwrap())
         );
+    }
+
+    #[test]
+    fn kernels_match_interpreter_on_cross_type_columns() {
+        // A column holding every Value type: each specialized kernel must
+        // agree with Expr::eval_bool row for row (cross-type total order:
+        // Null < Bool < Int < Str).
+        let db = db();
+        let rows = vec![
+            row![Value::Null],
+            row![false],
+            row![true],
+            row![-3],
+            row![5],
+            row![17],
+            row!["apple"],
+            row!["zebra"],
+        ];
+        let lits = [Value::int(5), Value::str("mango"), Value::Bool(true)];
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            for lit in &lits {
+                for flipped in [false, true] {
+                    let pred = if flipped {
+                        Expr::cmp(op.flip(), Expr::Lit(lit.clone()), Expr::Col(0))
+                    } else {
+                        Expr::cmp(op, Expr::Col(0), Expr::Lit(lit.clone()))
+                    };
+                    let kernel = ColLitKernel::compile(&pred).expect("col-lit compiles");
+                    for r in &rows {
+                        assert_eq!(
+                            kernel.test(r),
+                            pred.eval_bool(r).unwrap(),
+                            "kernel disagrees with interpreter on {pred} over {r}"
+                        );
+                    }
+                    let plan = Plan::Values {
+                        arity: 1,
+                        rows: rows.clone(),
+                    }
+                    .select(pred);
+                    assert_eq!(
+                        sorted(execute(&db, &plan).unwrap()),
+                        sorted(execute_materialized(&db, &plan).unwrap()),
+                        "kernel execution diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filters_set_selection_vectors_without_copying() {
+        // A filter over a non-scan input refines the selection vector in
+        // place: the chunk keeps its backing rows, only `sel` changes.
+        let db = db();
+        let plan = Plan::scan("E")
+            .project_cols(&[1, 0])
+            .select(Expr::col_eq_lit(1, 0i64));
+        let chunks: Vec<Chunk> = stream_chunks(&db, &plan)
+            .unwrap()
+            .map(|c| c.unwrap())
+            .collect();
+        assert_eq!(chunks.len(), 1);
+        assert!(
+            chunks[0].sel.is_some(),
+            "filter must use a selection vector"
+        );
+        assert_eq!(chunks[0].rows.len(), 5, "backing rows are not compacted");
+        assert_eq!(chunks[0].len(), 3);
+    }
+
+    #[test]
+    fn batch_size_bounds_chunks_and_limit_caps_them() {
+        let mut db = Database::new();
+        let t = db.create_table(TableSchema::keyless("T", &["a"])).unwrap();
+        for i in 0..2500i64 {
+            t.insert(row![i]).unwrap();
+        }
+        // Scan chunks ramp up from 64 and saturate at the batch size.
+        let plan = Plan::scan("T");
+        let sizes: Vec<usize> = Executor::new(&db)
+            .open_chunks(&plan)
+            .unwrap()
+            .map(|c| c.unwrap().len())
+            .collect();
+        assert_eq!(sizes, vec![32, 64, 128, 256, 512, 1024, 484]);
+        assert_eq!(sizes.iter().sum::<usize>(), 2500);
+        let sizes: Vec<usize> = Executor::with_batch_size(&db, 100)
+            .open_chunks(&plan)
+            .unwrap()
+            .map(|c| c.unwrap().len())
+            .collect();
+        assert!(sizes.iter().all(|&s| s <= 100), "{sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 2500);
+        // A Limit caps its subtree's batch: one 10-row chunk, not 1024.
+        let limited = Plan::scan("T").limit(10);
+        let sizes: Vec<usize> = Executor::new(&db)
+            .open_chunks(&limited)
+            .unwrap()
+            .map(|c| c.unwrap().len())
+            .collect();
+        assert_eq!(sizes, vec![10]);
+    }
+
+    #[test]
+    fn limit_counts_errors_like_the_row_executor() {
+        // `take(n)` over `Result<Row>` items counts an Err toward the
+        // limit; the chunked Limit must too, so a consumer pulling past
+        // errors sees the same item sequence from both executors.
+        let db = db();
+        let plan = Plan::Values {
+            arity: 1,
+            rows: vec![row![7], row![true], row![true]],
+        }
+        .select(Expr::Col(0))
+        .limit(1);
+        let chunked: Vec<Result<Row>> = stream(&db, &plan).unwrap().collect();
+        let rowwise: Vec<Result<Row>> = crate::exec::stream_rows(&db, &plan).unwrap().collect();
+        assert_eq!(chunked.len(), 1, "{chunked:?}");
+        assert_eq!(rowwise.len(), 1);
+        assert!(chunked[0].is_err() && rowwise[0].is_err());
+        // With room for two items: the error plus exactly one row.
+        let plan = Plan::Values {
+            arity: 1,
+            rows: vec![row![7], row![true], row![true]],
+        }
+        .select(Expr::Col(0))
+        .limit(2);
+        let chunked: Vec<Result<Row>> = stream(&db, &plan).unwrap().collect();
+        let rowwise: Vec<Result<Row>> = crate::exec::stream_rows(&db, &plan).unwrap().collect();
+        assert_eq!(chunked.len(), 2, "{chunked:?}");
+        assert!(chunked[0].is_err());
+        assert_eq!(chunked[1].as_ref().unwrap(), &row![true]);
+        assert_eq!(rowwise.len(), 2);
+        assert!(rowwise[0].is_err());
+        assert_eq!(rowwise[1].as_ref().unwrap(), &row![true]);
+    }
+
+    #[test]
+    fn with_batch_size_is_honored_through_materialization_points() {
+        let mut db = Database::new();
+        let t = db.create_table(TableSchema::keyless("T", &["a"])).unwrap();
+        for i in 0..300i64 {
+            t.insert(row![(i * 7) % 300]).unwrap();
+        }
+        // A Sort (materialization point) between the scan and the
+        // output: chunks on both sides of it respect the configured
+        // batch, not a hard-coded constant.
+        let plan = Plan::scan("T").sort(vec![0]).distinct();
+        let small = Executor::with_batch_size(&db, 8);
+        let sizes: Vec<usize> = small
+            .open_chunks(&plan)
+            .unwrap()
+            .map(|c| c.unwrap().len())
+            .collect();
+        assert!(sizes.iter().all(|&s| s <= 8), "{sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 300);
+        // And a configured batch *larger* than the default survives a
+        // Limit cap: the sort output above the Limit's subtree is
+        // re-batched at min(configured, n), not min(1024, n).
+        let plan = Plan::scan("T").sort(vec![0]).limit(290);
+        let big = Executor::with_batch_size(&db, 4096);
+        let sizes: Vec<usize> = big
+            .open_chunks(&plan)
+            .unwrap()
+            .map(|c| c.unwrap().len())
+            .collect();
+        assert_eq!(sizes, vec![290]);
+    }
+
+    #[test]
+    fn limit_truncates_mid_chunk() {
+        let db = db();
+        let plan = Plan::Values {
+            arity: 1,
+            rows: (0..7i64).map(|i| row![i]).collect(),
+        }
+        .limit(3);
+        assert_eq!(
+            execute(&db, &plan).unwrap(),
+            vec![row![0], row![1], row![2]]
+        );
+    }
+
+    #[test]
+    fn projector_path_matches_generic_projection() {
+        let db = db();
+        // All-column projection (Projector) vs one forced through the
+        // generic expression path by a literal.
+        let fast = Plan::scan("E").project_cols(&[2, 0, 1]);
+        let slow = Plan::scan("E").project(vec![Expr::Col(2), Expr::Col(0), Expr::Col(1)]);
+        assert_eq!(execute(&db, &fast).unwrap(), execute(&db, &slow).unwrap());
+        let mixed = Plan::scan("E").project(vec![Expr::Col(2), Expr::lit("x")]);
+        let rows = execute(&db, &mixed).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r[1] == Value::str("x")));
+    }
+
+    #[test]
+    fn chunked_and_row_executors_agree_on_scan_order_and_limits() {
+        let db = db();
+        for plan in [
+            Plan::scan("E"),
+            Plan::scan("E").select(Expr::col_eq_lit(0, 0i64)),
+            Plan::scan("E").project_cols(&[1]).limit(2),
+            Plan::scan("Users").join(Plan::scan("E"), vec![(0, 1)]),
+        ] {
+            let chunked = stream(&db, &plan).unwrap().collect_rows().unwrap();
+            let rowwise = crate::exec::stream_rows(&db, &plan)
+                .unwrap()
+                .collect_rows()
+                .unwrap();
+            assert_eq!(chunked, rowwise, "order diverged on {plan:?}");
+            assert_eq!(chunked, execute_rows(&db, &plan).unwrap());
+        }
     }
 }

@@ -49,12 +49,15 @@ pub mod value;
 
 pub use catalog::Database;
 pub use error::{Result, StorageError};
-pub use exec::{execute, execute_materialized, execute_optimized, stream, Executor, RowStream};
+pub use exec::{
+    execute, execute_materialized, execute_optimized, execute_rows, stream, stream_chunks,
+    stream_rows, Chunk, ChunkStream, Executor, RowStream, BATCH_SIZE,
+};
 pub use expr::{CmpOp, Expr};
 pub use index::RowId;
 pub use opt::{optimize, optimize_with, OptimizerOptions, StatsCatalog};
 pub use plan::{Agg, Plan};
-pub use row::Row;
+pub use row::{Projector, Row};
 pub use schema::{ColumnDef, KeyMode, TableSchema};
 pub use table::Table;
 pub use value::Value;

@@ -11,7 +11,7 @@
 
 use super::stats::{combine, RelEstimate, StatsCatalog};
 use crate::catalog::Database;
-use crate::exec::access_path_note;
+use crate::exec::{access_path_note, selection_kernel_label, BATCH_SIZE};
 use crate::plan::{Agg, Plan};
 
 /// Render a plan as an indented tree. Deterministic: node order follows
@@ -79,6 +79,27 @@ fn exec_note(plan: &Plan) -> &'static str {
     }
 }
 
+/// The vectorization annotation: pipelined operators exchange chunks of
+/// up to [`BATCH_SIZE`] rows. Aggregate and Sort consume chunks but
+/// emit materialized output, so they carry no tag of their own; the
+/// `Selection` kernel annotation is handled in [`render_node`] because
+/// it depends on the access path (an index-served selection runs no
+/// filter kernel at all).
+fn vectorized_note(plan: &Plan) -> String {
+    match plan {
+        Plan::Scan { .. }
+        | Plan::Values { .. }
+        | Plan::Selection { .. }
+        | Plan::Projection { .. }
+        | Plan::Union { .. }
+        | Plan::Distinct { .. }
+        | Plan::Limit { .. }
+        | Plan::Join { .. }
+        | Plan::AntiJoin { .. } => format!(" [vectorized batch={BATCH_SIZE}]"),
+        Plan::Aggregate { .. } | Plan::Sort { .. } => String::new(),
+    }
+}
+
 fn on_note(on: &[(usize, usize)]) -> String {
     if on.is_empty() {
         return String::new();
@@ -89,7 +110,7 @@ fn on_note(on: &[(usize, usize)]) -> String {
 
 fn render_node(db: &Database, plan: &Plan, est: &EstTree, depth: usize, out: &mut String) {
     indent(depth, out);
-    let exec = exec_note(plan);
+    let exec = format!("{}{}", exec_note(plan), vectorized_note(plan));
     match plan {
         Plan::Scan { table } => {
             let rows = db.table(table).map(|t| t.len()).unwrap_or(0);
@@ -99,6 +120,20 @@ fn render_node(db: &Database, plan: &Plan, est: &EstTree, depth: usize, out: &mu
             let access = match input.as_ref() {
                 Plan::Scan { table } => access_path_note(db, table, predicate),
                 _ => None,
+            };
+            // The filter kernel only runs when no index serves the
+            // selection — an access-path hit fetches pre-filtered rows
+            // and never evaluates the kernel, so report one or the
+            // other, not both.
+            let exec = match &access {
+                Some(_) => exec.clone(),
+                None => {
+                    let kernel = selection_kernel_label(predicate).unwrap_or("rowwise");
+                    format!(
+                        "{} [vectorized batch={BATCH_SIZE} kernel={kernel}]",
+                        exec_note(plan)
+                    )
+                }
             };
             let access = access.map(|a| format!(" [{a}]")).unwrap_or_default();
             out.push_str(&format!(
@@ -307,6 +342,47 @@ mod tests {
         };
         let text = render_with_snapshot(&db, &agg);
         assert!(text.contains("[materialize]"), "{text}");
+    }
+
+    #[test]
+    fn annotates_vectorized_operators_and_batch_size() {
+        let db = db();
+        let plan = Plan::scan("V")
+            .select(Expr::col_eq_lit(1, 3i64))
+            .project_cols(&[1])
+            .sort(vec![0])
+            .limit(3);
+        let text = render_with_snapshot(&db, &plan);
+        // Pipelined operators carry the batch size; the int-equality
+        // selection reports its specialized kernel.
+        assert!(
+            text.contains("Limit 3 [pipeline] [vectorized batch=1024]"),
+            "{text}"
+        );
+        assert!(text.contains("kernel=eq:int"), "{text}");
+        // Materialization points carry no vectorized tag.
+        assert!(
+            !text.contains("Sort by [#0] [materialize] [vectorized"),
+            "{text}"
+        );
+        // A predicate the kernel compiler rejects falls back to the
+        // row-wise interpreter — and says so. (Cols 1 and 2 are not
+        // covered by any index, so no access path fires either.)
+        let fallback = Plan::scan("V").select(Expr::and(vec![
+            Expr::col_eq_lit(1, 2i64),
+            Expr::col_eq_lit(2, "+"),
+        ]));
+        let text = render_with_snapshot(&db, &fallback);
+        assert!(text.contains("kernel=rowwise"), "{text}");
+        // Deterministic.
+        assert_eq!(text, render_with_snapshot(&db, &fallback));
+        // An index-served selection runs no filter kernel: the access
+        // note and the kernel note are mutually exclusive.
+        let indexed = Plan::scan("V").select(Expr::col_eq_lit(0, 3i64));
+        let text = render_with_snapshot(&db, &indexed);
+        assert!(text.contains("[access=index:by_wid]"), "{text}");
+        assert!(!text.contains("kernel="), "{text}");
+        assert!(text.contains("[vectorized batch=1024]"), "{text}");
     }
 
     #[test]

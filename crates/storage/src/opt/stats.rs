@@ -15,10 +15,14 @@ use crate::expr::{CmpOp, Expr};
 use crate::plan::{Agg, Plan};
 use crate::row::Row;
 use crate::table::Table;
-use std::collections::{BTreeMap, HashSet};
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Rows sampled per column when no index covers it.
 const SAMPLE_CAP: usize = 512;
+
+/// Most-common values kept per column.
+const MCV_CAP: usize = 8;
 
 /// Default selectivity of a range predicate (`<`, `<=`, `>`, `>=`).
 const RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
@@ -30,6 +34,14 @@ pub struct TableStats {
     pub rows: usize,
     /// Estimated number of distinct values per column.
     pub distinct: Vec<f64>,
+    /// Per-column most-common-value list: up to [`MCV_CAP`] `(value,
+    /// fraction-of-rows)` pairs, most frequent first. Only values seen
+    /// at least twice in the sample qualify, so key-like columns carry
+    /// empty lists and equality selectivity falls back to `1/distinct`.
+    /// This is what fixes the skew error on Zipf-participation columns:
+    /// a scalar distinct count prices every value at `1/d`, while the
+    /// hot value of a Zipf column covers a large constant fraction.
+    pub mcv: Vec<Vec<(Value, f64)>>,
     /// The table's mutation version at snapshot time.
     pub version: u64,
 }
@@ -75,12 +87,50 @@ impl TableStats {
                 distinct[c] = extrapolate_distinct(seen[slot].len(), sampled, rows);
             }
         }
+
+        // Most-common values from the same deterministic sample prefix.
+        let mcv = if rows > 0 {
+            mcv_lists(arity, table.iter().map(|(_, r)| r).take(SAMPLE_CAP))
+        } else {
+            vec![Vec::new(); arity]
+        };
         TableStats {
             rows,
             distinct,
+            mcv,
             version: table.version(),
         }
     }
+}
+
+/// Count a bounded row sample into per-column most-common-value lists:
+/// top [`MCV_CAP`] values seen at least twice, as fractions of the
+/// sample, most frequent first (ties broken by value for determinism).
+fn mcv_lists<'a>(arity: usize, rows: impl Iterator<Item = &'a Row>) -> Vec<Vec<(Value, f64)>> {
+    let mut counts: Vec<HashMap<&Value, usize>> = vec![HashMap::new(); arity];
+    let mut sampled = 0usize;
+    for row in rows {
+        sampled += 1;
+        for (c, col_counts) in counts.iter_mut().enumerate() {
+            *col_counts.entry(&row[c]).or_insert(0) += 1;
+        }
+    }
+    if sampled == 0 {
+        return vec![Vec::new(); arity];
+    }
+    counts
+        .into_iter()
+        .map(|col_counts| {
+            let mut common: Vec<(&Value, usize)> =
+                col_counts.into_iter().filter(|&(_, n)| n >= 2).collect();
+            common.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+            common.truncate(MCV_CAP);
+            common
+                .into_iter()
+                .map(|(v, n)| (v.clone(), n as f64 / sampled as f64))
+                .collect()
+        })
+        .collect()
 }
 
 /// Scale a sampled distinct count up to the full table: if nearly every
@@ -162,6 +212,13 @@ impl StatsCatalog {
 pub struct RelEstimate {
     pub rows: f64,
     pub distinct: Vec<f64>,
+    /// Per-column most-common-value fractions, propagated from base
+    /// tables through column-preserving operators (selection,
+    /// projection-of-columns, join concatenation, sort, limit). May be
+    /// shorter than `distinct` — columns past the end simply have no
+    /// list. Operators that reshape frequencies (distinct, union,
+    /// aggregate) drop the lists.
+    pub mcv: Vec<Vec<(Value, f64)>>,
 }
 
 impl RelEstimate {
@@ -199,11 +256,13 @@ pub fn combine(catalog: &StatsCatalog, plan: &Plan, children: &[RelEstimate]) ->
             Some(s) => RelEstimate {
                 rows: s.rows as f64,
                 distinct: s.distinct.clone(),
+                mcv: s.mcv.clone(),
             }
             .capped(),
             None => RelEstimate {
                 rows: 100.0,
                 distinct: Vec::new(),
+                mcv: Vec::new(),
             },
         },
         Plan::Values { arity, rows } => values_estimate(*arity, rows),
@@ -223,9 +282,17 @@ pub fn combine(catalog: &StatsCatalog, plan: &Plan, children: &[RelEstimate]) ->
                     _ => inner.rows,
                 })
                 .collect();
+            let mcv = exprs
+                .iter()
+                .map(|e| match e {
+                    Expr::Col(c) => inner.mcv.get(*c).cloned().unwrap_or_default(),
+                    _ => Vec::new(),
+                })
+                .collect();
             RelEstimate {
                 rows: inner.rows,
                 distinct,
+                mcv,
             }
             .capped()
         }
@@ -239,7 +306,16 @@ pub fn combine(catalog: &StatsCatalog, plan: &Plan, children: &[RelEstimate]) ->
             }
             let mut distinct = l.distinct.clone();
             distinct.extend(r.distinct.iter().copied());
-            let mut est = RelEstimate { rows, distinct };
+            // Joined rows keep both sides' columns; pad the left lists to
+            // its full arity so right-side lists line up positionally.
+            let mut mcv = l.mcv.clone();
+            mcv.resize(l.distinct.len(), Vec::new());
+            mcv.extend(r.mcv.iter().cloned());
+            let mut est = RelEstimate {
+                rows,
+                distinct,
+                mcv,
+            };
             if let Some(pred) = residual {
                 est.rows *= selectivity(pred, &est);
             }
@@ -269,6 +345,7 @@ pub fn combine(catalog: &StatsCatalog, plan: &Plan, children: &[RelEstimate]) ->
             RelEstimate {
                 rows: l.rows * survive,
                 distinct: l.distinct.clone(),
+                mcv: l.mcv.clone(),
             }
             .capped()
         }
@@ -286,6 +363,7 @@ pub fn combine(catalog: &StatsCatalog, plan: &Plan, children: &[RelEstimate]) ->
             RelEstimate {
                 rows,
                 distinct: inner.distinct.clone(),
+                mcv: Vec::new(),
             }
             .capped()
         }
@@ -302,7 +380,12 @@ pub fn combine(catalog: &StatsCatalog, plan: &Plan, children: &[RelEstimate]) ->
                     }
                 }
             }
-            RelEstimate { rows, distinct }.capped()
+            RelEstimate {
+                rows,
+                distinct,
+                mcv: Vec::new(),
+            }
+            .capped()
         }
         Plan::Aggregate { group_by, aggs, .. } => {
             let inner = &children[0];
@@ -319,7 +402,12 @@ pub fn combine(catalog: &StatsCatalog, plan: &Plan, children: &[RelEstimate]) ->
                 Agg::Count => rows,
                 Agg::Max(c) | Agg::Min(c) => inner.distinct.get(*c).copied().unwrap_or(rows),
             }));
-            RelEstimate { rows, distinct }.capped()
+            RelEstimate {
+                rows,
+                distinct,
+                mcv: Vec::new(),
+            }
+            .capped()
         }
         Plan::Sort { .. } => children[0].clone(),
         Plan::Limit { n, .. } => {
@@ -327,6 +415,7 @@ pub fn combine(catalog: &StatsCatalog, plan: &Plan, children: &[RelEstimate]) ->
             RelEstimate {
                 rows: inner.rows.min(*n as f64),
                 distinct: inner.distinct.clone(),
+                mcv: inner.mcv.clone(),
             }
             .capped()
         }
@@ -338,16 +427,19 @@ pub fn combine(catalog: &StatsCatalog, plan: &Plan, children: &[RelEstimate]) ->
 /// runs on the query path).
 fn values_estimate(arity: usize, rows: &[Row]) -> RelEstimate {
     let mut distinct = vec![0.0f64; arity];
+    let mut mcv = vec![Vec::new(); arity];
     if !rows.is_empty() {
         let cap = rows.len().min(SAMPLE_CAP);
         for (c, d) in distinct.iter_mut().enumerate() {
             let seen: HashSet<_> = rows[..cap].iter().map(|r| &r[c]).collect();
             *d = extrapolate_distinct(seen.len(), cap, rows.len());
         }
+        mcv = mcv_lists(arity, rows[..cap].iter());
     }
     RelEstimate {
         rows: rows.len() as f64,
         distinct,
+        mcv,
     }
     .capped()
 }
@@ -363,8 +455,8 @@ pub fn selectivity(pred: &Expr, input: &RelEstimate) -> f64 {
         Expr::Col(_) => 0.5,
         Expr::Cmp(op, a, b) => {
             let eq = match (a.as_ref(), b.as_ref()) {
-                (Expr::Col(c), Expr::Lit(_)) | (Expr::Lit(_), Expr::Col(c)) => {
-                    1.0 / input.distinct.get(*c).copied().unwrap_or(10.0).max(1.0)
+                (Expr::Col(c), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(c)) => {
+                    eq_lit_selectivity(*c, v, input)
                 }
                 (Expr::Col(c1), Expr::Col(c2)) => {
                     let d1 = input.distinct.get(*c1).copied().unwrap_or(10.0);
@@ -386,6 +478,25 @@ pub fn selectivity(pred: &Expr, input: &RelEstimate) -> f64 {
         }
         Expr::Not(inner) => (1.0 - selectivity(inner, input)).clamp(0.0, 1.0),
     }
+}
+
+/// Selectivity of `col = literal`: consult the column's most-common-value
+/// list first — on skewed (Zipf) columns the hot value covers a large
+/// constant fraction that `1/distinct` misses by the skew factor. A value
+/// absent from the list gets the residual probability mass spread over
+/// the remaining distinct values; columns without a list fall back to the
+/// scalar `1/distinct`.
+fn eq_lit_selectivity(c: usize, v: &Value, input: &RelEstimate) -> f64 {
+    let d = input.distinct.get(c).copied().unwrap_or(10.0).max(1.0);
+    let Some(list) = input.mcv.get(c).filter(|l| !l.is_empty()) else {
+        return 1.0 / d;
+    };
+    if let Some((_, frac)) = list.iter().find(|(val, _)| val == v) {
+        return frac.clamp(0.0, 1.0);
+    }
+    let mass: f64 = list.iter().map(|(_, f)| f).sum();
+    let rest = (d - list.len() as f64).max(1.0);
+    ((1.0 - mass).max(0.0) / rest).clamp(0.0, 1.0)
 }
 
 #[cfg(test)]
@@ -500,10 +611,73 @@ mod tests {
     }
 
     #[test]
+    fn mcv_lists_capture_skew_and_skip_key_like_columns() {
+        let mut db = Database::new();
+        let t = db
+            .create_table(TableSchema::keyless("Z", &["k", "u"]))
+            .unwrap();
+        // Zipf-ish participation: value 0 takes ~60% of the rows, the
+        // rest spread over 40 values. Column u is key-like.
+        for i in 0..400i64 {
+            let k = if i % 5 < 3 { 0 } else { i % 40 };
+            t.insert(row![k, i]).unwrap();
+        }
+        let cat = StatsCatalog::snapshot(&db);
+        let stats = cat.table("Z").unwrap();
+        let hot = &stats.mcv[0][0];
+        assert_eq!(hot.0, Value::int(0));
+        assert!(hot.1 > 0.5, "hot-value fraction {} not captured", hot.1);
+        assert!(stats.mcv[0].len() <= 8);
+        // Key-like column: nothing repeats in the sample, list stays empty.
+        assert!(stats.mcv[1].is_empty(), "{:?}", stats.mcv[1]);
+    }
+
+    #[test]
+    fn equality_selectivity_uses_mcv_on_zipf_columns() {
+        let mut db = Database::new();
+        let t = db.create_table(TableSchema::keyless("Z", &["k"])).unwrap();
+        for i in 0..400i64 {
+            let k = if i % 5 < 3 { 0 } else { i % 40 };
+            t.insert(row![k]).unwrap();
+        }
+        let cat = StatsCatalog::snapshot(&db);
+        // Hot value: the scalar 1/distinct estimate would price this at
+        // ~400/40 = 10 rows; the true answer is 240. The MCV estimate
+        // must land near the truth, not off by the skew factor.
+        let hot = Plan::scan("Z").select(Expr::col_eq_lit(0, 0i64));
+        let est = estimate(&cat, &hot);
+        assert!(
+            est.rows > 150.0,
+            "hot-value estimate {} still off by the skew factor",
+            est.rows
+        );
+        // Uncommon value: stays near the residual-mass estimate, far
+        // below the hot value.
+        let cold = Plan::scan("Z").select(Expr::col_eq_lit(0, 7i64));
+        let cold_est = estimate(&cat, &cold);
+        assert!(
+            cold_est.rows < est.rows / 5.0,
+            "cold {} vs hot {}",
+            cold_est.rows,
+            est.rows
+        );
+        // A column with no MCV list falls back to 1/distinct: build the
+        // same shape without repetitions in the sample.
+        let input = RelEstimate {
+            rows: 400.0,
+            distinct: vec![40.0],
+            mcv: vec![Vec::new()],
+        };
+        let sel = selectivity(&Expr::col_eq_lit(0, 3i64), &input);
+        assert!((sel - 1.0 / 40.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn selectivity_composes() {
         let input = RelEstimate {
             rows: 100.0,
             distinct: vec![10.0, 2.0],
+            mcv: Vec::new(),
         };
         let eq = Expr::col_eq_lit(0, 1i64);
         assert!((selectivity(&eq, &input) - 0.1).abs() < 1e-9);

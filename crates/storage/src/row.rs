@@ -44,6 +44,17 @@ impl Row {
         Ok(Row::new(out))
     }
 
+    /// [`Row::project`] without the per-column range check. Callers must
+    /// have validated `indices` against this row's arity up front (plan
+    /// arity validation does exactly that); prefer [`Projector`] for
+    /// repeated projections on a hot path.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn project_unchecked(&self, indices: &[usize]) -> Row {
+        Row(indices.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
     /// Concatenate two rows (used by join operators).
     pub fn concat(&self, other: &Row) -> Row {
         let mut out = Vec::with_capacity(self.arity() + other.arity());
@@ -81,6 +92,51 @@ impl std::ops::Index<usize> for Row {
     type Output = Value;
     fn index(&self, idx: usize) -> &Value {
         &self.0[idx]
+    }
+}
+
+/// A column projection validated once against an input arity, then applied
+/// infallibly per row.
+///
+/// `Row::project` re-checks bounds and threads a `Result` through every
+/// inner-loop call; a `Projector` front-loads that validation so the
+/// executor's per-row (or per-chunk) work is a plain clone loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Projector {
+    indices: Vec<usize>,
+}
+
+impl Projector {
+    /// Validate `indices` against `input_arity` once. Errors on the first
+    /// out-of-range column, exactly like `Row::project` would per row.
+    pub fn new(indices: impl Into<Vec<usize>>, input_arity: usize) -> Result<Projector> {
+        let indices = indices.into();
+        for &i in &indices {
+            if i >= input_arity {
+                return Err(StorageError::ColumnOutOfRange {
+                    index: i,
+                    arity: input_arity,
+                });
+            }
+        }
+        Ok(Projector { indices })
+    }
+
+    /// Number of output columns.
+    pub fn arity(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The validated column indices.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Project a row. Infallible: bounds were checked at construction
+    /// (rows narrower than the validated arity would still panic, as
+    /// [`Row::project_unchecked`] does).
+    pub fn apply(&self, row: &Row) -> Row {
+        row.project_unchecked(&self.indices)
     }
 }
 
@@ -133,6 +189,29 @@ mod tests {
             Row::new(vec![Value::int(2008), Value::str("s1"), Value::str("s1")])
         );
         assert!(r.project(&[5]).is_err());
+    }
+
+    #[test]
+    fn project_unchecked_matches_checked() {
+        let r = sample();
+        assert_eq!(
+            r.project_unchecked(&[2, 0, 0]),
+            r.project(&[2, 0, 0]).unwrap()
+        );
+        assert_eq!(r.project_unchecked(&[]), Row::new(vec![]));
+    }
+
+    #[test]
+    fn projector_validates_once_then_applies_infallibly() {
+        let p = Projector::new(vec![2, 0], 3).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.indices(), &[2, 0]);
+        let r = sample();
+        assert_eq!(p.apply(&r), r.project(&[2, 0]).unwrap());
+        assert!(matches!(
+            Projector::new(vec![0, 3], 3),
+            Err(StorageError::ColumnOutOfRange { index: 3, arity: 3 })
+        ));
     }
 
     #[test]

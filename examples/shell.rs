@@ -48,7 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Some("quit") | Some("q") => break,
                 Some("help") => {
                     println!("  \\user <name>   register a user");
-                    println!("  \\stats         internal representation sizes");
+                    println!(
+                        "  \\stats         internal representation sizes + plan-cache counters"
+                    );
                     println!("  \\worlds        list belief worlds");
                     println!(
                         "  \\explain <q>   show the BCQ + Datalog translation + physical plans"
@@ -77,6 +79,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     for (table, rows) in &stats.per_table {
                         println!("  {table:<20} {rows:>6}");
                     }
+                    let cache = session.bdms().plan_cache_stats();
+                    println!(
+                        "plan cache: {} hits, {} misses ({:.0}% hit rate), \
+                         {} cached program(s), {} embedded row(s)",
+                        cache.hits,
+                        cache.misses,
+                        cache.hit_rate() * 100.0,
+                        cache.entries,
+                        cache.embedded_rows
+                    );
                 }
                 Some("explain") => {
                     let rest: Vec<&str> = parts.collect();

@@ -197,6 +197,17 @@ pub fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
     rows
 }
 
+/// An input relation of `n` rows whose values repeat with period 700, so
+/// any size past 700 produces duplicates that `Distinct` must catch
+/// across chunk edges (with the ramp-up schedule 32/64/…/1024 the edges
+/// land at 32, 96, 224, 480, 992, 2016 — first occurrences and their
+/// duplicates straddle several of them). Used by the batch-boundary
+/// layer of the executor differential suite.
+pub fn boundary_values(n: usize) -> Plan {
+    let rows: Vec<Row> = (0..n).map(|i| row![(i % 700) as i64]).collect();
+    Plan::Values { arity: 1, rows }
+}
+
 /// `Limit` over anything whose order the optimizer (or a different
 /// executor) may change picks different rows; that is allowed behaviour,
 /// so those plans are skipped by the differential suites.

@@ -1,18 +1,24 @@
-//! Differential suite for the streaming executor: the pull-based
-//! pipeline (`execute` / `stream`) and the original operator-at-a-time
-//! evaluator (`execute_materialized`) must return identical row
-//! multisets.
+//! Differential suite for the streaming executors: the vectorized
+//! chunk-at-a-time pipeline (`execute` / `stream` / `stream_chunks`),
+//! the row-at-a-time pipeline (`execute_rows`), and the original
+//! operator-at-a-time evaluator (`execute_materialized`) must return
+//! identical row multisets.
 //!
-//! Three layers, mirroring `tests/optimizer_equivalence.rs`:
+//! Four layers, mirroring `tests/optimizer_equivalence.rs`:
 //!
 //! 1. **fuzzed relational plans** — arity-correct random plans (shared
-//!    generator in `tests/common`), unoptimized and optimized, streaming
-//!    vs materializing;
-//! 2. **fuzzed belief conjunctive queries** — `Bdms::query` (streaming)
-//!    vs `Bdms::query_materialized`, plus `Bdms::query_streaming`;
-//! 3. **laziness semantics** — streaming is allowed to do strictly less
+//!    generator in `tests/common`), unoptimized and optimized, three-way
+//!    chunked vs row-streaming vs materializing;
+//! 2. **fuzzed belief conjunctive queries** — `Bdms::query` (chunked)
+//!    vs `Bdms::query_row_at_a_time` vs `Bdms::query_materialized`,
+//!    plus `Bdms::query_streaming`;
+//! 3. **batch boundaries** — inputs of size 1, 1023, 1024, 1025, 2048
+//!    driven through Limit/Distinct/Union operators straddling a chunk
+//!    edge, compared exactly (all three executors preserve order here);
+//! 4. **laziness semantics** — streaming is allowed to do strictly less
 //!    work (a `Limit` stops pulling; errors surface only if the failing
-//!    row is actually demanded), never more.
+//!    row is actually demanded), never more — including when the
+//!    poisoned row shares a chunk with the demanded one.
 
 mod common;
 
@@ -20,7 +26,8 @@ use beliefdb::core::bcq::{Bcq, CmpPred, PathElem, QueryTerm, Subgoal};
 use beliefdb::core::{Bdms, RelId, Sign, UserId};
 use beliefdb::gen::{generate_logical, DepthDist, GeneratorConfig};
 use beliefdb::storage::{
-    execute, execute_materialized, execute_optimized, optimize, row, CmpOp, Expr, Plan,
+    execute, execute_materialized, execute_optimized, execute_rows, optimize, row, CmpOp, Expr,
+    Plan, Row,
 };
 use common::{contains_order_sensitive_limit, gen_plan, plan_db, sorted};
 use rand::rngs::StdRng;
@@ -51,7 +58,7 @@ fn fuzzed_plans_stream_and_materialize_identically() {
                 continue;
             }
         };
-        let streamed = execute(&db, &plan).expect("streaming execution failed");
+        let streamed = execute(&db, &plan).expect("chunked execution failed");
         if !reference.is_empty() {
             nontrivial += 1;
         }
@@ -59,6 +66,14 @@ fn fuzzed_plans_stream_and_materialize_identically() {
             sorted(reference.clone()),
             sorted(streamed),
             "case {case}: executors disagree on {plan:?}"
+        );
+        // Three-way: the row-at-a-time pipeline is a separate executor
+        // and must agree too.
+        let row_streamed = execute_rows(&db, &plan).expect("row-streaming execution failed");
+        assert_eq!(
+            sorted(reference.clone()),
+            sorted(row_streamed),
+            "case {case}: row-at-a-time executor disagrees on {plan:?}"
         );
         // And through the optimizer: optimized+streamed still matches the
         // unoptimized materialized reference.
@@ -195,13 +210,20 @@ fn fuzzed_bcqs_stream_and_materialize_identically() {
             continue;
         }
         evaluated += 1;
-        let streaming = bdms.query(&q).expect("streaming BCQ evaluation failed");
+        let streaming = bdms.query(&q).expect("chunked BCQ evaluation failed");
         let materialized = bdms
             .query_materialized(&q)
             .expect("materializing BCQ evaluation failed");
         assert_eq!(
             streaming, materialized,
             "executors changed the answer of {q}"
+        );
+        let row_at_a_time = bdms
+            .query_row_at_a_time(&q)
+            .expect("row-at-a-time BCQ evaluation failed");
+        assert_eq!(
+            streaming, row_at_a_time,
+            "chunked and row-at-a-time executors disagree on {q}"
         );
         // The row-streaming entry point agrees too (same multiset; it
         // only skips the final sort+collect).
@@ -215,7 +237,80 @@ fn fuzzed_bcqs_stream_and_materialize_identically() {
 }
 
 // ---------------------------------------------------------------------------
-// Layer 3: laziness semantics
+// Layer 3: batch boundaries
+// ---------------------------------------------------------------------------
+
+/// Inputs of exactly these sizes exercise the chunk edge: one short of a
+/// full batch (1023), exactly one batch (1024), one past it (1025), two
+/// batches (2048), and the degenerate single row.
+const BOUNDARY_SIZES: [usize; 5] = [1, 1023, 1024, 1025, 2048];
+
+use common::boundary_values;
+
+#[test]
+fn batch_boundaries_agree_exactly_across_executors() {
+    // All three executors preserve input order on these operators, so
+    // the comparison is exact (not just multiset equality).
+    let db = plan_db();
+    for n in BOUNDARY_SIZES {
+        let v = boundary_values(n);
+        let plans = vec![
+            // Limit straddling the chunk edge in both directions.
+            v.clone().limit(1),
+            v.clone().limit(n.saturating_sub(1)),
+            v.clone().limit(n),
+            v.clone().limit(n + 17),
+            v.clone().limit(1023),
+            v.clone().limit(1024),
+            v.clone().limit(1025),
+            // Distinct with first occurrences below the edge and
+            // duplicates above (and vice versa).
+            v.clone().distinct(),
+            v.clone().distinct().limit(701),
+            // Union straddling: the second input starts mid-batch; the
+            // pipeline must handle partial trailing chunks.
+            Plan::Union {
+                inputs: vec![v.clone(), boundary_values(3)],
+            },
+            Plan::Union {
+                inputs: vec![v.clone(), v.clone()],
+            }
+            .distinct(),
+            Plan::Union {
+                inputs: vec![v.clone(), v.clone()],
+            }
+            .limit(n + 1),
+            // Selection + projection across the edge for good measure.
+            v.clone()
+                .select(Expr::cmp(CmpOp::Lt, Expr::Col(0), Expr::lit(350i64)))
+                .project_cols(&[0]),
+        ];
+        for plan in &plans {
+            let chunked = execute(&db, plan).expect("chunked failed");
+            let row_wise = execute_rows(&db, plan).expect("row-at-a-time failed");
+            let materialized = execute_materialized(&db, plan).expect("materializing failed");
+            assert_eq!(chunked, row_wise, "n={n}: chunked vs row order diverged");
+            assert_eq!(
+                chunked, materialized,
+                "n={n}: chunked vs materialized diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_boundary_distinct_dedups_across_the_chunk_edge() {
+    // Row 324 first occurs at index 324 (chunk 1) and repeats at index
+    // 1024 — the first row of chunk 2. Distinct must drop it.
+    let db = plan_db();
+    let plan = boundary_values(1025).distinct();
+    let rows = execute(&db, &plan).unwrap();
+    assert_eq!(rows.len(), 700, "700 distinct values in 1025 rows");
+    assert_eq!(rows, execute_rows(&db, &plan).unwrap());
+}
+
+// ---------------------------------------------------------------------------
+// Layer 4: laziness semantics
 // ---------------------------------------------------------------------------
 
 #[test]
@@ -223,7 +318,9 @@ fn limit_short_circuits_instead_of_materializing() {
     let db = plan_db();
     // A plan whose full evaluation errors (bare-column predicate over a
     // non-boolean later row) but whose first row is fine: the streaming
-    // Limit never demands the poisoned row.
+    // Limit never demands the poisoned row — even though chunked
+    // execution sees both rows in the same batch (the selection splits
+    // the chunk at the error instead of failing it wholesale).
     let plan = Plan::Values {
         arity: 1,
         rows: vec![row![true], row![7]],
@@ -231,6 +328,16 @@ fn limit_short_circuits_instead_of_materializing() {
     .select(Expr::Col(0))
     .limit(1);
     assert_eq!(execute(&db, &plan).unwrap(), vec![row![true]]);
+    assert_eq!(execute_rows(&db, &plan).unwrap(), vec![row![true]]);
+    assert!(execute_materialized(&db, &plan).is_err());
+    // Same shape at a chunk boundary: 1023 good rows, a poisoned one at
+    // index 1023, and a Limit satisfied just before it.
+    let mut rows: Vec<Row> = (0..1023).map(|_| row![true]).collect();
+    rows.push(row![7]);
+    let plan = Plan::Values { arity: 1, rows }
+        .select(Expr::Col(0))
+        .limit(1023);
+    assert_eq!(execute(&db, &plan).unwrap().len(), 1023);
     assert!(execute_materialized(&db, &plan).is_err());
 }
 

@@ -1,12 +1,14 @@
-//! Peak-allocation guard for the streaming executor: a selective
-//! scan→filter→project pipeline must not allocate O(input) intermediate
-//! rows, and a pipelined join must not materialize its probe side.
+//! Peak-allocation guard for the (now chunk-at-a-time) streaming
+//! executor: a selective scan→filter→project pipeline must allocate
+//! O(batch), not O(input) — the working set is one in-flight chunk plus
+//! the (tiny) output, independent of table size — and a pipelined join
+//! must not materialize its probe side.
 //!
 //! Measured with a counting global allocator tracking live bytes (the
 //! whole binary holds exactly one `#[test]` so no other thread skews the
 //! counters).
 
-use beliefdb::storage::{execute, execute_materialized, row, stream};
+use beliefdb::storage::{execute, execute_materialized, row, stream, stream_chunks};
 use beliefdb::storage::{CmpOp, Database, Expr, Plan, TableSchema};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicIsize, Ordering};
@@ -108,8 +110,9 @@ fn selective_pipelines_do_not_materialize_their_input() {
     );
 
     // --- early termination -----------------------------------------------
-    // Pulling three rows from the pipeline costs a constant amount, no
-    // matter how large the input is.
+    // Pulling three rows from the pipeline costs one batch of work
+    // (1024 rows of the 50 000-row scan), no matter how large the input
+    // is — far below materializing anything.
     let wide = Plan::scan("T").project_cols(&[0, 1]);
     let ((), peak_take) = peak_of(|| {
         let mut rows = stream(&db, &wide).unwrap();
@@ -118,7 +121,45 @@ fn selective_pipelines_do_not_materialize_their_input() {
         }
     });
     assert!(
-        peak_take * 100 < peak_mat,
+        peak_take * 10 < peak_mat,
         "pulling 3 rows peaked at {peak_take}B — upstream was materialized"
+    );
+
+    // --- O(batch), not O(input) ------------------------------------------
+    // Drain a 1/7-selective pipeline (output ≫ one batch) at the chunk
+    // level without collecting: the working set is one in-flight chunk.
+    // Quadrupling the table must leave that peak unmoved, while the
+    // materializing peak scales with the input.
+    let big = db
+        .create_table(TableSchema::keyless("T4", &["a", "b", "c"]))
+        .unwrap();
+    for i in 0..4 * N {
+        big.insert(row![i, i % 977, i % 7]).unwrap();
+    }
+    let drain = |plan: &Plan, want: usize| {
+        let mut live = 0usize;
+        for chunk in stream_chunks(&db, plan).unwrap() {
+            live += chunk.unwrap().len();
+        }
+        assert_eq!(live, want);
+    };
+    let matching = |n: i64| (0..n).filter(|i| i % 7 == 3).count();
+    let sevenths = Plan::scan("T").select(Expr::col_eq_lit(2, 3i64));
+    let sevenths4 = Plan::scan("T4").select(Expr::col_eq_lit(2, 3i64));
+    let ((), peak_drain) = peak_of(|| drain(&sevenths, matching(N)));
+    let ((), peak_drain4) = peak_of(|| drain(&sevenths4, matching(4 * N)));
+    let (rows4, peak_mat4) = peak_of(|| execute_materialized(&db, &sevenths4).unwrap());
+    assert_eq!(rows4.len(), matching(4 * N));
+    assert!(
+        peak_mat4 > peak_mat * 3,
+        "materializing peak must scale with input: {peak_mat4}B vs {peak_mat}B"
+    );
+    assert!(
+        peak_drain4 < peak_drain * 2,
+        "chunked peak scales with input, not batch: {peak_drain4}B vs {peak_drain}B on 4x rows"
+    );
+    assert!(
+        peak_drain4 * 20 < peak_mat4,
+        "chunk-level drain peaked at {peak_drain4}B — input was materialized"
     );
 }
