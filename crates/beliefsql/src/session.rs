@@ -105,11 +105,36 @@ pub struct Session {
 }
 
 impl Session {
-    /// Open a session over a fresh BDMS with the given external schema.
+    /// Open a session over a fresh in-memory BDMS with the given
+    /// external schema.
     pub fn new(schema: ExternalSchema) -> Result<Self> {
         Ok(Session {
             bdms: Bdms::new(schema)?,
         })
+    }
+
+    /// Initialize a session over a **durable** BDMS in `dir` (created
+    /// if missing; errors when the directory already holds a belief
+    /// database). Every DML statement is write-ahead logged.
+    pub fn create(dir: impl AsRef<std::path::Path>, schema: ExternalSchema) -> Result<Self> {
+        Ok(Session {
+            bdms: Bdms::create(dir, schema)?,
+        })
+    }
+
+    /// Recover a session from a durable directory: the latest snapshot
+    /// is loaded and the WAL tail replayed, so query answers and
+    /// statistics match the pre-shutdown state exactly.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Self> {
+        Ok(Session {
+            bdms: Bdms::open(dir)?,
+        })
+    }
+
+    /// Snapshot the current state and truncate the covered WAL
+    /// (durable sessions only).
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        Ok(self.bdms.checkpoint()?)
     }
 
     /// Wrap an existing BDMS.
@@ -409,6 +434,43 @@ mod tests {
         )
         .unwrap();
         s
+    }
+
+    #[test]
+    fn durable_session_round_trips_queries_and_stats() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "beliefdb-session-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let schema = ExternalSchema::new()
+            .with_relation("Sightings", &["sid", "uid", "species", "date", "location"]);
+        let sql = "select S.sid, S.species from BELIEF 'Bob' Sightings as S";
+        let (rows, stats) = {
+            let mut s = Session::create(&dir, schema).unwrap();
+            s.add_user("Alice").unwrap();
+            s.add_user("Bob").unwrap();
+            s.execute(
+                "insert into BELIEF 'Alice' Sightings values \
+                 ('s2','Alice','crow','6-14-08','Lake Placid')",
+            )
+            .unwrap();
+            s.checkpoint().unwrap();
+            s.execute(
+                "insert into BELIEF 'Bob' Sightings values \
+                 ('s2','Alice','raven','6-14-08','Lake Placid')",
+            )
+            .unwrap();
+            (s.query(sql).unwrap(), s.bdms().stats())
+        };
+        let reopened = Session::open(&dir).unwrap();
+        assert_eq!(reopened.query(sql).unwrap(), rows);
+        assert_eq!(reopened.bdms().stats(), stats);
+        // A second create in the same directory is refused.
+        assert!(Session::create(&dir, ExternalSchema::new().with_relation("X", &["a"])).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Durability bench: WAL append throughput vs the in-memory insert
+//! path (the acceptance bar is < 2x on the `ablation_insert` workload),
+//! recovery time as a function of WAL length, and checkpoint cost.
+//!
+//! Each timed iteration that needs a durable store builds it in a fresh
+//! scratch directory and removes it afterwards, so runs are independent
+//! and the filesystem state never accumulates.
+
+use beliefdb_bench::{no_auto_checkpoint, persist_scratch_dir};
+use beliefdb_core::Bdms;
+use beliefdb_gen::{experiment_schema, CandidateStream, GeneratorConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn candidates(n: usize) -> Vec<beliefdb_core::BeliefStatement> {
+    let cfg = GeneratorConfig::new(10, n).with_seed(42);
+    let mut stream = CandidateStream::new(&cfg);
+    (0..n).map(|_| stream.next_candidate()).collect()
+}
+
+fn with_users(mut bdms: Bdms) -> Bdms {
+    for i in 1..=10 {
+        bdms.add_user(format!("u{i}")).expect("user");
+    }
+    bdms
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persist_append");
+    group.sample_size(10);
+    for n in [500usize, 2_000] {
+        let stmts = candidates(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("in_memory", n), &stmts, |b, stmts| {
+            b.iter(|| {
+                let mut bdms = with_users(Bdms::new(experiment_schema()).expect("schema"));
+                for s in stmts {
+                    let _ = bdms.insert_statement(s).expect("insert");
+                }
+                std::hint::black_box(bdms.stats().total_tuples)
+            })
+        });
+        // Note: this iteration includes scratch-directory setup and
+        // cleanup (criterion's iter can't exclude them); the isolated
+        // append-overhead ratio is what `run_persist` reports.
+        group.bench_with_input(BenchmarkId::new("durable_wal", n), &stmts, |b, stmts| {
+            b.iter(|| {
+                let dir = persist_scratch_dir("bench-append");
+                let mut bdms = with_users(
+                    Bdms::create_with_options(&dir, experiment_schema(), no_auto_checkpoint())
+                        .expect("create"),
+                );
+                for s in stmts {
+                    let _ = bdms.insert_statement(s).expect("insert");
+                }
+                let total = bdms.stats().total_tuples;
+                drop(bdms);
+                std::fs::remove_dir_all(&dir).expect("cleanup");
+                std::hint::black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persist_recovery");
+    group.sample_size(10);
+    // Recovery time vs WAL length (snapshot covers only the empty
+    // store, so open replays the whole history through Algorithm 4).
+    for n in [500usize, 1_000, 2_000] {
+        let dir = persist_scratch_dir("bench-recover");
+        let mut bdms = with_users(
+            Bdms::create_with_options(&dir, experiment_schema(), no_auto_checkpoint())
+                .expect("create"),
+        );
+        for s in &candidates(n) {
+            let _ = bdms.insert_statement(s).expect("insert");
+        }
+        drop(bdms);
+        group.bench_with_input(BenchmarkId::new("wal_replay", n), &dir, |b, dir| {
+            b.iter(|| {
+                std::hint::black_box(
+                    Bdms::open_with_options(dir, no_auto_checkpoint())
+                        .expect("open")
+                        .stats()
+                        .total_tuples,
+                )
+            })
+        });
+        // After a checkpoint the same history recovers from the
+        // snapshot with an empty tail.
+        Bdms::open_with_options(&dir, no_auto_checkpoint())
+            .expect("open")
+            .checkpoint()
+            .expect("checkpoint");
+        group.bench_with_input(BenchmarkId::new("snapshot", n), &dir, |b, dir| {
+            b.iter(|| {
+                std::hint::black_box(
+                    Bdms::open_with_options(dir, no_auto_checkpoint())
+                        .expect("open")
+                        .stats()
+                        .total_tuples,
+                )
+            })
+        });
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+    group.finish();
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persist_checkpoint");
+    group.sample_size(10);
+    for n in [500usize, 2_000] {
+        let dir = persist_scratch_dir("bench-ckpt");
+        let mut bdms = with_users(
+            Bdms::create_with_options(&dir, experiment_schema(), no_auto_checkpoint())
+                .expect("create"),
+        );
+        for s in &candidates(n) {
+            let _ = bdms.insert_statement(s).expect("insert");
+        }
+        group.bench_with_input(BenchmarkId::new("checkpoint", n), &(), |b, _| {
+            b.iter(|| std::hint::black_box(bdms.checkpoint().expect("checkpoint")))
+        });
+        drop(bdms);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_recovery, bench_checkpoint);
+criterion_main!(benches);

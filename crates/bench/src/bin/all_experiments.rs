@@ -36,4 +36,10 @@ fn main() {
     println!("=== Vectorized executor ===");
     let (rows, sweep) = run_exec_vectorized(n, reps.clamp(3, 20)).expect("exec_vectorized");
     println!("{}", format_exec_vectorized(&rows, &sweep, n));
+
+    println!("=== Persistence ===");
+    // WAL appends are per-statement syscalls: cap the workload so the
+    // full experiment run stays interactive at large --n.
+    let report = run_persist(n.min(5_000), reps.clamp(2, 10)).expect("persist");
+    println!("{}", format_persist(&report));
 }

@@ -550,6 +550,207 @@ pub fn format_exec_vectorized(
     out
 }
 
+// ---------------------------------------------------------------------------
+// Persistence (WAL / snapshot / recovery)
+// ---------------------------------------------------------------------------
+
+/// A fresh scratch directory for durable-BDMS measurements.
+pub fn persist_scratch_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "beliefdb-bench-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Durability options that never auto-checkpoint — used to measure pure
+/// WAL-tail replay at a controlled log length.
+pub fn no_auto_checkpoint() -> beliefdb_core::PersistOptions {
+    beliefdb_core::PersistOptions {
+        segment_limit: 1 << 20,
+        checkpoint_threshold: u64::MAX,
+    }
+}
+
+/// The persistence report: append overhead vs the in-memory path on the
+/// `ablation_insert` workload, recovery time as a function of WAL
+/// length, and checkpoint cost.
+#[derive(Debug, Clone)]
+pub struct PersistReport {
+    pub n: usize,
+    /// Apply all `n` candidate statements to an in-memory BDMS.
+    pub in_memory_insert: Duration,
+    /// Same workload with write-ahead logging (fresh directory per run).
+    pub durable_insert: Duration,
+    /// `Bdms::open` wall time per replayed WAL length (records, time).
+    pub recovery: Vec<(usize, Duration)>,
+    /// `Bdms::open` when a snapshot covers everything (empty tail).
+    pub snapshot_recovery: Duration,
+    /// One `checkpoint()` of the fully-loaded store.
+    pub checkpoint: Duration,
+    /// Live WAL bytes after the full un-checkpointed run.
+    pub wal_bytes_full: u64,
+}
+
+impl PersistReport {
+    /// Durable over in-memory insert-time ratio (the acceptance bar is
+    /// < 2×).
+    pub fn append_overhead(&self) -> f64 {
+        self.durable_insert.as_secs_f64() / self.in_memory_insert.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Run the persistence measurements: `n` candidate statements from the
+/// `ablation_insert` generator (10 users, seed 42), `reps` runs each,
+/// best-of to damp scheduler noise.
+pub fn run_persist(n: usize, reps: usize) -> Result<PersistReport> {
+    use beliefdb_gen::{experiment_schema, CandidateStream};
+    let cfg = ablation_config(n, 10, 42);
+    let mut stream = CandidateStream::new(&cfg);
+    let stmts: Vec<beliefdb_core::BeliefStatement> =
+        (0..n).map(|_| stream.next_candidate()).collect();
+
+    let fresh_users = |bdms: &mut Bdms| {
+        for i in 1..=10 {
+            bdms.add_user(format!("u{i}")).expect("user");
+        }
+    };
+    let best = |f: &mut dyn FnMut() -> usize| -> Duration {
+        let mut best = Duration::MAX;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            best = best.min(start.elapsed());
+        }
+        best
+    };
+
+    // Both sides time *only* the statement loop: store construction,
+    // scratch-directory setup, and cleanup happen outside the clock so
+    // the reported ratio isolates the WAL append cost itself.
+    let mut in_memory_insert = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let mut bdms = Bdms::new(beliefdb_gen::experiment_schema()).expect("schema");
+        fresh_users(&mut bdms);
+        let start = Instant::now();
+        for s in &stmts {
+            let _ = bdms.insert_statement(s).expect("insert");
+        }
+        std::hint::black_box(bdms.stats().total_tuples);
+        in_memory_insert = in_memory_insert.min(start.elapsed());
+    }
+
+    let mut durable_insert = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let dir = persist_scratch_dir("append");
+        let mut bdms = Bdms::create_with_options(&dir, experiment_schema(), no_auto_checkpoint())
+            .expect("create");
+        fresh_users(&mut bdms);
+        let start = Instant::now();
+        for s in &stmts {
+            let _ = bdms.insert_statement(s).expect("insert");
+        }
+        std::hint::black_box(bdms.stats().total_tuples);
+        durable_insert = durable_insert.min(start.elapsed());
+        drop(bdms);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    // Recovery time vs WAL length: durable histories of growing record
+    // counts, reopened cold (snapshot holds only the empty store).
+    let mut recovery = Vec::new();
+    let mut wal_bytes_full = 0;
+    let mut full_dir = None;
+    for len in [n / 4, n / 2, n] {
+        if len == 0 {
+            continue;
+        }
+        let dir = persist_scratch_dir("recover");
+        let mut bdms = Bdms::create_with_options(&dir, experiment_schema(), no_auto_checkpoint())
+            .expect("create");
+        fresh_users(&mut bdms);
+        for s in &stmts[..len] {
+            let _ = bdms.insert_statement(s).expect("insert");
+        }
+        if len == n {
+            wal_bytes_full = bdms.wal_stats().expect("durable").wal_bytes;
+        }
+        drop(bdms);
+        let time = best(&mut || {
+            Bdms::open_with_options(&dir, no_auto_checkpoint())
+                .expect("open")
+                .stats()
+                .total_tuples
+        });
+        recovery.push((len + 10, time)); // +10 user records
+        if len == n {
+            full_dir = Some(dir);
+        } else {
+            std::fs::remove_dir_all(&dir).expect("cleanup");
+        }
+    }
+
+    // Checkpoint cost on the full store, then snapshot-only recovery.
+    let full_dir = full_dir.expect("n >= 1");
+    let mut bdms = Bdms::open_with_options(&full_dir, no_auto_checkpoint()).expect("open");
+    let start = Instant::now();
+    bdms.checkpoint().expect("checkpoint");
+    let checkpoint = start.elapsed();
+    drop(bdms);
+    let snapshot_recovery = best(&mut || {
+        Bdms::open_with_options(&full_dir, no_auto_checkpoint())
+            .expect("open")
+            .stats()
+            .total_tuples
+    });
+    std::fs::remove_dir_all(&full_dir).expect("cleanup");
+
+    Ok(PersistReport {
+        n,
+        in_memory_insert,
+        durable_insert,
+        recovery,
+        snapshot_recovery,
+        checkpoint,
+        wal_bytes_full,
+    })
+}
+
+/// Render the persistence report.
+pub fn format_persist(r: &PersistReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Durability: WAL append overhead and recovery time ({} statements, 10 users)\n",
+        r.n
+    ));
+    out.push_str(&format!(
+        "  insert workload   in-memory {:>10.3}ms   durable {:>10.3}ms   overhead {:.2}x\n",
+        r.in_memory_insert.as_secs_f64() * 1e3,
+        r.durable_insert.as_secs_f64() * 1e3,
+        r.append_overhead()
+    ));
+    out.push_str(&format!(
+        "  live WAL after full run: {} bytes\n",
+        r.wal_bytes_full
+    ));
+    out.push_str("  recovery (snapshot of empty store + WAL-tail replay):\n");
+    for (records, time) in &r.recovery {
+        out.push_str(&format!(
+            "    {:>8} records {:>10.3}ms\n",
+            records,
+            time.as_secs_f64() * 1e3
+        ));
+    }
+    out.push_str(&format!(
+        "  checkpoint of full store: {:.3}ms; reopen from snapshot: {:.3}ms\n",
+        r.checkpoint.as_secs_f64() * 1e3,
+        r.snapshot_recovery.as_secs_f64() * 1e3
+    ));
+    out
+}
+
 /// Parse `--flag value` style arguments with defaults (tiny helper shared
 /// by the experiment binaries; avoids a CLI dependency).
 pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
@@ -660,6 +861,28 @@ mod tests {
         let rendered = format_exec_vectorized(&rows, &sweep, 2_000);
         assert!(rendered.contains("chunked(ms)"));
         assert!(rendered.contains("batch=1024"));
+    }
+
+    #[test]
+    fn persist_harness_runs_and_meets_the_overhead_bar() {
+        let report = run_persist(400, 3).unwrap();
+        assert_eq!(report.recovery.len(), 3);
+        assert!(report.wal_bytes_full > 0);
+        // Recovery work grows with WAL length (compare endpoints; the
+        // times themselves are asserted only for sanity, not ordered,
+        // to stay robust on noisy CI machines).
+        assert!(report.recovery[0].0 < report.recovery[2].0);
+        // Acceptance bar: WAL append keeps the insert workload under
+        // 2x the in-memory path (best-of-3 damps scheduler noise).
+        assert!(
+            report.append_overhead() < 2.0,
+            "durable insert overhead {}x exceeds the 2x bar",
+            report.append_overhead()
+        );
+        let rendered = format_persist(&report);
+        assert!(rendered.contains("overhead"));
+        assert!(rendered.contains("records"));
+        assert!(rendered.contains("checkpoint"));
     }
 
     #[test]

@@ -9,14 +9,17 @@
 use crate::bcq::{self, Bcq};
 use crate::canonical::CanonicalKripke;
 use crate::database::BeliefDatabase;
-use crate::error::Result;
+use crate::error::{BeliefError, Result};
 use crate::ids::{RelId, UserId};
 use crate::internal::{InsertOutcome, InternalStore};
 use crate::path::BeliefPath;
+use crate::persist::{Durability, LogRecord, PersistOptions, SnapshotData, WalStats};
 use crate::schema::ExternalSchema;
 use crate::statement::{BeliefStatement, GroundTuple, Sign};
 use crate::world::BeliefWorld;
-use beliefdb_storage::{Database, Row};
+use beliefdb_storage::persist::PersistEngine;
+use beliefdb_storage::{Database, Row, StorageError};
+use std::path::Path;
 
 /// Size report for the internal database (`|R*|` of Sect. 5.4).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,8 +71,14 @@ impl PlanCacheStats {
 }
 
 /// A Belief Database Management System instance.
+///
+/// In-memory by default ([`Bdms::new`]); durable when opened over a
+/// directory ([`Bdms::create`] / [`Bdms::open`]), in which case every
+/// mutation is appended to a write-ahead log before it is applied and
+/// snapshots bound recovery time (see `docs/persistence.md`).
 pub struct Bdms {
     store: InternalStore,
+    persist: Option<Durability>,
 }
 
 impl std::fmt::Debug for Bdms {
@@ -78,16 +87,117 @@ impl std::fmt::Debug for Bdms {
             .field("users", &self.store.user_count())
             .field("worlds", &self.store.directory().len())
             .field("total_tuples", &self.store.total_tuples())
+            .field("durable", &self.persist.is_some())
             .finish()
     }
 }
 
 impl Bdms {
-    /// Create a BDMS over an external schema.
+    /// Create an in-memory BDMS over an external schema.
     pub fn new(schema: ExternalSchema) -> Result<Self> {
         Ok(Bdms {
             store: InternalStore::new(schema)?,
+            persist: None,
         })
+    }
+
+    /// Initialize a durable BDMS in `dir` (created if missing; must not
+    /// already hold a belief database). An initial snapshot is written
+    /// immediately, so [`Bdms::open`] always finds the schema.
+    pub fn create(dir: impl AsRef<Path>, schema: ExternalSchema) -> Result<Self> {
+        Bdms::create_with_options(dir, schema, PersistOptions::default())
+    }
+
+    /// [`Bdms::create`] with explicit WAL segment / auto-checkpoint
+    /// tuning.
+    pub fn create_with_options(
+        dir: impl AsRef<Path>,
+        schema: ExternalSchema,
+        options: PersistOptions,
+    ) -> Result<Self> {
+        let store = InternalStore::new(schema)?;
+        let engine = PersistEngine::create(dir.as_ref(), options)?;
+        let mut durability = Durability { engine };
+        durability.checkpoint(&store)?;
+        Ok(Bdms {
+            store,
+            persist: Some(durability),
+        })
+    }
+
+    /// Recover a durable BDMS from `dir`: load the latest valid
+    /// snapshot, then replay the WAL tail through the normal update
+    /// algorithms. A torn or corrupt log tail is truncated, never
+    /// applied; everything up to the last durable record is restored
+    /// exactly (wids, tids, and `SizeStats` included).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        Bdms::open_with_options(dir, PersistOptions::default())
+    }
+
+    /// [`Bdms::open`] with explicit WAL segment / auto-checkpoint
+    /// tuning.
+    pub fn open_with_options(dir: impl AsRef<Path>, options: PersistOptions) -> Result<Self> {
+        let recovered = PersistEngine::open(dir.as_ref(), options)?;
+        let snapshot = recovered.snapshot.ok_or_else(|| {
+            BeliefError::Storage(StorageError::Corrupt(format!(
+                "{}: no valid snapshot — not a belief database directory?",
+                dir.as_ref().display()
+            )))
+        })?;
+        let mut store = SnapshotData::decode(&snapshot)?.restore()?;
+        for payload in &recovered.tail {
+            LogRecord::decode(payload)?.apply(&mut store)?;
+        }
+        let mut bdms = Bdms {
+            store,
+            persist: Some(Durability {
+                engine: recovered.engine,
+            }),
+        };
+        // Fold a long replayed tail into a snapshot now, so the *next*
+        // open is fast again.
+        bdms.auto_checkpoint()?;
+        Ok(bdms)
+    }
+
+    /// Whether this BDMS writes through to a durable directory.
+    pub fn is_durable(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Write a snapshot of the current state and truncate the WAL it
+    /// covers. Returns the snapshot's high-water mark (the LSN of the
+    /// next record). Errors on an in-memory BDMS.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        match &mut self.persist {
+            Some(durability) => durability.checkpoint(&self.store),
+            None => Err(BeliefError::Storage(StorageError::Io(
+                "checkpoint: this BDMS has no durable directory".into(),
+            ))),
+        }
+    }
+
+    /// WAL/snapshot counters (`None` for an in-memory BDMS).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.persist.as_ref().map(|d| d.engine.stats())
+    }
+
+    /// Append a validated record before applying it.
+    fn log(&mut self, rec: &LogRecord) -> Result<()> {
+        if let Some(durability) = &mut self.persist {
+            durability.append(rec)?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint automatically once the live log passes the threshold.
+    fn auto_checkpoint(&mut self) -> Result<()> {
+        if let Some(durability) = &mut self.persist {
+            if durability.engine.needs_checkpoint() {
+                durability.checkpoint(&self.store)?;
+            }
+        }
+        Ok(())
     }
 
     /// Create a BDMS preloaded with a logical belief database.
@@ -106,9 +216,20 @@ impl Bdms {
         self.store.schema()
     }
 
-    /// Register a new user (Sect. 5.3).
+    /// Register a new user (Sect. 5.3). Durable instances append the
+    /// registration to the WAL before applying it.
     pub fn add_user(&mut self, name: impl Into<String>) -> Result<UserId> {
-        self.store.add_user(name)
+        let name = name.into();
+        if self.persist.is_some() {
+            // Validate before logging so the record replays cleanly.
+            if self.store.user_by_name(&name).is_ok() {
+                return Err(BeliefError::DuplicateUser(name));
+            }
+            self.log(&LogRecord::AddUser(name.clone()))?;
+        }
+        let id = self.store.add_user(name)?;
+        self.auto_checkpoint()?;
+        Ok(id)
     }
 
     pub fn user_by_name(&self, name: &str) -> Result<UserId> {
@@ -123,7 +244,11 @@ impl Bdms {
         self.store.users().collect()
     }
 
-    /// Insert a belief statement `w t^s` (Algorithm 4).
+    /// Insert a belief statement `w t^s` (Algorithm 4). Durable
+    /// instances append the statement to the WAL before applying it
+    /// ("append-then-apply"); outcomes — including rejection by the
+    /// consistency gate — are deterministic, so replay reproduces the
+    /// same state bit for bit.
     pub fn insert(
         &mut self,
         path: BeliefPath,
@@ -131,29 +256,42 @@ impl Bdms {
         row: Row,
         sign: Sign,
     ) -> Result<InsertOutcome> {
-        let tuple = GroundTuple::new(rel, row);
-        self.store.insert(&path, &tuple, sign)
+        let stmt = BeliefStatement::new(path, GroundTuple::new(rel, row), sign);
+        self.insert_statement(&stmt)
     }
 
     /// Insert a prebuilt statement.
     pub fn insert_statement(&mut self, stmt: &BeliefStatement) -> Result<InsertOutcome> {
-        self.store.insert_statement(stmt)
+        if self.persist.is_some() {
+            self.store.check_statement(&stmt.path, &stmt.tuple)?;
+            self.log(&LogRecord::Insert(stmt.clone()))?;
+        }
+        let outcome = self.store.insert_statement(stmt)?;
+        self.auto_checkpoint()?;
+        Ok(outcome)
     }
 
     /// Delete an explicit statement; returns whether it was present.
     pub fn delete(&mut self, path: BeliefPath, rel: RelId, row: Row, sign: Sign) -> Result<bool> {
-        let tuple = GroundTuple::new(rel, row);
-        self.store.delete(&path, &tuple, sign)
+        let stmt = BeliefStatement::new(path, GroundTuple::new(rel, row), sign);
+        self.delete_statement(&stmt)
     }
 
     pub fn delete_statement(&mut self, stmt: &BeliefStatement) -> Result<bool> {
-        self.store.delete_statement(stmt)
+        if self.persist.is_some() {
+            self.store.check_statement(&stmt.path, &stmt.tuple)?;
+            self.log(&LogRecord::Delete(stmt.clone()))?;
+        }
+        let present = self.store.delete_statement(stmt)?;
+        self.auto_checkpoint()?;
+        Ok(present)
     }
 
     /// Update: replace an explicit positive tuple at `path` by a new tuple
     /// with the same key (the conflicting-alternative semantics of Sect. 2).
     /// If the old tuple was only implicit, the new tuple simply overrides
-    /// it. Returns the outcome of the final insert.
+    /// it. Returns the outcome of the final insert. Logged as a single
+    /// WAL record on durable instances.
     pub fn update(
         &mut self,
         path: BeliefPath,
@@ -163,8 +301,20 @@ impl Bdms {
     ) -> Result<InsertOutcome> {
         let old = GroundTuple::new(rel, old_row);
         let new = GroundTuple::new(rel, new_row);
+        if self.persist.is_some() {
+            self.store.check_statement(&path, &old)?;
+            self.store.check_statement(&path, &new)?;
+            self.log(&LogRecord::Update {
+                path: path.clone(),
+                rel,
+                old_row: old.row.clone(),
+                new_row: new.row.clone(),
+            })?;
+        }
         self.store.delete(&path, &old, Sign::Pos)?;
-        self.store.insert(&path, &new, Sign::Pos)
+        let outcome = self.store.insert(&path, &new, Sign::Pos)?;
+        self.auto_checkpoint()?;
+        Ok(outcome)
     }
 
     /// Evaluate a belief conjunctive query via the Algorithm 1 translation.
@@ -580,6 +730,132 @@ mod tests {
             .unwrap();
         assert_eq!(bdms.query(&q).unwrap(), vec![row!["Bob"]]);
         assert_eq!(bdms.query_naive(&q).unwrap(), vec![row!["Bob"]]);
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "beliefdb-bdms-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn durable_round_trip_reproduces_state_and_stats() {
+        let dir = temp_dir("roundtrip");
+        let (db, ..) = running_example();
+        {
+            let mut bdms = Bdms::create(&dir, db.schema().clone()).unwrap();
+            assert!(bdms.is_durable());
+            for u in db.users() {
+                bdms.add_user(db.user_name(u).unwrap().to_string()).unwrap();
+            }
+            for stmt in db.statements() {
+                bdms.insert_statement(&stmt).unwrap();
+            }
+            // Interior checkpoint plus post-checkpoint mutations.
+            bdms.checkpoint().unwrap();
+            let s = bdms.schema().relation_id("Sightings").unwrap();
+            bdms.insert(
+                BeliefPath::user(UserId(2)),
+                s,
+                row!["s9", "Bob", "owl", "7-1-08", "Ridge"],
+                Sign::Pos,
+            )
+            .unwrap();
+            let reopened = Bdms::open(&dir).unwrap();
+            assert_eq!(reopened.stats(), bdms.stats());
+            assert_eq!(
+                reopened.to_belief_database().unwrap().statements(),
+                bdms.to_belief_database().unwrap().statements()
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_replays_rejected_inserts_and_deletes_exactly() {
+        let dir = temp_dir("sideeffects");
+        let schema = ExternalSchema::new().with_relation("S", &["sid", "species"]);
+        let mut bdms = Bdms::create(&dir, schema).unwrap();
+        let alice = bdms.add_user("Alice").unwrap();
+        let bob = bdms.add_user("Bob").unwrap();
+        let s = bdms.schema().relation_id("S").unwrap();
+        bdms.insert(BeliefPath::user(alice), s, row!["s1", "crow"], Sign::Pos)
+            .unwrap();
+        // Bob-believes-Alice overrides the inherited crow with a raven.
+        let out = bdms
+            .insert(path(&[2, 1]), s, row!["s1", "raven"], Sign::Pos)
+            .unwrap();
+        assert_eq!(out, InsertOutcome::Inserted);
+        // Rejected insert (conflicts with the explicit raven): still
+        // creates the owl's R* row, which replay must reproduce.
+        let out = bdms
+            .insert(path(&[2, 1]), s, row!["s1", "owl"], Sign::Pos)
+            .unwrap();
+        assert_eq!(out, InsertOutcome::Rejected);
+        bdms.delete(BeliefPath::user(alice), s, row!["s1", "crow"], Sign::Pos)
+            .unwrap();
+        bdms.update(
+            BeliefPath::user(bob),
+            s,
+            row!["s2", "owl"],
+            row!["s2", "heron"],
+        )
+        .unwrap();
+        let reopened = Bdms::open(&dir).unwrap();
+        assert_eq!(reopened.stats(), bdms.stats());
+        assert_eq!(
+            reopened.internal().directory().len(),
+            bdms.internal().directory().len()
+        );
+        // Errors never reach the log: a bad statement fails both here
+        // and after reopen, with no phantom record.
+        assert!(bdms
+            .insert(crate::path::path(&[9]), s, row!["x", "y"], Sign::Pos)
+            .is_err());
+        assert!(bdms.add_user("Alice").is_err());
+        let again = Bdms::open(&dir).unwrap();
+        assert_eq!(again.stats(), bdms.stats());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_memory_bdms_has_no_wal() {
+        let (bdms, ..) = running_bdms();
+        assert!(!bdms.is_durable());
+        assert!(bdms.wal_stats().is_none());
+        let (mut bdms, ..) = running_bdms();
+        assert!(bdms.checkpoint().is_err());
+    }
+
+    #[test]
+    fn wal_stats_track_appends_and_checkpoints() {
+        let dir = temp_dir("stats");
+        let schema = ExternalSchema::new().with_relation("S", &["sid", "species"]);
+        let mut bdms = Bdms::create(&dir, schema).unwrap();
+        let hwm0 = bdms.wal_stats().unwrap().snapshot_hwm;
+        assert_eq!(hwm0, 0);
+        bdms.add_user("Alice").unwrap();
+        let s = bdms.schema().relation_id("S").unwrap();
+        bdms.insert(
+            BeliefPath::user(UserId(1)),
+            s,
+            row!["s1", "crow"],
+            Sign::Pos,
+        )
+        .unwrap();
+        let stats = bdms.wal_stats().unwrap();
+        assert_eq!(stats.next_lsn, 2);
+        assert_eq!(stats.frames, 2);
+        let hwm = bdms.checkpoint().unwrap();
+        assert_eq!(hwm, 2);
+        let stats = bdms.wal_stats().unwrap();
+        assert_eq!(stats.snapshot_hwm, 2);
+        assert_eq!(stats.frames, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -8,7 +8,11 @@ use crate::statement::{BeliefStatement, GroundTuple, Sign};
 use beliefdb_storage::Row;
 
 impl InternalStore {
-    fn check_statement(&self, path: &BeliefPath, tuple: &GroundTuple) -> Result<()> {
+    /// Validate a statement's relation arity and user ids without
+    /// mutating anything. The durability layer calls this before
+    /// appending a record, so a logged mutation always applies cleanly
+    /// on replay.
+    pub(crate) fn check_statement(&self, path: &BeliefPath, tuple: &GroundTuple) -> Result<()> {
         self.schema.check_tuple(tuple.rel, &tuple.row)?;
         for u in path.users() {
             if !self.has_user(*u) {

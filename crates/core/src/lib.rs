@@ -55,6 +55,7 @@ pub mod internal;
 pub mod kripke;
 pub mod lazy;
 pub mod path;
+pub mod persist;
 pub mod schema;
 pub mod statement;
 pub mod world;
@@ -68,6 +69,7 @@ pub use ids::{RelId, Tid, UserId, Wid};
 pub use kripke::Kripke;
 pub use lazy::LazyBdms;
 pub use path::BeliefPath;
+pub use persist::{PersistOptions, WalStats};
 pub use schema::{naturemapping_schema, ExternalSchema, RelationDef};
 pub use statement::{BeliefStatement, GroundTuple, Sign};
 pub use world::BeliefWorld;

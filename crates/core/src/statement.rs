@@ -47,6 +47,24 @@ impl Sign {
             _ => None,
         }
     }
+
+    /// Stable one-byte code used by the durability layer's binary log
+    /// and snapshot encodings (`crate::persist`).
+    pub fn code(self) -> u8 {
+        match self {
+            Sign::Pos => b'+',
+            Sign::Neg => b'-',
+        }
+    }
+
+    /// Inverse of [`Sign::code`].
+    pub fn from_code(c: u8) -> Option<Sign> {
+        match c {
+            b'+' => Some(Sign::Pos),
+            b'-' => Some(Sign::Neg),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Sign {
@@ -151,6 +169,9 @@ mod tests {
         assert_eq!(Sign::from_value(&Value::str("x")), None);
         assert_eq!(Sign::from_value(&Value::Int(1)), None);
         assert_eq!(Sign::Neg.to_string(), "-");
+        assert_eq!(Sign::from_code(Sign::Pos.code()), Some(Sign::Pos));
+        assert_eq!(Sign::from_code(Sign::Neg.code()), Some(Sign::Neg));
+        assert_eq!(Sign::from_code(b'x'), None);
     }
 
     #[test]

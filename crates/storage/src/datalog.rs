@@ -313,8 +313,13 @@ pub struct Evaluator<'a> {
 fn drive(db: &Database, plan: &Plan, mode: ExecMode, mut sink: impl FnMut(Row)) -> Result<()> {
     match mode {
         ExecMode::Chunked => {
+            // Drain through a reused scratch buffer so each chunk's
+            // backing storage goes back to the executor's pool instead
+            // of being reallocated per batch.
+            let mut scratch: Vec<Row> = Vec::new();
             for chunk in crate::exec::stream_chunks(db, plan)? {
-                for row in chunk?.into_rows() {
+                chunk?.drain_into(&mut scratch);
+                for row in scratch.drain(..) {
                     sink(row);
                 }
             }

@@ -38,6 +38,13 @@ pub enum StorageError {
     PlanError(String),
     /// A Datalog program is malformed (unsafe rule, unknown relation, ...).
     DatalogError(String),
+    /// An I/O failure in the durability layer (WAL append, snapshot write,
+    /// directory scan). Carries the rendered `std::io::Error` — the error
+    /// type itself stays `Clone`/`Eq` for the layers above.
+    Io(String),
+    /// On-disk state failed validation during recovery (bad magic, CRC
+    /// mismatch beyond the torn tail, truncated snapshot, LSN gap).
+    Corrupt(String),
 }
 
 impl fmt::Display for StorageError {
@@ -76,11 +83,19 @@ impl fmt::Display for StorageError {
             StorageError::TypeError(msg) => write!(f, "type error: {msg}"),
             StorageError::PlanError(msg) => write!(f, "plan error: {msg}"),
             StorageError::DatalogError(msg) => write!(f, "datalog error: {msg}"),
+            StorageError::Io(msg) => write!(f, "io error: {msg}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt durable state: {msg}"),
         }
     }
 }
 
 impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}
 
 /// Convenience alias used throughout the crate.
 pub type Result<T, E = StorageError> = std::result::Result<T, E>;

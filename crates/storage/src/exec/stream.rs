@@ -63,6 +63,78 @@ use std::sync::Arc;
 pub const BATCH_SIZE: usize = 1024;
 
 // ---------------------------------------------------------------------------
+// Buffer pool
+// ---------------------------------------------------------------------------
+
+/// Thread-local recycling pool for chunk backing buffers.
+///
+/// The steady state of a long pipeline is "allocate a `Vec<Row>` (and a
+/// selection vector) per chunk, drop it one operator later" — pure
+/// allocator churn. Operators instead take buffers from this pool and
+/// consumers hand them back ([`Chunk::recycle`] / [`Chunk::drain_into`]
+/// / the row adapter), so after warm-up the hot loop allocates rows,
+/// never buffers. The pool is bounded (a handful of buffers per
+/// thread) and thread-local, so there is no locking and no cross-query
+/// pinning beyond a few dozen KiB.
+mod pool {
+    use crate::row::Row;
+    use std::cell::RefCell;
+
+    /// Max buffers of each kind kept per thread (more than the deepest
+    /// pipeline keeps in flight; excess is dropped, not pooled).
+    const MAX_POOLED: usize = 8;
+
+    thread_local! {
+        static ROW_BUFS: RefCell<Vec<Vec<Row>>> = const { RefCell::new(Vec::new()) };
+        static SEL_BUFS: RefCell<Vec<Vec<u32>>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// An empty row buffer with at least `cap` capacity.
+    pub(super) fn take_rows(cap: usize) -> Vec<Row> {
+        let mut buf = ROW_BUFS.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+        // `reserve` is a no-op when the recycled capacity already
+        // suffices; the buffer is empty, so this guarantees `cap`.
+        buf.reserve(cap);
+        buf
+    }
+
+    /// Return a row buffer (cleared here) to the pool.
+    pub(super) fn give_rows(mut buf: Vec<Row>) {
+        buf.clear();
+        if buf.capacity() == 0 {
+            return;
+        }
+        ROW_BUFS.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < MAX_POOLED {
+                p.push(buf);
+            }
+        });
+    }
+
+    /// An empty selection-vector buffer with at least `cap` capacity.
+    pub(super) fn take_sel(cap: usize) -> Vec<u32> {
+        let mut buf = SEL_BUFS.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+        buf.reserve(cap);
+        buf
+    }
+
+    /// Return a selection-vector buffer (cleared here) to the pool.
+    pub(super) fn give_sel(mut buf: Vec<u32>) {
+        buf.clear();
+        if buf.capacity() == 0 {
+            return;
+        }
+        SEL_BUFS.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < MAX_POOLED {
+                p.push(buf);
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Chunk
 // ---------------------------------------------------------------------------
 
@@ -106,32 +178,67 @@ impl Chunk {
         }
     }
 
-    /// Take ownership of the live rows (compacting if filtered).
+    /// Take ownership of the live rows (compacting if filtered; the
+    /// discarded backing buffers go back to the thread-local pool).
     pub fn into_rows(self) -> Vec<Row> {
         match self.sel {
             None => self.rows,
             Some(sel) => {
                 let mut rows = self.rows;
-                sel.into_iter()
-                    .map(|i| std::mem::replace(&mut rows[i as usize], Row::new(vec![])))
-                    .collect()
+                let mut out = pool::take_rows(sel.len());
+                for &i in &sel {
+                    out.push(std::mem::replace(&mut rows[i as usize], Row::new(vec![])));
+                }
+                pool::give_sel(sel);
+                pool::give_rows(rows);
+                out
             }
         }
+    }
+
+    /// Append the live rows to `out` and recycle the chunk's buffers —
+    /// the draining counterpart of [`Chunk::into_rows`] for consumers
+    /// that accumulate across chunks (collectors, derived relations).
+    pub fn drain_into(mut self, out: &mut Vec<Row>) {
+        match self.sel.take() {
+            None => out.append(&mut self.rows),
+            Some(sel) => {
+                out.reserve(sel.len());
+                for &i in &sel {
+                    out.push(std::mem::replace(
+                        &mut self.rows[i as usize],
+                        Row::new(vec![]),
+                    ));
+                }
+                pool::give_sel(sel);
+                self.rows.clear();
+            }
+        }
+        pool::give_rows(self.rows);
+    }
+
+    /// Drop the chunk, returning its backing buffers to the pool. Call
+    /// this instead of letting a chunk fall out of scope on hot paths.
+    pub fn recycle(mut self) {
+        if let Some(sel) = self.sel.take() {
+            pool::give_sel(sel);
+        }
+        self.rows.clear();
+        pool::give_rows(self.rows);
     }
 
     /// Restrict the live rows by `keep`, refining the selection vector in
     /// place; no rows are moved or cloned.
     fn filter_in_place(&mut self, mut keep: impl FnMut(&Row) -> bool) {
         let rows = &self.rows;
-        let sel = match self.sel.take() {
-            Some(sel) => sel
-                .into_iter()
-                .filter(|&i| keep(&rows[i as usize]))
-                .collect(),
-            None => (0..rows.len() as u32)
-                .filter(|&i| keep(&rows[i as usize]))
-                .collect(),
-        };
+        let mut sel = pool::take_sel(self.len());
+        match self.sel.take() {
+            Some(old) => {
+                sel.extend(old.iter().copied().filter(|&i| keep(&rows[i as usize])));
+                pool::give_sel(old);
+            }
+            None => sel.extend((0..rows.len() as u32).filter(|&i| keep(&rows[i as usize]))),
+        }
         self.sel = Some(sel);
     }
 
@@ -140,14 +247,6 @@ impl Chunk {
         match &mut self.sel {
             Some(sel) => sel.truncate(n),
             None => self.rows.truncate(n),
-        }
-    }
-
-    /// The live-row indices as a vector (error-splitting slow path).
-    fn live_indices(&self) -> Vec<u32> {
-        match &self.sel {
-            Some(sel) => sel.clone(),
-            None => (0..self.rows.len() as u32).collect(),
         }
     }
 
@@ -206,20 +305,22 @@ impl<'a> ChunkStream<'a> {
     }
 
     /// Drain the stream into a row vector, stopping at the first error.
+    /// Chunk buffers are recycled as they are drained.
     pub fn collect_rows(self) -> Result<Vec<Row>> {
         let mut out = Vec::new();
         for chunk in self.inner {
-            out.extend(chunk?.into_rows());
+            chunk?.drain_into(&mut out);
         }
         Ok(out)
     }
 
     /// Adapt to a row-at-a-time stream (the source-compatible PR 2
     /// interface). Rows of the current chunk are handed out one by one;
-    /// the next chunk is pulled only when they run out.
+    /// the next chunk is pulled only when they run out, and each
+    /// exhausted chunk's buffers return to the pool.
     pub fn rows(self) -> RowStream<'a> {
         RowStream::new(Box::new(self.inner.flat_map(|item| match item {
-            Ok(chunk) => ChunkRows::Rows(chunk.into_rows().into_iter()),
+            Ok(chunk) => ChunkRows::Rows(Some(chunk), 0),
             Err(e) => ChunkRows::Err(std::iter::once(Err(e))),
         })))
     }
@@ -233,9 +334,11 @@ impl Iterator for ChunkStream<'_> {
     }
 }
 
-/// Flattening adapter used by [`ChunkStream::rows`].
+/// Flattening adapter used by [`ChunkStream::rows`]: hands out the
+/// chunk's live rows one by one and recycles the chunk's buffers once
+/// the last row is gone (abandoned chunks just drop their buffers).
 enum ChunkRows {
-    Rows(std::vec::IntoIter<Row>),
+    Rows(Option<Chunk>, usize),
     Err(std::iter::Once<Result<Row>>),
 }
 
@@ -244,7 +347,17 @@ impl Iterator for ChunkRows {
 
     fn next(&mut self) -> Option<Self::Item> {
         match self {
-            ChunkRows::Rows(it) => it.next().map(Ok),
+            ChunkRows::Rows(slot, pos) => {
+                let chunk = slot.as_mut()?;
+                if *pos < chunk.len() {
+                    let i = chunk.live_at(*pos) as usize;
+                    *pos += 1;
+                    Some(Ok(std::mem::replace(&mut chunk.rows[i], Row::new(vec![]))))
+                } else {
+                    slot.take().expect("checked above").recycle();
+                    None
+                }
+            }
             ChunkRows::Err(it) => it.next(),
         }
     }
@@ -428,11 +541,76 @@ impl ColLitKernel {
     }
 }
 
+/// A compiled filter: either one `col op lit` kernel or a **fused
+/// conjunction** of them. An `AND` whose every conjunct is a col-op-lit
+/// comparison no longer falls back to the row-wise `Expr` interpreter —
+/// it runs as a sequence of selection-vector kernel passes, each pass
+/// refining the survivors of the previous one (so later kernels only
+/// visit rows the earlier ones kept).
+pub(crate) enum FilterKernel {
+    One(ColLitKernel),
+    And(Vec<ColLitKernel>),
+}
+
+impl FilterKernel {
+    /// Compile a predicate if it is a col-op-lit comparison or a flat
+    /// conjunction of them.
+    pub(crate) fn compile(pred: &Expr) -> Option<FilterKernel> {
+        if let Some(k) = ColLitKernel::compile(pred) {
+            return Some(FilterKernel::One(k));
+        }
+        if let Expr::And(parts) = pred {
+            if parts.len() >= 2 {
+                let kernels: Option<Vec<ColLitKernel>> =
+                    parts.iter().map(ColLitKernel::compile).collect();
+                return kernels.map(FilterKernel::And);
+            }
+        }
+        None
+    }
+
+    /// Deterministic label for `EXPLAIN` (`eq:int`,
+    /// `and[eq:int,lt:int]`, ...).
+    pub(crate) fn label(&self) -> String {
+        match self {
+            FilterKernel::One(k) => k.label().to_string(),
+            FilterKernel::And(ks) => {
+                let parts: Vec<&str> = ks.iter().map(|k| k.label()).collect();
+                format!("and[{}]", parts.join(","))
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn test(&self, row: &Row) -> bool {
+        match self {
+            FilterKernel::One(k) => k.test(row),
+            FilterKernel::And(ks) => ks.iter().all(|k| k.test(row)),
+        }
+    }
+
+    /// Run the kernel over a chunk as selection-vector passes: one pass
+    /// for a single comparison, one per conjunct for a fused `AND`.
+    fn filter_chunk(&self, chunk: &mut Chunk) {
+        match self {
+            FilterKernel::One(k) => chunk.filter_in_place(|row| k.test(row)),
+            FilterKernel::And(ks) => {
+                for k in ks {
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    chunk.filter_in_place(|row| k.test(row));
+                }
+            }
+        }
+    }
+}
+
 /// The kernel label a chunked `Selection` would use for this predicate,
 /// or `None` when it falls back to the row-wise interpreter. Used by
 /// `EXPLAIN` so the rendered plan reports what the executor will do.
-pub(crate) fn selection_kernel_label(pred: &Expr) -> Option<&'static str> {
-    ColLitKernel::compile(pred).map(|k| k.label())
+pub(crate) fn selection_kernel_label(pred: &Expr) -> Option<String> {
+    FilterKernel::compile(pred).map(|k| k.label())
 }
 
 // ---------------------------------------------------------------------------
@@ -588,24 +766,34 @@ fn open_node<'a>(db: &'a Database, plan: &'a Plan, batch: Batch) -> Result<BoxCh
 const RAMP_START: usize = 32;
 
 /// Clone an iterator of borrowed rows into batches, lazily, ramping the
-/// chunk size up from [`RAMP_START`] to `batch`.
+/// chunk size up from [`RAMP_START`] to `batch`. Batch buffers come
+/// from the thread-local pool.
 fn chunked_refs<'a>(iter: impl Iterator<Item = &'a Row> + 'a, batch: usize) -> BoxChunkIter<'a> {
     let mut iter = iter.peekable();
     let mut size = RAMP_START.min(batch);
     Box::new(std::iter::from_fn(move || {
         iter.peek()?;
-        let rows: Vec<Row> = iter.by_ref().take(size).cloned().collect();
+        let mut rows = pool::take_rows(size);
+        rows.extend(iter.by_ref().take(size).cloned());
         size = (size * 2).min(batch);
         Some(Ok(Chunk::new(rows)))
     }))
 }
 
-/// Batch an owned row vector (materialization-point outputs).
+/// Batch an owned row vector (materialization-point outputs). A vector
+/// that fits one batch is passed through as-is — no copy, no split.
 fn chunked_owned<'a>(rows: Vec<Row>, batch: usize) -> BoxChunkIter<'a> {
+    if rows.len() <= batch {
+        if rows.is_empty() {
+            return Box::new(std::iter::empty());
+        }
+        return Box::new(std::iter::once(Ok(Chunk::new(rows))));
+    }
     let mut iter = rows.into_iter().peekable();
     Box::new(std::iter::from_fn(move || {
         iter.peek()?;
-        let rows: Vec<Row> = iter.by_ref().take(batch).collect();
+        let mut rows = pool::take_rows(batch);
+        rows.extend(iter.by_ref().take(batch));
         Some(Ok(Chunk::new(rows)))
     }))
 }
@@ -632,7 +820,7 @@ fn open_selection<'a>(
         // clone only the survivors into chunks — a selective filter never
         // copies the rows it drops.
         let refs = t.iter().map(|(_, r)| r);
-        if let Some(kernel) = ColLitKernel::compile(predicate) {
+        if let Some(kernel) = FilterKernel::compile(predicate) {
             return Ok(chunked_refs(
                 refs.filter(move |r| kernel.test(r)),
                 batch.effective,
@@ -641,11 +829,12 @@ fn open_selection<'a>(
         return Ok(filtered_ref_scan(refs, predicate, batch.effective));
     }
     let input = open_node(db, input, batch)?;
-    if let Some(kernel) = ColLitKernel::compile(predicate) {
-        // Kernel filters are infallible: pure selection-vector updates.
+    if let Some(kernel) = FilterKernel::compile(predicate) {
+        // Kernel filters are infallible: pure selection-vector updates
+        // (a fused AND runs one pass per conjunct).
         return Ok(Box::new(input.filter_map(move |item| match item {
             Ok(mut chunk) => {
-                chunk.filter_in_place(|row| kernel.test(row));
+                kernel.filter_chunk(&mut chunk);
                 (!chunk.is_empty()).then_some(Ok(chunk))
             }
             Err(e) => Some(Err(e)),
@@ -669,7 +858,7 @@ fn filtered_ref_scan<'a>(
             return Some(item);
         }
         refs.peek()?;
-        let mut out: Vec<Row> = Vec::new();
+        let mut out: Vec<Row> = pool::take_rows(batch.min(RAMP_START));
         for row in refs.by_ref() {
             match predicate.eval_bool(row) {
                 Ok(true) => {
@@ -713,40 +902,70 @@ fn filter_chunks<'a>(
         match input.next()? {
             Err(e) => return Some(Err(e)),
             Ok(mut chunk) => {
-                let live = chunk.live_indices();
-                let mut segments: Vec<Vec<u32>> = vec![Vec::new()];
-                let mut errors = Vec::new();
-                for &i in &live {
+                let n = chunk.len();
+                let mut sel = pool::take_sel(n);
+                let mut first_err = None;
+                let mut k = 0;
+                while k < n {
+                    let i = chunk.live_at(k);
                     match pred(chunk.row(i)) {
-                        Ok(true) => segments.last_mut().expect("non-empty").push(i),
+                        Ok(true) => sel.push(i),
                         Ok(false) => {}
                         Err(e) => {
-                            errors.push(e);
-                            segments.push(Vec::new());
+                            first_err = Some(e);
+                            k += 1;
+                            break;
                         }
                     }
+                    k += 1;
                 }
-                if errors.is_empty() {
-                    let sel = segments.pop().expect("non-empty");
+                let Some(first_err) = first_err else {
+                    // Clean chunk (the overwhelmingly common case):
+                    // only the selection vector changes hands.
                     if sel.is_empty() {
+                        pool::give_sel(sel);
+                        chunk.recycle();
                         continue;
+                    }
+                    if let Some(old) = chunk.sel.take() {
+                        pool::give_sel(old);
                     }
                     chunk.sel = Some(sel);
                     return Some(Ok(chunk));
-                }
-                // Rare error path: interleave the passing segments with
-                // the errors in row order.
-                let mut errs = errors.into_iter();
-                for seg in segments {
-                    if !seg.is_empty() {
-                        let rows: Vec<Row> =
-                            seg.into_iter().map(|i| chunk.row(i).clone()).collect();
+                };
+                // Rare error path: emit the passing prefix (rows moved
+                // out — the chunk is recycled below), then the error,
+                // then keep splitting the remainder in row order.
+                let emit_segment =
+                    |sel: &mut Vec<u32>,
+                     chunk: &mut Chunk,
+                     pending: &mut VecDeque<Result<Chunk>>| {
+                        if sel.is_empty() {
+                            return;
+                        }
+                        let mut rows = pool::take_rows(sel.len());
+                        rows.extend(sel.drain(..).map(|i| {
+                            std::mem::replace(&mut chunk.rows[i as usize], Row::new(vec![]))
+                        }));
                         pending.push_back(Ok(Chunk::new(rows)));
+                    };
+                emit_segment(&mut sel, &mut chunk, &mut pending);
+                pending.push_back(Err(first_err));
+                while k < n {
+                    let i = chunk.live_at(k);
+                    match pred(chunk.row(i)) {
+                        Ok(true) => sel.push(i),
+                        Ok(false) => {}
+                        Err(e) => {
+                            emit_segment(&mut sel, &mut chunk, &mut pending);
+                            pending.push_back(Err(e));
+                        }
                     }
-                    if let Some(e) = errs.next() {
-                        pending.push_back(Err(e));
-                    }
+                    k += 1;
                 }
+                emit_segment(&mut sel, &mut chunk, &mut pending);
+                pool::give_sel(sel);
+                chunk.recycle();
             }
         }
     }))
@@ -806,15 +1025,17 @@ impl<F: FnMut(&Row, &mut Vec<Row>) -> Result<()>> Iterator for MapChunks<'_, F> 
                     match (self.f)(chunk.row(i), &mut self.out) {
                         Ok(()) => {
                             if self.out.len() >= self.batch {
-                                self.pending
-                                    .push_back(Ok(Chunk::new(std::mem::take(&mut self.out))));
+                                let out =
+                                    std::mem::replace(&mut self.out, pool::take_rows(self.batch));
+                                self.pending.push_back(Ok(Chunk::new(out)));
                                 break;
                             }
                         }
                         Err(e) => {
                             if !self.out.is_empty() {
-                                self.pending
-                                    .push_back(Ok(Chunk::new(std::mem::take(&mut self.out))));
+                                let out =
+                                    std::mem::replace(&mut self.out, pool::take_rows(self.batch));
+                                self.pending.push_back(Ok(Chunk::new(out)));
                             }
                             self.pending.push_back(Err(e));
                             break;
@@ -826,7 +1047,9 @@ impl<F: FnMut(&Row, &mut Vec<Row>) -> Result<()>> Iterator for MapChunks<'_, F> 
                     .as_ref()
                     .is_some_and(|(chunk, pos)| *pos >= chunk.len())
                 {
-                    self.current = None;
+                    if let Some((chunk, _)) = self.current.take() {
+                        chunk.recycle();
+                    }
                 }
                 continue;
             }
@@ -845,8 +1068,8 @@ impl<F: FnMut(&Row, &mut Vec<Row>) -> Result<()>> Iterator for MapChunks<'_, F> 
                     // Flush accumulated output first: it precedes the
                     // error in row order.
                     if !self.out.is_empty() {
-                        self.pending
-                            .push_back(Ok(Chunk::new(std::mem::take(&mut self.out))));
+                        let out = std::mem::replace(&mut self.out, pool::take_rows(self.batch));
+                        self.pending.push_back(Ok(Chunk::new(out)));
                     }
                     self.pending.push_back(Err(e));
                 }
@@ -874,12 +1097,14 @@ impl Iterator for ProjectChunks<'_> {
                 Err(e) => return Some(Err(e)),
                 Ok(chunk) => {
                     if chunk.is_empty() {
+                        chunk.recycle();
                         continue;
                     }
-                    let mut rows = Vec::with_capacity(chunk.len());
+                    let mut rows = pool::take_rows(chunk.len());
                     for row in chunk.iter() {
                         rows.push(self.proj.apply(row));
                     }
+                    chunk.recycle();
                     return Some(Ok(Chunk::new(rows)));
                 }
             }
@@ -913,6 +1138,7 @@ impl Iterator for LimitChunks<'_> {
                 Ok(mut chunk) => {
                     let n = chunk.len();
                     if n == 0 {
+                        chunk.recycle();
                         continue;
                     }
                     if n <= self.remaining {
@@ -966,7 +1192,7 @@ fn open_join<'a>(
                         break;
                     }
                     match left_stream.next() {
-                        Some(chunk) => buf.extend(chunk?.into_rows()),
+                        Some(chunk) => chunk?.drain_into(&mut buf),
                         None => break,
                     }
                 }
@@ -1096,8 +1322,10 @@ fn build_side(
     batch: Batch,
 ) -> Result<HashMap<Box<[Value]>, Vec<Row>>> {
     let mut build: HashMap<Box<[Value]>, Vec<Row>> = HashMap::new();
+    let mut scratch: Vec<Row> = Vec::new();
     for chunk in ChunkStream::new(open_node(db, right, batch.full())?) {
-        for row in chunk?.into_rows() {
+        chunk?.drain_into(&mut scratch);
+        for row in scratch.drain(..) {
             let key: Box<[Value]> = on.iter().map(|&(_, rc)| row[rc].clone()).collect();
             build.entry(key).or_default().push(row);
         }
@@ -1394,6 +1622,100 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn and_conjunctions_fuse_into_kernel_passes() {
+        // Every AND of col-op-lit comparisons must compile (no row-wise
+        // fallback) and agree with the interpreter on a column holding
+        // every value type, in every conjunct order.
+        let db = db();
+        let rows: Vec<Row> = vec![
+            row![Value::Null, Value::Null],
+            row![false, 3],
+            row![-3, "pear"],
+            row![5, 5],
+            row![17, "apple"],
+            row!["apple", 17],
+            row!["zebra", true],
+        ];
+        let conjuncts = [
+            Expr::cmp(CmpOp::Le, Expr::Col(0), Expr::lit(10i64)),
+            Expr::cmp(CmpOp::Ne, Expr::Col(1), Expr::lit("pear")),
+            Expr::cmp(CmpOp::Gt, Expr::lit(4i64), Expr::Col(0)),
+        ];
+        for i in 0..conjuncts.len() {
+            for j in 0..conjuncts.len() {
+                if i == j {
+                    continue;
+                }
+                let pred = Expr::and(vec![conjuncts[i].clone(), conjuncts[j].clone()]);
+                let kernel = FilterKernel::compile(&pred).expect("AND of col-lit compiles");
+                assert!(matches!(kernel, FilterKernel::And(_)));
+                for r in &rows {
+                    assert_eq!(
+                        kernel.test(r),
+                        pred.eval_bool(r).unwrap(),
+                        "fused kernel disagrees with interpreter on {pred} over {r}"
+                    );
+                }
+                let plan = Plan::Values {
+                    arity: 2,
+                    rows: rows.clone(),
+                }
+                .select(pred);
+                assert_eq!(
+                    sorted(execute(&db, &plan).unwrap()),
+                    sorted(execute_materialized(&db, &plan).unwrap()),
+                    "fused AND execution diverged"
+                );
+            }
+        }
+        // Three-way conjunction, over a scan (filter-before-clone path)
+        // and over a non-scan input (selection-vector passes).
+        let pred = Expr::and(conjuncts.to_vec());
+        assert_eq!(
+            FilterKernel::compile(&pred).unwrap().label(),
+            "and[le:int,cmp:lit,lt:int]"
+        );
+        let over_values = Plan::Values {
+            arity: 2,
+            rows: rows.clone(),
+        }
+        .project_cols(&[0, 1])
+        .select(pred.clone());
+        assert_eq!(
+            sorted(execute(&db, &over_values).unwrap()),
+            sorted(execute_materialized(&db, &over_values).unwrap())
+        );
+        // Empty-AND and single-element AND collapse elsewhere; an AND
+        // with a non-col-lit conjunct must not compile.
+        let mixed = Expr::And(vec![conjuncts[0].clone(), Expr::col_eq_col(0, 1)]);
+        assert!(FilterKernel::compile(&mixed).is_none());
+    }
+
+    #[test]
+    fn fused_and_uses_selection_vectors() {
+        // The fused conjunction refines the selection vector in place:
+        // backing rows stay put, only `sel` shrinks pass by pass.
+        let db = db();
+        let plan = Plan::scan("E")
+            .project_cols(&[0, 1, 2])
+            .select(Expr::and(vec![
+                Expr::col_eq_lit(0, 0i64),
+                Expr::cmp(CmpOp::Le, Expr::Col(1), Expr::lit(2i64)),
+            ]));
+        let chunks: Vec<Chunk> = stream_chunks(&db, &plan)
+            .unwrap()
+            .map(|c| c.unwrap())
+            .collect();
+        assert_eq!(chunks.len(), 1);
+        assert!(
+            chunks[0].sel.is_some(),
+            "fused AND must use a selection vector"
+        );
+        assert_eq!(chunks[0].rows.len(), 5, "backing rows are not compacted");
+        assert_eq!(chunks[0].len(), 2); // rows (0,1,1) and (0,2,2)
     }
 
     #[test]

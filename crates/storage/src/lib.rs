@@ -41,6 +41,7 @@ pub mod exec;
 pub mod expr;
 pub mod index;
 pub mod opt;
+pub mod persist;
 pub mod plan;
 pub mod row;
 pub mod schema;
@@ -56,6 +57,7 @@ pub use exec::{
 pub use expr::{CmpOp, Expr};
 pub use index::RowId;
 pub use opt::{optimize, optimize_with, OptimizerOptions, StatsCatalog};
+pub use persist::{PersistEngine, PersistOptions, WalStats};
 pub use plan::{Agg, Plan};
 pub use row::{Projector, Row};
 pub use schema::{ColumnDef, KeyMode, TableSchema};

@@ -128,7 +128,8 @@ fn render_node(db: &Database, plan: &Plan, est: &EstTree, depth: usize, out: &mu
             let exec = match &access {
                 Some(_) => exec.clone(),
                 None => {
-                    let kernel = selection_kernel_label(predicate).unwrap_or("rowwise");
+                    let kernel =
+                        selection_kernel_label(predicate).unwrap_or_else(|| "rowwise".to_string());
                     format!(
                         "{} [vectorized batch={BATCH_SIZE} kernel={kernel}]",
                         exec_note(plan)
@@ -365,17 +366,33 @@ mod tests {
             !text.contains("Sort by [#0] [materialize] [vectorized"),
             "{text}"
         );
+        // An AND of col-op-lit comparisons fuses into a sequence of
+        // kernel passes — and the tag lists them in conjunct order.
+        // (Cols 1 and 2 are not covered by any index, so no access path
+        // fires.)
+        let fused = Plan::scan("V").select(Expr::and(vec![
+            Expr::col_eq_lit(1, 2i64),
+            Expr::col_eq_lit(2, "+"),
+        ]));
+        let text = render_with_snapshot(&db, &fused);
+        assert!(text.contains("kernel=and[eq:int,eq:str]"), "{text}");
+        // Deterministic.
+        assert_eq!(text, render_with_snapshot(&db, &fused));
         // A predicate the kernel compiler rejects falls back to the
-        // row-wise interpreter — and says so. (Cols 1 and 2 are not
-        // covered by any index, so no access path fires either.)
-        let fallback = Plan::scan("V").select(Expr::and(vec![
+        // row-wise interpreter — and says so.
+        let fallback = Plan::scan("V").select(Expr::or(vec![
             Expr::col_eq_lit(1, 2i64),
             Expr::col_eq_lit(2, "+"),
         ]));
         let text = render_with_snapshot(&db, &fallback);
         assert!(text.contains("kernel=rowwise"), "{text}");
-        // Deterministic.
-        assert_eq!(text, render_with_snapshot(&db, &fallback));
+        // An AND with a non-compilable conjunct also falls back.
+        let mixed = Plan::scan("V").select(Expr::and(vec![
+            Expr::col_eq_lit(1, 2i64),
+            Expr::col_eq_col(1, 2),
+        ]));
+        let text = render_with_snapshot(&db, &mixed);
+        assert!(text.contains("kernel=rowwise"), "{text}");
         // An index-served selection runs no filter kernel: the access
         // note and the kernel note are mutually exclusive.
         let indexed = Plan::scan("V").select(Expr::col_eq_lit(0, 3i64));

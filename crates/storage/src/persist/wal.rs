@@ -1,0 +1,590 @@
+//! The write-ahead log: segmented, length-prefixed, CRC-checksummed
+//! frames of opaque payloads.
+//!
+//! ## On-disk layout
+//!
+//! A log is a directory of segment files `wal-<first_lsn:016x>.log`.
+//! Each segment starts with a 16-byte header (`b"BDBWAL01"` + the
+//! segment's first LSN, little-endian) followed by frames:
+//!
+//! ```text
+//! [payload_len: u32 LE][crc32: u32 LE][lsn: u64 LE][payload bytes]
+//! ```
+//!
+//! The CRC covers the LSN and the payload, so a frame that was torn
+//! mid-write (partial tail after a crash) or bit-flipped at rest never
+//! decodes as valid. LSNs are assigned densely starting at the
+//! segment's `first_lsn`; replay verifies the sequence, so a dropped or
+//! duplicated frame is also detected.
+//!
+//! ## Recovery contract
+//!
+//! [`replay`] returns the longest valid prefix of the log. The first
+//! invalid frame — torn tail or corrupt interior — ends the prefix: the
+//! containing segment is truncated at the last valid frame boundary and
+//! any later segments are deleted, so a subsequent append continues
+//! from a consistent state and corruption is never propagated.
+//!
+//! Appends flush to the OS on every frame (`BufWriter::flush`); fsync
+//! batching / group commit is an explicit follow-up (see ROADMAP).
+
+use super::format::crc32;
+use crate::error::{Result, StorageError};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes starting every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"BDBWAL01";
+
+/// Bytes before the first frame of a segment.
+pub const SEGMENT_HEADER_LEN: u64 = 16;
+
+/// Fixed bytes per frame in addition to the payload.
+pub const FRAME_HEADER_LEN: u64 = 16;
+
+/// Upper bound on a single frame payload; a corrupt length field must
+/// not trigger a giant allocation.
+const MAX_FRAME_PAYLOAD: u32 = 1 << 26;
+
+/// File name of the segment whose first record is `first_lsn`.
+pub fn segment_file_name(first_lsn: u64) -> String {
+    format!("wal-{first_lsn:016x}.log")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Size/location facts about one live segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    pub first_lsn: u64,
+    pub frames: u64,
+    pub bytes: u64,
+}
+
+/// Everything [`replay`] learned from a log directory.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Valid records in LSN order: `(lsn, payload)`.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Live segments in LSN order (the last one is the append target).
+    pub segments: Vec<SegmentMeta>,
+    /// The LSN the next append will receive.
+    pub next_lsn: u64,
+    /// Whether recovery truncated a torn tail or dropped corrupt frames.
+    pub truncated: bool,
+}
+
+/// An open, appendable write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    writer: BufWriter<File>,
+    active: SegmentMeta,
+    sealed: Vec<SegmentMeta>,
+    next_lsn: u64,
+    segment_limit: u64,
+}
+
+impl Wal {
+    /// Create a fresh log in `dir` whose first record will be
+    /// `start_lsn`. Any existing segment files are left untouched —
+    /// callers recover first.
+    pub fn create(dir: &Path, start_lsn: u64, segment_limit: u64) -> Result<Wal> {
+        let (writer, active) = new_segment(dir, start_lsn)?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            writer,
+            active,
+            sealed: Vec::new(),
+            next_lsn: start_lsn,
+            segment_limit: segment_limit.max(SEGMENT_HEADER_LEN + FRAME_HEADER_LEN),
+        })
+    }
+
+    /// Reopen the log after [`replay`]: appends continue in the last
+    /// live segment (or a fresh one when the directory has none).
+    pub fn open_from_replay(dir: &Path, replay: &WalReplay, segment_limit: u64) -> Result<Wal> {
+        let Some((last, sealed)) = replay.segments.split_last() else {
+            return Wal::create(dir, replay.next_lsn, segment_limit);
+        };
+        let file = OpenOptions::new()
+            .append(true)
+            .open(dir.join(segment_file_name(last.first_lsn)))?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            writer: BufWriter::new(file),
+            active: last.clone(),
+            sealed: sealed.to_vec(),
+            next_lsn: replay.next_lsn,
+            segment_limit: segment_limit.max(SEGMENT_HEADER_LEN + FRAME_HEADER_LEN),
+        })
+    }
+
+    /// Append one payload; returns its LSN. The frame is flushed to the
+    /// OS before returning. Rotates to a new segment when the active
+    /// one exceeds the segment size limit.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64> {
+        if payload.len() as u32 > MAX_FRAME_PAYLOAD {
+            return Err(StorageError::Io(format!(
+                "WAL payload of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte frame limit",
+                payload.len()
+            )));
+        }
+        if self.active.bytes >= self.segment_limit {
+            self.rotate()?;
+        }
+        let lsn = self.next_lsn;
+        let mut crc_input = Vec::with_capacity(8 + payload.len());
+        crc_input.extend_from_slice(&lsn.to_le_bytes());
+        crc_input.extend_from_slice(payload);
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&crc32(&crc_input).to_le_bytes())?;
+        self.writer.write_all(&crc_input)?;
+        self.writer.flush()?;
+        self.next_lsn += 1;
+        self.active.frames += 1;
+        self.active.bytes += FRAME_HEADER_LEN + payload.len() as u64;
+        Ok(lsn)
+    }
+
+    /// Seal the active segment and start a new one at the current LSN.
+    /// A no-op when the active segment is empty (it already starts at
+    /// the current LSN, and sealing it would collide with its
+    /// successor's file name).
+    pub fn rotate(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        if self.active.frames == 0 {
+            return Ok(());
+        }
+        let (writer, active) = new_segment(&self.dir, self.next_lsn)?;
+        self.sealed
+            .push(std::mem::replace(&mut self.active, active));
+        self.writer = writer;
+        Ok(())
+    }
+
+    /// Delete every sealed segment file (all of whose records are below
+    /// the current segment's first LSN). Called after a successful
+    /// snapshot has made them redundant.
+    pub fn prune_sealed(&mut self) -> Result<usize> {
+        let n = self.sealed.len();
+        for seg in self.sealed.drain(..) {
+            let path = self.dir.join(segment_file_name(seg.first_lsn));
+            std::fs::remove_file(&path)?;
+        }
+        Ok(n)
+    }
+
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Live segments, oldest first (sealed + active).
+    pub fn segments(&self) -> Vec<SegmentMeta> {
+        let mut out = self.sealed.clone();
+        out.push(self.active.clone());
+        out
+    }
+
+    /// Total frames across live segments.
+    pub fn frames(&self) -> u64 {
+        self.sealed.iter().map(|s| s.frames).sum::<u64>() + self.active.frames
+    }
+
+    /// Total bytes across live segments (headers included).
+    pub fn bytes(&self) -> u64 {
+        self.sealed.iter().map(|s| s.bytes).sum::<u64>() + self.active.bytes
+    }
+}
+
+fn new_segment(dir: &Path, first_lsn: u64) -> Result<(BufWriter<File>, SegmentMeta)> {
+    let path = dir.join(segment_file_name(first_lsn));
+    let file = OpenOptions::new()
+        .create_new(true)
+        .write(true)
+        .open(&path)
+        .map_err(|e| StorageError::Io(format!("create {}: {e}", path.display())))?;
+    let mut writer = BufWriter::new(file);
+    writer.write_all(SEGMENT_MAGIC)?;
+    writer.write_all(&first_lsn.to_le_bytes())?;
+    writer.flush()?;
+    Ok((
+        writer,
+        SegmentMeta {
+            first_lsn,
+            frames: 0,
+            bytes: SEGMENT_HEADER_LEN,
+        },
+    ))
+}
+
+/// List the segment files of `dir` in LSN order.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(lsn) = name.to_str().and_then(parse_segment_name) {
+            out.push((lsn, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Scan the log directory, returning the longest valid record prefix.
+/// The segment containing the first invalid frame is truncated at the
+/// last valid boundary and all later segments are deleted (see module
+/// docs), so the directory is consistent when this returns.
+pub fn replay(dir: &Path) -> Result<WalReplay> {
+    replay_covered(dir, 0)
+}
+
+/// [`replay`], but segments **fully covered** by a snapshot high-water
+/// mark (every record below `hwm`) are deleted without being scanned.
+/// A stale pre-checkpoint segment — left behind when a crash lands
+/// between snapshot write and segment pruning — is redundant by
+/// construction, so corruption inside it must not cascade into the
+/// valid post-snapshot tail the way an uncovered corrupt frame does.
+pub fn replay_covered(dir: &Path, hwm: u64) -> Result<WalReplay> {
+    let mut records = Vec::new();
+    let mut segments = Vec::new();
+    let mut truncated = false;
+    let mut expected_lsn: Option<u64> = None;
+
+    let mut listed = list_segments(dir)?;
+    // A segment is fully covered when its successor starts at or below
+    // the high-water mark (checkpoints rotate first, so the live
+    // segment always starts exactly at its snapshot's hwm).
+    while listed.len() >= 2 && listed[1].0 <= hwm {
+        let (_, path) = listed.remove(0);
+        std::fs::remove_file(&path)?;
+    }
+    let mut stop_at: Option<usize> = None;
+    for (i, (first_lsn, path)) in listed.iter().enumerate() {
+        // A gap between segments (or a bad header) invalidates this
+        // segment and everything after it.
+        let contiguous = expected_lsn.is_none_or(|e| e == *first_lsn);
+        let scan = if contiguous {
+            scan_segment(path, *first_lsn)?
+        } else {
+            SegmentScan {
+                records: Vec::new(),
+                valid_bytes: None,
+                clean: false,
+            }
+        };
+        match scan.valid_bytes {
+            None => {
+                // Header invalid: remove the file entirely.
+                std::fs::remove_file(path)?;
+                truncated = true;
+                stop_at = Some(i);
+                break;
+            }
+            Some(valid_bytes) => {
+                let frames = scan.records.len() as u64;
+                expected_lsn = Some(first_lsn + frames);
+                records.extend(scan.records);
+                segments.push(SegmentMeta {
+                    first_lsn: *first_lsn,
+                    frames,
+                    bytes: valid_bytes,
+                });
+                if !scan.clean {
+                    // Torn or corrupt tail: cut it off and stop here.
+                    let file = OpenOptions::new().write(true).open(path)?;
+                    file.set_len(valid_bytes)?;
+                    file.sync_all()?;
+                    truncated = true;
+                    stop_at = Some(i);
+                    break;
+                }
+            }
+        }
+    }
+    if let Some(stop) = stop_at {
+        for (_, path) in &listed[stop + 1..] {
+            std::fs::remove_file(path)?;
+            truncated = true;
+        }
+    }
+    let next_lsn = expected_lsn.unwrap_or(0);
+    Ok(WalReplay {
+        records,
+        segments,
+        next_lsn,
+        truncated,
+    })
+}
+
+struct SegmentScan {
+    records: Vec<(u64, Vec<u8>)>,
+    /// Byte length of the valid prefix, or `None` when even the header
+    /// is unusable.
+    valid_bytes: Option<u64>,
+    /// True iff the whole file was valid.
+    clean: bool,
+}
+
+fn scan_segment(path: &Path, first_lsn: u64) -> Result<SegmentScan> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < SEGMENT_HEADER_LEN as usize
+        || &bytes[..8] != SEGMENT_MAGIC
+        || u64::from_le_bytes(bytes[8..16].try_into().expect("8")) != first_lsn
+    {
+        return Ok(SegmentScan {
+            records: Vec::new(),
+            valid_bytes: None,
+            clean: false,
+        });
+    }
+    let mut records = Vec::new();
+    let mut pos = SEGMENT_HEADER_LEN as usize;
+    let mut lsn = first_lsn;
+    let mut clean = true;
+    while pos < bytes.len() {
+        let Some(frame) = decode_frame(&bytes[pos..], lsn) else {
+            clean = false;
+            break;
+        };
+        let (payload, frame_len) = frame;
+        records.push((lsn, payload));
+        lsn += 1;
+        pos += frame_len;
+    }
+    Ok(SegmentScan {
+        records,
+        valid_bytes: Some(pos as u64),
+        clean,
+    })
+}
+
+/// Decode one frame at the start of `buf`, verifying length, CRC, and
+/// the expected LSN. Returns `(payload, frame length)` or `None` when
+/// the frame is torn or corrupt.
+fn decode_frame(buf: &[u8], expected_lsn: u64) -> Option<(Vec<u8>, usize)> {
+    if buf.len() < FRAME_HEADER_LEN as usize {
+        return None;
+    }
+    let payload_len = u32::from_le_bytes(buf[0..4].try_into().expect("4"));
+    if payload_len > MAX_FRAME_PAYLOAD {
+        return None;
+    }
+    let total = FRAME_HEADER_LEN as usize + payload_len as usize;
+    if buf.len() < total {
+        return None;
+    }
+    let crc = u32::from_le_bytes(buf[4..8].try_into().expect("4"));
+    let body = &buf[8..total];
+    if crc32(body) != crc {
+        return None;
+    }
+    let lsn = u64::from_le_bytes(body[..8].try_into().expect("8"));
+    if lsn != expected_lsn {
+        return None;
+    }
+    Some((body[8..].to_vec(), total))
+}
+
+/// Byte spans `(offset, length)` of the valid frames in a segment file
+/// — exposed for fault-injection tests and offline inspection tools.
+pub fn frame_spans(path: &Path) -> Result<Vec<(u64, u64)>> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < SEGMENT_HEADER_LEN as usize || &bytes[..8] != SEGMENT_MAGIC {
+        return Err(StorageError::Corrupt(format!(
+            "{} is not a WAL segment",
+            path.display()
+        )));
+    }
+    let mut lsn = u64::from_le_bytes(bytes[8..16].try_into().expect("8"));
+    let mut pos = SEGMENT_HEADER_LEN as usize;
+    let mut spans = Vec::new();
+    while pos < bytes.len() {
+        let Some((_, frame_len)) = decode_frame(&bytes[pos..], lsn) else {
+            break;
+        };
+        spans.push((pos as u64, frame_len as u64));
+        pos += frame_len;
+        lsn += 1;
+    }
+    Ok(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "beliefdb-wal-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn payloads(replay: &WalReplay) -> Vec<Vec<u8>> {
+        replay.records.iter().map(|(_, p)| p.clone()).collect()
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let mut wal = Wal::create(&dir, 0, 1 << 20).unwrap();
+        for i in 0..10u8 {
+            let lsn = wal.append(&[i; 5]).unwrap();
+            assert_eq!(lsn, i as u64);
+        }
+        assert_eq!(wal.frames(), 10);
+        drop(wal);
+        let replay = replay(&dir).unwrap();
+        assert!(!replay.truncated);
+        assert_eq!(replay.next_lsn, 10);
+        assert_eq!(
+            payloads(&replay),
+            (0..10u8).map(|i| vec![i; 5]).collect::<Vec<_>>()
+        );
+        // Reopen and continue.
+        let mut wal = Wal::open_from_replay(&dir, &replay, 1 << 20).unwrap();
+        assert_eq!(wal.append(b"more").unwrap(), 10);
+        let replay = super::replay(&dir).unwrap();
+        assert_eq!(replay.records.len(), 11);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_cut() {
+        // A log of 3 frames truncated at every byte offset inside the
+        // final frame must recover exactly the first two records.
+        let dir = temp_dir("torn");
+        let mut wal = Wal::create(&dir, 0, 1 << 20).unwrap();
+        wal.append(b"alpha").unwrap();
+        wal.append(b"beta").unwrap();
+        wal.append(b"gamma").unwrap();
+        drop(wal);
+        let seg = dir.join(segment_file_name(0));
+        let spans = frame_spans(&seg).unwrap();
+        assert_eq!(spans.len(), 3);
+        let full = std::fs::read(&seg).unwrap();
+        let (last_off, last_len) = spans[2];
+        for cut in last_off..last_off + last_len {
+            std::fs::write(&seg, &full[..cut as usize]).unwrap();
+            let replay = replay(&dir).unwrap();
+            assert_eq!(
+                payloads(&replay),
+                vec![b"alpha".to_vec(), b"beta".to_vec()],
+                "cut at {cut}"
+            );
+            assert_eq!(replay.next_lsn, 2);
+            if cut > last_off {
+                assert!(replay.truncated, "cut at {cut}");
+            }
+            // Replay repaired the file: a second replay is clean.
+            let again = replay_file_len(&seg);
+            assert_eq!(again, last_off, "cut at {cut}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn replay_file_len(path: &Path) -> u64 {
+        std::fs::metadata(path).unwrap().len()
+    }
+
+    #[test]
+    fn corrupt_interior_frame_ends_the_prefix() {
+        let dir = temp_dir("flip");
+        let mut wal = Wal::create(&dir, 0, 1 << 20).unwrap();
+        for i in 0..5u8 {
+            wal.append(&[i; 8]).unwrap();
+        }
+        drop(wal);
+        let seg = dir.join(segment_file_name(0));
+        let spans = frame_spans(&seg).unwrap();
+        let mut bytes = std::fs::read(&seg).unwrap();
+        // Flip one payload byte of frame 2.
+        let (off, _) = spans[2];
+        bytes[(off + FRAME_HEADER_LEN) as usize] ^= 0x40;
+        std::fs::write(&seg, &bytes).unwrap();
+        let replay = replay(&dir).unwrap();
+        assert!(replay.truncated);
+        assert_eq!(payloads(&replay), vec![vec![0u8; 8], vec![1u8; 8]]);
+        assert_eq!(replay.next_lsn, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_later_corruption_drops_them() {
+        let dir = temp_dir("rotate");
+        // Tiny limit: every append rotates after the first.
+        let mut wal = Wal::create(&dir, 0, 48).unwrap();
+        for i in 0..6u8 {
+            wal.append(&[i; 16]).unwrap();
+        }
+        assert!(wal.segments().len() >= 3, "{:?}", wal.segments());
+        drop(wal);
+        let replay1 = replay(&dir).unwrap();
+        assert_eq!(replay1.records.len(), 6);
+        assert_eq!(replay1.segments.len(), list_segments(&dir).unwrap().len());
+        // Corrupt the second segment's first frame: later segments die.
+        let (second_lsn, second_path) = list_segments(&dir).unwrap()[1].clone();
+        let mut bytes = std::fs::read(&second_path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        std::fs::write(&second_path, &bytes).unwrap();
+        let replay2 = replay(&dir).unwrap();
+        assert!(replay2.truncated);
+        assert!(replay2.next_lsn < 6);
+        assert!(replay2.records.iter().all(|(lsn, _)| *lsn < 6));
+        // Only segments up to the corruption survive on disk.
+        let live = list_segments(&dir).unwrap();
+        assert!(live.iter().all(|(lsn, _)| *lsn <= second_lsn));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_sealed_removes_old_segments() {
+        let dir = temp_dir("prune");
+        let mut wal = Wal::create(&dir, 0, 48).unwrap();
+        for i in 0..5u8 {
+            wal.append(&[i; 16]).unwrap();
+        }
+        let before = list_segments(&dir).unwrap().len();
+        assert!(before > 1);
+        let pruned = wal.prune_sealed().unwrap();
+        assert_eq!(pruned, before - 1);
+        assert_eq!(list_segments(&dir).unwrap().len(), 1);
+        // The survivor still replays.
+        drop(wal);
+        let replay = replay(&dir).unwrap();
+        assert!(!replay.records.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_header_kills_the_segment() {
+        let dir = temp_dir("header");
+        let mut wal = Wal::create(&dir, 0, 1 << 20).unwrap();
+        wal.append(b"x").unwrap();
+        drop(wal);
+        let seg = dir.join(segment_file_name(0));
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(&seg, &bytes).unwrap();
+        let replay = replay(&dir).unwrap();
+        assert!(replay.records.is_empty());
+        assert!(replay.truncated);
+        assert!(list_segments(&dir).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -6,7 +6,10 @@
 //!
 //! Meta-commands: `\user <name>` registers a user, `\stats` prints the
 //! internal representation sizes, `\worlds` lists the belief worlds,
-//! `\help`, `\quit`. Everything else is parsed as BeliefSQL.
+//! `\open <dir>` switches to a durable database (recovering it if it
+//! exists, creating it otherwise), `\checkpoint` snapshots it, `\wal`
+//! prints log/segment/snapshot counters, `\help`, `\quit`. Everything
+//! else is parsed as BeliefSQL.
 //!
 //! Example session:
 //!
@@ -22,11 +25,14 @@ use beliefdb::core::ExternalSchema;
 use beliefdb::sql::Session;
 use std::io::{BufRead, Write};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let schema = ExternalSchema::new()
+fn naturemapping() -> ExternalSchema {
+    ExternalSchema::new()
         .with_relation("Sightings", &["sid", "uid", "species", "date", "location"])
-        .with_relation("Comments", &["cid", "comment", "sid"]);
-    let mut session = Session::new(schema)?;
+        .with_relation("Comments", &["cid", "comment", "sid"])
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = Session::new(naturemapping())?;
 
     println!("beliefdb shell — BeliefSQL over Sightings/Comments. \\help for help.");
     let stdin = std::io::stdin();
@@ -55,6 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     println!(
                         "  \\explain <q>   show the BCQ + Datalog translation + physical plans"
                     );
+                    println!("  \\open <dir>    switch to a durable database in <dir> (recover it");
+                    println!("                 if present, create it with the NatureMapping");
+                    println!("                 schema otherwise); mutations are WAL-logged");
+                    println!("  \\checkpoint    snapshot the durable database, truncate the WAL");
+                    println!("  \\wal           WAL segment/frame/byte + snapshot counters");
                     println!("  \\quit          exit");
                     println!("  anything else is BeliefSQL, e.g.:");
                     println!("    insert into BELIEF 'Bob' not Sightings values (...)");
@@ -102,6 +113,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         println!("  #{wid} {path}");
                     }
                 }
+                Some("open") => match parts.next() {
+                    Some(dir) => {
+                        let path = std::path::Path::new(dir);
+                        let result = if beliefdb::storage::PersistEngine::exists(path) {
+                            Session::open(path)
+                        } else {
+                            Session::create(path, naturemapping())
+                        };
+                        match result {
+                            Ok(s) => {
+                                session = s;
+                                let stats = session.bdms().stats();
+                                println!(
+                                    "opened {dir}: {} tuples, {} worlds, {} users",
+                                    stats.total_tuples, stats.worlds, stats.users
+                                );
+                                if let Some(wal) = session.bdms().wal_stats() {
+                                    if wal.truncated_on_open {
+                                        println!("note: recovery truncated a torn WAL tail");
+                                    }
+                                }
+                            }
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    None => println!("usage: \\open <dir>"),
+                },
+                Some("checkpoint") => match session.checkpoint() {
+                    Ok(hwm) => println!("checkpoint written (covers LSN < {hwm})"),
+                    Err(e) => println!("error: {e}"),
+                },
+                Some("wal") => match session.bdms().wal_stats() {
+                    Some(wal) => {
+                        println!(
+                            "wal: {} segment(s), {} frame(s), {} byte(s)",
+                            wal.segments, wal.frames, wal.wal_bytes
+                        );
+                        println!(
+                            "     next lsn {}, snapshot covers < {}, {} checkpoint(s) this session",
+                            wal.next_lsn, wal.snapshot_hwm, wal.checkpoints
+                        );
+                    }
+                    None => println!("in-memory session (use \\open <dir> for durability)"),
+                },
                 other => println!("unknown meta-command {other:?}; try \\help"),
             }
             continue;
