@@ -142,6 +142,20 @@ impl Session {
         Session { bdms }
     }
 
+    /// Bound the memory each query's materialization points (hash-join
+    /// builds, aggregates, sorts, distincts) may hold; past the budget
+    /// they spill to disk (grace hash join, external merge sort). The
+    /// shell exposes this as `\set memory <bytes>`. `None` (the
+    /// default) keeps everything in memory.
+    pub fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        self.bdms.set_memory_budget(bytes);
+    }
+
+    /// The per-query memory budget in effect (`None` = unlimited).
+    pub fn memory_budget(&self) -> Option<usize> {
+        self.bdms.memory_budget()
+    }
+
     pub fn bdms(&self) -> &Bdms {
         &self.bdms
     }
@@ -503,6 +517,23 @@ mod tests {
             .unwrap();
         assert_eq!(n, 0);
         assert_eq!(columns, vec!["S.sid".to_string()]);
+    }
+
+    #[test]
+    fn memory_budget_threads_through_select_and_explain() {
+        let mut s = session();
+        let sql = "select S.sid, S.species from BELIEF 'Bob' Sightings as S";
+        let want = s.query(sql).unwrap();
+        assert_eq!(s.memory_budget(), None);
+        s.set_memory_budget(Some(0));
+        assert_eq!(s.memory_budget(), Some(0));
+        // Identical answers under a zero budget (everything spills)...
+        assert_eq!(s.query(sql).unwrap(), want);
+        // ...and EXPLAIN carries the spill tags.
+        let text = s.explain(sql).unwrap();
+        assert!(text.contains("[spill budget="), "{text}");
+        s.set_memory_budget(None);
+        assert!(!s.explain(sql).unwrap().contains("[spill"));
     }
 
     #[test]

@@ -37,6 +37,10 @@ fn main() {
     let (rows, sweep) = run_exec_vectorized(n, reps.clamp(3, 20)).expect("exec_vectorized");
     println!("{}", format_exec_vectorized(&rows, &sweep, n));
 
+    println!("=== Spill-to-disk execution ===");
+    let rows = run_spill(n, reps.clamp(3, 20)).expect("spill");
+    println!("{}", format_spill(&rows, n));
+
     println!("=== Persistence ===");
     // WAL appends are per-statement syscalls: cap the workload so the
     // full experiment run stays interactive at large --n.

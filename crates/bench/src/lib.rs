@@ -551,6 +551,146 @@ pub fn format_exec_vectorized(
 }
 
 // ---------------------------------------------------------------------------
+// Spill-to-disk materialization points
+// ---------------------------------------------------------------------------
+
+/// One measured cell of the spill comparison: a plan at a budget.
+#[derive(Debug, Clone)]
+pub struct SpillRow {
+    pub plan: &'static str,
+    /// `"inf"`, `"1/2"`, or `"1/10"` of the input volume.
+    pub budget_label: &'static str,
+    pub budget: Option<usize>,
+    pub time: Duration,
+    /// The unlimited (fully in-memory) time for the same plan.
+    pub in_memory: Duration,
+    pub result_size: usize,
+}
+
+impl SpillRow {
+    /// Budgeted over in-memory time ratio (>1 means spilling costs).
+    pub fn slowdown(&self) -> f64 {
+        self.time.as_secs_f64() / self.in_memory.as_secs_f64().max(1e-12)
+    }
+}
+
+/// The spill workload plans: a full sort, a high-cardinality aggregate,
+/// a distinct, and the wide join — each materializing O(input) without
+/// a budget.
+pub fn spill_plans() -> Vec<(&'static str, beliefdb_storage::Plan)> {
+    use beliefdb_storage::{Agg, Plan};
+    vec![
+        ("sort", Plan::scan("F").sort(vec![2, 0])),
+        (
+            "aggregate",
+            Plan::Aggregate {
+                input: Box::new(Plan::scan("F")),
+                group_by: vec![2],
+                aggs: vec![Agg::Count, Agg::Max(0)],
+            },
+        ),
+        ("distinct", Plan::scan("F").distinct()),
+        ("join", Plan::scan("F").join(Plan::scan("D"), vec![(1, 0)])),
+    ]
+}
+
+/// Approximate budget for a fraction of the `F` table's accounted
+/// footprint (three-int rows ≈ 70 bytes in the executor's accounting).
+pub fn spill_budget(n: usize, num: usize, den: usize) -> usize {
+    n * 70 * num / den
+}
+
+/// Time the spill workloads at budgets ∞, ½·input, and ⅒·input
+/// (best-of-`reps`), asserting the budgeted executor agrees with the
+/// in-memory one before anything is timed.
+pub fn run_spill(n: usize, reps: usize) -> Result<Vec<SpillRow>> {
+    use beliefdb_storage::{execute, Executor, SpillOptions};
+    let db = exec_streaming_db(n)?;
+    let best = |f: &dyn Fn() -> usize| -> Duration {
+        let mut best = Duration::MAX;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            best = best.min(start.elapsed());
+        }
+        best
+    };
+    let budgets: [(&'static str, Option<usize>); 3] = [
+        ("inf", None),
+        ("1/2", Some(spill_budget(n, 1, 2))),
+        ("1/10", Some(spill_budget(n, 1, 10))),
+    ];
+    let run = |plan: &beliefdb_storage::Plan, budget: Option<usize>| -> usize {
+        let exec = match budget {
+            Some(b) => Executor::with_spill(&db, SpillOptions::with_budget(b)),
+            None => Executor::new(&db),
+        };
+        let mut out = 0usize;
+        for chunk in exec.open_chunks(plan).expect("open") {
+            out += chunk.expect("chunk").len();
+        }
+        out
+    };
+    let mut rows = Vec::new();
+    for (name, plan) in &spill_plans() {
+        let mut reference = execute(&db, plan)?;
+        reference.sort();
+        // One baseline measurement per plan; every budget row compares
+        // against it. The "inf" row is the same configuration but gets
+        // its own independent sample — that difference is what the
+        // <5%-regression guard actually measures.
+        let in_memory = best(&|| run(plan, None));
+        for (label, budget) in budgets {
+            let time = match budget {
+                None => best(&|| run(plan, None)),
+                Some(b) => {
+                    let mut got = Executor::with_spill(&db, SpillOptions::with_budget(b))
+                        .open_chunks(plan)?
+                        .collect_rows()?;
+                    got.sort();
+                    assert_eq!(got, reference, "budgeted executor diverged on {name}");
+                    best(&|| run(plan, budget))
+                }
+            };
+            rows.push(SpillRow {
+                plan: name,
+                budget_label: label,
+                budget,
+                time,
+                in_memory,
+                result_size: reference.len(),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Render the spill comparison as a small report table.
+pub fn format_spill(rows: &[SpillRow], n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Spill-to-disk materialization points (fact table of {n} rows; \
+         budgets as fractions of the input volume)\n"
+    ));
+    out.push_str(&format!(
+        "{:<12}{:>8}{:>14}{:>14}{:>10}{:>10}\n",
+        "plan", "budget", "time(ms)", "in-mem(ms)", "slowdown", "rows"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12}{:>8}{:>14.3}{:>14.3}{:>9.2}x{:>10}\n",
+            r.plan,
+            r.budget_label,
+            r.time.as_secs_f64() * 1e3,
+            r.in_memory.as_secs_f64() * 1e3,
+            r.slowdown(),
+            r.result_size
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Persistence (WAL / snapshot / recovery)
 // ---------------------------------------------------------------------------
 
@@ -571,6 +711,7 @@ pub fn no_auto_checkpoint() -> beliefdb_core::PersistOptions {
     beliefdb_core::PersistOptions {
         segment_limit: 1 << 20,
         checkpoint_threshold: u64::MAX,
+        sync_on_commit: false,
     }
 }
 
@@ -861,6 +1002,44 @@ mod tests {
         let rendered = format_exec_vectorized(&rows, &sweep, 2_000);
         assert!(rendered.contains("chunked(ms)"));
         assert!(rendered.contains("batch=1024"));
+    }
+
+    #[test]
+    fn spill_harness_runs_and_meets_the_slowdown_bar() {
+        let n = if cfg!(debug_assertions) {
+            6_000
+        } else {
+            40_000
+        };
+        let rows = run_spill(n, 3).unwrap();
+        assert_eq!(rows.len(), 12, "4 plans x 3 budgets");
+        for r in &rows {
+            assert!(r.result_size > 0, "{r:?}");
+            // Timing bars only mean something on optimized builds; the
+            // debug run still exercises every path and the differential
+            // assertion inside run_spill.
+            if cfg!(debug_assertions) {
+                continue;
+            }
+            match r.budget_label {
+                // Unlimited budget takes the identical in-memory code
+                // path: any measured difference is noise (generous bar
+                // so CI machines don't flake).
+                "inf" => assert!(r.slowdown() < 1.5, "inf-budget regressed: {r:?}"),
+                // The acceptance bar: spilling at 1/10 of the input
+                // costs at most 3x the in-memory run.
+                "1/10" => assert!(
+                    r.slowdown() <= 3.0,
+                    "{} at 1/10 budget: {:.2}x exceeds the 3x bar",
+                    r.plan,
+                    r.slowdown()
+                ),
+                _ => {}
+            }
+        }
+        let rendered = format_spill(&rows, n);
+        assert!(rendered.contains("slowdown"));
+        assert!(rendered.contains("1/10"));
     }
 
     #[test]

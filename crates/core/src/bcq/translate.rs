@@ -220,9 +220,23 @@ pub fn translate(store: &InternalStore, q: &Bcq) -> Result<TranslatedQuery> {
 /// optimized plans are cached in the store keyed by (program, table
 /// versions), so repeat queries skip the rewrite passes entirely.
 pub fn evaluate(store: &InternalStore, q: &Bcq) -> Result<Vec<Row>> {
+    evaluate_with_budget(store, q, None)
+}
+
+/// [`evaluate`] under a per-query memory budget (bytes): the chunked
+/// executor's materialization points spill to disk past their share of
+/// it (grace hash join, external merge sort — see
+/// `beliefdb_storage::exec::spill`). `None` is exactly [`evaluate`].
+pub fn evaluate_with_budget(
+    store: &InternalStore,
+    q: &Bcq,
+    memory_budget: Option<usize>,
+) -> Result<Vec<Row>> {
     use beliefdb_storage::datalog::PlanCache;
     let translated = translate(store, q)?;
-    let mut ev = Evaluator::new(store.database()).seed_stats(store.stats_catalog());
+    let mut ev = Evaluator::new(store.database())
+        .seed_stats(store.stats_catalog())
+        .with_memory_budget(memory_budget);
     // The cache lock is held only for the brief lookup/store calls —
     // never while plans execute — so concurrent queries don't serialize
     // on each other's evaluation.
@@ -250,9 +264,22 @@ pub fn evaluate(store: &InternalStore, q: &Bcq) -> Result<Vec<Row>> {
 /// order; intermediate temp tables are still materialized (they feed
 /// later rules).
 pub fn evaluate_streaming(store: &InternalStore, q: &Bcq, sink: impl FnMut(Row)) -> Result<()> {
+    evaluate_streaming_with_budget(store, q, None, sink)
+}
+
+/// [`evaluate_streaming`] under a per-query memory budget (bytes); see
+/// [`evaluate_with_budget`].
+pub fn evaluate_streaming_with_budget(
+    store: &InternalStore,
+    q: &Bcq,
+    memory_budget: Option<usize>,
+    sink: impl FnMut(Row),
+) -> Result<()> {
     use beliefdb_storage::datalog::PlanCache;
     let translated = translate(store, q)?;
-    let mut ev = Evaluator::new(store.database()).seed_stats(store.stats_catalog());
+    let mut ev = Evaluator::new(store.database())
+        .seed_stats(store.stats_catalog())
+        .with_memory_budget(memory_budget);
     // Same brief-lock cache protocol as [`evaluate`]: a repeat query
     // streams the cached answer plan directly, skipping rewrite passes
     // and intermediate re-derivation.
@@ -322,8 +349,21 @@ fn collect_answer(ev: &Evaluator<'_>, translated: &TranslatedQuery) -> Result<Ve
 /// Full `EXPLAIN` of a query: the Datalog program Algorithm 1 produces,
 /// followed by the optimized physical plan of every rule.
 pub fn explain(store: &InternalStore, q: &Bcq) -> Result<String> {
+    explain_with_budget(store, q, None)
+}
+
+/// [`explain`] under a per-query memory budget: materialization points
+/// additionally carry `[spill budget=… partitions=…]` tags showing the
+/// per-point share and partition fan-out.
+pub fn explain_with_budget(
+    store: &InternalStore,
+    q: &Bcq,
+    memory_budget: Option<usize>,
+) -> Result<String> {
     let translated = translate(store, q)?;
-    let mut ev = Evaluator::new(store.database()).seed_stats(store.stats_catalog());
+    let mut ev = Evaluator::new(store.database())
+        .seed_stats(store.stats_catalog())
+        .with_memory_budget(memory_budget);
     ev.explain_program(&translated.program)
         .map_err(BeliefError::from)
 }

@@ -79,6 +79,11 @@ impl PlanCacheStats {
 pub struct Bdms {
     store: InternalStore,
     persist: Option<Durability>,
+    /// Per-query memory budget (bytes) for the chunked executor's
+    /// materialization points; past it they spill to disk (grace hash
+    /// join, external merge sort, partitioned aggregate/distinct).
+    /// `None` = unlimited.
+    memory_budget: Option<usize>,
 }
 
 impl std::fmt::Debug for Bdms {
@@ -98,6 +103,7 @@ impl Bdms {
         Ok(Bdms {
             store: InternalStore::new(schema)?,
             persist: None,
+            memory_budget: None,
         })
     }
 
@@ -122,6 +128,7 @@ impl Bdms {
         Ok(Bdms {
             store,
             persist: Some(durability),
+            memory_budget: None,
         })
     }
 
@@ -153,6 +160,7 @@ impl Bdms {
             persist: Some(Durability {
                 engine: recovered.engine,
             }),
+            memory_budget: None,
         };
         // Fold a long replayed tail into a snapshot now, so the *next*
         // open is fast again.
@@ -163,6 +171,22 @@ impl Bdms {
     /// Whether this BDMS writes through to a durable directory.
     pub fn is_durable(&self) -> bool {
         self.persist.is_some()
+    }
+
+    /// Bound the memory each query's materialization points (hash-join
+    /// builds, aggregates, sorts, distincts) may hold; past the budget
+    /// they spill to disk — grace hash join, external merge sort,
+    /// partitioned aggregate/distinct (`beliefdb_storage::exec::spill`).
+    /// `None` (the default) keeps everything in memory. Affects
+    /// [`Bdms::query`], [`Bdms::query_streaming`], and EXPLAIN tags;
+    /// the differential/naive paths are unaffected.
+    pub fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        self.memory_budget = bytes;
+    }
+
+    /// The per-query memory budget in effect (`None` = unlimited).
+    pub fn memory_budget(&self) -> Option<usize> {
+        self.memory_budget
     }
 
     /// Write a snapshot of the current state and truncate the WAL it
@@ -320,7 +344,7 @@ impl Bdms {
     /// Evaluate a belief conjunctive query via the Algorithm 1 translation.
     /// Rule plans are optimized by the storage layer's cost-based optimizer.
     pub fn query(&self, q: &Bcq) -> Result<Vec<Row>> {
-        bcq::translate::evaluate(&self.store, q)
+        bcq::translate::evaluate_with_budget(&self.store, q, self.memory_budget)
     }
 
     /// Evaluate a BCQ, streaming answer rows into `sink` as the final
@@ -330,7 +354,7 @@ impl Bdms {
     /// BeliefSQL shell) use to show first results before the query
     /// finishes.
     pub fn query_streaming(&self, q: &Bcq, sink: impl FnMut(Row)) -> Result<()> {
-        bcq::translate::evaluate_streaming(&self.store, q, sink)
+        bcq::translate::evaluate_streaming_with_budget(&self.store, q, self.memory_budget, sink)
     }
 
     /// Evaluate via the Algorithm 1 translation with the optimizer off:
@@ -359,7 +383,7 @@ impl Bdms {
     /// `EXPLAIN`: the optimized physical plan of every Datalog rule the
     /// Algorithm 1 translation produces for this query.
     pub fn explain_query(&self, q: &Bcq) -> Result<String> {
-        bcq::translate::explain(&self.store, q)
+        bcq::translate::explain_with_budget(&self.store, q, self.memory_budget)
     }
 
     /// Evaluate via the naive Def. 14 evaluator (reference semantics; used
@@ -663,6 +687,43 @@ mod tests {
         assert_eq!(streamed, after);
         let (h3, _) = bdms.internal().with_plan_cache(|c| (c.hits(), c.misses()));
         assert_eq!(h3, 2);
+    }
+
+    #[test]
+    fn memory_budget_spills_without_changing_answers() {
+        let (mut bdms, alice, _, _) = running_bdms();
+        let s = bdms.schema().relation_id("Sightings").unwrap();
+        // A join-heavy query (two subgoals share sid) plus the content
+        // query: both must be identical under a zero budget, where every
+        // materialization point spills.
+        let q = Bcq::builder(vec![qv("u2"), qv("sp1"), qv("sp2")])
+            .positive(
+                vec![pu(alice)],
+                s,
+                vec![qv("sid"), qany(), qv("sp1"), qany(), qany()],
+            )
+            .positive(
+                vec![pv("u2")],
+                s,
+                vec![qv("sid"), qany(), qv("sp2"), qany(), qany()],
+            )
+            .build(bdms.schema())
+            .unwrap();
+        let want = bdms.query(&q).unwrap();
+        assert_eq!(bdms.memory_budget(), None);
+        bdms.set_memory_budget(Some(0));
+        assert_eq!(bdms.memory_budget(), Some(0));
+        assert_eq!(bdms.query(&q).unwrap(), want);
+        let mut streamed = Vec::new();
+        bdms.query_streaming(&q, |row| streamed.push(row)).unwrap();
+        streamed.sort();
+        assert_eq!(streamed, want);
+        // EXPLAIN reports the spill budget at materialization points —
+        // and stops once the budget is lifted.
+        let text = bdms.explain_query(&q).unwrap();
+        assert!(text.contains("[spill budget=0 partitions="), "{text}");
+        bdms.set_memory_budget(None);
+        assert!(!bdms.explain_query(&q).unwrap().contains("[spill"));
     }
 
     #[test]

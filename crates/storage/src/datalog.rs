@@ -304,20 +304,30 @@ pub struct Evaluator<'a> {
     /// Which executor runs rule plans (differential testing and the
     /// vectorization benches switch this; production stays chunked).
     mode: ExecMode,
+    /// Memory budget for the chunked executor's materialization points
+    /// (see [`crate::exec::spill`]); unlimited by default. The row and
+    /// materializing executors ignore it (they are test baselines).
+    spill: crate::exec::SpillOptions,
 }
 
 /// Pull every result row of `plan` through the chosen executor into
 /// `sink`, in executor order. The chunked path hands whole batches
 /// across the executor boundary — the per-row virtual call of the PR 2
 /// interface happens only inside this loop, not per operator.
-fn drive(db: &Database, plan: &Plan, mode: ExecMode, mut sink: impl FnMut(Row)) -> Result<()> {
+fn drive(
+    db: &Database,
+    plan: &Plan,
+    mode: ExecMode,
+    spill: &crate::exec::SpillOptions,
+    mut sink: impl FnMut(Row),
+) -> Result<()> {
     match mode {
         ExecMode::Chunked => {
             // Drain through a reused scratch buffer so each chunk's
             // backing storage goes back to the executor's pool instead
             // of being reallocated per batch.
             let mut scratch: Vec<Row> = Vec::new();
-            for chunk in crate::exec::stream_chunks(db, plan)? {
+            for chunk in crate::exec::Executor::with_spill(db, spill.clone()).open_chunks(plan)? {
                 chunk?.drain_into(&mut scratch);
                 for row in scratch.drain(..) {
                     sink(row);
@@ -346,6 +356,7 @@ impl<'a> Evaluator<'a> {
             optimizer: Some(crate::opt::OptimizerOptions::default()),
             stats: None,
             mode: ExecMode::Chunked,
+            spill: crate::exec::SpillOptions::unlimited(),
         }
     }
 
@@ -357,6 +368,7 @@ impl<'a> Evaluator<'a> {
             optimizer: None,
             stats: None,
             mode: ExecMode::Chunked,
+            spill: crate::exec::SpillOptions::unlimited(),
         }
     }
 
@@ -368,6 +380,7 @@ impl<'a> Evaluator<'a> {
             optimizer: Some(opts),
             stats: None,
             mode: ExecMode::Chunked,
+            spill: crate::exec::SpillOptions::unlimited(),
         }
     }
 
@@ -391,6 +404,22 @@ impl<'a> Evaluator<'a> {
     /// Evaluate rule plans with an explicit executor.
     pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Bound the memory the chunked executor's materialization points
+    /// (hash-join builds, aggregates, sorts, distincts) may hold per
+    /// query; past the budget they spill to disk (grace hash join,
+    /// external merge sort — see [`crate::exec::spill`]). `None` (the
+    /// default) keeps every materialization fully in memory.
+    pub fn with_memory_budget(mut self, budget: Option<usize>) -> Self {
+        self.spill.budget = budget;
+        self
+    }
+
+    /// Replace the full spill options (budget + run-file directory).
+    pub fn with_spill_options(mut self, spill: crate::exec::SpillOptions) -> Self {
+        self.spill = spill;
         self
     }
 
@@ -438,7 +467,12 @@ impl<'a> Evaluator<'a> {
             let plan = self.plan_rule(rule)?;
             self.refresh_stats();
             let stats = self.stats.as_ref().expect("just refreshed");
-            out.push_str(&crate::opt::render(self.db, stats, &plan));
+            out.push_str(&crate::opt::render_with_budget(
+                self.db,
+                stats,
+                &plan,
+                self.spill.budget,
+            ));
             if i + 1 < program.rules.len() {
                 let rows = execute(self.db, &plan)?;
                 self.materialize_head(rule, rows)?;
@@ -481,9 +515,10 @@ impl<'a> Evaluator<'a> {
     fn consume_into_head(&mut self, rule: &Rule, plan: &Plan) -> Result<()> {
         let db = self.db;
         let mode = self.mode;
+        let spill = self.spill.clone();
         let entry = self.head_entry(rule)?;
         let mut seen: HashSet<Row> = entry.1.iter().cloned().collect();
-        drive(db, plan, mode, |row| {
+        drive(db, plan, mode, &spill, |row| {
             if seen.insert(row.clone()) {
                 entry.1.push(row);
             }
@@ -656,7 +691,7 @@ impl<'a> Evaluator<'a> {
             }
             None => HashSet::new(),
         };
-        drive(self.db, &plan, self.mode, |row| {
+        drive(self.db, &plan, self.mode, &self.spill, |row| {
             if seen.insert(row.clone()) {
                 sink(row);
             }
@@ -690,7 +725,7 @@ impl<'a> Evaluator<'a> {
         }
         let mut seen: HashSet<Row> = HashSet::new();
         for plan in plans {
-            drive(self.db, plan, self.mode, |row| {
+            drive(self.db, plan, self.mode, &self.spill, |row| {
                 if seen.insert(row.clone()) {
                     sink(row);
                 }
@@ -726,7 +761,7 @@ impl<'a> Evaluator<'a> {
             plan = crate::opt::optimize_with(self.db, plan, opts)?;
         }
         let mut rows = Vec::new();
-        drive(self.db, &plan, self.mode, |row| rows.push(row))?;
+        drive(self.db, &plan, self.mode, &self.spill, |row| rows.push(row))?;
         dedup_rows(&mut rows);
         Ok(rows)
     }

@@ -8,10 +8,16 @@
 //!   with selection vectors; filters run columnar kernels into the
 //!   selection vector, projections precompile their column maps, and
 //!   hash joins probe a whole chunk per call. Scan, Selection,
-//!   Projection, Union, Distinct, Limit, and the probe side of
-//!   (anti-)joins pipeline; the hash-join build side, Aggregate, and
-//!   Sort are the only materialization points. [`RowStream`] adapts the
-//!   chunk pipeline to the row-at-a-time interface for external sinks;
+//!   Projection, Union, Limit, and the probe side of (anti-)joins
+//!   pipeline; the **materialization points** are the hash-join build
+//!   side, Aggregate, Sort, and Distinct's seen-set (Distinct streams
+//!   first occurrences but still accumulates every distinct row). Each
+//!   of those four can spill to disk under a per-query memory budget —
+//!   grace hash join, external merge sort, partial-aggregate and
+//!   distinct partitioning; see [`spill`] — while the anti-join build
+//!   side and cross-join right side remain in-memory (documented
+//!   follow-up). [`RowStream`] adapts the chunk pipeline to the
+//!   row-at-a-time interface for external sinks;
 //! * the **row-at-a-time streaming executor** ([`stream_rows`],
 //!   [`execute_rows`], [`rows::RowExecutor`]) — the PR 2 tuple-at-a-time
 //!   pipeline, kept as the baseline the `exec_vectorized` bench measures
@@ -31,10 +37,12 @@
 //! on the other side instead of materializing it.
 
 pub mod rows;
+pub mod spill;
 pub mod stream;
 
 pub use rows::{stream_rows, RowExecutor};
-pub(crate) use stream::selection_kernel_label;
+pub use spill::{spill_points, SpillOptions, SPILL_PARTITIONS};
+pub(crate) use stream::{chunked_owned, selection_kernel_label};
 pub use stream::{stream, stream_chunks, Chunk, ChunkStream, Executor, RowStream, BATCH_SIZE};
 
 use crate::catalog::Database;
@@ -502,60 +510,103 @@ fn anti_join_rows(
     Ok(out)
 }
 
+/// One aggregate accumulator. Deliberately **mergeable**: counts sum and
+/// min/max compose, so the spilling aggregate ([`spill`]) can write
+/// partial accumulator rows to disk and combine them later. A `None`
+/// min/max means "no row seen yet" and encodes as `Null` in a partial
+/// row — sound because `Null` is the bottom of the value order (max
+/// ignores it) and a group is only ever created by a real row (min never
+/// sees a phantom `None` next to real values).
+#[derive(Clone)]
+pub(crate) enum Acc {
+    Count(i64),
+    Max(Option<Value>),
+    Min(Option<Value>),
+}
+
+/// Fresh accumulators for an aggregate list.
+pub(crate) fn fresh_accs(aggs: &[Agg]) -> Vec<Acc> {
+    aggs.iter()
+        .map(|a| match a {
+            Agg::Count => Acc::Count(0),
+            Agg::Max(_) => Acc::Max(None),
+            Agg::Min(_) => Acc::Min(None),
+        })
+        .collect()
+}
+
+/// Fold one input row into a group's accumulators.
+pub(crate) fn update_accs(accs: &mut [Acc], aggs: &[Agg], row: &Row) -> Result<()> {
+    for (acc, agg) in accs.iter_mut().zip(aggs) {
+        match (acc, agg) {
+            (Acc::Count(n), Agg::Count) => *n += 1,
+            (Acc::Max(m), Agg::Max(c)) => {
+                let v = &row[*c];
+                if m.as_ref().is_none_or(|cur| v > cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            (Acc::Min(m), Agg::Min(c)) => {
+                let v = &row[*c];
+                if m.as_ref().is_none_or(|cur| v < cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            _ => {
+                return Err(StorageError::PlanError(
+                    "aggregate accumulator mismatch".into(),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Merge one set of partial accumulators into another (the spilling
+/// aggregate's combine step). Counts sum; min/max take the extremum,
+/// with `None` acting as the identity.
+pub(crate) fn merge_accs(into: &mut [Acc], from: &[Acc]) {
+    for (a, b) in into.iter_mut().zip(from) {
+        match (a, b) {
+            (Acc::Count(x), Acc::Count(y)) => *x += y,
+            (Acc::Max(x), Acc::Max(y)) => {
+                if let Some(v) = y {
+                    if x.as_ref().is_none_or(|cur| v > cur) {
+                        *x = Some(v.clone());
+                    }
+                }
+            }
+            (Acc::Min(x), Acc::Min(y)) => {
+                if let Some(v) = y {
+                    if x.as_ref().is_none_or(|cur| v < cur) {
+                        *x = Some(v.clone());
+                    }
+                }
+            }
+            _ => debug_assert!(false, "merging mismatched accumulators"),
+        }
+    }
+}
+
 /// Hash aggregation over a stream of rows. Shared by both executors: the
 /// accumulators consume rows one at a time, so only one row per group is
 /// ever held (the aggregate's output, not its input, bounds the memory).
+/// The memory-budgeted counterpart is [`spill::grace_aggregate`].
 fn aggregate_stream(
     rows: impl Iterator<Item = Result<Row>>,
     group_by: &[usize],
     aggs: &[Agg],
 ) -> Result<Vec<Row>> {
-    #[derive(Clone)]
-    enum Acc {
-        Count(i64),
-        Max(Option<Value>),
-        Min(Option<Value>),
-    }
-    let fresh = || -> Vec<Acc> {
-        aggs.iter()
-            .map(|a| match a {
-                Agg::Count => Acc::Count(0),
-                Agg::Max(_) => Acc::Max(None),
-                Agg::Min(_) => Acc::Min(None),
-            })
-            .collect()
-    };
     let mut groups: HashMap<Box<[Value]>, Vec<Acc>> = HashMap::new();
     // Global aggregation over zero rows must still produce one row.
     if group_by.is_empty() {
-        groups.insert(Box::from([]), fresh());
+        groups.insert(Box::from([]), fresh_accs(aggs));
     }
     for row in rows {
         let row = row?;
         let key: Box<[Value]> = group_by.iter().map(|&c| row[c].clone()).collect();
-        let accs = groups.entry(key).or_insert_with(fresh);
-        for (acc, agg) in accs.iter_mut().zip(aggs) {
-            match (acc, agg) {
-                (Acc::Count(n), Agg::Count) => *n += 1,
-                (Acc::Max(m), Agg::Max(c)) => {
-                    let v = &row[*c];
-                    if m.as_ref().is_none_or(|cur| v > cur) {
-                        *m = Some(v.clone());
-                    }
-                }
-                (Acc::Min(m), Agg::Min(c)) => {
-                    let v = &row[*c];
-                    if m.as_ref().is_none_or(|cur| v < cur) {
-                        *m = Some(v.clone());
-                    }
-                }
-                _ => {
-                    return Err(StorageError::PlanError(
-                        "aggregate accumulator mismatch".into(),
-                    ))
-                }
-            }
-        }
+        let accs = groups.entry(key).or_insert_with(|| fresh_accs(aggs));
+        update_accs(accs, aggs, &row)?;
     }
     let mut out = Vec::with_capacity(groups.len());
     for (key, accs) in groups {

@@ -47,6 +47,7 @@
 //! interface (`Iterator<Item = Result<Row>>`) is source-compatible.
 
 use super::rows::base_access;
+use super::spill::{self, SpillCtx, SpillOptions};
 use super::{aggregate_stream, try_index_selection};
 use crate::catalog::Database;
 use crate::error::Result;
@@ -229,7 +230,7 @@ impl Chunk {
 
     /// Restrict the live rows by `keep`, refining the selection vector in
     /// place; no rows are moved or cloned.
-    fn filter_in_place(&mut self, mut keep: impl FnMut(&Row) -> bool) {
+    pub(crate) fn filter_in_place(&mut self, mut keep: impl FnMut(&Row) -> bool) {
         let rows = &self.rows;
         let mut sel = pool::take_sel(self.len());
         match self.sel.take() {
@@ -287,7 +288,7 @@ impl<'a> Iterator for ChunkIter<'a> {
 // ---------------------------------------------------------------------------
 
 /// A boxed iterator of fallible chunks — the wire between operators.
-type BoxChunkIter<'a> = Box<dyn Iterator<Item = Result<Chunk>> + 'a>;
+pub(crate) type BoxChunkIter<'a> = Box<dyn Iterator<Item = Result<Chunk>> + 'a>;
 
 /// A pull-based stream of chunks produced by [`Executor::open_chunks`].
 ///
@@ -402,6 +403,7 @@ impl Iterator for RowStream<'_> {
 pub struct Executor<'a> {
     db: &'a Database,
     batch: usize,
+    spill: SpillOptions,
 }
 
 impl<'a> Executor<'a> {
@@ -409,6 +411,7 @@ impl<'a> Executor<'a> {
         Executor {
             db,
             batch: BATCH_SIZE,
+            spill: SpillOptions::unlimited(),
         }
     }
 
@@ -418,7 +421,25 @@ impl<'a> Executor<'a> {
         Executor {
             db,
             batch: batch.max(1),
+            spill: SpillOptions::unlimited(),
         }
+    }
+
+    /// An executor whose materialization points spill to disk under the
+    /// given memory budget (see [`super::spill`]). With
+    /// [`SpillOptions::unlimited`] this is exactly [`Executor::new`].
+    pub fn with_spill(db: &'a Database, spill: SpillOptions) -> Self {
+        Executor {
+            db,
+            batch: BATCH_SIZE,
+            spill,
+        }
+    }
+
+    /// Replace this executor's spill options (builder style).
+    pub fn spill(mut self, spill: SpillOptions) -> Self {
+        self.spill = spill;
+        self
     }
 
     /// Open a plan as a chunk stream. Arities are validated once up
@@ -427,10 +448,12 @@ impl<'a> Executor<'a> {
     /// work until the stream is pulled.
     pub fn open_chunks(&self, plan: &'a Plan) -> Result<ChunkStream<'a>> {
         plan.arity(self.db)?;
+        let spill = SpillCtx::for_plan(&self.spill, plan);
         Ok(ChunkStream::new(open_node(
             self.db,
             plan,
             Batch::new(self.batch),
+            &spill,
         )?))
     }
 
@@ -658,17 +681,22 @@ impl Batch {
     }
 }
 
-fn open_node<'a>(db: &'a Database, plan: &'a Plan, batch: Batch) -> Result<BoxChunkIter<'a>> {
+fn open_node<'a>(
+    db: &'a Database,
+    plan: &'a Plan,
+    batch: Batch,
+    spill: &SpillCtx,
+) -> Result<BoxChunkIter<'a>> {
     match plan {
         Plan::Scan { table } => {
             let t = db.table(table)?;
             Ok(chunked_refs(t.iter().map(|(_, r)| r), batch.effective))
         }
         Plan::Values { rows, .. } => Ok(chunked_refs(rows.iter(), batch.effective)),
-        Plan::Selection { input, predicate } => open_selection(db, input, predicate, batch),
+        Plan::Selection { input, predicate } => open_selection(db, input, predicate, batch, spill),
         Plan::Projection { input, exprs } => {
             let arity = input.arity(db)?;
-            let input = open_node(db, input, batch)?;
+            let input = open_node(db, input, batch, spill)?;
             // All-column projections compile to an infallible Projector
             // validated here, once; the per-row Result disappears.
             let cols: Option<Vec<usize>> = exprs
@@ -696,25 +724,38 @@ fn open_node<'a>(db: &'a Database, plan: &'a Plan, batch: Batch) -> Result<BoxCh
             right,
             on,
             residual,
-        } => open_join(db, left, right, on, residual.as_ref(), batch),
+        } => open_join(db, left, right, on, residual.as_ref(), batch, spill),
         Plan::AntiJoin {
             left,
             right,
             on,
             residual,
-        } => open_anti_join(db, left, right, on, residual.as_ref(), batch),
+        } => open_anti_join(db, left, right, on, residual.as_ref(), batch, spill),
         Plan::Distinct { input } => {
-            let input = open_node(db, input, batch)?;
-            let mut seen: HashSet<Row> = HashSet::new();
-            Ok(filter_chunks(
-                input,
-                move |row| Ok(seen.insert(row.clone())),
-            ))
+            let input = open_node(db, input, batch, spill)?;
+            match spill.per_point {
+                // Unlimited: the pre-existing streaming seen-set.
+                None => {
+                    let mut seen: HashSet<Row> = HashSet::new();
+                    Ok(filter_chunks(
+                        input,
+                        move |row| Ok(seen.insert(row.clone())),
+                    ))
+                }
+                // Budgeted: stream identically while the seen-set fits,
+                // partition to disk past the budget.
+                Some(budget) => Ok(Box::new(spill::SpillDistinct::new(
+                    input,
+                    budget,
+                    &spill.dir,
+                    batch.effective,
+                ))),
+            }
         }
         Plan::Union { inputs } => {
             let mut streams = Vec::with_capacity(inputs.len());
             for p in inputs {
-                streams.push(open_node(db, p, batch)?);
+                streams.push(open_node(db, p, batch, spill)?);
             }
             Ok(Box::new(streams.into_iter().flatten()))
         }
@@ -727,29 +768,45 @@ fn open_node<'a>(db: &'a Database, plan: &'a Plan, batch: Batch) -> Result<BoxCh
             // row, but only one row per group is ever held. The input runs
             // at the executor's full batch size regardless of any Limit
             // above (the aggregate consumes everything anyway).
-            let input = open_node(db, input, batch.full())?;
-            let rows = aggregate_stream(ChunkStream::new(input).rows(), group_by, aggs)?;
-            Ok(chunked_owned(rows, batch.effective))
+            let input = open_node(db, input, batch.full(), spill)?;
+            match spill.per_point {
+                None => {
+                    let rows = aggregate_stream(ChunkStream::new(input).rows(), group_by, aggs)?;
+                    Ok(chunked_owned(rows, batch.effective))
+                }
+                // Budgeted: partial accumulators partition to disk when
+                // the group table exceeds its share.
+                Some(budget) => spill::grace_aggregate(
+                    input,
+                    group_by,
+                    aggs,
+                    budget,
+                    &spill.dir,
+                    batch.effective,
+                ),
+            }
         }
         Plan::Sort { input, by } => {
             // Materialization point.
-            let mut rows = ChunkStream::new(open_node(db, input, batch.full())?).collect_rows()?;
-            rows.sort_by(|a, b| {
-                for &c in by {
-                    let ord = a[c].cmp(&b[c]);
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
+            let input = open_node(db, input, batch.full(), spill)?;
+            match spill.per_point {
+                None => {
+                    let mut rows = ChunkStream::new(input).collect_rows()?;
+                    rows.sort_by(|a, b| spill::cmp_by(by, a, b));
+                    Ok(chunked_owned(rows, batch.effective))
                 }
-                std::cmp::Ordering::Equal
-            });
-            Ok(chunked_owned(rows, batch.effective))
+                // Budgeted: sorted run generation + k-way merge. Produces
+                // the identical (stable) order.
+                Some(budget) => {
+                    spill::external_sort(input, by, budget, &spill.dir, batch.effective)
+                }
+            }
         }
         Plan::Limit { input, n } => {
             // Cap the subtree's batch size at n: a first-rows query pulls
             // one right-sized batch through the pipeline instead of a full
             // one (materialization points below reset to the full batch).
-            let input = open_node(db, input, batch.capped(*n))?;
+            let input = open_node(db, input, batch.capped(*n), spill)?;
             Ok(Box::new(LimitChunks {
                 input,
                 remaining: *n,
@@ -782,7 +839,7 @@ fn chunked_refs<'a>(iter: impl Iterator<Item = &'a Row> + 'a, batch: usize) -> B
 
 /// Batch an owned row vector (materialization-point outputs). A vector
 /// that fits one batch is passed through as-is — no copy, no split.
-fn chunked_owned<'a>(rows: Vec<Row>, batch: usize) -> BoxChunkIter<'a> {
+pub(crate) fn chunked_owned<'a>(rows: Vec<Row>, batch: usize) -> BoxChunkIter<'a> {
     if rows.len() <= batch {
         if rows.is_empty() {
             return Box::new(std::iter::empty());
@@ -807,6 +864,7 @@ fn open_selection<'a>(
     input: &'a Plan,
     predicate: &'a Expr,
     batch: Batch,
+    spill: &SpillCtx,
 ) -> Result<BoxChunkIter<'a>> {
     // Index access path: a selection directly over a scan whose predicate
     // pins indexed columns fetches candidates through the index (a small,
@@ -828,7 +886,7 @@ fn open_selection<'a>(
         }
         return Ok(filtered_ref_scan(refs, predicate, batch.effective));
     }
-    let input = open_node(db, input, batch)?;
+    let input = open_node(db, input, batch, spill)?;
     if let Some(kernel) = FilterKernel::compile(predicate) {
         // Kernel filters are infallible: pure selection-vector updates
         // (a fused AND runs one pass per conjunct).
@@ -1165,6 +1223,7 @@ fn open_join<'a>(
     on: &'a [(usize, usize)],
     residual: Option<&'a Expr>,
     batch: Batch,
+    spill: &SpillCtx,
 ) -> Result<BoxChunkIter<'a>> {
     if !on.is_empty() {
         if let Some((table_name, pred)) = base_access(right) {
@@ -1181,18 +1240,27 @@ fn open_join<'a>(
             if pk_path || index.is_some() {
                 // Adaptive index-nested-loop: buffer left rows (by whole
                 // chunks) up to the break-even point of the materializing
-                // heuristic (`4·|left| ≤ |table|`).
+                // heuristic (`4·|left| ≤ |table|`) — and, under a memory
+                // budget, no further than this join's byte share (the
+                // buffered left side is materialized state like any
+                // other; past the share we fall back to the hash join,
+                // which spills).
                 let budget = table.len().max(1) / 4;
-                let mut left_stream = open_node(db, left, batch)?;
+                let mut left_stream = open_node(db, left, batch, spill)?;
                 let mut buf: Vec<Row> = Vec::new();
+                let mut buf_bytes = 0usize;
                 let mut small_left = true;
                 loop {
-                    if buf.len() > budget {
+                    if buf.len() > budget || spill.per_point.is_some_and(|b| buf_bytes > b) {
                         small_left = false;
                         break;
                     }
                     match left_stream.next() {
-                        Some(chunk) => chunk?.drain_into(&mut buf),
+                        Some(chunk) => {
+                            let before = buf.len();
+                            chunk?.drain_into(&mut buf);
+                            buf_bytes += buf[before..].iter().map(spill::row_bytes).sum::<usize>();
+                        }
                         None => break,
                     }
                 }
@@ -1206,16 +1274,16 @@ fn open_join<'a>(
                 // rest of the stream and hash-join instead.
                 let probe: BoxChunkIter<'a> =
                     Box::new(chunked_owned(buf, batch.effective).chain(left_stream));
-                return hash_join(db, probe, right, on, residual, batch);
+                return hash_join(db, probe, right, on, residual, batch, spill);
             }
         }
-        let probe = open_node(db, left, batch)?;
-        return hash_join(db, probe, right, on, residual, batch);
+        let probe = open_node(db, left, batch, spill)?;
+        return hash_join(db, probe, right, on, residual, batch, spill);
     }
     // Cross/theta join: the right side is materialized once, the left
     // side pipelines chunk-at-a-time through the nested loop.
-    let rrows = ChunkStream::new(open_node(db, right, batch.full())?).collect_rows()?;
-    let left = open_node(db, left, batch)?;
+    let rrows = ChunkStream::new(open_node(db, right, batch.full(), spill)?).collect_rows()?;
+    let left = open_node(db, left, batch, spill)?;
     Ok(map_chunks(left, batch.effective, move |lrow, out| {
         for rrow in &rrows {
             let joined = lrow.concat(rrow);
@@ -1285,6 +1353,8 @@ fn index_probe(
 }
 
 /// Build a hash table over the right side, then probe whole chunks.
+/// Under a memory budget the build side may spill, turning this into a
+/// grace hash join (build and probe partitioned to disk on the key).
 fn hash_join<'a>(
     db: &'a Database,
     probe: BoxChunkIter<'a>,
@@ -1292,8 +1362,30 @@ fn hash_join<'a>(
     on: &'a [(usize, usize)],
     residual: Option<&'a Expr>,
     batch: Batch,
+    spill: &SpillCtx,
 ) -> Result<BoxChunkIter<'a>> {
-    let build = build_side(db, right, on, batch)?;
+    let build = match spill.per_point {
+        // Unlimited: the pre-existing in-memory build.
+        None => build_side(db, right, on, batch, spill)?,
+        Some(budget) => {
+            let rcols: Vec<usize> = on.iter().map(|&(_, rc)| rc).collect();
+            let input = ChunkStream::new(open_node(db, right, batch.full(), spill)?);
+            match spill::build_or_spill(input, &rcols, budget, &spill.dir)? {
+                spill::BuildSide::InMemory(map) => map,
+                spill::BuildSide::Spilled(parts) => {
+                    return Ok(Box::new(spill::GraceJoin::new(
+                        probe,
+                        parts,
+                        on,
+                        residual,
+                        budget,
+                        &spill.dir,
+                        batch.effective,
+                    )))
+                }
+            }
+        }
+    };
     Ok(map_chunks(probe, batch.effective, move |lrow, out| {
         let key: Box<[Value]> = on.iter().map(|&(lc, _)| lrow[lc].clone()).collect();
         if let Some(hits) = build.get(&key) {
@@ -1320,10 +1412,11 @@ fn build_side(
     right: &Plan,
     on: &[(usize, usize)],
     batch: Batch,
+    spill: &SpillCtx,
 ) -> Result<HashMap<Box<[Value]>, Vec<Row>>> {
     let mut build: HashMap<Box<[Value]>, Vec<Row>> = HashMap::new();
     let mut scratch: Vec<Row> = Vec::new();
-    for chunk in ChunkStream::new(open_node(db, right, batch.full())?) {
+    for chunk in ChunkStream::new(open_node(db, right, batch.full(), spill)?) {
         chunk?.drain_into(&mut scratch);
         for row in scratch.drain(..) {
             let key: Box<[Value]> = on.iter().map(|&(_, rc)| row[rc].clone()).collect();
@@ -1340,13 +1433,14 @@ fn open_anti_join<'a>(
     on: &'a [(usize, usize)],
     residual: Option<&'a Expr>,
     batch: Batch,
+    spill: &SpillCtx,
 ) -> Result<BoxChunkIter<'a>> {
-    let left_stream = open_node(db, left, batch)?;
+    let left_stream = open_node(db, left, batch, spill)?;
     if on.is_empty() {
         // A left row survives iff no right row makes the residual hold.
         // Anti-joins keep left rows unchanged, so this is a pure
         // selection-vector filter.
-        let rrows = ChunkStream::new(open_node(db, right, batch.full())?).collect_rows()?;
+        let rrows = ChunkStream::new(open_node(db, right, batch.full(), spill)?).collect_rows()?;
         return Ok(filter_chunks(left_stream, move |lrow| {
             for rrow in &rrows {
                 match residual {
@@ -1361,7 +1455,7 @@ fn open_anti_join<'a>(
             Ok(true)
         }));
     }
-    let build = build_side(db, right, on, batch)?;
+    let build = build_side(db, right, on, batch, spill)?;
     Ok(filter_chunks(left_stream, move |lrow| {
         let key: Box<[Value]> = on.iter().map(|&(lc, _)| lrow[lc].clone()).collect();
         match build.get(&key) {

@@ -51,8 +51,9 @@ pub mod value;
 pub use catalog::Database;
 pub use error::{Result, StorageError};
 pub use exec::{
-    execute, execute_materialized, execute_optimized, execute_rows, stream, stream_chunks,
-    stream_rows, Chunk, ChunkStream, Executor, RowStream, BATCH_SIZE,
+    execute, execute_materialized, execute_optimized, execute_rows, spill_points, stream,
+    stream_chunks, stream_rows, Chunk, ChunkStream, Executor, RowStream, SpillOptions, BATCH_SIZE,
+    SPILL_PARTITIONS,
 };
 pub use expr::{CmpOp, Expr};
 pub use index::RowId;

@@ -11,16 +11,38 @@
 
 use super::stats::{combine, RelEstimate, StatsCatalog};
 use crate::catalog::Database;
-use crate::exec::{access_path_note, selection_kernel_label, BATCH_SIZE};
+use crate::exec::{
+    access_path_note, selection_kernel_label, spill_points, BATCH_SIZE, SPILL_PARTITIONS,
+};
 use crate::plan::{Agg, Plan};
 
 /// Render a plan as an indented tree. Deterministic: node order follows
 /// the plan structure, estimates are integers, and no hash-map iteration
 /// is involved.
 pub fn render(db: &Database, catalog: &StatsCatalog, plan: &Plan) -> String {
+    render_with_budget(db, catalog, plan, None)
+}
+
+/// [`render`] under a per-query memory budget: every materialization
+/// point (sort, aggregate, distinct, hash-join build) additionally
+/// carries a `[spill budget=… partitions=…]` tag showing its share of
+/// the budget and the partition fan-out a spill would use. With `None`
+/// the output is byte-identical to [`render`].
+pub fn render_with_budget(
+    db: &Database,
+    catalog: &StatsCatalog,
+    plan: &Plan,
+    budget: Option<usize>,
+) -> String {
     let est = EstTree::build(catalog, plan);
+    let spill_tag = budget
+        .map(|b| {
+            let per_point = b / spill_points(plan).max(1);
+            format!(" [spill budget={per_point} partitions={SPILL_PARTITIONS}]")
+        })
+        .unwrap_or_default();
     let mut out = String::new();
-    render_node(db, plan, &est, 0, &mut out);
+    render_node(db, plan, &est, 0, &spill_tag, &mut out);
     out
 }
 
@@ -108,9 +130,31 @@ fn on_note(on: &[(usize, usize)]) -> String {
     format!(" on [{}]", pairs.join(", "))
 }
 
-fn render_node(db: &Database, plan: &Plan, est: &EstTree, depth: usize, out: &mut String) {
+/// The `[spill …]` tag for this node, or empty when it is not a
+/// materialization point (pipelined operators never spill).
+fn spill_note<'s>(plan: &Plan, tag: &'s str) -> &'s str {
+    match plan {
+        Plan::Sort { .. } | Plan::Aggregate { .. } | Plan::Distinct { .. } => tag,
+        Plan::Join { on, .. } if !on.is_empty() => tag,
+        _ => "",
+    }
+}
+
+fn render_node(
+    db: &Database,
+    plan: &Plan,
+    est: &EstTree,
+    depth: usize,
+    spill_tag: &str,
+    out: &mut String,
+) {
     indent(depth, out);
-    let exec = format!("{}{}", exec_note(plan), vectorized_note(plan));
+    let exec = format!(
+        "{}{}{}",
+        exec_note(plan),
+        vectorized_note(plan),
+        spill_note(plan, spill_tag)
+    );
     match plan {
         Plan::Scan { table } => {
             let rows = db.table(table).map(|t| t.len()).unwrap_or(0);
@@ -141,7 +185,7 @@ fn render_node(db: &Database, plan: &Plan, est: &EstTree, depth: usize, out: &mu
                 "Select {predicate}{access}{}{exec}\n",
                 est_note(est)
             ));
-            render_node(db, input, &est.children[0], depth + 1, out);
+            render_node(db, input, &est.children[0], depth + 1, spill_tag, out);
         }
         Plan::Projection { input, exprs } => {
             let cols: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
@@ -150,7 +194,7 @@ fn render_node(db: &Database, plan: &Plan, est: &EstTree, depth: usize, out: &mu
                 cols.join(", "),
                 est_note(est)
             ));
-            render_node(db, input, &est.children[0], depth + 1, out);
+            render_node(db, input, &est.children[0], depth + 1, spill_tag, out);
         }
         Plan::Join {
             left,
@@ -168,8 +212,8 @@ fn render_node(db: &Database, plan: &Plan, est: &EstTree, depth: usize, out: &mu
                 on_note(on),
                 est_note(est)
             ));
-            render_node(db, left, &est.children[0], depth + 1, out);
-            render_node(db, right, &est.children[1], depth + 1, out);
+            render_node(db, left, &est.children[0], depth + 1, spill_tag, out);
+            render_node(db, right, &est.children[1], depth + 1, spill_tag, out);
         }
         Plan::AntiJoin {
             left,
@@ -186,17 +230,17 @@ fn render_node(db: &Database, plan: &Plan, est: &EstTree, depth: usize, out: &mu
                 on_note(on),
                 est_note(est)
             ));
-            render_node(db, left, &est.children[0], depth + 1, out);
-            render_node(db, right, &est.children[1], depth + 1, out);
+            render_node(db, left, &est.children[0], depth + 1, spill_tag, out);
+            render_node(db, right, &est.children[1], depth + 1, spill_tag, out);
         }
         Plan::Distinct { input } => {
             out.push_str(&format!("Distinct{}{exec}\n", est_note(est)));
-            render_node(db, input, &est.children[0], depth + 1, out);
+            render_node(db, input, &est.children[0], depth + 1, spill_tag, out);
         }
         Plan::Union { inputs } => {
             out.push_str(&format!("Union{}{exec}\n", est_note(est)));
             for (p, e) in inputs.iter().zip(&est.children) {
-                render_node(db, p, e, depth + 1, out);
+                render_node(db, p, e, depth + 1, spill_tag, out);
             }
         }
         Plan::Aggregate {
@@ -219,7 +263,7 @@ fn render_node(db: &Database, plan: &Plan, est: &EstTree, depth: usize, out: &mu
                 aggs.join(", "),
                 est_note(est)
             ));
-            render_node(db, input, &est.children[0], depth + 1, out);
+            render_node(db, input, &est.children[0], depth + 1, spill_tag, out);
         }
         Plan::Values { arity, rows } => {
             out.push_str(&format!("Values {}x{arity}{exec}\n", rows.len()));
@@ -227,11 +271,11 @@ fn render_node(db: &Database, plan: &Plan, est: &EstTree, depth: usize, out: &mu
         Plan::Sort { input, by } => {
             let by: Vec<String> = by.iter().map(|c| format!("#{c}")).collect();
             out.push_str(&format!("Sort by [{}]{exec}\n", by.join(", ")));
-            render_node(db, input, &est.children[0], depth + 1, out);
+            render_node(db, input, &est.children[0], depth + 1, spill_tag, out);
         }
         Plan::Limit { input, n } => {
             out.push_str(&format!("Limit {n}{exec}\n"));
-            render_node(db, input, &est.children[0], depth + 1, out);
+            render_node(db, input, &est.children[0], depth + 1, spill_tag, out);
         }
     }
 }
@@ -420,6 +464,38 @@ mod tests {
             }
         }
         walk(&catalog, &plan, &tree);
+    }
+
+    #[test]
+    fn budget_tags_materialization_points_only() {
+        let db = db();
+        let plan = Plan::scan("V")
+            .join(Plan::scan("R"), vec![(1, 0)])
+            .distinct()
+            .sort(vec![0])
+            .limit(3);
+        let catalog = StatsCatalog::snapshot(&db);
+        // Three spill points (join build, distinct, sort): each gets a
+        // third of the budget, and the fan-out is reported.
+        let text = render_with_budget(&db, &catalog, &plan, Some(3 * 4096));
+        assert_eq!(text.matches("[spill budget=4096 partitions=16]").count(), 3);
+        assert!(
+            !text
+                .lines()
+                .any(|l| l.contains("Limit") && l.contains("spill")),
+            "{text}"
+        );
+        assert!(
+            !text
+                .lines()
+                .any(|l| l.contains("Scan") && l.contains("spill")),
+            "{text}"
+        );
+        // No budget: byte-identical to the plain rendering.
+        assert_eq!(
+            render_with_budget(&db, &catalog, &plan, None),
+            render(&db, &catalog, &plan)
+        );
     }
 
     #[test]

@@ -71,6 +71,16 @@ fn flatten(db: &Database, plan: Plan, start: usize, chain: &mut Chain) -> Result
     }
 }
 
+/// Rows held inline in `Values` leaves anywhere under `plan` — the rows
+/// a restoring projection would force column pruning to re-materialize.
+fn values_rows(plan: &Plan) -> usize {
+    let own = match plan {
+        Plan::Values { rows, .. } => rows.len(),
+        _ => 0,
+    };
+    own + plan.children().into_iter().map(values_rows).sum::<usize>()
+}
+
 /// True iff the executor's index-nested-loop join could probe this plan:
 /// a base-table access whose given columns are covered by the primary key
 /// or a secondary index.
@@ -203,6 +213,49 @@ fn reorder_chain(db: &Database, catalog: &StatsCatalog, plan: Plan) -> Result<Pl
     };
 
     // --- greedy ordering ---------------------------------------------------
+    // Score of joining `cand` onto an accumulator covering `placed` with
+    // `acc_rows` estimated rows: estimated output cardinality over the
+    // available equality edges, discounted when the executor can turn
+    // the join into index probes. Shared by the greedy search and the
+    // whole-order costing below so the two are never inconsistent.
+    let step_score = |placed: &[bool], acc_rows: f64, cand: usize| -> (f64, bool) {
+        let mut sel = 1.0f64;
+        let mut join_cols: Vec<usize> = Vec::new();
+        for &(a, b) in &chain.eqs {
+            let (oa, ca) = owner(a);
+            let (ob, cb) = owner(b);
+            let (acc_side, cand_col) = if placed[oa] && ob == cand {
+                (a, cb)
+            } else if placed[ob] && oa == cand {
+                (b, ca)
+            } else {
+                continue;
+            };
+            let (acc_owner, acc_local) = owner(acc_side);
+            let d_acc = ests[acc_owner]
+                .distinct
+                .get(acc_local)
+                .copied()
+                .unwrap_or(ests[acc_owner].rows);
+            let d_cand = ests[cand]
+                .distinct
+                .get(cand_col)
+                .copied()
+                .unwrap_or(ests[cand].rows);
+            sel /= d_acc.max(d_cand).max(1.0);
+            join_cols.push(cand_col);
+        }
+        let connected = !join_cols.is_empty();
+        join_cols.sort_unstable();
+        join_cols.dedup();
+        let mut score = acc_rows * ests[cand].rows * sel;
+        if connected && index_probeable(db, &chain.leaves[cand], &join_cols) {
+            // The executor can turn this join into index probes.
+            score *= 0.9;
+        }
+        (score, connected)
+    };
+
     let mut placed = vec![false; n];
     let mut order: Vec<usize> = Vec::with_capacity(n);
     // Start with the smallest leaf (ties: original order).
@@ -235,42 +288,9 @@ fn reorder_chain(db: &Database, catalog: &StatsCatalog, plan: Plan) -> Result<Pl
             if placed[cand] {
                 continue;
             }
-            let mut sel = 1.0f64;
-            let mut join_cols: Vec<usize> = Vec::new();
-            for &(a, b) in &chain.eqs {
-                let (oa, ca) = owner(a);
-                let (ob, cb) = owner(b);
-                let (acc_side, cand_col) = if placed[oa] && ob == cand {
-                    (a, cb)
-                } else if placed[ob] && oa == cand {
-                    (b, ca)
-                } else {
-                    continue;
-                };
-                let (acc_owner, acc_local) = owner(acc_side);
-                let d_acc = ests[acc_owner]
-                    .distinct
-                    .get(acc_local)
-                    .copied()
-                    .unwrap_or(ests[acc_owner].rows);
-                let d_cand = ests[cand]
-                    .distinct
-                    .get(cand_col)
-                    .copied()
-                    .unwrap_or(ests[cand].rows);
-                sel /= d_acc.max(d_cand).max(1.0);
-                join_cols.push(cand_col);
-            }
-            let connected = !join_cols.is_empty();
+            let (score, connected) = step_score(&placed, acc_rows, cand);
             if connected_exists && !connected {
                 continue; // never introduce a cross product early
-            }
-            join_cols.sort_unstable();
-            join_cols.dedup();
-            let mut score = acc_rows * ests[cand].rows * sel;
-            if connected && index_probeable(db, &chain.leaves[cand], &join_cols) {
-                // The executor can turn this join into index probes.
-                score *= 0.9;
             }
             match best {
                 Some((bs, bi)) if bs < score || (bs == score && bi < cand) => {}
@@ -282,6 +302,51 @@ fn reorder_chain(db: &Database, catalog: &StatsCatalog, plan: Plan) -> Result<Pl
         order.push(next);
         acc_rows = score.max(1.0);
     }
+
+    // --- keep the written order unless the reorder is strictly cheaper ----
+    // The greedy search minimizes each step locally; it can land on an
+    // order that is no cheaper than the one the query was written in —
+    // and a changed order is not free: the restoring projection rebuilds
+    // every output row, and the later column-pruning pass physically
+    // re-materializes any `Values` leaves (the Datalog temp tables) the
+    // projection pushes into. Cost both orders with the same per-step
+    // metric and charge the rewrite those two costs explicitly; on a tie
+    // the written order wins (the `qj3_first` regression: a chain whose
+    // selective subgoal was already written first kept being rewritten).
+    let cost_of = |order: &[usize]| -> (f64, f64) {
+        let mut placed = vec![false; n];
+        placed[order[0]] = true;
+        let mut acc = ests[order[0]].rows;
+        let mut total = 0.0;
+        for &cand in &order[1..] {
+            let (score, _) = step_score(&placed, acc, cand);
+            total += score;
+            acc = score.max(1.0);
+            placed[cand] = true;
+        }
+        (total, acc)
+    };
+    /// Per-output-row cost of the restoring projection relative to
+    /// producing a join row (a projection clone is far cheaper than a
+    /// probe + concat).
+    const PROJECTION_COST_PER_ROW: f64 = 0.05;
+    /// Per-row cost of re-materializing a `Values` leaf when column
+    /// pruning pushes the restoring projection into it.
+    const VALUES_REMAT_COST_PER_ROW: f64 = 1.0;
+    let written: Vec<usize> = (0..n).collect();
+    let order = if order == written {
+        order
+    } else {
+        let (greedy_cost, greedy_out) = cost_of(&order);
+        let (written_cost, _) = cost_of(&written);
+        let remat: f64 = chain.leaves.iter().map(|l| values_rows(l) as f64).sum();
+        let penalty = PROJECTION_COST_PER_ROW * greedy_out + VALUES_REMAT_COST_PER_ROW * remat;
+        if greedy_cost + penalty < written_cost {
+            order
+        } else {
+            written
+        }
+    };
 
     // --- rebuild left-deep -------------------------------------------------
     // Global column -> position in the accumulator output.
@@ -397,6 +462,7 @@ mod tests {
     use super::*;
     use crate::exec::execute;
     use crate::row;
+    use crate::row::Row;
     use crate::schema::TableSchema;
 
     /// Big `V`, small `Probe`, medium keyed `R` — enough skew that greedy
@@ -495,6 +561,64 @@ mod tests {
         let a = reorder_joins(&db, &catalog, original.clone()).unwrap();
         let b = reorder_joins(&db, &catalog, original).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn qj3_first_written_order_is_kept_when_not_strictly_cheaper() {
+        // The opt_onoff `qj3_first` regression: the selective subgoal is
+        // *already written first* and the remaining wide subgoals tie on
+        // estimated cost. The greedy search used to rewrite the chain
+        // anyway (starting from whichever wide leaf estimated smaller),
+        // paying a restoring projection and — because Datalog temp
+        // tables are `Values` leaves — a physical re-materialization in
+        // the pruning pass, for a plan that was not strictly cheaper.
+        // The written order must now survive untouched.
+        let db = db();
+        let catalog = StatsCatalog::snapshot(&db);
+        let wide1: Vec<Row> = (0..90i64).map(|i| row![i % 30, i]).collect();
+        let wide2: Vec<Row> = (0..80i64).map(|i| row![i % 30, i + 1000]).collect();
+        let original = Plan::Values {
+            arity: 2,
+            rows: wide1,
+        }
+        .join(
+            Plan::Values {
+                arity: 2,
+                rows: wide2,
+            },
+            vec![(0, 0)],
+        );
+        let reordered = reorder_joins(&db, &catalog, original.clone()).unwrap();
+        assert_eq!(
+            reordered, original,
+            "written order must be kept when the reorder is not strictly cheaper"
+        );
+        assert_equivalent(&db, &original, &reordered);
+    }
+
+    #[test]
+    fn equal_cost_scan_chains_keep_the_written_order() {
+        // Two keyless scans with no usable index: both directions of the
+        // join cost the same, so the rewrite (with its restoring
+        // projection) must not happen even though the right leaf has the
+        // smaller estimate.
+        let mut db = Database::new();
+        let big = db
+            .create_table(TableSchema::keyless("Big", &["k", "x"]))
+            .unwrap();
+        for i in 0..100i64 {
+            big.insert(row![i % 25, i]).unwrap();
+        }
+        let small = db
+            .create_table(TableSchema::keyless("Small", &["k", "y"]))
+            .unwrap();
+        for i in 0..80i64 {
+            small.insert(row![i % 25, i]).unwrap();
+        }
+        let catalog = StatsCatalog::snapshot(&db);
+        let original = Plan::scan("Big").join(Plan::scan("Small"), vec![(0, 0)]);
+        let reordered = reorder_joins(&db, &catalog, original.clone()).unwrap();
+        assert_eq!(reordered, original);
     }
 
     #[test]

@@ -65,6 +65,8 @@ pub fn write_snapshot(dir: &Path, hwm: u64, payload: &[u8]) -> Result<PathBuf> {
         file.sync_all()?;
     }
     std::fs::rename(&tmp_path, &final_path)?;
+    // fsync the directory so the rename itself is durable.
+    File::open(dir)?.sync_all()?;
     Ok(final_path)
 }
 

@@ -25,8 +25,17 @@
 //! any later segments are deleted, so a subsequent append continues
 //! from a consistent state and corruption is never propagated.
 //!
-//! Appends flush to the OS on every frame (`BufWriter::flush`); fsync
-//! batching / group commit is an explicit follow-up (see ROADMAP).
+//! ## Durability
+//!
+//! Appends flush to the OS on every frame (`BufWriter::flush`); real
+//! power-loss durability additionally needs an fsync, which the log
+//! issues at three points: [`Wal::sync`] (called by the engine after
+//! every mutation batch when `sync_on_commit` is on — group commit, one
+//! `sync_data` per batch, and at every checkpoint), on segment rotation
+//! (the sealed file is `sync_all`ed before its successor opens), and on
+//! close (best-effort in `Drop`). Without `sync_on_commit` a power cut
+//! can lose frames still in the OS page cache — never tear the log —
+//! so the default trades the last few records for append throughput.
 
 use super::format::crc32;
 use crate::error::{Result, StorageError};
@@ -87,6 +96,8 @@ pub struct Wal {
     sealed: Vec<SegmentMeta>,
     next_lsn: u64,
     segment_limit: u64,
+    /// fsyncs issued (group commits, checkpoints, rotations).
+    syncs: u64,
 }
 
 impl Wal {
@@ -102,6 +113,7 @@ impl Wal {
             sealed: Vec::new(),
             next_lsn: start_lsn,
             segment_limit: segment_limit.max(SEGMENT_HEADER_LEN + FRAME_HEADER_LEN),
+            syncs: 0,
         })
     }
 
@@ -121,6 +133,7 @@ impl Wal {
             sealed: sealed.to_vec(),
             next_lsn: replay.next_lsn,
             segment_limit: segment_limit.max(SEGMENT_HEADER_LEN + FRAME_HEADER_LEN),
+            syncs: 0,
         })
     }
 
@@ -152,15 +165,35 @@ impl Wal {
         Ok(lsn)
     }
 
+    /// Flush buffered frames and `sync_data` the active segment: after
+    /// this returns, every appended frame survives power loss. The
+    /// engine calls this once per mutation batch when `sync_on_commit`
+    /// is on (group commit) and at every checkpoint.
+    pub fn sync(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        self.syncs += 1;
+        Ok(())
+    }
+
+    /// fsyncs issued since this log was opened.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
     /// Seal the active segment and start a new one at the current LSN.
-    /// A no-op when the active segment is empty (it already starts at
-    /// the current LSN, and sealing it would collide with its
-    /// successor's file name).
+    /// The sealed file is fsynced (`sync_all`: its length matters for
+    /// replay) before the successor opens, so rotation never leaves a
+    /// full segment only in the page cache. A no-op when the active
+    /// segment is empty (it already starts at the current LSN, and
+    /// sealing it would collide with its successor's file name).
     pub fn rotate(&mut self) -> Result<()> {
         self.writer.flush()?;
         if self.active.frames == 0 {
             return Ok(());
         }
+        self.writer.get_ref().sync_all()?;
+        self.syncs += 1;
         let (writer, active) = new_segment(&self.dir, self.next_lsn)?;
         self.sealed
             .push(std::mem::replace(&mut self.active, active));
@@ -202,6 +235,16 @@ impl Wal {
     }
 }
 
+impl Drop for Wal {
+    /// Best-effort close-time durability: flush and fsync the active
+    /// segment. Errors are ignored (there is no way to report them from
+    /// drop); callers needing a guaranteed sync call [`Wal::sync`].
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+        let _ = self.writer.get_ref().sync_data();
+    }
+}
+
 fn new_segment(dir: &Path, first_lsn: u64) -> Result<(BufWriter<File>, SegmentMeta)> {
     let path = dir.join(segment_file_name(first_lsn));
     let file = OpenOptions::new()
@@ -213,6 +256,10 @@ fn new_segment(dir: &Path, first_lsn: u64) -> Result<(BufWriter<File>, SegmentMe
     writer.write_all(SEGMENT_MAGIC)?;
     writer.write_all(&first_lsn.to_le_bytes())?;
     writer.flush()?;
+    // fsync the *directory* so the new segment's entry itself survives
+    // power loss — syncing file contents alone does not persist the
+    // file's existence on all filesystems.
+    File::open(dir)?.sync_all()?;
     Ok((
         writer,
         SegmentMeta {
@@ -549,6 +596,26 @@ mod tests {
         // Only segments up to the corruption survive on disk.
         let live = list_segments(&dir).unwrap();
         assert!(live.iter().all(|(lsn, _)| *lsn <= second_lsn));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_counts_and_keeps_the_log_replayable() {
+        let dir = temp_dir("sync");
+        let mut wal = Wal::create(&dir, 0, 1 << 20).unwrap();
+        assert_eq!(wal.syncs(), 0);
+        wal.append(b"one").unwrap();
+        wal.sync().unwrap();
+        wal.append(b"two").unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.syncs(), 2);
+        // Rotation fsyncs the sealed segment too.
+        wal.rotate().unwrap();
+        assert_eq!(wal.syncs(), 3);
+        drop(wal);
+        let replay = replay(&dir).unwrap();
+        assert!(!replay.truncated);
+        assert_eq!(payloads(&replay), vec![b"one".to_vec(), b"two".to_vec()]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

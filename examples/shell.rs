@@ -31,6 +31,31 @@ fn naturemapping() -> ExternalSchema {
         .with_relation("Comments", &["cid", "comment", "sid"])
 }
 
+/// Parse a byte-size spec: `Some(None)` = unlimited (`off`/`unlimited`),
+/// `Some(Some(n))` = n bytes (`k`/`m`/`g` suffixes), `None` = unparsable.
+fn parse_bytes(spec: &str) -> Option<Option<usize>> {
+    let spec = spec.trim().to_ascii_lowercase();
+    if spec == "off" || spec == "unlimited" || spec == "none" {
+        return Some(None);
+    }
+    let (digits, mult) = match spec.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => (
+            d,
+            match spec.as_bytes()[spec.len() - 1] {
+                b'k' => 1usize << 10,
+                b'm' => 1 << 20,
+                _ => 1 << 30,
+            },
+        ),
+        None => (spec.as_str(), 1),
+    };
+    digits
+        .parse::<usize>()
+        .ok()
+        .and_then(|n| n.checked_mul(mult))
+        .map(Some)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = Session::new(naturemapping())?;
 
@@ -61,6 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     println!(
                         "  \\explain <q>   show the BCQ + Datalog translation + physical plans"
                     );
+                    println!("  \\set memory <n[k|m|g]|off>");
+                    println!("                 per-query memory budget for joins/sorts/");
+                    println!("                 aggregates/distincts — past it they spill to");
+                    println!("                 disk (grace hash join, external merge sort);");
+                    println!("                 \\set alone shows the current settings");
                     println!("  \\open <dir>    switch to a durable database in <dir> (recover it");
                     println!("                 if present, create it with the NatureMapping");
                     println!("                 schema otherwise); mutations are WAL-logged");
@@ -101,6 +131,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         cache.embedded_rows
                     );
                 }
+                Some("set") => match (parts.next(), parts.next()) {
+                    (None, _) => match session.memory_budget() {
+                        Some(b) => println!("memory budget: {b} bytes per query"),
+                        None => println!("memory budget: unlimited"),
+                    },
+                    (Some("memory"), Some(spec)) => match parse_bytes(spec) {
+                        Some(None) => {
+                            session.set_memory_budget(None);
+                            println!("memory budget: unlimited");
+                        }
+                        Some(Some(bytes)) => {
+                            session.set_memory_budget(Some(bytes));
+                            println!(
+                                "memory budget: {bytes} bytes per query \
+                                 (materialization points spill past their share)"
+                            );
+                        }
+                        None => println!("usage: \\set memory <n[k|m|g]|off>"),
+                    },
+                    _ => println!("usage: \\set memory <n[k|m|g]|off>"),
+                },
                 Some("explain") => {
                     let rest: Vec<&str> = parts.collect();
                     match session.explain(&rest.join(" ")) {
@@ -122,7 +173,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                             Session::create(path, naturemapping())
                         };
                         match result {
-                            Ok(s) => {
+                            Ok(mut s) => {
+                                // The memory budget is a session setting:
+                                // it survives switching databases.
+                                s.set_memory_budget(session.memory_budget());
                                 session = s;
                                 let stats = session.bdms().stats();
                                 println!(

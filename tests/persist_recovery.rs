@@ -356,12 +356,46 @@ fn corrupt_only_snapshot_fails_cleanly() {
 }
 
 #[test]
+fn sync_on_commit_group_commits_and_round_trips() {
+    use beliefdb::core::PersistOptions;
+    let dir = temp_dir("sync-commit");
+    let opts = PersistOptions {
+        segment_limit: 1 << 20,
+        checkpoint_threshold: u64::MAX,
+        sync_on_commit: true,
+    };
+    let mut bdms = Bdms::create_with_options(&dir, schema(), opts).unwrap();
+    let alice = bdms.add_user("Alice").unwrap();
+    let s = bdms.schema().relation_id("Sightings").unwrap();
+    for i in 0..5i64 {
+        bdms.insert(
+            BeliefPath::user(alice),
+            s,
+            row![format!("s{i}").as_str(), "crow"],
+            Sign::Pos,
+        )
+        .unwrap();
+    }
+    // Group commit: one fsync per mutation batch (6 mutations here);
+    // the default path issues none outside checkpoints/rotations.
+    let stats = bdms.wal_stats().unwrap();
+    assert!(stats.syncs >= 6, "{stats:?}");
+    let want = bdms.stats();
+    drop(bdms);
+    let reopened = Bdms::open_with_options(&dir, opts).unwrap();
+    assert_eq!(reopened.stats(), want);
+    drop(reopened);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn auto_checkpoint_kicks_in_and_bounds_the_log() {
     use beliefdb::core::PersistOptions;
     let dir = temp_dir("auto");
     let opts = PersistOptions {
         segment_limit: 512,
         checkpoint_threshold: 2048,
+        sync_on_commit: false,
     };
     let mut bdms = Bdms::create_with_options(&dir, schema(), opts).unwrap();
     bdms.add_user("Alice").unwrap();
