@@ -6,7 +6,7 @@ use crate::lower::{lower_dml_prefix, SelectLowerer};
 use crate::parser::parse;
 use beliefdb_core::internal::InsertOutcome;
 use beliefdb_core::{Bdms, ExternalSchema, GroundTuple, Sign};
-use beliefdb_storage::{Row, Value};
+use beliefdb_storage::{QueryTrace, Recorder, Row, Value};
 use std::fmt;
 
 /// Result of executing one BeliefSQL statement.
@@ -170,30 +170,64 @@ impl Session {
         Ok(self.bdms.add_user(name)?)
     }
 
-    /// Parse and execute one statement. `EXPLAIN <select>` is handled here
-    /// as a statement form.
+    /// Parse and execute one statement. `EXPLAIN <select>` and
+    /// `EXPLAIN ANALYZE <select>` are handled here as statement forms.
     pub fn execute(&mut self, sql: &str) -> Result<ExecResult> {
         if let Some(rest) = strip_explain(sql) {
+            if let Some(inner) = strip_analyze(rest) {
+                return Ok(ExecResult::Explain(self.explain_analyze(inner)?));
+            }
             return Ok(ExecResult::Explain(self.explain(rest)?));
         }
-        match parse(sql)? {
-            Statement::Select(sel) => self.run_select(&sel),
+        let mut rec = self.recorder(sql);
+        let stmt = rec.span("parse", || parse(sql))?;
+        let result = match stmt {
+            Statement::Select(sel) => self.run_select(&sel, &mut rec),
             Statement::Insert(ins) => self.run_insert(&ins),
             Statement::Delete(del) => self.run_delete(&del),
             Statement::Update(up) => self.run_update(&up),
-        }
+        };
+        self.observe(rec);
+        result
     }
 
-    /// Parse and execute a read-only statement (`SELECT` or `EXPLAIN`).
+    /// Parse and execute a read-only statement (`SELECT`, `EXPLAIN`, or
+    /// `EXPLAIN ANALYZE`).
     pub fn query(&self, sql: &str) -> Result<ExecResult> {
         if let Some(rest) = strip_explain(sql) {
+            if let Some(inner) = strip_analyze(rest) {
+                return Ok(ExecResult::Explain(self.explain_analyze(inner)?));
+            }
             return Ok(ExecResult::Explain(self.explain(rest)?));
         }
-        match parse(sql)? {
-            Statement::Select(sel) => self.run_select(&sel),
+        let mut rec = self.recorder(sql);
+        let stmt = rec.span("parse", || parse(sql))?;
+        let result = match stmt {
+            Statement::Select(sel) => self.run_select(&sel, &mut rec),
             _ => Err(SqlError::Lower(
                 "query() only accepts SELECT statements".into(),
             )),
+        };
+        self.observe(rec);
+        result
+    }
+
+    /// A span recorder for one statement: enabled (so the run is traced
+    /// and profiled) only while the slow-query log is armed — otherwise
+    /// the disabled recorder, whose every hook is a single branch.
+    fn recorder(&self, sql: &str) -> Recorder {
+        if self.bdms.slowlog().enabled() {
+            Recorder::enabled(sql.trim())
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    /// Hand a finished trace to the slow-query log (no-op when the
+    /// recorder was disabled).
+    fn observe(&self, rec: Recorder) {
+        if let Some(trace) = rec.finish() {
+            self.bdms.slowlog().observe(trace);
         }
     }
 
@@ -208,11 +242,36 @@ impl Session {
     /// consumers are source-compatible.
     ///
     /// Returns the column labels and the number of rows emitted.
+    ///
+    /// When the slow-query log is armed the statement runs through the
+    /// traced (collecting) path instead so a capture carries the full
+    /// per-operator profile, and rows are replayed to `on_row` after the
+    /// fact — observability trades away streaming for that statement.
+    /// With the slowlog off (the default) nothing changes.
     pub fn query_streaming(
         &self,
         sql: &str,
         mut on_row: impl FnMut(Row),
     ) -> Result<(Vec<String>, usize)> {
+        if self.bdms.slowlog().enabled() {
+            let mut rec = self.recorder(sql);
+            let stmt = rec.span("parse", || parse(sql))?;
+            let Statement::Select(sel) = stmt else {
+                return Err(SqlError::Lower(
+                    "query_streaming() only accepts SELECT statements".into(),
+                ));
+            };
+            let lowered = rec.span("lower", || SelectLowerer::lower(&self.bdms, &sel))?;
+            let mut emitted = 0usize;
+            if let Some(q) = &lowered.query {
+                for row in self.bdms.query_traced(q, &mut rec)? {
+                    emitted += 1;
+                    on_row(row);
+                }
+            }
+            self.observe(rec);
+            return Ok((lowered.columns, emitted));
+        }
         let Statement::Select(sel) = parse(sql)? else {
             return Err(SqlError::Lower(
                 "query_streaming() only accepts SELECT statements".into(),
@@ -254,11 +313,64 @@ impl Session {
         Ok(out)
     }
 
-    fn run_select(&self, sel: &SelectStmt) -> Result<ExecResult> {
-        let lowered = SelectLowerer::lower(&self.bdms, sel)?;
+    /// `EXPLAIN ANALYZE`: actually run the SELECT with per-operator
+    /// profiling on, then render the lowered query and each answer-rule
+    /// plan annotated with estimated **and** actual rows, chunks, wall
+    /// time, kernel-vs-fallback filter rows, and spill traffic.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        let Statement::Select(sel) = parse(sql)? else {
+            return Err(SqlError::Lower(
+                "explain analyze only accepts SELECT statements".into(),
+            ));
+        };
+        let lowered = SelectLowerer::lower(&self.bdms, &sel)?;
+        let mut out = String::new();
+        match &lowered.query {
+            None => out.push_str("-- contradictory constants: empty result\n"),
+            Some(q) => {
+                out.push_str(&format!("-- belief conjunctive query (Def. 13):\n{q}\n\n"));
+                let (rows, report) = self.bdms.explain_analyze_query(q)?;
+                out.push_str("-- analyzed physical plans (est vs actual):\n");
+                out.push_str(&report);
+                out.push_str(&format!(
+                    "-- {} row{} returned\n",
+                    rows.len(),
+                    if rows.len() == 1 { "" } else { "s" }
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Arm (or disarm, with `None`) the slow-query log: statements whose
+    /// total wall time crosses the threshold are captured with their SQL
+    /// text, span timings (parse → lower → translate → cache lookup →
+    /// execute → sort), and full `EXPLAIN ANALYZE` profile. The shell
+    /// exposes this as `\set slowlog <ms|off>`.
+    pub fn set_slowlog_threshold_ms(&self, ms: Option<u64>) {
+        self.bdms.set_slowlog_threshold_ms(ms);
+    }
+
+    /// The slow-query capture threshold in ms (`None` = off).
+    pub fn slowlog_threshold_ms(&self) -> Option<u64> {
+        self.bdms.slowlog_threshold_ms()
+    }
+
+    /// Captured slow statements, oldest first (bounded ring).
+    pub fn slowlog_entries(&self) -> Vec<QueryTrace> {
+        self.bdms.slowlog_entries()
+    }
+
+    /// Drop captured slow statements (the threshold is unchanged).
+    pub fn clear_slowlog(&self) {
+        self.bdms.clear_slowlog();
+    }
+
+    fn run_select(&self, sel: &SelectStmt, rec: &mut Recorder) -> Result<ExecResult> {
+        let lowered = rec.span("lower", || SelectLowerer::lower(&self.bdms, sel))?;
         let rows = match &lowered.query {
             None => Vec::new(), // contradictory constants: empty result
-            Some(q) => self.bdms.query(q)?,
+            Some(q) => self.bdms.query_traced(q, rec)?,
         };
         Ok(ExecResult::Rows {
             columns: lowered.columns,
@@ -369,6 +481,17 @@ fn strip_explain(sql: &str) -> Option<&str> {
     let head = trimmed.get(..7)?;
     if head.eq_ignore_ascii_case("explain") && trimmed[7..].starts_with(char::is_whitespace) {
         Some(trimmed[7..].trim_start())
+    } else {
+        None
+    }
+}
+
+/// If `rest` (the text after `EXPLAIN`) begins with the `ANALYZE`
+/// keyword, return the statement after it.
+fn strip_analyze(rest: &str) -> Option<&str> {
+    let head = rest.get(..7)?;
+    if head.eq_ignore_ascii_case("analyze") && rest[7..].starts_with(char::is_whitespace) {
+        Some(rest[7..].trim_start())
     } else {
         None
     }
@@ -501,6 +624,36 @@ mod tests {
     }
 
     #[test]
+    fn query_streaming_feeds_the_slowlog_when_armed() {
+        let s = session();
+        let sql = "select S.sid, S.species from BELIEF 'Bob' Sightings as S";
+        let collected = s.query(sql).unwrap();
+        s.set_slowlog_threshold_ms(Some(0));
+        let mut streamed = Vec::new();
+        let (columns, n) = s.query_streaming(sql, |row| streamed.push(row)).unwrap();
+        s.set_slowlog_threshold_ms(None);
+        // Same answers as the unarmed path...
+        streamed.sort();
+        assert_eq!(streamed, collected.rows());
+        assert_eq!(n, collected.rows().len());
+        assert_eq!(columns, collected.columns());
+        // ...and the capture carries the span chain plus a full profile.
+        let entries = s.slowlog_entries();
+        let trace = entries
+            .iter()
+            .find(|t| t.statement == sql)
+            .expect("streaming statement captured");
+        for span in ["parse", "lower", "execute"] {
+            assert!(
+                trace.spans.iter().any(|s| s.name == span),
+                "missing span {span}"
+            );
+        }
+        assert!(trace.profile.as_deref().unwrap().contains("| actual "));
+        s.clear_slowlog();
+    }
+
+    #[test]
     fn query_streaming_rejects_dml_and_handles_contradictions() {
         let s = session();
         assert!(s
@@ -589,5 +742,99 @@ mod tests {
         assert!(strip_explain("explainselect 1").is_none());
         assert!(strip_explain("select 1").is_none());
         assert!(strip_explain("ex").is_none());
+        // ANALYZE is recognized only as a whole keyword after EXPLAIN.
+        assert_eq!(
+            strip_explain("explain analyze select 1").and_then(strip_analyze),
+            Some("select 1")
+        );
+        assert_eq!(
+            strip_explain("EXPLAIN ANALYZE  select 1").and_then(strip_analyze),
+            Some("select 1")
+        );
+        assert!(strip_explain("explain analyzeselect 1")
+            .and_then(strip_analyze)
+            .is_none());
+        assert!(strip_explain("explain select 1")
+            .and_then(strip_analyze)
+            .is_none());
+    }
+
+    #[test]
+    fn explain_analyze_statement_form_reports_actuals() {
+        let s = session();
+        let sql = "explain analyze select S.sid, S.species from BELIEF 'Bob' Sightings as S";
+        let result = s.query(sql).unwrap();
+        let ExecResult::Explain(text) = &result else {
+            panic!("expected EXPLAIN result, got {result:?}");
+        };
+        assert!(text.contains("belief conjunctive query"), "{text}");
+        assert!(text.contains("analyzed physical plans"), "{text}");
+        assert!(text.contains("| actual rows="), "{text}");
+        assert!(text.contains("time="), "{text}");
+        assert!(text.contains("row returned"), "{text}");
+        // The actual root cardinality matches the executed SELECT.
+        let plain = s
+            .query("select S.sid, S.species from BELIEF 'Bob' Sightings as S")
+            .unwrap();
+        assert!(
+            text.contains(&format!(
+                "-- {} row{} returned",
+                plain.rows().len(),
+                if plain.rows().len() == 1 { "" } else { "s" }
+            )),
+            "{text}"
+        );
+        // execute() handles the form too, and DML is rejected.
+        let mut s2 = session();
+        assert!(matches!(
+            s2.execute("EXPLAIN ANALYZE select S.sid from BELIEF 'Bob' Sightings as S"),
+            Ok(ExecResult::Explain(_))
+        ));
+        assert!(s
+            .query("explain analyze insert into Sightings values ('x','y','z','d','l')")
+            .is_err());
+    }
+
+    #[test]
+    fn slowlog_captures_sql_statements_with_spans() {
+        let s = session();
+        let sql = "select S.sid, S.species from BELIEF 'Bob' Sightings as S";
+        assert_eq!(s.slowlog_threshold_ms(), None);
+        s.query(sql).unwrap();
+        assert!(s.slowlog_entries().is_empty());
+
+        s.set_slowlog_threshold_ms(Some(0));
+        s.query(sql).unwrap();
+        let entries = s.slowlog_entries();
+        assert_eq!(entries.len(), 1);
+        let trace = &entries[0];
+        assert_eq!(trace.statement, sql);
+        let names: Vec<&str> = trace.spans.iter().map(|sp| sp.name).collect();
+        for expected in [
+            "parse",
+            "lower",
+            "translate",
+            "cache_lookup",
+            "execute",
+            "sort",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "missing span {expected}: {names:?}"
+            );
+        }
+        assert!(
+            trace.profile.as_deref().unwrap().contains("| actual"),
+            "{trace:?}"
+        );
+        // Identical answers with the slowlog armed (profiled path).
+        let plain = {
+            s.set_slowlog_threshold_ms(None);
+            s.query(sql).unwrap()
+        };
+        s.set_slowlog_threshold_ms(Some(0));
+        assert_eq!(s.query(sql).unwrap(), plain);
+        s.clear_slowlog();
+        assert!(s.slowlog_entries().is_empty());
     }
 }

@@ -46,4 +46,11 @@ fn main() {
     // full experiment run stays interactive at large --n.
     let report = run_persist(n.min(5_000), reps.clamp(2, 10)).expect("persist");
     println!("{}", format_persist(&report));
+
+    println!("=== Observability ===");
+    let report = run_obs(n, reps.clamp(3, 20)).expect("obs");
+    println!("{}", format_obs(&report, n));
+    let path = std::path::Path::new("BENCH_obs.json");
+    write_bench_obs_json(path, &report, n).expect("write BENCH_obs.json");
+    println!("wrote {}", path.display());
 }

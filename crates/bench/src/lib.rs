@@ -892,6 +892,189 @@ pub fn format_persist(r: &PersistReport) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Observability overhead (BENCH_obs.json)
+// ---------------------------------------------------------------------------
+
+/// One measured workload of the observability experiment: the same plan
+/// drained with obs disabled and with per-operator profiling on.
+#[derive(Debug, Clone)]
+pub struct ObsRow {
+    pub name: &'static str,
+    pub disabled: Duration,
+    pub profiled: Duration,
+    pub result_size: usize,
+}
+
+impl ObsRow {
+    /// Profiled-over-disabled time ratio (1.0 = profiling is free).
+    pub fn overhead(&self) -> f64 {
+        self.profiled.as_secs_f64() / self.disabled.as_secs_f64().max(1e-12)
+    }
+
+    /// Disabled-path throughput in result rows per second.
+    pub fn rows_per_sec(&self) -> f64 {
+        self.result_size as f64 / self.disabled.as_secs_f64().max(1e-12)
+    }
+}
+
+/// The observability experiment's output: per-workload medians plus the
+/// engine metrics the run itself generated (a registry snapshot delta).
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    pub rows: Vec<ObsRow>,
+    pub metrics: Vec<(&'static str, u64)>,
+}
+
+/// The measured workloads: the executor-comparison plans plus a hash
+/// join + distinct forced to spill under a ⅒-of-input budget.
+pub fn obs_workloads(n: usize) -> Vec<(&'static str, beliefdb_storage::Plan, Option<usize>)> {
+    let mut out: Vec<_> = exec_streaming_plans()
+        .into_iter()
+        .map(|(name, plan)| (name, plan, None))
+        .collect();
+    let spilling = beliefdb_storage::Plan::scan("F")
+        .join(beliefdb_storage::Plan::scan("D"), vec![(1, 0)])
+        .distinct();
+    out.push(("spill_join", spilling, Some(spill_budget(n, 1, 10))));
+    out
+}
+
+/// Run every obs workload (`reps` runs each, **median** — this report
+/// feeds a machine-readable file, so a robust central value beats
+/// best-of) with profiling off and on, asserting the profile agrees
+/// with the materialized result before anything is recorded.
+pub fn run_obs(n: usize, reps: usize) -> Result<ObsReport> {
+    use beliefdb_storage::{metrics, Executor, SpillOptions};
+    let db = exec_streaming_db(n)?;
+    let before = metrics().snapshot();
+    let mut rows = Vec::new();
+    for (name, plan, budget) in obs_workloads(n) {
+        let exec = match budget {
+            Some(b) => Executor::with_spill(&db, SpillOptions::with_budget(b)),
+            None => Executor::new(&db),
+        };
+        let drain_plain = || -> usize {
+            let mut out = 0usize;
+            for chunk in exec.open_chunks(&plan).expect("open") {
+                out += chunk.expect("chunk").len();
+            }
+            out
+        };
+        let drain_profiled = || -> usize {
+            let (stream, profile) = exec.open_chunks_profiled(&plan).expect("open profiled");
+            let mut out = 0usize;
+            for chunk in stream {
+                out += chunk.expect("chunk").len();
+            }
+            assert_eq!(profile.rows_out() as usize, out, "{name}: profile drift");
+            out
+        };
+        let size = drain_plain();
+        assert_eq!(
+            drain_profiled(),
+            size,
+            "{name}: profiling changed the result"
+        );
+        let median = |f: &dyn Fn() -> usize| -> Duration {
+            let mut samples: Vec<Duration> = (0..reps.max(1))
+                .map(|_| {
+                    let start = Instant::now();
+                    std::hint::black_box(f());
+                    start.elapsed()
+                })
+                .collect();
+            samples.sort_unstable();
+            samples[samples.len() / 2]
+        };
+        let disabled = median(&drain_plain);
+        let profiled = median(&drain_profiled);
+        rows.push(ObsRow {
+            name,
+            disabled,
+            profiled,
+            result_size: size,
+        });
+    }
+    let delta = metrics().snapshot().since(&before);
+    Ok(ObsReport {
+        rows,
+        metrics: delta.counters().collect(),
+    })
+}
+
+/// Render the observability report as a small table plus the metrics
+/// the run generated.
+pub fn format_obs(report: &ObsReport, n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Observability overhead (fact table of {n} rows; per-workload medians)\n"
+    ));
+    out.push_str(&format!(
+        "{:<12}{:>12}{:>14}{:>10}{:>14}{:>10}\n",
+        "workload", "off(ms)", "profiled(ms)", "overhead", "rows/s", "rows"
+    ));
+    for r in &report.rows {
+        out.push_str(&format!(
+            "{:<12}{:>12.3}{:>14.3}{:>9.2}x{:>14.0}{:>10}\n",
+            r.name,
+            r.disabled.as_secs_f64() * 1e3,
+            r.profiled.as_secs_f64() * 1e3,
+            r.overhead(),
+            r.rows_per_sec(),
+            r.result_size
+        ));
+    }
+    out.push_str("run-generated metrics (registry delta, nonzero):\n");
+    for (name, v) in &report.metrics {
+        if *v > 0 {
+            out.push_str(&format!("  {name:<24} {v:>12}\n"));
+        }
+    }
+    out
+}
+
+/// Write the machine-readable report: `{"n", "workloads": {name:
+/// {median_ns_*, overhead, rows_per_s, rows}}, "metrics": {...}}`.
+/// Hand-rolled JSON — every key is a known identifier and every value a
+/// finite number, so nothing needs escaping (and the offline build
+/// keeps its zero-dependency rule).
+pub fn write_bench_obs_json(
+    path: &std::path::Path,
+    report: &ObsReport,
+    n: usize,
+) -> std::io::Result<()> {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"n\": {n},\n"));
+    out.push_str("  \"workloads\": {\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"median_ns_disabled\": {}, \"median_ns_profiled\": {}, \
+             \"overhead\": {:.4}, \"rows_per_s\": {:.1}, \"rows\": {}}}{}\n",
+            r.name,
+            r.disabled.as_nanos(),
+            r.profiled.as_nanos(),
+            r.overhead(),
+            r.rows_per_sec(),
+            r.result_size,
+            if i + 1 < report.rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n  \"metrics\": {\n");
+    for (i, (name, v)) in report.metrics.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{name}\": {v}{}\n",
+            if i + 1 < report.metrics.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out)
+}
+
 /// Parse `--flag value` style arguments with defaults (tiny helper shared
 /// by the experiment binaries; avoids a CLI dependency).
 pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
@@ -919,6 +1102,26 @@ pub fn ablation_config(n: usize, users: usize, seed: u64) -> GeneratorConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn obs_report_covers_every_workload_and_serializes() {
+        let report = run_obs(300, 2).unwrap();
+        let names: Vec<_> = report.rows.iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            vec!["filter", "wide_join", "first_100", "spill_join"]
+        );
+        assert!(report.rows.iter().all(|r| r.result_size > 0));
+        let path = persist_scratch_dir("obs-json").with_extension("json");
+        write_bench_obs_json(&path, &report, 300).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        for name in names {
+            assert!(text.contains(&format!("\"{name}\"")), "{text}");
+        }
+        assert!(text.contains("\"exec.rows_scanned\""), "{text}");
+        assert!(format_obs(&report, 300).contains("spill_join"));
+    }
 
     #[test]
     fn table1_runs_at_small_scale() {

@@ -32,7 +32,7 @@ use crate::error::{BeliefError, Result};
 use crate::internal::{star_table, v_table, InternalStore, E_TABLE, U_TABLE};
 use crate::statement::Sign;
 use beliefdb_storage::datalog::{Atom, BodyLit, CmpLit, Evaluator, Program, Rule, Term};
-use beliefdb_storage::{CmpOp, Row};
+use beliefdb_storage::{CmpOp, Recorder, Row};
 
 /// A translated query: the Datalog program plus the name of the answer
 /// relation.
@@ -256,6 +256,52 @@ pub fn evaluate_with_budget(
         }
     }
     collect_answer(&ev, &translated)
+}
+
+/// [`evaluate_with_budget`] with per-operator profiling on — the
+/// `EXPLAIN ANALYZE` backend. Returns the answer rows **plus** a report:
+/// each answer-rule plan annotated with estimated *and* actual rows,
+/// chunks, wall time, kernel-vs-fallback filter rows, and spill traffic.
+/// Participates in the same plan cache as [`evaluate`] (a repeat query
+/// profiles the cached plans; a first run stores the plans it collected).
+pub fn evaluate_analyze_with_budget(
+    store: &InternalStore,
+    q: &Bcq,
+    memory_budget: Option<usize>,
+    rec: &mut Recorder,
+) -> Result<(Vec<Row>, String)> {
+    use beliefdb_storage::datalog::PlanCache;
+    let translated = rec.span("translate", || translate(store, q))?;
+    let mut ev = Evaluator::new(store.database())
+        .seed_stats(store.stats_catalog())
+        .with_memory_budget(memory_budget);
+    // Same brief-lock cache protocol as [`evaluate_with_budget`].
+    let key = translated.program.to_string();
+    let versions = PlanCache::db_versions(store.database());
+    let cached = rec.span("cache_lookup", || {
+        store.with_plan_cache(|cache| cache.lookup(&key, &versions))
+    });
+    let profiled = match cached {
+        Some(plans) => {
+            let (_, profiled) = rec
+                .span("execute", || {
+                    ev.run_cached_analyze(&translated.program, &plans)
+                })
+                .map_err(BeliefError::from)?;
+            profiled
+        }
+        None => {
+            let (_, profiled) = rec
+                .span("execute", || ev.run_collecting_analyze(&translated.program))
+                .map_err(BeliefError::from)?;
+            let plans: Vec<_> = profiled.iter().map(|(p, _)| p.clone()).collect();
+            store.with_plan_cache(|cache| cache.store(key, versions, plans));
+            profiled
+        }
+    };
+    let report = ev.render_analyze_report(&profiled);
+    let rows = rec.span("sort", || collect_answer(&ev, &translated))?;
+    Ok((rows, report))
 }
 
 /// Translate and execute, **streaming** the answer rows into `sink` as

@@ -18,8 +18,11 @@ use crate::schema::ExternalSchema;
 use crate::statement::{BeliefStatement, GroundTuple, Sign};
 use crate::world::BeliefWorld;
 use beliefdb_storage::persist::PersistEngine;
-use beliefdb_storage::{Database, Row, StorageError};
+use beliefdb_storage::{
+    metrics, Database, Metric, MetricsSnapshot, QueryTrace, Recorder, Row, SlowLog, StorageError,
+};
 use std::path::Path;
+use std::time::Instant;
 
 /// Size report for the internal database (`|R*|` of Sect. 5.4).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +87,10 @@ pub struct Bdms {
     /// join, external merge sort, partitioned aggregate/distinct).
     /// `None` = unlimited.
     memory_budget: Option<usize>,
+    /// Slow-query ring buffer. Off by default (one relaxed load per
+    /// query); when a threshold is set, queries run with profiling on
+    /// and crossings are captured with their full span + profile trace.
+    slowlog: SlowLog,
 }
 
 impl std::fmt::Debug for Bdms {
@@ -104,6 +111,7 @@ impl Bdms {
             store: InternalStore::new(schema)?,
             persist: None,
             memory_budget: None,
+            slowlog: SlowLog::new(),
         })
     }
 
@@ -129,6 +137,7 @@ impl Bdms {
             store,
             persist: Some(durability),
             memory_budget: None,
+            slowlog: SlowLog::new(),
         })
     }
 
@@ -161,6 +170,7 @@ impl Bdms {
                 engine: recovered.engine,
             }),
             memory_budget: None,
+            slowlog: SlowLog::new(),
         };
         // Fold a long replayed tail into a snapshot now, so the *next*
         // open is fast again.
@@ -343,8 +353,61 @@ impl Bdms {
 
     /// Evaluate a belief conjunctive query via the Algorithm 1 translation.
     /// Rule plans are optimized by the storage layer's cost-based optimizer.
+    ///
+    /// Every call bumps `query.executed` and feeds the latency histogram
+    /// in the global metrics registry ([`Bdms::metrics`]). When the
+    /// slow-query log is armed ([`Bdms::set_slowlog_threshold_ms`]) the
+    /// query runs with profiling on and a crossing is captured with its
+    /// span timings and full `EXPLAIN ANALYZE` report.
     pub fn query(&self, q: &Bcq) -> Result<Vec<Row>> {
-        bcq::translate::evaluate_with_budget(&self.store, q, self.memory_budget)
+        if self.slowlog.enabled() {
+            let mut rec = Recorder::enabled(q.to_string());
+            let rows = self.query_traced(q, &mut rec)?;
+            if let Some(trace) = rec.finish() {
+                self.slowlog.observe(trace);
+            }
+            Ok(rows)
+        } else {
+            self.query_traced(q, &mut Recorder::disabled())
+        }
+    }
+
+    /// [`Bdms::query`] with caller-owned span recording: an enabled
+    /// recorder gets `translate` / `cache_lookup` / `execute` / `sort`
+    /// spans plus the full `EXPLAIN ANALYZE` report attached; a disabled
+    /// recorder makes this exactly the plain query path (no profiling).
+    pub fn query_traced(&self, q: &Bcq, rec: &mut Recorder) -> Result<Vec<Row>> {
+        metrics().incr(Metric::QueriesExecuted);
+        let t0 = Instant::now();
+        let out = if rec.is_enabled() {
+            bcq::translate::evaluate_analyze_with_budget(&self.store, q, self.memory_budget, rec)
+                .map(|(rows, report)| {
+                    rec.set_profile(report);
+                    rows
+                })
+        } else {
+            bcq::translate::evaluate_with_budget(&self.store, q, self.memory_budget)
+        };
+        metrics().record_latency(t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// `EXPLAIN ANALYZE`: run the query with per-operator profiling on
+    /// and return the answer rows plus the report — every operator of
+    /// every answer-rule plan annotated with estimated *and* actual
+    /// rows, chunks, wall time, kernel-vs-fallback filter rows, and
+    /// spill traffic. Shares the plan cache with [`Bdms::query`].
+    pub fn explain_analyze_query(&self, q: &Bcq) -> Result<(Vec<Row>, String)> {
+        metrics().incr(Metric::QueriesExecuted);
+        let t0 = Instant::now();
+        let out = bcq::translate::evaluate_analyze_with_budget(
+            &self.store,
+            q,
+            self.memory_budget,
+            &mut Recorder::disabled(),
+        );
+        metrics().record_latency(t0.elapsed().as_nanos() as u64);
+        out
     }
 
     /// Evaluate a BCQ, streaming answer rows into `sink` as the final
@@ -424,6 +487,47 @@ impl Bdms {
             entries: cache.len(),
             embedded_rows: cache.embedded_row_count(),
         })
+    }
+
+    /// Snapshot of the process-wide metrics registry: query counts and
+    /// latency quantiles, plan-cache hits/misses, WAL appends/syncs/
+    /// checkpoints, spill run files, buffer-pool recycling, rows
+    /// scanned/emitted, slow-query captures. Counters are cumulative
+    /// since process start; diff two snapshots with
+    /// [`MetricsSnapshot::since`] for per-session deltas.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        metrics().snapshot()
+    }
+
+    /// Arm (or disarm, with `None`) the slow-query log: queries whose
+    /// total wall time crosses the threshold are captured with span
+    /// timings and their full `EXPLAIN ANALYZE` report. A threshold of
+    /// 0 ms captures every query. While armed, queries run with
+    /// profiling on.
+    pub fn set_slowlog_threshold_ms(&self, ms: Option<u64>) {
+        self.slowlog.set_threshold_ms(ms);
+    }
+
+    /// The slow-query capture threshold in ms (`None` = off).
+    pub fn slowlog_threshold_ms(&self) -> Option<u64> {
+        self.slowlog.threshold_ms()
+    }
+
+    /// Captured slow queries, oldest first (bounded ring).
+    pub fn slowlog_entries(&self) -> Vec<QueryTrace> {
+        self.slowlog.entries()
+    }
+
+    /// Drop all captured slow queries (the threshold is unchanged).
+    pub fn clear_slowlog(&self) {
+        self.slowlog.clear();
+    }
+
+    /// The slow-query log itself — callers running their own
+    /// [`Recorder`] (the BeliefSQL session does) hand finished traces to
+    /// [`SlowLog::observe`] through this.
+    pub fn slowlog(&self) -> &SlowLog {
+        &self.slowlog
     }
 
     /// Size statistics (`|R*|`, Sect. 5.4 / Sect. 6.1).
@@ -724,6 +828,92 @@ mod tests {
         assert!(text.contains("[spill budget=0 partitions="), "{text}");
         bdms.set_memory_budget(None);
         assert!(!bdms.explain_query(&q).unwrap().contains("[spill"));
+    }
+
+    #[test]
+    fn explain_analyze_runs_and_reports_actuals() {
+        let (bdms, _, bob, _) = running_bdms();
+        let s = bdms.schema().relation_id("Sightings").unwrap();
+        let q = Bcq::builder(vec![qv("sid"), qv("species")])
+            .positive(
+                vec![pu(bob)],
+                s,
+                vec![qv("sid"), qany(), qv("species"), qany(), qany()],
+            )
+            .build(bdms.schema())
+            .unwrap();
+        let (rows, report) = bdms.explain_analyze_query(&q).unwrap();
+        assert_eq!(rows, bdms.query(&q).unwrap());
+        assert!(report.contains("| actual rows="), "{report}");
+        assert!(report.contains("time="), "{report}");
+        // The repeat ran from the plan cache and still profiles.
+        let (rows2, report2) = bdms.explain_analyze_query(&q).unwrap();
+        assert_eq!(rows2, rows);
+        assert!(report2.contains("| actual rows="), "{report2}");
+    }
+
+    #[test]
+    fn slowlog_captures_threshold_crossings_with_profiles() {
+        let (bdms, _, bob, _) = running_bdms();
+        let s = bdms.schema().relation_id("Sightings").unwrap();
+        let q = Bcq::builder(vec![qv("sid")])
+            .positive(
+                vec![pu(bob)],
+                s,
+                vec![qv("sid"), qany(), qany(), qany(), qany()],
+            )
+            .build(bdms.schema())
+            .unwrap();
+        assert_eq!(bdms.slowlog_threshold_ms(), None);
+        bdms.query(&q).unwrap();
+        assert!(bdms.slowlog_entries().is_empty());
+
+        // Threshold 0: every query is captured, with spans + profile.
+        bdms.set_slowlog_threshold_ms(Some(0));
+        assert_eq!(bdms.slowlog_threshold_ms(), Some(0));
+        bdms.query(&q).unwrap();
+        let entries = bdms.slowlog_entries();
+        assert_eq!(entries.len(), 1);
+        let trace = &entries[0];
+        assert!(!trace.statement.is_empty());
+        assert!(
+            trace.spans.iter().any(|sp| sp.name == "execute"),
+            "{trace:?}"
+        );
+        assert!(
+            trace.profile.as_deref().unwrap().contains("| actual"),
+            "{trace:?}"
+        );
+
+        bdms.clear_slowlog();
+        assert!(bdms.slowlog_entries().is_empty());
+        bdms.set_slowlog_threshold_ms(None);
+        bdms.query(&q).unwrap();
+        assert!(bdms.slowlog_entries().is_empty());
+    }
+
+    #[test]
+    fn metrics_snapshot_counts_queries_and_latency() {
+        let (bdms, _, bob, _) = running_bdms();
+        let s = bdms.schema().relation_id("Sightings").unwrap();
+        let q = Bcq::builder(vec![qv("sid")])
+            .positive(
+                vec![pu(bob)],
+                s,
+                vec![qv("sid"), qany(), qany(), qany(), qany()],
+            )
+            .build(bdms.schema())
+            .unwrap();
+        let before = bdms.metrics();
+        bdms.query(&q).unwrap();
+        bdms.query(&q).unwrap();
+        // The registry is process-global (other tests run concurrently):
+        // assert on the delta, with >= where others may contribute.
+        let delta = bdms.metrics().since(&before);
+        assert!(delta.get(Metric::QueriesExecuted) >= 2, "{delta:?}");
+        assert!(delta.get(Metric::PlanCacheMisses) >= 1, "{delta:?}");
+        assert!(delta.get(Metric::PlanCacheHits) >= 1, "{delta:?}");
+        assert!(delta.get(Metric::RowsScanned) >= 1, "{delta:?}");
     }
 
     #[test]

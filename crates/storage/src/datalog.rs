@@ -118,10 +118,12 @@ impl PlanCache {
         match self.entries.get(key) {
             Some(entry) if entry.versions == versions => {
                 self.hits += 1;
+                crate::obs::metrics().incr(crate::obs::Metric::PlanCacheHits);
                 Some(Arc::clone(&entry.plans))
             }
             _ => {
                 self.misses += 1;
+                crate::obs::metrics().incr(crate::obs::Metric::PlanCacheMisses);
                 None
             }
         }
@@ -288,6 +290,10 @@ pub enum ExecMode {
     Materializing,
 }
 
+/// Each answer rule's optimized plan paired with its execution profile —
+/// what a profiled program run (`run_*_analyze`) returns.
+pub type AnalyzedPlans = Vec<(Plan, crate::obs::Profile)>;
+
 /// Evaluates programs and rules against a database, holding materialized
 /// derived relations.
 ///
@@ -321,31 +327,72 @@ fn drive(
     spill: &crate::exec::SpillOptions,
     mut sink: impl FnMut(Row),
 ) -> Result<()> {
-    match mode {
-        ExecMode::Chunked => {
-            // Drain through a reused scratch buffer so each chunk's
-            // backing storage goes back to the executor's pool instead
-            // of being reallocated per batch.
-            let mut scratch: Vec<Row> = Vec::new();
-            for chunk in crate::exec::Executor::with_spill(db, spill.clone()).open_chunks(plan)? {
-                chunk?.drain_into(&mut scratch);
-                for row in scratch.drain(..) {
+    // Rows delivered are accumulated locally and added to the metrics
+    // registry once per plan — no atomic traffic in the row loop.
+    let mut emitted = 0u64;
+    let mut sink = |row| {
+        emitted += 1;
+        sink(row)
+    };
+    let result = (|| {
+        match mode {
+            ExecMode::Chunked => {
+                // Drain through a reused scratch buffer so each chunk's
+                // backing storage goes back to the executor's pool instead
+                // of being reallocated per batch.
+                let mut scratch: Vec<Row> = Vec::new();
+                for chunk in
+                    crate::exec::Executor::with_spill(db, spill.clone()).open_chunks(plan)?
+                {
+                    chunk?.drain_into(&mut scratch);
+                    for row in scratch.drain(..) {
+                        sink(row);
+                    }
+                }
+            }
+            ExecMode::RowAtATime => {
+                for item in crate::exec::stream_rows(db, plan)? {
+                    sink(item?);
+                }
+            }
+            ExecMode::Materializing => {
+                for row in crate::exec::execute_materialized(db, plan)? {
                     sink(row);
                 }
             }
         }
-        ExecMode::RowAtATime => {
-            for item in crate::exec::stream_rows(db, plan)? {
-                sink(item?);
-            }
-        }
-        ExecMode::Materializing => {
-            for row in crate::exec::execute_materialized(db, plan)? {
+        Ok(())
+    })();
+    crate::obs::metrics().add(crate::obs::Metric::RowsEmitted, emitted);
+    result
+}
+
+/// [`drive`] with per-operator profiling on: always runs the chunked
+/// executor (profiles describe its operator tree) and returns the live
+/// [`Profile`](crate::obs::Profile) alongside. The `EXPLAIN ANALYZE`
+/// backend.
+fn drive_profiled(
+    db: &Database,
+    plan: &Plan,
+    spill: &crate::exec::SpillOptions,
+    mut sink: impl FnMut(Row),
+) -> Result<crate::obs::Profile> {
+    let exec = crate::exec::Executor::with_spill(db, spill.clone());
+    let (stream, profile) = exec.open_chunks_profiled(plan)?;
+    let mut scratch: Vec<Row> = Vec::new();
+    let mut emitted = 0u64;
+    let result = (|| {
+        for chunk in stream {
+            chunk?.drain_into(&mut scratch);
+            for row in scratch.drain(..) {
+                emitted += 1;
                 sink(row);
             }
         }
-    }
-    Ok(())
+        Ok(())
+    })();
+    crate::obs::metrics().add(crate::obs::Metric::RowsEmitted, emitted);
+    result.map(|()| profile)
 }
 
 impl<'a> Evaluator<'a> {
@@ -481,6 +528,28 @@ impl<'a> Evaluator<'a> {
         Ok(out)
     }
 
+    /// Render the `EXPLAIN ANALYZE` report for plans profiled by
+    /// [`Evaluator::run_collecting_analyze`] /
+    /// [`Evaluator::run_cached_analyze`]: every operator line carries its
+    /// estimate **and** what actually happened (rows, chunks, wall time,
+    /// kernel-vs-fallback rows, spill traffic). Call after the run so the
+    /// profiles are final.
+    pub fn render_analyze_report(&mut self, profiled: &[(Plan, crate::obs::Profile)]) -> String {
+        self.refresh_stats();
+        let stats = self.stats.as_ref().expect("just refreshed");
+        let mut out = String::new();
+        for (plan, profile) in profiled {
+            out.push_str(&crate::opt::render_analyze(
+                self.db,
+                stats,
+                plan,
+                profile,
+                self.spill.budget,
+            ));
+        }
+        out
+    }
+
     /// Fold `rows` into the head relation's derived entry, enforcing that
     /// every rule deriving the same head agrees on its arity.
     fn materialize_head(&mut self, rule: &Rule, rows: Vec<Row>) -> Result<()> {
@@ -519,6 +588,24 @@ impl<'a> Evaluator<'a> {
         let entry = self.head_entry(rule)?;
         let mut seen: HashSet<Row> = entry.1.iter().cloned().collect();
         drive(db, plan, mode, &spill, |row| {
+            if seen.insert(row.clone()) {
+                entry.1.push(row);
+            }
+        })
+    }
+
+    /// [`Evaluator::consume_into_head`] with per-operator profiling on
+    /// (chunked executor only — profiles describe its operator tree).
+    fn consume_into_head_profiled(
+        &mut self,
+        rule: &Rule,
+        plan: &Plan,
+    ) -> Result<crate::obs::Profile> {
+        let db = self.db;
+        let spill = self.spill.clone();
+        let entry = self.head_entry(rule)?;
+        let mut seen: HashSet<Row> = entry.1.iter().cloned().collect();
+        drive_profiled(db, plan, &spill, |row| {
             if seen.insert(row.clone()) {
                 entry.1.push(row);
             }
@@ -634,6 +721,61 @@ impl<'a> Evaluator<'a> {
             None => Vec::new(),
         };
         Ok((last, answer_plans))
+    }
+
+    /// Run the whole program (exactly like [`Evaluator::run`]), profiling
+    /// the rules that derive the final head: returns the last head name
+    /// plus each answer rule's optimized plan and execution profile —
+    /// the `EXPLAIN ANALYZE` backend. The answer plans are the same list
+    /// [`Evaluator::run_collecting_plans`] would hand to
+    /// [`PlanCache::store`].
+    pub fn run_collecting_analyze(
+        &mut self,
+        program: &Program,
+    ) -> Result<(Option<String>, AnalyzedPlans)> {
+        let answer_head = program.rules.last().map(|r| r.head.relation.clone());
+        let mut profiled = Vec::new();
+        let mut last = None;
+        for rule in &program.rules {
+            self.check_nonrecursive(rule)?;
+            let plan = self.plan_rule(rule)?;
+            if Some(&rule.head.relation) == answer_head.as_ref() {
+                let profile = self.consume_into_head_profiled(rule, &plan)?;
+                profiled.push((plan, profile));
+            } else {
+                self.consume_into_head(rule, &plan)?;
+            }
+            last = Some(rule.head.relation.clone());
+        }
+        Ok((last, profiled))
+    }
+
+    /// Execute cached answer plans (like [`Evaluator::run_cached_plans`])
+    /// with profiling on, returning each plan's execution profile. Falls
+    /// back to [`Evaluator::run_collecting_analyze`] if the plan list
+    /// does not line up with the program.
+    pub fn run_cached_analyze(
+        &mut self,
+        program: &Program,
+        plans: &[Plan],
+    ) -> Result<(Option<String>, AnalyzedPlans)> {
+        let Some(last) = program.rules.last() else {
+            return Ok((None, Vec::new()));
+        };
+        let answer_rules: Vec<&Rule> = program
+            .rules
+            .iter()
+            .filter(|r| r.head.relation == last.head.relation)
+            .collect();
+        if answer_rules.len() != plans.len() {
+            return self.run_collecting_analyze(program);
+        }
+        let mut profiled = Vec::with_capacity(plans.len());
+        for (rule, plan) in answer_rules.into_iter().zip(plans) {
+            let profile = self.consume_into_head_profiled(rule, plan)?;
+            profiled.push((plan.clone(), profile));
+        }
+        Ok((Some(last.head.relation.clone()), profiled))
     }
 
     /// Run every rule, materializing intermediate heads, but **stream**

@@ -9,13 +9,13 @@
 //!   selection vector, projections precompile their column maps, and
 //!   hash joins probe a whole chunk per call. Scan, Selection,
 //!   Projection, Union, Limit, and the probe side of (anti-)joins
-//!   pipeline; the **materialization points** are the hash-join build
-//!   side, Aggregate, Sort, and Distinct's seen-set (Distinct streams
-//!   first occurrences but still accumulates every distinct row). Each
-//!   of those four can spill to disk under a per-query memory budget —
-//!   grace hash join, external merge sort, partial-aggregate and
-//!   distinct partitioning; see [`spill`] — while the anti-join build
-//!   side and cross-join right side remain in-memory (documented
+//!   pipeline; the **materialization points** are the hash build sides
+//!   of keyed joins and anti-joins, Aggregate, Sort, and Distinct's
+//!   seen-set (Distinct streams first occurrences but still accumulates
+//!   every distinct row). Each of those points can spill to disk under
+//!   a per-query memory budget — grace hash (anti-)join, external merge
+//!   sort, partial-aggregate and distinct partitioning; see [`spill`] —
+//!   while only the cross-join right side remains in-memory (documented
 //!   follow-up). [`RowStream`] adapts the chunk pipeline to the
 //!   row-at-a-time interface for external sinks;
 //! * the **row-at-a-time streaming executor** ([`stream_rows`],

@@ -1,17 +1,21 @@
 //! Spill-to-disk materialization points: memory-budgeted counterparts of
 //! the executor's unbounded buffers.
 //!
-//! The chunked executor ([`super::stream`]) pipelines most operators, but
-//! four places materialize: the hash-join build side, `Aggregate`,
-//! `Sort`, and `Distinct`'s seen-set. Without a budget those grow with
-//! the input and cap the larger-than-memory story. This module supplies
-//! the standard fixes, all sharing one framed run-file format:
+//! The chunked executor ([`super::stream`]) pipelines most operators,
+//! but several places materialize: the hash build sides of keyed joins
+//! and anti-joins, `Aggregate`, `Sort`, and `Distinct`'s seen-set.
+//! Without a budget those grow with the input and cap the
+//! larger-than-memory story. This module supplies the standard fixes,
+//! all sharing one framed run-file format:
 //!
 //! * **grace hash join** — when the build side exceeds its budget, build
 //!   *and* probe rows are hash-partitioned into [`SPILL_PARTITIONS`] run
 //!   files on the join key; each partition pair then joins independently
 //!   (an oversized partition re-partitions with a different hash seed,
-//!   up to [`MAX_RECURSION`] levels);
+//!   up to [`MAX_RECURSION`] levels). The keyed **anti-join** build side
+//!   spills the same way, with the probe phase inverted: a left row is
+//!   emitted iff its partition's build table holds no residual-
+//!   satisfying match;
 //! * **external merge sort** — input rows accumulate up to the budget,
 //!   are sorted (stably) into run files, and a k-way merge (fan-in
 //!   capped at [`MAX_MERGE_FANIN`], multi-pass beyond that) streams the
@@ -63,6 +67,8 @@
 use super::{fresh_accs, merge_accs, update_accs, Acc};
 use crate::error::{Result, StorageError};
 use crate::expr::Expr;
+use crate::obs::metrics::{metrics, Metric};
+use crate::obs::profile::{bump, raise, ProfNode};
 use crate::persist::format::{crc32, Dec, Enc};
 use crate::plan::{Agg, Plan};
 use crate::row::Row;
@@ -71,6 +77,12 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+/// The profiling handle spill machinery threads alongside run files:
+/// the operator's [`ProfNode`] when `EXPLAIN ANALYZE` is on, `None`
+/// otherwise (every hook is then a single branch).
+pub(crate) type SpillProf = Option<Rc<ProfNode>>;
 
 /// Fan-out of one partitioning pass (join, aggregate, and distinct
 /// spills). 16 partitions cut an over-budget input to 1/16 per pass;
@@ -174,14 +186,14 @@ impl SpillCtx {
 }
 
 /// Number of memory-budgeted materialization points in a plan: every
-/// `Sort`, `Aggregate`, `Distinct`, and hash-join build side (a `Join`
-/// with at least one equality column). The global budget is divided by
-/// this count. Anti-join builds and cross-join right sides remain
+/// `Sort`, `Aggregate`, `Distinct`, and hash build side of a keyed
+/// `Join` or `AntiJoin` (at least one equality column). The global
+/// budget is divided by this count. Cross-join right sides remain
 /// in-memory (documented follow-up) and are not counted.
 pub fn spill_points(plan: &Plan) -> usize {
     let own = match plan {
         Plan::Sort { .. } | Plan::Aggregate { .. } | Plan::Distinct { .. } => 1,
-        Plan::Join { on, .. } if !on.is_empty() => 1,
+        Plan::Join { on, .. } | Plan::AntiJoin { on, .. } if !on.is_empty() => 1,
         _ => 0,
     };
     own + plan.children().into_iter().map(spill_points).sum::<usize>()
@@ -246,10 +258,13 @@ pub(crate) struct RunFile {
     enc: Enc,
     block_count: u32,
     block_tag: u8,
+    /// The owning operator's profile node (`None` = profiling off):
+    /// bytes written and file creations are charged to it.
+    prof: SpillProf,
 }
 
 impl RunFile {
-    pub(crate) fn create(dir: &Path) -> Result<RunFile> {
+    pub(crate) fn create(dir: &Path, prof: SpillProf) -> Result<RunFile> {
         use std::sync::atomic::{AtomicU64, Ordering};
         static N: AtomicU64 = AtomicU64::new(0);
         let path = dir.join(format!(
@@ -265,6 +280,7 @@ impl RunFile {
             enc: Enc::new(),
             block_count: 0,
             block_tag: 0,
+            prof,
         })
     }
 
@@ -285,7 +301,11 @@ impl RunFile {
         self.enc.put_row(row);
         self.block_count += 1;
         self.rows += 1;
-        self.mem_bytes += row_bytes(row);
+        let rb = row_bytes(row);
+        self.mem_bytes += rb;
+        if let Some(n) = &self.prof {
+            bump(&n.spill_bytes, rb as u64);
+        }
         if self.block_count as usize >= BLOCK_ROWS || self.enc.bytes().len() >= SOFT_BLOCK_PAYLOAD {
             self.flush_block()?;
         }
@@ -312,6 +332,12 @@ impl RunFile {
                 StorageError::Io(format!("create spill file {}: {e}", self.path.display()))
             })?;
             self.writer = Some(BufWriter::new(file));
+            // Count run files when they materialize on disk (lazily
+            // created partitions that stay empty never count).
+            metrics().incr(Metric::SpillRunFiles);
+            if let Some(n) = &self.prof {
+                bump(&n.spill_partitions, 1);
+            }
         }
         let payload = self.enc.bytes();
         let w = self.writer.as_mut().expect("opened above");
@@ -450,9 +476,9 @@ impl RunReader {
 }
 
 /// A fresh set of [`SPILL_PARTITIONS`] run files.
-fn new_partitions(dir: &Path) -> Result<Vec<RunFile>> {
+fn new_partitions(dir: &Path, prof: &SpillProf) -> Result<Vec<RunFile>> {
     (0..SPILL_PARTITIONS)
-        .map(|_| RunFile::create(dir))
+        .map(|_| RunFile::create(dir, prof.clone()))
         .collect()
 }
 
@@ -482,6 +508,7 @@ pub(crate) fn external_sort<'a>(
     budget: usize,
     dir: &Path,
     batch: usize,
+    prof: SpillProf,
 ) -> Result<Box<dyn Iterator<Item = Result<super::Chunk>> + 'a>> {
     let mut buf: Vec<Row> = Vec::new();
     let mut buf_bytes = 0usize;
@@ -490,9 +517,12 @@ pub(crate) fn external_sort<'a>(
         let before = buf.len();
         chunk?.drain_into(&mut buf);
         buf_bytes += buf[before..].iter().map(row_bytes).sum::<usize>();
+        if let Some(n) = &prof {
+            raise(&n.peak_bytes, buf_bytes as u64);
+        }
         if buf_bytes > budget && !buf.is_empty() {
             buf.sort_by(|a, b| cmp_by(by, a, b));
-            let mut run = RunFile::create(dir)?;
+            let mut run = RunFile::create(dir, prof.clone())?;
             for row in &buf {
                 run.write(0, row)?;
             }
@@ -508,7 +538,7 @@ pub(crate) fn external_sort<'a>(
         return Ok(super::chunked_owned(buf, batch));
     }
     if !buf.is_empty() {
-        let mut run = RunFile::create(dir)?;
+        let mut run = RunFile::create(dir, prof.clone())?;
         for row in &buf {
             run.write(0, row)?;
         }
@@ -523,6 +553,9 @@ pub(crate) fn external_sort<'a>(
     // equals input order, so the tie-break toward the earlier run keeps
     // the overall sort stable.
     while runs.len() > MAX_MERGE_FANIN {
+        if let Some(n) = &prof {
+            bump(&n.spill_passes, 1);
+        }
         let mut next: Vec<RunFile> = Vec::with_capacity(runs.len().div_ceil(MAX_MERGE_FANIN));
         while !runs.is_empty() {
             let take = MAX_MERGE_FANIN.min(runs.len());
@@ -531,7 +564,7 @@ pub(crate) fn external_sort<'a>(
                 next.push(group.pop().expect("one run"));
                 continue;
             }
-            let mut merged = RunFile::create(dir)?;
+            let mut merged = RunFile::create(dir, prof.clone())?;
             let mut merge = MergeState::open(group, by.to_vec())?;
             while let Some(row) = merge.next_row()? {
                 merged.write(0, &row)?;
@@ -695,6 +728,7 @@ pub(crate) fn grace_aggregate<'a>(
     budget: usize,
     dir: &Path,
     batch: usize,
+    prof: SpillProf,
 ) -> Result<Box<dyn Iterator<Item = Result<super::Chunk>> + 'a>> {
     let mut groups: HashMap<Box<[Value]>, Vec<Acc>> = HashMap::new();
     let mut bytes = 0usize;
@@ -727,10 +761,13 @@ pub(crate) fn grace_aggregate<'a>(
         // Flush the group table past the budget (the footprint estimate
         // counts keys and accumulator slots, not transient string
         // growth inside min/max — approximate but monotone).
+        if let Some(n) = &prof {
+            raise(&n.peak_bytes, bytes as u64);
+        }
         if bytes > budget && !groups.is_empty() {
             let parts = match &mut partitions {
                 Some(p) => p,
-                None => partitions.insert(new_partitions(dir)?),
+                None => partitions.insert(new_partitions(dir, &prof)?),
             };
             for (key, accs) in groups.drain() {
                 let p = partition_of(key.iter(), 0);
@@ -775,7 +812,10 @@ pub(crate) fn grace_aggregate<'a>(
         let result = (|| -> Result<()> {
             if file.should_recurse(budget, level) {
                 // Oversized partition: re-partition at a deeper level.
-                let mut sub = new_partitions(&dir)?;
+                if let Some(n) = &prof {
+                    bump(&n.spill_passes, 1);
+                }
+                let mut sub = new_partitions(&dir, &prof)?;
                 let mut reader = file.reader()?;
                 while let Some((_, row)) = reader.next()? {
                     let p = partition_of(row.values()[..key_len].iter(), level);
@@ -845,6 +885,7 @@ pub(crate) struct SpillDistinct<'a> {
     batch: usize,
     state: DistinctState,
     pending: VecDeque<Result<super::Chunk>>,
+    prof: SpillProf,
 }
 
 enum DistinctState {
@@ -865,6 +906,7 @@ impl<'a> SpillDistinct<'a> {
         budget: usize,
         dir: &Path,
         batch: usize,
+        prof: SpillProf,
     ) -> SpillDistinct<'a> {
         SpillDistinct {
             input,
@@ -875,12 +917,13 @@ impl<'a> SpillDistinct<'a> {
             batch,
             state: DistinctState::Streaming,
             pending: VecDeque::new(),
+            prof,
         }
     }
 
     /// Transition Streaming → Spilling: partition the seen rows.
     fn spill_seen(&mut self) -> Result<()> {
-        let mut parts = new_partitions(&self.dir)?;
+        let mut parts = new_partitions(&self.dir, &self.prof)?;
         for row in self.seen.drain() {
             let p = partition_of(row.values().iter(), 0);
             parts[p].write(TAG_EMITTED, &row)?;
@@ -914,6 +957,9 @@ impl Iterator for SpillDistinct<'_> {
                             }
                         });
                         self.seen_bytes += added;
+                        if let Some(n) = &self.prof {
+                            raise(&n.peak_bytes, self.seen_bytes as u64);
+                        }
                         let over = self.seen_bytes > self.budget;
                         let out = if chunk.is_empty() {
                             chunk.recycle();
@@ -985,9 +1031,13 @@ impl Iterator for SpillDistinct<'_> {
                     };
                     let budget = self.budget;
                     let dir = self.dir.clone();
+                    let prof = self.prof.clone();
                     let result = (|| -> Result<()> {
                         if file.should_recurse(budget, level) {
-                            let mut sub = new_partitions(&dir)?;
+                            if let Some(n) = &prof {
+                                bump(&n.spill_passes, 1);
+                            }
+                            let mut sub = new_partitions(&dir, &prof)?;
                             let mut reader = file.reader()?;
                             while let Some((tag, row)) = reader.next()? {
                                 let p = partition_of(row.values().iter(), level);
@@ -1041,6 +1091,7 @@ pub(crate) fn build_or_spill(
     key_cols: &[usize],
     budget: usize,
     dir: &Path,
+    prof: SpillProf,
 ) -> Result<BuildSide> {
     let mut map: HashMap<Box<[Value]>, Vec<Row>> = HashMap::new();
     let mut bytes = 0usize;
@@ -1052,10 +1103,13 @@ pub(crate) fn build_or_spill(
             match &mut parts {
                 None => {
                     bytes += row_bytes(&row) + HASH_ENTRY_OVERHEAD;
+                    if let Some(n) = &prof {
+                        raise(&n.peak_bytes, bytes as u64);
+                    }
                     let key: Box<[Value]> = key_cols.iter().map(|&c| row[c].clone()).collect();
                     map.entry(key).or_default().push(row);
                     if bytes > budget {
-                        let files = parts.insert(new_partitions(dir)?);
+                        let files = parts.insert(new_partitions(dir, &prof)?);
                         for (_, rows) in map.drain() {
                             for row in rows {
                                 let p = partition_of(key_cols.iter().map(|&c| &row[c]), 0);
@@ -1084,6 +1138,12 @@ pub(crate) fn build_or_spill(
 /// The grace hash join's partition-pair processor: a lazy chunk iterator
 /// that first partitions the probe stream to disk, then joins partition
 /// pairs one at a time (re-partitioning oversized build partitions).
+///
+/// With `anti` set the probe phase inverts: a probe (left) row is
+/// emitted iff its partition's build table holds **no** row satisfying
+/// the residual — the grace-partitioned anti-join. Partitioning by the
+/// key hash keeps this exact: a left row's potential matches live in
+/// exactly one build partition.
 pub(crate) struct GraceJoin<'a> {
     probe: Option<Box<dyn Iterator<Item = Result<super::Chunk>> + 'a>>,
     on: &'a [(usize, usize)],
@@ -1091,6 +1151,8 @@ pub(crate) struct GraceJoin<'a> {
     budget: usize,
     dir: PathBuf,
     batch: usize,
+    anti: bool,
+    prof: SpillProf,
     /// (build partition, probe partition, level) pairs awaiting work.
     tasks: VecDeque<(RunFile, RunFile, u32)>,
     /// Queued output (chunks and split-off residual errors) in order.
@@ -1110,6 +1172,7 @@ struct CurrentPair {
 }
 
 impl<'a> GraceJoin<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         probe: Box<dyn Iterator<Item = Result<super::Chunk>> + 'a>,
         build_parts: Vec<RunFile>,
@@ -1118,6 +1181,7 @@ impl<'a> GraceJoin<'a> {
         budget: usize,
         dir: &Path,
         batch: usize,
+        prof: SpillProf,
     ) -> GraceJoin<'a> {
         GraceJoin {
             probe: Some(probe),
@@ -1126,6 +1190,8 @@ impl<'a> GraceJoin<'a> {
             budget,
             dir: dir.to_path_buf(),
             batch,
+            anti: false,
+            prof,
             tasks: VecDeque::new(),
             pending: VecDeque::new(),
             current: None,
@@ -1134,12 +1200,31 @@ impl<'a> GraceJoin<'a> {
         }
     }
 
+    /// The anti-join flavor: emit probe rows *without* a residual-
+    /// satisfying build match. Pairs whose build partition is empty are
+    /// still processed (their probe rows all pass).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new_anti(
+        probe: Box<dyn Iterator<Item = Result<super::Chunk>> + 'a>,
+        build_parts: Vec<RunFile>,
+        on: &'a [(usize, usize)],
+        residual: Option<&'a Expr>,
+        budget: usize,
+        dir: &Path,
+        batch: usize,
+        prof: SpillProf,
+    ) -> GraceJoin<'a> {
+        let mut join = GraceJoin::new(probe, build_parts, on, residual, budget, dir, batch, prof);
+        join.anti = true;
+        join
+    }
+
     /// Drain the probe stream into partitions matching the build's. Probe
     /// errors are queued in encounter order (they precede all join
     /// output: nothing has been emitted yet).
     fn partition_probe(&mut self) -> Result<()> {
         let probe = self.probe.take().expect("probe partitioned once");
-        let mut parts = new_partitions(&self.dir)?;
+        let mut parts = new_partitions(&self.dir, &self.prof)?;
         for item in probe {
             match item {
                 Err(e) => self.pending.push_back(Err(e)),
@@ -1154,7 +1239,9 @@ impl<'a> GraceJoin<'a> {
         }
         let build = self.build_parts.take().expect("build partitions present");
         for (b, mut p) in build.into_iter().zip(parts) {
-            if b.rows() > 0 && p.rows() > 0 {
+            // A join pair needs rows on both sides; an anti-join pair
+            // with an empty build side still emits all its probe rows.
+            if p.rows() > 0 && (self.anti || b.rows() > 0) {
                 p.seal()?;
                 self.tasks.push_back((b, p, 1));
             }
@@ -1166,22 +1253,25 @@ impl<'a> GraceJoin<'a> {
     /// and set it up as the current probe target.
     fn start_task(&mut self, mut build: RunFile, mut probe: RunFile, level: u32) -> Result<()> {
         if build.should_recurse(self.budget, level) {
+            if let Some(n) = &self.prof {
+                bump(&n.spill_passes, 1);
+            }
             let rcols: Vec<usize> = self.on.iter().map(|&(_, rc)| rc).collect();
             let lcols: Vec<usize> = self.on.iter().map(|&(lc, _)| lc).collect();
-            let mut bsub = new_partitions(&self.dir)?;
+            let mut bsub = new_partitions(&self.dir, &self.prof)?;
             let mut reader = build.reader()?;
             while let Some((_, row)) = reader.next()? {
                 let p = partition_of(rcols.iter().map(|&c| &row[c]), level);
                 bsub[p].write(0, &row)?;
             }
-            let mut psub = new_partitions(&self.dir)?;
+            let mut psub = new_partitions(&self.dir, &self.prof)?;
             let mut reader = probe.reader()?;
             while let Some((_, row)) = reader.next()? {
                 let p = partition_of(lcols.iter().map(|&c| &row[c]), level);
                 psub[p].write(0, &row)?;
             }
             for (mut b, mut p) in bsub.into_iter().zip(psub) {
-                if b.rows() > 0 && p.rows() > 0 {
+                if p.rows() > 0 && (self.anti || b.rows() > 0) {
                     b.seal()?;
                     p.seal()?;
                     self.tasks.push_back((b, p, level + 1));
@@ -1219,7 +1309,42 @@ impl<'a> GraceJoin<'a> {
                 break;
             };
             let key: Box<[Value]> = self.on.iter().map(|&(lc, _)| lrow[lc].clone()).collect();
-            if let Some(hits) = pair.table.get(&key) {
+            if self.anti {
+                // Emit the left row iff no build row satisfies the
+                // residual; a residual error drops the row and splits
+                // the output, like the in-memory anti filter.
+                match pair.table.get(&key) {
+                    None => out.push(lrow),
+                    Some(hits) => match self.residual {
+                        None => {}
+                        Some(e) => {
+                            let mut keep = true;
+                            for rrow in hits {
+                                match e.eval_bool(&lrow.concat(rrow)) {
+                                    Ok(true) => {
+                                        keep = false;
+                                        break;
+                                    }
+                                    Ok(false) => {}
+                                    Err(err) => {
+                                        if !out.is_empty() {
+                                            self.pending.push_back(Ok(super::Chunk::new(
+                                                std::mem::take(&mut out),
+                                            )));
+                                        }
+                                        self.pending.push_back(Err(err));
+                                        keep = false;
+                                        break;
+                                    }
+                                }
+                            }
+                            if keep {
+                                out.push(lrow);
+                            }
+                        }
+                    },
+                }
+            } else if let Some(hits) = pair.table.get(&key) {
                 for rrow in hits {
                     let joined = lrow.concat(rrow);
                     match self.residual {
@@ -1320,7 +1445,7 @@ mod tests {
         let rows = [row![1, "alpha"], row![Value::Null, true], row![-7, ""]];
         let path;
         {
-            let mut run = RunFile::create(&dir).unwrap();
+            let mut run = RunFile::create(&dir, None).unwrap();
             for (i, r) in rows.iter().enumerate() {
                 run.write(i as u8, r).unwrap();
             }
@@ -1341,7 +1466,7 @@ mod tests {
     #[test]
     fn corrupt_run_records_error_cleanly() {
         let dir = tmp();
-        let mut run = RunFile::create(&dir).unwrap();
+        let mut run = RunFile::create(&dir, None).unwrap();
         run.write(0, &row![1, "payload"]).unwrap();
         // Flush the pending block to disk, then flip a payload byte
         // behind the writer's back.

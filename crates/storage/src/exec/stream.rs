@@ -52,10 +52,13 @@ use super::{aggregate_stream, try_index_selection};
 use crate::catalog::Database;
 use crate::error::Result;
 use crate::expr::{CmpOp, Expr};
+use crate::obs::metrics::{metrics, Metric};
+use crate::obs::profile::{bump, raise, NodeObs, ProfNode, Profile};
 use crate::plan::Plan;
 use crate::row::{Projector, Row};
 use crate::value::Value;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// Default number of rows per chunk. Large enough to amortize per-chunk
@@ -78,6 +81,7 @@ pub const BATCH_SIZE: usize = 1024;
 /// thread) and thread-local, so there is no locking and no cross-query
 /// pinning beyond a few dozen KiB.
 mod pool {
+    use crate::obs::metrics::{metrics, Metric};
     use crate::row::Row;
     use std::cell::RefCell;
 
@@ -92,7 +96,16 @@ mod pool {
 
     /// An empty row buffer with at least `cap` capacity.
     pub(super) fn take_rows(cap: usize) -> Vec<Row> {
-        let mut buf = ROW_BUFS.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+        let mut buf = match ROW_BUFS.with(|p| p.borrow_mut().pop()) {
+            Some(buf) => {
+                metrics().incr(Metric::PoolHits);
+                buf
+            }
+            None => {
+                metrics().incr(Metric::PoolMisses);
+                Vec::new()
+            }
+        };
         // `reserve` is a no-op when the recycled capacity already
         // suffices; the buffer is empty, so this guarantees `cap`.
         buf.reserve(cap);
@@ -454,7 +467,26 @@ impl<'a> Executor<'a> {
             plan,
             Batch::new(self.batch),
             &spill,
+            &NodeObs::disabled(),
         )?))
+    }
+
+    /// Open a plan with per-operator profiling on: every operator's
+    /// rows/chunks/time (and any spill activity) is recorded into the
+    /// returned [`Profile`], whose counters are live — read them after
+    /// draining the stream. This is the `EXPLAIN ANALYZE` entry point.
+    pub fn open_chunks_profiled(&self, plan: &'a Plan) -> Result<(ChunkStream<'a>, Profile)> {
+        plan.arity(self.db)?;
+        let spill = SpillCtx::for_plan(&self.spill, plan);
+        let root = ProfNode::new();
+        let stream = ChunkStream::new(open_node(
+            self.db,
+            plan,
+            Batch::new(self.batch),
+            &spill,
+            &NodeObs::enabled(Rc::clone(&root)),
+        )?);
+        Ok((stream, Profile::new(root)))
     }
 
     /// Open a plan as a row stream (the chunked pipeline behind the
@@ -686,17 +718,23 @@ fn open_node<'a>(
     plan: &'a Plan,
     batch: Batch,
     spill: &SpillCtx,
+    obs: &NodeObs,
 ) -> Result<BoxChunkIter<'a>> {
-    match plan {
+    // Children are opened under `obs.child(slot)` where `slot` is the
+    // plan-child index (left = 0, right = 1, union input = i); the
+    // profile renderer walks plan and profile in slot lockstep.
+    let iter: BoxChunkIter<'a> = match plan {
         Plan::Scan { table } => {
             let t = db.table(table)?;
-            Ok(chunked_refs(t.iter().map(|(_, r)| r), batch.effective))
+            chunked_refs(t.iter().map(|(_, r)| r), batch.effective)
         }
-        Plan::Values { rows, .. } => Ok(chunked_refs(rows.iter(), batch.effective)),
-        Plan::Selection { input, predicate } => open_selection(db, input, predicate, batch, spill),
+        Plan::Values { rows, .. } => chunked_refs(rows.iter(), batch.effective),
+        Plan::Selection { input, predicate } => {
+            open_selection(db, input, predicate, batch, spill, obs)?
+        }
         Plan::Projection { input, exprs } => {
             let arity = input.arity(db)?;
-            let input = open_node(db, input, batch, spill)?;
+            let input = open_node(db, input, batch, spill, &obs.child(0))?;
             // All-column projections compile to an infallible Projector
             // validated here, once; the per-row Result disappears.
             let cols: Option<Vec<usize>> = exprs
@@ -708,56 +746,55 @@ fn open_node<'a>(
                 .collect();
             if let Some(cols) = cols {
                 let proj = Projector::new(cols, arity)?;
-                return Ok(Box::new(ProjectChunks { input, proj }));
+                Box::new(ProjectChunks { input, proj })
+            } else {
+                map_chunks(input, batch.effective, move |row, out| {
+                    let mut vals = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        vals.push(e.eval(row)?);
+                    }
+                    out.push(Row::new(vals));
+                    Ok(())
+                })
             }
-            Ok(map_chunks(input, batch.effective, move |row, out| {
-                let mut vals = Vec::with_capacity(exprs.len());
-                for e in exprs {
-                    vals.push(e.eval(row)?);
-                }
-                out.push(Row::new(vals));
-                Ok(())
-            }))
         }
         Plan::Join {
             left,
             right,
             on,
             residual,
-        } => open_join(db, left, right, on, residual.as_ref(), batch, spill),
+        } => open_join(db, left, right, on, residual.as_ref(), batch, spill, obs)?,
         Plan::AntiJoin {
             left,
             right,
             on,
             residual,
-        } => open_anti_join(db, left, right, on, residual.as_ref(), batch, spill),
+        } => open_anti_join(db, left, right, on, residual.as_ref(), batch, spill, obs)?,
         Plan::Distinct { input } => {
-            let input = open_node(db, input, batch, spill)?;
+            let input = open_node(db, input, batch, spill, &obs.child(0))?;
             match spill.per_point {
                 // Unlimited: the pre-existing streaming seen-set.
                 None => {
                     let mut seen: HashSet<Row> = HashSet::new();
-                    Ok(filter_chunks(
-                        input,
-                        move |row| Ok(seen.insert(row.clone())),
-                    ))
+                    filter_chunks(input, move |row| Ok(seen.insert(row.clone())))
                 }
                 // Budgeted: stream identically while the seen-set fits,
                 // partition to disk past the budget.
-                Some(budget) => Ok(Box::new(spill::SpillDistinct::new(
+                Some(budget) => Box::new(spill::SpillDistinct::new(
                     input,
                     budget,
                     &spill.dir,
                     batch.effective,
-                ))),
+                    obs.spill_prof(),
+                )),
             }
         }
         Plan::Union { inputs } => {
             let mut streams = Vec::with_capacity(inputs.len());
-            for p in inputs {
-                streams.push(open_node(db, p, batch, spill)?);
+            for (i, p) in inputs.iter().enumerate() {
+                streams.push(open_node(db, p, batch, spill, &obs.child(i))?);
             }
-            Ok(Box::new(streams.into_iter().flatten()))
+            Box::new(streams.into_iter().flatten())
         }
         Plan::Aggregate {
             input,
@@ -768,11 +805,11 @@ fn open_node<'a>(
             // row, but only one row per group is ever held. The input runs
             // at the executor's full batch size regardless of any Limit
             // above (the aggregate consumes everything anyway).
-            let input = open_node(db, input, batch.full(), spill)?;
+            let input = open_node(db, input, batch.full(), spill, &obs.child(0))?;
             match spill.per_point {
                 None => {
                     let rows = aggregate_stream(ChunkStream::new(input).rows(), group_by, aggs)?;
-                    Ok(chunked_owned(rows, batch.effective))
+                    chunked_owned(rows, batch.effective)
                 }
                 // Budgeted: partial accumulators partition to disk when
                 // the group table exceeds its share.
@@ -783,36 +820,43 @@ fn open_node<'a>(
                     budget,
                     &spill.dir,
                     batch.effective,
-                ),
+                    obs.spill_prof(),
+                )?,
             }
         }
         Plan::Sort { input, by } => {
             // Materialization point.
-            let input = open_node(db, input, batch.full(), spill)?;
+            let input = open_node(db, input, batch.full(), spill, &obs.child(0))?;
             match spill.per_point {
                 None => {
                     let mut rows = ChunkStream::new(input).collect_rows()?;
                     rows.sort_by(|a, b| spill::cmp_by(by, a, b));
-                    Ok(chunked_owned(rows, batch.effective))
+                    chunked_owned(rows, batch.effective)
                 }
                 // Budgeted: sorted run generation + k-way merge. Produces
                 // the identical (stable) order.
-                Some(budget) => {
-                    spill::external_sort(input, by, budget, &spill.dir, batch.effective)
-                }
+                Some(budget) => spill::external_sort(
+                    input,
+                    by,
+                    budget,
+                    &spill.dir,
+                    batch.effective,
+                    obs.spill_prof(),
+                )?,
             }
         }
         Plan::Limit { input, n } => {
             // Cap the subtree's batch size at n: a first-rows query pulls
             // one right-sized batch through the pipeline instead of a full
             // one (materialization points below reset to the full batch).
-            let input = open_node(db, input, batch.capped(*n), spill)?;
-            Ok(Box::new(LimitChunks {
+            let input = open_node(db, input, batch.capped(*n), spill, &obs.child(0))?;
+            Box::new(LimitChunks {
                 input,
                 remaining: *n,
-            }))
+            })
         }
-    }
+    };
+    Ok(obs.wrap(iter))
 }
 
 /// First-chunk size of the leaf ramp-up: scans and literal relations
@@ -833,6 +877,7 @@ fn chunked_refs<'a>(iter: impl Iterator<Item = &'a Row> + 'a, batch: usize) -> B
         let mut rows = pool::take_rows(size);
         rows.extend(iter.by_ref().take(size).cloned());
         size = (size * 2).min(batch);
+        metrics().add(Metric::RowsScanned, rows.len() as u64);
         Some(Ok(Chunk::new(rows)))
     }))
 }
@@ -865,6 +910,7 @@ fn open_selection<'a>(
     predicate: &'a Expr,
     batch: Batch,
     spill: &SpillCtx,
+    obs: &NodeObs,
 ) -> Result<BoxChunkIter<'a>> {
     // Index access path: a selection directly over a scan whose predicate
     // pins indexed columns fetches candidates through the index (a small,
@@ -872,6 +918,9 @@ fn open_selection<'a>(
     if let Plan::Scan { table } = input {
         let t = db.table(table)?;
         if let Some(rows) = try_index_selection(t, predicate)? {
+            if let Some(n) = obs.node() {
+                bump(&n.rows_in, rows.len() as u64);
+            }
             return Ok(chunked_owned(rows, batch.effective));
         }
         // Filter-over-scan fusion: test table rows *by reference* and
@@ -879,26 +928,55 @@ fn open_selection<'a>(
         // copies the rows it drops.
         let refs = t.iter().map(|(_, r)| r);
         if let Some(kernel) = FilterKernel::compile(predicate) {
+            let prof = obs.spill_prof();
             return Ok(chunked_refs(
-                refs.filter(move |r| kernel.test(r)),
+                refs.filter(move |r| {
+                    if let Some(n) = &prof {
+                        bump(&n.rows_in, 1);
+                        bump(&n.kernel_rows, 1);
+                    }
+                    kernel.test(r)
+                }),
                 batch.effective,
             ));
         }
-        return Ok(filtered_ref_scan(refs, predicate, batch.effective));
+        let prof = obs.spill_prof();
+        return Ok(filtered_ref_scan(
+            refs.inspect(move |_| {
+                if let Some(n) = &prof {
+                    bump(&n.rows_in, 1);
+                    bump(&n.fallback_rows, 1);
+                }
+            }),
+            predicate,
+            batch.effective,
+        ));
     }
-    let input = open_node(db, input, batch, spill)?;
+    let input = open_node(db, input, batch, spill, &obs.child(0))?;
     if let Some(kernel) = FilterKernel::compile(predicate) {
         // Kernel filters are infallible: pure selection-vector updates
         // (a fused AND runs one pass per conjunct).
+        let prof = obs.spill_prof();
         return Ok(Box::new(input.filter_map(move |item| match item {
             Ok(mut chunk) => {
+                if let Some(n) = &prof {
+                    bump(&n.rows_in, chunk.len() as u64);
+                    bump(&n.kernel_rows, chunk.len() as u64);
+                }
                 kernel.filter_chunk(&mut chunk);
                 (!chunk.is_empty()).then_some(Ok(chunk))
             }
             Err(e) => Some(Err(e)),
         })));
     }
-    Ok(filter_chunks(input, move |row| predicate.eval_bool(row)))
+    let prof = obs.spill_prof();
+    Ok(filter_chunks(input, move |row| {
+        if let Some(n) = &prof {
+            bump(&n.rows_in, 1);
+            bump(&n.fallback_rows, 1);
+        }
+        predicate.eval_bool(row)
+    }))
 }
 
 /// Interpreter filter over borrowed scan rows with error splitting: rows
@@ -1216,6 +1294,7 @@ impl Iterator for LimitChunks<'_> {
 // Joins
 // ---------------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)]
 fn open_join<'a>(
     db: &'a Database,
     left: &'a Plan,
@@ -1224,6 +1303,7 @@ fn open_join<'a>(
     residual: Option<&'a Expr>,
     batch: Batch,
     spill: &SpillCtx,
+    obs: &NodeObs,
 ) -> Result<BoxChunkIter<'a>> {
     if !on.is_empty() {
         if let Some((table_name, pred)) = base_access(right) {
@@ -1246,7 +1326,7 @@ fn open_join<'a>(
                 // other; past the share we fall back to the hash join,
                 // which spills).
                 let budget = table.len().max(1) / 4;
-                let mut left_stream = open_node(db, left, batch, spill)?;
+                let mut left_stream = open_node(db, left, batch, spill, &obs.child(0))?;
                 let mut buf: Vec<Row> = Vec::new();
                 let mut buf_bytes = 0usize;
                 let mut small_left = true;
@@ -1260,6 +1340,9 @@ fn open_join<'a>(
                             let before = buf.len();
                             chunk?.drain_into(&mut buf);
                             buf_bytes += buf[before..].iter().map(spill::row_bytes).sum::<usize>();
+                            if let Some(n) = obs.node() {
+                                raise(&n.peak_bytes, buf_bytes as u64);
+                            }
                         }
                         None => break,
                     }
@@ -1274,16 +1357,17 @@ fn open_join<'a>(
                 // rest of the stream and hash-join instead.
                 let probe: BoxChunkIter<'a> =
                     Box::new(chunked_owned(buf, batch.effective).chain(left_stream));
-                return hash_join(db, probe, right, on, residual, batch, spill);
+                return hash_join(db, probe, right, on, residual, batch, spill, obs);
             }
         }
-        let probe = open_node(db, left, batch, spill)?;
-        return hash_join(db, probe, right, on, residual, batch, spill);
+        let probe = open_node(db, left, batch, spill, &obs.child(0))?;
+        return hash_join(db, probe, right, on, residual, batch, spill, obs);
     }
     // Cross/theta join: the right side is materialized once, the left
     // side pipelines chunk-at-a-time through the nested loop.
-    let rrows = ChunkStream::new(open_node(db, right, batch.full(), spill)?).collect_rows()?;
-    let left = open_node(db, left, batch, spill)?;
+    let rrows = ChunkStream::new(open_node(db, right, batch.full(), spill, &obs.child(1))?)
+        .collect_rows()?;
+    let left = open_node(db, left, batch, spill, &obs.child(0))?;
     Ok(map_chunks(left, batch.effective, move |lrow, out| {
         for rrow in &rrows {
             let joined = lrow.concat(rrow);
@@ -1355,6 +1439,7 @@ fn index_probe(
 /// Build a hash table over the right side, then probe whole chunks.
 /// Under a memory budget the build side may spill, turning this into a
 /// grace hash join (build and probe partitioned to disk on the key).
+#[allow(clippy::too_many_arguments)]
 fn hash_join<'a>(
     db: &'a Database,
     probe: BoxChunkIter<'a>,
@@ -1363,14 +1448,15 @@ fn hash_join<'a>(
     residual: Option<&'a Expr>,
     batch: Batch,
     spill: &SpillCtx,
+    obs: &NodeObs,
 ) -> Result<BoxChunkIter<'a>> {
     let build = match spill.per_point {
         // Unlimited: the pre-existing in-memory build.
-        None => build_side(db, right, on, batch, spill)?,
+        None => build_side(db, right, on, batch, spill, &obs.child(1))?,
         Some(budget) => {
             let rcols: Vec<usize> = on.iter().map(|&(_, rc)| rc).collect();
-            let input = ChunkStream::new(open_node(db, right, batch.full(), spill)?);
-            match spill::build_or_spill(input, &rcols, budget, &spill.dir)? {
+            let input = ChunkStream::new(open_node(db, right, batch.full(), spill, &obs.child(1))?);
+            match spill::build_or_spill(input, &rcols, budget, &spill.dir, obs.spill_prof())? {
                 spill::BuildSide::InMemory(map) => map,
                 spill::BuildSide::Spilled(parts) => {
                     return Ok(Box::new(spill::GraceJoin::new(
@@ -1381,6 +1467,7 @@ fn hash_join<'a>(
                         budget,
                         &spill.dir,
                         batch.effective,
+                        obs.spill_prof(),
                     )))
                 }
             }
@@ -1413,10 +1500,11 @@ fn build_side(
     on: &[(usize, usize)],
     batch: Batch,
     spill: &SpillCtx,
+    obs: &NodeObs,
 ) -> Result<HashMap<Box<[Value]>, Vec<Row>>> {
     let mut build: HashMap<Box<[Value]>, Vec<Row>> = HashMap::new();
     let mut scratch: Vec<Row> = Vec::new();
-    for chunk in ChunkStream::new(open_node(db, right, batch.full(), spill)?) {
+    for chunk in ChunkStream::new(open_node(db, right, batch.full(), spill, obs)?) {
         chunk?.drain_into(&mut scratch);
         for row in scratch.drain(..) {
             let key: Box<[Value]> = on.iter().map(|&(_, rc)| row[rc].clone()).collect();
@@ -1426,6 +1514,7 @@ fn build_side(
     Ok(build)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn open_anti_join<'a>(
     db: &'a Database,
     left: &'a Plan,
@@ -1434,13 +1523,15 @@ fn open_anti_join<'a>(
     residual: Option<&'a Expr>,
     batch: Batch,
     spill: &SpillCtx,
+    obs: &NodeObs,
 ) -> Result<BoxChunkIter<'a>> {
-    let left_stream = open_node(db, left, batch, spill)?;
+    let left_stream = open_node(db, left, batch, spill, &obs.child(0))?;
     if on.is_empty() {
         // A left row survives iff no right row makes the residual hold.
         // Anti-joins keep left rows unchanged, so this is a pure
         // selection-vector filter.
-        let rrows = ChunkStream::new(open_node(db, right, batch.full(), spill)?).collect_rows()?;
+        let rrows = ChunkStream::new(open_node(db, right, batch.full(), spill, &obs.child(1))?)
+            .collect_rows()?;
         return Ok(filter_chunks(left_stream, move |lrow| {
             for rrow in &rrows {
                 match residual {
@@ -1455,8 +1546,44 @@ fn open_anti_join<'a>(
             Ok(true)
         }));
     }
-    let build = build_side(db, right, on, batch, spill)?;
-    Ok(filter_chunks(left_stream, move |lrow| {
+    // Keyed anti-join: the build side is a materialization point, so
+    // under a memory budget it counts against this point's byte share
+    // and grace-partitions to disk past it (mirroring `hash_join`).
+    if let Some(budget) = spill.per_point {
+        let rcols: Vec<usize> = on.iter().map(|&(_, rc)| rc).collect();
+        let input = ChunkStream::new(open_node(db, right, batch.full(), spill, &obs.child(1))?);
+        let build =
+            match spill::build_or_spill(input, &rcols, budget, &spill.dir, obs.spill_prof())? {
+                spill::BuildSide::InMemory(map) => map,
+                spill::BuildSide::Spilled(parts) => {
+                    return Ok(Box::new(spill::GraceJoin::new_anti(
+                        left_stream,
+                        parts,
+                        on,
+                        residual,
+                        budget,
+                        &spill.dir,
+                        batch.effective,
+                        obs.spill_prof(),
+                    )));
+                }
+            };
+        return Ok(anti_filter(left_stream, build, on, residual));
+    }
+    let build = build_side(db, right, on, batch, spill, &obs.child(1))?;
+    Ok(anti_filter(left_stream, build, on, residual))
+}
+
+/// Filter `left` down to the rows with no residual-satisfying match in
+/// the build table — the anti-join's probe phase (a pure
+/// selection-vector filter: left rows pass through unchanged).
+fn anti_filter<'a>(
+    left: BoxChunkIter<'a>,
+    build: HashMap<Box<[Value]>, Vec<Row>>,
+    on: &'a [(usize, usize)],
+    residual: Option<&'a Expr>,
+) -> BoxChunkIter<'a> {
+    filter_chunks(left, move |lrow| {
         let key: Box<[Value]> = on.iter().map(|&(lc, _)| lrow[lc].clone()).collect();
         match build.get(&key) {
             None => Ok(true),
@@ -1472,7 +1599,7 @@ fn open_anti_join<'a>(
                 }
             },
         }
-    }))
+    })
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod index;
+pub mod obs;
 pub mod opt;
 pub mod persist;
 pub mod plan;
@@ -57,6 +58,9 @@ pub use exec::{
 };
 pub use expr::{CmpOp, Expr};
 pub use index::RowId;
+pub use obs::{
+    metrics, Metric, MetricsSnapshot, Profile, QueryTrace, Recorder, SlowLog, SpanRecord,
+};
 pub use opt::{optimize, optimize_with, OptimizerOptions, StatsCatalog};
 pub use persist::{PersistEngine, PersistOptions, WalStats};
 pub use plan::{Agg, Plan};

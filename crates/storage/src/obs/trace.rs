@@ -1,0 +1,281 @@
+//! Structured span recording and the slow-query log.
+//!
+//! A [`Recorder`] collects named span timings through one query's life
+//! (parse → lower → translate → plan-cache lookup → execute → sort —
+//! whichever stages the caller wraps). Disabled recorders are free: no
+//! start timestamp is taken and [`Recorder::span`] calls the closure
+//! straight through — one branch, zero allocations.
+//!
+//! A [`SlowLog`] is a bounded ring of [`QueryTrace`]s. When its
+//! threshold is set (shell `\set slowlog <ms>`, or the
+//! `BELIEFDB_SLOWLOG_MS` environment variable at construction), the
+//! owning engine runs queries with profiling on and hands the finished
+//! trace — spans plus the full `EXPLAIN ANALYZE` report — to
+//! [`SlowLog::observe`], which keeps it only if the query crossed the
+//! threshold.
+
+use super::metrics::{metrics, Metric};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Traces kept in the ring; older captures are dropped first.
+const SLOWLOG_CAP: usize = 32;
+
+/// Threshold sentinel for "slow-query log off".
+const OFF: u64 = u64::MAX;
+
+/// One timed stage of a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub name: &'static str,
+    pub nanos: u64,
+}
+
+/// A captured slow query: what ran, how long each stage took, and the
+/// full execution profile (present whenever the capture came from a
+/// profiled run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// The statement (SQL text or the BCQ's rendering).
+    pub statement: String,
+    pub total_nanos: u64,
+    pub spans: Vec<SpanRecord>,
+    /// The `EXPLAIN ANALYZE` report of the run that was captured.
+    pub profile: Option<String>,
+}
+
+/// Collects span timings for one query. Create with
+/// [`Recorder::enabled`] when capturing, [`Recorder::disabled`]
+/// otherwise.
+#[derive(Debug)]
+pub struct Recorder {
+    /// `None` = disabled: spans pass through, `finish` yields nothing.
+    start: Option<Instant>,
+    statement: String,
+    spans: Vec<SpanRecord>,
+    profile: Option<String>,
+}
+
+impl Recorder {
+    /// The free recorder: no timestamp, no buffer, every hook one branch.
+    pub fn disabled() -> Recorder {
+        Recorder {
+            start: None,
+            statement: String::new(),
+            spans: Vec::new(),
+            profile: None,
+        }
+    }
+
+    pub fn enabled(statement: impl Into<String>) -> Recorder {
+        Recorder {
+            start: Some(Instant::now()),
+            statement: statement.into(),
+            spans: Vec::new(),
+            profile: None,
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Run `f`, recording its wall time under `name` (enabled only).
+    pub fn span<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        if self.start.is_none() {
+            return f();
+        }
+        let t0 = Instant::now();
+        let out = f();
+        self.spans.push(SpanRecord {
+            name,
+            nanos: t0.elapsed().as_nanos() as u64,
+        });
+        out
+    }
+
+    /// Attach the execution profile of the run being traced.
+    pub fn set_profile(&mut self, report: String) {
+        if self.is_enabled() {
+            self.profile = Some(report);
+        }
+    }
+
+    /// Close the trace (total time = now − creation). `None` when
+    /// disabled.
+    pub fn finish(self) -> Option<QueryTrace> {
+        let start = self.start?;
+        Some(QueryTrace {
+            statement: self.statement,
+            total_nanos: start.elapsed().as_nanos() as u64,
+            spans: self.spans,
+            profile: self.profile,
+        })
+    }
+}
+
+/// Ring-buffer sink for slow queries.
+///
+/// The threshold is an atomic so the owning engine can check "is the
+/// slow log on?" before every query with a single relaxed load.
+#[derive(Debug)]
+pub struct SlowLog {
+    threshold_nanos: AtomicU64,
+    entries: Mutex<VecDeque<QueryTrace>>,
+}
+
+impl Default for SlowLog {
+    fn default() -> Self {
+        SlowLog::new()
+    }
+}
+
+impl SlowLog {
+    /// A slow log whose initial threshold comes from the
+    /// `BELIEFDB_SLOWLOG_MS` environment variable (off when unset or
+    /// unparsable).
+    pub fn new() -> SlowLog {
+        let from_env = std::env::var("BELIEFDB_SLOWLOG_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok());
+        let log = SlowLog {
+            threshold_nanos: AtomicU64::new(OFF),
+            entries: Mutex::new(VecDeque::new()),
+        };
+        log.set_threshold_ms(from_env);
+        log
+    }
+
+    /// Set the capture threshold (`None` = off). A threshold of 0 ms
+    /// captures every query.
+    pub fn set_threshold_ms(&self, ms: Option<u64>) {
+        let nanos = match ms {
+            None => OFF,
+            Some(ms) => ms.saturating_mul(1_000_000).min(OFF - 1),
+        };
+        self.threshold_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// The current threshold in milliseconds (`None` = off).
+    pub fn threshold_ms(&self) -> Option<u64> {
+        match self.threshold_nanos.load(Ordering::Relaxed) {
+            OFF => None,
+            nanos => Some(nanos / 1_000_000),
+        }
+    }
+
+    /// Whether captures are on — the one-branch fast check.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.threshold_nanos.load(Ordering::Relaxed) != OFF
+    }
+
+    /// Keep `trace` if it crossed the threshold.
+    pub fn observe(&self, trace: QueryTrace) {
+        let threshold = self.threshold_nanos.load(Ordering::Relaxed);
+        if threshold == OFF || trace.total_nanos < threshold {
+            return;
+        }
+        metrics().incr(Metric::SlowQueries);
+        let mut entries = self.entries.lock().expect("slowlog poisoned");
+        if entries.len() == SLOWLOG_CAP {
+            entries.pop_front();
+        }
+        entries.push_back(trace);
+    }
+
+    /// The captured traces, oldest first.
+    pub fn entries(&self) -> Vec<QueryTrace> {
+        self.entries
+            .lock()
+            .expect("slowlog poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    pub fn clear(&self) {
+        self.entries.lock().expect("slowlog poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_pass_through() {
+        let mut rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        assert_eq!(rec.span("parse", || 7), 7);
+        rec.set_profile("ignored".into());
+        assert!(rec.finish().is_none());
+    }
+
+    #[test]
+    fn enabled_recorder_collects_spans_and_profile() {
+        let mut rec = Recorder::enabled("select 1");
+        let v = rec.span("parse", || 41 + 1);
+        assert_eq!(v, 42);
+        rec.span("execute", || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        rec.set_profile("Scan T".into());
+        let trace = rec.finish().unwrap();
+        assert_eq!(trace.statement, "select 1");
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.spans[0].name, "parse");
+        assert_eq!(trace.spans[1].name, "execute");
+        assert!(trace.spans[1].nanos >= 1_000_000);
+        assert!(trace.total_nanos >= trace.spans[1].nanos);
+        assert_eq!(trace.profile.as_deref(), Some("Scan T"));
+    }
+
+    #[test]
+    fn slowlog_threshold_gates_and_ring_caps() {
+        let log = SlowLog::new();
+        log.set_threshold_ms(None);
+        assert!(!log.enabled());
+        log.observe(QueryTrace {
+            statement: "q".into(),
+            total_nanos: u64::MAX - 1,
+            spans: vec![],
+            profile: None,
+        });
+        assert!(log.entries().is_empty());
+
+        log.set_threshold_ms(Some(1));
+        assert!(log.enabled());
+        assert_eq!(log.threshold_ms(), Some(1));
+        for i in 0..(SLOWLOG_CAP + 3) {
+            log.observe(QueryTrace {
+                statement: format!("q{i}"),
+                total_nanos: if i == 0 { 999_999 } else { 2_000_000 },
+                spans: vec![],
+                profile: None,
+            });
+        }
+        let entries = log.entries();
+        // q0 was under threshold; the ring keeps the newest CAP of the rest.
+        assert_eq!(entries.len(), SLOWLOG_CAP);
+        assert_eq!(
+            entries.last().unwrap().statement,
+            format!("q{}", SLOWLOG_CAP + 2)
+        );
+        assert!(entries.iter().all(|t| t.statement != "q0"));
+        log.clear();
+        assert!(log.entries().is_empty());
+
+        // Threshold 0 captures everything.
+        log.set_threshold_ms(Some(0));
+        log.observe(QueryTrace {
+            statement: "fast".into(),
+            total_nanos: 10,
+            spans: vec![],
+            profile: None,
+        });
+        assert_eq!(log.entries().len(), 1);
+    }
+}

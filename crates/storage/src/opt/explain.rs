@@ -14,7 +14,9 @@ use crate::catalog::Database;
 use crate::exec::{
     access_path_note, selection_kernel_label, spill_points, BATCH_SIZE, SPILL_PARTITIONS,
 };
+use crate::obs::profile::{ProfNode, Profile};
 use crate::plan::{Agg, Plan};
+use std::rc::Rc;
 
 /// Render a plan as an indented tree. Deterministic: node order follows
 /// the plan structure, estimates are integers, and no hash-map iteration
@@ -42,13 +44,105 @@ pub fn render_with_budget(
         })
         .unwrap_or_default();
     let mut out = String::new();
-    render_node(db, plan, &est, 0, &spill_tag, &mut out);
+    render_node(db, plan, &est, 0, &spill_tag, &ProfCtx::Off, &mut out);
     out
 }
 
 /// Render with a fresh statistics snapshot.
 pub fn render_with_snapshot(db: &Database, plan: &Plan) -> String {
     render(db, &StatsCatalog::snapshot(db), plan)
+}
+
+/// `EXPLAIN ANALYZE`: the [`render_with_budget`] tree with a ` | actual …`
+/// suffix on every line reporting what the executor really did — rows and
+/// chunks emitted, inclusive and exclusive wall time, kernel-vs-fallback
+/// filter rows, spill bytes / run files / extra passes, and the peak bytes
+/// a budgeted build held in memory. Estimates stay on the line (`est=` vs
+/// `actual rows=` is the misestimation delta). Operators the executor
+/// never opened (a selection fused into its scan, the probed side of an
+/// index nested-loop join) render as `| actual fused`. Partial profiles
+/// from error-path executions render whatever was counted before the
+/// error surfaced.
+pub fn render_analyze(
+    db: &Database,
+    catalog: &StatsCatalog,
+    plan: &Plan,
+    profile: &Profile,
+    budget: Option<usize>,
+) -> String {
+    let est = EstTree::build(catalog, plan);
+    let spill_tag = budget
+        .map(|b| {
+            let per_point = b / spill_points(plan).max(1);
+            format!(" [spill budget={per_point} partitions={SPILL_PARTITIONS}]")
+        })
+        .unwrap_or_default();
+    let mut out = String::new();
+    let prof = ProfCtx::On(Some(Rc::clone(profile.root())));
+    render_node(db, plan, &est, 0, &spill_tag, &prof, &mut out);
+    out
+}
+
+/// Profile context threaded through the render walk: `Off` for plain
+/// `EXPLAIN`, `On(node)` for `EXPLAIN ANALYZE` where the node mirrors the
+/// current plan position (`None` = the executor never opened it).
+enum ProfCtx {
+    Off,
+    On(Option<Rc<ProfNode>>),
+}
+
+impl ProfCtx {
+    fn child(&self, slot: usize) -> ProfCtx {
+        match self {
+            ProfCtx::Off => ProfCtx::Off,
+            ProfCtx::On(n) => ProfCtx::On(n.as_ref().and_then(|n| n.child_at(slot))),
+        }
+    }
+}
+
+fn fmt_nanos(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2}ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}us", n as f64 / 1e3)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+/// The ` | actual …` suffix for one opened operator. Zero-valued optional
+/// counters are omitted so lines stay short on the common path.
+fn actual_note(node: &ProfNode) -> String {
+    let mut s = format!(
+        " | actual rows={} chunks={} time={} self={}",
+        node.rows_out.get(),
+        node.chunks_out.get(),
+        fmt_nanos(node.nanos.get()),
+        fmt_nanos(node.self_nanos()),
+    );
+    if node.rows_in.get() > 0 {
+        s.push_str(&format!(" rows_in={}", node.rows_in.get()));
+    }
+    if node.kernel_rows.get() > 0 {
+        s.push_str(&format!(" kernel_rows={}", node.kernel_rows.get()));
+    }
+    if node.fallback_rows.get() > 0 {
+        s.push_str(&format!(" fallback_rows={}", node.fallback_rows.get()));
+    }
+    if node.spill_bytes.get() > 0 || node.spill_partitions.get() > 0 {
+        s.push_str(&format!(
+            " spill_bytes={} spill_partitions={} spill_passes={}",
+            node.spill_bytes.get(),
+            node.spill_partitions.get(),
+            node.spill_passes.get(),
+        ));
+    }
+    if node.peak_bytes.get() > 0 {
+        s.push_str(&format!(" peak_bytes={}", node.peak_bytes.get()));
+    }
+    s
 }
 
 /// Per-node estimates memoized in plan shape: children mirror
@@ -135,7 +229,7 @@ fn on_note(on: &[(usize, usize)]) -> String {
 fn spill_note<'s>(plan: &Plan, tag: &'s str) -> &'s str {
     match plan {
         Plan::Sort { .. } | Plan::Aggregate { .. } | Plan::Distinct { .. } => tag,
-        Plan::Join { on, .. } if !on.is_empty() => tag,
+        Plan::Join { on, .. } | Plan::AntiJoin { on, .. } if !on.is_empty() => tag,
         _ => "",
     }
 }
@@ -146,9 +240,32 @@ fn render_node(
     est: &EstTree,
     depth: usize,
     spill_tag: &str,
+    prof: &ProfCtx,
     out: &mut String,
 ) {
     indent(depth, out);
+    out.push_str(&node_line(db, plan, est, spill_tag));
+    match prof {
+        ProfCtx::Off => {}
+        ProfCtx::On(Some(n)) => out.push_str(&actual_note(n)),
+        ProfCtx::On(None) => out.push_str(" | actual fused"),
+    }
+    out.push('\n');
+    for (slot, (child, child_est)) in plan.children().into_iter().zip(&est.children).enumerate() {
+        render_node(
+            db,
+            child,
+            child_est,
+            depth + 1,
+            spill_tag,
+            &prof.child(slot),
+            out,
+        );
+    }
+}
+
+/// One operator's line, without indentation, profile suffix, or newline.
+fn node_line(db: &Database, plan: &Plan, est: &EstTree, spill_tag: &str) -> String {
     let exec = format!(
         "{}{}{}",
         exec_note(plan),
@@ -158,7 +275,7 @@ fn render_node(
     match plan {
         Plan::Scan { table } => {
             let rows = db.table(table).map(|t| t.len()).unwrap_or(0);
-            out.push_str(&format!("Scan {table} (rows={rows}){exec}\n"));
+            format!("Scan {table} (rows={rows}){exec}")
         }
         Plan::Selection { input, predicate } => {
             let access = match input.as_ref() {
@@ -181,23 +298,14 @@ fn render_node(
                 }
             };
             let access = access.map(|a| format!(" [{a}]")).unwrap_or_default();
-            out.push_str(&format!(
-                "Select {predicate}{access}{}{exec}\n",
-                est_note(est)
-            ));
-            render_node(db, input, &est.children[0], depth + 1, spill_tag, out);
+            format!("Select {predicate}{access}{}{exec}", est_note(est))
         }
-        Plan::Projection { input, exprs } => {
+        Plan::Projection { input: _, exprs } => {
             let cols: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
-            out.push_str(&format!(
-                "Project [{}]{}{exec}\n",
-                cols.join(", "),
-                est_note(est)
-            ));
-            render_node(db, input, &est.children[0], depth + 1, spill_tag, out);
+            format!("Project [{}]{}{exec}", cols.join(", "), est_note(est))
         }
         Plan::Join {
-            left,
+            left: _,
             right,
             on,
             residual,
@@ -207,44 +315,19 @@ fn render_node(
                 .map(|r| format!(" where {r}"))
                 .unwrap_or_default();
             let probe = join_probe_note(db, right, on);
-            out.push_str(&format!(
-                "Join{}{res}{probe}{}{exec}\n",
-                on_note(on),
-                est_note(est)
-            ));
-            render_node(db, left, &est.children[0], depth + 1, spill_tag, out);
-            render_node(db, right, &est.children[1], depth + 1, spill_tag, out);
+            format!("Join{}{res}{probe}{}{exec}", on_note(on), est_note(est))
         }
-        Plan::AntiJoin {
-            left,
-            right,
-            on,
-            residual,
-        } => {
+        Plan::AntiJoin { on, residual, .. } => {
             let res = residual
                 .as_ref()
                 .map(|r| format!(" where {r}"))
                 .unwrap_or_default();
-            out.push_str(&format!(
-                "AntiJoin{}{res}{}{exec}\n",
-                on_note(on),
-                est_note(est)
-            ));
-            render_node(db, left, &est.children[0], depth + 1, spill_tag, out);
-            render_node(db, right, &est.children[1], depth + 1, spill_tag, out);
+            format!("AntiJoin{}{res}{}{exec}", on_note(on), est_note(est))
         }
-        Plan::Distinct { input } => {
-            out.push_str(&format!("Distinct{}{exec}\n", est_note(est)));
-            render_node(db, input, &est.children[0], depth + 1, spill_tag, out);
-        }
-        Plan::Union { inputs } => {
-            out.push_str(&format!("Union{}{exec}\n", est_note(est)));
-            for (p, e) in inputs.iter().zip(&est.children) {
-                render_node(db, p, e, depth + 1, spill_tag, out);
-            }
-        }
+        Plan::Distinct { .. } => format!("Distinct{}{exec}", est_note(est)),
+        Plan::Union { .. } => format!("Union{}{exec}", est_note(est)),
         Plan::Aggregate {
-            input,
+            input: _,
             group_by,
             aggs,
         } => {
@@ -257,26 +340,19 @@ fn render_node(
                 })
                 .collect();
             let groups: Vec<String> = group_by.iter().map(|g| format!("#{g}")).collect();
-            out.push_str(&format!(
-                "Aggregate group=[{}] aggs=[{}]{}{exec}\n",
+            format!(
+                "Aggregate group=[{}] aggs=[{}]{}{exec}",
                 groups.join(", "),
                 aggs.join(", "),
                 est_note(est)
-            ));
-            render_node(db, input, &est.children[0], depth + 1, spill_tag, out);
+            )
         }
-        Plan::Values { arity, rows } => {
-            out.push_str(&format!("Values {}x{arity}{exec}\n", rows.len()));
-        }
-        Plan::Sort { input, by } => {
+        Plan::Values { arity, rows } => format!("Values {}x{arity}{exec}", rows.len()),
+        Plan::Sort { input: _, by } => {
             let by: Vec<String> = by.iter().map(|c| format!("#{c}")).collect();
-            out.push_str(&format!("Sort by [{}]{exec}\n", by.join(", ")));
-            render_node(db, input, &est.children[0], depth + 1, spill_tag, out);
+            format!("Sort by [{}]{exec}", by.join(", "))
         }
-        Plan::Limit { input, n } => {
-            out.push_str(&format!("Limit {n}{exec}\n"));
-            render_node(db, input, &est.children[0], depth + 1, spill_tag, out);
-        }
+        Plan::Limit { input: _, n } => format!("Limit {n}{exec}"),
     }
 }
 
@@ -507,5 +583,99 @@ mod tests {
         let a = render_with_snapshot(&db, &plan);
         let b = render_with_snapshot(&db, &plan);
         assert_eq!(a, b);
+    }
+
+    fn profiled(db: &Database, plan: &Plan) -> Profile {
+        let exec = crate::exec::Executor::new(db);
+        let (stream, profile) = exec.open_chunks_profiled(plan).unwrap();
+        stream.collect_rows().unwrap();
+        profile
+    }
+
+    #[test]
+    fn analyze_appends_actuals_per_line() {
+        let db = db();
+        let plan = Plan::scan("V")
+            .select(Expr::col_eq_lit(2, "+"))
+            .project_cols(&[1]);
+        let profile = profiled(&db, &plan);
+        let catalog = StatsCatalog::snapshot(&db);
+        let text = render_analyze(&db, &catalog, &plan, &profile, None);
+        // Every line carries an actual note.
+        assert!(text.lines().all(|l| l.contains("| actual ")), "{text}");
+        // The root emitted all 50 rows; the plan structure is unchanged.
+        assert!(text.contains("Project [#1]"), "{text}");
+        assert!(
+            text.lines().next().unwrap().contains("actual rows=50"),
+            "{text}"
+        );
+        assert!(text.contains("time="), "{text}");
+        // The string-equality kernel fused the selection into its scan:
+        // the scan child was never opened separately.
+        assert!(text.contains("| actual fused"), "{text}");
+        assert!(text.contains("kernel_rows=50"), "{text}");
+    }
+
+    #[test]
+    fn analyze_reports_spills_under_budget() {
+        let db = db();
+        let plan = Plan::scan("V").join(Plan::scan("R").distinct(), vec![(1, 0)]);
+        let exec = crate::exec::Executor::with_spill(
+            &db,
+            crate::exec::SpillOptions {
+                budget: Some(1),
+                dir: None,
+            },
+        );
+        let (stream, profile) = exec.open_chunks_profiled(&plan).unwrap();
+        stream.collect_rows().unwrap();
+        let catalog = StatsCatalog::snapshot(&db);
+        let text = render_analyze(&db, &catalog, &plan, &profile, Some(1));
+        let join_line = text.lines().next().unwrap();
+        assert!(join_line.contains("spill_bytes="), "{text}");
+        assert!(join_line.contains("spill_partitions="), "{text}");
+        assert!(
+            join_line.contains("[spill budget=0 partitions=16]"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn analyze_marks_unopened_probe_side_fused() {
+        let db = db();
+        // A small left side over indexed V takes the index-nested-loop
+        // path: the right child is never opened as an operator, so it
+        // renders as fused.
+        let plan = Plan::Values {
+            arity: 1,
+            rows: vec![row![1]],
+        }
+        .join(Plan::scan("V"), vec![(0, 0)]);
+        let profile = profiled(&db, &plan);
+        let catalog = StatsCatalog::snapshot(&db);
+        let text = render_analyze(&db, &catalog, &plan, &profile, None);
+        let scan_v = text
+            .lines()
+            .find(|l| l.contains("Scan V"))
+            .unwrap_or_else(|| panic!("{text}"));
+        assert!(scan_v.contains("| actual fused"), "{text}");
+    }
+
+    #[test]
+    fn analyze_without_budget_matches_plain_structure() {
+        let db = db();
+        let plan = Plan::scan("V").select(Expr::col_eq_lit(0, 3i64));
+        let profile = profiled(&db, &plan);
+        let catalog = StatsCatalog::snapshot(&db);
+        let analyzed = render_analyze(&db, &catalog, &plan, &profile, None);
+        let plain = render(&db, &catalog, &plan);
+        // Stripping the actual notes recovers the plain rendering.
+        let stripped: String = analyzed
+            .lines()
+            .map(|l| l.split(" | actual ").next().unwrap())
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        assert_eq!(stripped, plain);
     }
 }

@@ -33,7 +33,7 @@ pub mod join_order;
 pub mod rules;
 pub mod stats;
 
-pub use explain::{render, render_with_budget, render_with_snapshot};
+pub use explain::{render, render_analyze, render_with_budget, render_with_snapshot};
 pub use stats::{combine, estimate, selectivity, RelEstimate, StatsCatalog, TableStats};
 
 use crate::catalog::Database;

@@ -240,6 +240,7 @@ impl PersistEngine {
         snapshot::prune(&self.dir, hwm)?;
         self.snapshot_hwm = hwm;
         self.checkpoints += 1;
+        crate::obs::metrics().incr(crate::obs::Metric::WalCheckpoints);
         Ok(hwm)
     }
 

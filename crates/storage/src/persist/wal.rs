@@ -162,6 +162,7 @@ impl Wal {
         self.next_lsn += 1;
         self.active.frames += 1;
         self.active.bytes += FRAME_HEADER_LEN + payload.len() as u64;
+        crate::obs::metrics().incr(crate::obs::Metric::WalAppends);
         Ok(lsn)
     }
 
@@ -173,6 +174,7 @@ impl Wal {
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
         self.syncs += 1;
+        crate::obs::metrics().incr(crate::obs::Metric::WalSyncs);
         Ok(())
     }
 
@@ -194,6 +196,7 @@ impl Wal {
         }
         self.writer.get_ref().sync_all()?;
         self.syncs += 1;
+        crate::obs::metrics().incr(crate::obs::Metric::WalSyncs);
         let (writer, active) = new_segment(&self.dir, self.next_lsn)?;
         self.sealed
             .push(std::mem::replace(&mut self.active, active));

@@ -5,11 +5,14 @@
 //! ```
 //!
 //! Meta-commands: `\user <name>` registers a user, `\stats` prints the
-//! internal representation sizes, `\worlds` lists the belief worlds,
-//! `\open <dir>` switches to a durable database (recovering it if it
-//! exists, creating it otherwise), `\checkpoint` snapshots it, `\wal`
-//! prints log/segment/snapshot counters, `\help`, `\quit`. Everything
-//! else is parsed as BeliefSQL.
+//! unified introspection view (sizes, plan cache, WAL, engine
+//! counters), `\worlds` lists the belief worlds, `\profile <select>`
+//! runs `EXPLAIN ANALYZE`, `\metrics` dumps the metrics registry,
+//! `\slowlog` shows captured slow statements, `\open <dir>` switches to
+//! a durable database (recovering it if it exists, creating it
+//! otherwise), `\checkpoint` snapshots it, `\wal` prints the WAL
+//! section of `\stats`, `\help`, `\quit`. Everything else is parsed as
+//! BeliefSQL.
 //!
 //! Example session:
 //!
@@ -56,6 +59,43 @@ fn parse_bytes(spec: &str) -> Option<Option<usize>> {
         .map(Some)
 }
 
+/// The WAL section of `\stats` (and the whole of its `\wal` alias).
+fn print_wal(session: &Session) {
+    match session.bdms().wal_stats() {
+        Some(wal) => {
+            println!(
+                "wal: {} segment(s), {} frame(s), {} byte(s)",
+                wal.segments, wal.frames, wal.wal_bytes
+            );
+            println!(
+                "     next lsn {}, snapshot covers < {}, {} checkpoint(s) this session",
+                wal.next_lsn, wal.snapshot_hwm, wal.checkpoints
+            );
+        }
+        None => println!("in-memory session (use \\open <dir> for durability)"),
+    }
+}
+
+/// Dump the metrics registry: every counter (dotted name) plus the
+/// query-latency histogram summary. `nonzero_only` hides untouched
+/// counters (the `\stats` view); `\metrics` shows everything.
+fn print_metrics(snap: &beliefdb::storage::MetricsSnapshot, nonzero_only: bool) {
+    for (name, value) in snap.counters() {
+        if !nonzero_only || value > 0 {
+            println!("  {name:<24} {value:>10}");
+        }
+    }
+    let n = snap.latency_count();
+    if n > 0 {
+        println!(
+            "  query latency: n={n}, mean {:.2} ms, p50 {:.2} ms, p99 {:.2} ms",
+            snap.latency_mean_nanos() as f64 / 1e6,
+            snap.latency_quantile_nanos(0.50) as f64 / 1e6,
+            snap.latency_quantile_nanos(0.99) as f64 / 1e6,
+        );
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = Session::new(naturemapping())?;
 
@@ -79,30 +119,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Some("quit") | Some("q") => break,
                 Some("help") => {
                     println!("  \\user <name>   register a user");
-                    println!(
-                        "  \\stats         internal representation sizes + plan-cache counters"
-                    );
+                    println!("  \\stats         unified introspection: representation sizes,");
+                    println!("                 plan-cache counters, WAL state, engine counters");
                     println!("  \\worlds        list belief worlds");
                     println!(
                         "  \\explain <q>   show the BCQ + Datalog translation + physical plans"
                     );
+                    println!("  \\profile <q>   EXPLAIN ANALYZE: run the SELECT and annotate each");
+                    println!("                 plan operator with actual rows/chunks, kernel vs");
+                    println!("                 fallback rows, spill bytes/partitions, and time");
+                    println!("  \\metrics       dump the full metrics registry (all counters +");
+                    println!("                 query-latency histogram)");
+                    println!("  \\slowlog       show captured slow statements (spans + profiles)");
                     println!("  \\set memory <n[k|m|g]|off>");
                     println!("                 per-query memory budget for joins/sorts/");
                     println!("                 aggregates/distincts — past it they spill to");
-                    println!("                 disk (grace hash join, external merge sort);");
+                    println!("                 disk (grace hash join, external merge sort)");
+                    println!("  \\set slowlog <ms|off>");
+                    println!("                 capture statements slower than <ms> into the");
+                    println!("                 slow-query log (with spans + full profile);");
                     println!("                 \\set alone shows the current settings");
                     println!("  \\open <dir>    switch to a durable database in <dir> (recover it");
                     println!("                 if present, create it with the NatureMapping");
                     println!("                 schema otherwise); mutations are WAL-logged");
                     println!("  \\checkpoint    snapshot the durable database, truncate the WAL");
-                    println!("  \\wal           WAL segment/frame/byte + snapshot counters");
-                    println!("  \\quit          exit");
+                    println!("  \\wal           the WAL section of \\stats on its own");
+                    println!("  \\quit (\\q)     exit");
                     println!("  anything else is BeliefSQL, e.g.:");
                     println!("    insert into BELIEF 'Bob' not Sightings values (...)");
                     println!(
                         "    select U.name, S.species from Users as U, BELIEF U.uid Sightings as S"
                     );
-                    println!("    explain select S.species from BELIEF 'Bob' Sightings as S");
+                    println!(
+                        "    explain analyze select S.species from BELIEF 'Bob' Sightings as S"
+                    );
                 }
                 Some("user") => match parts.next() {
                     Some(name) => match session.add_user(name) {
@@ -130,12 +180,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         cache.entries,
                         cache.embedded_rows
                     );
+                    print_wal(&session);
+                    println!("engine counters (nonzero; \\metrics for all):");
+                    print_metrics(&session.bdms().metrics(), true);
                 }
                 Some("set") => match (parts.next(), parts.next()) {
-                    (None, _) => match session.memory_budget() {
-                        Some(b) => println!("memory budget: {b} bytes per query"),
-                        None => println!("memory budget: unlimited"),
-                    },
+                    (None, _) => {
+                        match session.memory_budget() {
+                            Some(b) => println!("memory budget: {b} bytes per query"),
+                            None => println!("memory budget: unlimited"),
+                        }
+                        match session.slowlog_threshold_ms() {
+                            Some(ms) => println!("slowlog: capturing statements over {ms} ms"),
+                            None => println!("slowlog: off"),
+                        }
+                    }
                     (Some("memory"), Some(spec)) => match parse_bytes(spec) {
                         Some(None) => {
                             session.set_memory_budget(None);
@@ -150,13 +209,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         }
                         None => println!("usage: \\set memory <n[k|m|g]|off>"),
                     },
-                    _ => println!("usage: \\set memory <n[k|m|g]|off>"),
+                    (Some("slowlog"), Some(spec)) => {
+                        if spec.eq_ignore_ascii_case("off") {
+                            session.set_slowlog_threshold_ms(None);
+                            println!("slowlog: off");
+                        } else {
+                            match spec.parse::<u64>() {
+                                Ok(ms) => {
+                                    session.set_slowlog_threshold_ms(Some(ms));
+                                    println!("slowlog: capturing statements over {ms} ms");
+                                }
+                                Err(_) => println!("usage: \\set slowlog <ms|off>"),
+                            }
+                        }
+                    }
+                    _ => println!("usage: \\set memory <n[k|m|g]|off> | \\set slowlog <ms|off>"),
                 },
                 Some("explain") => {
                     let rest: Vec<&str> = parts.collect();
                     match session.explain(&rest.join(" ")) {
                         Ok(text) => println!("{text}"),
                         Err(e) => println!("error: {e}"),
+                    }
+                }
+                Some("profile") => {
+                    let rest: Vec<&str> = parts.collect();
+                    match session.explain_analyze(&rest.join(" ")) {
+                        Ok(text) => println!("{text}"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                Some("metrics") => print_metrics(&session.bdms().metrics(), false),
+                Some("slowlog") => {
+                    match session.slowlog_threshold_ms() {
+                        Some(ms) => println!("slowlog: capturing statements over {ms} ms"),
+                        None => println!("slowlog: off (\\set slowlog <ms> to arm)"),
+                    }
+                    let entries = session.slowlog_entries();
+                    if entries.is_empty() {
+                        println!("no captures");
+                    }
+                    for trace in entries {
+                        println!(
+                            "-- {:.2} ms  {}",
+                            trace.total_nanos as f64 / 1e6,
+                            trace.statement
+                        );
+                        for span in &trace.spans {
+                            println!("   {:<12} {:.2} ms", span.name, span.nanos as f64 / 1e6);
+                        }
+                        if let Some(profile) = &trace.profile {
+                            print!("{profile}");
+                        }
                     }
                 }
                 Some("worlds") => {
@@ -198,19 +302,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     Ok(hwm) => println!("checkpoint written (covers LSN < {hwm})"),
                     Err(e) => println!("error: {e}"),
                 },
-                Some("wal") => match session.bdms().wal_stats() {
-                    Some(wal) => {
-                        println!(
-                            "wal: {} segment(s), {} frame(s), {} byte(s)",
-                            wal.segments, wal.frames, wal.wal_bytes
-                        );
-                        println!(
-                            "     next lsn {}, snapshot covers < {}, {} checkpoint(s) this session",
-                            wal.next_lsn, wal.snapshot_hwm, wal.checkpoints
-                        );
-                    }
-                    None => println!("in-memory session (use \\open <dir> for durability)"),
-                },
+                Some("wal") => print_wal(&session),
                 other => println!("unknown meta-command {other:?}; try \\help"),
             }
             continue;
