@@ -37,6 +37,13 @@ fn main() {
     let (rows, sweep) = run_exec_vectorized(n, reps.clamp(3, 20)).expect("exec_vectorized");
     println!("{}", format_exec_vectorized(&rows, &sweep, n));
 
+    println!("=== Columnar executor ===");
+    let rows = run_exec_columnar(n, reps.clamp(3, 20)).expect("exec_columnar");
+    println!("{}", format_exec_columnar(&rows, n));
+    let path = std::path::Path::new("BENCH_columnar.json");
+    write_bench_columnar_json(path, &rows, n).expect("write BENCH_columnar.json");
+    println!("wrote {}", path.display());
+
     println!("=== Spill-to-disk execution ===");
     let rows = run_spill(n, reps.clamp(3, 20)).expect("spill");
     println!("{}", format_spill(&rows, n));

@@ -1034,6 +1034,186 @@ pub fn format_obs(report: &ObsReport, n: usize) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Columnar vs row-layout chunk executor
+// ---------------------------------------------------------------------------
+
+/// One measured plan of the columnar-layout comparison.
+#[derive(Debug, Clone)]
+pub struct ExecColumnarRow {
+    pub name: &'static str,
+    /// Default executor: zero-copy column windows + selection vectors.
+    pub columnar: Duration,
+    /// The prior chunk executor: same pipeline over cloned row batches.
+    pub row_chunks: Duration,
+    pub row_at_a_time: Duration,
+    pub result_size: usize,
+}
+
+impl ExecColumnarRow {
+    /// Row-chunk over columnar time ratio (>1 means columnar wins).
+    pub fn speedup_vs_chunks(&self) -> f64 {
+        self.row_chunks.as_secs_f64() / self.columnar.as_secs_f64().max(1e-12)
+    }
+
+    /// Row-at-a-time over columnar time ratio.
+    pub fn speedup_vs_rows(&self) -> f64 {
+        self.row_at_a_time.as_secs_f64() / self.columnar.as_secs_f64().max(1e-12)
+    }
+}
+
+/// The columnar workload schema: the fanout-4 join tables plus a
+/// dictionary-encoded string column on the fact table (20 distinct
+/// tags, so the sorted dictionary and code vector carry the filter).
+pub fn columnar_db(n: usize) -> Result<beliefdb_storage::Database> {
+    use beliefdb_storage::{row, Database, TableSchema};
+    let mut db = Database::new();
+    let f = db.create_table(TableSchema::keyless("F", &["fid", "k", "v", "tag"]))?;
+    for i in 0..n as i64 {
+        f.insert(row![
+            i,
+            i % 50,
+            i % 997,
+            format!("tag{:02}", i % 20).as_str()
+        ])?;
+    }
+    let d = db.create_table(TableSchema::keyless("D", &["k", "tag"]))?;
+    for k in 0..50i64 {
+        for copy in 0..4i64 {
+            d.insert(row![k, k * 4 + copy])?;
+        }
+    }
+    // The transpose is table-resident state; build it outside the
+    // timed region like a warm production cache.
+    db.table("F").expect("F").columnar();
+    db.table("D").expect("D").columnar();
+    Ok(db)
+}
+
+/// The measured plans: the selective int filter (unboxed `i64` kernel),
+/// the wide fanout-4 join, and a dictionary-string filter.
+pub fn columnar_plans() -> Vec<(&'static str, beliefdb_storage::Plan)> {
+    use beliefdb_storage::{CmpOp, Expr, Plan};
+    let filter = Plan::scan("F")
+        .select(Expr::col_eq_lit(2, 3i64))
+        .project_cols(&[0]);
+    let wide_join = Plan::scan("F")
+        .join(Plan::scan("D"), vec![(1, 0)])
+        .select(Expr::cmp(CmpOp::Lt, Expr::Col(2), Expr::lit(5i64)))
+        .project_cols(&[0, 5]);
+    let dict_filter = Plan::scan("F")
+        .select(Expr::and(vec![
+            Expr::col_eq_lit(3, "tag07"),
+            Expr::cmp(CmpOp::Lt, Expr::Col(2), Expr::lit(500i64)),
+        ]))
+        .project_cols(&[0, 3]);
+    vec![
+        ("filter", filter),
+        ("wide_join", wide_join),
+        ("dict_filter", dict_filter),
+    ]
+}
+
+/// Time each workload under the columnar chunk executor, the row-layout
+/// chunk executor, and the row-at-a-time executor (`reps` runs, best-of)
+/// after asserting all three agree.
+pub fn run_exec_columnar(n: usize, reps: usize) -> Result<Vec<ExecColumnarRow>> {
+    use beliefdb_storage::{execute_rows, ChunkLayout, Executor};
+    let db = columnar_db(n)?;
+    let run = |layout: ChunkLayout, plan: &beliefdb_storage::Plan| -> Vec<beliefdb_storage::Row> {
+        Executor::new(&db)
+            .layout(layout)
+            .open_chunks(plan)
+            .expect("open")
+            .collect_rows()
+            .expect("query")
+    };
+    let best = |f: &dyn Fn() -> usize| -> Duration {
+        let mut best = Duration::MAX;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            best = best.min(start.elapsed());
+        }
+        best
+    };
+    let mut out = Vec::new();
+    for (name, plan) in columnar_plans() {
+        let mut columnar = run(ChunkLayout::Columnar, &plan);
+        let mut row_chunks = run(ChunkLayout::Rows, &plan);
+        let mut row_wise = execute_rows(&db, &plan)?;
+        columnar.sort();
+        row_chunks.sort();
+        row_wise.sort();
+        assert_eq!(columnar, row_chunks, "layouts disagree on {name}");
+        assert_eq!(columnar, row_wise, "row executor disagrees on {name}");
+        let columnar_time = best(&|| run(ChunkLayout::Columnar, &plan).len());
+        let chunk_time = best(&|| run(ChunkLayout::Rows, &plan).len());
+        let row_time = best(&|| execute_rows(&db, &plan).expect("row run").len());
+        out.push(ExecColumnarRow {
+            name,
+            columnar: columnar_time,
+            row_chunks: chunk_time,
+            row_at_a_time: row_time,
+            result_size: columnar.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Render the columnar comparison as a small report table.
+pub fn format_exec_columnar(rows: &[ExecColumnarRow], n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Columnar vs row-layout chunk executor (fact table of {n} rows)\n"
+    ));
+    out.push_str(&format!(
+        "{:<12}{:>14}{:>14}{:>14}{:>10}{:>10}\n",
+        "plan", "columnar(ms)", "chunks(ms)", "row(ms)", "speedup", "rows"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12}{:>14.3}{:>14.3}{:>14.3}{:>9.2}x{:>10}\n",
+            r.name,
+            r.columnar.as_secs_f64() * 1e3,
+            r.row_chunks.as_secs_f64() * 1e3,
+            r.row_at_a_time.as_secs_f64() * 1e3,
+            r.speedup_vs_chunks(),
+            r.result_size
+        ));
+    }
+    out
+}
+
+/// Write the machine-readable columnar report: `{"n", "workloads":
+/// {name: {median_ns_columnar, median_ns_row_chunks, median_ns_row,
+/// speedup_vs_chunks, rows}}}`. Hand-rolled JSON like the obs report —
+/// fixed identifier keys and finite numbers only.
+pub fn write_bench_columnar_json(
+    path: &std::path::Path,
+    rows: &[ExecColumnarRow],
+    n: usize,
+) -> std::io::Result<()> {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"n\": {n},\n"));
+    out.push_str("  \"workloads\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"median_ns_columnar\": {}, \"median_ns_row_chunks\": {}, \
+             \"median_ns_row\": {}, \"speedup_vs_chunks\": {:.4}, \"rows\": {}}}{}\n",
+            r.name,
+            r.columnar.as_nanos(),
+            r.row_chunks.as_nanos(),
+            r.row_at_a_time.as_nanos(),
+            r.speedup_vs_chunks(),
+            r.result_size,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out)
+}
+
 /// Write the machine-readable report: `{"n", "workloads": {name:
 /// {median_ns_*, overhead, rows_per_s, rows}}, "metrics": {...}}`.
 /// Hand-rolled JSON — every key is a known identifier and every value a
@@ -1121,6 +1301,23 @@ mod tests {
         }
         assert!(text.contains("\"exec.rows_scanned\""), "{text}");
         assert!(format_obs(&report, 300).contains("spill_join"));
+    }
+
+    #[test]
+    fn columnar_report_covers_every_workload_and_serializes() {
+        let rows = run_exec_columnar(500, 2).unwrap();
+        let names: Vec<_> = rows.iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["filter", "wide_join", "dict_filter"]);
+        assert!(rows.iter().all(|r| r.result_size > 0));
+        let path = persist_scratch_dir("columnar-json").with_extension("json");
+        write_bench_columnar_json(&path, &rows, 500).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        for name in names {
+            assert!(text.contains(&format!("\"{name}\"")), "{text}");
+        }
+        assert!(text.contains("\"median_ns_columnar\""), "{text}");
+        assert!(format_exec_columnar(&rows, 500).contains("dict_filter"));
     }
 
     #[test]

@@ -5,19 +5,25 @@
 //! * the **vectorized streaming executor** ([`stream`],
 //!   [`stream_chunks`], [`Executor`], [`Chunk`], [`ChunkStream`]) — the
 //!   default. Operators exchange batches of up to [`BATCH_SIZE`] rows
-//!   with selection vectors; filters run columnar kernels into the
-//!   selection vector, projections precompile their column maps, and
-//!   hash joins probe a whole chunk per call. Scan, Selection,
-//!   Projection, Union, Limit, and the probe side of (anti-)joins
-//!   pipeline; the **materialization points** are the hash build sides
-//!   of keyed joins and anti-joins, Aggregate, Sort, and Distinct's
-//!   seen-set (Distinct streams first occurrences but still accumulates
-//!   every distinct row). Each of those points can spill to disk under
-//!   a per-query memory budget — grace hash (anti-)join, external merge
-//!   sort, partial-aggregate and distinct partitioning; see [`spill`] —
-//!   while only the cross-join right side remains in-memory (documented
-//!   follow-up). [`RowStream`] adapts the chunk pipeline to the
-//!   row-at-a-time interface for external sinks;
+//!   with selection vectors; leaf scans emit **columnar windows** over
+//!   the table's typed column vectors ([`crate::column`]) without
+//!   cloning a row ([`ChunkLayout::Columnar`]; `ChunkLayout::Rows`
+//!   reproduces the previous clone-at-scan executor for benchmarking),
+//!   filters run kernel passes over primitive column slices into the
+//!   selection vector, projections precompile their column maps and
+//!   gather straight from columns, and hash joins probe a whole chunk
+//!   per call. Scan, Selection, Projection, Union, Limit, and the probe
+//!   side of (anti-)joins pipeline; the **materialization points** are
+//!   the hash build sides of keyed joins and anti-joins, cross-join
+//!   right sides, Aggregate, Sort, and Distinct's seen-set (Distinct
+//!   streams first occurrences but still accumulates every distinct
+//!   row). Each of those points can spill to disk under a per-query
+//!   memory budget — grace hash (anti-)join, external merge sort,
+//!   partial-aggregate and distinct partitioning, cross-join right-side
+//!   overflow runs; see [`spill`]. Only the residual-only anti-join's
+//!   right side remains in-memory (documented follow-up). [`RowStream`]
+//!   adapts the chunk pipeline to the row-at-a-time interface for
+//!   external sinks;
 //! * the **row-at-a-time streaming executor** ([`stream_rows`],
 //!   [`execute_rows`], [`rows::RowExecutor`]) — the PR 2 tuple-at-a-time
 //!   pipeline, kept as the baseline the `exec_vectorized` bench measures
@@ -43,7 +49,9 @@ pub mod stream;
 pub use rows::{stream_rows, RowExecutor};
 pub use spill::{spill_points, SpillOptions, SPILL_PARTITIONS};
 pub(crate) use stream::{chunked_owned, selection_kernel_label};
-pub use stream::{stream, stream_chunks, Chunk, ChunkStream, Executor, RowStream, BATCH_SIZE};
+pub use stream::{
+    stream, stream_chunks, Chunk, ChunkLayout, ChunkStream, Executor, RowStream, BATCH_SIZE,
+};
 
 use crate::catalog::Database;
 use crate::error::{Result, StorageError};

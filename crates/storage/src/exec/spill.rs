@@ -41,13 +41,30 @@
 //!
 //! Run files reuse the durability layer's codec ([`crate::persist::format`]):
 //! each record is a **block** of rows,
-//! `[payload_len: u32 LE][crc32: u32 LE][tag: u8][count: u32 LE][rows…]`,
-//! with the CRC covering tag + count + rows, so a torn or bit-flipped
-//! spill file surfaces as [`StorageError::Corrupt`], never as wrong
-//! answers. Every writer — sort runs and hash partitioners alike —
-//! streams rows into a per-file block builder that flushes a frame per
-//! [`BLOCK_ROWS`] rows, so the header, CRC, and encode buffer amortize
-//! over the block. Files
+//! `[payload_len: u32 LE][crc32: u32 LE][tag: u8][count: u32 LE][fmt: u8][data…]`,
+//! with the CRC covering everything after itself, so a torn or
+//! bit-flipped spill file surfaces as [`StorageError::Corrupt`], never
+//! as wrong answers. `fmt` selects the block body:
+//!
+//! * **`0` — row-major**: `count` `put_row` records (the fallback when a
+//!   block mixes row arities);
+//! * **`1` — columnar**: `[arity: u32]`, then per column a type byte —
+//!   `0` NULL (no data), `1` Bool (validity + one byte per cell), `2`
+//!   Int (validity + one `i64` per cell), `3` Str (validity + a sorted
+//!   dictionary of length-prefixed strings + one `u16 LE` code per
+//!   cell; a block holds at most [`BLOCK_ROWS`] rows, so codes cannot
+//!   overflow), `4` Mixed (one `put_value` per cell) — where `validity`
+//!   is `[has: u8]` plus, when `has == 1`, `ceil(count / 8)` LSB-first
+//!   bitmap bytes (bit set = value present). This is the same column
+//!   classification the executor's scan chunks use
+//!   ([`crate::column::ColumnSet`]), so typed columns cost 1–8 bytes per
+//!   cell instead of a tagged boxed value, and repeated strings are
+//!   written once per block.
+//!
+//! Every writer — sort runs and hash partitioners alike — buffers rows
+//! into a per-file block builder that flushes a frame per
+//! [`BLOCK_ROWS`] rows, so the header, CRC, and transpose amortize over
+//! the block. Files
 //! live in [`SpillOptions::dir`] (the OS temp dir by default) and are
 //! deleted when their owner drops — on success, on error, and on early
 //! stream abandonment alike.
@@ -65,6 +82,7 @@
 //! actually engaged.
 
 use super::{fresh_accs, merge_accs, update_accs, Acc};
+use crate::column::{Bitmap, Column, ColumnSet};
 use crate::error::{Result, StorageError};
 use crate::expr::Expr;
 use crate::obs::metrics::{metrics, Metric};
@@ -123,6 +141,13 @@ const MAX_MERGE_FANIN: usize = 16;
 /// writers flush at [`BLOCK_ROWS`] rows or [`SOFT_BLOCK_PAYLOAD`]
 /// bytes, whichever comes first.
 const MAX_BLOCK_PAYLOAD: usize = 1 << 26;
+
+/// Block-body format byte: `count` plain `put_row` records (the
+/// fallback when a block mixes row arities).
+const FMT_ROWS: u8 = 0;
+
+/// Block-body format byte: the columnar transpose (see the module doc).
+const FMT_COLUMNAR: u8 = 1;
 
 /// Approximate per-entry bookkeeping overhead of a hash table slot
 /// (hashbrown control bytes + bucket + Vec headers), used by the budget
@@ -186,14 +211,16 @@ impl SpillCtx {
 }
 
 /// Number of memory-budgeted materialization points in a plan: every
-/// `Sort`, `Aggregate`, `Distinct`, and hash build side of a keyed
-/// `Join` or `AntiJoin` (at least one equality column). The global
-/// budget is divided by this count. Cross-join right sides remain
-/// in-memory (documented follow-up) and are not counted.
+/// `Sort`, `Aggregate`, `Distinct`, and `Join` (the hash build side of
+/// a keyed join, the materialized right side of a cross join), plus the
+/// hash build side of a keyed `AntiJoin` (at least one equality
+/// column). The global budget is divided by this count. Only the
+/// residual-only anti-join's right side remains in-memory (documented
+/// follow-up) and is not counted.
 pub fn spill_points(plan: &Plan) -> usize {
     let own = match plan {
-        Plan::Sort { .. } | Plan::Aggregate { .. } | Plan::Distinct { .. } => 1,
-        Plan::Join { on, .. } | Plan::AntiJoin { on, .. } if !on.is_empty() => 1,
+        Plan::Sort { .. } | Plan::Aggregate { .. } | Plan::Distinct { .. } | Plan::Join { .. } => 1,
+        Plan::AntiJoin { on, .. } if !on.is_empty() => 1,
         _ => 0,
     };
     own + plan.children().into_iter().map(spill_points).sum::<usize>()
@@ -251,12 +278,16 @@ pub(crate) struct RunFile {
     /// Approximate in-memory bytes of the rows written (not file bytes):
     /// the number the budget compares against when deciding to recurse.
     mem_bytes: usize,
-    /// The block under construction: rows are encoded straight into this
-    /// reused buffer and a frame is emitted once [`BLOCK_ROWS`] (or the
-    /// soft payload cap) is reached — one header + CRC per block, not
-    /// per row.
+    /// Reused encode buffer for block frames.
     enc: Enc,
-    block_count: u32,
+    /// The block under construction: rows buffer here and are transposed
+    /// into the columnar block encoding when a frame is emitted — once
+    /// [`BLOCK_ROWS`] rows (or the soft payload cap) is reached. One
+    /// header + CRC + transpose per block, not per row.
+    block: Vec<Row>,
+    /// Approximate in-memory bytes of the buffered block (soft-cap
+    /// check).
+    block_bytes: usize,
     block_tag: u8,
     /// The owning operator's profile node (`None` = profiling off):
     /// bytes written and file creations are charged to it.
@@ -278,7 +309,8 @@ impl RunFile {
             rows: 0,
             mem_bytes: 0,
             enc: Enc::new(),
-            block_count: 0,
+            block: Vec::new(),
+            block_bytes: 0,
             block_tag: 0,
             prof,
         })
@@ -288,35 +320,36 @@ impl RunFile {
     /// block fills. A tag change flushes too, so every frame carries a
     /// single tag.
     pub(crate) fn write(&mut self, tag: u8, row: &Row) -> Result<()> {
-        if self.block_count > 0 && tag != self.block_tag {
+        if !self.block.is_empty() && tag != self.block_tag {
             self.flush_block()?;
         }
-        if self.block_count == 0 {
-            self.enc.clear();
-            self.enc.put_u8(tag);
-            // Count patched in flush_block (offset 1, after the tag).
-            self.enc.put_u32(0);
-            self.block_tag = tag;
-        }
-        self.enc.put_row(row);
-        self.block_count += 1;
-        self.rows += 1;
+        self.block_tag = tag;
         let rb = row_bytes(row);
+        self.block.push(row.clone());
+        self.block_bytes += rb;
+        self.rows += 1;
         self.mem_bytes += rb;
         if let Some(n) = &self.prof {
             bump(&n.spill_bytes, rb as u64);
         }
-        if self.block_count as usize >= BLOCK_ROWS || self.enc.bytes().len() >= SOFT_BLOCK_PAYLOAD {
+        if self.block.len() >= BLOCK_ROWS || self.block_bytes >= SOFT_BLOCK_PAYLOAD {
             self.flush_block()?;
         }
         Ok(())
     }
 
-    /// Emit the block under construction as one framed record.
+    /// Transpose and emit the block under construction as one framed
+    /// record (see the module doc's run-file format).
     fn flush_block(&mut self) -> Result<()> {
-        if self.block_count == 0 {
+        if self.block.is_empty() {
             return Ok(());
         }
+        self.enc.clear();
+        self.enc.put_u8(self.block_tag);
+        self.enc.put_u32(self.block.len() as u32);
+        encode_block(&mut self.enc, &self.block);
+        self.block.clear();
+        self.block_bytes = 0;
         if self.enc.bytes().len() > MAX_BLOCK_PAYLOAD {
             // Mirrors the reader-side cap: a block the reader would
             // reject must not be written in the first place (reachable
@@ -326,7 +359,6 @@ impl RunFile {
                 self.enc.bytes().len()
             )));
         }
-        self.enc.patch_u32(1, self.block_count);
         if self.writer.is_none() {
             let file = File::create(&self.path).map_err(|e| {
                 StorageError::Io(format!("create spill file {}: {e}", self.path.display()))
@@ -344,7 +376,6 @@ impl RunFile {
         w.write_all(&(payload.len() as u32).to_le_bytes())?;
         w.write_all(&crc32(payload).to_le_bytes())?;
         w.write_all(payload)?;
-        self.block_count = 0;
         Ok(())
     }
 
@@ -365,16 +396,28 @@ impl RunFile {
     /// the drain phase O(partitions), not O(budget).
     pub(crate) fn seal(&mut self) -> Result<()> {
         self.flush_block()?;
+        self.release_write_buffers();
         if let Some(mut w) = self.writer.take() {
             w.flush()?;
         }
         Ok(())
     }
 
+    /// Drop the block and encode buffer capacity once writing is done.
+    /// Queued partitions each retain a full block's worth of row clones
+    /// and encode bytes otherwise, and recursion stacks whole partition
+    /// sets — the retained capacity would scale with depth, not budget.
+    fn release_write_buffers(&mut self) {
+        self.block = Vec::new();
+        self.block_bytes = 0;
+        self.enc = Enc::new();
+    }
+
     /// Flush writes and open the file for reading; the `RunFile` must be
     /// kept alive while the reader is used (it owns the deletion).
     pub(crate) fn reader(&mut self) -> Result<RunReader> {
         self.flush_block()?;
+        self.release_write_buffers();
         if let Some(mut w) = self.writer.take() {
             w.flush()?;
         }
@@ -407,6 +450,165 @@ impl Drop for RunFile {
             let _ = std::fs::remove_file(&self.path);
         }
     }
+}
+
+/// Encode a block body: the columnar transpose when every row shares
+/// one arity (the normal case), plain rows otherwise. `rows` is
+/// non-empty and holds at most [`BLOCK_ROWS`] rows — which also caps a
+/// string dictionary at [`BLOCK_ROWS`] entries, so the `u16` code
+/// encoding cannot overflow.
+fn encode_block(enc: &mut Enc, rows: &[Row]) {
+    let arity = rows[0].arity();
+    if rows.iter().any(|r| r.arity() != arity) {
+        enc.put_u8(FMT_ROWS);
+        for r in rows {
+            enc.put_row(r);
+        }
+        return;
+    }
+    enc.put_u8(FMT_COLUMNAR);
+    enc.put_u32(arity as u32);
+    let refs: Vec<&Row> = rows.iter().collect();
+    let set = ColumnSet::from_rows(arity, &refs);
+    let put_validity = |enc: &mut Enc, validity: &Option<Bitmap>| match validity {
+        None => enc.put_u8(0),
+        Some(b) => {
+            enc.put_u8(1);
+            for byte in b.to_bytes() {
+                enc.put_u8(byte);
+            }
+        }
+    };
+    for c in 0..arity {
+        match set.col(c) {
+            Column::Null(_) => enc.put_u8(0),
+            Column::Bool { vals, validity } => {
+                enc.put_u8(1);
+                put_validity(enc, validity);
+                for &b in vals {
+                    enc.put_u8(b as u8);
+                }
+            }
+            Column::Int { vals, validity } => {
+                enc.put_u8(2);
+                put_validity(enc, validity);
+                for &x in vals {
+                    enc.put_i64(x);
+                }
+            }
+            Column::Str {
+                dict,
+                codes,
+                validity,
+            } => {
+                debug_assert!(dict.len() <= u16::MAX as usize, "BLOCK_ROWS caps the dict");
+                enc.put_u8(3);
+                put_validity(enc, validity);
+                enc.put_u32(dict.len() as u32);
+                for s in dict {
+                    enc.put_str(s);
+                }
+                for &code in codes {
+                    let code = code as u16;
+                    enc.put_u8((code & 0xFF) as u8);
+                    enc.put_u8((code >> 8) as u8);
+                }
+            }
+            Column::Mixed(vals) => {
+                enc.put_u8(4);
+                for v in vals {
+                    enc.put_value(v);
+                }
+            }
+        }
+    }
+}
+
+/// Decode one column of a columnar block body into boxed cell values.
+fn take_column(dec: &mut Dec, count: usize) -> Result<Vec<Value>> {
+    let take_validity = |dec: &mut Dec| -> Result<Option<Bitmap>> {
+        if dec.take_u8()? == 0 {
+            return Ok(None);
+        }
+        let nbytes = count.div_ceil(8);
+        let mut bytes = Vec::with_capacity(nbytes);
+        for _ in 0..nbytes {
+            bytes.push(dec.take_u8()?);
+        }
+        Ok(Some(Bitmap::from_bytes(&bytes, count)))
+    };
+    let valid = |v: &Option<Bitmap>, i: usize| v.as_ref().is_none_or(|b| b.get(i));
+    Ok(match dec.take_u8()? {
+        0 => vec![Value::Null; count],
+        1 => {
+            let validity = take_validity(dec)?;
+            let mut vals = Vec::with_capacity(count);
+            for i in 0..count {
+                let b = dec.take_u8()? != 0;
+                vals.push(if valid(&validity, i) {
+                    Value::Bool(b)
+                } else {
+                    Value::Null
+                });
+            }
+            vals
+        }
+        2 => {
+            let validity = take_validity(dec)?;
+            let mut vals = Vec::with_capacity(count);
+            for i in 0..count {
+                let x = dec.take_i64()?;
+                vals.push(if valid(&validity, i) {
+                    Value::Int(x)
+                } else {
+                    Value::Null
+                });
+            }
+            vals
+        }
+        3 => {
+            let validity = take_validity(dec)?;
+            let dict_len = dec.take_u32()? as usize;
+            if dict_len > count {
+                return Err(StorageError::Corrupt(format!(
+                    "spill block dictionary of {dict_len} entries for {count} rows"
+                )));
+            }
+            let mut dict: Vec<Value> = Vec::with_capacity(dict_len);
+            for _ in 0..dict_len {
+                dict.push(Value::str(dec.take_str()?));
+            }
+            let mut vals = Vec::with_capacity(count);
+            for i in 0..count {
+                let lo = dec.take_u8()? as usize;
+                let hi = dec.take_u8()? as usize;
+                let code = hi << 8 | lo;
+                if !valid(&validity, i) {
+                    vals.push(Value::Null);
+                    continue;
+                }
+                let Some(v) = dict.get(code) else {
+                    return Err(StorageError::Corrupt(format!(
+                        "spill block string code {code} out of dictionary range {dict_len}"
+                    )));
+                };
+                vals.push(v.clone());
+            }
+            vals
+        }
+        4 => {
+            let mut vals = Vec::with_capacity(count);
+            for _ in 0..count {
+                vals.push(dec.take_value()?);
+            }
+            vals
+        }
+        t => {
+            return Err(StorageError::Corrupt(format!(
+                "unknown spill column type {t}"
+            )))
+        }
+    })
 }
 
 /// Streaming reader over a run file's records.
@@ -463,8 +665,38 @@ impl RunReader {
             )));
         }
         let mut rows = VecDeque::with_capacity(count);
-        for _ in 0..count {
-            rows.push_back(dec.take_row()?);
+        match dec.take_u8()? {
+            FMT_ROWS => {
+                for _ in 0..count {
+                    rows.push_back(dec.take_row()?);
+                }
+            }
+            FMT_COLUMNAR => {
+                let arity = dec.take_u32()? as usize;
+                if arity > dec.remaining() {
+                    // Each column costs at least its type byte; reject
+                    // absurd arities before allocating.
+                    return Err(StorageError::Corrupt(format!(
+                        "spill block arity {arity} exceeds remaining {} bytes",
+                        dec.remaining()
+                    )));
+                }
+                let mut cols = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    cols.push(take_column(&mut dec, count)?.into_iter());
+                }
+                for _ in 0..count {
+                    rows.push_back(Row::new(
+                        cols.iter_mut()
+                            .map(|c| c.next().expect("count cells per column")),
+                    ));
+                }
+            }
+            f => {
+                return Err(StorageError::Corrupt(format!(
+                    "unknown spill block format {f}"
+                )))
+            }
         }
         dec.finish()?;
         self.block = rows;
@@ -989,7 +1221,8 @@ impl Iterator for SpillDistinct<'_> {
                 },
                 DistinctState::Spilling { parts } => match self.input.next() {
                     Some(Err(e)) => return Some(Err(e)),
-                    Some(Ok(chunk)) => {
+                    Some(Ok(mut chunk)) => {
+                        chunk.ensure_rows();
                         let mut failed = None;
                         for row in chunk.iter() {
                             let p = partition_of(row.values().iter(), 0);
@@ -1228,7 +1461,8 @@ impl<'a> GraceJoin<'a> {
         for item in probe {
             match item {
                 Err(e) => self.pending.push_back(Err(e)),
-                Ok(chunk) => {
+                Ok(mut chunk) => {
+                    chunk.ensure_rows();
                     for row in chunk.iter() {
                         let p = partition_of(self.on.iter().map(|&(lc, _)| &row[lc]), 0);
                         parts[p].write(0, row)?;
@@ -1497,8 +1731,9 @@ mod tests {
             group_by: vec![0],
             aggs: vec![Agg::Count],
         };
-        // Cross joins have no hash build: only the aggregate counts.
-        assert_eq!(spill_points(&agg), 1);
+        // The cross join's materialized right side counts alongside the
+        // aggregate.
+        assert_eq!(spill_points(&agg), 2);
     }
 
     #[test]

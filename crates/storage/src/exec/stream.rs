@@ -50,6 +50,7 @@ use super::rows::base_access;
 use super::spill::{self, SpillCtx, SpillOptions};
 use super::{aggregate_stream, try_index_selection};
 use crate::catalog::Database;
+use crate::column::{self, Column, ColumnSet};
 use crate::error::Result;
 use crate::expr::{CmpOp, Expr};
 use crate::obs::metrics::{metrics, Metric};
@@ -152,31 +153,78 @@ mod pool {
 // Chunk
 // ---------------------------------------------------------------------------
 
-/// A batch of rows with an optional selection vector.
+/// A batch of rows with an optional selection vector, in one of two
+/// physical layouts:
 ///
-/// `sel == None` means every row is live. A filter never moves or clones
-/// rows — it writes the indices of surviving rows into `sel`; downstream
-/// operators iterate only the live rows. Compaction happens where new
-/// rows are built anyway (projection, join output) or where a caller
-/// takes ownership ([`Chunk::into_rows`]).
+/// * **columnar** — a `(Arc<ColumnSet>, start, len)` window over shared
+///   column vectors (table storage or a transposed batch). Scans emit
+///   these without cloning a single row; kernels filter them by running
+///   over primitive slices.
+/// * **row-major** — a `Vec<Row>` of boxed values, used where rows are
+///   genuinely built (projection output, join output, materialization
+///   points).
+///
+/// `sel == None` means every row in the window is live. A filter never
+/// moves or clones rows — it writes the **window-relative** indices of
+/// surviving rows into `sel`; downstream operators iterate only the live
+/// rows. Compaction to rows happens where boxed rows are needed anyway
+/// (join probes, sort inputs, the row-stream adapter) via
+/// [`Chunk::ensure_rows`].
 #[derive(Debug, Clone)]
 pub struct Chunk {
-    rows: Vec<Row>,
-    /// Strictly increasing indices of the live rows, if filtered.
+    repr: Repr,
+    /// Strictly increasing window-relative indices of the live rows, if
+    /// filtered.
     sel: Option<Vec<u32>>,
 }
 
+/// The physical layout of a chunk's backing storage.
+#[derive(Debug, Clone)]
+enum Repr {
+    Rows(Vec<Row>),
+    Cols(ColWindow),
+}
+
+/// A window into a shared columnar batch.
+#[derive(Debug, Clone)]
+struct ColWindow {
+    cols: Arc<ColumnSet>,
+    start: usize,
+    len: usize,
+}
+
 impl Chunk {
-    /// A chunk with every row live.
+    /// A row-major chunk with every row live.
     pub fn new(rows: Vec<Row>) -> Chunk {
-        Chunk { rows, sel: None }
+        Chunk {
+            repr: Repr::Rows(rows),
+            sel: None,
+        }
+    }
+
+    /// A columnar chunk: a `len`-row window into `cols` starting at
+    /// `start`, every row live. No rows are copied.
+    pub fn from_cols(cols: Arc<ColumnSet>, start: usize, len: usize) -> Chunk {
+        debug_assert!(start + len <= cols.len());
+        Chunk {
+            repr: Repr::Cols(ColWindow { cols, start, len }),
+            sel: None,
+        }
+    }
+
+    /// Rows in the backing window, live or not.
+    fn window_len(&self) -> usize {
+        match &self.repr {
+            Repr::Rows(rows) => rows.len(),
+            Repr::Cols(w) => w.len,
+        }
     }
 
     /// Number of live rows.
     pub fn len(&self) -> usize {
         match &self.sel {
             Some(sel) => sel.len(),
-            None => self.rows.len(),
+            None => self.window_len(),
         }
     }
 
@@ -184,21 +232,63 @@ impl Chunk {
         self.len() == 0
     }
 
-    /// Iterate the live rows in order.
+    /// True when the chunk is a columnar window (no boxed rows behind
+    /// it).
+    pub fn is_columnar(&self) -> bool {
+        matches!(self.repr, Repr::Cols(_))
+    }
+
+    /// Convert a columnar chunk to row-major in place, materializing
+    /// only the live rows (the selection vector is consumed). Row-major
+    /// chunks are untouched. This is the row boundary: operators that
+    /// need `&Row`s (interpreted predicates, join probes, sinks) call it
+    /// once per chunk.
+    pub fn ensure_rows(&mut self) {
+        let Repr::Cols(w) = &self.repr else { return };
+        let mut rows = pool::take_rows(self.len());
+        match self.sel.take() {
+            None => {
+                for i in 0..w.len {
+                    rows.push(w.cols.row_at(w.start + i));
+                }
+            }
+            Some(sel) => {
+                for &i in &sel {
+                    rows.push(w.cols.row_at(w.start + i as usize));
+                }
+                pool::give_sel(sel);
+            }
+        }
+        self.repr = Repr::Rows(rows);
+    }
+
+    /// Iterate the live rows of a **row-major** chunk in order.
+    ///
+    /// # Panics
+    /// Panics on a columnar chunk — call [`Chunk::ensure_rows`] first
+    /// (borrowed `&Row`s cannot be served from column vectors).
     pub fn iter(&self) -> ChunkIter<'_> {
+        let Repr::Rows(rows) = &self.repr else {
+            panic!("Chunk::iter on a columnar chunk; call ensure_rows first")
+        };
         match &self.sel {
-            None => ChunkIter::All(self.rows.iter()),
-            Some(sel) => ChunkIter::Sel(&self.rows, sel.iter()),
+            None => ChunkIter::All(rows.iter()),
+            Some(sel) => ChunkIter::Sel(rows, sel.iter()),
         }
     }
 
-    /// Take ownership of the live rows (compacting if filtered; the
-    /// discarded backing buffers go back to the thread-local pool).
-    pub fn into_rows(self) -> Vec<Row> {
+    /// Take ownership of the live rows (compacting if filtered;
+    /// columnar windows materialize; discarded backing buffers go back
+    /// to the thread-local pool).
+    pub fn into_rows(mut self) -> Vec<Row> {
+        self.ensure_rows();
+        let Repr::Rows(rows) = self.repr else {
+            unreachable!("ensure_rows leaves a row-major repr")
+        };
         match self.sel {
-            None => self.rows,
+            None => rows,
             Some(sel) => {
-                let mut rows = self.rows;
+                let mut rows = rows;
                 let mut out = pool::take_rows(sel.len());
                 for &i in &sel {
                     out.push(std::mem::replace(&mut rows[i as usize], Row::new(vec![])));
@@ -214,21 +304,39 @@ impl Chunk {
     /// the draining counterpart of [`Chunk::into_rows`] for consumers
     /// that accumulate across chunks (collectors, derived relations).
     pub fn drain_into(mut self, out: &mut Vec<Row>) {
-        match self.sel.take() {
-            None => out.append(&mut self.rows),
-            Some(sel) => {
-                out.reserve(sel.len());
-                for &i in &sel {
-                    out.push(std::mem::replace(
-                        &mut self.rows[i as usize],
-                        Row::new(vec![]),
-                    ));
+        let sel = self.sel.take();
+        match self.repr {
+            Repr::Cols(w) => match sel {
+                None => {
+                    out.reserve(w.len);
+                    for i in 0..w.len {
+                        out.push(w.cols.row_at(w.start + i));
+                    }
                 }
-                pool::give_sel(sel);
-                self.rows.clear();
-            }
+                Some(sel) => {
+                    out.reserve(sel.len());
+                    for &i in &sel {
+                        out.push(w.cols.row_at(w.start + i as usize));
+                    }
+                    pool::give_sel(sel);
+                }
+            },
+            Repr::Rows(mut rows) => match sel {
+                None => {
+                    out.append(&mut rows);
+                    pool::give_rows(rows);
+                }
+                Some(sel) => {
+                    out.reserve(sel.len());
+                    for &i in &sel {
+                        out.push(std::mem::replace(&mut rows[i as usize], Row::new(vec![])));
+                    }
+                    pool::give_sel(sel);
+                    rows.clear();
+                    pool::give_rows(rows);
+                }
+            },
         }
-        pool::give_rows(self.rows);
     }
 
     /// Drop the chunk, returning its backing buffers to the pool. Call
@@ -237,21 +345,36 @@ impl Chunk {
         if let Some(sel) = self.sel.take() {
             pool::give_sel(sel);
         }
-        self.rows.clear();
-        pool::give_rows(self.rows);
+        if let Repr::Rows(mut rows) = self.repr {
+            rows.clear();
+            pool::give_rows(rows);
+        }
     }
 
-    /// Restrict the live rows by `keep`, refining the selection vector in
-    /// place; no rows are moved or cloned.
+    /// Restrict the live rows by `keep`, refining the selection vector
+    /// in place; no rows are moved. Columnar cells are materialized one
+    /// scratch row at a time for the predicate (compiled kernels bypass
+    /// this entirely via [`FilterKernel::filter_chunk`]).
     pub(crate) fn filter_in_place(&mut self, mut keep: impl FnMut(&Row) -> bool) {
-        let rows = &self.rows;
         let mut sel = pool::take_sel(self.len());
-        match self.sel.take() {
-            Some(old) => {
-                sel.extend(old.iter().copied().filter(|&i| keep(&rows[i as usize])));
-                pool::give_sel(old);
+        match &self.repr {
+            Repr::Rows(rows) => match self.sel.take() {
+                Some(old) => {
+                    sel.extend(old.iter().copied().filter(|&i| keep(&rows[i as usize])));
+                    pool::give_sel(old);
+                }
+                None => sel.extend((0..rows.len() as u32).filter(|&i| keep(&rows[i as usize]))),
+            },
+            Repr::Cols(w) => {
+                let mut keep_at = |i: u32| keep(&w.cols.row_at(w.start + i as usize));
+                match self.sel.take() {
+                    Some(old) => {
+                        sel.extend(old.iter().copied().filter(|&i| keep_at(i)));
+                        pool::give_sel(old);
+                    }
+                    None => sel.extend((0..w.len as u32).filter(|&i| keep_at(i))),
+                }
             }
-            None => sel.extend((0..rows.len() as u32).filter(|&i| keep(&rows[i as usize]))),
         }
         self.sel = Some(sel);
     }
@@ -260,11 +383,14 @@ impl Chunk {
     fn truncate_live(&mut self, n: usize) {
         match &mut self.sel {
             Some(sel) => sel.truncate(n),
-            None => self.rows.truncate(n),
+            None => match &mut self.repr {
+                Repr::Rows(rows) => rows.truncate(n),
+                Repr::Cols(w) => w.len = w.len.min(n),
+            },
         }
     }
 
-    /// Physical index of the `k`-th live row.
+    /// Window-relative index of the `k`-th live row.
     fn live_at(&self, k: usize) -> u32 {
         match &self.sel {
             Some(sel) => sel[k],
@@ -272,14 +398,56 @@ impl Chunk {
         }
     }
 
-    /// Borrow the backing row at a physical index (used with
-    /// [`Chunk::live_indices`]).
+    /// Borrow the backing row at a window-relative index (row-major
+    /// chunks only; columnar callers go through [`Chunk::ensure_rows`]).
     fn row(&self, i: u32) -> &Row {
-        &self.rows[i as usize]
+        let Repr::Rows(rows) = &self.repr else {
+            panic!("Chunk::row on a columnar chunk; call ensure_rows first")
+        };
+        &rows[i as usize]
+    }
+
+    /// Move the backing row at a window-relative index out of the chunk
+    /// (row-major chunks leave a placeholder; columnar chunks
+    /// materialize the row — the window is immutable shared storage).
+    fn take_row(&mut self, i: u32) -> Row {
+        match &mut self.repr {
+            Repr::Rows(rows) => std::mem::replace(&mut rows[i as usize], Row::new(vec![])),
+            Repr::Cols(w) => w.cols.row_at(w.start + i as usize),
+        }
+    }
+
+    /// Clone the single cell at window-relative index `i`, column `c`,
+    /// without materializing the row — how the join probe reads its key
+    /// columns from a columnar window.
+    fn cell(&self, i: u32, c: usize) -> Value {
+        match &self.repr {
+            Repr::Rows(rows) => rows[i as usize][c].clone(),
+            Repr::Cols(w) => w.cols.value_at(c, w.start + i as usize),
+        }
+    }
+
+    /// Build `row(i) ++ right` straight from the backing storage. For a
+    /// columnar window the cells are cloned directly into the output
+    /// row, skipping the intermediate left-row allocation that
+    /// `ensure_rows` + [`Row::concat`] would pay per probe row.
+    fn concat_row(&self, i: u32, right: &Row) -> Row {
+        match &self.repr {
+            Repr::Rows(rows) => rows[i as usize].concat(right),
+            Repr::Cols(w) => {
+                let at = w.start + i as usize;
+                let mut vals = Vec::with_capacity(w.cols.arity() + right.arity());
+                for c in 0..w.cols.arity() {
+                    vals.push(w.cols.value_at(c, at));
+                }
+                vals.extend_from_slice(right.values());
+                Row::new(vals)
+            }
+        }
     }
 }
 
-/// Iterator over a chunk's live rows.
+/// Iterator over a row-major chunk's live rows.
 pub enum ChunkIter<'a> {
     All(std::slice::Iter<'a, Row>),
     Sel(&'a [Row], std::slice::Iter<'a, u32>),
@@ -364,9 +532,9 @@ impl Iterator for ChunkRows {
             ChunkRows::Rows(slot, pos) => {
                 let chunk = slot.as_mut()?;
                 if *pos < chunk.len() {
-                    let i = chunk.live_at(*pos) as usize;
+                    let i = chunk.live_at(*pos);
                     *pos += 1;
-                    Some(Ok(std::mem::replace(&mut chunk.rows[i], Row::new(vec![]))))
+                    Some(Ok(chunk.take_row(i)))
                 } else {
                     slot.take().expect("checked above").recycle();
                     None
@@ -412,11 +580,27 @@ impl Iterator for RowStream<'_> {
 // Executor
 // ---------------------------------------------------------------------------
 
+/// The physical layout leaf scans emit.
+///
+/// [`ChunkLayout::Columnar`] (the default) slices table storage into
+/// shared columnar windows — a scan clones zero rows, and compiled
+/// filter kernels run over primitive column slices. [`ChunkLayout::Rows`]
+/// reproduces the previous chunk executor (rows cloned into row-major
+/// batches at the leaf), kept for benchmarking and as a differential
+/// voice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkLayout {
+    #[default]
+    Columnar,
+    Rows,
+}
+
 /// Entry point of the vectorized executor.
 pub struct Executor<'a> {
     db: &'a Database,
     batch: usize,
     spill: SpillOptions,
+    layout: ChunkLayout,
 }
 
 impl<'a> Executor<'a> {
@@ -425,6 +609,7 @@ impl<'a> Executor<'a> {
             db,
             batch: BATCH_SIZE,
             spill: SpillOptions::unlimited(),
+            layout: ChunkLayout::default(),
         }
     }
 
@@ -432,9 +617,8 @@ impl<'a> Executor<'a> {
     /// memory-constrained embedders).
     pub fn with_batch_size(db: &'a Database, batch: usize) -> Self {
         Executor {
-            db,
             batch: batch.max(1),
-            spill: SpillOptions::unlimited(),
+            ..Executor::new(db)
         }
     }
 
@@ -443,15 +627,20 @@ impl<'a> Executor<'a> {
     /// [`SpillOptions::unlimited`] this is exactly [`Executor::new`].
     pub fn with_spill(db: &'a Database, spill: SpillOptions) -> Self {
         Executor {
-            db,
-            batch: BATCH_SIZE,
             spill,
+            ..Executor::new(db)
         }
     }
 
     /// Replace this executor's spill options (builder style).
     pub fn spill(mut self, spill: SpillOptions) -> Self {
         self.spill = spill;
+        self
+    }
+
+    /// Choose the leaf scan layout (builder style); see [`ChunkLayout`].
+    pub fn layout(mut self, layout: ChunkLayout) -> Self {
+        self.layout = layout;
         self
     }
 
@@ -465,7 +654,7 @@ impl<'a> Executor<'a> {
         Ok(ChunkStream::new(open_node(
             self.db,
             plan,
-            Batch::new(self.batch),
+            Batch::new(self.batch, self.layout),
             &spill,
             &NodeObs::disabled(),
         )?))
@@ -482,7 +671,7 @@ impl<'a> Executor<'a> {
         let stream = ChunkStream::new(open_node(
             self.db,
             plan,
-            Batch::new(self.batch),
+            Batch::new(self.batch, self.layout),
             &spill,
             &NodeObs::enabled(Rc::clone(&root)),
         )?);
@@ -566,34 +755,173 @@ impl ColLitKernel {
         }
     }
 
-    #[inline]
-    pub(crate) fn test(&self, row: &Row) -> bool {
+    /// The column this kernel reads.
+    fn col(&self) -> usize {
         match self {
-            ColLitKernel::EqInt(c, k) => matches!(row[*c], Value::Int(x) if x == *k),
+            ColLitKernel::EqInt(c, _)
+            | ColLitKernel::LtInt(c, _)
+            | ColLitKernel::LeInt(c, _)
+            | ColLitKernel::EqStr(c, _)
+            | ColLitKernel::LtStr(c, _)
+            | ColLitKernel::LeStr(c, _)
+            | ColLitKernel::Cmp(c, _, _) => *c,
+        }
+    }
+
+    /// The kernel's predicate on one boxed cell value (the row-major
+    /// path, and `Mixed` columns of the columnar path).
+    #[inline]
+    fn test_value(&self, v: &Value) -> bool {
+        match self {
+            ColLitKernel::EqInt(_, k) => matches!(v, Value::Int(x) if x == k),
             // Cross-type order: Null and Bool rank below Int, Str above.
-            ColLitKernel::LtInt(c, k) => match &row[*c] {
+            ColLitKernel::LtInt(_, k) => match v {
                 Value::Int(x) => x < k,
                 Value::Null | Value::Bool(_) => true,
                 Value::Str(_) => false,
             },
-            ColLitKernel::LeInt(c, k) => match &row[*c] {
+            ColLitKernel::LeInt(_, k) => match v {
                 Value::Int(x) => x <= k,
                 Value::Null | Value::Bool(_) => true,
                 Value::Str(_) => false,
             },
-            ColLitKernel::EqStr(c, s) => matches!(&row[*c], Value::Str(x) if **x == **s),
+            ColLitKernel::EqStr(_, s) => matches!(v, Value::Str(x) if **x == **s),
             // Null, Bool, and Int all rank below Str.
-            ColLitKernel::LtStr(c, s) => match &row[*c] {
+            ColLitKernel::LtStr(_, s) => match v {
                 Value::Str(x) => **x < **s,
                 _ => true,
             },
-            ColLitKernel::LeStr(c, s) => match &row[*c] {
+            ColLitKernel::LeStr(_, s) => match v {
                 Value::Str(x) => **x <= **s,
                 _ => true,
             },
-            ColLitKernel::Cmp(c, op, v) => op.eval(&row[*c], v),
+            ColLitKernel::Cmp(_, op, lit) => op.eval(v, lit),
         }
     }
+
+    #[inline]
+    pub(crate) fn test(&self, row: &Row) -> bool {
+        self.test_value(&row[self.col()])
+    }
+
+    /// One selection-vector pass over a columnar window: retain the
+    /// window-relative indices in `sel` whose cell satisfies the kernel,
+    /// reading primitive slices directly — no `Value` is materialized on
+    /// any typed column. The per-column-type arms replicate the
+    /// cross-type total order (`Null < Bool < Int < Str`) exactly, so a
+    /// whole pass can collapse to "keep everything" (e.g. `< int` over a
+    /// `Bool` column) or "drop everything" (`= str` over an `Int`
+    /// column) without touching a single cell.
+    fn filter_sel(&self, cols: &ColumnSet, start: usize, sel: &mut Vec<u32>) {
+        let col = cols.col(self.col());
+        match (self, col) {
+            // --- int-literal kernels ---
+            (ColLitKernel::EqInt(_, k), Column::Int { vals, validity }) => sel.retain(|&i| {
+                let j = start + i as usize;
+                is_valid(validity, j) && vals[j] == *k
+            }),
+            (ColLitKernel::EqInt(..), Column::Mixed(vals)) => self.retain_mixed(vals, start, sel),
+            // NULL, Bool, and Str cells never equal an int literal.
+            (ColLitKernel::EqInt(..), _) => sel.clear(),
+            (ColLitKernel::LtInt(_, k), Column::Int { vals, validity }) => sel.retain(|&i| {
+                let j = start + i as usize;
+                // NULL ranks below every int, so invalid cells pass.
+                !is_valid(validity, j) || vals[j] < *k
+            }),
+            (ColLitKernel::LeInt(_, k), Column::Int { vals, validity }) => sel.retain(|&i| {
+                let j = start + i as usize;
+                !is_valid(validity, j) || vals[j] <= *k
+            }),
+            // NULL and Bool cells all rank below any int literal.
+            (
+                ColLitKernel::LtInt(..) | ColLitKernel::LeInt(..),
+                Column::Null(_) | Column::Bool { .. },
+            ) => {}
+            // Str cells rank above ints: only the NULL cells pass.
+            (ColLitKernel::LtInt(..) | ColLitKernel::LeInt(..), Column::Str { validity, .. }) => {
+                match validity {
+                    None => sel.clear(),
+                    Some(v) => sel.retain(|&i| !v.get(start + i as usize)),
+                }
+            }
+            (ColLitKernel::LtInt(..) | ColLitKernel::LeInt(..), Column::Mixed(vals)) => {
+                self.retain_mixed(vals, start, sel)
+            }
+            // --- string-literal kernels ---
+            // `= lit` over a dictionary column: one binary search, then a
+            // code-equality loop.
+            (
+                ColLitKernel::EqStr(_, s),
+                Column::Str {
+                    dict,
+                    codes,
+                    validity,
+                },
+            ) => match column::dict_code(dict, s) {
+                None => sel.clear(),
+                Some(code) => sel.retain(|&i| {
+                    let j = start + i as usize;
+                    is_valid(validity, j) && codes[j] == code
+                }),
+            },
+            (ColLitKernel::EqStr(..), Column::Mixed(vals)) => self.retain_mixed(vals, start, sel),
+            (ColLitKernel::EqStr(..), _) => sel.clear(),
+            // `< lit` / `<= lit`: the sorted dictionary turns the string
+            // comparison into a code bound (code order is string order).
+            (
+                ColLitKernel::LtStr(_, s),
+                Column::Str {
+                    dict,
+                    codes,
+                    validity,
+                },
+            ) => {
+                let bound = column::dict_lower_bound(dict, s);
+                sel.retain(|&i| {
+                    let j = start + i as usize;
+                    !is_valid(validity, j) || codes[j] < bound
+                });
+            }
+            (
+                ColLitKernel::LeStr(_, s),
+                Column::Str {
+                    dict,
+                    codes,
+                    validity,
+                },
+            ) => {
+                let bound = column::dict_upper_bound(dict, s);
+                sel.retain(|&i| {
+                    let j = start + i as usize;
+                    !is_valid(validity, j) || codes[j] < bound
+                });
+            }
+            (ColLitKernel::LtStr(..) | ColLitKernel::LeStr(..), Column::Mixed(vals)) => {
+                self.retain_mixed(vals, start, sel)
+            }
+            // NULL, Bool, and Int cells all rank below any string.
+            (ColLitKernel::LtStr(..) | ColLitKernel::LeStr(..), _) => {}
+            // --- generic comparison ---
+            (ColLitKernel::Cmp(_, op, v), Column::Mixed(vals)) => {
+                sel.retain(|&i| op.eval(&vals[start + i as usize], v))
+            }
+            (ColLitKernel::Cmp(c, op, v), _) => {
+                sel.retain(|&i| op.eval(&cols.value_at(*c, start + i as usize), v))
+            }
+        }
+    }
+
+    /// The `Mixed`-column pass: boxed cells, same per-value predicate as
+    /// the row-major path.
+    fn retain_mixed(&self, vals: &[Value], start: usize, sel: &mut Vec<u32>) {
+        sel.retain(|&i| self.test_value(&vals[start + i as usize]));
+    }
+}
+
+/// Validity check for an unboxed column: `None` means every cell valid.
+#[inline]
+fn is_valid(validity: &Option<column::Bitmap>, j: usize) -> bool {
+    validity.as_ref().is_none_or(|v| v.get(j))
 }
 
 /// A compiled filter: either one `col op lit` kernel or a **fused
@@ -646,7 +974,33 @@ impl FilterKernel {
 
     /// Run the kernel over a chunk as selection-vector passes: one pass
     /// for a single comparison, one per conjunct for a fused `AND`.
+    /// Columnar chunks run the passes over primitive column slices
+    /// ([`ColLitKernel::filter_sel`]); later `AND` passes only visit the
+    /// survivors of earlier ones.
     fn filter_chunk(&self, chunk: &mut Chunk) {
+        if let Repr::Cols(w) = &chunk.repr {
+            let mut sel = match chunk.sel.take() {
+                Some(sel) => sel,
+                None => {
+                    let mut sel = pool::take_sel(w.len);
+                    sel.extend(0..w.len as u32);
+                    sel
+                }
+            };
+            match self {
+                FilterKernel::One(k) => k.filter_sel(&w.cols, w.start, &mut sel),
+                FilterKernel::And(ks) => {
+                    for k in ks {
+                        if sel.is_empty() {
+                            break;
+                        }
+                        k.filter_sel(&w.cols, w.start, &mut sel);
+                    }
+                }
+            }
+            chunk.sel = Some(sel);
+            return;
+        }
         match self {
             FilterKernel::One(k) => chunk.filter_in_place(|row| k.test(row)),
             FilterKernel::And(ks) => {
@@ -686,13 +1040,16 @@ pub(crate) fn selection_kernel_label(pred: &Expr) -> Option<String> {
 struct Batch {
     configured: usize,
     effective: usize,
+    /// The leaf scan layout in effect for the whole tree.
+    layout: ChunkLayout,
 }
 
 impl Batch {
-    fn new(configured: usize) -> Batch {
+    fn new(configured: usize, layout: ChunkLayout) -> Batch {
         Batch {
             configured,
             effective: configured,
+            layout,
         }
     }
 
@@ -726,7 +1083,10 @@ fn open_node<'a>(
     let iter: BoxChunkIter<'a> = match plan {
         Plan::Scan { table } => {
             let t = db.table(table)?;
-            chunked_refs(t.iter().map(|(_, r)| r), batch.effective)
+            match batch.layout {
+                ChunkLayout::Columnar => chunked_cols(t.columnar(), batch.effective),
+                ChunkLayout::Rows => chunked_refs(t.iter().map(|(_, r)| r), batch.effective),
+            }
         }
         Plan::Values { rows, .. } => chunked_refs(rows.iter(), batch.effective),
         Plan::Selection { input, predicate } => {
@@ -882,6 +1242,27 @@ fn chunked_refs<'a>(iter: impl Iterator<Item = &'a Row> + 'a, batch: usize) -> B
     }))
 }
 
+/// Slice a columnar batch into window chunks without touching a single
+/// row, ramping the chunk size up from [`RAMP_START`] to `batch` exactly
+/// like [`chunked_refs`]. Each chunk is an `Arc` clone plus two offsets.
+fn chunked_cols<'a>(cols: Arc<ColumnSet>, batch: usize) -> BoxChunkIter<'a> {
+    let total = cols.len();
+    let mut start = 0usize;
+    let mut size = RAMP_START.min(batch);
+    Box::new(std::iter::from_fn(move || {
+        if start >= total {
+            return None;
+        }
+        let n = size.min(total - start);
+        let chunk = Chunk::from_cols(Arc::clone(&cols), start, n);
+        start += n;
+        size = (size * 2).min(batch);
+        metrics().add(Metric::RowsScanned, n as u64);
+        metrics().incr(Metric::ColumnarChunks);
+        Some(Ok(chunk))
+    }))
+}
+
 /// Batch an owned row vector (materialization-point outputs). A vector
 /// that fits one batch is passed through as-is — no copy, no split.
 pub(crate) fn chunked_owned<'a>(rows: Vec<Row>, batch: usize) -> BoxChunkIter<'a> {
@@ -923,23 +1304,51 @@ fn open_selection<'a>(
             }
             return Ok(chunked_owned(rows, batch.effective));
         }
-        // Filter-over-scan fusion: test table rows *by reference* and
-        // clone only the survivors into chunks — a selective filter never
-        // copies the rows it drops.
-        let refs = t.iter().map(|(_, r)| r);
+        // Filter-over-scan fusion. Columnar layout: slice the table's
+        // column vectors into windows and run the kernel's
+        // selection-vector passes over primitive slices — no row is
+        // cloned or materialized anywhere, survivors included. Row
+        // layout (the previous executor, kept for benchmarking): test
+        // table rows *by reference* and clone only the survivors.
         if let Some(kernel) = FilterKernel::compile(predicate) {
             let prof = obs.spill_prof();
-            return Ok(chunked_refs(
-                refs.filter(move |r| {
-                    if let Some(n) = &prof {
-                        bump(&n.rows_in, 1);
-                        bump(&n.kernel_rows, 1);
-                    }
-                    kernel.test(r)
-                }),
-                batch.effective,
-            ));
+            match batch.layout {
+                ChunkLayout::Columnar => {
+                    return Ok(Box::new(
+                        chunked_cols(t.columnar(), batch.effective).filter_map(move |item| {
+                            match item {
+                                Ok(mut chunk) => {
+                                    if let Some(n) = &prof {
+                                        bump(&n.rows_in, chunk.len() as u64);
+                                        bump(&n.kernel_rows, chunk.len() as u64);
+                                    }
+                                    kernel.filter_chunk(&mut chunk);
+                                    if chunk.is_empty() {
+                                        chunk.recycle();
+                                        return None;
+                                    }
+                                    Some(Ok(chunk))
+                                }
+                                Err(e) => Some(Err(e)),
+                            }
+                        }),
+                    ));
+                }
+                ChunkLayout::Rows => {
+                    return Ok(chunked_refs(
+                        t.iter().map(|(_, r)| r).filter(move |r| {
+                            if let Some(n) = &prof {
+                                bump(&n.rows_in, 1);
+                                bump(&n.kernel_rows, 1);
+                            }
+                            kernel.test(r)
+                        }),
+                        batch.effective,
+                    ));
+                }
+            }
         }
+        let refs = t.iter().map(|(_, r)| r);
         let prof = obs.spill_prof();
         return Ok(filtered_ref_scan(
             refs.inspect(move |_| {
@@ -1038,6 +1447,9 @@ fn filter_chunks<'a>(
         match input.next()? {
             Err(e) => return Some(Err(e)),
             Ok(mut chunk) => {
+                // Fallible predicates want `&Row`s: materialize columnar
+                // windows once per chunk (live rows only).
+                chunk.ensure_rows();
                 let n = chunk.len();
                 let mut sel = pool::take_sel(n);
                 let mut first_err = None;
@@ -1080,9 +1492,7 @@ fn filter_chunks<'a>(
                             return;
                         }
                         let mut rows = pool::take_rows(sel.len());
-                        rows.extend(sel.drain(..).map(|i| {
-                            std::mem::replace(&mut chunk.rows[i as usize], Row::new(vec![]))
-                        }));
+                        rows.extend(sel.drain(..).map(|i| chunk.take_row(i)));
                         pending.push_back(Ok(Chunk::new(rows)));
                     };
                 emit_segment(&mut sel, &mut chunk, &mut pending);
@@ -1117,12 +1527,30 @@ fn filter_chunks<'a>(
 fn map_chunks<'a>(
     input: BoxChunkIter<'a>,
     batch: usize,
-    f: impl FnMut(&Row, &mut Vec<Row>) -> Result<()> + 'a,
+    mut f: impl FnMut(&Row, &mut Vec<Row>) -> Result<()> + 'a,
+) -> BoxChunkIter<'a> {
+    map_cells(input, batch, true, move |chunk, i, out| {
+        f(chunk.row(i), out)
+    })
+}
+
+/// Like [`map_chunks`] but hands the closure `(chunk, window index)`
+/// instead of a materialized `&Row`, so a columnar-aware consumer (the
+/// hash-join probe) can read just the cells it needs via
+/// [`Chunk::cell`] and keep the window unmaterialized. `materialize`
+/// preserves the row-major guarantee for closures that call
+/// [`Chunk::row`].
+fn map_cells<'a>(
+    input: BoxChunkIter<'a>,
+    batch: usize,
+    materialize: bool,
+    f: impl FnMut(&Chunk, u32, &mut Vec<Row>) -> Result<()> + 'a,
 ) -> BoxChunkIter<'a> {
     Box::new(MapChunks {
         input,
         f,
         batch,
+        materialize,
         pending: VecDeque::new(),
         current: None,
         out: Vec::new(),
@@ -1134,6 +1562,9 @@ struct MapChunks<'a, F> {
     input: BoxChunkIter<'a>,
     f: F,
     batch: usize,
+    /// Convert incoming columnar windows to rows up front (required by
+    /// closures that borrow `&Row`s via [`Chunk::row`]).
+    materialize: bool,
     /// Emitted-but-not-yet-pulled items, in row order.
     pending: VecDeque<Result<Chunk>>,
     /// The partially processed input chunk and the next live position —
@@ -1145,7 +1576,7 @@ struct MapChunks<'a, F> {
     done: bool,
 }
 
-impl<F: FnMut(&Row, &mut Vec<Row>) -> Result<()>> Iterator for MapChunks<'_, F> {
+impl<F: FnMut(&Chunk, u32, &mut Vec<Row>) -> Result<()>> Iterator for MapChunks<'_, F> {
     type Item = Result<Chunk>;
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -1158,7 +1589,7 @@ impl<F: FnMut(&Row, &mut Vec<Row>) -> Result<()>> Iterator for MapChunks<'_, F> 
                 while *pos < n {
                     let i = chunk.live_at(*pos);
                     *pos += 1;
-                    match (self.f)(chunk.row(i), &mut self.out) {
+                    match (self.f)(chunk, i, &mut self.out) {
                         Ok(()) => {
                             if self.out.len() >= self.batch {
                                 let out =
@@ -1209,7 +1640,12 @@ impl<F: FnMut(&Row, &mut Vec<Row>) -> Result<()>> Iterator for MapChunks<'_, F> 
                     }
                     self.pending.push_back(Err(e));
                 }
-                Some(Ok(chunk)) => {
+                Some(Ok(mut chunk)) => {
+                    // `&Row`-borrowing closures need row-major storage:
+                    // materialize columnar windows once per chunk.
+                    if self.materialize {
+                        chunk.ensure_rows();
+                    }
                     self.current = Some((chunk, 0));
                 }
             }
@@ -1237,8 +1673,22 @@ impl Iterator for ProjectChunks<'_> {
                         continue;
                     }
                     let mut rows = pool::take_rows(chunk.len());
-                    for row in chunk.iter() {
-                        rows.push(self.proj.apply(row));
+                    match &chunk.repr {
+                        // Columnar input: gather straight from the
+                        // projected columns — untouched columns are
+                        // never read, dropped rows never materialized.
+                        Repr::Cols(w) => {
+                            let idx = self.proj.indices();
+                            for k in 0..chunk.len() {
+                                let i = w.start + chunk.live_at(k) as usize;
+                                rows.push(Row::new(idx.iter().map(|&c| w.cols.value_at(c, i))));
+                            }
+                        }
+                        Repr::Rows(_) => {
+                            for row in chunk.iter() {
+                                rows.push(self.proj.apply(row));
+                            }
+                        }
                     }
                     chunk.recycle();
                     return Some(Ok(Chunk::new(rows)));
@@ -1363,14 +1813,51 @@ fn open_join<'a>(
         let probe = open_node(db, left, batch, spill, &obs.child(0))?;
         return hash_join(db, probe, right, on, residual, batch, spill, obs);
     }
-    // Cross/theta join: the right side is materialized once, the left
-    // side pipelines chunk-at-a-time through the nested loop.
-    let rrows = ChunkStream::new(open_node(db, right, batch.full(), spill, &obs.child(1))?)
-        .collect_rows()?;
+    // Cross/theta join: the right side is a materialization point. Under
+    // a memory budget only this point's byte share stays in memory; once
+    // the share is exceeded every further right row overflows — in
+    // arrival order — to a spill run file, which the probe loop replays
+    // after the in-memory prefix for each left row. The replay reopens
+    // the run per left row (sequential reads of an OS-cached file), a
+    // deliberate trade: right-side memory stays bounded by the budget
+    // while the output order stays byte-for-byte the left-major order of
+    // the unbudgeted nested loop.
+    let mut mem: Vec<Row> = Vec::new();
+    let mut mem_bytes = 0usize;
+    let mut overflow: Option<spill::RunFile> = None;
+    {
+        let right_stream = open_node(db, right, batch.full(), spill, &obs.child(1))?;
+        let mut scratch: Vec<Row> = Vec::new();
+        for chunk in right_stream {
+            chunk?.drain_into(&mut scratch);
+            for row in scratch.drain(..) {
+                if let Some(run) = &mut overflow {
+                    run.write(0, &row)?;
+                    continue;
+                }
+                match spill.per_point {
+                    Some(budget) if mem_bytes + spill::row_bytes(&row) > budget => {
+                        let mut run = spill::RunFile::create(&spill.dir, obs.spill_prof())?;
+                        run.write(0, &row)?;
+                        overflow = Some(run);
+                    }
+                    _ => {
+                        mem_bytes += spill::row_bytes(&row);
+                        mem.push(row);
+                    }
+                }
+            }
+        }
+        if let Some(n) = obs.node() {
+            raise(&n.peak_bytes, mem_bytes as u64);
+        }
+        if let Some(run) = &mut overflow {
+            run.seal()?;
+        }
+    }
     let left = open_node(db, left, batch, spill, &obs.child(0))?;
     Ok(map_chunks(left, batch.effective, move |lrow, out| {
-        for rrow in &rrows {
-            let joined = lrow.concat(rrow);
+        let emit = |joined: Row, out: &mut Vec<Row>| -> Result<()> {
             match residual {
                 None => out.push(joined),
                 Some(e) => {
@@ -1378,6 +1865,16 @@ fn open_join<'a>(
                         out.push(joined);
                     }
                 }
+            }
+            Ok(())
+        };
+        for rrow in &mem {
+            emit(lrow.concat(rrow), out)?;
+        }
+        if let Some(run) = &mut overflow {
+            let mut reader = run.reader()?;
+            while let Some((_, rrow)) = reader.next()? {
+                emit(lrow.concat(&rrow), out)?;
             }
         }
         Ok(())
@@ -1473,23 +1970,32 @@ fn hash_join<'a>(
             }
         }
     };
-    Ok(map_chunks(probe, batch.effective, move |lrow, out| {
-        let key: Box<[Value]> = on.iter().map(|&(lc, _)| lrow[lc].clone()).collect();
-        if let Some(hits) = build.get(&key) {
-            for rrow in hits {
-                let joined = lrow.concat(rrow);
-                match residual {
-                    None => out.push(joined),
-                    Some(e) => {
-                        if e.eval_bool(&joined)? {
-                            out.push(joined);
+    // Cell-level probe: keys are read straight out of the probe chunk
+    // (one cell clone per key column), and full joined rows are only
+    // built for matches — a columnar probe side never materializes
+    // unmatched rows at all.
+    Ok(map_cells(
+        probe,
+        batch.effective,
+        false,
+        move |chunk, i, out| {
+            let key: Box<[Value]> = on.iter().map(|&(lc, _)| chunk.cell(i, lc)).collect();
+            if let Some(hits) = build.get(&key) {
+                for rrow in hits {
+                    let joined = chunk.concat_row(i, rrow);
+                    match residual {
+                        None => out.push(joined),
+                        Some(e) => {
+                            if e.eval_bool(&joined)? {
+                                out.push(joined);
+                            }
                         }
                     }
                 }
             }
-        }
-        Ok(())
-    }))
+            Ok(())
+        },
+    ))
 }
 
 /// Materialize a join's build (right) side into a hash table keyed by
@@ -1632,6 +2138,11 @@ mod tests {
     fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
         rows.sort();
         rows
+    }
+
+    /// Rows in a chunk's backing window, live or not (tests only).
+    fn backing_len(chunk: &Chunk) -> usize {
+        chunk.window_len()
     }
 
     #[test]
@@ -1935,7 +2446,7 @@ mod tests {
             chunks[0].sel.is_some(),
             "fused AND must use a selection vector"
         );
-        assert_eq!(chunks[0].rows.len(), 5, "backing rows are not compacted");
+        assert_eq!(backing_len(&chunks[0]), 5, "backing rows are not compacted");
         assert_eq!(chunks[0].len(), 2); // rows (0,1,1) and (0,2,2)
     }
 
@@ -1956,7 +2467,7 @@ mod tests {
             chunks[0].sel.is_some(),
             "filter must use a selection vector"
         );
-        assert_eq!(chunks[0].rows.len(), 5, "backing rows are not compacted");
+        assert_eq!(backing_len(&chunks[0]), 5, "backing rows are not compacted");
         assert_eq!(chunks[0].len(), 3);
     }
 

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod catalog;
+pub mod column;
 pub mod datalog;
 pub mod error;
 pub mod exec;
@@ -50,11 +51,12 @@ pub mod table;
 pub mod value;
 
 pub use catalog::Database;
+pub use column::{Bitmap, Column, ColumnSet};
 pub use error::{Result, StorageError};
 pub use exec::{
     execute, execute_materialized, execute_optimized, execute_rows, spill_points, stream,
-    stream_chunks, stream_rows, Chunk, ChunkStream, Executor, RowStream, SpillOptions, BATCH_SIZE,
-    SPILL_PARTITIONS,
+    stream_chunks, stream_rows, Chunk, ChunkLayout, ChunkStream, Executor, RowStream, SpillOptions,
+    BATCH_SIZE, SPILL_PARTITIONS,
 };
 pub use expr::{CmpOp, Expr};
 pub use index::RowId;

@@ -44,10 +44,13 @@ pub enum Metric {
     RowsEmitted,
     /// Queries captured by the slow-query log.
     SlowQueries,
+    /// Columnar chunks produced by leaf scans (table-storage windows
+    /// sliced without cloning rows).
+    ColumnarChunks,
 }
 
 impl Metric {
-    pub const ALL: [Metric; 12] = [
+    pub const ALL: [Metric; 13] = [
         Metric::QueriesExecuted,
         Metric::PlanCacheHits,
         Metric::PlanCacheMisses,
@@ -60,6 +63,7 @@ impl Metric {
         Metric::RowsScanned,
         Metric::RowsEmitted,
         Metric::SlowQueries,
+        Metric::ColumnarChunks,
     ];
 
     const COUNT: usize = Metric::ALL.len();
@@ -79,6 +83,7 @@ impl Metric {
             Metric::RowsScanned => "exec.rows_scanned",
             Metric::RowsEmitted => "exec.rows_emitted",
             Metric::SlowQueries => "slowlog.captured",
+            Metric::ColumnarChunks => "exec.columnar_chunks",
         }
     }
 }

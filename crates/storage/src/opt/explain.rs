@@ -196,15 +196,17 @@ fn exec_note(plan: &Plan) -> &'static str {
 }
 
 /// The vectorization annotation: pipelined operators exchange chunks of
-/// up to [`BATCH_SIZE`] rows. Aggregate and Sort consume chunks but
-/// emit materialized output, so they carry no tag of their own; the
+/// up to [`BATCH_SIZE`] rows. Scans additionally report the columnar
+/// layout — they emit zero-copy windows over the table's column cache
+/// rather than cloned row batches. Aggregate and Sort consume chunks
+/// but emit materialized output, so they carry no tag of their own; the
 /// `Selection` kernel annotation is handled in [`render_node`] because
 /// it depends on the access path (an index-served selection runs no
 /// filter kernel at all).
 fn vectorized_note(plan: &Plan) -> String {
     match plan {
-        Plan::Scan { .. }
-        | Plan::Values { .. }
+        Plan::Scan { .. } => format!(" [vectorized batch={BATCH_SIZE} layout=columnar]"),
+        Plan::Values { .. }
         | Plan::Selection { .. }
         | Plan::Projection { .. }
         | Plan::Union { .. }
@@ -225,11 +227,17 @@ fn on_note(on: &[(usize, usize)]) -> String {
 }
 
 /// The `[spill …]` tag for this node, or empty when it is not a
-/// materialization point (pipelined operators never spill).
+/// materialization point (pipelined operators never spill). Every join
+/// materializes its right side — keyed joins build a hash table, cross
+/// joins buffer the right input — so every join is a spill point; only
+/// the residual-only anti-join's buffered right side remains unbudgeted
+/// (a documented follow-up).
 fn spill_note<'s>(plan: &Plan, tag: &'s str) -> &'s str {
     match plan {
-        Plan::Sort { .. } | Plan::Aggregate { .. } | Plan::Distinct { .. } => tag,
-        Plan::Join { on, .. } | Plan::AntiJoin { on, .. } if !on.is_empty() => tag,
+        Plan::Sort { .. } | Plan::Aggregate { .. } | Plan::Distinct { .. } | Plan::Join { .. } => {
+            tag
+        }
+        Plan::AntiJoin { on, .. } if !on.is_empty() => tag,
         _ => "",
     }
 }
@@ -289,10 +297,19 @@ fn node_line(db: &Database, plan: &Plan, est: &EstTree, spill_tag: &str) -> Stri
             let exec = match &access {
                 Some(_) => exec.clone(),
                 None => {
-                    let kernel =
-                        selection_kernel_label(predicate).unwrap_or_else(|| "rowwise".to_string());
+                    // A compiled kernel fused directly over a scan runs
+                    // its selection passes on the columnar windows (a
+                    // selection vector over primitive column slices);
+                    // the row-wise interpreter and non-scan inputs see
+                    // row chunks.
+                    let kernel = selection_kernel_label(predicate);
+                    let layout = match (&kernel, input.as_ref()) {
+                        (Some(_), Plan::Scan { .. }) => " layout=columnar",
+                        _ => "",
+                    };
+                    let kernel = kernel.unwrap_or_else(|| "rowwise".to_string());
                     format!(
-                        "{} [vectorized batch={BATCH_SIZE} kernel={kernel}]",
+                        "{} [vectorized batch={BATCH_SIZE} kernel={kernel}{layout}]",
                         exec_note(plan)
                     )
                 }
@@ -480,7 +497,12 @@ mod tests {
             text.contains("Limit 3 [pipeline] [vectorized batch=1024]"),
             "{text}"
         );
-        assert!(text.contains("kernel=eq:int"), "{text}");
+        assert!(text.contains("kernel=eq:int layout=columnar"), "{text}");
+        // Scans report the zero-copy columnar window layout.
+        assert!(
+            text.contains("[vectorized batch=1024 layout=columnar]"),
+            "{text}"
+        );
         // Materialization points carry no vectorized tag.
         assert!(
             !text.contains("Sort by [#0] [materialize] [vectorized"),
@@ -571,6 +593,36 @@ mod tests {
         assert_eq!(
             render_with_budget(&db, &catalog, &plan, None),
             render(&db, &catalog, &plan)
+        );
+    }
+
+    #[test]
+    fn cross_join_build_is_a_budgeted_spill_point() {
+        // A cross join buffers its whole right side, so it counts
+        // against the budget and carries the spill tag like the keyed
+        // joins do; a keyed anti-join does too, while the residual-only
+        // anti-join's buffer remains unbudgeted (documented follow-up).
+        let db = db();
+        let catalog = StatsCatalog::snapshot(&db);
+        let cross = Plan::scan("V").join(Plan::scan("R"), vec![]);
+        let text = render_with_budget(&db, &catalog, &cross, Some(4096));
+        assert!(
+            text.lines()
+                .any(|l| l.contains("Join") && l.contains("[spill budget=4096")),
+            "{text}"
+        );
+        let anti = Plan::AntiJoin {
+            left: Box::new(Plan::scan("V")),
+            right: Box::new(Plan::scan("R")),
+            on: vec![],
+            residual: None,
+        };
+        let text = render_with_budget(&db, &catalog, &anti, Some(4096));
+        assert!(
+            !text
+                .lines()
+                .any(|l| l.contains("AntiJoin") && l.contains("spill")),
+            "{text}"
         );
     }
 

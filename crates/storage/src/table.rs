@@ -1,11 +1,14 @@
 //! Heap tables with primary-key enforcement and secondary indexes.
 
+use crate::column::ColumnSet;
 use crate::error::{Result, StorageError};
 use crate::index::{Index, RowId};
 use crate::row::Row;
 use crate::schema::{KeyMode, TableSchema};
 use crate::value::Value;
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// An in-memory table: a slotted heap of rows, an optional primary-key map
 /// (over the first column, per the paper's schema convention), and any
@@ -20,6 +23,9 @@ pub struct Table {
     /// Bumped on every insert/delete; lets the optimizer's statistics
     /// catalog detect stale snapshots without rescanning.
     version: u64,
+    /// Lazily built columnar transpose of the live rows, keyed by the
+    /// version it was built at (see [`Table::columnar`]).
+    columnar: RefCell<Option<(u64, Arc<ColumnSet>)>>,
 }
 
 impl Table {
@@ -31,6 +37,7 @@ impl Table {
             pk: HashMap::new(),
             indexes: Vec::new(),
             version: 0,
+            columnar: RefCell::new(None),
         }
     }
 
@@ -222,9 +229,26 @@ impl Table {
             .filter_map(|(rid, s)| s.as_ref().map(|r| (rid, r)))
     }
 
-    /// Clone all live rows (used by `Scan`).
+    /// Clone all live rows (used by the materializing executor's `Scan`).
     pub fn scan(&self) -> Vec<Row> {
         self.iter().map(|(_, r)| r.clone()).collect()
+    }
+
+    /// The columnar transpose of the live rows, built lazily and cached
+    /// per [`Table::version`]. The vectorized executor's `Scan` slices
+    /// this shared set into chunk windows instead of cloning rows; a
+    /// mutation invalidates the cache by bumping the version.
+    pub fn columnar(&self) -> Arc<ColumnSet> {
+        let mut cache = self.columnar.borrow_mut();
+        if let Some((version, set)) = cache.as_ref() {
+            if *version == self.version {
+                return Arc::clone(set);
+            }
+        }
+        let refs: Vec<&Row> = self.iter().map(|(_, r)| r).collect();
+        let set = Arc::new(ColumnSet::from_rows(self.schema.arity(), &refs));
+        *cache = Some((self.version, Arc::clone(&set)));
+        set
     }
 
     /// True iff the table has an index with this exact column list.
@@ -385,6 +409,23 @@ mod tests {
         assert_eq!(t.has_index_on(&[1]), Some("by_name"));
         assert_eq!(t.has_index_on(&[0]), None);
         assert_eq!(t.has_index_on(&[1, 0]), None);
+    }
+
+    #[test]
+    fn columnar_cache_tracks_versions_and_skips_dead_rows() {
+        let mut t = users();
+        let first = t.columnar();
+        // Unchanged table: the same Arc comes back.
+        assert!(Arc::ptr_eq(&first, &t.columnar()));
+        assert_eq!(first.len(), 3);
+        assert_eq!(first.row_at(1), row![2, "Bob"]);
+        // A mutation invalidates the cache; dead rows are not windows.
+        let rid = t.rid_by_key(&Value::int(2)).unwrap();
+        t.delete(rid).unwrap();
+        let second = t.columnar();
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(second.len(), 2);
+        assert_eq!(second.row_at(1), row![3, "Carol"]);
     }
 
     #[test]
