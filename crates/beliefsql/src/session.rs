@@ -156,6 +156,19 @@ impl Session {
         self.bdms.memory_budget()
     }
 
+    /// Toggle the magic-sets / SIP rewrite (demand-driven evaluation of
+    /// bound belief queries). On by default; the shell exposes this as
+    /// `\set magic on|off`. Off runs the unrewritten Algorithm 1 rule
+    /// stack, byte-identical to the pre-rewrite engine.
+    pub fn set_magic(&mut self, on: bool) {
+        self.bdms.set_magic(on);
+    }
+
+    /// Whether the magic-sets rewrite is applied to queries.
+    pub fn magic_enabled(&self) -> bool {
+        self.bdms.magic_enabled()
+    }
+
     pub fn bdms(&self) -> &Bdms {
         &self.bdms
     }

@@ -1,0 +1,42 @@
+//! Demand-driven rewrite (magic sets / SIP) vs the raw Algorithm 1
+//! rule stack.
+//!
+//! Three query shapes over the Table 2 generator schema: a key-bound
+//! belief probe (where the rewrite prunes both temp relations down to
+//! the probed sighting), q2's sideways-information-passing conflict
+//! join, and an unbound scan (where the rewrite is a no-op and the
+//! toggle must cost nothing). Both paths are asserted to agree before
+//! anything is timed.
+
+use beliefdb_bench::opt_magic_queries;
+use beliefdb_gen::{generate_bdms, scenarios::table2_config};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_opt_magic(c: &mut Criterion) {
+    let (mut bdms, _) = generate_bdms(&table2_config(50_000, 42)).expect("workload build failed");
+    let queries = opt_magic_queries(&bdms).expect("query build failed");
+    for (name, q) in &queries {
+        bdms.set_magic(true);
+        let on = bdms.query(q).expect("magic query failed");
+        bdms.set_magic(false);
+        let off = bdms.query(q).expect("raw query failed");
+        assert_eq!(on, off, "magic rewrite changed answers on {name}");
+    }
+    let mut group = c.benchmark_group("opt_magic");
+    group.sample_size(10);
+    for (name, q) in &queries {
+        bdms.set_magic(true);
+        group.bench_with_input(BenchmarkId::new("magic", name), q, |b, q| {
+            b.iter(|| std::hint::black_box(bdms.query(q).expect("query").len()))
+        });
+        bdms.set_magic(false);
+        group.bench_with_input(BenchmarkId::new("nomagic", name), q, |b, q| {
+            b.iter(|| std::hint::black_box(bdms.query(q).expect("query").len()))
+        });
+        bdms.set_magic(true);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_opt_magic);
+criterion_main!(benches);

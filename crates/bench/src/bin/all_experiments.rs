@@ -44,6 +44,13 @@ fn main() {
     write_bench_columnar_json(path, &rows, n).expect("write BENCH_columnar.json");
     println!("wrote {}", path.display());
 
+    println!("=== Magic sets (demand-driven Datalog) ===");
+    let rows = run_opt_magic(n, reps.clamp(3, 20)).expect("opt_magic");
+    println!("{}", format_opt_magic(&rows, n));
+    let path = std::path::Path::new("BENCH_magic.json");
+    write_bench_magic_json(path, &rows, n).expect("write BENCH_magic.json");
+    println!("wrote {}", path.display());
+
     println!("=== Spill-to-disk execution ===");
     let rows = run_spill(n, reps.clamp(3, 20)).expect("spill");
     println!("{}", format_spill(&rows, n));

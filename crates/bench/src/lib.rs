@@ -1214,6 +1214,153 @@ pub fn write_bench_columnar_json(
     std::fs::write(path, out)
 }
 
+/// One measured query of the magic-sets comparison.
+#[derive(Debug, Clone)]
+pub struct OptMagicRow {
+    pub name: &'static str,
+    /// Best-of time with the demand-driven rewrite on (the default path).
+    pub magic_on: Duration,
+    /// Best-of time evaluating the raw Algorithm 1 rule stack.
+    pub magic_off: Duration,
+    pub result_size: usize,
+}
+
+impl OptMagicRow {
+    /// Unrewritten over rewritten time ratio (>1 means magic wins).
+    pub fn speedup(&self) -> f64 {
+        self.magic_off.as_secs_f64() / self.magic_on.as_secs_f64().max(1e-12)
+    }
+}
+
+/// The three query shapes the magic-sets rewrite is judged on, over the
+/// Table 2 generator schema (`S(sid, uid, species, date, location)`).
+pub fn opt_magic_queries(bdms: &Bdms) -> Result<Vec<(&'static str, Bcq)>> {
+    use beliefdb_storage::CmpOp;
+    let s = bdms.schema().relation_id("S")?;
+    let schema = bdms.schema();
+    let shared = vec![qv("k"), qv("z"), qv("u"), qv("v"), qv("w")];
+
+    // bound_probe: who disputes what user 1 believes about sighting
+    // 's0'? The key arrives as a comparison predicate, so the raw rule
+    // stack materializes *every* user's beliefs about *every* sighting
+    // before the final rule filters; the rewrite pins `k = 's0'` into
+    // the magic seeds and both temps derive only the probed key.
+    let bound = Bcq::builder(vec![qv("x")])
+        .positive(vec![pu(UserId(1))], s, shared.clone())
+        .negative(vec![pv("x")], s, shared.clone())
+        .pred(qv("k"), CmpOp::Eq, qc("s0"))
+        .build(schema)?;
+
+    // sip_join: q2's conflict shape — no constants, but the positive
+    // subgoal's bindings flow sideways into the negated temp, which
+    // otherwise enumerates user 2's full belief world.
+    let sip = Bcq::builder(vec![qv("k"), qv("z")])
+        .positive(vec![pu(UserId(2)), pu(UserId(1))], s, shared.clone())
+        .negative(vec![pu(UserId(2))], s, shared)
+        .build(schema)?;
+
+    // unbound_scan: everything free — the rewrite must be a no-op and
+    // the toggle must cost nothing (within noise).
+    let unbound = Bcq::builder(vec![qv("k"), qv("z")])
+        .positive(
+            vec![pu(UserId(1))],
+            s,
+            vec![qv("k"), qany(), qv("z"), qany(), qany()],
+        )
+        .build(schema)?;
+
+    Ok(vec![
+        ("bound_probe", bound),
+        ("sip_join", sip),
+        ("unbound_scan", unbound),
+    ])
+}
+
+/// Time each magic-sets workload with the rewrite on and off (`reps`
+/// runs, best-of) after asserting both paths agree. Each path warms its
+/// own plan-cache entry first, so the timings measure evaluation, not
+/// optimization.
+pub fn run_opt_magic(n: usize, reps: usize) -> Result<Vec<OptMagicRow>> {
+    let (mut bdms, _) = generate_bdms(&table2_config(n, 42))?;
+    let queries = opt_magic_queries(&bdms)?;
+    let mut out = Vec::new();
+    for (name, q) in queries {
+        bdms.set_magic(true);
+        let on_rows = bdms.query(&q)?;
+        bdms.set_magic(false);
+        let off_rows = bdms.query(&q)?;
+        assert_eq!(on_rows, off_rows, "magic rewrite changed answers on {name}");
+        let mut best = [Duration::MAX; 2];
+        for (slot, magic) in [(0usize, true), (1usize, false)] {
+            bdms.set_magic(magic);
+            for _ in 0..reps.max(1) {
+                let start = Instant::now();
+                std::hint::black_box(bdms.query(&q)?.len());
+                best[slot] = best[slot].min(start.elapsed());
+            }
+        }
+        bdms.set_magic(true);
+        out.push(OptMagicRow {
+            name,
+            magic_on: best[0],
+            magic_off: best[1],
+            result_size: on_rows.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Render the magic-sets comparison as a small report table.
+pub fn format_opt_magic(rows: &[OptMagicRow], n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Demand-driven rewrite vs raw rule stack ({n} annotations)\n"
+    ));
+    out.push_str(&format!(
+        "{:<14}{:>12}{:>14}{:>10}{:>10}\n",
+        "query", "magic(ms)", "nomagic(ms)", "speedup", "rows"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14}{:>12.3}{:>14.3}{:>9.2}x{:>10}\n",
+            r.name,
+            r.magic_on.as_secs_f64() * 1e3,
+            r.magic_off.as_secs_f64() * 1e3,
+            r.speedup(),
+            r.result_size
+        ));
+    }
+    out
+}
+
+/// Write the machine-readable magic-sets report: `{"n", "workloads":
+/// {name: {median_ns_magic, median_ns_nomagic, speedup, rows}}}`.
+/// Hand-rolled JSON like the columnar report — known keys, finite
+/// numbers, nothing to escape.
+pub fn write_bench_magic_json(
+    path: &std::path::Path,
+    rows: &[OptMagicRow],
+    n: usize,
+) -> std::io::Result<()> {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"n\": {n},\n"));
+    out.push_str("  \"workloads\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"median_ns_magic\": {}, \"median_ns_nomagic\": {}, \
+             \"speedup\": {:.4}, \"rows\": {}}}{}\n",
+            r.name,
+            r.magic_on.as_nanos(),
+            r.magic_off.as_nanos(),
+            r.speedup(),
+            r.result_size,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out)
+}
+
 /// Write the machine-readable report: `{"n", "workloads": {name:
 /// {median_ns_*, overhead, rows_per_s, rows}}, "metrics": {...}}`.
 /// Hand-rolled JSON — every key is a known identifier and every value a
@@ -1318,6 +1465,22 @@ mod tests {
         }
         assert!(text.contains("\"median_ns_columnar\""), "{text}");
         assert!(format_exec_columnar(&rows, 500).contains("dict_filter"));
+    }
+
+    #[test]
+    fn opt_magic_report_covers_every_workload_and_serializes() {
+        let rows = run_opt_magic(400, 2).unwrap();
+        let names: Vec<_> = rows.iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["bound_probe", "sip_join", "unbound_scan"]);
+        let path = persist_scratch_dir("magic-json").with_extension("json");
+        write_bench_magic_json(&path, &rows, 400).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        for name in names {
+            assert!(text.contains(&format!("\"{name}\"")), "{text}");
+        }
+        assert!(text.contains("\"median_ns_magic\""), "{text}");
+        assert!(format_opt_magic(&rows, 400).contains("bound_probe"));
     }
 
     #[test]

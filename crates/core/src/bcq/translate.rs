@@ -214,13 +214,59 @@ pub fn translate(store: &InternalStore, q: &Bcq) -> Result<TranslatedQuery> {
     })
 }
 
-/// Translate and execute a query against the store. Rule plans go through
-/// the storage-layer cost-based optimizer (`beliefdb_storage::opt`) — the
+/// Per-query evaluation options the surface layers thread down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Memory budget (bytes) for the chunked executor's materialization
+    /// points; `None` is unlimited.
+    pub memory_budget: Option<usize>,
+    /// Apply the magic-sets / sideways-information-passing rewrite
+    /// (`beliefdb_storage::opt::magic`) to the translated program before
+    /// evaluation, so bound queries derive only demanded tuples. On by
+    /// default; off evaluates exactly the Algorithm 1 rule stack (the
+    /// pre-rewrite engine, byte for byte).
+    pub magic: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            memory_budget: None,
+            magic: true,
+        }
+    }
+}
+
+impl EvalOptions {
+    fn budget(memory_budget: Option<usize>) -> Self {
+        EvalOptions {
+            memory_budget,
+            ..EvalOptions::default()
+        }
+    }
+}
+
+/// The program evaluation runs: the translated rule stack, rewritten
+/// demand-driven when `magic` is on (the answer relation and answer rows
+/// are unchanged either way — the rewrite is answer-preserving).
+fn effective_program(translated: &TranslatedQuery, opts: &EvalOptions) -> Program {
+    if opts.magic {
+        beliefdb_storage::opt::magic::rewrite(&translated.program)
+    } else {
+        translated.program.clone()
+    }
+}
+
+/// Translate and execute a query against the store. The translated rule
+/// stack is first made demand-driven (magic sets / SIP — bound queries
+/// derive only the tuples they can reach), rule plans go through the
+/// storage-layer cost-based optimizer (`beliefdb_storage::opt`) — the
 /// role the paper delegates to "the database optimizer" — and the
-/// optimized plans are cached in the store keyed by (program, table
-/// versions), so repeat queries skip the rewrite passes entirely.
+/// optimized plans are cached in the store keyed by (program, versions
+/// of the tables it reads), so repeat queries skip the rewrite passes
+/// entirely.
 pub fn evaluate(store: &InternalStore, q: &Bcq) -> Result<Vec<Row>> {
-    evaluate_with_budget(store, q, None)
+    evaluate_with_options(store, q, &EvalOptions::default())
 }
 
 /// [`evaluate`] under a per-query memory budget (bytes): the chunked
@@ -232,25 +278,37 @@ pub fn evaluate_with_budget(
     q: &Bcq,
     memory_budget: Option<usize>,
 ) -> Result<Vec<Row>> {
+    evaluate_with_options(store, q, &EvalOptions::budget(memory_budget))
+}
+
+/// [`evaluate`] with explicit [`EvalOptions`] (memory budget, magic-sets
+/// rewrite on/off).
+pub fn evaluate_with_options(
+    store: &InternalStore,
+    q: &Bcq,
+    opts: &EvalOptions,
+) -> Result<Vec<Row>> {
     use beliefdb_storage::datalog::PlanCache;
     let translated = translate(store, q)?;
+    let program = effective_program(&translated, opts);
     let mut ev = Evaluator::new(store.database())
         .seed_stats(store.stats_catalog())
-        .with_memory_budget(memory_budget);
+        .with_memory_budget(opts.memory_budget);
     // The cache lock is held only for the brief lookup/store calls —
     // never while plans execute — so concurrent queries don't serialize
-    // on each other's evaluation.
-    let key = translated.program.to_string();
-    let versions = PlanCache::db_versions(store.database());
+    // on each other's evaluation. Rewritten and unrewritten programs
+    // have distinct texts, hence distinct cache entries.
+    let key = program.to_string();
+    let versions = PlanCache::read_versions(store.database(), &program);
     let cached = store.with_plan_cache(|cache| cache.lookup(&key, &versions));
     match cached {
         Some(plans) => {
-            ev.run_cached_plans(&translated.program, &plans)
+            ev.run_cached_plans(&program, &plans)
                 .map_err(BeliefError::from)?;
         }
         None => {
             let (_, plans) = ev
-                .run_collecting_plans(&translated.program)
+                .run_collecting_plans(&program)
                 .map_err(BeliefError::from)?;
             store.with_plan_cache(|cache| cache.store(key, versions, plans));
         }
@@ -270,29 +328,38 @@ pub fn evaluate_analyze_with_budget(
     memory_budget: Option<usize>,
     rec: &mut Recorder,
 ) -> Result<(Vec<Row>, String)> {
+    evaluate_analyze_with_options(store, q, &EvalOptions::budget(memory_budget), rec)
+}
+
+/// [`evaluate_analyze_with_budget`] with explicit [`EvalOptions`].
+pub fn evaluate_analyze_with_options(
+    store: &InternalStore,
+    q: &Bcq,
+    opts: &EvalOptions,
+    rec: &mut Recorder,
+) -> Result<(Vec<Row>, String)> {
     use beliefdb_storage::datalog::PlanCache;
     let translated = rec.span("translate", || translate(store, q))?;
+    let program = effective_program(&translated, opts);
     let mut ev = Evaluator::new(store.database())
         .seed_stats(store.stats_catalog())
-        .with_memory_budget(memory_budget);
-    // Same brief-lock cache protocol as [`evaluate_with_budget`].
-    let key = translated.program.to_string();
-    let versions = PlanCache::db_versions(store.database());
+        .with_memory_budget(opts.memory_budget);
+    // Same brief-lock cache protocol as [`evaluate_with_options`].
+    let key = program.to_string();
+    let versions = PlanCache::read_versions(store.database(), &program);
     let cached = rec.span("cache_lookup", || {
         store.with_plan_cache(|cache| cache.lookup(&key, &versions))
     });
     let profiled = match cached {
         Some(plans) => {
             let (_, profiled) = rec
-                .span("execute", || {
-                    ev.run_cached_analyze(&translated.program, &plans)
-                })
+                .span("execute", || ev.run_cached_analyze(&program, &plans))
                 .map_err(BeliefError::from)?;
             profiled
         }
         None => {
             let (_, profiled) = rec
-                .span("execute", || ev.run_collecting_analyze(&translated.program))
+                .span("execute", || ev.run_collecting_analyze(&program))
                 .map_err(BeliefError::from)?;
             let plans: Vec<_> = profiled.iter().map(|(p, _)| p.clone()).collect();
             store.with_plan_cache(|cache| cache.store(key, versions, plans));
@@ -321,24 +388,35 @@ pub fn evaluate_streaming_with_budget(
     memory_budget: Option<usize>,
     sink: impl FnMut(Row),
 ) -> Result<()> {
+    evaluate_streaming_with_options(store, q, &EvalOptions::budget(memory_budget), sink)
+}
+
+/// [`evaluate_streaming`] with explicit [`EvalOptions`].
+pub fn evaluate_streaming_with_options(
+    store: &InternalStore,
+    q: &Bcq,
+    opts: &EvalOptions,
+    sink: impl FnMut(Row),
+) -> Result<()> {
     use beliefdb_storage::datalog::PlanCache;
     let translated = translate(store, q)?;
+    let program = effective_program(&translated, opts);
     let mut ev = Evaluator::new(store.database())
         .seed_stats(store.stats_catalog())
-        .with_memory_budget(memory_budget);
+        .with_memory_budget(opts.memory_budget);
     // Same brief-lock cache protocol as [`evaluate`]: a repeat query
     // streams the cached answer plan directly, skipping rewrite passes
     // and intermediate re-derivation.
-    let key = translated.program.to_string();
-    let versions = PlanCache::db_versions(store.database());
+    let key = program.to_string();
+    let versions = PlanCache::read_versions(store.database(), &program);
     let cached = store.with_plan_cache(|cache| cache.lookup(&key, &versions));
     match cached {
         Some(plans) => ev
-            .stream_cached_plans(&translated.program, &plans, sink)
+            .stream_cached_plans(&program, &plans, sink)
             .map_err(BeliefError::from),
         None => {
             let plans = ev
-                .run_streaming_collecting_plans(&translated.program, sink)
+                .run_streaming_collecting_plans(&program, sink)
                 .map_err(BeliefError::from)?;
             store.with_plan_cache(|cache| cache.store(key, versions, plans));
             Ok(())
@@ -406,12 +484,20 @@ pub fn explain_with_budget(
     q: &Bcq,
     memory_budget: Option<usize>,
 ) -> Result<String> {
+    explain_with_options(store, q, &EvalOptions::budget(memory_budget))
+}
+
+/// [`explain`] with explicit [`EvalOptions`]: with the magic rewrite on,
+/// generated rules carry deterministic `[magic seed adorn=…]` /
+/// `[magic adorn=…]` tags; with it off the output is byte-identical to
+/// the pre-rewrite engine's.
+pub fn explain_with_options(store: &InternalStore, q: &Bcq, opts: &EvalOptions) -> Result<String> {
     let translated = translate(store, q)?;
+    let program = effective_program(&translated, opts);
     let mut ev = Evaluator::new(store.database())
         .seed_stats(store.stats_catalog())
-        .with_memory_budget(memory_budget);
-    ev.explain_program(&translated.program)
-        .map_err(BeliefError::from)
+        .with_memory_budget(opts.memory_budget);
+    ev.explain_program(&program).map_err(BeliefError::from)
 }
 
 fn path_term(elem: &PathElem) -> Term {

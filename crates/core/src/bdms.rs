@@ -87,6 +87,11 @@ pub struct Bdms {
     /// join, external merge sort, partitioned aggregate/distinct).
     /// `None` = unlimited.
     memory_budget: Option<usize>,
+    /// Apply the magic-sets / sideways-information-passing rewrite to
+    /// translated programs, so bound queries derive only demanded
+    /// tuples. On by default; off evaluates the Algorithm 1 rule stack
+    /// exactly as the pre-rewrite engine did.
+    magic: bool,
     /// Slow-query ring buffer. Off by default (one relaxed load per
     /// query); when a threshold is set, queries run with profiling on
     /// and crossings are captured with their full span + profile trace.
@@ -111,6 +116,7 @@ impl Bdms {
             store: InternalStore::new(schema)?,
             persist: None,
             memory_budget: None,
+            magic: true,
             slowlog: SlowLog::new(),
         })
     }
@@ -137,6 +143,7 @@ impl Bdms {
             store,
             persist: Some(durability),
             memory_budget: None,
+            magic: true,
             slowlog: SlowLog::new(),
         })
     }
@@ -170,6 +177,7 @@ impl Bdms {
                 engine: recovered.engine,
             }),
             memory_budget: None,
+            magic: true,
             slowlog: SlowLog::new(),
         };
         // Fold a long replayed tail into a snapshot now, so the *next*
@@ -197,6 +205,30 @@ impl Bdms {
     /// The per-query memory budget in effect (`None` = unlimited).
     pub fn memory_budget(&self) -> Option<usize> {
         self.memory_budget
+    }
+
+    /// Toggle the magic-sets / SIP rewrite (on by default). With it off,
+    /// [`Bdms::query`], [`Bdms::query_streaming`], and
+    /// [`Bdms::explain_query`] run the unrewritten Algorithm 1 rule
+    /// stack — plans, EXPLAIN output, and cache entries are byte-for-byte
+    /// those of the pre-rewrite engine. The differential/naive paths
+    /// never rewrite regardless.
+    pub fn set_magic(&mut self, on: bool) {
+        self.magic = on;
+    }
+
+    /// Whether the magic-sets rewrite is applied to queries.
+    pub fn magic_enabled(&self) -> bool {
+        self.magic
+    }
+
+    /// The [`EvalOptions`](bcq::translate::EvalOptions) the query paths
+    /// run under (memory budget + magic toggle).
+    fn eval_options(&self) -> bcq::translate::EvalOptions {
+        bcq::translate::EvalOptions {
+            memory_budget: self.memory_budget,
+            magic: self.magic,
+        }
     }
 
     /// Write a snapshot of the current state and truncate the WAL it
@@ -380,13 +412,13 @@ impl Bdms {
         metrics().incr(Metric::QueriesExecuted);
         let t0 = Instant::now();
         let out = if rec.is_enabled() {
-            bcq::translate::evaluate_analyze_with_budget(&self.store, q, self.memory_budget, rec)
+            bcq::translate::evaluate_analyze_with_options(&self.store, q, &self.eval_options(), rec)
                 .map(|(rows, report)| {
                     rec.set_profile(report);
                     rows
                 })
         } else {
-            bcq::translate::evaluate_with_budget(&self.store, q, self.memory_budget)
+            bcq::translate::evaluate_with_options(&self.store, q, &self.eval_options())
         };
         metrics().record_latency(t0.elapsed().as_nanos() as u64);
         out
@@ -400,10 +432,10 @@ impl Bdms {
     pub fn explain_analyze_query(&self, q: &Bcq) -> Result<(Vec<Row>, String)> {
         metrics().incr(Metric::QueriesExecuted);
         let t0 = Instant::now();
-        let out = bcq::translate::evaluate_analyze_with_budget(
+        let out = bcq::translate::evaluate_analyze_with_options(
             &self.store,
             q,
-            self.memory_budget,
+            &self.eval_options(),
             &mut Recorder::disabled(),
         );
         metrics().record_latency(t0.elapsed().as_nanos() as u64);
@@ -417,7 +449,7 @@ impl Bdms {
     /// BeliefSQL shell) use to show first results before the query
     /// finishes.
     pub fn query_streaming(&self, q: &Bcq, sink: impl FnMut(Row)) -> Result<()> {
-        bcq::translate::evaluate_streaming_with_budget(&self.store, q, self.memory_budget, sink)
+        bcq::translate::evaluate_streaming_with_options(&self.store, q, &self.eval_options(), sink)
     }
 
     /// Evaluate via the Algorithm 1 translation with the optimizer off:
@@ -446,7 +478,7 @@ impl Bdms {
     /// `EXPLAIN`: the optimized physical plan of every Datalog rule the
     /// Algorithm 1 translation produces for this query.
     pub fn explain_query(&self, q: &Bcq) -> Result<String> {
-        bcq::translate::explain_with_budget(&self.store, q, self.memory_budget)
+        bcq::translate::explain_with_options(&self.store, q, &self.eval_options())
     }
 
     /// Evaluate via the naive Def. 14 evaluator (reference semantics; used
@@ -828,6 +860,45 @@ mod tests {
         assert!(text.contains("[spill budget=0 partitions="), "{text}");
         bdms.set_memory_budget(None);
         assert!(!bdms.explain_query(&q).unwrap().contains("[spill"));
+    }
+
+    #[test]
+    fn magic_toggle_preserves_answers_and_marks_plans() {
+        let (mut bdms, alice, _, _) = running_bdms();
+        let s = bdms.schema().relation_id("Sightings").unwrap();
+        // A bound probe joined to a second subgoal through `sid`: the
+        // rewrite seeds the second temp's demand from the first (SIP),
+        // so its rule carries a magic guard.
+        let q = Bcq::builder(vec![qv("u2"), qv("sp1"), qv("sp2")])
+            .positive(
+                vec![pu(alice)],
+                s,
+                vec![qv("sid"), qany(), qv("sp1"), qany(), qany()],
+            )
+            .positive(
+                vec![pv("u2")],
+                s,
+                vec![qv("sid"), qany(), qv("sp2"), qany(), qany()],
+            )
+            .build(bdms.schema())
+            .unwrap();
+        assert!(bdms.magic_enabled());
+        let with_magic = bdms.query(&q).unwrap();
+        let magic_explain = bdms.explain_query(&q).unwrap();
+        assert!(magic_explain.contains("[magic"), "{magic_explain}");
+        bdms.set_magic(false);
+        assert!(!bdms.magic_enabled());
+        assert_eq!(bdms.query(&q).unwrap(), with_magic);
+        let plain_explain = bdms.explain_query(&q).unwrap();
+        assert!(!plain_explain.contains("[magic"), "{plain_explain}");
+        // The naive reference agrees with both.
+        assert_eq!(bdms.query_naive(&q).unwrap(), with_magic);
+        // Streaming shares the toggle.
+        bdms.set_magic(true);
+        let mut streamed = Vec::new();
+        bdms.query_streaming(&q, |row| streamed.push(row)).unwrap();
+        streamed.sort();
+        assert_eq!(streamed, with_magic);
     }
 
     #[test]

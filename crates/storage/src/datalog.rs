@@ -1,4 +1,4 @@
-//! Non-recursive Datalog over the relational engine.
+//! Datalog over the relational engine.
 //!
 //! Section 5.2 of the paper translates belief conjunctive queries "into
 //! non-recursive Datalog (and, hence, to SQL)". This module is that target
@@ -8,8 +8,12 @@
 //! disjunctions with negation" — a DNF disjunction literal.
 //!
 //! Rules compile to [`Plan`]s: positive atoms become joins, negated atoms
-//! anti-joins, comparisons selections. Derived relations are materialized
-//! in definition order (non-recursiveness is enforced).
+//! anti-joins, comparisons selections. Non-recursive programs (everything
+//! Algorithm 1 emits) materialize derived relations rule-at-a-time in
+//! definition order. Recursive programs — which the magic-sets rewrite
+//! ([`crate::opt::magic`]) produces for recursive demand — are evaluated
+//! stratum-by-stratum with semi-naive fixpoint iteration: each round
+//! joins only against the previous round's newly derived tuples.
 
 use crate::catalog::Database;
 use crate::error::{Result, StorageError};
@@ -33,14 +37,15 @@ const PLAN_CACHE_ROW_BUDGET: usize = 200_000;
 
 /// A cache of optimized physical plans for the *answer* rules of whole
 /// programs, keyed by the program's deterministic textual rendering plus
-/// the mutation version of every table in the database at planning time.
-/// Repeat queries against an unmutated database skip compilation, every
-/// optimizer rewrite pass, **and the re-derivation of intermediate
-/// relations**. Invalidation is coarse: entries record the version of
-/// *every* table, so an insert/delete anywhere in the database makes
-/// all entries miss until their programs are re-planned (precise
-/// per-read-set invalidation would need plan provenance; re-planning is
-/// cheap enough that coarse is fine).
+/// a table version vector captured at planning time. Repeat queries
+/// against an unmutated database skip compilation, every optimizer
+/// rewrite pass, **and the re-derivation of intermediate relations**.
+/// Invalidation is precise to the program's *read set*
+/// ([`PlanCache::read_versions`]): entries record the version of every
+/// base table the program's rules reference, so a mutation of an
+/// unrelated table leaves cached answers valid. (The coarse
+/// whole-database vector, [`PlanCache::db_versions`], remains available
+/// for callers that key manually.)
 ///
 /// Only the plans of rules deriving the final head are stored: by
 /// compile time every derived relation they read is embedded as a
@@ -101,12 +106,40 @@ impl PlanCache {
         }
     }
 
-    /// The version vector the cache validates entries against.
+    /// The coarse version vector: every table in the database. Kept for
+    /// callers that key entries manually; [`PlanCache::read_versions`]
+    /// is the precise (and default) choice.
     pub fn db_versions(db: &Database) -> Vec<(String, u64)> {
         db.table_names()
             .into_iter()
             .map(|n| {
                 let v = db.table(n).expect("name from catalog").version();
+                (n.to_string(), v)
+            })
+            .collect()
+    }
+
+    /// The version vector of the base tables `program` actually reads:
+    /// every table referenced by a body atom (positive or negated),
+    /// sorted by name. Derived relations have no version — program
+    /// evaluation is deterministic, so with identical base-table
+    /// versions every derived relation is reproduced exactly — and
+    /// tables the program never touches are deliberately absent: their
+    /// mutations must not invalidate this program's entry.
+    pub fn read_versions(db: &Database, program: &Program) -> Vec<(String, u64)> {
+        let mut names: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        for rule in &program.rules {
+            for lit in &rule.body {
+                if let BodyLit::Pos(a) | BodyLit::Neg(a) = lit {
+                    names.insert(a.relation.as_str());
+                }
+            }
+        }
+        names
+            .into_iter()
+            .filter(|n| db.has_table(n))
+            .map(|n| {
+                let v = db.table(n).expect("existence checked").version();
                 (n.to_string(), v)
             })
             .collect()
@@ -267,9 +300,10 @@ pub struct Rule {
 }
 
 /// An ordered list of rules. Rules deriving the same head relation union
-/// their results. A rule may only use derived relations defined by earlier
-/// rules (and must not reference its own head): the program is non-recursive
-/// by construction.
+/// their results. Non-recursive programs use derived relations defined by
+/// earlier rules only, and evaluate rule-at-a-time in order; programs
+/// whose head-dependency graph has cycles are evaluated by stratified
+/// semi-naive fixpoint iteration instead.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Program {
     pub rules: Vec<Rule>,
@@ -314,6 +348,9 @@ pub struct Evaluator<'a> {
     /// (see [`crate::exec::spill`]); unlimited by default. The row and
     /// materializing executors ignore it (they are test baselines).
     spill: crate::exec::SpillOptions,
+    /// Leaf-scan layout for the chunked executor (columnar by default;
+    /// the differential suites also run the row-layout chunks).
+    layout: crate::exec::ChunkLayout,
 }
 
 /// Pull every result row of `plan` through the chosen executor into
@@ -325,6 +362,7 @@ fn drive(
     plan: &Plan,
     mode: ExecMode,
     spill: &crate::exec::SpillOptions,
+    layout: crate::exec::ChunkLayout,
     mut sink: impl FnMut(Row),
 ) -> Result<()> {
     // Rows delivered are accumulated locally and added to the metrics
@@ -341,8 +379,9 @@ fn drive(
                 // backing storage goes back to the executor's pool instead
                 // of being reallocated per batch.
                 let mut scratch: Vec<Row> = Vec::new();
-                for chunk in
-                    crate::exec::Executor::with_spill(db, spill.clone()).open_chunks(plan)?
+                for chunk in crate::exec::Executor::with_spill(db, spill.clone())
+                    .layout(layout)
+                    .open_chunks(plan)?
                 {
                     chunk?.drain_into(&mut scratch);
                     for row in scratch.drain(..) {
@@ -375,9 +414,10 @@ fn drive_profiled(
     db: &Database,
     plan: &Plan,
     spill: &crate::exec::SpillOptions,
+    layout: crate::exec::ChunkLayout,
     mut sink: impl FnMut(Row),
 ) -> Result<crate::obs::Profile> {
-    let exec = crate::exec::Executor::with_spill(db, spill.clone());
+    let exec = crate::exec::Executor::with_spill(db, spill.clone()).layout(layout);
     let (stream, profile) = exec.open_chunks_profiled(plan)?;
     let mut scratch: Vec<Row> = Vec::new();
     let mut emitted = 0u64;
@@ -395,6 +435,123 @@ fn drive_profiled(
     result.map(|()| profile)
 }
 
+/// Reserved name prefix for the per-round delta relations the
+/// semi-naive evaluator publishes while iterating a recursive stratum.
+const DELTA_PREFIX: &str = "__sn_delta__";
+
+/// Dependency graph over a program's head relations: one node per head
+/// (first-definition order), an edge from a head to every head relation
+/// its rules' bodies read (positively or negatively).
+struct HeadGraph {
+    rels: Vec<String>,
+    deps: Vec<Vec<usize>>,
+}
+
+fn head_graph(program: &Program) -> HeadGraph {
+    let mut rels: Vec<String> = Vec::new();
+    let mut idx: HashMap<&str, usize> = HashMap::new();
+    for rule in &program.rules {
+        if !idx.contains_key(rule.head.relation.as_str()) {
+            idx.insert(rule.head.relation.as_str(), rels.len());
+            rels.push(rule.head.relation.clone());
+        }
+    }
+    let mut deps: Vec<std::collections::BTreeSet<usize>> =
+        vec![std::collections::BTreeSet::new(); rels.len()];
+    for rule in &program.rules {
+        let head = idx[rule.head.relation.as_str()];
+        for lit in &rule.body {
+            if let BodyLit::Pos(a) | BodyLit::Neg(a) = lit {
+                if let Some(&dep) = idx.get(a.relation.as_str()) {
+                    deps[head].insert(dep);
+                }
+            }
+        }
+    }
+    HeadGraph {
+        rels,
+        deps: deps.into_iter().map(|s| s.into_iter().collect()).collect(),
+    }
+}
+
+impl HeadGraph {
+    /// Strongly connected components in dependency order: a component
+    /// appears after every component it reads from, so evaluating the
+    /// returned list front to back always finds dependencies
+    /// materialized. Iterative Tarjan, deterministic.
+    fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.rels.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut comps: Vec<Vec<usize>> = Vec::new();
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            // Explicit call stack of (node, next-dependency cursor).
+            let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&(v, cursor)) = call.last() {
+                if cursor == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if cursor < self.deps[v].len() {
+                    call.last_mut().expect("just peeked").1 += 1;
+                    let w = self.deps[v][cursor];
+                    if index[w] == usize::MAX {
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    call.pop();
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        comps.push(comp);
+                    }
+                    if let Some(&(parent, _)) = call.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                }
+            }
+        }
+        comps
+    }
+
+    /// Whether a component needs fixpoint iteration: more than one
+    /// member, or a single member that reads itself.
+    fn component_recursive(&self, comp: &[usize]) -> bool {
+        comp.len() > 1 || self.deps[comp[0]].binary_search(&comp[0]).is_ok()
+    }
+}
+
+/// Whether any head relation of `program` participates in a dependency
+/// cycle (direct or mutual recursion). Recursive programs take the
+/// semi-naive fixpoint path in [`Evaluator::run`] and are excluded from
+/// plan caching, streaming plan collection, and `EXPLAIN`.
+pub fn program_recursive(program: &Program) -> bool {
+    let graph = head_graph(program);
+    graph
+        .sccs()
+        .iter()
+        .any(|comp| graph.component_recursive(comp))
+}
+
 impl<'a> Evaluator<'a> {
     pub fn new(db: &'a Database) -> Self {
         Evaluator {
@@ -404,6 +561,7 @@ impl<'a> Evaluator<'a> {
             stats: None,
             mode: ExecMode::Chunked,
             spill: crate::exec::SpillOptions::unlimited(),
+            layout: crate::exec::ChunkLayout::default(),
         }
     }
 
@@ -416,6 +574,7 @@ impl<'a> Evaluator<'a> {
             stats: None,
             mode: ExecMode::Chunked,
             spill: crate::exec::SpillOptions::unlimited(),
+            layout: crate::exec::ChunkLayout::default(),
         }
     }
 
@@ -428,6 +587,7 @@ impl<'a> Evaluator<'a> {
             stats: None,
             mode: ExecMode::Chunked,
             spill: crate::exec::SpillOptions::unlimited(),
+            layout: crate::exec::ChunkLayout::default(),
         }
     }
 
@@ -470,6 +630,14 @@ impl<'a> Evaluator<'a> {
         self
     }
 
+    /// Choose the chunked executor's leaf-scan layout (columnar by
+    /// default; [`crate::exec::ChunkLayout::Rows`] keeps the row-layout
+    /// chunks as a differential voice).
+    pub fn with_layout(mut self, layout: crate::exec::ChunkLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
     /// Seed this evaluator with a pre-built statistics snapshot (e.g. one
     /// cached across queries by the owner of the database). A stale seed is
     /// fine — it is version-checked and refreshed incrementally on use.
@@ -506,11 +674,23 @@ impl<'a> Evaluator<'a> {
     /// Intermediate heads are materialized so later rules compile against
     /// real derived relations (their sizes drive the cost estimates shown);
     /// the final rule — the query answer — is planned but **not** executed.
+    /// Rules produced by the magic-sets rewrite carry a deterministic
+    /// `[magic … adorn=…]` tag after their header line. Recursive
+    /// programs have no static rule-at-a-time plan and are rejected.
     pub fn explain_program(&mut self, program: &Program) -> Result<String> {
+        if program_recursive(program) {
+            return Err(StorageError::DatalogError(
+                "cannot EXPLAIN a recursive program (plans vary per fixpoint round)".into(),
+            ));
+        }
         let mut out = String::new();
         for (i, rule) in program.rules.iter().enumerate() {
             self.check_nonrecursive(rule)?;
-            out.push_str(&format!("-- {rule}\n"));
+            out.push_str(&format!("-- {rule}"));
+            if let Some(tag) = crate::opt::magic::rule_tag(rule) {
+                out.push_str(&tag);
+            }
+            out.push('\n');
             let plan = self.plan_rule(rule)?;
             self.refresh_stats();
             let stats = self.stats.as_ref().expect("just refreshed");
@@ -584,10 +764,11 @@ impl<'a> Evaluator<'a> {
     fn consume_into_head(&mut self, rule: &Rule, plan: &Plan) -> Result<()> {
         let db = self.db;
         let mode = self.mode;
+        let layout = self.layout;
         let spill = self.spill.clone();
         let entry = self.head_entry(rule)?;
         let mut seen: HashSet<Row> = entry.1.iter().cloned().collect();
-        drive(db, plan, mode, &spill, |row| {
+        drive(db, plan, mode, &spill, layout, |row| {
             if seen.insert(row.clone()) {
                 entry.1.push(row);
             }
@@ -602,10 +783,11 @@ impl<'a> Evaluator<'a> {
         plan: &Plan,
     ) -> Result<crate::obs::Profile> {
         let db = self.db;
+        let layout = self.layout;
         let spill = self.spill.clone();
         let entry = self.head_entry(rule)?;
         let mut seen: HashSet<Row> = entry.1.iter().cloned().collect();
-        drive_profiled(db, plan, &spill, |row| {
+        drive_profiled(db, plan, &spill, layout, |row| {
             if seen.insert(row.clone()) {
                 entry.1.push(row);
             }
@@ -622,10 +804,19 @@ impl<'a> Evaluator<'a> {
         self.derived.get(name).map(|(_, rows)| rows.as_slice())
     }
 
-    /// Run every rule in order, materializing head relations. Returns the
-    /// name of the last head (by convention the query answer). Rule rows
-    /// stream from the executor into the derived relations.
+    /// Run every rule, materializing head relations. Returns the name of
+    /// the last head (by convention the query answer). Non-recursive
+    /// programs evaluate rule-at-a-time in definition order, rows
+    /// streaming from the executor into the derived relations — exactly
+    /// the pre-recursion engine, byte for byte. Programs whose
+    /// head-dependency graph has cycles switch to stratified semi-naive
+    /// fixpoint evaluation ([`Evaluator::run_recursive`]).
     pub fn run(&mut self, program: &Program) -> Result<Option<String>> {
+        let graph = head_graph(program);
+        let comps = graph.sccs();
+        if comps.iter().any(|c| graph.component_recursive(c)) {
+            return self.run_recursive(program, &graph, &comps);
+        }
         let mut last = None;
         for rule in &program.rules {
             self.check_nonrecursive(rule)?;
@@ -634,6 +825,169 @@ impl<'a> Evaluator<'a> {
             last = Some(rule.head.relation.clone());
         }
         Ok(last)
+    }
+
+    /// Stratified semi-naive evaluation for recursive programs.
+    ///
+    /// Head relations are grouped into strongly connected components of
+    /// the dependency graph and evaluated in dependency order (a
+    /// component runs only after everything it reads from). Rules in a
+    /// non-recursive component run exactly like [`Evaluator::run`]'s
+    /// loop. A recursive component iterates to a fixpoint: round zero
+    /// evaluates each member rule in full, and every later round
+    /// evaluates, per rule and per positive in-component body atom, a
+    /// variant that reads that one atom from the previous round's delta
+    /// relation — so per-round work tracks newly derived tuples, not the
+    /// accumulated relation. Negation on a relation inside its own
+    /// component is not stratifiable and is rejected.
+    fn run_recursive(
+        &mut self,
+        program: &Program,
+        graph: &HeadGraph,
+        comps: &[Vec<usize>],
+    ) -> Result<Option<String>> {
+        for rule in &program.rules {
+            if self.db.has_table(&rule.head.relation) {
+                return Err(StorageError::DatalogError(format!(
+                    "cannot derive into base table `{}`",
+                    rule.head.relation
+                )));
+            }
+            if rule.head.relation.starts_with(DELTA_PREFIX) {
+                return Err(StorageError::DatalogError(format!(
+                    "relation name `{}` uses the reserved semi-naive delta prefix",
+                    rule.head.relation
+                )));
+            }
+        }
+        for comp in comps {
+            let members: HashSet<&str> = comp.iter().map(|&i| graph.rels[i].as_str()).collect();
+            let rules: Vec<&Rule> = program
+                .rules
+                .iter()
+                .filter(|r| members.contains(r.head.relation.as_str()))
+                .collect();
+            if graph.component_recursive(comp) {
+                self.eval_stratum(&rules, &members)?;
+            } else {
+                for rule in rules {
+                    let plan = self.plan_rule(rule)?;
+                    self.consume_into_head(rule, &plan)?;
+                }
+            }
+        }
+        Ok(program.rules.last().map(|r| r.head.relation.clone()))
+    }
+
+    /// Fixpoint-evaluate one recursive component (see
+    /// [`Evaluator::run_recursive`] for the semi-naive scheme).
+    fn eval_stratum(&mut self, rules: &[&Rule], members: &HashSet<&str>) -> Result<()> {
+        for rule in rules {
+            for lit in &rule.body {
+                if let BodyLit::Neg(a) = lit {
+                    if members.contains(a.relation.as_str()) {
+                        return Err(StorageError::DatalogError(format!(
+                            "rule for `{}` negates `{}` inside its own recursive component \
+                             (not stratifiable)",
+                            rule.head.relation, a.relation
+                        )));
+                    }
+                }
+            }
+        }
+        // Create every member relation (empty if nothing pre-registered)
+        // before any rule reads a fellow member, and snapshot the
+        // pre-existing rows as the dedup baseline. Pre-existing rows feed
+        // derivations through round zero's full evaluation.
+        let mut seen: HashMap<String, HashSet<Row>> = HashMap::new();
+        for rule in rules {
+            let entry = self.head_entry(rule)?;
+            seen.entry(rule.head.relation.clone())
+                .or_insert_with(|| entry.1.iter().cloned().collect());
+        }
+        // Round zero: full evaluation of every member rule.
+        let mut candidates: Vec<(String, Vec<Row>)> = Vec::new();
+        for rule in rules {
+            let rows = self.eval_rule_rows(rule)?;
+            candidates.push((rule.head.relation.clone(), rows));
+        }
+        let mut delta = self.absorb_round(members, candidates, &mut seen);
+        while delta.values().any(|rows| !rows.is_empty()) {
+            // Publish this round's deltas as reserved derived relations.
+            for (rel, rows) in &delta {
+                let arity = self.derived.get(rel).expect("member created above").0;
+                self.define(format!("{DELTA_PREFIX}{rel}"), arity, rows.clone());
+            }
+            let mut candidates: Vec<(String, Vec<Row>)> = Vec::new();
+            for rule in rules {
+                for pos in 0..rule.body.len() {
+                    let rel = match &rule.body[pos] {
+                        BodyLit::Pos(a) if members.contains(a.relation.as_str()) => {
+                            a.relation.clone()
+                        }
+                        _ => continue,
+                    };
+                    if delta[&rel].is_empty() {
+                        continue;
+                    }
+                    let mut variant = (*rule).clone();
+                    if let BodyLit::Pos(a) = &mut variant.body[pos] {
+                        a.relation = format!("{DELTA_PREFIX}{}", a.relation);
+                    }
+                    let rows = self.eval_rule_rows(&variant)?;
+                    candidates.push((rule.head.relation.clone(), rows));
+                }
+            }
+            delta = self.absorb_round(members, candidates, &mut seen);
+        }
+        let stale: Vec<String> = self
+            .derived
+            .keys()
+            .filter(|name| name.starts_with(DELTA_PREFIX))
+            .cloned()
+            .collect();
+        for name in stale {
+            self.derived.remove(&name);
+        }
+        Ok(())
+    }
+
+    /// Fold one fixpoint round's candidate rows into the derived
+    /// relations, returning per-relation vectors of the genuinely new
+    /// rows (the next round's deltas).
+    fn absorb_round(
+        &mut self,
+        members: &HashSet<&str>,
+        candidates: Vec<(String, Vec<Row>)>,
+        seen: &mut HashMap<String, HashSet<Row>>,
+    ) -> HashMap<String, Vec<Row>> {
+        let mut delta: HashMap<String, Vec<Row>> = members
+            .iter()
+            .map(|rel| ((*rel).to_string(), Vec::new()))
+            .collect();
+        for (rel, rows) in candidates {
+            let seen_rel = seen.get_mut(&rel).expect("member seeded in eval_stratum");
+            let entry = self.derived.get_mut(&rel).expect("member created above");
+            let fresh = delta.get_mut(&rel).expect("delta seeded per member");
+            for row in rows {
+                if seen_rel.insert(row.clone()) {
+                    entry.1.push(row.clone());
+                    fresh.push(row);
+                }
+            }
+        }
+        delta
+    }
+
+    /// Plan and execute one rule, returning its rows in executor order
+    /// (head-level deduplication is the caller's job).
+    fn eval_rule_rows(&mut self, rule: &Rule) -> Result<Vec<Row>> {
+        let plan = self.plan_rule(rule)?;
+        let mut rows = Vec::new();
+        drive(self.db, &plan, self.mode, &self.spill, self.layout, |row| {
+            rows.push(row)
+        })?;
+        Ok(rows)
     }
 
     /// Like [`Evaluator::run`], but consulting `cache` for the optimized
@@ -655,11 +1009,11 @@ impl<'a> Evaluator<'a> {
         program: &Program,
         cache: &mut PlanCache,
     ) -> Result<Option<String>> {
-        if !self.derived.is_empty() || self.optimizer.is_none() {
+        if !self.derived.is_empty() || self.optimizer.is_none() || program_recursive(program) {
             return self.run(program);
         }
         let key = program.to_string();
-        let versions = PlanCache::db_versions(self.db);
+        let versions = PlanCache::read_versions(self.db, program);
         if let Some(plans) = cache.lookup(&key, &versions) {
             return self.run_cached_plans(program, &plans);
         }
@@ -703,6 +1057,11 @@ impl<'a> Evaluator<'a> {
         &mut self,
         program: &Program,
     ) -> Result<(Option<String>, Vec<Plan>)> {
+        if program_recursive(program) {
+            // Fixpoint rounds have no fixed answer-plan list to cache.
+            let last = self.run(program)?;
+            return Ok((last, Vec::new()));
+        }
         let mut plans: Vec<(String, Plan)> = Vec::with_capacity(program.rules.len());
         let mut last = None;
         for rule in &program.rules {
@@ -733,6 +1092,11 @@ impl<'a> Evaluator<'a> {
         &mut self,
         program: &Program,
     ) -> Result<(Option<String>, AnalyzedPlans)> {
+        if program_recursive(program) {
+            // Per-round variants make per-rule profiles ill-defined.
+            let last = self.run(program)?;
+            return Ok((last, Vec::new()));
+        }
         let answer_head = program.rules.last().map(|r| r.head.relation.clone());
         let mut profiled = Vec::new();
         let mut last = None;
@@ -803,6 +1167,17 @@ impl<'a> Evaluator<'a> {
         let Some((last, init)) = program.rules.split_last() else {
             return Ok(Vec::new());
         };
+        if program_recursive(program) {
+            // No single streaming answer plan exists: evaluate the
+            // fixpoint fully, then emit the final head's rows.
+            self.run(program)?;
+            if let Some((_, rows)) = self.derived.get(&last.head.relation) {
+                for row in rows.clone() {
+                    sink(row);
+                }
+            }
+            return Ok(Vec::new());
+        }
         let mut answer_plans: Vec<Plan> = Vec::new();
         for rule in init {
             self.check_nonrecursive(rule)?;
@@ -833,7 +1208,7 @@ impl<'a> Evaluator<'a> {
             }
             None => HashSet::new(),
         };
-        drive(self.db, &plan, self.mode, &self.spill, |row| {
+        drive(self.db, &plan, self.mode, &self.spill, self.layout, |row| {
             if seen.insert(row.clone()) {
                 sink(row);
             }
@@ -867,7 +1242,7 @@ impl<'a> Evaluator<'a> {
         }
         let mut seen: HashSet<Row> = HashSet::new();
         for plan in plans {
-            drive(self.db, plan, self.mode, &self.spill, |row| {
+            drive(self.db, plan, self.mode, &self.spill, self.layout, |row| {
                 if seen.insert(row.clone()) {
                     sink(row);
                 }
@@ -903,7 +1278,9 @@ impl<'a> Evaluator<'a> {
             plan = crate::opt::optimize_with(self.db, plan, opts)?;
         }
         let mut rows = Vec::new();
-        drive(self.db, &plan, self.mode, &self.spill, |row| rows.push(row))?;
+        drive(self.db, &plan, self.mode, &self.spill, self.layout, |row| {
+            rows.push(row)
+        })?;
         dedup_rows(&mut rows);
         Ok(rows)
     }
@@ -1418,13 +1795,71 @@ mod tests {
     }
 
     #[test]
-    fn recursion_rejected() {
+    fn recursion_evaluates_to_fixpoint() {
         let db = db();
+        // A self-loop over an undefined-but-created head: fixpoint is
+        // empty, and evaluation terminates instead of erroring.
         let mut ev = Evaluator::new(&db);
         let prog = Program {
             rules: vec![rule("R", vec![v("w")], vec![pos("R", vec![v("w")])])],
         };
-        assert!(matches!(ev.run(&prog), Err(StorageError::DatalogError(_))));
+        assert_eq!(ev.run(&prog).unwrap(), Some("R".to_string()));
+        assert_eq!(ev.relation("R").unwrap(), &[] as &[Row]);
+        // Transitive closure over E's (w1, u) edges: base edges 0→1,
+        // 0→2, 0→3, 1→2, 2→1 plus the derived cycles (1,1) and (2,2).
+        let mut ev = Evaluator::new(&db);
+        let tc = Program {
+            rules: vec![
+                rule(
+                    "TC",
+                    vec![v("a"), v("b")],
+                    vec![pos("E", vec![v("a"), v("b"), any()])],
+                ),
+                rule(
+                    "TC",
+                    vec![v("a"), v("c")],
+                    vec![
+                        pos("TC", vec![v("a"), v("b")]),
+                        pos("E", vec![v("b"), v("c"), any()]),
+                    ],
+                ),
+            ],
+        };
+        assert_eq!(ev.run(&tc).unwrap(), Some("TC".to_string()));
+        let mut got = ev.relation("TC").unwrap().to_vec();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                row![0, 1],
+                row![0, 2],
+                row![0, 3],
+                row![1, 1],
+                row![1, 2],
+                row![2, 1],
+                row![2, 2],
+            ]
+        );
+    }
+
+    #[test]
+    fn recursive_negation_is_rejected_as_unstratifiable() {
+        let db = db();
+        let mut ev = Evaluator::new(&db);
+        // win(x) :- E(x, y, _), not win(y): negation through the head's
+        // own recursive component.
+        let prog = Program {
+            rules: vec![rule(
+                "Win",
+                vec![v("x")],
+                vec![
+                    pos("E", vec![v("x"), v("y"), any()]),
+                    neg("Win", vec![v("y")]),
+                ],
+            )],
+        };
+        let err = ev.run(&prog).unwrap_err();
+        assert!(err.to_string().contains("not stratifiable"), "{err}");
     }
 
     #[test]
@@ -1620,6 +2055,47 @@ mod tests {
         plain.run(&prog).unwrap();
         let mut a = ev.relation("Reach2").unwrap().to_vec();
         let mut b = plain.relation("Reach2").unwrap().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plan_cache_survives_mutations_of_unread_tables() {
+        let mut db = db();
+        let prog = reach_program(); // reads only E
+        let mut cache = PlanCache::new();
+        Evaluator::new(&db).run_cached(&prog, &mut cache).unwrap();
+        assert_eq!(cache.misses(), 1);
+        // Inserting into a table the program never reads must not void
+        // the entry: the key covers the read set, not the whole catalog.
+        db.table_mut("Users")
+            .unwrap()
+            .insert(row![9, "Zoe"])
+            .unwrap();
+        let mut ev = Evaluator::new(&db);
+        ev.run_cached(&prog, &mut cache).unwrap();
+        assert_eq!(cache.hits(), 1, "unrelated mutation evicted the plan");
+        assert!(
+            ev.relation("Reach1").is_none(),
+            "hit must skip intermediate derivation"
+        );
+        // read_versions itself: only referenced base tables, sorted.
+        let versions = PlanCache::read_versions(&db, &prog);
+        assert_eq!(versions.len(), 1);
+        assert_eq!(versions[0].0, "E");
+    }
+
+    #[test]
+    fn row_layout_evaluator_matches_columnar() {
+        let db = db();
+        let prog = reach_program();
+        let mut cols = Evaluator::new(&db);
+        cols.run(&prog).unwrap();
+        let mut rows_ev = Evaluator::new(&db).with_layout(crate::exec::ChunkLayout::Rows);
+        rows_ev.run(&prog).unwrap();
+        let mut a = cols.relation("Reach2").unwrap().to_vec();
+        let mut b = rows_ev.relation("Reach2").unwrap().to_vec();
         a.sort();
         b.sort();
         assert_eq!(a, b);

@@ -19,9 +19,9 @@
 //!   streams first occurrences but still accumulates every distinct
 //!   row). Each of those points can spill to disk under a per-query
 //!   memory budget — grace hash (anti-)join, external merge sort,
-//!   partial-aggregate and distinct partitioning, cross-join right-side
-//!   overflow runs; see [`spill`]. Only the residual-only anti-join's
-//!   right side remains in-memory (documented follow-up). [`RowStream`]
+//!   partial-aggregate and distinct partitioning, cross-join and
+//!   residual-only anti-join right-side overflow runs; see [`spill`].
+//!   [`RowStream`]
 //!   adapts the chunk pipeline to the row-at-a-time interface for
 //!   external sinks;
 //! * the **row-at-a-time streaming executor** ([`stream_rows`],

@@ -212,15 +212,17 @@ impl SpillCtx {
 
 /// Number of memory-budgeted materialization points in a plan: every
 /// `Sort`, `Aggregate`, `Distinct`, and `Join` (the hash build side of
-/// a keyed join, the materialized right side of a cross join), plus the
-/// hash build side of a keyed `AntiJoin` (at least one equality
-/// column). The global budget is divided by this count. Only the
-/// residual-only anti-join's right side remains in-memory (documented
-/// follow-up) and is not counted.
+/// a keyed join, the materialized right side of a cross join), plus
+/// every `AntiJoin` (the hash build side when keyed, the collected
+/// right side when residual-only). The global budget is divided by
+/// this count.
 pub fn spill_points(plan: &Plan) -> usize {
     let own = match plan {
-        Plan::Sort { .. } | Plan::Aggregate { .. } | Plan::Distinct { .. } | Plan::Join { .. } => 1,
-        Plan::AntiJoin { on, .. } if !on.is_empty() => 1,
+        Plan::Sort { .. }
+        | Plan::Aggregate { .. }
+        | Plan::Distinct { .. }
+        | Plan::Join { .. }
+        | Plan::AntiJoin { .. } => 1,
         _ => 0,
     };
     own + plan.children().into_iter().map(spill_points).sum::<usize>()
@@ -1734,6 +1736,68 @@ mod tests {
         // The cross join's materialized right side counts alongside the
         // aggregate.
         assert_eq!(spill_points(&agg), 2);
+        // Anti-joins count whether keyed (hash build) or residual-only
+        // (collected right side with overflow runs).
+        let keyed = Plan::scan("T").anti_join(Plan::scan("S"), vec![(0, 0)]);
+        assert_eq!(spill_points(&keyed), 1);
+        let residual_only = Plan::AntiJoin {
+            left: Box::new(Plan::scan("T")),
+            right: Box::new(Plan::scan("S")),
+            on: vec![],
+            residual: Some(Expr::col_eq_col(0, 2)),
+        };
+        assert_eq!(spill_points(&residual_only), 1);
+    }
+
+    #[test]
+    fn residual_only_anti_join_right_side_is_budgeted() {
+        use crate::exec::Executor;
+        use crate::schema::TableSchema;
+        let dir = tmp();
+        let mut db = crate::catalog::Database::new();
+        let t = db
+            .create_table(TableSchema::keyless("T", &["a", "b"]))
+            .unwrap();
+        for i in 0..500i64 {
+            t.insert(row![i, (i * 3) % 101]).unwrap();
+        }
+        let s = db
+            .create_table(TableSchema::keyless("S", &["k", "tag"]))
+            .unwrap();
+        for i in 0..400i64 {
+            s.insert(row![i * 2, i]).unwrap();
+        }
+        // No equality keys, only a residual: T rows with no S row of the
+        // same parity-scaled key survive.
+        let plan = Plan::AntiJoin {
+            left: Box::new(Plan::scan("T")),
+            right: Box::new(Plan::scan("S")),
+            on: vec![],
+            residual: Some(Expr::col_eq_col(0, 2)),
+        };
+        let unlimited = Executor::new(&db)
+            .open_chunks(&plan)
+            .unwrap()
+            .collect_rows()
+            .unwrap();
+        assert!(!unlimited.is_empty());
+        for budget in [0usize, 64, 4096, 1 << 20] {
+            let opts = SpillOptions::with_budget(budget).in_dir(&dir);
+            let got = Executor::with_spill(&db, opts)
+                .open_chunks(&plan)
+                .unwrap()
+                .collect_rows()
+                .unwrap();
+            // The anti-join is a pure left filter: overflowing the right
+            // side to runs must not even change the output *order*.
+            assert_eq!(got, unlimited, "budget {budget} diverged");
+        }
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "spill files left behind"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

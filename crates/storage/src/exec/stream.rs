@@ -2035,17 +2035,62 @@ fn open_anti_join<'a>(
     if on.is_empty() {
         // A left row survives iff no right row makes the residual hold.
         // Anti-joins keep left rows unchanged, so this is a pure
-        // selection-vector filter.
-        let rrows = ChunkStream::new(open_node(db, right, batch.full(), spill, &obs.child(1))?)
-            .collect_rows()?;
-        return Ok(filter_chunks(left_stream, move |lrow| {
-            for rrow in &rrows {
-                match residual {
-                    None => return Ok(false),
-                    Some(e) => {
-                        if e.eval_bool(&lrow.concat(rrow))? {
-                            return Ok(false);
+        // selection-vector filter. The collected right side is a
+        // materialization point: under a memory budget only its byte
+        // share stays in memory; past it further right rows overflow —
+        // in arrival order — to a spill run the filter replays after
+        // the in-memory prefix for each left row (the same bounded
+        // template as the cross-join build).
+        let mut mem: Vec<Row> = Vec::new();
+        let mut mem_bytes = 0usize;
+        let mut overflow: Option<spill::RunFile> = None;
+        {
+            let right_stream = open_node(db, right, batch.full(), spill, &obs.child(1))?;
+            let mut scratch: Vec<Row> = Vec::new();
+            for chunk in right_stream {
+                chunk?.drain_into(&mut scratch);
+                for row in scratch.drain(..) {
+                    if let Some(run) = &mut overflow {
+                        run.write(0, &row)?;
+                        continue;
+                    }
+                    match spill.per_point {
+                        Some(budget) if mem_bytes + spill::row_bytes(&row) > budget => {
+                            let mut run = spill::RunFile::create(&spill.dir, obs.spill_prof())?;
+                            run.write(0, &row)?;
+                            overflow = Some(run);
                         }
+                        _ => {
+                            mem_bytes += spill::row_bytes(&row);
+                            mem.push(row);
+                        }
+                    }
+                }
+            }
+            if let Some(n) = obs.node() {
+                raise(&n.peak_bytes, mem_bytes as u64);
+            }
+            if let Some(run) = &mut overflow {
+                run.seal()?;
+            }
+        }
+        return Ok(filter_chunks(left_stream, move |lrow| {
+            let killed = |rrow: &Row| -> Result<bool> {
+                match residual {
+                    None => Ok(true),
+                    Some(e) => e.eval_bool(&lrow.concat(rrow)),
+                }
+            };
+            for rrow in &mem {
+                if killed(rrow)? {
+                    return Ok(false);
+                }
+            }
+            if let Some(run) = &mut overflow {
+                let mut reader = run.reader()?;
+                while let Some((_, rrow)) = reader.next()? {
+                    if killed(&rrow)? {
+                        return Ok(false);
                     }
                 }
             }

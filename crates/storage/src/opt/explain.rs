@@ -229,15 +229,16 @@ fn on_note(on: &[(usize, usize)]) -> String {
 /// The `[spill …]` tag for this node, or empty when it is not a
 /// materialization point (pipelined operators never spill). Every join
 /// materializes its right side — keyed joins build a hash table, cross
-/// joins buffer the right input — so every join is a spill point; only
-/// the residual-only anti-join's buffered right side remains unbudgeted
-/// (a documented follow-up).
+/// joins buffer the right input — so every join and anti-join is a
+/// spill point (the residual-only anti-join's buffered right side
+/// overflows to a replayed run, like the cross join's).
 fn spill_note<'s>(plan: &Plan, tag: &'s str) -> &'s str {
     match plan {
-        Plan::Sort { .. } | Plan::Aggregate { .. } | Plan::Distinct { .. } | Plan::Join { .. } => {
-            tag
-        }
-        Plan::AntiJoin { on, .. } if !on.is_empty() => tag,
+        Plan::Sort { .. }
+        | Plan::Aggregate { .. }
+        | Plan::Distinct { .. }
+        | Plan::Join { .. }
+        | Plan::AntiJoin { .. } => tag,
         _ => "",
     }
 }
@@ -600,8 +601,9 @@ mod tests {
     fn cross_join_build_is_a_budgeted_spill_point() {
         // A cross join buffers its whole right side, so it counts
         // against the budget and carries the spill tag like the keyed
-        // joins do; a keyed anti-join does too, while the residual-only
-        // anti-join's buffer remains unbudgeted (documented follow-up).
+        // joins do — and so does every anti-join, the residual-only
+        // form included (its buffered right side overflows to a
+        // replayed run).
         let db = db();
         let catalog = StatsCatalog::snapshot(&db);
         let cross = Plan::scan("V").join(Plan::scan("R"), vec![]);
@@ -619,9 +621,8 @@ mod tests {
         };
         let text = render_with_budget(&db, &catalog, &anti, Some(4096));
         assert!(
-            !text
-                .lines()
-                .any(|l| l.contains("AntiJoin") && l.contains("spill")),
+            text.lines()
+                .any(|l| l.contains("AntiJoin") && l.contains("[spill budget=")),
             "{text}"
         );
     }

@@ -27,9 +27,15 @@
 //!
 //! [`explain::render`] produces the deterministic plan tree used by
 //! BeliefSQL's `EXPLAIN`.
+//!
+//! One pass operates a level above plans: [`magic::rewrite`] makes whole
+//! Datalog programs demand-driven (adornment, sideways information
+//! passing, magic seed relations) before their rules are compiled, so
+//! bound queries derive only the tuples they can reach.
 
 pub mod explain;
 pub mod join_order;
+pub mod magic;
 pub mod rules;
 pub mod stats;
 

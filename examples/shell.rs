@@ -135,6 +135,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     println!("                 per-query memory budget for joins/sorts/");
                     println!("                 aggregates/distincts — past it they spill to");
                     println!("                 disk (grace hash join, external merge sort)");
+                    println!("  \\set magic <on|off>");
+                    println!("                 magic-sets / SIP rewrite: evaluate bound belief");
+                    println!("                 queries demand-driven (on by default; off runs");
+                    println!("                 the unrewritten Algorithm 1 rule stack)");
                     println!("  \\set slowlog <ms|off>");
                     println!("                 capture statements slower than <ms> into the");
                     println!("                 slow-query log (with spans + full profile);");
@@ -190,6 +194,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                             Some(b) => println!("memory budget: {b} bytes per query"),
                             None => println!("memory budget: unlimited"),
                         }
+                        println!(
+                            "magic rewrite: {}",
+                            if session.magic_enabled() { "on" } else { "off" }
+                        );
                         match session.slowlog_threshold_ms() {
                             Some(ms) => println!("slowlog: capturing statements over {ms} ms"),
                             None => println!("slowlog: off"),
@@ -209,6 +217,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         }
                         None => println!("usage: \\set memory <n[k|m|g]|off>"),
                     },
+                    (Some("magic"), Some(spec)) => match spec.to_ascii_lowercase().as_str() {
+                        "on" => {
+                            session.set_magic(true);
+                            println!("magic rewrite: on");
+                        }
+                        "off" => {
+                            session.set_magic(false);
+                            println!("magic rewrite: off (unrewritten Algorithm 1 plans)");
+                        }
+                        _ => println!("usage: \\set magic <on|off>"),
+                    },
                     (Some("slowlog"), Some(spec)) => {
                         if spec.eq_ignore_ascii_case("off") {
                             session.set_slowlog_threshold_ms(None);
@@ -223,7 +242,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                             }
                         }
                     }
-                    _ => println!("usage: \\set memory <n[k|m|g]|off> | \\set slowlog <ms|off>"),
+                    _ => println!(
+                        "usage: \\set memory <n[k|m|g]|off> | \\set magic <on|off> | \
+                         \\set slowlog <ms|off>"
+                    ),
                 },
                 Some("explain") => {
                     let rest: Vec<&str> = parts.collect();
@@ -278,9 +300,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         };
                         match result {
                             Ok(mut s) => {
-                                // The memory budget is a session setting:
-                                // it survives switching databases.
+                                // Memory budget and magic toggle are
+                                // session settings: they survive
+                                // switching databases.
                                 s.set_memory_budget(session.memory_budget());
+                                s.set_magic(session.magic_enabled());
                                 session = s;
                                 let stats = session.bdms().stats();
                                 println!(
