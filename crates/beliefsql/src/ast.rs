@@ -87,12 +87,16 @@ pub struct Condition {
     pub right: Operand,
 }
 
-/// `SELECT ... FROM ... [WHERE ...]`.
+/// `SELECT ... FROM ... [WHERE ...] [ORDER BY ...] [LIMIT n]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {
     pub items: Vec<SelectItem>,
     pub from: Vec<FromItem>,
     pub conditions: Vec<Condition>,
+    /// `ORDER BY` keys: the column plus `true` for `DESC`.
+    pub order_by: Vec<(ColumnRef, bool)>,
+    /// `LIMIT n` row cap.
+    pub limit: Option<usize>,
 }
 
 /// `INSERT INTO [prefix] table VALUES (...)`.

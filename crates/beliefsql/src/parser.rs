@@ -87,6 +87,37 @@ impl Parser {
         }
     }
 
+    /// Accept `word` as a *contextual* keyword: ORDER/BY/ASC/DESC/LIMIT
+    /// are not reserved (they lex as plain identifiers, so existing
+    /// schemas may use them as names) and only act as keywords where the
+    /// grammar expects them.
+    fn accept_word(&mut self, word: &str) -> bool {
+        if let TokenKind::Ident(s) = self.peek() {
+            if s.eq_ignore_ascii_case(word) {
+                self.advance();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the next token is the contextual keyword `word`.
+    fn peek_word(&self, word: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s.eq_ignore_ascii_case(word))
+    }
+
+    /// A table name: a plain identifier, or a dotted `sys.name` pair
+    /// (the system-catalog namespace).
+    fn table_name(&mut self) -> Result<String> {
+        let first = self.ident()?;
+        if self.accept(&TokenKind::Dot) {
+            let rest = self.ident()?;
+            Ok(format!("{first}.{rest}"))
+        } else {
+            Ok(first)
+        }
+    }
+
     fn statement(&mut self) -> Result<Statement> {
         if self.accept_kw(Keyword::Select) {
             return Ok(Statement::Select(self.select()?));
@@ -114,11 +145,52 @@ impl Parser {
             from.push(self.parse_from_item()?);
         }
         let conditions = self.opt_where()?;
+        let order_by = self.opt_order_by()?;
+        let limit = self.opt_limit()?;
         Ok(SelectStmt {
             items,
             from,
             conditions,
+            order_by,
+            limit,
         })
+    }
+
+    fn opt_order_by(&mut self) -> Result<Vec<(ColumnRef, bool)>> {
+        if !self.accept_word("order") {
+            return Ok(Vec::new());
+        }
+        if !self.accept_word("by") {
+            return Err(self.error("expected BY after ORDER"));
+        }
+        let mut keys = Vec::new();
+        loop {
+            let col = self.column_ref()?;
+            let desc = if self.accept_word("desc") {
+                true
+            } else {
+                self.accept_word("asc");
+                false
+            };
+            keys.push((col, desc));
+            if !self.accept(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(keys)
+    }
+
+    fn opt_limit(&mut self) -> Result<Option<usize>> {
+        if !self.accept_word("limit") {
+            return Ok(None);
+        }
+        match self.peek().clone() {
+            TokenKind::Int(n) if n >= 0 => {
+                self.advance();
+                Ok(Some(n as usize))
+            }
+            _ => Err(self.error("expected a non-negative integer after LIMIT")),
+        }
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
@@ -169,7 +241,7 @@ impl Parser {
 
     fn parse_from_item(&mut self) -> Result<FromItem> {
         let prefix = self.belief_prefix()?;
-        let table = self.ident()?;
+        let table = self.table_name()?;
         let alias = self.opt_alias()?;
         Ok(FromItem {
             prefix,
@@ -182,8 +254,12 @@ impl Parser {
         if self.accept_kw(Keyword::As) {
             return Ok(Some(self.ident()?));
         }
-        // Bare alias (`Sightings S`).
+        // Bare alias (`Sightings S`) — but not the contextual ORDER /
+        // LIMIT keywords, which start the next clause.
         if let TokenKind::Ident(_) = self.peek() {
+            if self.peek_word("order") || self.peek_word("limit") {
+                return Ok(None);
+            }
             return Ok(Some(self.ident()?));
         }
         Ok(None)
@@ -239,7 +315,7 @@ impl Parser {
     fn insert(&mut self) -> Result<InsertStmt> {
         self.expect_kw(Keyword::Into)?;
         let prefix = self.belief_prefix()?;
-        let table = self.ident()?;
+        let table = self.table_name()?;
         self.expect_kw(Keyword::Values)?;
         self.expect(&TokenKind::LParen)?;
         let mut values = vec![self.literal()?];
@@ -271,7 +347,7 @@ impl Parser {
     fn delete(&mut self) -> Result<DeleteStmt> {
         self.expect_kw(Keyword::From)?;
         let prefix = self.belief_prefix()?;
-        let table = self.ident()?;
+        let table = self.table_name()?;
         let alias = self.opt_alias()?;
         let conditions = self.opt_where()?;
         Ok(DeleteStmt {
@@ -284,7 +360,7 @@ impl Parser {
 
     fn update(&mut self) -> Result<UpdateStmt> {
         let prefix = self.belief_prefix()?;
-        let table = self.ident()?;
+        let table = self.table_name()?;
         let alias = if self.peek() == &TokenKind::Keyword(Keyword::Set) {
             None
         } else {
@@ -461,6 +537,76 @@ mod tests {
     #[test]
     fn trailing_semicolon_accepted() {
         assert!(parse("select * from S;").is_ok());
+    }
+
+    #[test]
+    fn parses_sys_qualified_table_names() {
+        let stmt = parse("select * from sys.metrics").unwrap();
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        assert_eq!(sel.from[0].table, "sys.metrics");
+        assert_eq!(sel.from[0].binding(), "sys.metrics");
+        // DML positions parse the dotted name too (rejected later with a
+        // clean error, not a parse error).
+        let Statement::Insert(ins) = parse("insert into sys.metrics values (1)").unwrap() else {
+            panic!()
+        };
+        assert_eq!(ins.table, "sys.metrics");
+        let Statement::Delete(del) = parse("delete from sys.metrics").unwrap() else {
+            panic!()
+        };
+        assert_eq!(del.table, "sys.metrics");
+        let Statement::Update(up) = parse("update sys.metrics set value = 0").unwrap() else {
+            panic!()
+        };
+        assert_eq!(up.table, "sys.metrics");
+    }
+
+    #[test]
+    fn parses_order_by_and_limit() {
+        let stmt =
+            parse("select * from sys.statements order by total_time_ns desc, calls asc limit 5")
+                .unwrap();
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        assert_eq!(sel.order_by.len(), 2);
+        assert_eq!(sel.order_by[0].0.column, "total_time_ns");
+        assert!(sel.order_by[0].1, "first key descending");
+        assert_eq!(sel.order_by[1].0.column, "calls");
+        assert!(!sel.order_by[1].1, "second key ascending");
+        assert_eq!(sel.limit, Some(5));
+        // Plain ORDER BY defaults ascending; LIMIT stands alone.
+        let Statement::Select(sel) = parse("select * from T order by a").unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            sel.order_by,
+            vec![(
+                ColumnRef {
+                    qualifier: None,
+                    column: "a".into()
+                },
+                false
+            )]
+        );
+        assert_eq!(sel.limit, None);
+        let Statement::Select(sel) = parse("select * from T limit 0").unwrap() else {
+            panic!()
+        };
+        assert!(sel.order_by.is_empty());
+        assert_eq!(sel.limit, Some(0));
+        // ORDER/LIMIT are not swallowed as bare aliases, but ordinary
+        // bare aliases still work.
+        let Statement::Select(sel) = parse("select * from T x order by a limit 1").unwrap() else {
+            panic!()
+        };
+        assert_eq!(sel.from[0].alias.as_deref(), Some("x"));
+        // Malformed clauses are parse errors, not silent no-ops.
+        assert!(parse("select * from T order a").is_err());
+        assert!(parse("select * from T limit").is_err());
+        assert!(parse("select * from T limit -1").is_err());
     }
 
     #[test]

@@ -5,9 +5,14 @@ use crate::error::{Result, SqlError};
 use crate::lower::{lower_dml_prefix, SelectLowerer};
 use crate::parser::parse;
 use beliefdb_core::internal::InsertOutcome;
-use beliefdb_core::{Bdms, ExternalSchema, GroundTuple, Sign};
-use beliefdb_storage::{QueryTrace, Recorder, Row, Value};
+use beliefdb_core::{Bdms, BeliefError, ExternalSchema, GroundTuple, Sign};
+use beliefdb_storage::obs::{note_statement_peak, record_statement, statements_enabled};
+use beliefdb_storage::{
+    metrics, Expr, Metric, MetricsSnapshot, Plan, QueryTrace, Recorder, Row, SortKey, StatementObs,
+    Value, SYS_PREFIX,
+};
 use std::fmt;
+use std::time::Instant;
 
 /// Result of executing one BeliefSQL statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -185,7 +190,29 @@ impl Session {
 
     /// Parse and execute one statement. `EXPLAIN <select>` and
     /// `EXPLAIN ANALYZE <select>` are handled here as statement forms.
+    ///
+    /// Every call feeds the cumulative per-fingerprint statement
+    /// statistics (`sys.statements`) unless tracking is disabled, in
+    /// which case the check is a single atomic load and nothing is
+    /// allocated or recorded.
     pub fn execute(&mut self, sql: &str) -> Result<ExecResult> {
+        if !statements_enabled() {
+            return self.execute_inner(sql);
+        }
+        let before = metrics().snapshot();
+        let t0 = Instant::now();
+        let result = self.execute_inner(sql);
+        record_statement_capture(
+            sql,
+            t0,
+            &before,
+            result.as_ref().map(|r| r.rows().len() as u64).unwrap_or(0),
+            result.is_err(),
+        );
+        result
+    }
+
+    fn execute_inner(&mut self, sql: &str) -> Result<ExecResult> {
         if let Some(rest) = strip_explain(sql) {
             if let Some(inner) = strip_analyze(rest) {
                 return Ok(ExecResult::Explain(self.explain_analyze(inner)?));
@@ -205,8 +232,26 @@ impl Session {
     }
 
     /// Parse and execute a read-only statement (`SELECT`, `EXPLAIN`, or
-    /// `EXPLAIN ANALYZE`).
+    /// `EXPLAIN ANALYZE`). Feeds `sys.statements` exactly like
+    /// [`Session::execute`].
     pub fn query(&self, sql: &str) -> Result<ExecResult> {
+        if !statements_enabled() {
+            return self.query_inner(sql);
+        }
+        let before = metrics().snapshot();
+        let t0 = Instant::now();
+        let result = self.query_inner(sql);
+        record_statement_capture(
+            sql,
+            t0,
+            &before,
+            result.as_ref().map(|r| r.rows().len() as u64).unwrap_or(0),
+            result.is_err(),
+        );
+        result
+    }
+
+    fn query_inner(&self, sql: &str) -> Result<ExecResult> {
         if let Some(rest) = strip_explain(sql) {
             if let Some(inner) = strip_analyze(rest) {
                 return Ok(ExecResult::Explain(self.explain_analyze(inner)?));
@@ -237,9 +282,18 @@ impl Session {
     }
 
     /// Hand a finished trace to the slow-query log (no-op when the
-    /// recorder was disabled).
+    /// recorder was disabled). Profiled runs also raise the statement's
+    /// peak-buffered-bytes high-water mark in `sys.statements`.
     fn observe(&self, rec: Recorder) {
         if let Some(trace) = rec.finish() {
+            if statements_enabled() {
+                if let Some(profile) = trace.profile.as_deref() {
+                    let peak = max_peak_bytes(profile);
+                    if peak > 0 {
+                        note_statement_peak(&trace.statement, peak);
+                    }
+                }
+            }
             self.bdms.slowlog().observe(trace);
         }
     }
@@ -264,6 +318,34 @@ impl Session {
     pub fn query_streaming(
         &self,
         sql: &str,
+        on_row: impl FnMut(Row),
+    ) -> Result<(Vec<String>, usize)> {
+        if !statements_enabled() {
+            return self.query_streaming_inner(sql, on_row);
+        }
+        let before = metrics().snapshot();
+        let t0 = Instant::now();
+        let result = self.query_streaming_inner(sql, on_row);
+        // A "not streamable; use query()" rejection is an API redirection,
+        // not a statement execution: the caller retries through query(),
+        // which records the real call. Capturing the rejection too would
+        // double-count the statement and mark it errored.
+        let redirected = matches!(&result, Err(e) if e.to_string().contains("use query()"));
+        if !redirected {
+            record_statement_capture(
+                sql,
+                t0,
+                &before,
+                result.as_ref().map(|(_, n)| *n as u64).unwrap_or(0),
+                result.is_err(),
+            );
+        }
+        result
+    }
+
+    fn query_streaming_inner(
+        &self,
+        sql: &str,
         mut on_row: impl FnMut(Row),
     ) -> Result<(Vec<String>, usize)> {
         if self.bdms.slowlog().enabled() {
@@ -274,6 +356,7 @@ impl Session {
                     "query_streaming() only accepts SELECT statements".into(),
                 ));
             };
+            streaming_supported(&sel)?;
             let lowered = rec.span("lower", || SelectLowerer::lower(&self.bdms, &sel))?;
             let mut emitted = 0usize;
             if let Some(q) = &lowered.query {
@@ -290,6 +373,7 @@ impl Session {
                 "query_streaming() only accepts SELECT statements".into(),
             ));
         };
+        streaming_supported(&sel)?;
         let lowered = SelectLowerer::lower(&self.bdms, &sel)?;
         let mut emitted = 0usize;
         if let Some(q) = &lowered.query {
@@ -310,6 +394,9 @@ impl Session {
                 "explain() only accepts SELECT statements".into(),
             ));
         };
+        if sel.from.iter().any(|f| f.table.starts_with(SYS_PREFIX)) {
+            return self.explain_sys(&sel, false);
+        }
         let lowered = SelectLowerer::lower(&self.bdms, &sel)?;
         let mut out = String::new();
         match &lowered.query {
@@ -336,6 +423,9 @@ impl Session {
                 "explain analyze only accepts SELECT statements".into(),
             ));
         };
+        if sel.from.iter().any(|f| f.table.starts_with(SYS_PREFIX)) {
+            return self.explain_sys(&sel, true);
+        }
         let lowered = SelectLowerer::lower(&self.bdms, &sel)?;
         let mut out = String::new();
         match &lowered.query {
@@ -380,18 +470,159 @@ impl Session {
     }
 
     fn run_select(&self, sel: &SelectStmt, rec: &mut Recorder) -> Result<ExecResult> {
+        if sel.from.iter().any(|f| f.table.starts_with(SYS_PREFIX)) {
+            return self.run_sys_select(sel, rec);
+        }
         let lowered = rec.span("lower", || SelectLowerer::lower(&self.bdms, sel))?;
-        let rows = match &lowered.query {
+        let mut rows = match &lowered.query {
             None => Vec::new(), // contradictory constants: empty result
             Some(q) => self.bdms.query_traced(q, rec)?,
         };
+        // ORDER BY / LIMIT post-process the (already sorted, distinct)
+        // belief-query answer; keys must appear in the select list.
+        if !sel.order_by.is_empty() {
+            let keys = resolve_order_keys(&lowered.columns, &sel.order_by)?;
+            rows.sort_by(|a, b| cmp_order(&keys, a, b));
+        }
+        if let Some(n) = sel.limit {
+            rows.truncate(n);
+        }
         Ok(ExecResult::Rows {
             columns: lowered.columns,
             rows,
         })
     }
 
+    /// A `SELECT` over one `sys.*` virtual table: built directly as a
+    /// storage-layer plan (Scan → Selection → Sort → Limit → Projection)
+    /// and run through the normal optimizer and chunked executor. The
+    /// provider snapshots its source at scan time; nothing is cached.
+    fn run_sys_select(&self, sel: &SelectStmt, rec: &mut Recorder) -> Result<ExecResult> {
+        let (columns, plan) = self.sys_select_plan(sel)?;
+        let db = self.bdms.internal().database();
+        let plan = rec.span("optimize", || {
+            beliefdb_storage::optimize(db, plan).map_err(storage_err)
+        })?;
+        let rows = rec.span("execute", || {
+            beliefdb_storage::execute(db, &plan).map_err(storage_err)
+        })?;
+        Ok(ExecResult::Rows { columns, rows })
+    }
+
+    /// Lower a validated `sys.*` SELECT into column labels plus an
+    /// unoptimized storage plan.
+    fn sys_select_plan(&self, sel: &SelectStmt) -> Result<(Vec<String>, Plan)> {
+        if sel.from.len() != 1 {
+            return Err(SqlError::Lower(
+                "system tables cannot be joined or mixed with other tables in one FROM".into(),
+            ));
+        }
+        let item = &sel.from[0];
+        if item.prefix.is_some() {
+            return Err(SqlError::Lower(format!(
+                "BELIEF prefixes do not apply to system table `{}`",
+                item.table
+            )));
+        }
+        let db = self.bdms.internal().database();
+        let vt = db
+            .virtual_table(&item.table)
+            .ok_or_else(|| SqlError::Lower(format!("unknown system table `{}`", item.table)))?;
+        let schema = vt.schema();
+        let binding = item.binding();
+        let resolve = |c: &ColumnRef| -> Result<usize> {
+            if let Some(q) = &c.qualifier {
+                if q != binding {
+                    return Err(SqlError::Lower(format!(
+                        "unknown alias `{q}` in system-table query"
+                    )));
+                }
+            }
+            schema.column_index(&c.column).map_err(|_| {
+                SqlError::Lower(format!("no column `{}` in `{}`", c.column, item.table))
+            })
+        };
+        let mut columns = Vec::new();
+        let mut exprs = Vec::new();
+        for it in &sel.items {
+            match it {
+                SelectItem::Wildcard => {
+                    for (i, col) in schema.columns().iter().enumerate() {
+                        columns.push(col.name.clone());
+                        exprs.push(Expr::Col(i));
+                    }
+                }
+                SelectItem::Column(c) => {
+                    columns.push(c.to_string());
+                    exprs.push(Expr::Col(resolve(c)?));
+                }
+            }
+        }
+        let mut plan = Plan::scan(item.table.clone());
+        if !sel.conditions.is_empty() {
+            let side = |o: &Operand| -> Result<Expr> {
+                Ok(match o {
+                    Operand::Column(c) => Expr::Col(resolve(c)?),
+                    Operand::Literal(l) => Expr::Lit(l.to_value()),
+                })
+            };
+            let mut conj = Vec::with_capacity(sel.conditions.len());
+            for c in &sel.conditions {
+                conj.push(Expr::cmp(c.op, side(&c.left)?, side(&c.right)?));
+            }
+            plan = plan.select(Expr::And(conj));
+        }
+        if !sel.order_by.is_empty() {
+            let mut keys = Vec::with_capacity(sel.order_by.len());
+            for (c, desc) in &sel.order_by {
+                let i = resolve(c)?;
+                keys.push(if *desc {
+                    SortKey::desc(i)
+                } else {
+                    SortKey::asc(i)
+                });
+            }
+            plan = plan.sort(keys);
+        }
+        if let Some(n) = sel.limit {
+            plan = plan.limit(n);
+        }
+        Ok((columns, plan.project(exprs)))
+    }
+
+    /// `EXPLAIN [ANALYZE]` for a `sys.*` SELECT: render the optimized
+    /// virtual-scan plan (with actuals when analyzing).
+    fn explain_sys(&self, sel: &SelectStmt, analyze: bool) -> Result<String> {
+        let (_, plan) = self.sys_select_plan(sel)?;
+        let db = self.bdms.internal().database();
+        let plan = beliefdb_storage::optimize(db, plan).map_err(storage_err)?;
+        let mut out = String::from("-- system-catalog query (virtual table scan):\n");
+        if analyze {
+            let executor = beliefdb_storage::Executor::new(db);
+            let (stream, profile) = executor.open_chunks_profiled(&plan).map_err(storage_err)?;
+            let rows = stream.collect_rows().map_err(storage_err)?;
+            out.push_str("-- analyzed physical plan (est vs actual):\n");
+            out.push_str(&beliefdb_storage::opt::render_analyze(
+                db,
+                &beliefdb_storage::StatsCatalog::snapshot(db),
+                &plan,
+                &profile,
+                None,
+            ));
+            out.push_str(&format!(
+                "-- {} row{} returned\n",
+                rows.len(),
+                if rows.len() == 1 { "" } else { "s" }
+            ));
+        } else {
+            out.push_str("-- optimized physical plan:\n");
+            out.push_str(&beliefdb_storage::opt::render_with_snapshot(db, &plan));
+        }
+        Ok(out)
+    }
+
     fn run_insert(&mut self, ins: &InsertStmt) -> Result<ExecResult> {
+        reject_sys_dml("INSERT into", &ins.table)?;
         let (path, sign) = lower_dml_prefix(&self.bdms, &ins.prefix)?;
         let rel = self.bdms.schema().relation_id(&ins.table)?;
         let row = Row::new(ins.values.iter().map(|l| l.to_value()).collect::<Vec<_>>());
@@ -400,6 +631,7 @@ impl Session {
     }
 
     fn run_delete(&mut self, del: &DeleteStmt) -> Result<ExecResult> {
+        reject_sys_dml("DELETE from", &del.table)?;
         let (path, sign) = lower_dml_prefix(&self.bdms, &del.prefix)?;
         let rel = self.bdms.schema().relation_id(&del.table)?;
         let binding = del.alias.as_deref().unwrap_or(&del.table);
@@ -422,6 +654,7 @@ impl Session {
     }
 
     fn run_update(&mut self, up: &UpdateStmt) -> Result<ExecResult> {
+        reject_sys_dml("UPDATE", &up.table)?;
         let (path, sign) = lower_dml_prefix(&self.bdms, &up.prefix)?;
         let rel = self.bdms.schema().relation_id(&up.table)?;
         let def = self.bdms.schema().relation(rel)?;
@@ -486,6 +719,118 @@ impl Session {
         }
         Ok(ExecResult::Updated(updated))
     }
+}
+
+/// Record one finished statement execution into the per-fingerprint
+/// statistics: wall time, row count, error flag, and the plan-cache /
+/// spill counter deltas bracketing the run. Only called with tracking
+/// enabled — the disabled path never reaches here.
+fn record_statement_capture(
+    sql: &str,
+    t0: Instant,
+    before: &MetricsSnapshot,
+    rows: u64,
+    error: bool,
+) {
+    let after = metrics().snapshot();
+    let delta = |m: Metric| after.get(m).saturating_sub(before.get(m));
+    record_statement(
+        sql,
+        StatementObs {
+            wall_ns: t0.elapsed().as_nanos() as u64,
+            rows,
+            error,
+            cache_hits: delta(Metric::PlanCacheHits),
+            cache_misses: delta(Metric::PlanCacheMisses),
+            spill_bytes: delta(Metric::SpillBytes),
+            peak_buffered: 0,
+        },
+    );
+}
+
+/// The streaming path has no sort/cap stage and no virtual-scan route;
+/// refuse what it cannot honor rather than silently dropping clauses.
+fn streaming_supported(sel: &SelectStmt) -> Result<()> {
+    if sel.from.iter().any(|f| f.table.starts_with(SYS_PREFIX)) {
+        return Err(SqlError::Lower(
+            "system tables are not streamable; use query()".into(),
+        ));
+    }
+    if !sel.order_by.is_empty() || sel.limit.is_some() {
+        return Err(SqlError::Lower(
+            "ORDER BY / LIMIT are not supported on the streaming path; use query()".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Refuse DML aimed at a `sys.*` virtual table with a clean error.
+fn reject_sys_dml(action: &str, table: &str) -> Result<()> {
+    if table.starts_with(SYS_PREFIX) {
+        return Err(SqlError::Lower(format!(
+            "cannot {action} system table `{table}`: sys.* relations are read-only"
+        )));
+    }
+    Ok(())
+}
+
+/// Lift a storage-layer error through the core error type.
+fn storage_err(e: beliefdb_storage::StorageError) -> SqlError {
+    SqlError::Core(BeliefError::from(e))
+}
+
+/// Resolve ORDER BY keys against a select list's column labels: an
+/// exact label match (`S.sid`), or for an unqualified key the label's
+/// final `.`-separated component.
+fn resolve_order_keys(
+    columns: &[String],
+    order_by: &[(ColumnRef, bool)],
+) -> Result<Vec<(usize, bool)>> {
+    order_by
+        .iter()
+        .map(|(c, desc)| {
+            let target = c.to_string();
+            let found = columns.iter().position(|l| *l == target).or_else(|| {
+                if c.qualifier.is_none() {
+                    columns
+                        .iter()
+                        .position(|l| l.rsplit('.').next() == Some(c.column.as_str()))
+                } else {
+                    None
+                }
+            });
+            match found {
+                Some(i) => Ok((i, *desc)),
+                None => Err(SqlError::Lower(format!(
+                    "ORDER BY column `{target}` is not in the select list"
+                ))),
+            }
+        })
+        .collect()
+}
+
+/// Compare two rows under resolved `(column, descending)` keys.
+fn cmp_order(keys: &[(usize, bool)], a: &Row, b: &Row) -> std::cmp::Ordering {
+    for &(i, desc) in keys {
+        let ord = a[i].cmp(&b[i]);
+        if ord != std::cmp::Ordering::Equal {
+            return if desc { ord.reverse() } else { ord };
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// The largest ` peak_bytes=N` figure in an `EXPLAIN ANALYZE` profile
+/// rendering (0 when no operator reported one).
+fn max_peak_bytes(profile: &str) -> u64 {
+    let mut max = 0u64;
+    for tail in profile.split("peak_bytes=").skip(1) {
+        let digits: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if let Ok(v) = digits.parse::<u64>() {
+            max = max.max(v);
+        }
+    }
+    max
 }
 
 /// If `sql` is an `EXPLAIN <statement>`, return the inner statement text.
@@ -806,6 +1151,170 @@ mod tests {
         assert!(s
             .query("explain analyze insert into Sightings values ('x','y','z','d','l')")
             .is_err());
+    }
+
+    #[test]
+    fn sys_tables_queryable_and_read_only() {
+        let mut s = session();
+        let sel = "select S.sid, S.species from BELIEF 'Bob' Sightings as S";
+        s.query(sel).unwrap();
+
+        // sys.metrics is an ordinary relation mirroring the registry.
+        let m = s.query("select * from sys.metrics").unwrap();
+        assert_eq!(m.columns(), ["name", "value"]);
+        assert!(!m.rows().is_empty());
+
+        // WHERE + projection + alias over a virtual table.
+        let w = s
+            .query("select m.value from sys.metrics m where m.name = 'query.executed'")
+            .unwrap();
+        assert_eq!(w.rows().len(), 1);
+        assert!(w.rows()[0][0].as_int().unwrap() > 0);
+
+        // The acceptance query, end-to-end through the chunked executor.
+        let top = s
+            .query("SELECT * FROM sys.statements ORDER BY total_time_ns DESC LIMIT 5")
+            .unwrap();
+        assert_eq!(top.columns().len(), 13);
+        assert!(top.rows().len() <= 5);
+        // Rows really are sorted descending on total_time_ns (column 4).
+        let times: Vec<i64> = top.rows().iter().map(|r| r[4].as_int().unwrap()).collect();
+        assert!(times.windows(2).all(|w| w[0] >= w[1]), "{times:?}");
+
+        // Our SELECT shows up fingerprinted with its literal normalized.
+        let stmts = s.query("select statement from sys.statements").unwrap();
+        assert!(
+            stmts
+                .rows()
+                .iter()
+                .any(|r| r[0].as_str().unwrap().contains("belief ? sightings")),
+            "normalized statement missing"
+        );
+
+        // sys.tables lists the internal star tables.
+        let t = s.query("select name from sys.tables").unwrap();
+        assert!(t
+            .rows()
+            .iter()
+            .any(|r| r[0] == Value::str("Sightings__star")));
+
+        // The sys path never touches the plan cache.
+        let before = s.bdms().plan_cache_stats();
+        s.query("select * from sys.plan_cache").unwrap();
+        s.query("select * from sys.slowlog").unwrap();
+        s.query("select * from sys.wal").unwrap();
+        let after = s.bdms().plan_cache_stats();
+        assert_eq!(before.hits + before.misses, after.hits + after.misses);
+        assert_eq!(before.entries, after.entries);
+
+        // An in-memory session has an empty sys.wal.
+        assert!(s.query("select * from sys.wal").unwrap().rows().is_empty());
+
+        // DML against sys.* is refused with a clean error.
+        for dml in [
+            "insert into sys.metrics values (1)",
+            "delete from sys.metrics",
+            "update sys.metrics set value = 0",
+        ] {
+            let err = s.execute(dml).unwrap_err();
+            assert!(err.to_string().contains("read-only"), "{dml}: {err}");
+        }
+
+        // BELIEF prefixes, joins with base tables, and unknown sys names
+        // are clean errors too.
+        assert!(s.query("select * from BELIEF 'Bob' sys.metrics").is_err());
+        assert!(s.query("select * from sys.metrics, Sightings").is_err());
+        assert!(s.query("select * from sys.nonexistent").is_err());
+        // Streaming declines sys tables rather than mis-serving them.
+        assert!(s
+            .query_streaming("select * from sys.metrics", |_| {})
+            .is_err());
+
+        // EXPLAIN / EXPLAIN ANALYZE render the virtual-scan plan.
+        let text = s
+            .query("explain select * from sys.metrics")
+            .unwrap()
+            .to_string();
+        assert!(text.contains("Scan sys.metrics"), "{text}");
+        let text = s
+            .query("explain analyze select * from sys.metrics")
+            .unwrap()
+            .to_string();
+        assert!(text.contains("| actual"), "{text}");
+    }
+
+    #[test]
+    fn order_by_and_limit_post_process_belief_selects() {
+        let mut s = session();
+        s.execute(
+            "insert into BELIEF 'Bob' Sightings values \
+             ('s3','Bob','albatross','6-15-08','Lake Placid')",
+        )
+        .unwrap();
+        let asc = s
+            .query("select S.sid, S.species from BELIEF 'Bob' Sightings as S order by species")
+            .unwrap();
+        let species: Vec<&str> = asc.rows().iter().map(|r| r[1].as_str().unwrap()).collect();
+        assert_eq!(species, ["albatross", "raven"]);
+        let desc = s
+            .query(
+                "select S.sid, S.species from BELIEF 'Bob' Sightings as S \
+                 order by S.species desc limit 1",
+            )
+            .unwrap();
+        assert_eq!(desc.rows().len(), 1);
+        assert_eq!(desc.rows()[0][1], Value::str("raven"));
+        // A key outside the select list is an error, not a silent no-op.
+        let err = s
+            .query("select S.sid from BELIEF 'Bob' Sightings as S order by location")
+            .unwrap_err();
+        assert!(err.to_string().contains("ORDER BY"), "{err}");
+        // Streaming refuses ORDER BY / LIMIT instead of dropping them.
+        assert!(s
+            .query_streaming(
+                "select S.sid from BELIEF 'Bob' Sightings as S limit 1",
+                |_| {}
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn statement_stats_accumulate_for_session_statements() {
+        use beliefdb_storage::obs::{fingerprint, statements_snapshot};
+        let s = session();
+        // A distinctive statement so parallel tests can't collide.
+        let sql = "select S.sid from BELIEF 'Bob' Sightings as S \
+                   where S.location = 'statement-stats-probe'";
+        let fp = fingerprint(sql);
+        let calls_before = statements_snapshot()
+            .into_iter()
+            .find(|st| st.fingerprint == fp)
+            .map(|st| st.calls)
+            .unwrap_or(0);
+        s.query(sql).unwrap();
+        s.query(sql).unwrap();
+        let stat = statements_snapshot()
+            .into_iter()
+            .find(|st| st.fingerprint == fp)
+            .expect("statement tracked");
+        assert_eq!(stat.calls, calls_before + 2);
+        assert!(stat.total_ns >= stat.min_ns);
+        assert!(stat.max_ns >= stat.min_ns);
+        // Different literals, same fingerprint: the probe normalizes to
+        // the same text as a changed-literal variant.
+        let variant = "select S.sid from BELIEF 'Bob' Sightings as S \
+                       where S.location = 'another-literal'";
+        assert_eq!(fp, fingerprint(variant));
+        // Errors are counted, not dropped.
+        let bad = "select S.nope from BELIEF 'Bob' Sightings as S \
+                   where S.location = 'statement-stats-probe-err'";
+        let bad_fp = fingerprint(bad);
+        let _ = s.query(bad);
+        let stat = statements_snapshot()
+            .into_iter()
+            .find(|st| st.fingerprint == bad_fp)
+            .expect("failed statement tracked");
+        assert!(stat.errors >= 1);
     }
 
     #[test]

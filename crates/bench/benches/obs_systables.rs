@@ -1,0 +1,30 @@
+//! `sys.*` catalog scans: every introspection query is a full BeliefSQL
+//! round trip (parse → plan → optimize → chunked executor) over a
+//! scan-time snapshot of the observability state, so these benches
+//! price the whole path — including the statement-tracking record the
+//! scan itself generates, which is the production configuration.
+
+use beliefdb_bench::{obs_systables_queries, obs_systables_session};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_obs_systables(c: &mut Criterion) {
+    let session = obs_systables_session(10_000);
+    // Sanity: the acceptance query caps at 5 rows before timing starts.
+    let (_, top5) = obs_systables_queries()[0];
+    assert_eq!(
+        session.query(top5).expect("acceptance query").rows().len(),
+        5
+    );
+
+    let mut group = c.benchmark_group("obs_systables");
+    group.sample_size(20);
+    for (name, sql) in obs_systables_queries() {
+        group.bench_with_input(BenchmarkId::new("scan", name), &sql, |b, sql| {
+            b.iter(|| std::hint::black_box(session.query(sql).expect("sys scan").rows().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_systables);
+criterion_main!(benches);

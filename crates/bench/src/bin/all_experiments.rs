@@ -67,4 +67,11 @@ fn main() {
     let path = std::path::Path::new("BENCH_obs.json");
     write_bench_obs_json(path, &report, n).expect("write BENCH_obs.json");
     println!("wrote {}", path.display());
+
+    println!("=== System catalog (sys.*) ===");
+    let report = run_obs_systables(n, reps.clamp(3, 20)).expect("obs_systables");
+    println!("{}", format_obs_systables(&report, n));
+    let path = std::path::Path::new("BENCH_systables.json");
+    write_bench_systables_json(path, &report, n).expect("write BENCH_systables.json");
+    println!("wrote {}", path.display());
 }

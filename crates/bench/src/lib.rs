@@ -1402,6 +1402,153 @@ pub fn write_bench_obs_json(
     std::fs::write(path, out)
 }
 
+// ---------------------------------------------------------------------------
+// System catalog (sys.*) scans
+// ---------------------------------------------------------------------------
+
+/// One measured `sys.*` catalog scan: a full BeliefSQL round trip
+/// (parse → plan → optimize → chunked executor) through a live session.
+#[derive(Debug, Clone)]
+pub struct SysTableRow {
+    pub name: &'static str,
+    pub sql: &'static str,
+    pub median: Duration,
+    pub rows: usize,
+}
+
+/// The system-catalog experiment's output: per-scan medians plus the
+/// fingerprint population resident when measured.
+#[derive(Debug, Clone)]
+pub struct SysTablesReport {
+    pub rows: Vec<SysTableRow>,
+    pub tracked_statements: usize,
+}
+
+/// The measured catalog scans, the acceptance query first.
+pub fn obs_systables_queries() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "statements_top5",
+            "select * from sys.statements order by total_time_ns desc limit 5",
+        ),
+        ("statements_full", "select * from sys.statements"),
+        ("metrics_scan", "select * from sys.metrics"),
+        (
+            "tables_scan",
+            "select name, rows, seq_scans from sys.tables order by rows desc",
+        ),
+    ]
+}
+
+/// A session whose statement store carries a realistic fingerprint
+/// population: `n.min(2000)` seed inserts (inserts run the full
+/// BeliefSQL path, so the count is capped to keep the harness
+/// interactive at large `--n`) plus 64 distinct query shapes.
+pub fn obs_systables_session(n: usize) -> beliefdb_sql::Session {
+    let mut session = beliefdb_sql::Session::new(
+        beliefdb_core::ExternalSchema::new().with_relation("Facts", &["k", "v"]),
+    )
+    .expect("session");
+    for i in 0..n.min(2_000) {
+        session
+            .execute(&format!("insert into Facts values ('k{i}','v{}')", i % 7))
+            .expect("seed insert");
+    }
+    for i in 0..64 {
+        let sql = format!("select s{i}.k from Facts as s{i} where s{i}.v = 'v3'");
+        session.query(&sql).expect("seed statement");
+        if i % 3 == 0 {
+            session.query(&sql).expect("seed statement");
+        }
+    }
+    session
+}
+
+/// Run every catalog scan (`reps` runs each, median) through a seeded
+/// session. Scan statements are themselves tracked while they run —
+/// that is the production configuration, so it is what gets measured.
+pub fn run_obs_systables(n: usize, reps: usize) -> Result<SysTablesReport> {
+    let session = obs_systables_session(n);
+    let tracked = beliefdb_storage::obs::statements_snapshot().len();
+    let mut rows = Vec::new();
+    for (name, sql) in obs_systables_queries() {
+        let run = || session.query(sql).expect("sys scan").rows().len();
+        let size = run();
+        assert!(size > 0, "{name}: empty catalog scan");
+        let mut samples: Vec<Duration> = (0..reps.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(run());
+                start.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        rows.push(SysTableRow {
+            name,
+            sql,
+            median: samples[samples.len() / 2],
+            rows: size,
+        });
+    }
+    Ok(SysTablesReport {
+        rows,
+        tracked_statements: tracked,
+    })
+}
+
+/// Render the system-catalog report as a small table.
+pub fn format_obs_systables(report: &SysTablesReport, n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "System-catalog scans (fact table of {} rows, {} tracked fingerprint(s); \
+         full session round trips; medians)\n",
+        n.min(2_000),
+        report.tracked_statements
+    ));
+    out.push_str(&format!(
+        "{:<18}{:>12}{:>8}  {}\n",
+        "scan", "median(us)", "rows", "statement"
+    ));
+    for r in &report.rows {
+        out.push_str(&format!(
+            "{:<18}{:>12.1}{:>8}  {}\n",
+            r.name,
+            r.median.as_secs_f64() * 1e6,
+            r.rows,
+            r.sql
+        ));
+    }
+    out
+}
+
+/// Write the machine-readable report: `{"n", "tracked_statements",
+/// "workloads": {name: {"median_ns", "rows"}}}`. Hand-rolled JSON like
+/// the other report writers — every key is a known identifier.
+pub fn write_bench_systables_json(
+    path: &std::path::Path,
+    report: &SysTablesReport,
+    n: usize,
+) -> std::io::Result<()> {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"n\": {n},\n"));
+    out.push_str(&format!(
+        "  \"tracked_statements\": {},\n",
+        report.tracked_statements
+    ));
+    out.push_str("  \"workloads\": {\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"median_ns\": {}, \"rows\": {}}}{}\n",
+            r.name,
+            r.median.as_nanos(),
+            r.rows,
+            if i + 1 < report.rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out)
+}
+
 /// Parse `--flag value` style arguments with defaults (tiny helper shared
 /// by the experiment binaries; avoids a CLI dependency).
 pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
@@ -1448,6 +1595,33 @@ mod tests {
         }
         assert!(text.contains("\"exec.rows_scanned\""), "{text}");
         assert!(format_obs(&report, 300).contains("spill_join"));
+    }
+
+    #[test]
+    fn systables_report_covers_every_scan_and_serializes() {
+        let report = run_obs_systables(200, 2).unwrap();
+        let names: Vec<_> = report.rows.iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "statements_top5",
+                "statements_full",
+                "metrics_scan",
+                "tables_scan"
+            ]
+        );
+        assert!(report.tracked_statements >= 64);
+        let top5 = &report.rows[0];
+        assert_eq!(top5.rows, 5, "LIMIT 5 must cap the acceptance query");
+        let path = persist_scratch_dir("systables-json").with_extension("json");
+        write_bench_systables_json(&path, &report, 200).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        for name in names {
+            assert!(text.contains(&format!("\"{name}\"")), "{text}");
+        }
+        assert!(text.contains("\"tracked_statements\""), "{text}");
+        assert!(format_obs_systables(&report, 200).contains("statements_top5"));
     }
 
     #[test]

@@ -249,11 +249,15 @@ impl EvalOptions {
 /// The program evaluation runs: the translated rule stack, rewritten
 /// demand-driven when `magic` is on (the answer relation and answer rows
 /// are unchanged either way — the rewrite is answer-preserving).
-fn effective_program(translated: &TranslatedQuery, opts: &EvalOptions) -> Program {
+fn effective_program(translated: &TranslatedQuery, opts: &EvalOptions) -> Result<Program> {
     if opts.magic {
-        beliefdb_storage::opt::magic::rewrite(&translated.program)
+        // The checked variant rejects programs touching `sys.*` virtual
+        // relations with a clean error — they have no stored rows to
+        // restrict, so rewriting them is always a bug upstream.
+        beliefdb_storage::opt::magic::rewrite_checked(&translated.program)
+            .map_err(BeliefError::from)
     } else {
-        translated.program.clone()
+        Ok(translated.program.clone())
     }
 }
 
@@ -290,7 +294,7 @@ pub fn evaluate_with_options(
 ) -> Result<Vec<Row>> {
     use beliefdb_storage::datalog::PlanCache;
     let translated = translate(store, q)?;
-    let program = effective_program(&translated, opts);
+    let program = effective_program(&translated, opts)?;
     let mut ev = Evaluator::new(store.database())
         .seed_stats(store.stats_catalog())
         .with_memory_budget(opts.memory_budget);
@@ -340,7 +344,7 @@ pub fn evaluate_analyze_with_options(
 ) -> Result<(Vec<Row>, String)> {
     use beliefdb_storage::datalog::PlanCache;
     let translated = rec.span("translate", || translate(store, q))?;
-    let program = effective_program(&translated, opts);
+    let program = effective_program(&translated, opts)?;
     let mut ev = Evaluator::new(store.database())
         .seed_stats(store.stats_catalog())
         .with_memory_budget(opts.memory_budget);
@@ -400,7 +404,7 @@ pub fn evaluate_streaming_with_options(
 ) -> Result<()> {
     use beliefdb_storage::datalog::PlanCache;
     let translated = translate(store, q)?;
-    let program = effective_program(&translated, opts);
+    let program = effective_program(&translated, opts)?;
     let mut ev = Evaluator::new(store.database())
         .seed_stats(store.stats_catalog())
         .with_memory_budget(opts.memory_budget);
@@ -493,7 +497,7 @@ pub fn explain_with_budget(
 /// the pre-rewrite engine's.
 pub fn explain_with_options(store: &InternalStore, q: &Bcq, opts: &EvalOptions) -> Result<String> {
     let translated = translate(store, q)?;
-    let program = effective_program(&translated, opts);
+    let program = effective_program(&translated, opts)?;
     let mut ev = Evaluator::new(store.database())
         .seed_stats(store.stats_catalog())
         .with_memory_budget(opts.memory_budget);

@@ -22,6 +22,7 @@ use beliefdb_storage::{
     metrics, Database, Metric, MetricsSnapshot, QueryTrace, Recorder, Row, SlowLog, StorageError,
 };
 use std::path::Path;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Size report for the internal database (`|R*|` of Sect. 5.4).
@@ -81,7 +82,9 @@ impl PlanCacheStats {
 /// snapshots bound recovery time (see `docs/persistence.md`).
 pub struct Bdms {
     store: InternalStore,
-    persist: Option<Durability>,
+    /// `Arc<Mutex<_>>` so the `sys.wal` virtual table can poll WAL
+    /// counters at scan time; mutations lock it only briefly to append.
+    persist: Option<Arc<Mutex<Durability>>>,
     /// Per-query memory budget (bytes) for the chunked executor's
     /// materialization points; past it they spill to disk (grace hash
     /// join, external merge sort, partitioned aggregate/distinct).
@@ -95,7 +98,8 @@ pub struct Bdms {
     /// Slow-query ring buffer. Off by default (one relaxed load per
     /// query); when a threshold is set, queries run with profiling on
     /// and crossings are captured with their full span + profile trace.
-    slowlog: SlowLog,
+    /// `Arc`-shared with the `sys.slowlog` virtual table.
+    slowlog: Arc<SlowLog>,
 }
 
 impl std::fmt::Debug for Bdms {
@@ -112,13 +116,15 @@ impl std::fmt::Debug for Bdms {
 impl Bdms {
     /// Create an in-memory BDMS over an external schema.
     pub fn new(schema: ExternalSchema) -> Result<Self> {
-        Ok(Bdms {
+        let mut bdms = Bdms {
             store: InternalStore::new(schema)?,
             persist: None,
             memory_budget: None,
             magic: true,
-            slowlog: SlowLog::new(),
-        })
+            slowlog: Arc::new(SlowLog::new()),
+        };
+        bdms.register_system_tables();
+        Ok(bdms)
     }
 
     /// Initialize a durable BDMS in `dir` (created if missing; must not
@@ -139,13 +145,15 @@ impl Bdms {
         let engine = PersistEngine::create(dir.as_ref(), options)?;
         let mut durability = Durability { engine };
         durability.checkpoint(&store)?;
-        Ok(Bdms {
+        let mut bdms = Bdms {
             store,
-            persist: Some(durability),
+            persist: Some(Arc::new(Mutex::new(durability))),
             memory_budget: None,
             magic: true,
-            slowlog: SlowLog::new(),
-        })
+            slowlog: Arc::new(SlowLog::new()),
+        };
+        bdms.register_system_tables();
+        Ok(bdms)
     }
 
     /// Recover a durable BDMS from `dir`: load the latest valid
@@ -173,17 +181,45 @@ impl Bdms {
         }
         let mut bdms = Bdms {
             store,
-            persist: Some(Durability {
+            persist: Some(Arc::new(Mutex::new(Durability {
                 engine: recovered.engine,
-            }),
+            }))),
             memory_budget: None,
             magic: true,
-            slowlog: SlowLog::new(),
+            slowlog: Arc::new(SlowLog::new()),
         };
+        bdms.register_system_tables();
         // Fold a long replayed tail into a snapshot now, so the *next*
         // open is fast again.
         bdms.auto_checkpoint()?;
         Ok(bdms)
+    }
+
+    /// Register the `sys.*` virtual tables in the store's catalog so
+    /// they are queryable as ordinary relations. Called by every
+    /// constructor (including [`Bdms::open`], so a reopened database
+    /// gets fresh providers bound to *this* instance's cache/WAL/slowlog
+    /// handles). Providers snapshot their source at scan time; they hold
+    /// no row storage and are never WAL or mutation targets.
+    fn register_system_tables(&mut self) {
+        use beliefdb_storage::obs::{
+            metrics_table, plan_cache_table, slowlog_table, statements_table, tables_table,
+            wal_table,
+        };
+        let cache = self.store.plan_cache_handle();
+        let slowlog = Arc::clone(&self.slowlog);
+        let persist = self.persist.clone();
+        let db = self.store.database_mut();
+        db.register_virtual(metrics_table());
+        db.register_virtual(statements_table());
+        db.register_virtual(tables_table());
+        db.register_virtual(plan_cache_table(cache));
+        db.register_virtual(slowlog_table(slowlog));
+        db.register_virtual(wal_table(move || {
+            persist
+                .as_ref()
+                .map(|d| d.lock().expect("durability poisoned").engine.stats())
+        }));
     }
 
     /// Whether this BDMS writes through to a durable directory.
@@ -235,8 +271,11 @@ impl Bdms {
     /// covers. Returns the snapshot's high-water mark (the LSN of the
     /// next record). Errors on an in-memory BDMS.
     pub fn checkpoint(&mut self) -> Result<u64> {
-        match &mut self.persist {
-            Some(durability) => durability.checkpoint(&self.store),
+        match &self.persist {
+            Some(durability) => durability
+                .lock()
+                .expect("durability poisoned")
+                .checkpoint(&self.store),
             None => Err(BeliefError::Storage(StorageError::Io(
                 "checkpoint: this BDMS has no durable directory".into(),
             ))),
@@ -245,20 +284,26 @@ impl Bdms {
 
     /// WAL/snapshot counters (`None` for an in-memory BDMS).
     pub fn wal_stats(&self) -> Option<WalStats> {
-        self.persist.as_ref().map(|d| d.engine.stats())
+        self.persist
+            .as_ref()
+            .map(|d| d.lock().expect("durability poisoned").engine.stats())
     }
 
     /// Append a validated record before applying it.
     fn log(&mut self, rec: &LogRecord) -> Result<()> {
-        if let Some(durability) = &mut self.persist {
-            durability.append(rec)?;
+        if let Some(durability) = &self.persist {
+            durability
+                .lock()
+                .expect("durability poisoned")
+                .append(rec)?;
         }
         Ok(())
     }
 
     /// Checkpoint automatically once the live log passes the threshold.
     fn auto_checkpoint(&mut self) -> Result<()> {
-        if let Some(durability) = &mut self.persist {
+        if let Some(durability) = &self.persist {
+            let mut durability = durability.lock().expect("durability poisoned");
             if durability.engine.needs_checkpoint() {
                 durability.checkpoint(&self.store)?;
             }
@@ -379,6 +424,14 @@ impl Bdms {
         }
         self.store.delete(&path, &old, Sign::Pos)?;
         let outcome = self.store.insert(&path, &new, Sign::Pos)?;
+        // Count the pair as one logical update on the content table
+        // (the delete/insert halves already bumped their own counters).
+        if let Ok(def) = self.store.schema().relation(rel) {
+            let star = crate::internal::star_table(def.name());
+            if let Ok(t) = self.store.database().table(&star) {
+                t.note_update();
+            }
+        }
         self.auto_checkpoint()?;
         Ok(outcome)
     }

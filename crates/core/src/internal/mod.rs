@@ -140,7 +140,9 @@ pub struct InternalStore {
     /// against an unmutated store skip every optimizer rewrite pass.
     /// Invalidation is coarse — entries record every table's version,
     /// so any insert/delete makes *all* entries stale until re-planned.
-    pub(crate) plan_cache: std::sync::Mutex<beliefdb_storage::datalog::PlanCache>,
+    /// `Arc`-shared so the `sys.plan_cache` virtual table can snapshot
+    /// it at scan time without a reference back into the store.
+    pub(crate) plan_cache: Arc<std::sync::Mutex<beliefdb_storage::datalog::PlanCache>>,
 }
 
 impl InternalStore {
@@ -185,7 +187,9 @@ impl InternalStore {
             users: Vec::new(),
             dir,
             stats: std::sync::Mutex::new(beliefdb_storage::StatsCatalog::default()),
-            plan_cache: std::sync::Mutex::new(beliefdb_storage::datalog::PlanCache::new()),
+            plan_cache: Arc::new(std::sync::Mutex::new(
+                beliefdb_storage::datalog::PlanCache::new(),
+            )),
             next_tid: 0,
             tid_cache: HashMap::new(),
         })
@@ -202,6 +206,20 @@ impl InternalStore {
     /// The underlying relational database (read-only).
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// Mutable access to the underlying database, for registering
+    /// `sys.*` virtual-table providers at engine construction.
+    pub(crate) fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// A shared handle to the optimized-plan cache (the `sys.plan_cache`
+    /// provider holds one).
+    pub(crate) fn plan_cache_handle(
+        &self,
+    ) -> Arc<std::sync::Mutex<beliefdb_storage::datalog::PlanCache>> {
+        Arc::clone(&self.plan_cache)
     }
 
     /// An up-to-date optimizer statistics snapshot for the internal

@@ -1,18 +1,55 @@
-//! The database catalog: a named collection of tables.
+//! The database catalog: a named collection of tables, plus the `sys.`
+//! namespace of read-only virtual tables.
 
 use crate::error::{Result, StorageError};
+use crate::row::Row;
 use crate::schema::TableSchema;
 use crate::table::Table;
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Prefix reserved for system relations (`sys.metrics`, `sys.tables`, ...).
+/// Base tables may not use it, and everything under it is read-only.
+pub const SYS_PREFIX: &str = "sys.";
+
+/// A read-only relation whose rows are computed at scan time rather than
+/// stored — the `sys.*` introspection catalog. Providers snapshot their
+/// source (metrics registry, statement map, plan cache, ...) into plain
+/// rows; the executor turns the snapshot into a `ColumnSet` and streams
+/// it through the ordinary chunked pipeline. Virtual tables are
+/// stats-less by construction (the optimizer falls back to its default
+/// small-cardinality estimate), are never plan-cached, and are refused
+/// as mutation / WAL / snapshot targets.
+pub trait VirtualTable: Send + Sync {
+    /// The relation's schema (name carries the `sys.` prefix).
+    fn schema(&self) -> &TableSchema;
+    /// Snapshot the backing source into rows, in provider-chosen order.
+    fn rows(&self, db: &Database) -> Vec<Row>;
+}
 
 /// An in-memory database: the catalog plus all table data.
 ///
 /// `BTreeMap` keeps iteration deterministic, which matters for the size
 /// accounting experiments (Table 1 / Figure 6 of the paper) and for
 /// reproducible test output.
-#[derive(Debug, Default, Clone)]
+#[derive(Default, Clone)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    /// `sys.*` providers. `Arc`-shared: cloning a `Database` clones the
+    /// registrations, and providers that capture shared state (the
+    /// global metrics registry, an `Arc<Mutex<PlanCache>>`) keep
+    /// pointing at the live source.
+    virtuals: BTreeMap<String, Arc<dyn VirtualTable>>,
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.tables)
+            .field("virtuals", &self.virtuals.keys().collect::<Vec<_>>())
+            .finish()
+    }
 }
 
 impl Database {
@@ -23,6 +60,11 @@ impl Database {
     /// Create a table from its schema.
     pub fn create_table(&mut self, schema: TableSchema) -> Result<&mut Table> {
         let name = schema.name().to_string();
+        if name.starts_with(SYS_PREFIX) {
+            return Err(StorageError::ReservedName(format!(
+                "cannot create table `{name}`: the `{SYS_PREFIX}` namespace is reserved for system tables"
+            )));
+        }
         if self.tables.contains_key(&name) {
             return Err(StorageError::TableExists(name));
         }
@@ -32,9 +74,38 @@ impl Database {
 
     /// Drop a table; returns it if present.
     pub fn drop_table(&mut self, name: &str) -> Result<Table> {
+        if name.starts_with(SYS_PREFIX) {
+            return Err(StorageError::ReservedName(format!(
+                "cannot drop `{name}`: system tables are read-only"
+            )));
+        }
         self.tables
             .remove(name)
             .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    /// Register (or re-register) a `sys.*` virtual-table provider.
+    /// Overwriting is allowed so `\open` can re-point providers at the
+    /// freshly recovered store's plan cache / slowlog handles.
+    pub fn register_virtual(&mut self, provider: Arc<dyn VirtualTable>) {
+        let name = provider.schema().name().to_string();
+        debug_assert!(name.starts_with(SYS_PREFIX), "virtual table outside sys.");
+        self.virtuals.insert(name, provider);
+    }
+
+    /// Look up a virtual table by name.
+    pub fn virtual_table(&self, name: &str) -> Option<&Arc<dyn VirtualTable>> {
+        self.virtuals.get(name)
+    }
+
+    /// True when `name` is a registered virtual table.
+    pub fn is_virtual(&self, name: &str) -> bool {
+        self.virtuals.contains_key(name)
+    }
+
+    /// Names of all registered virtual tables, sorted.
+    pub fn virtual_names(&self) -> Vec<&str> {
+        self.virtuals.keys().map(|s| s.as_str()).collect()
     }
 
     pub fn table(&self, name: &str) -> Result<&Table> {
@@ -124,6 +195,49 @@ mod tests {
         db.table_mut("E").unwrap().insert(row![0, 1, 1]).unwrap();
         assert_eq!(db.total_tuples(), 3);
         assert_eq!(db.table_sizes(), vec![("E", 1), ("U", 2)]);
+    }
+
+    #[test]
+    fn sys_prefix_is_reserved() {
+        let mut db = Database::new();
+        assert!(matches!(
+            db.create_table(TableSchema::with_key("sys.hack", &["a"])),
+            Err(StorageError::ReservedName(_))
+        ));
+        assert!(matches!(
+            db.drop_table("sys.metrics"),
+            Err(StorageError::ReservedName(_))
+        ));
+    }
+
+    #[test]
+    fn virtual_registration_and_lookup() {
+        struct Fixed(TableSchema);
+        impl VirtualTable for Fixed {
+            fn schema(&self) -> &TableSchema {
+                &self.0
+            }
+            fn rows(&self, _db: &Database) -> Vec<Row> {
+                vec![row![1, 2]]
+            }
+        }
+        let mut db = Database::new();
+        db.register_virtual(Arc::new(Fixed(TableSchema::keyless(
+            "sys.demo",
+            &["a", "b"],
+        ))));
+        assert!(db.is_virtual("sys.demo"));
+        assert!(!db.is_virtual("demo"));
+        assert_eq!(db.virtual_names(), vec!["sys.demo"]);
+        let vt = db.virtual_table("sys.demo").unwrap();
+        assert_eq!(vt.rows(&db), vec![row![1, 2]]);
+        // Base-table views are unaffected by virtual registrations.
+        assert!(!db.has_table("sys.demo"));
+        assert!(db.table("sys.demo").is_err());
+        assert!(db.table_names().is_empty());
+        // Clones share the registration.
+        let clone = db.clone();
+        assert!(clone.is_virtual("sys.demo"));
     }
 
     #[test]

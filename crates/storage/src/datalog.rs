@@ -145,6 +145,22 @@ impl PlanCache {
             .collect()
     }
 
+    /// True when `program` reads (or derives into) any registered
+    /// virtual (`sys.*`) relation. Such programs must never be cached:
+    /// virtual rows are scan-time snapshots with no version counter, so
+    /// [`PlanCache::read_versions`] cannot represent them and a cached
+    /// entry would silently serve stale introspection data. All cached
+    /// entry points check this and fall back to direct evaluation.
+    pub fn program_reads_virtual(db: &Database, program: &Program) -> bool {
+        program.rules.iter().any(|rule| {
+            db.is_virtual(&rule.head.relation)
+                || rule.body.iter().any(|lit| match lit {
+                    BodyLit::Pos(a) | BodyLit::Neg(a) => db.is_virtual(&a.relation),
+                    _ => false,
+                })
+        })
+    }
+
     /// Cached answer plans for `key`, if present and planned at exactly
     /// these table versions. Counts a hit or miss.
     pub fn lookup(&mut self, key: &str, versions: &[(String, u64)]) -> Option<Arc<Vec<Plan>>> {
@@ -1009,7 +1025,11 @@ impl<'a> Evaluator<'a> {
         program: &Program,
         cache: &mut PlanCache,
     ) -> Result<Option<String>> {
-        if !self.derived.is_empty() || self.optimizer.is_none() || program_recursive(program) {
+        if !self.derived.is_empty()
+            || self.optimizer.is_none()
+            || program_recursive(program)
+            || PlanCache::program_reads_virtual(self.db, program)
+        {
             return self.run(program);
         }
         let key = program.to_string();
@@ -1265,6 +1285,12 @@ impl<'a> Evaluator<'a> {
         if self.db.has_table(&rule.head.relation) {
             return Err(StorageError::DatalogError(format!(
                 "cannot derive into base table `{}`",
+                rule.head.relation
+            )));
+        }
+        if self.db.is_virtual(&rule.head.relation) {
+            return Err(StorageError::ReservedName(format!(
+                "cannot derive into system table `{}`",
                 rule.head.relation
             )));
         }

@@ -45,6 +45,9 @@ pub enum StorageError {
     /// On-disk state failed validation during recovery (bad magic, CRC
     /// mismatch beyond the torn tail, truncated snapshot, LSN gap).
     Corrupt(String),
+    /// The name is reserved for system objects (the `sys.` namespace) or
+    /// the operation is not supported on a virtual system table.
+    ReservedName(String),
 }
 
 impl fmt::Display for StorageError {
@@ -85,6 +88,7 @@ impl fmt::Display for StorageError {
             StorageError::DatalogError(msg) => write!(f, "datalog error: {msg}"),
             StorageError::Io(msg) => write!(f, "io error: {msg}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt durable state: {msg}"),
+            StorageError::ReservedName(msg) => write!(f, "reserved system name: {msg}"),
         }
     }
 }

@@ -100,12 +100,17 @@ pub fn execute_materialized(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
 
 fn run(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
     match plan {
-        Plan::Scan { table } => Ok(db.table(table)?.scan()),
+        Plan::Scan { table } => match db.table(table) {
+            Ok(t) => Ok(t.scan()),
+            // Virtual (`sys.*`) relation: snapshot the provider's rows.
+            Err(e) => db.virtual_table(table).map(|vt| vt.rows(db)).ok_or(e),
+        },
         Plan::Selection { input, predicate } => {
             if let Plan::Scan { table } = input.as_ref() {
-                let t = db.table(table)?;
-                if let Some(rows) = try_index_selection(t, predicate)? {
-                    return Ok(rows);
+                if let Ok(t) = db.table(table) {
+                    if let Some(rows) = try_index_selection(t, predicate)? {
+                        return Ok(rows);
+                    }
                 }
             }
             let rows = run(db, input)?;
@@ -181,15 +186,7 @@ fn run(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
         Plan::Values { rows, .. } => Ok(rows.clone()),
         Plan::Sort { input, by } => {
             let mut rows = run(db, input)?;
-            rows.sort_by(|a, b| {
-                for &c in by {
-                    let ord = a[c].cmp(&b[c]);
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
+            rows.sort_by(|a, b| spill::cmp_by(by, a, b));
             Ok(rows)
         }
         Plan::Limit { input, n } => {
@@ -226,7 +223,11 @@ fn try_index_join(
         },
         _ => return Ok(None),
     };
-    let table = db.table(table_name)?;
+    let Ok(table) = db.table(table_name) else {
+        // Virtual relation (or resolution error): no index to probe; the
+        // generic join path will re-resolve and report any real error.
+        return Ok(None);
+    };
     // Heuristic: probing must beat building a hash table over the base
     // table (which also clones every row).
     if lrows.len().saturating_mul(4) > table.len().max(1) {

@@ -63,19 +63,24 @@ fn collect(iter: BoxRowIter<'_>) -> Result<Vec<Row>> {
 
 fn open_node<'a>(db: &'a Database, plan: &'a Plan) -> Result<BoxRowIter<'a>> {
     match plan {
-        Plan::Scan { table } => {
-            let t = db.table(table)?;
-            Ok(Box::new(t.iter().map(|(_, r)| Ok(r.clone()))))
-        }
+        Plan::Scan { table } => match db.table(table) {
+            Ok(t) => Ok(Box::new(t.iter().map(|(_, r)| Ok(r.clone())))),
+            // Virtual (`sys.*`) relation: snapshot the provider's rows.
+            Err(e) => match db.virtual_table(table) {
+                Some(vt) => Ok(Box::new(vt.rows(db).into_iter().map(Ok))),
+                None => Err(e),
+            },
+        },
         Plan::Values { rows, .. } => Ok(Box::new(rows.iter().map(|r| Ok(r.clone())))),
         Plan::Selection { input, predicate } => {
             // Index access path: a selection directly over a scan whose
             // predicate pins indexed columns fetches candidates through
             // the index (a small, already-filtered set).
             if let Plan::Scan { table } = input.as_ref() {
-                let t = db.table(table)?;
-                if let Some(rows) = try_index_selection(t, predicate)? {
-                    return Ok(Box::new(rows.into_iter().map(Ok)));
+                if let Ok(t) = db.table(table) {
+                    if let Some(rows) = try_index_selection(t, predicate)? {
+                        return Ok(Box::new(rows.into_iter().map(Ok)));
+                    }
                 }
             }
             let input = open_node(db, input)?;
@@ -140,15 +145,7 @@ fn open_node<'a>(db: &'a Database, plan: &'a Plan) -> Result<BoxRowIter<'a>> {
         Plan::Sort { input, by } => {
             // Materialization point.
             let mut rows = collect(open_node(db, input)?)?;
-            rows.sort_by(|a, b| {
-                for &c in by {
-                    let ord = a[c].cmp(&b[c]);
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
+            rows.sort_by(|a, b| super::spill::cmp_by(by, a, b));
             Ok(Box::new(rows.into_iter().map(Ok)))
         }
         Plan::Limit { input, n } => {
@@ -182,7 +179,9 @@ fn open_join<'a>(
     residual: Option<&'a Expr>,
 ) -> Result<BoxRowIter<'a>> {
     if !on.is_empty() {
-        if let Some((table_name, pred)) = base_access(right) {
+        // Base tables only: virtual (`sys.*`) relations have no indexes,
+        // so they take the generic hash-join path below.
+        if let Some((table_name, pred)) = base_access(right).filter(|(n, _)| db.has_table(n)) {
             let table = db.table(table_name)?;
             let rcols: Vec<usize> = on.iter().map(|&(_, rc)| rc).collect();
             let pk_path = table.schema().key_column() == Some(0) && rcols == [0];

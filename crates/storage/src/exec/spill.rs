@@ -88,7 +88,7 @@ use crate::expr::Expr;
 use crate::obs::metrics::{metrics, Metric};
 use crate::obs::profile::{bump, raise, ProfNode};
 use crate::persist::format::{crc32, Dec, Enc};
-use crate::plan::{Agg, Plan};
+use crate::plan::{Agg, Plan, SortKey};
 use crate::row::Row;
 use crate::value::Value;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -378,6 +378,8 @@ impl RunFile {
         w.write_all(&(payload.len() as u32).to_le_bytes())?;
         w.write_all(&crc32(payload).to_le_bytes())?;
         w.write_all(payload)?;
+        // Global spill accounting: payload plus the 8-byte len+crc frame.
+        metrics().add(Metric::SpillBytes, payload.len() as u64 + 8);
         Ok(())
     }
 
@@ -721,11 +723,11 @@ fn new_partitions(dir: &Path, prof: &SpillProf) -> Result<Vec<RunFile>> {
 // ---------------------------------------------------------------------------
 
 /// The sort comparator shared with the in-memory `Plan::Sort` path.
-pub(crate) fn cmp_by(by: &[usize], a: &Row, b: &Row) -> std::cmp::Ordering {
-    for &c in by {
-        let ord = a[c].cmp(&b[c]);
+pub(crate) fn cmp_by(by: &[SortKey], a: &Row, b: &Row) -> std::cmp::Ordering {
+    for k in by {
+        let ord = a[k.col].cmp(&b[k.col]);
         if ord != std::cmp::Ordering::Equal {
-            return ord;
+            return if k.desc { ord.reverse() } else { ord };
         }
     }
     std::cmp::Ordering::Equal
@@ -738,7 +740,7 @@ pub(crate) fn cmp_by(by: &[usize], a: &Row, b: &Row) -> std::cmp::Ordering {
 /// identical either way.
 pub(crate) fn external_sort<'a>(
     input: impl Iterator<Item = Result<super::Chunk>> + 'a,
-    by: &'a [usize],
+    by: &'a [SortKey],
     budget: usize,
     dir: &Path,
     batch: usize,
@@ -846,11 +848,11 @@ struct MergeState {
     _runs: Vec<RunFile>,
     readers: Vec<RunReader>,
     heads: Vec<Option<Row>>,
-    by: Vec<usize>,
+    by: Vec<SortKey>,
 }
 
 impl MergeState {
-    fn open(mut runs: Vec<RunFile>, by: Vec<usize>) -> Result<MergeState> {
+    fn open(mut runs: Vec<RunFile>, by: Vec<SortKey>) -> Result<MergeState> {
         let mut readers = Vec::with_capacity(runs.len());
         for run in &mut runs {
             readers.push(run.reader()?);

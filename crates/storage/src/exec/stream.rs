@@ -1081,13 +1081,27 @@ fn open_node<'a>(
     // plan-child index (left = 0, right = 1, union input = i); the
     // profile renderer walks plan and profile in slot lockstep.
     let iter: BoxChunkIter<'a> = match plan {
-        Plan::Scan { table } => {
-            let t = db.table(table)?;
-            match batch.layout {
-                ChunkLayout::Columnar => chunked_cols(t.columnar(), batch.effective),
-                ChunkLayout::Rows => chunked_refs(t.iter().map(|(_, r)| r), batch.effective),
+        Plan::Scan { table } => match db.table(table) {
+            Ok(t) => {
+                t.note_seq_scan(t.len() as u64);
+                match batch.layout {
+                    ChunkLayout::Columnar => chunked_cols(t.columnar(), batch.effective),
+                    ChunkLayout::Rows => chunked_refs(t.iter().map(|(_, r)| r), batch.effective),
+                }
             }
-        }
+            // Virtual (`sys.*`) relation: snapshot the provider's rows
+            // into a ColumnSet at open time and stream it through the
+            // same chunked path as a base-table scan.
+            Err(e) => {
+                let Some(vt) = db.virtual_table(table) else {
+                    return Err(e);
+                };
+                let rows = vt.rows(db);
+                let refs: Vec<&Row> = rows.iter().collect();
+                let set = Arc::new(ColumnSet::from_rows(vt.schema().arity(), &refs));
+                chunked_cols(set, batch.effective)
+            }
+        },
         Plan::Values { rows, .. } => chunked_refs(rows.iter(), batch.effective),
         Plan::Selection { input, predicate } => {
             open_selection(db, input, predicate, batch, spill, obs)?
@@ -1295,71 +1309,74 @@ fn open_selection<'a>(
 ) -> Result<BoxChunkIter<'a>> {
     // Index access path: a selection directly over a scan whose predicate
     // pins indexed columns fetches candidates through the index (a small,
-    // already-filtered set).
+    // already-filtered set). Virtual (`sys.*`) scans have no indexes or
+    // columnar cache: they fall through to the generic path below.
     if let Plan::Scan { table } = input {
-        let t = db.table(table)?;
-        if let Some(rows) = try_index_selection(t, predicate)? {
-            if let Some(n) = obs.node() {
-                bump(&n.rows_in, rows.len() as u64);
+        if let Ok(t) = db.table(table) {
+            if let Some(rows) = try_index_selection(t, predicate)? {
+                if let Some(n) = obs.node() {
+                    bump(&n.rows_in, rows.len() as u64);
+                }
+                return Ok(chunked_owned(rows, batch.effective));
             }
-            return Ok(chunked_owned(rows, batch.effective));
-        }
-        // Filter-over-scan fusion. Columnar layout: slice the table's
-        // column vectors into windows and run the kernel's
-        // selection-vector passes over primitive slices — no row is
-        // cloned or materialized anywhere, survivors included. Row
-        // layout (the previous executor, kept for benchmarking): test
-        // table rows *by reference* and clone only the survivors.
-        if let Some(kernel) = FilterKernel::compile(predicate) {
-            let prof = obs.spill_prof();
-            match batch.layout {
-                ChunkLayout::Columnar => {
-                    return Ok(Box::new(
-                        chunked_cols(t.columnar(), batch.effective).filter_map(move |item| {
-                            match item {
-                                Ok(mut chunk) => {
-                                    if let Some(n) = &prof {
-                                        bump(&n.rows_in, chunk.len() as u64);
-                                        bump(&n.kernel_rows, chunk.len() as u64);
+            t.note_seq_scan(t.len() as u64);
+            // Filter-over-scan fusion. Columnar layout: slice the table's
+            // column vectors into windows and run the kernel's
+            // selection-vector passes over primitive slices — no row is
+            // cloned or materialized anywhere, survivors included. Row
+            // layout (the previous executor, kept for benchmarking): test
+            // table rows *by reference* and clone only the survivors.
+            if let Some(kernel) = FilterKernel::compile(predicate) {
+                let prof = obs.spill_prof();
+                match batch.layout {
+                    ChunkLayout::Columnar => {
+                        return Ok(Box::new(
+                            chunked_cols(t.columnar(), batch.effective).filter_map(move |item| {
+                                match item {
+                                    Ok(mut chunk) => {
+                                        if let Some(n) = &prof {
+                                            bump(&n.rows_in, chunk.len() as u64);
+                                            bump(&n.kernel_rows, chunk.len() as u64);
+                                        }
+                                        kernel.filter_chunk(&mut chunk);
+                                        if chunk.is_empty() {
+                                            chunk.recycle();
+                                            return None;
+                                        }
+                                        Some(Ok(chunk))
                                     }
-                                    kernel.filter_chunk(&mut chunk);
-                                    if chunk.is_empty() {
-                                        chunk.recycle();
-                                        return None;
-                                    }
-                                    Some(Ok(chunk))
+                                    Err(e) => Some(Err(e)),
                                 }
-                                Err(e) => Some(Err(e)),
-                            }
-                        }),
-                    ));
-                }
-                ChunkLayout::Rows => {
-                    return Ok(chunked_refs(
-                        t.iter().map(|(_, r)| r).filter(move |r| {
-                            if let Some(n) = &prof {
-                                bump(&n.rows_in, 1);
-                                bump(&n.kernel_rows, 1);
-                            }
-                            kernel.test(r)
-                        }),
-                        batch.effective,
-                    ));
+                            }),
+                        ));
+                    }
+                    ChunkLayout::Rows => {
+                        return Ok(chunked_refs(
+                            t.iter().map(|(_, r)| r).filter(move |r| {
+                                if let Some(n) = &prof {
+                                    bump(&n.rows_in, 1);
+                                    bump(&n.kernel_rows, 1);
+                                }
+                                kernel.test(r)
+                            }),
+                            batch.effective,
+                        ));
+                    }
                 }
             }
+            let refs = t.iter().map(|(_, r)| r);
+            let prof = obs.spill_prof();
+            return Ok(filtered_ref_scan(
+                refs.inspect(move |_| {
+                    if let Some(n) = &prof {
+                        bump(&n.rows_in, 1);
+                        bump(&n.fallback_rows, 1);
+                    }
+                }),
+                predicate,
+                batch.effective,
+            ));
         }
-        let refs = t.iter().map(|(_, r)| r);
-        let prof = obs.spill_prof();
-        return Ok(filtered_ref_scan(
-            refs.inspect(move |_| {
-                if let Some(n) = &prof {
-                    bump(&n.rows_in, 1);
-                    bump(&n.fallback_rows, 1);
-                }
-            }),
-            predicate,
-            batch.effective,
-        ));
     }
     let input = open_node(db, input, batch, spill, &obs.child(0))?;
     if let Some(kernel) = FilterKernel::compile(predicate) {
@@ -1756,7 +1773,9 @@ fn open_join<'a>(
     obs: &NodeObs,
 ) -> Result<BoxChunkIter<'a>> {
     if !on.is_empty() {
-        if let Some((table_name, pred)) = base_access(right) {
+        // Base tables only: virtual (`sys.*`) relations have no indexes,
+        // so they take the generic hash-join path below.
+        if let Some((table_name, pred)) = base_access(right).filter(|(n, _)| db.has_table(n)) {
             let table = db.table(table_name)?;
             let rcols: Vec<usize> = on.iter().map(|&(_, rc)| rc).collect();
             let pk_path = table.schema().key_column() == Some(0) && rcols == [0];

@@ -50,7 +50,7 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
-pub use catalog::Database;
+pub use catalog::{Database, VirtualTable, SYS_PREFIX};
 pub use column::{Bitmap, Column, ColumnSet};
 pub use error::{Result, StorageError};
 pub use exec::{
@@ -62,10 +62,11 @@ pub use expr::{CmpOp, Expr};
 pub use index::RowId;
 pub use obs::{
     metrics, Metric, MetricsSnapshot, Profile, QueryTrace, Recorder, SlowLog, SpanRecord,
+    StatementObs, StatementStats,
 };
 pub use opt::{optimize, optimize_with, OptimizerOptions, StatsCatalog};
 pub use persist::{PersistEngine, PersistOptions, WalStats};
-pub use plan::{Agg, Plan};
+pub use plan::{Agg, Plan, SortKey};
 pub use row::{Projector, Row};
 pub use schema::{ColumnDef, KeyMode, TableSchema};
 pub use table::Table;

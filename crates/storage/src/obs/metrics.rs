@@ -47,10 +47,12 @@ pub enum Metric {
     /// Columnar chunks produced by leaf scans (table-storage windows
     /// sliced without cloning rows).
     ColumnarChunks,
+    /// Bytes written to spill run files (framed block payloads).
+    SpillBytes,
 }
 
 impl Metric {
-    pub const ALL: [Metric; 13] = [
+    pub const ALL: [Metric; 14] = [
         Metric::QueriesExecuted,
         Metric::PlanCacheHits,
         Metric::PlanCacheMisses,
@@ -64,6 +66,7 @@ impl Metric {
         Metric::RowsEmitted,
         Metric::SlowQueries,
         Metric::ColumnarChunks,
+        Metric::SpillBytes,
     ];
 
     const COUNT: usize = Metric::ALL.len();
@@ -84,6 +87,7 @@ impl Metric {
             Metric::RowsEmitted => "exec.rows_emitted",
             Metric::SlowQueries => "slowlog.captured",
             Metric::ColumnarChunks => "exec.columnar_chunks",
+            Metric::SpillBytes => "spill.bytes",
         }
     }
 }
@@ -227,6 +231,20 @@ impl MetricsSnapshot {
         1u64 << BUCKETS
     }
 
+    /// Number of latency-histogram buckets (bucket `i` covers
+    /// `[2^i, 2^(i+1))` nanoseconds).
+    pub const LATENCY_BUCKETS: usize = BUCKETS;
+
+    /// Samples in latency bucket `i` (see [`MetricsSnapshot::LATENCY_BUCKETS`]).
+    pub fn latency_bucket(&self, i: usize) -> u64 {
+        self.latency_buckets[i]
+    }
+
+    /// Total measured query latency in nanoseconds.
+    pub fn latency_sum_nanos(&self) -> u64 {
+        self.latency_sum_nanos
+    }
+
     /// `self - older`, counter-wise (saturating): the per-interval view.
     pub fn since(&self, older: &MetricsSnapshot) -> MetricsSnapshot {
         let mut out = self.clone();
@@ -243,6 +261,42 @@ impl MetricsSnapshot {
             .saturating_sub(older.latency_sum_nanos);
         out
     }
+}
+
+/// Render a snapshot in the Prometheus text exposition format (the
+/// future server's `/metrics` endpoint body): one `counter` family per
+/// [`Metric`] (dots in the stable name become underscores, prefixed
+/// `beliefdb_`) plus the query-latency histogram as a cumulative
+/// `histogram` family in seconds.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in snap.counters() {
+        let prom = format!("beliefdb_{}", name.replace('.', "_"));
+        out.push_str(&format!("# TYPE {prom} counter\n{prom} {value}\n"));
+    }
+    out.push_str("# TYPE beliefdb_query_latency_seconds histogram\n");
+    let mut cumulative = 0u64;
+    for i in 0..MetricsSnapshot::LATENCY_BUCKETS {
+        cumulative += snap.latency_bucket(i);
+        // Upper bound of bucket i is 2^(i+1) ns, rendered in seconds.
+        let le = (1u128 << (i + 1)) as f64 * 1e-9;
+        out.push_str(&format!(
+            "beliefdb_query_latency_seconds_bucket{{le=\"{le:e}\"}} {cumulative}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "beliefdb_query_latency_seconds_bucket{{le=\"+Inf\"}} {}\n",
+        snap.latency_count()
+    ));
+    out.push_str(&format!(
+        "beliefdb_query_latency_seconds_sum {:e}\n",
+        snap.latency_sum_nanos() as f64 * 1e-9
+    ));
+    out.push_str(&format!(
+        "beliefdb_query_latency_seconds_count {}\n",
+        snap.latency_count()
+    ));
+    out
 }
 
 #[cfg(test)]
@@ -275,6 +329,65 @@ mod tests {
         assert!(delta.latency_quantile_nanos(0.5) >= 1_024);
         assert!(delta.latency_quantile_nanos(0.5) <= 2_048);
         assert!(delta.latency_quantile_nanos(1.0) >= 1 << 20);
+    }
+
+    #[test]
+    fn prometheus_rendering_round_trips() {
+        metrics().incr(Metric::QueriesExecuted);
+        metrics().record_latency(1_000_000);
+        let snap = metrics().snapshot();
+        let text = render_prometheus(&snap);
+
+        // Parse the exposition text back: `name{labels} value` lines.
+        let mut counters: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+        let mut buckets: Vec<(f64, u64)> = Vec::new();
+        let mut hist_count = None;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line.rsplit_once(' ').expect("metric line");
+            if let Some(rest) = key.strip_prefix("beliefdb_query_latency_seconds_bucket{le=\"") {
+                let le = rest.trim_end_matches("\"}");
+                let bound = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse::<f64>().expect("bucket bound")
+                };
+                buckets.push((bound, value.parse().expect("bucket count")));
+            } else if key == "beliefdb_query_latency_seconds_count" {
+                hist_count = Some(value.parse::<u64>().expect("count"));
+            } else if key == "beliefdb_query_latency_seconds_sum" {
+                assert!(value.parse::<f64>().expect("sum") >= 0.0);
+            } else {
+                counters.insert(key, value.parse().expect("counter value"));
+            }
+        }
+
+        // Every Metric round-trips by its prometheus name and value.
+        assert_eq!(counters.len(), Metric::ALL.len());
+        for m in Metric::ALL {
+            let prom = format!("beliefdb_{}", m.name().replace('.', "_"));
+            assert_eq!(counters.get(prom.as_str()), Some(&snap.get(m)), "{prom}");
+        }
+        // Histogram: bounds ascend, counts are cumulative, +Inf == count.
+        assert_eq!(buckets.len(), MetricsSnapshot::LATENCY_BUCKETS + 1);
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        assert_eq!(hist_count, Some(snap.latency_count()));
+        assert_eq!(buckets.last().expect("+Inf").1, snap.latency_count());
+        // The cumulative count at each bound matches the snapshot.
+        let mut cumulative = 0;
+        for (i, bucket) in buckets
+            .iter()
+            .enumerate()
+            .take(MetricsSnapshot::LATENCY_BUCKETS)
+        {
+            cumulative += snap.latency_bucket(i);
+            assert_eq!(bucket.1, cumulative);
+        }
     }
 
     #[test]

@@ -20,10 +20,27 @@
 //!   ring-buffer slow-query log ([`SlowLog`]) that captures the full
 //!   profile of any query whose wall time crosses a settable threshold.
 
+//! * [`statements`] — fingerprinted cumulative statement statistics
+//!   (the `pg_stat_statements` idea): literals stripped, text hashed,
+//!   per-fingerprint totals in a bounded sharded map.
+//! * [`catalog`] — `sys.*` virtual-table providers exposing all of the
+//!   above (plus the base-table catalog, plan cache, and WAL) as
+//!   ordinary relations queryable through the engine itself.
+
+pub mod catalog;
 pub mod metrics;
 pub mod profile;
+pub mod statements;
 pub mod trace;
 
-pub use metrics::{metrics, Metric, MetricsSnapshot};
+pub use catalog::{
+    metrics_table, plan_cache_table, slowlog_table, statements_table, tables_table, wal_table,
+    FnTable,
+};
+pub use metrics::{metrics, render_prometheus, Metric, MetricsSnapshot};
 pub use profile::{NodeObs, ProfNode, Profile};
+pub use statements::{
+    clear_statements, fingerprint, normalize_statement, note_statement_peak, record_statement,
+    set_statements_enabled, statements_enabled, statements_snapshot, StatementObs, StatementStats,
+};
 pub use trace::{QueryTrace, Recorder, SlowLog, SpanRecord};

@@ -1,0 +1,409 @@
+//! Cumulative per-statement statistics keyed by query fingerprint
+//! (the `pg_stat_statements` idea, scoped to BeliefSQL).
+//!
+//! Every statement text is **normalized** — string and integer literals
+//! become `?`, whitespace runs collapse to one space, ASCII letters
+//! lowercase — and hashed (FNV-1a) into a stable 64-bit fingerprint, so
+//! `select * from T where a = 1` and `SELECT * FROM T WHERE a = 2`
+//! accumulate into one row. Stats live in a bounded sharded map; when a
+//! shard fills, the entry with the fewest calls (ties broken by least
+//! total time) is evicted, so hot statements survive churn.
+//!
+//! Discipline mirrors the metrics registry: the registry is
+//! process-wide, and the **disabled path is allocation-free** — one
+//! relaxed atomic load and out. The enabled steady state is also
+//! allocation-free: [`fingerprint`] streams normalized bytes into the
+//! hasher without building a string, and the normalized text is only
+//! materialized the first time a fingerprint is seen.
+//! `tests/obs_overhead.rs` guards both properties with a counting
+//! allocator.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Shard count for the statement map (fingerprint-keyed).
+const SHARDS: usize = 8;
+
+/// Entries per shard before least-calls eviction (process-wide cap is
+/// `SHARDS * SHARD_CAP` fingerprints).
+const SHARD_CAP: usize = 64;
+
+/// Cumulative statistics for one statement fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatementStats {
+    /// FNV-1a hash of the normalized statement text.
+    pub fingerprint: u64,
+    /// The normalized statement (literals replaced by `?`).
+    pub statement: String,
+    /// Executions observed (including failed ones).
+    pub calls: u64,
+    /// Executions that returned an error.
+    pub errors: u64,
+    /// Total wall time across calls, nanoseconds.
+    pub total_ns: u64,
+    /// Fastest call, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest call, nanoseconds.
+    pub max_ns: u64,
+    /// Rows returned across calls (0 for DML).
+    pub rows: u64,
+    /// Plan-cache hits attributed to this statement's calls.
+    pub cache_hits: u64,
+    /// Plan-cache misses attributed to this statement's calls.
+    pub cache_misses: u64,
+    /// Spill bytes written during this statement's calls.
+    pub spill_bytes: u64,
+    /// Largest peak-buffered-bytes figure observed for a call (only
+    /// populated when the call ran with profiling on, e.g. while the
+    /// slow-query log is armed).
+    pub peak_buffered: u64,
+}
+
+impl StatementStats {
+    /// Mean wall time per call, nanoseconds.
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.calls).unwrap_or(0)
+    }
+}
+
+/// One observed execution, as recorded by [`record_statement`].
+/// Counter fields are the *delta* attributed to this call (the session
+/// computes them from metrics snapshots bracketing the execution, so
+/// under concurrency the attribution is approximate — documented in
+/// `docs/observability.md`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatementObs {
+    pub wall_ns: u64,
+    pub rows: u64,
+    pub error: bool,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub spill_bytes: u64,
+    pub peak_buffered: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+fn registry() -> &'static [Mutex<HashMap<u64, StatementStats>>; SHARDS] {
+    static REGISTRY: OnceLock<[Mutex<HashMap<u64, StatementStats>>; SHARDS]> = OnceLock::new();
+    REGISTRY.get_or_init(|| std::array::from_fn(|_| Mutex::new(HashMap::new())))
+}
+
+/// Whether statement tracking is on (the default). One relaxed load.
+#[inline]
+pub fn statements_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Toggle statement tracking process-wide (`\set statements on|off`).
+/// Existing stats are kept; disable + [`clear_statements`] to reset.
+pub fn set_statements_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Stream the normalized form of `sql` into `emit`, byte by byte,
+/// without allocating: string literals (`'...'`, with `''` escapes) and
+/// integer literals become `?`, whitespace runs collapse to a single
+/// space (leading/trailing trimmed), ASCII uppercase lowercases.
+fn fold_normalized(sql: &str, mut emit: impl FnMut(u8)) {
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    let mut pending_space = false;
+    let mut emitted_any = false;
+    // True when the previous source byte continued an identifier, so a
+    // digit belongs to a name (`x1`), not a literal.
+    let mut prev_ident = false;
+    let space_then = |emitted_any: &mut bool, pending: &mut bool, emit: &mut dyn FnMut(u8)| {
+        if *pending && *emitted_any {
+            emit(b' ');
+        }
+        *pending = false;
+    };
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\'' {
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == b'\'' {
+                    if bytes.get(i + 1) == Some(&b'\'') {
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            space_then(&mut emitted_any, &mut pending_space, &mut emit);
+            emit(b'?');
+            emitted_any = true;
+            prev_ident = false;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            pending_space = true;
+            prev_ident = false;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_digit() && !prev_ident {
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            space_then(&mut emitted_any, &mut pending_space, &mut emit);
+            emit(b'?');
+            emitted_any = true;
+            prev_ident = true;
+            continue;
+        }
+        space_then(&mut emitted_any, &mut pending_space, &mut emit);
+        emit(c.to_ascii_lowercase());
+        emitted_any = true;
+        prev_ident = c.is_ascii_alphanumeric() || c == b'_';
+        i += 1;
+    }
+}
+
+/// The normalized statement text (allocates; used only on first sight
+/// of a fingerprint and in tests).
+pub fn normalize_statement(sql: &str) -> String {
+    let mut out = Vec::with_capacity(sql.len());
+    fold_normalized(sql, |b| out.push(b));
+    String::from_utf8(out)
+        .expect("normalization preserves UTF-8: multi-byte sequences pass through")
+}
+
+/// The stable fingerprint of `sql`: FNV-1a over the normalized bytes.
+/// Allocation-free — bytes stream straight into the hasher.
+pub fn fingerprint(sql: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fold_normalized(sql, |b| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    });
+    h
+}
+
+/// Fold one execution into the registry. No-op (one atomic load) when
+/// tracking is disabled; allocation-free for already-seen fingerprints.
+pub fn record_statement(sql: &str, obs: StatementObs) {
+    if !statements_enabled() {
+        return;
+    }
+    let fp = fingerprint(sql);
+    let shard = &registry()[(fp as usize) % SHARDS];
+    let mut map = shard.lock().expect("statement shard poisoned");
+    if let Some(entry) = map.get_mut(&fp) {
+        merge(entry, &obs);
+        return;
+    }
+    if map.len() >= SHARD_CAP {
+        // Bounded map: drop the coldest entry (fewest calls, then least
+        // total time) to admit the newcomer.
+        let victim = map
+            .values()
+            .min_by_key(|e| (e.calls, e.total_ns))
+            .map(|e| e.fingerprint)
+            .expect("shard at cap is non-empty");
+        map.remove(&victim);
+    }
+    let mut entry = StatementStats {
+        fingerprint: fp,
+        statement: normalize_statement(sql),
+        calls: 0,
+        errors: 0,
+        total_ns: 0,
+        min_ns: u64::MAX,
+        max_ns: 0,
+        rows: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        spill_bytes: 0,
+        peak_buffered: 0,
+    };
+    merge(&mut entry, &obs);
+    map.insert(fp, entry);
+}
+
+fn merge(entry: &mut StatementStats, obs: &StatementObs) {
+    entry.calls += 1;
+    entry.errors += obs.error as u64;
+    entry.total_ns += obs.wall_ns;
+    entry.min_ns = entry.min_ns.min(obs.wall_ns);
+    entry.max_ns = entry.max_ns.max(obs.wall_ns);
+    entry.rows += obs.rows;
+    entry.cache_hits += obs.cache_hits;
+    entry.cache_misses += obs.cache_misses;
+    entry.spill_bytes += obs.spill_bytes;
+    entry.peak_buffered = entry.peak_buffered.max(obs.peak_buffered);
+}
+
+/// Raise an existing entry's peak-buffered high-water mark (profiled
+/// runs report it after the fact). Unknown fingerprints are ignored.
+pub fn note_statement_peak(sql: &str, peak_bytes: u64) {
+    if !statements_enabled() {
+        return;
+    }
+    let fp = fingerprint(sql);
+    let mut map = registry()[(fp as usize) % SHARDS]
+        .lock()
+        .expect("statement shard poisoned");
+    if let Some(entry) = map.get_mut(&fp) {
+        entry.peak_buffered = entry.peak_buffered.max(peak_bytes);
+    }
+}
+
+/// A point-in-time copy of every tracked statement, sorted by
+/// fingerprint (deterministic; consumers re-sort as needed — this is
+/// what a `sys.statements` scan snapshots).
+pub fn statements_snapshot() -> Vec<StatementStats> {
+    let mut out: Vec<StatementStats> = Vec::new();
+    for shard in registry() {
+        let map = shard.lock().expect("statement shard poisoned");
+        out.extend(map.values().cloned());
+    }
+    out.sort_by_key(|e| e.fingerprint);
+    out
+}
+
+/// Drop every tracked statement (tests, `\statements clear`). The
+/// enabled flag is unchanged.
+pub fn clear_statements() {
+    for shard in registry() {
+        shard.lock().expect("statement shard poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_strips_literals_case_and_whitespace() {
+        assert_eq!(
+            normalize_statement("SELECT * FROM  T   WHERE a = 'x'"),
+            "select * from t where a = ?"
+        );
+        assert_eq!(
+            normalize_statement("select * from T where a = 1 and b = 'it''s'"),
+            "select * from t where a = ? and b = ?"
+        );
+        // Digits inside identifiers survive; standalone numbers do not.
+        assert_eq!(
+            normalize_statement("select S1.x from T1 where y = 42"),
+            "select s1.x from t1 where y = ?"
+        );
+        assert_eq!(normalize_statement("  select 1  "), "select ?");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_under_literal_changes() {
+        let a = fingerprint("select * from T where a = 'crow' and n = 1");
+        let b = fingerprint("SELECT *  FROM T  WHERE a = 'raven' AND n = 999");
+        assert_eq!(a, b);
+        assert_ne!(a, fingerprint("select * from T where b = 'crow'"));
+        // Streamed fingerprint == hash of the materialized normalization.
+        let sql = "select U.name from Users as U where U.name = 'Bob'";
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in normalize_statement(sql).bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        assert_eq!(fingerprint(sql), h);
+    }
+
+    #[test]
+    fn record_accumulates_and_tracks_extremes() {
+        clear_statements();
+        let sql = "select * from RecordAccumulatesTable where k = 7";
+        record_statement(
+            sql,
+            StatementObs {
+                wall_ns: 100,
+                rows: 3,
+                error: false,
+                cache_hits: 1,
+                ..Default::default()
+            },
+        );
+        record_statement(
+            "select * from RecordAccumulatesTable where k = 8",
+            StatementObs {
+                wall_ns: 50,
+                rows: 2,
+                error: true,
+                cache_misses: 1,
+                spill_bytes: 10,
+                ..Default::default()
+            },
+        );
+        let snap = statements_snapshot();
+        let entry = snap
+            .iter()
+            .find(|e| e.fingerprint == fingerprint(sql))
+            .expect("recorded");
+        assert_eq!(entry.calls, 2);
+        assert_eq!(entry.errors, 1);
+        assert_eq!(entry.total_ns, 150);
+        assert_eq!(entry.min_ns, 50);
+        assert_eq!(entry.max_ns, 100);
+        assert_eq!(entry.mean_ns(), 75);
+        assert_eq!(entry.rows, 5);
+        assert_eq!(entry.cache_hits, 1);
+        assert_eq!(entry.cache_misses, 1);
+        assert_eq!(entry.spill_bytes, 10);
+        assert_eq!(
+            entry.statement,
+            "select * from recordaccumulatestable where k = ?"
+        );
+        note_statement_peak(sql, 4096);
+        let snap = statements_snapshot();
+        let entry = snap
+            .iter()
+            .find(|e| e.fingerprint == fingerprint(sql))
+            .expect("recorded");
+        assert_eq!(entry.peak_buffered, 4096);
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        set_statements_enabled(false);
+        let sql = "select * from DisabledRecordingTable";
+        record_statement(sql, StatementObs::default());
+        set_statements_enabled(true);
+        assert!(!statements_snapshot()
+            .iter()
+            .any(|e| e.fingerprint == fingerprint(sql)));
+    }
+
+    #[test]
+    fn shard_eviction_drops_the_coldest_entry() {
+        clear_statements();
+        // Fill one shard past its cap with single-call entries, with one
+        // hot entry in the middle; the hot entry must survive.
+        let hot = "select * from EvictHotTable where id = 1";
+        for _ in 0..5 {
+            record_statement(hot, StatementObs::default());
+        }
+        let hot_fp = fingerprint(hot);
+        let mut in_shard = 0;
+        let mut i = 0;
+        while in_shard < SHARD_CAP + 4 {
+            let sql = format!("select * from EvictColdTable{i} -- x");
+            // Only statements landing in the hot entry's shard compete
+            // with it.
+            if (fingerprint(&sql) as usize) % SHARDS == (hot_fp as usize) % SHARDS {
+                record_statement(&sql, StatementObs::default());
+                in_shard += 1;
+            }
+            i += 1;
+        }
+        let snap = statements_snapshot();
+        assert!(snap.iter().any(|e| e.fingerprint == hot_fp), "hot evicted");
+        // The shard stayed at its cap.
+        let shard_len = registry()[(hot_fp as usize) % SHARDS].lock().unwrap().len();
+        assert!(shard_len <= SHARD_CAP);
+        clear_statements();
+    }
+}

@@ -367,7 +367,18 @@ fn node_line(db: &Database, plan: &Plan, est: &EstTree, spill_tag: &str) -> Stri
         }
         Plan::Values { arity, rows } => format!("Values {}x{arity}{exec}", rows.len()),
         Plan::Sort { input: _, by } => {
-            let by: Vec<String> = by.iter().map(|c| format!("#{c}")).collect();
+            // Ascending keys render exactly as before the direction flag
+            // existed ("#0"), keeping pinned EXPLAIN output stable.
+            let by: Vec<String> = by
+                .iter()
+                .map(|k| {
+                    if k.desc {
+                        format!("#{} desc", k.col)
+                    } else {
+                        format!("#{}", k.col)
+                    }
+                })
+                .collect();
             format!("Sort by [{}]{exec}", by.join(", "))
         }
         Plan::Limit { input: _, n } => format!("Limit {n}{exec}"),

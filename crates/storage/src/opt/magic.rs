@@ -74,6 +74,32 @@ pub fn rule_tag(rule: &Rule) -> Option<String> {
     }
 }
 
+/// [`rewrite`] with a guard for the `sys.` namespace: virtual system
+/// relations are scan-time snapshots with no stored rows, so seeding
+/// magic predicates from (or deriving into) them is meaningless — a
+/// program touching them is rejected with a clean error instead of
+/// being silently rewritten. The production translation path
+/// (`beliefdb-core`'s BCQ lowering) calls this variant.
+pub fn rewrite_checked(program: &Program) -> crate::error::Result<Program> {
+    for rule in &program.rules {
+        let mut names = vec![&rule.head.relation];
+        for lit in &rule.body {
+            if let BodyLit::Pos(a) | BodyLit::Neg(a) = lit {
+                names.push(&a.relation);
+            }
+        }
+        if let Some(name) = names
+            .into_iter()
+            .find(|n| n.starts_with(crate::catalog::SYS_PREFIX))
+        {
+            return Err(crate::error::StorageError::ReservedName(format!(
+                "relation `{name}`: system tables cannot participate in the magic-sets rewrite"
+            )));
+        }
+    }
+    Ok(rewrite(program))
+}
+
 /// Rewrite `program` demand-driven. Programs with nothing to restrict
 /// (no derived subgoal receives a binding) are returned unchanged, as
 /// are empty and already-rewritten programs — the pass is idempotent.
@@ -672,6 +698,30 @@ mod tests {
             .rules
             .iter()
             .all(|r| rule_tag(r).is_none()));
+    }
+
+    #[test]
+    fn rewrite_checked_rejects_sys_relations() {
+        // Reading a system relation in a rule body...
+        let program = Program {
+            rules: vec![rule(
+                "Out",
+                vec![v("x")],
+                vec![pos("sys.metrics", vec![v("x"), any()])],
+            )],
+        };
+        let err = rewrite_checked(&program).unwrap_err();
+        assert!(matches!(err, crate::error::StorageError::ReservedName(_)));
+        assert!(err.to_string().contains("sys.metrics"));
+        // ...or deriving into one is rejected; plain programs pass through.
+        let program = Program {
+            rules: vec![rule("sys.out", vec![v("x")], vec![pos("E", vec![v("x")])])],
+        };
+        assert!(rewrite_checked(&program).is_err());
+        let ok = Program {
+            rules: vec![rule("Out", vec![v("x")], vec![pos("E", vec![v("x")])])],
+        };
+        assert_eq!(rewrite_checked(&ok).unwrap(), rewrite(&ok));
     }
 
     #[test]

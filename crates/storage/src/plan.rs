@@ -23,6 +23,34 @@ pub enum Agg {
     Min(usize),
 }
 
+/// One sort criterion: a column position plus direction. `usize`
+/// converts into an ascending key, so `plan.sort(vec![0, 1])` keeps
+/// reading naturally; descending keys come from [`SortKey::desc`]
+/// (`ORDER BY ... DESC` in the SQL front-end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    pub col: usize,
+    pub desc: bool,
+}
+
+impl SortKey {
+    /// Ascending sort on `col`.
+    pub fn asc(col: usize) -> SortKey {
+        SortKey { col, desc: false }
+    }
+
+    /// Descending sort on `col`.
+    pub fn desc(col: usize) -> SortKey {
+        SortKey { col, desc: true }
+    }
+}
+
+impl From<usize> for SortKey {
+    fn from(col: usize) -> SortKey {
+        SortKey::asc(col)
+    }
+}
+
 /// A logical plan node.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Plan {
@@ -61,9 +89,9 @@ pub enum Plan {
     },
     /// A literal relation.
     Values { arity: usize, rows: Vec<Row> },
-    /// Sort by the given columns ascending (deterministic output for tests
-    /// and reports).
-    Sort { input: Box<Plan>, by: Vec<usize> },
+    /// Sort by the given keys (deterministic output for tests and
+    /// reports; `ORDER BY` in the SQL front-end).
+    Sort { input: Box<Plan>, by: Vec<SortKey> },
     /// At most `n` rows.
     Limit { input: Box<Plan>, n: usize },
 }
@@ -127,10 +155,10 @@ impl Plan {
         }
     }
 
-    pub fn sort(self, by: Vec<usize>) -> Plan {
+    pub fn sort<K: Into<SortKey>>(self, by: Vec<K>) -> Plan {
         Plan::Sort {
             input: Box::new(self),
-            by,
+            by: by.into_iter().map(Into::into).collect(),
         }
     }
 
@@ -170,7 +198,14 @@ impl Plan {
     /// Number of output columns, validated against the catalog.
     pub fn arity(&self, db: &Database) -> Result<usize> {
         match self {
-            Plan::Scan { table } => Ok(db.table(table)?.schema().arity()),
+            Plan::Scan { table } => match db.table(table) {
+                Ok(t) => Ok(t.schema().arity()),
+                // Virtual (`sys.*`) relations scan like base tables.
+                Err(e) => db
+                    .virtual_table(table)
+                    .map(|vt| vt.schema().arity())
+                    .ok_or(e),
+            },
             Plan::Selection { input, predicate } => {
                 let a = input.arity(db)?;
                 if let Some(m) = predicate.max_col() {
@@ -295,7 +330,8 @@ impl Plan {
             }
             Plan::Sort { input, by } => {
                 let a = input.arity(db)?;
-                for &c in by {
+                for k in by {
+                    let c = k.col;
                     if c >= a {
                         return Err(StorageError::PlanError(format!(
                             "sort column {c} out of range for arity {a}"

@@ -8,7 +8,59 @@ use crate::schema::{KeyMode, TableSchema};
 use crate::value::Value;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Cumulative access counters for one table, surfaced via `sys.tables`.
+///
+/// Held behind an `Arc` so clones of a [`Table`] (checkpoint snapshots,
+/// `Database::clone`) keep feeding the *same* counters — access stats
+/// describe the logical table, not one copy of it. All bumps are relaxed
+/// atomics: monotone counters with no ordering requirements.
+#[derive(Debug, Default)]
+pub struct TableAccess {
+    /// Sequential scans opened by the executor.
+    pub seq_scans: AtomicU64,
+    /// Rows made visible to sequential scans (live rows at scan open).
+    pub rows_read: AtomicU64,
+    /// Secondary-index point lookups.
+    pub index_probes: AtomicU64,
+    /// Rows inserted.
+    pub inserts: AtomicU64,
+    /// Rows deleted.
+    pub deletes: AtomicU64,
+    /// Rows updated (bumped by the update path, which internally
+    /// deletes + reinserts; those bumps are counted separately).
+    pub updates: AtomicU64,
+    /// Columnar-transpose cache rebuilds (a proxy for mutation churn on
+    /// scanned tables).
+    pub transpose_rebuilds: AtomicU64,
+}
+
+impl TableAccess {
+    #[inline]
+    fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot all counters as `(seq_scans, rows_read, index_probes,
+    /// inserts, deletes, updates, transpose_rebuilds)`.
+    pub fn snapshot(&self) -> [u64; 7] {
+        [
+            Self::get(&self.seq_scans),
+            Self::get(&self.rows_read),
+            Self::get(&self.index_probes),
+            Self::get(&self.inserts),
+            Self::get(&self.deletes),
+            Self::get(&self.updates),
+            Self::get(&self.transpose_rebuilds),
+        ]
+    }
+}
 
 /// An in-memory table: a slotted heap of rows, an optional primary-key map
 /// (over the first column, per the paper's schema convention), and any
@@ -26,6 +78,8 @@ pub struct Table {
     /// Lazily built columnar transpose of the live rows, keyed by the
     /// version it was built at (see [`Table::columnar`]).
     columnar: RefCell<Option<(u64, Arc<ColumnSet>)>>,
+    /// Cumulative access stats, shared across clones (see [`TableAccess`]).
+    access: Arc<TableAccess>,
 }
 
 impl Table {
@@ -38,7 +92,25 @@ impl Table {
             indexes: Vec::new(),
             version: 0,
             columnar: RefCell::new(None),
+            access: Arc::new(TableAccess::default()),
         }
+    }
+
+    /// Cumulative access counters (shared across clones of this table).
+    pub fn access(&self) -> &TableAccess {
+        &self.access
+    }
+
+    /// Record one sequential scan making `rows` rows visible. Called by
+    /// the executors when a `Scan` node opens.
+    pub fn note_seq_scan(&self, rows: u64) {
+        TableAccess::bump(&self.access.seq_scans, 1);
+        TableAccess::bump(&self.access.rows_read, rows);
+    }
+
+    /// Record one logical row update (the DML layer's delete+reinsert).
+    pub fn note_update(&self) {
+        TableAccess::bump(&self.access.updates, 1);
     }
 
     pub fn schema(&self) -> &TableSchema {
@@ -111,6 +183,7 @@ impl Table {
         self.rows.push(Some(row));
         self.live += 1;
         self.version += 1;
+        TableAccess::bump(&self.access.inserts, 1);
         Ok(rid)
     }
 
@@ -143,6 +216,7 @@ impl Table {
         }
         self.live -= 1;
         self.version += 1;
+        TableAccess::bump(&self.access.deletes, 1);
         Ok(row)
     }
 
@@ -209,6 +283,7 @@ impl Table {
                 table: self.schema.name().to_string(),
                 name: index.to_string(),
             })?;
+        TableAccess::bump(&self.access.index_probes, 1);
         Ok(idx.get(key))
     }
 
@@ -248,6 +323,7 @@ impl Table {
         let refs: Vec<&Row> = self.iter().map(|(_, r)| r).collect();
         let set = Arc::new(ColumnSet::from_rows(self.schema.arity(), &refs));
         *cache = Some((self.version, Arc::clone(&set)));
+        TableAccess::bump(&self.access.transpose_rebuilds, 1);
         set
     }
 
@@ -426,6 +502,28 @@ mod tests {
         assert!(!Arc::ptr_eq(&first, &second));
         assert_eq!(second.len(), 2);
         assert_eq!(second.row_at(1), row![3, "Carol"]);
+    }
+
+    #[test]
+    fn access_counters_track_mutations_and_shared_across_clones() {
+        let mut t = users();
+        let clone = t.clone();
+        let rid = t.rid_by_key(&Value::int(1)).unwrap();
+        t.delete(rid).unwrap();
+        t.note_seq_scan(2);
+        t.note_update();
+        t.create_index("by_name", &["name"]).unwrap();
+        t.index_lookup("by_name", &[Value::str("Bob")]).unwrap();
+        let _ = t.columnar();
+        let [seq, read, probes, ins, del, upd, rebuilds] = t.access().snapshot();
+        assert_eq!((seq, read), (1, 2));
+        assert_eq!(probes, 1);
+        assert_eq!(ins, 3);
+        assert_eq!(del, 1);
+        assert_eq!(upd, 1);
+        assert_eq!(rebuilds, 1);
+        // The clone observes the same counters (Arc-shared).
+        assert_eq!(clone.access().snapshot(), t.access().snapshot());
     }
 
     #[test]

@@ -8,11 +8,15 @@
 //! unified introspection view (sizes, plan cache, WAL, engine
 //! counters), `\worlds` lists the belief worlds, `\profile <select>`
 //! runs `EXPLAIN ANALYZE`, `\metrics` dumps the metrics registry,
-//! `\slowlog` shows captured slow statements, `\open <dir>` switches to
-//! a durable database (recovering it if it exists, creating it
-//! otherwise), `\checkpoint` snapshots it, `\wal` prints the WAL
-//! section of `\stats`, `\help`, `\quit`. Everything else is parsed as
-//! BeliefSQL.
+//! `\statements` shows the top statement fingerprints by cumulative
+//! time, `\slowlog` shows captured slow statements, `\open <dir>`
+//! switches to a durable database (recovering it if it exists,
+//! creating it otherwise), `\checkpoint` snapshots it, `\wal` prints
+//! the WAL section of `\stats`, `\help`, `\quit`. Everything else is
+//! parsed as BeliefSQL — including scans of the `sys.*` system catalog
+//! (`sys.metrics`, `sys.statements`, `sys.tables`, `sys.plan_cache`,
+//! `sys.slowlog`, `sys.wal`), which the introspection meta-commands
+//! are thin renderers over.
 //!
 //! Example session:
 //!
@@ -26,6 +30,7 @@
 
 use beliefdb::core::ExternalSchema;
 use beliefdb::sql::Session;
+use beliefdb::storage::{Row, Value};
 use std::io::{BufRead, Write};
 
 fn naturemapping() -> ExternalSchema {
@@ -59,32 +64,58 @@ fn parse_bytes(spec: &str) -> Option<Option<usize>> {
         .map(Some)
 }
 
-/// The WAL section of `\stats` (and the whole of its `\wal` alias).
+/// Run a `sys.*` catalog scan and collect its rows; the introspection
+/// meta-commands below are thin renderers over these queries, so they
+/// show exactly what any client would get from the same SELECT.
+fn sys_rows(session: &Session, sql: &str) -> Vec<Row> {
+    match session.query(sql) {
+        Ok(result) => result.rows().to_vec(),
+        Err(e) => {
+            println!("error: {e}");
+            Vec::new()
+        }
+    }
+}
+
+/// A counter cell from a `sys.*` row.
+fn as_u64(v: &Value) -> u64 {
+    match v {
+        Value::Int(i) => *i as u64,
+        _ => 0,
+    }
+}
+
+/// The WAL section of `\stats` (and the whole of its `\wal` alias),
+/// rendered from `sys.wal` (empty for in-memory sessions).
 fn print_wal(session: &Session) {
-    match session.bdms().wal_stats() {
-        Some(wal) => {
+    match sys_rows(session, "select * from sys.wal").first() {
+        Some(row) => {
+            let v = row.values();
             println!(
                 "wal: {} segment(s), {} frame(s), {} byte(s)",
-                wal.segments, wal.frames, wal.wal_bytes
+                v[0], v[1], v[2]
             );
             println!(
                 "     next lsn {}, snapshot covers < {}, {} checkpoint(s) this session",
-                wal.next_lsn, wal.snapshot_hwm, wal.checkpoints
+                v[3], v[4], v[5]
             );
         }
         None => println!("in-memory session (use \\open <dir> for durability)"),
     }
 }
 
-/// Dump the metrics registry: every counter (dotted name) plus the
-/// query-latency histogram summary. `nonzero_only` hides untouched
-/// counters (the `\stats` view); `\metrics` shows everything.
-fn print_metrics(snap: &beliefdb::storage::MetricsSnapshot, nonzero_only: bool) {
-    for (name, value) in snap.counters() {
-        if !nonzero_only || value > 0 {
-            println!("  {name:<24} {value:>10}");
+/// Dump the metrics registry from a `sys.metrics` scan, plus the
+/// query-latency histogram summary (a distribution, so it lives on the
+/// snapshot API rather than in the counter relation). `nonzero_only`
+/// hides untouched counters (the `\stats` view); `\metrics` shows all.
+fn print_metrics(session: &Session, nonzero_only: bool) {
+    for row in sys_rows(session, "select name, value from sys.metrics") {
+        let v = row.values();
+        if !nonzero_only || as_u64(&v[1]) > 0 {
+            println!("  {:<24} {:>10}", v[0].to_string(), v[1].to_string());
         }
     }
+    let snap = session.bdms().metrics();
     let n = snap.latency_count();
     if n > 0 {
         println!(
@@ -129,8 +160,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     println!("                 plan operator with actual rows/chunks, kernel vs");
                     println!("                 fallback rows, spill bytes/partitions, and time");
                     println!("  \\metrics       dump the full metrics registry (all counters +");
-                    println!("                 query-latency histogram)");
-                    println!("  \\slowlog       show captured slow statements (spans + profiles)");
+                    println!("                 query-latency histogram); renders sys.metrics");
+                    println!("  \\statements [n]");
+                    println!("                 top n statement fingerprints by cumulative time");
+                    println!("                 (default 10); renders sys.statements");
+                    println!("  \\slowlog       show captured slow statements (spans + profiles);");
+                    println!("                 renders sys.slowlog");
                     println!("  \\set memory <n[k|m|g]|off>");
                     println!("                 per-query memory budget for joins/sorts/");
                     println!("                 aggregates/distincts — past it they spill to");
@@ -149,6 +184,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     println!("  \\checkpoint    snapshot the durable database, truncate the WAL");
                     println!("  \\wal           the WAL section of \\stats on its own");
                     println!("  \\quit (\\q)     exit");
+                    println!("  system catalog: sys.metrics, sys.statements, sys.tables,");
+                    println!("                 sys.plan_cache, sys.slowlog, sys.wal are ordinary");
+                    println!("                 read-only relations — select from them directly,");
+                    println!("                 e.g. select * from sys.statements");
+                    println!("                      order by total_time_ns desc limit 5");
                     println!("  anything else is BeliefSQL, e.g.:");
                     println!("    insert into BELIEF 'Bob' not Sightings values (...)");
                     println!(
@@ -171,22 +211,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         "{} tuples, {} worlds, {} users",
                         stats.total_tuples, stats.worlds, stats.users
                     );
-                    for (table, rows) in &stats.per_table {
-                        println!("  {table:<20} {rows:>6}");
+                    for row in sys_rows(&session, "select name, rows from sys.tables order by name")
+                    {
+                        let v = row.values();
+                        println!("  {:<20} {:>6}", v[0].to_string(), v[1].to_string());
                     }
-                    let cache = session.bdms().plan_cache_stats();
-                    println!(
-                        "plan cache: {} hits, {} misses ({:.0}% hit rate), \
-                         {} cached program(s), {} embedded row(s)",
-                        cache.hits,
-                        cache.misses,
-                        cache.hit_rate() * 100.0,
-                        cache.entries,
-                        cache.embedded_rows
-                    );
+                    if let Some(row) = sys_rows(&session, "select * from sys.plan_cache").first() {
+                        let v = row.values();
+                        let (hits, misses) = (as_u64(&v[0]), as_u64(&v[1]));
+                        let rate = if hits + misses == 0 {
+                            0.0
+                        } else {
+                            hits as f64 / (hits + misses) as f64
+                        };
+                        println!(
+                            "plan cache: {hits} hits, {misses} misses ({:.0}% hit rate), \
+                             {} cached program(s), {} embedded row(s)",
+                            rate * 100.0,
+                            v[2],
+                            v[3]
+                        );
+                    }
                     print_wal(&session);
                     println!("engine counters (nonzero; \\metrics for all):");
-                    print_metrics(&session.bdms().metrics(), true);
+                    print_metrics(&session, true);
                 }
                 Some("set") => match (parts.next(), parts.next()) {
                     (None, _) => {
@@ -261,26 +309,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         Err(e) => println!("error: {e}"),
                     }
                 }
-                Some("metrics") => print_metrics(&session.bdms().metrics(), false),
+                Some("metrics") => print_metrics(&session, false),
+                Some("statements") => {
+                    let n: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+                    match session.query(&format!(
+                        "select statement, calls, errors, mean_time_ns, total_time_ns, \
+                         rows_returned from sys.statements order by total_time_ns desc limit {n}"
+                    )) {
+                        Ok(result) => println!("{result}"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
                 Some("slowlog") => {
                     match session.slowlog_threshold_ms() {
                         Some(ms) => println!("slowlog: capturing statements over {ms} ms"),
                         None => println!("slowlog: off (\\set slowlog <ms> to arm)"),
                     }
-                    let entries = session.slowlog_entries();
-                    if entries.is_empty() {
+                    let rows = sys_rows(&session, "select * from sys.slowlog");
+                    if rows.is_empty() {
                         println!("no captures");
                     }
-                    for trace in entries {
-                        println!(
-                            "-- {:.2} ms  {}",
-                            trace.total_nanos as f64 / 1e6,
-                            trace.statement
-                        );
-                        for span in &trace.spans {
-                            println!("   {:<12} {:.2} ms", span.name, span.nanos as f64 / 1e6);
+                    // Full operator profiles stay on the trace API; the
+                    // sys.slowlog relation carries statement/time/spans.
+                    let entries = session.slowlog_entries();
+                    for (i, row) in rows.iter().enumerate() {
+                        let v = row.values();
+                        println!("-- {:.2} ms  {}", as_u64(&v[1]) as f64 / 1e6, v[0]);
+                        for span in v[2].to_string().split_whitespace() {
+                            if let Some((name, ns)) = span.split_once('=') {
+                                println!(
+                                    "   {name:<12} {:.2} ms",
+                                    ns.parse::<u64>().unwrap_or(0) as f64 / 1e6
+                                );
+                            }
                         }
-                        if let Some(profile) = &trace.profile {
+                        if let Some(profile) = entries.get(i).and_then(|t| t.profile.as_ref()) {
                             print!("{profile}");
                         }
                     }
@@ -345,6 +408,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     if n == 1 { "" } else { "s" },
                     columns.join(", ")
                 ),
+                // sys.* scans and ORDER BY / LIMIT refuse the streaming
+                // path; collect those instead and print the table.
+                Err(e) if e.to_string().contains("use query()") => match session.query(line) {
+                    Ok(result) => println!("{result}"),
+                    Err(e) => println!("error: {e}"),
+                },
                 Err(e) => println!("error: {e}"),
             }
             continue;

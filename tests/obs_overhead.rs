@@ -7,17 +7,23 @@
 //! so no other thread skews the counters):
 //!
 //! 1. The always-on primitives are allocation-free: metric increments,
-//!    latency recording, disabled-`Recorder` spans, and the slowlog's
-//!    armed check allocate **zero** bytes.
+//!    latency recording, disabled-`Recorder` spans, the slowlog's
+//!    armed check, and the statement-tracking gate allocate **zero**
+//!    bytes.
 //! 2. Query execution with obs disabled allocates **identically** run
 //!    to run — the disabled profile path adds no per-run allocations
-//!    (a `NodeObs::disabled()` is a `None`, not a node tree).
+//!    (a `NodeObs::disabled()` is a `None`, not a node tree), and the
+//!    same holds through the session with statement tracking off (the
+//!    fingerprint path is never reached).
 //! 3. (Release builds only) a disabled run is not slower than a fully
 //!    profiled run — i.e. the disabled path cannot be accidentally
 //!    paying the profiling cost. Profiling does strictly more work
 //!    (a timestamp pair per `next()`), so disabled ≤ 2× profiled on
 //!    medians is a generous, noise-proof bound.
 
+use beliefdb::storage::obs::{
+    clear_statements, set_statements_enabled, statements_enabled, statements_snapshot,
+};
 use beliefdb::storage::{
     metrics, row, CmpOp, Database, Executor, Expr, Metric, Plan, Recorder, SlowLog, TableSchema,
 };
@@ -181,6 +187,21 @@ fn disabled_observability_is_free() {
     assert_eq!(armed, 0, "slowlog must be off by default");
     assert_eq!(bytes, 0, "slowlog armed-check allocated {bytes}B");
 
+    // 1e. The statement-tracking gate (one relaxed load, checked on
+    // every session statement) never allocates while tracking is off —
+    // the fingerprint/normalize machinery must only run when enabled.
+    set_statements_enabled(false);
+    clear_statements();
+    let (on, bytes) = allocated_by(|| {
+        let mut on = 0u32;
+        for _ in 0..10_000 {
+            on += statements_enabled() as u32;
+        }
+        on
+    });
+    assert_eq!(on, 0, "statement tracking must be off here");
+    assert_eq!(bytes, 0, "statement-tracking gate allocated {bytes}B");
+
     // 2. With obs disabled, repeated identical runs allocate byte-for-
     // byte identically: the disabled profile path contributes no
     // allocations of its own (pools are warm, hash-map growth is
@@ -193,6 +214,35 @@ fn disabled_observability_is_free() {
         bytes_a, bytes_b,
         "disabled runs allocated differently: {bytes_a}B vs {bytes_b}B"
     );
+
+    // 2b. Session hot path with statement tracking disabled: the
+    // capture wrapper is a single gate check, so repeated identical
+    // SELECTs allocate byte-for-byte identically and nothing lands in
+    // sys.statements. (Tracking was switched off in 1e.)
+    {
+        use beliefdb::core::ExternalSchema;
+        use beliefdb::sql::Session;
+        assert!(!statements_enabled());
+        let mut session =
+            Session::new(ExternalSchema::new().with_relation("R", &["x", "y"])).unwrap();
+        session.execute("insert into R values ('a','b')").unwrap();
+        let run = |s: &Session| s.query("select S.x from R as S").unwrap().rows().len();
+        run(&session); // warm the plan cache, pools, and thread-locals
+        run(&session);
+        let (rows_a, bytes_a) = allocated_by(|| run(&session));
+        let (rows_b, bytes_b) = allocated_by(|| run(&session));
+        assert_eq!(rows_a, 1);
+        assert_eq!(rows_b, 1);
+        assert_eq!(
+            bytes_a, bytes_b,
+            "disabled statement tracking changed per-run allocation: {bytes_a}B vs {bytes_b}B"
+        );
+        assert!(
+            statements_snapshot().is_empty(),
+            "disabled tracking must record no statements"
+        );
+    }
+    set_statements_enabled(true);
 
     // 3. Timing (release only — debug timings are noise): the disabled
     // path must not be paying for profiling. Profiling does strictly
