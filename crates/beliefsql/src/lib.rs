@@ -40,6 +40,7 @@ pub mod parser;
 pub mod session;
 
 pub use ast::Statement;
+pub use beliefdb_storage::sema::{Diagnostic, Severity};
 pub use error::{Result, SqlError};
 pub use parser::parse;
 pub use session::{ExecResult, Session};

@@ -7,6 +7,7 @@ use crate::parser::parse;
 use beliefdb_core::internal::InsertOutcome;
 use beliefdb_core::{Bdms, BeliefError, ExternalSchema, GroundTuple, Sign};
 use beliefdb_storage::obs::{note_statement_peak, record_statement, statements_enabled};
+use beliefdb_storage::sema::{self, codes, lint_program, Diagnostic};
 use beliefdb_storage::{
     metrics, Expr, Metric, MetricsSnapshot, Plan, QueryTrace, Recorder, Row, SortKey, StatementObs,
     Value, SYS_PREFIX,
@@ -172,6 +173,53 @@ impl Session {
     /// Whether the magic-sets rewrite is applied to queries.
     pub fn magic_enabled(&self) -> bool {
         self.bdms.magic_enabled()
+    }
+
+    /// Force the plan verifier on or off (process-wide). The verifier
+    /// re-checks structural invariants after every optimizer pass and at
+    /// the executor boundary; it is on by default under
+    /// `debug_assertions` and off in release builds. The shell exposes
+    /// this as `\set verify on|off`.
+    pub fn set_verify(&mut self, on: bool) {
+        sema::set_verify(on);
+    }
+
+    /// Whether the plan verifier is currently armed.
+    pub fn verify_enabled(&self) -> bool {
+        sema::verify_enabled()
+    }
+
+    /// Statically analyze a SELECT without running it.
+    ///
+    /// The statement is lowered to a belief conjunctive query and
+    /// translated through Algorithm 1 exactly as execution would, then
+    /// the resulting Datalog program is linted: safety violations,
+    /// stratification problems, comparison type mismatches, and
+    /// provably-empty conditions all come back as structured
+    /// [`Diagnostic`]s (code, severity, message, context) in a
+    /// deterministic order. An empty vector means the analyzer found
+    /// nothing to report.
+    pub fn lint(&self, sql: &str) -> Result<Vec<Diagnostic>> {
+        let Statement::Select(sel) = parse(sql)? else {
+            return Err(SqlError::Lower(
+                "lint() only accepts SELECT statements".into(),
+            ));
+        };
+        if sel.from.iter().any(|f| f.table.starts_with(SYS_PREFIX)) {
+            // sys.* scans compile to a single fixed plan; nothing to lint.
+            return Ok(Vec::new());
+        }
+        let lowered = SelectLowerer::lower(&self.bdms, &sel)?;
+        match &lowered.query {
+            None => Ok(vec![contradictory_constants_diag()]),
+            Some(q) => {
+                let translated = self.bdms.translate(q)?;
+                Ok(lint_program(
+                    self.bdms.internal().database(),
+                    &translated.program,
+                ))
+            }
+        }
     }
 
     pub fn bdms(&self) -> &Bdms {
@@ -400,7 +448,10 @@ impl Session {
         let lowered = SelectLowerer::lower(&self.bdms, &sel)?;
         let mut out = String::new();
         match &lowered.query {
-            None => out.push_str("-- contradictory constants: empty result\n"),
+            None => {
+                out.push_str("-- contradictory constants: empty result\n");
+                out.push_str(&format!("--   {}\n", contradictory_constants_diag()));
+            }
             Some(q) => {
                 out.push_str(&format!("-- belief conjunctive query (Def. 13):\n{q}\n\n"));
                 let translated = self.bdms.translate(q)?;
@@ -408,6 +459,22 @@ impl Session {
                 out.push_str(&translated.program.to_string());
                 out.push_str("\n-- optimized physical plans:\n");
                 out.push_str(&self.bdms.explain_query(q)?);
+                // Lint the translated program and annotate anything of
+                // substance. Style lints (unused rules, singleton
+                // variables) are suppressed here: machine-generated rule
+                // stacks legitimately trip them and the annotations
+                // would be pure noise.
+                let diags = lint_program(self.bdms.internal().database(), &translated.program);
+                let mut shown = diags
+                    .iter()
+                    .filter(|d| d.code != codes::UNUSED_RULE && d.code != codes::SINGLETON_VAR)
+                    .peekable();
+                if shown.peek().is_some() {
+                    out.push_str("\n-- diagnostics:\n");
+                    for d in shown {
+                        out.push_str(&format!("--   {d}\n"));
+                    }
+                }
             }
         }
         Ok(out)
@@ -777,6 +844,16 @@ fn reject_sys_dml(action: &str, table: &str) -> Result<()> {
 /// Lift a storage-layer error through the core error type.
 fn storage_err(e: beliefdb_storage::StorageError) -> SqlError {
     SqlError::Core(BeliefError::from(e))
+}
+
+/// The diagnostic emitted when lowering detects contradictory constants
+/// (e.g. `WHERE x = 1 AND x = 2` over the same column): the query is
+/// provably empty before any plan is built.
+fn contradictory_constants_diag() -> Diagnostic {
+    Diagnostic::warning(
+        codes::PROVABLY_EMPTY,
+        "contradictory constants in the WHERE clause: the query returns no rows",
+    )
 }
 
 /// Resolve ORDER BY keys against a select list's column labels: an

@@ -61,9 +61,16 @@ impl Database {
     pub fn create_table(&mut self, schema: TableSchema) -> Result<&mut Table> {
         let name = schema.name().to_string();
         if name.starts_with(SYS_PREFIX) {
-            return Err(StorageError::ReservedName(format!(
-                "cannot create table `{name}`: the `{SYS_PREFIX}` namespace is reserved for system tables"
-            )));
+            return Err(StorageError::ReservedName(
+                crate::sema::Diagnostic::error(
+                    crate::sema::codes::RESERVED_NAME,
+                    format!(
+                        "cannot create table `{name}`: the `{SYS_PREFIX}` namespace is \
+                         reserved for system tables"
+                    ),
+                )
+                .code_message(),
+            ));
         }
         if self.tables.contains_key(&name) {
             return Err(StorageError::TableExists(name));
@@ -75,9 +82,13 @@ impl Database {
     /// Drop a table; returns it if present.
     pub fn drop_table(&mut self, name: &str) -> Result<Table> {
         if name.starts_with(SYS_PREFIX) {
-            return Err(StorageError::ReservedName(format!(
-                "cannot drop `{name}`: system tables are read-only"
-            )));
+            return Err(StorageError::ReservedName(
+                crate::sema::Diagnostic::error(
+                    crate::sema::codes::RESERVED_NAME,
+                    format!("cannot drop `{name}`: system tables are read-only"),
+                )
+                .code_message(),
+            ));
         }
         self.tables
             .remove(name)

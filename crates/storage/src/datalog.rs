@@ -458,12 +458,12 @@ const DELTA_PREFIX: &str = "__sn_delta__";
 /// Dependency graph over a program's head relations: one node per head
 /// (first-definition order), an edge from a head to every head relation
 /// its rules' bodies read (positively or negatively).
-struct HeadGraph {
-    rels: Vec<String>,
+pub(crate) struct HeadGraph {
+    pub(crate) rels: Vec<String>,
     deps: Vec<Vec<usize>>,
 }
 
-fn head_graph(program: &Program) -> HeadGraph {
+pub(crate) fn head_graph(program: &Program) -> HeadGraph {
     let mut rels: Vec<String> = Vec::new();
     let mut idx: HashMap<&str, usize> = HashMap::new();
     for rule in &program.rules {
@@ -495,7 +495,7 @@ impl HeadGraph {
     /// appears after every component it reads from, so evaluating the
     /// returned list front to back always finds dependencies
     /// materialized. Iterative Tarjan, deterministic.
-    fn sccs(&self) -> Vec<Vec<usize>> {
+    pub(crate) fn sccs(&self) -> Vec<Vec<usize>> {
         let n = self.rels.len();
         let mut index = vec![usize::MAX; n];
         let mut low = vec![0usize; n];
@@ -551,7 +551,7 @@ impl HeadGraph {
 
     /// Whether a component needs fixpoint iteration: more than one
     /// member, or a single member that reads itself.
-    fn component_recursive(&self, comp: &[usize]) -> bool {
+    pub(crate) fn component_recursive(&self, comp: &[usize]) -> bool {
         comp.len() > 1 || self.deps[comp[0]].binary_search(&comp[0]).is_ok()
     }
 }
@@ -902,11 +902,15 @@ impl<'a> Evaluator<'a> {
             for lit in &rule.body {
                 if let BodyLit::Neg(a) = lit {
                     if members.contains(a.relation.as_str()) {
-                        return Err(StorageError::DatalogError(format!(
-                            "rule for `{}` negates `{}` inside its own recursive component \
-                             (not stratifiable)",
-                            rule.head.relation, a.relation
-                        )));
+                        // BD002, naming the whole offending cycle — the
+                        // same diagnostic `sema::lint_program` reports
+                        // statically.
+                        let cycle: Vec<&str> = members.iter().copied().collect();
+                        return Err(StorageError::DatalogError(
+                            crate::sema::unstratifiable(&rule.head.relation, &a.relation, &cycle)
+                                .with_context(format!("rule `{rule}`"))
+                                .code_message(),
+                        ));
                     }
                 }
             }
@@ -1289,10 +1293,13 @@ impl<'a> Evaluator<'a> {
             )));
         }
         if self.db.is_virtual(&rule.head.relation) {
-            return Err(StorageError::ReservedName(format!(
-                "cannot derive into system table `{}`",
-                rule.head.relation
-            )));
+            return Err(StorageError::ReservedName(
+                crate::sema::Diagnostic::error(
+                    crate::sema::codes::RESERVED_NAME,
+                    format!("cannot derive into system table `{}`", rule.head.relation),
+                )
+                .code_message(),
+            ));
         }
         Ok(())
     }
@@ -1885,7 +1892,8 @@ mod tests {
             )],
         };
         let err = ev.run(&prog).unwrap_err();
-        assert!(err.to_string().contains("not stratifiable"), "{err}");
+        assert_eq!(err.code(), Some("BD002"), "{err}");
+        assert!(err.to_string().contains("cycle: Win -> Win"), "{err}");
     }
 
     #[test]

@@ -93,6 +93,26 @@ impl fmt::Display for StorageError {
     }
 }
 
+impl StorageError {
+    /// The stable `BD0xx` diagnostic code carried by this error, if the
+    /// raising site attached one (rendered as `[BDnnn]` inside the
+    /// message — see [`crate::sema::Diagnostic::code_message`]). Tests
+    /// and tools match on this instead of message text.
+    pub fn code(&self) -> Option<&str> {
+        let msg = match self {
+            StorageError::TypeError(m)
+            | StorageError::PlanError(m)
+            | StorageError::DatalogError(m)
+            | StorageError::ReservedName(m) => m,
+            _ => return None,
+        };
+        let start = msg.find("[BD")?;
+        let rest = &msg[start + 1..];
+        let end = rest.find(']')?;
+        Some(&rest[..end])
+    }
+}
+
 impl std::error::Error for StorageError {}
 
 impl From<std::io::Error> for StorageError {

@@ -650,6 +650,10 @@ impl<'a> Executor<'a> {
     /// work until the stream is pulled.
     pub fn open_chunks(&self, plan: &'a Plan) -> Result<ChunkStream<'a>> {
         plan.arity(self.db)?;
+        // Last verification boundary before layout threading: whatever
+        // plan reaches the executor — optimized, cached, or hand-built —
+        // is checked once more with the verifier armed.
+        crate::sema::verify_plan_if_enabled(self.db, plan, "exec_open")?;
         let spill = SpillCtx::for_plan(&self.spill, plan);
         Ok(ChunkStream::new(open_node(
             self.db,
@@ -666,6 +670,7 @@ impl<'a> Executor<'a> {
     /// draining the stream. This is the `EXPLAIN ANALYZE` entry point.
     pub fn open_chunks_profiled(&self, plan: &'a Plan) -> Result<(ChunkStream<'a>, Profile)> {
         plan.arity(self.db)?;
+        crate::sema::verify_plan_if_enabled(self.db, plan, "exec_open_profiled")?;
         let spill = SpillCtx::for_plan(&self.spill, plan);
         let root = ProfNode::new();
         let stream = ChunkStream::new(open_node(

@@ -47,6 +47,7 @@ pub mod persist;
 pub mod plan;
 pub mod row;
 pub mod schema;
+pub mod sema;
 pub mod table;
 pub mod value;
 
@@ -69,5 +70,6 @@ pub use persist::{PersistEngine, PersistOptions, WalStats};
 pub use plan::{Agg, Plan, SortKey};
 pub use row::{Projector, Row};
 pub use schema::{ColumnDef, KeyMode, TableSchema};
+pub use sema::{lint_program, set_verify, verify_enabled, verify_plan, Diagnostic, Severity};
 pub use table::Table;
 pub use value::Value;

@@ -92,12 +92,24 @@ pub fn rewrite_checked(program: &Program) -> crate::error::Result<Program> {
             .into_iter()
             .find(|n| n.starts_with(crate::catalog::SYS_PREFIX))
         {
-            return Err(crate::error::StorageError::ReservedName(format!(
-                "relation `{name}`: system tables cannot participate in the magic-sets rewrite"
-            )));
+            return Err(crate::error::StorageError::ReservedName(
+                crate::sema::Diagnostic::error(
+                    crate::sema::codes::RESERVED_NAME,
+                    format!(
+                        "relation `{name}`: system tables cannot participate in the \
+                         magic-sets rewrite"
+                    ),
+                )
+                .code_message(),
+            ));
         }
     }
-    Ok(rewrite(program))
+    let rewritten = rewrite(program);
+    // With the verifier armed, check guard well-formedness at the
+    // rewrite boundary — a malformed guard surfaces here, not as a
+    // wrong answer after evaluation.
+    crate::sema::verify_magic_if_enabled(&rewritten)?;
+    Ok(rewritten)
 }
 
 /// Rewrite `program` demand-driven. Programs with nothing to restrict

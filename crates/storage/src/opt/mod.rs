@@ -103,30 +103,42 @@ pub fn optimize_with_stats(
     // Validate before rewriting: the rules assume a well-formed plan.
     plan.arity(db)?;
     let mut p = plan;
+    // With the verifier armed (always under `debug_assertions`, or via
+    // `\set verify on` in release), every rewrite pass is followed by a
+    // full invariant check — a rule bug surfaces as a `BD10x` violation
+    // naming the pass that introduced it, not as a wrong answer
+    // downstream. Each call is a single atomic load when disabled.
     if opts.fold {
         p = rules::fold_plan(p);
+        crate::sema::verify_plan_if_enabled(db, &p, "fold")?;
     }
     if opts.pushdown {
         p = rules::push_selections(db, p)?;
+        crate::sema::verify_plan_if_enabled(db, &p, "pushdown")?;
     }
     if opts.simplify {
         p = rules::simplify(db, p)?;
+        crate::sema::verify_plan_if_enabled(db, &p, "simplify")?;
     }
     if opts.reorder_joins {
         p = join_order::reorder_joins(db, catalog, p)?;
+        crate::sema::verify_plan_if_enabled(db, &p, "reorder_joins")?;
     }
     if opts.pushdown {
         // The reorder introduces selections for residual predicates; push
         // them toward the new leaf positions.
         p = rules::push_selections(db, p)?;
+        crate::sema::verify_plan_if_enabled(db, &p, "pushdown_after_reorder")?;
     }
     if opts.prune {
         p = rules::fuse_projections(p);
         p = rules::prune_columns(db, p)?;
         p = rules::fuse_projections(p);
+        crate::sema::verify_plan_if_enabled(db, &p, "prune_columns")?;
     }
     if opts.simplify {
         p = rules::simplify(db, p)?;
+        crate::sema::verify_plan_if_enabled(db, &p, "final_simplify")?;
     }
     // The rewritten plan must still validate — a cheap guard against rule
     // bugs corrupting arities.

@@ -603,9 +603,15 @@ pub fn simplify(db: &Database, plan: Plan) -> Result<Plan> {
     };
 
     Ok(match plan {
-        // Always-false elimination / no-op selection removal.
+        // Always-false elimination / no-op selection removal. Beyond the
+        // literal `false`, `sema`'s constraint analysis proves
+        // conjunctive contradictions (`x = 1 AND x = 2`, empty ranges)
+        // empty — those selections fold to an empty relation and the
+        // emptiness propagates upward like any other.
         Plan::Selection { input, predicate } => {
-            if matches!(predicate, Expr::Lit(Value::Bool(false))) {
+            if matches!(predicate, Expr::Lit(Value::Bool(false)))
+                || crate::sema::expr_contradictory(&predicate)
+            {
                 empty_of(input.arity(db)?)
             } else if is_true(&predicate) || is_empty_values(&input) {
                 *input

@@ -156,6 +156,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     println!(
                         "  \\explain <q>   show the BCQ + Datalog translation + physical plans"
                     );
+                    println!("  \\lint <q>      static analysis: lint the SELECT's Datalog");
+                    println!("                 translation without running it (safety, types,");
+                    println!("                 provably-empty conditions) as [BDxxx] diagnostics");
                     println!("  \\profile <q>   EXPLAIN ANALYZE: run the SELECT and annotate each");
                     println!("                 plan operator with actual rows/chunks, kernel vs");
                     println!("                 fallback rows, spill bytes/partitions, and time");
@@ -174,6 +177,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     println!("                 magic-sets / SIP rewrite: evaluate bound belief");
                     println!("                 queries demand-driven (on by default; off runs");
                     println!("                 the unrewritten Algorithm 1 rule stack)");
+                    println!("  \\set verify <on|off>");
+                    println!("                 plan verifier: re-check structural invariants");
+                    println!("                 after every optimizer pass (on by default in");
+                    println!("                 debug builds, off in release)");
                     println!("  \\set slowlog <ms|off>");
                     println!("                 capture statements slower than <ms> into the");
                     println!("                 slow-query log (with spans + full profile);");
@@ -250,6 +257,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                             Some(ms) => println!("slowlog: capturing statements over {ms} ms"),
                             None => println!("slowlog: off"),
                         }
+                        println!(
+                            "plan verifier: {}",
+                            if session.verify_enabled() {
+                                "on"
+                            } else {
+                                "off"
+                            }
+                        );
                     }
                     (Some("memory"), Some(spec)) => match parse_bytes(spec) {
                         Some(None) => {
@@ -276,6 +291,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         }
                         _ => println!("usage: \\set magic <on|off>"),
                     },
+                    (Some("verify"), Some(spec)) => match spec.to_ascii_lowercase().as_str() {
+                        "on" => {
+                            session.set_verify(true);
+                            println!("plan verifier: on (every rewrite pass is re-checked)");
+                        }
+                        "off" => {
+                            session.set_verify(false);
+                            println!("plan verifier: off");
+                        }
+                        _ => println!("usage: \\set verify <on|off>"),
+                    },
                     (Some("slowlog"), Some(spec)) => {
                         if spec.eq_ignore_ascii_case("off") {
                             session.set_slowlog_threshold_ms(None);
@@ -292,13 +318,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     }
                     _ => println!(
                         "usage: \\set memory <n[k|m|g]|off> | \\set magic <on|off> | \
-                         \\set slowlog <ms|off>"
+                         \\set verify <on|off> | \\set slowlog <ms|off>"
                     ),
                 },
                 Some("explain") => {
                     let rest: Vec<&str> = parts.collect();
                     match session.explain(&rest.join(" ")) {
                         Ok(text) => println!("{text}"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                Some("lint") => {
+                    let rest: Vec<&str> = parts.collect();
+                    match session.lint(&rest.join(" ")) {
+                        Ok(diags) if diags.is_empty() => println!("no diagnostics"),
+                        Ok(diags) => {
+                            for d in &diags {
+                                println!("{d}");
+                            }
+                        }
                         Err(e) => println!("error: {e}"),
                     }
                 }

@@ -43,6 +43,9 @@ fn run_budgeted(db: &Database, plan: &Plan, budget: usize, dir: &std::path::Path
 
 #[test]
 fn fuzzed_plans_agree_across_layouts_and_budgets() {
+    // Arm the plan verifier: every optimized plan in this suite is
+    // invariant-checked at every rewrite stage and at executor open.
+    beliefdb::storage::sema::set_verify(true);
     let db = plan_db();
     let dir = std::env::temp_dir().join(format!("beliefdb-columnar-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -156,6 +156,9 @@ fn run_program(
 
 #[test]
 fn rewritten_matches_unrewritten_across_layouts_and_budgets() {
+    // Arm the verifier: every rewritten program passes the magic-guard
+    // check and every compiled plan is invariant-checked per pass.
+    beliefdb::storage::sema::set_verify(true);
     let bdms = workload();
     let mut rng = StdRng::seed_from_u64(0x5117_BCDE);
     let mut valid = 0usize;

@@ -8,8 +8,8 @@
 //!
 //! 1. The always-on primitives are allocation-free: metric increments,
 //!    latency recording, disabled-`Recorder` spans, the slowlog's
-//!    armed check, and the statement-tracking gate allocate **zero**
-//!    bytes.
+//!    armed check, the statement-tracking gate, and the disabled plan
+//!    verifier allocate **zero** bytes.
 //! 2. Query execution with obs disabled allocates **identically** run
 //!    to run — the disabled profile path adds no per-run allocations
 //!    (a `NodeObs::disabled()` is a `None`, not a node tree), and the
@@ -24,6 +24,7 @@
 use beliefdb::storage::obs::{
     clear_statements, set_statements_enabled, statements_enabled, statements_snapshot,
 };
+use beliefdb::storage::sema;
 use beliefdb::storage::{
     metrics, row, CmpOp, Database, Executor, Expr, Metric, Plan, Recorder, SlowLog, TableSchema,
 };
@@ -201,6 +202,33 @@ fn disabled_observability_is_free() {
     });
     assert_eq!(on, 0, "statement tracking must be off here");
     assert_eq!(bytes, 0, "statement-tracking gate allocated {bytes}B");
+
+    // 1f. The plan verifier's disabled path (one relaxed load, checked
+    // after every optimizer pass and at executor open) never allocates:
+    // neither the bare gate nor the full `verify_plan_if_enabled` call.
+    sema::set_verify(false);
+    let (armed, bytes) = allocated_by(|| {
+        let mut armed = 0u32;
+        for _ in 0..10_000 {
+            armed += sema::verify_enabled() as u32;
+        }
+        armed
+    });
+    assert_eq!(armed, 0, "verifier must be forced off here");
+    assert_eq!(bytes, 0, "verifier gate allocated {bytes}B");
+    let (ok, bytes) = allocated_by(|| {
+        let mut ok = 0u32;
+        for _ in 0..1_000 {
+            ok += sema::verify_plan_if_enabled(&db, &plan, "overhead_test").is_ok() as u32;
+        }
+        ok
+    });
+    assert_eq!(ok, 1_000);
+    assert_eq!(
+        bytes, 0,
+        "disabled verify_plan_if_enabled allocated {bytes}B"
+    );
+    sema::reset_verify();
 
     // 2. With obs disabled, repeated identical runs allocate byte-for-
     // byte identically: the disabled profile path contributes no

@@ -31,6 +31,9 @@ use rand::{Rng, SeedableRng};
 
 #[test]
 fn fuzzed_plans_agree_with_and_without_optimizer() {
+    // Arm the plan verifier: every rewrite pass of every fuzzed case is
+    // invariant-checked (a violation fails the optimized run loudly).
+    beliefdb::storage::sema::set_verify(true);
     let db = plan_db();
     let mut rng = StdRng::seed_from_u64(0xBE11EF);
     let mut nontrivial = 0usize;
@@ -86,6 +89,48 @@ fn reorder_keeps_fallible_residuals_intact() {
     // surface the same TypeError instead of silently dropping rows.
     assert!(execute(&db, &plan).is_err());
     assert!(execute(&db, &optimized).is_err());
+}
+
+/// The provably-empty fold (`sema::expr_contradictory`): a selection
+/// whose predicate is statically unsatisfiable collapses to an empty
+/// `Values`, and the collapsed plan agrees with brute-force execution —
+/// including when the contradictory selection sits under joins and
+/// projections, where the fold can erase whole subtrees.
+#[test]
+fn contradictory_conjunctions_fold_to_empty_and_agree() {
+    let db = plan_db();
+    let contradiction = Expr::and(vec![Expr::col_eq_lit(0, 1i64), Expr::col_eq_lit(0, 2i64)]);
+    let cases = vec![
+        Plan::scan("V").select(contradiction.clone()),
+        // Under a join: one empty side empties the join.
+        Plan::scan("V")
+            .select(contradiction.clone())
+            .join(Plan::scan("Users"), vec![(1, 0)])
+            .project_cols(&[0, 3]),
+        // Inside a union: the other branch must survive untouched.
+        Plan::Union {
+            inputs: vec![
+                Plan::scan("Users").select(contradiction.clone()),
+                Plan::scan("Users"),
+            ],
+        },
+    ];
+    for plan in cases {
+        let base = execute(&db, &plan).expect("unoptimized execution failed");
+        let optimized = execute_optimized(&db, &plan).expect("optimized execution failed");
+        assert_eq!(
+            sorted(base),
+            sorted(optimized),
+            "fold changed the result multiset of {plan:?}"
+        );
+    }
+    // The single-selection case really does collapse to a literal empty
+    // relation (not merely an equivalent plan).
+    let folded = beliefdb::storage::optimize(&db, Plan::scan("V").select(contradiction)).unwrap();
+    assert!(
+        matches!(&folded, Plan::Values { rows, .. } if rows.is_empty()),
+        "expected empty Values, got {folded:?}"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -165,6 +210,7 @@ fn gen_bcq(rng: &mut StdRng) -> Bcq {
 
 #[test]
 fn fuzzed_bcqs_agree_with_and_without_optimizer() {
+    beliefdb::storage::sema::set_verify(true);
     let bdms = workload();
     let mut rng = StdRng::seed_from_u64(0xBC0);
     let mut evaluated = 0usize;
